@@ -1,0 +1,135 @@
+// Fixed-point fidelity ablation: how far does the Q20 FPGA functional
+// model drift from exact double arithmetic, and how does the choice of
+// fractional bits trade range against precision?
+//
+// Part 1 streams a synthetic OS-ELM workload through the Q20 backend and
+// a double mirror, reporting Q divergence over time plus saturation
+// counts. Part 2 sweeps Fixed<F> for the seq_train inner products.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fixed/fixed_point.hpp"
+#include "hw/fpga_backend.hpp"
+#include "linalg/ops.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace oselm;
+
+template <int F>
+double dot_product_error(util::Rng& rng, std::size_t n, double scale) {
+  using Fx = fixed::Fixed<F>;
+  Fx acc = Fx::zero();
+  double ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-scale, scale);
+    const double b = rng.uniform(-scale, scale);
+    acc += Fx::from_double(a) * Fx::from_double(b);
+    ref += a * b;
+  }
+  return std::abs(acc.to_double() - ref);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — Q20 fixed-point fidelity of the FPGA core\n\n");
+
+  // Part 1: backend vs double mirror over a long update stream.
+  hw::FpgaBackendConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden_units = 64;
+  cfg.l2_delta = 0.5;
+  cfg.spectral_normalize = true;
+  hw::FpgaOsElmBackend backend(cfg, 11);
+
+  util::Rng rng(21);
+  linalg::MatD x0(64, 5);
+  linalg::MatD t0(64, 1);
+  rng.fill_uniform(x0.storage(), -1.0, 1.0);
+  rng.fill_uniform(t0.storage(), -1.0, 1.0);
+  fixed::overflow_stats().reset();
+  backend.init_train(x0, t0);
+
+  linalg::MatD p = hw::dequantize(backend.p_fixed());
+  linalg::MatD beta = hw::dequantize(backend.beta_fixed());
+
+  util::CsvWriter csv("ablation_fixed_point.csv");
+  csv.write_row({"step", "max_q_divergence", "saturations"});
+
+  std::printf("  64-unit core, synthetic stream (drift vs exact double):\n");
+  double worst = 0.0;
+  for (int step = 1; step <= 2000; ++step) {
+    linalg::VecD x(5);
+    rng.fill_uniform(x, -1.0, 1.0);
+    const double target = rng.uniform(-1.0, 1.0);
+    (void)backend.seq_train(x, target);
+
+    // Exact double mirror of Eq. 6 (k = 1).
+    linalg::VecD h(64);
+    for (std::size_t j = 0; j < 64; ++j) {
+      double acc = backend.bias_host()[j];
+      for (std::size_t i = 0; i < 5; ++i) {
+        acc += x[i] * backend.alpha_host()(i, j);
+      }
+      h[j] = std::max(0.0, acc);
+    }
+    const linalg::VecD u = linalg::matvec(p, h);
+    const double inv = 1.0 / (1.0 + linalg::dot(h, u));
+    for (std::size_t i = 0; i < 64; ++i) {
+      for (std::size_t j = 0; j < 64; ++j) p(i, j) -= u[i] * inv * u[j];
+    }
+    double pred = 0.0;
+    for (std::size_t j = 0; j < 64; ++j) pred += h[j] * beta(j, 0);
+    const double err = (target - pred) * inv;
+    for (std::size_t j = 0; j < 64; ++j) beta(j, 0) += u[j] * err;
+
+    double q_fixed = 0.0;
+    (void)backend.predict_main(x, q_fixed);
+    double q_ref = 0.0;
+    for (std::size_t j = 0; j < 64; ++j) q_ref += h[j] * beta(j, 0);
+    worst = std::max(worst, std::abs(q_fixed - q_ref));
+    if (step % 250 == 0) {
+      std::printf("    step %4d  max |Q_fixed - Q_double| = %.6f  "
+                  "saturations = %llu\n",
+                  step, worst,
+                  static_cast<unsigned long long>(
+                      fixed::overflow_stats().total()));
+      csv.write_values(step, worst, fixed::overflow_stats().total());
+    }
+  }
+
+  // Part 2: precision sweep for a 192-term MAC (the longest on-chip dot).
+  std::printf(
+      "\n  fractional-bit sweep: mean |dot_fixed - dot_double| over 192-term "
+      "MACs (unit-range operands)\n");
+  csv.write_row({"frac_bits", "mean_mac_error", "representable_max"});
+  const auto sweep = [&](auto frac_tag, const char* label) {
+    constexpr int F = decltype(frac_tag)::value;
+    util::Rng sweep_rng(33);
+    double total = 0.0;
+    constexpr int kTrials = 50;
+    for (int i = 0; i < kTrials; ++i) {
+      total += dot_product_error<F>(sweep_rng, 192, 1.0);
+    }
+    const double mean = total / kTrials;
+    const double max_value = fixed::Fixed<F>::max().to_double();
+    std::printf("    Q%-2d  mean error %.3e   max representable %9.1f  %s\n",
+                F, mean, max_value, label);
+    csv.write_values(F, mean, max_value);
+  };
+  sweep(std::integral_constant<int, 8>{}, "(coarse, huge range)");
+  sweep(std::integral_constant<int, 12>{}, "");
+  sweep(std::integral_constant<int, 16>{}, "");
+  sweep(std::integral_constant<int, 20>{}, "<- paper's Q20 (Sec. 4.2)");
+  sweep(std::integral_constant<int, 24>{}, "");
+  sweep(std::integral_constant<int, 28>{}, "(fine, range too small for P)");
+
+  std::printf(
+      "\nReading: Q20 keeps MAC error ~1e-4 with +-2048 range — enough\n"
+      "headroom for the P matrix while staying well under the Q-value\n"
+      "scale of the task. CSV: ablation_fixed_point.csv\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation of the paper's stabilization techniques (§3.1-3.3) on the
+// OS-ELM Q-network: Q-value clipping, random update, reward shaping, and
+// the Algorithm-1 weight-initialization range.
+//
+// For each variant: solve rate and mean episodes-to-complete over
+// OSELM_TRIALS seeds at 32 hidden units.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "env/registry.hpp"
+#include "rl/oselm_q_agent.hpp"
+#include "rl/software_backend.hpp"
+#include "rl/trainer.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace oselm;
+
+struct Variant {
+  std::string name;
+  bool clip_targets = true;
+  bool random_update = true;
+  bool shaped_rewards = true;
+  bool spectral_normalize = true;
+  double init_low = -1.0;
+  double init_high = 1.0;
+  double delta = 0.5;
+};
+
+struct VariantResult {
+  std::size_t solved = 0;
+  double mean_episodes = 0.0;
+};
+
+VariantResult run_variant(const Variant& v, std::size_t trials,
+                          std::size_t episode_cap) {
+  VariantResult out;
+  double episode_sum = 0.0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    rl::SoftwareBackendConfig bc;
+    bc.elm.input_dim = 5;
+    bc.elm.hidden_units = 32;
+    bc.elm.output_dim = 1;
+    bc.elm.l2_delta = v.delta;
+    bc.elm.init_low = v.init_low;
+    bc.elm.init_high = v.init_high;
+    bc.spectral_normalize = v.spectral_normalize;
+    auto backend =
+        std::make_unique<rl::SoftwareOsElmBackend>(bc, 1000 + trial * 7);
+
+    rl::OsElmQAgentConfig ac;
+    ac.gamma = 0.9;
+    ac.clip_targets = v.clip_targets;
+    ac.random_update = v.random_update;
+    rl::OsElmQAgent agent(std::move(backend),
+                          rl::SimplifiedOutputModel(4, 2), ac, 1 + trial,
+                          v.name);
+
+    auto env = env::make_environment(
+        v.shaped_rewards ? "ShapedCartPole-v0" : "CartPole-v0",
+        38 + trial * 11);
+
+    rl::TrainerConfig tc;
+    tc.max_episodes = episode_cap;
+    tc.reset_interval = 300;
+    const rl::TrainResult r = rl::run_training(agent, *env, tc);
+    if (r.solved) {
+      ++out.solved;
+      episode_sum += static_cast<double>(r.episodes);
+    }
+  }
+  if (out.solved > 0) {
+    out.mean_episodes = episode_sum / static_cast<double>(out.solved);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchKnobs knobs = bench::BenchKnobs::from_env();
+  std::printf(
+      "Ablation — §3 stabilization techniques on OS-ELM-L2-Lipschitz "
+      "(32 units, %zu trials, cap %zu episodes)\n\n",
+      knobs.trials, knobs.episode_cap);
+
+  const std::vector<Variant> variants = {
+      {"all techniques (paper design 5)"},
+      {"no Q-value clipping", /*clip=*/false},
+      {"no random update (train every step)", true, /*random=*/false},
+      {"raw +1/step rewards (no shaping)", true, true, /*shaped=*/false},
+      {"no spectral normalization (design 3-ish)", true, true, true,
+       /*spectral=*/false},
+      {"no L2 (delta = 0, design 4-ish)", true, true, true, true, -1.0, 1.0,
+       /*delta=*/0.0},
+      {"Algorithm-1 init range [0, 1]", true, true, true, true,
+       /*init_low=*/0.0, /*init_high=*/1.0},
+  };
+
+  util::CsvWriter csv("ablation_techniques.csv");
+  csv.write_row({"variant", "solved", "trials", "mean_episodes"});
+  for (const Variant& v : variants) {
+    const VariantResult r = run_variant(v, knobs.trials, knobs.episode_cap);
+    std::printf("  %-42s solved %zu/%zu", v.name.c_str(), r.solved,
+                knobs.trials);
+    if (r.solved > 0) std::printf("  mean episodes %6.0f", r.mean_episodes);
+    std::printf("\n");
+    csv.write_values(v.name, r.solved, knobs.trials, r.mean_episodes);
+  }
+
+  std::printf(
+      "\nReading: the clipped, shaped, regularized configuration should\n"
+      "dominate; removing shaping collapses the reward signal into the\n"
+      "clip bound and removing clipping lets outlier targets destabilize\n"
+      "beta (§3.1). CSV: ablation_techniques.csv\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Regenerates Figure 6: detail of the FPGA design's execution-time
+// breakdown (the zoom of Fig. 5's FPGA bars), plus the per-op cycle
+// budget that produces it.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace oselm;
+  using util::OpCategory;
+  const bench::BenchKnobs knobs = bench::BenchKnobs::from_env();
+  // The paper averages the FPGA design over 20 trials (vs 100 for
+  // software) "due to excessive simulation times"; default 5 here.
+  std::printf(
+      "Figure 6 — FPGA design breakdown (modeled PL @125 MHz + host "
+      "init_train; avg over %zu trials)\n\n",
+      knobs.trials);
+
+  util::CsvWriter csv("fig6_fpga_detail.csv");
+  csv.write_row({"units", "solved_trials", "mean_episodes", "seq_train_s",
+                 "predict_seq_s", "predict_init_s", "init_train_s",
+                 "total_s", "seq_train_cycles_per_call",
+                 "predict_cycles_per_call"});
+
+  std::vector<util::Bar> bars;
+  for (const std::size_t units : knobs.unit_sweep) {
+    core::RunSpec spec;
+    spec.agent.design = core::Design::kFpga;
+    spec.agent.hidden_units = units;
+    spec.agent.seed = 1;
+    spec.env_seed = 38;
+    spec.trainer.max_episodes = knobs.episode_cap;
+    spec.trainer.reset_interval = 300;
+    const core::TrialSummary summary =
+        core::run_trials(spec, knobs.trials, 0);
+
+    const hw::CycleModel cycles(units, 5);
+    if (summary.solved_count == 0) {
+      std::printf("  [%3zu units] did not complete within %zu episodes\n",
+                  units, knobs.episode_cap);
+      csv.write_values(units, 0, 0.0, -1.0, -1.0, -1.0, -1.0, -1.0,
+                       cycles.seq_train_cycles(), cycles.predict_cycles());
+      continue;
+    }
+    const util::OpBreakdown& b = summary.mean_breakdown;
+    const double total = b.total_excluding_env();
+    std::printf(
+        "  [%3zu units] solved %zu/%zu  ep=%6.0f  total=%8.4fs  "
+        "(seq_train %.4fs, predict %.4fs, init %.4fs)\n",
+        units, summary.solved_count, summary.trials,
+        summary.mean_episodes_to_complete, total,
+        b.get(OpCategory::kSeqTrain),
+        b.get(OpCategory::kPredictSeq) + b.get(OpCategory::kPredictInit),
+        b.get(OpCategory::kInitTrain));
+    std::printf(
+        "             per-call cycles: seq_train=%zu (%.1f us), "
+        "predict=%zu (%.1f us)\n",
+        cycles.seq_train_cycles(), cycles.seq_train_seconds() * 1e6,
+        cycles.predict_cycles(), cycles.predict_seconds() * 1e6);
+
+    csv.write_values(units, summary.solved_count,
+                     summary.mean_episodes_to_complete,
+                     b.get(OpCategory::kSeqTrain),
+                     b.get(OpCategory::kPredictSeq),
+                     b.get(OpCategory::kPredictInit),
+                     b.get(OpCategory::kInitTrain), total,
+                     cycles.seq_train_cycles(), cycles.predict_cycles());
+
+    bars.push_back(util::Bar{
+        std::to_string(units) + " units",
+        {{"seq_train", b.get(OpCategory::kSeqTrain)},
+         {"predict_seq", b.get(OpCategory::kPredictSeq)},
+         {"predict_init", b.get(OpCategory::kPredictInit)},
+         {"init_train", b.get(OpCategory::kInitTrain)}}});
+  }
+
+  if (!bars.empty()) {
+    std::printf("\n%s\n", util::render_bar_chart(bars, 60, "s").c_str());
+  }
+  std::printf(
+      "Expected shape (paper Fig. 6): seq_train dominates and grows ~2N^2\n"
+      "with the layer width; predict costs stay linear. CSV: "
+      "fig6_fpga_detail.csv\n");
+  return 0;
+}

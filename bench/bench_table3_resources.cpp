@@ -1,0 +1,78 @@
+// Regenerates Table 3: FPGA resource utilization of the OS-ELM Q-Network
+// core on the PYNQ-Z1's xc7z020clg400-1, for 32-256 hidden units.
+//
+// Output: the model's BRAM/DSP/FF/LUT percentages next to the paper's
+// reported values, plus the structural explanation of each column.
+#include <cstdio>
+
+#include "hw/resource_model.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+struct PaperRow {
+  std::size_t units;
+  double bram, dsp, ff, lut;  // percentages; <0 = not reported (infeasible)
+};
+
+constexpr PaperRow kPaper[] = {
+    {32, 2.86, 1.82, 1.49, 3.52},   {64, 11.43, 1.82, 4.5, 5.0},
+    {128, 45.71, 1.82, 4.5, 7.93},  {192, 91.43, 1.82, 6.44, 11.03},
+    {256, -1.0, -1.0, -1.0, -1.0},
+};
+
+}  // namespace
+
+int main() {
+  using namespace oselm;
+  const hw::FpgaDevice device = hw::zynq7020();
+
+  std::printf(
+      "Table 3 — FPGA resource utilization of the OS-ELM Q-Network core\n");
+  std::printf("Device: %s (%zu BRAM36, %zu DSP48E1, %zu FF, %zu LUT)\n\n",
+              std::string(device.name).c_str(), device.bram36, device.dsp,
+              device.ff, device.lut);
+  std::printf(
+      "          |--------- this model ---------|--------- paper ---------|\n");
+  std::printf(
+      "Units     BRAM%%   DSP%%    FF%%    LUT%%   BRAM%%   DSP%%    FF%%    "
+      "LUT%%   fits\n");
+
+  util::CsvWriter csv("table3_resources.csv");
+  csv.write_row({"units", "bram36", "bram_pct", "dsp", "dsp_pct", "ff",
+                 "ff_pct", "lut", "lut_pct", "fits", "paper_bram_pct",
+                 "paper_dsp_pct", "paper_ff_pct", "paper_lut_pct"});
+
+  for (const PaperRow& row : kPaper) {
+    const hw::ResourceEstimate e =
+        hw::estimate_oselm_core(device, row.units);
+    if (row.bram >= 0.0) {
+      std::printf(
+          "%-8zu  %5.2f  %5.2f  %5.2f  %5.2f   %5.2f  %5.2f  %5.2f  %5.2f   "
+          "%s\n",
+          row.units, e.bram_pct, e.dsp_pct, e.ff_pct, e.lut_pct, row.bram,
+          row.dsp, row.ff, row.lut, e.fits ? "yes" : "NO");
+    } else {
+      std::printf(
+          "%-8zu  %5.1f  %5.2f  %5.2f  %5.2f       - (paper: does not fit) "
+          "  %s\n",
+          row.units, e.bram_pct, e.dsp_pct, e.ff_pct, e.lut_pct,
+          e.fits ? "yes" : "NO");
+    }
+    csv.write_values(row.units, e.bram36, e.bram_pct, e.dsp, e.dsp_pct, e.ff,
+                     e.ff_pct, e.lut, e.lut_pct, e.fits ? 1 : 0, row.bram,
+                     row.dsp, row.ff, row.lut);
+  }
+
+  std::printf(
+      "\nModel notes:\n"
+      "  BRAM: 4 power-of-two-partitioned banks sized by the N x N, 32-bit\n"
+      "        P matrix — exact match on every feasible paper row, and the\n"
+      "        N=256 design exceeds the device (paper: 'excessive BRAM').\n"
+      "  DSP:  constant 4 slices = one 32x32 multiplier ('a single add,\n"
+      "        mult, and div unit', Sec. 4.2) — exact match.\n"
+      "  FF/LUT: affine least-squares calibration against Table 3 (LUT\n"
+      "        within ~2%%; the paper's FF column itself is non-monotone).\n"
+      "  CSV:  table3_resources.csv\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The paper's headline experiment as an application: train the
+// OS-ELM-L2-Lipschitz Q-network (design 5) on CartPole-v0 until the pole
+// first stands for a full 200-step episode, printing live progress and
+// the final per-operation time breakdown.
+//
+//   ./cartpole_oselm [design] [hidden_units] [seed]
+//   e.g. ./cartpole_oselm OS-ELM-L2-Lipschitz 64 1
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "env/registry.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oselm;
+
+  core::RunSpec spec;
+  spec.agent.design = argc > 1 ? core::design_from_name(argv[1])
+                               : core::Design::kOsElmL2Lipschitz;
+  spec.agent.hidden_units =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+  spec.agent.seed = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 1;
+  spec.env_seed = spec.agent.seed * 31 + 7;
+  spec.trainer.max_episodes = 50000;  // the paper's "impossible" cutoff
+  spec.trainer.reset_interval = 300;  // §4.3 reset rule
+
+  std::printf("Training %s with %zu hidden units on shaped CartPole-v0\n",
+              std::string(core::design_name(spec.agent.design)).c_str(),
+              spec.agent.hidden_units);
+  std::printf("(completion = first episode reaching the 200-step cap)\n\n");
+
+  // Rebuild the experiment manually so we can stream progress.
+  const env::EnvironmentPtr env =
+      env::make_environment(spec.env_id, spec.env_seed);
+  core::AgentConfig agent_config = spec.agent;
+  agent_config.state_dim = env->observation_space().dimensions();
+  agent_config.action_count = env->action_space().n;
+  const rl::AgentPtr agent = core::make_agent(agent_config);
+
+  util::MovingAverage ma(100);
+  const rl::TrainResult result = rl::run_training(
+      *agent, *env, spec.trainer,
+      [&](std::size_t episode, std::size_t steps, double) {
+        ma.add(static_cast<double>(steps));
+        if (episode % 200 == 0) {
+          std::printf("  episode %5zu: last=%3zu steps, avg100=%6.1f\n",
+                      episode, steps, ma.value());
+        }
+      });
+
+  std::printf("\n%s after %zu episodes (%zu weight resets)\n",
+              result.solved ? "COMPLETED" : "DID NOT COMPLETE",
+              result.episodes, result.resets);
+  std::printf("total environment steps: %zu\n", result.total_steps);
+  std::printf("execution time breakdown (excluding environment):\n");
+  for (std::size_t i = 0; i < util::kOpCategoryCount; ++i) {
+    const auto cat = static_cast<util::OpCategory>(i);
+    if (cat == util::OpCategory::kEnvironment) continue;
+    const double seconds = result.breakdown.get(cat);
+    if (seconds > 0.0) {
+      std::printf("  %-12s %10.6f s  (%llu ops)\n",
+                  std::string(util::op_category_name(cat)).c_str(), seconds,
+                  static_cast<unsigned long long>(
+                      result.breakdown.invocations(cat)));
+    }
+  }
+  std::printf("  %-12s %10.6f s\n", "TOTAL",
+              result.breakdown.total_excluding_env());
+  return result.solved ? 0 : 1;
+}

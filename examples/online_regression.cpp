@@ -1,0 +1,79 @@
+// On-device online learning outside RL: streaming regression with concept
+// drift, the setting of the OS-ELM edge-learning line the paper builds on
+// (Tsukada et al., ref. [3]).
+//
+// An OS-ELM model is initial-trained once, then follows a data stream
+// whose underlying function changes abruptly half-way. Batch ELM
+// (retrained only on its original chunk) cannot follow; OS-ELM adapts
+// with O(N^2) work per sample and no stored dataset.
+//
+//   ./online_regression
+#include <cmath>
+#include <cstdio>
+
+#include "elm/elm.hpp"
+#include "elm/os_elm.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace oselm;
+
+  elm::ElmConfig config;
+  config.input_dim = 2;
+  config.hidden_units = 48;
+  config.output_dim = 1;
+  config.l2_delta = 0.1;
+
+  util::Rng rng(7);
+  elm::OsElm online(config, rng);
+  util::Rng rng2(7);
+  elm::Elm frozen(config, rng2);  // same weights, never retrained
+
+  const auto phase1 = [](double a, double b) { return 0.8 * a - 0.3 * b; };
+  const auto phase2 = [](double a, double b) {
+    return 0.2 * a + 0.9 * std::abs(b);  // drifted concept
+  };
+
+  // Shared initial chunk from phase 1.
+  linalg::MatD x0(96, 2);
+  linalg::MatD t0(96, 1);
+  for (std::size_t i = 0; i < 96; ++i) {
+    x0(i, 0) = rng.uniform(-1.0, 1.0);
+    x0(i, 1) = rng.uniform(-1.0, 1.0);
+    t0(i, 0) = phase1(x0(i, 0), x0(i, 1)) + rng.normal(0.0, 0.02);
+  }
+  online.init_train(x0, t0);
+  frozen.train_batch(x0, t0);
+
+  std::printf("streaming 4000 samples; concept drifts at sample 2000\n");
+  std::printf("%8s  %18s  %18s\n", "sample", "OS-ELM mean|err|",
+              "frozen ELM mean|err|");
+
+  util::MovingAverage online_err(250);
+  util::MovingAverage frozen_err(250);
+  for (int step = 1; step <= 4000; ++step) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    const bool drifted = step > 2000;
+    const double truth =
+        (drifted ? phase2(a, b) : phase1(a, b)) + rng.normal(0.0, 0.02);
+
+    online_err.add(std::abs(online.predict_one({a, b})[0] - truth));
+    frozen_err.add(std::abs(frozen.predict_one({a, b})[0] - truth));
+
+    online.seq_train_one({a, b}, {truth});  // Eq. 6, k = 1
+
+    if (step % 500 == 0) {
+      std::printf("%8d  %18.4f  %18.4f%s\n", step, online_err.value(),
+                  frozen_err.value(),
+                  step == 2000 ? "   <-- drift begins" : "");
+    }
+  }
+
+  std::printf(
+      "\nOS-ELM tracks the drifted concept while the frozen batch model\n"
+      "degrades — the adaptation capability the on-device Q-network\n"
+      "inherits (Sec. 2.2).\n");
+  return 0;
+}

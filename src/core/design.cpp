@@ -1,0 +1,152 @@
+#include "core/design.hpp"
+
+#include <stdexcept>
+
+#include "hw/fpga_backend.hpp"
+#include "rl/dqn_agent.hpp"
+#include "rl/elm_q_agent.hpp"
+#include "rl/oselm_q_agent.hpp"
+#include "rl/software_backend.hpp"
+
+namespace oselm::core {
+
+std::string_view design_name(Design design) noexcept {
+  switch (design) {
+    case Design::kElm:
+      return "ELM";
+    case Design::kOsElm:
+      return "OS-ELM";
+    case Design::kOsElmL2:
+      return "OS-ELM-L2";
+    case Design::kOsElmLipschitz:
+      return "OS-ELM-Lipschitz";
+    case Design::kOsElmL2Lipschitz:
+      return "OS-ELM-L2-Lipschitz";
+    case Design::kDqn:
+      return "DQN";
+    case Design::kFpga:
+      return "FPGA";
+  }
+  return "unknown";
+}
+
+Design design_from_name(std::string_view name) {
+  for (const Design d : all_designs()) {
+    if (design_name(d) == name) return d;
+  }
+  throw std::invalid_argument("design_from_name: unknown design '" +
+                              std::string(name) + "'");
+}
+
+std::vector<Design> all_designs() {
+  return {Design::kElm,           Design::kOsElm,
+          Design::kOsElmL2,       Design::kOsElmLipschitz,
+          Design::kOsElmL2Lipschitz, Design::kDqn,
+          Design::kFpga};
+}
+
+std::vector<Design> software_designs() {
+  return {Design::kElm,     Design::kOsElm,
+          Design::kOsElmL2, Design::kOsElmLipschitz,
+          Design::kOsElmL2Lipschitz, Design::kDqn};
+}
+
+double AgentConfig::resolved_delta() const noexcept {
+  if (l2_delta >= 0.0) return l2_delta;
+  switch (design) {
+    case Design::kOsElmL2:
+      return 1.0;  // §4.1: delta = 1 for OS-ELM-L2
+    case Design::kOsElmL2Lipschitz:
+    case Design::kFpga:
+      return 0.5;  // §4.1: delta = 0.5 for OS-ELM-L2-Lipschitz
+    default:
+      return 0.0;
+  }
+}
+
+namespace {
+
+rl::AgentPtr make_software_oselm(const AgentConfig& config,
+                                 bool spectral_normalize) {
+  const rl::SimplifiedOutputModel model(config.state_dim,
+                                        config.action_count);
+  rl::SoftwareBackendConfig backend_config;
+  backend_config.elm.input_dim = model.input_dim();
+  backend_config.elm.hidden_units = config.hidden_units;
+  backend_config.elm.output_dim = 1;
+  backend_config.elm.activation = elm::Activation::kReLU;
+  backend_config.elm.l2_delta = config.resolved_delta();
+  backend_config.spectral_normalize = spectral_normalize;
+
+  auto backend = std::make_unique<rl::SoftwareOsElmBackend>(
+      backend_config, config.seed * 2654435761ULL + 1);
+
+  rl::OsElmQAgentConfig agent_config;
+  agent_config.gamma = config.gamma;
+  agent_config.epsilon_greedy = config.epsilon_greedy;
+  agent_config.update_probability = config.update_probability;
+  agent_config.target_sync_interval = config.target_sync_interval;
+
+  return std::make_unique<rl::OsElmQAgent>(std::move(backend), model,
+                                           agent_config, config.seed,
+                                           design_name(config.design));
+}
+
+}  // namespace
+
+rl::AgentPtr make_agent(const AgentConfig& config) {
+  if (config.hidden_units == 0) {
+    throw std::invalid_argument("AgentConfig: hidden_units == 0");
+  }
+  switch (config.design) {
+    case Design::kElm: {
+      const rl::SimplifiedOutputModel model(config.state_dim,
+                                            config.action_count);
+      rl::ElmQAgentConfig elm_config;
+      elm_config.hidden_units = config.hidden_units;
+      elm_config.gamma = config.gamma;
+      elm_config.epsilon_greedy = config.epsilon_greedy;
+      return std::make_unique<rl::ElmQAgent>(model, elm_config, config.seed);
+    }
+    case Design::kOsElm:
+    case Design::kOsElmL2:
+      return make_software_oselm(config, /*spectral_normalize=*/false);
+    case Design::kOsElmLipschitz:
+    case Design::kOsElmL2Lipschitz:
+      return make_software_oselm(config, /*spectral_normalize=*/true);
+    case Design::kDqn: {
+      rl::DqnAgentConfig dqn_config;
+      dqn_config.state_dim = config.state_dim;
+      dqn_config.action_count = config.action_count;
+      dqn_config.hidden_units = config.hidden_units;
+      dqn_config.gamma = config.gamma;
+      dqn_config.epsilon_greedy = config.epsilon_greedy;
+      dqn_config.target_sync_interval = config.target_sync_interval;
+      return std::make_unique<rl::DqnAgent>(dqn_config, config.seed);
+    }
+    case Design::kFpga: {
+      const rl::SimplifiedOutputModel model(config.state_dim,
+                                            config.action_count);
+      hw::FpgaBackendConfig backend_config;
+      backend_config.input_dim = model.input_dim();
+      backend_config.hidden_units = config.hidden_units;
+      backend_config.l2_delta = config.resolved_delta();
+      backend_config.spectral_normalize = true;
+
+      auto backend = std::make_unique<hw::FpgaOsElmBackend>(
+          backend_config, config.seed * 2654435761ULL + 1);
+
+      rl::OsElmQAgentConfig agent_config;
+      agent_config.gamma = config.gamma;
+      agent_config.epsilon_greedy = config.epsilon_greedy;
+      agent_config.update_probability = config.update_probability;
+      agent_config.target_sync_interval = config.target_sync_interval;
+      return std::make_unique<rl::OsElmQAgent>(std::move(backend), model,
+                                               agent_config, config.seed,
+                                               "FPGA");
+    }
+  }
+  throw std::invalid_argument("make_agent: unknown design");
+}
+
+}  // namespace oselm::core

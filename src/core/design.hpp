@@ -1,0 +1,68 @@
+// The seven designs evaluated in §4.1, behind one factory.
+//
+//  (1) ELM                 — batch ELM Q-network (simplified IO + clipping)
+//  (2) OS-ELM              — + sequential training and random update
+//  (3) OS-ELM-L2           — + L2 regularization on beta (delta = 1)
+//  (4) OS-ELM-Lipschitz    — + spectral normalization of alpha
+//  (5) OS-ELM-L2-Lipschitz — both (delta = 0.5); the paper's best design
+//  (6) DQN                 — three-layer backprop baseline
+//  (7) FPGA                — (5) with predict/seq_train in the Q20
+//                            fixed-point functional model + PL timing
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rl/agent.hpp"
+
+namespace oselm::core {
+
+enum class Design {
+  kElm,
+  kOsElm,
+  kOsElmL2,
+  kOsElmLipschitz,
+  kOsElmL2Lipschitz,
+  kDqn,
+  kFpga,
+};
+
+std::string_view design_name(Design design) noexcept;
+
+/// Parses a design from its display name; throws std::invalid_argument.
+Design design_from_name(std::string_view name);
+
+/// All seven designs in the paper's order.
+std::vector<Design> all_designs();
+
+/// The six software designs compared in the Fig. 4 training curves.
+std::vector<Design> software_designs();
+
+struct AgentConfig {
+  Design design = Design::kOsElmL2Lipschitz;
+  std::size_t hidden_units = 64;   ///< N-tilde, swept over {32,64,128,192}
+  std::size_t state_dim = 4;       ///< CartPole-v0
+  std::size_t action_count = 2;
+  /// Discount rate; the paper does not state gamma. 0.9 is used here: the
+  /// shaped -1/0/+1 reward with clipped targets needs enough Q contrast
+  /// between adjacent states (|Q| ~ gamma^steps-to-failure), and 0.99
+  /// compresses that contrast below the function-approximation noise.
+  double gamma = 0.9;
+  double epsilon_greedy = 0.7;     ///< epsilon_1 (§4.1)
+  double update_probability = 0.5; ///< epsilon_2 (§4.1)
+  std::size_t target_sync_interval = 2;  ///< UPDATE_STEP (§4.1)
+  /// L2 delta; negative selects the paper's per-design default
+  /// (1.0 for OS-ELM-L2, 0.5 for OS-ELM-L2-Lipschitz and FPGA, else 0).
+  double l2_delta = -1.0;
+  std::uint64_t seed = 42;
+
+  /// Resolved delta after applying per-design defaults.
+  [[nodiscard]] double resolved_delta() const noexcept;
+};
+
+/// Builds the agent for a design. All designs share the Algorithm 1
+/// hyper-parameters above; DQN additionally uses batch 32 replay + Adam.
+rl::AgentPtr make_agent(const AgentConfig& config);
+
+}  // namespace oselm::core

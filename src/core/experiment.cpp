@@ -1,0 +1,68 @@
+#include "core/experiment.hpp"
+
+#include <mutex>
+
+#include "env/registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oselm::core {
+
+rl::TrainResult run_experiment(const RunSpec& spec) {
+  const env::EnvironmentPtr environment =
+      env::make_environment(spec.env_id, spec.env_seed);
+  // The environment is authoritative for the interface dimensions; this
+  // keeps one RunSpec valid across CartPole, GridWorld, etc.
+  AgentConfig agent_config = spec.agent;
+  agent_config.state_dim = environment->observation_space().dimensions();
+  agent_config.action_count = environment->action_space().n;
+  const rl::AgentPtr agent = make_agent(agent_config);
+  return rl::run_training(*agent, *environment, spec.trainer);
+}
+
+TrialSummary run_trials(const RunSpec& base, std::size_t trials,
+                        std::size_t threads) {
+  TrialSummary summary;
+  summary.trials = trials;
+  summary.per_trial_seconds.assign(trials, 0.0);
+  summary.per_trial_solved.assign(trials, false);
+
+  std::mutex merge_mutex;
+  double time_sum = 0.0;
+  double episode_sum = 0.0;
+
+  const auto run_one = [&](std::size_t trial) {
+    RunSpec spec = base;
+    spec.agent.seed = base.agent.seed + trial;
+    spec.env_seed = base.env_seed + 0x9e3779b9ULL * (trial + 1);
+    const rl::TrainResult result = run_experiment(spec);
+    const double seconds = result.breakdown.total_excluding_env();
+
+    const std::scoped_lock lock(merge_mutex);
+    summary.per_trial_seconds[trial] = seconds;
+    summary.per_trial_solved[trial] = result.solved;
+    if (result.solved) {
+      ++summary.solved_count;
+      time_sum += seconds;
+      episode_sum += static_cast<double>(result.episodes);
+      summary.mean_breakdown += result.breakdown;
+    }
+  };
+
+  if (threads == 1 || trials <= 1) {
+    for (std::size_t i = 0; i < trials; ++i) run_one(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(trials, run_one);
+  }
+
+  if (summary.solved_count > 0) {
+    const auto n = static_cast<double>(summary.solved_count);
+    summary.mean_time_to_complete = time_sum / n;
+    summary.mean_episodes_to_complete = episode_sum / n;
+    summary.mean_breakdown =
+        summary.mean_breakdown.averaged_over(summary.solved_count);
+  }
+  return summary;
+}
+
+}  // namespace oselm::core

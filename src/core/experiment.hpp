@@ -1,0 +1,43 @@
+// Experiment driver: one design x environment run, and multi-trial
+// averaging with per-trial seeding (the paper averages Fig. 5 over 100
+// trials for software designs, 20 for the FPGA).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design.hpp"
+#include "rl/trainer.hpp"
+
+namespace oselm::core {
+
+struct RunSpec {
+  AgentConfig agent;
+  rl::TrainerConfig trainer;
+  std::string env_id = "ShapedCartPole-v0";
+  std::uint64_t env_seed = 7;
+};
+
+/// Runs a single trial to completion (solved / 50k-episode cutoff).
+rl::TrainResult run_experiment(const RunSpec& spec);
+
+/// Aggregate over independent trials of one design.
+struct TrialSummary {
+  std::size_t trials = 0;
+  std::size_t solved_count = 0;
+  double mean_time_to_complete = 0.0;  ///< seconds, solved trials only
+  double mean_episodes_to_complete = 0.0;
+  util::OpBreakdown mean_breakdown;    ///< averaged over solved trials
+  std::vector<double> per_trial_seconds;
+  std::vector<bool> per_trial_solved;
+};
+
+/// Runs `trials` independent seeds (agent seed = base + i, env seed
+/// likewise) across `threads` workers (0 = hardware concurrency).
+/// Time-to-complete per trial is the sum of the op-breakdown categories
+/// excluding environment time, matching the paper's bar composition.
+TrialSummary run_trials(const RunSpec& base, std::size_t trials,
+                        std::size_t threads = 0);
+
+}  // namespace oselm::core

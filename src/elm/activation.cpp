@@ -1,0 +1,43 @@
+#include "elm/activation.hpp"
+
+#include <cmath>
+
+namespace oselm::elm {
+
+std::string_view activation_name(Activation activation) noexcept {
+  switch (activation) {
+    case Activation::kReLU:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kLinear:
+      return "linear";
+  }
+  return "unknown";
+}
+
+double apply_activation(Activation activation, double x) noexcept {
+  switch (activation) {
+    case Activation::kReLU:
+      return x >= 0.0 ? x : 0.0;
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kLinear:
+      return x;
+  }
+  return x;
+}
+
+void apply_activation_inplace(Activation activation,
+                              linalg::MatD& m) noexcept {
+  if (activation == Activation::kLinear) return;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = apply_activation(activation, m.data()[i]);
+  }
+}
+
+}  // namespace oselm::elm

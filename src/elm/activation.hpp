@@ -1,0 +1,26 @@
+// Hidden-layer activation functions G(.) for the ELM family.
+//
+// The experiments use ReLU (§4.1); sigmoid and tanh are provided because
+// the OS-ELM literature (Liang et al. 2006) states the theory for bounded
+// activations and the test suite exercises all of them. Every function here
+// is 1-Lipschitz, the property §2.5 relies on when bounding the network's
+// Lipschitz constant by sigma_max of the weights alone.
+#pragma once
+
+#include <string_view>
+
+#include "linalg/matrix.hpp"
+
+namespace oselm::elm {
+
+enum class Activation { kReLU, kSigmoid, kTanh, kLinear };
+
+std::string_view activation_name(Activation activation) noexcept;
+
+/// Scalar application of G.
+double apply_activation(Activation activation, double x) noexcept;
+
+/// Element-wise application over a matrix (in place).
+void apply_activation_inplace(Activation activation, linalg::MatD& m) noexcept;
+
+}  // namespace oselm::elm

@@ -1,0 +1,74 @@
+#include "elm/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serialization.hpp"
+
+namespace oselm::elm {
+
+namespace {
+constexpr char kMagic[4] = {'O', 'S', 'L', 'M'};
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+void save_os_elm(const OsElm& model, std::ostream& out) {
+  util::BinaryWriter writer(out);
+  util::write_header(writer, kMagic, kVersion);
+
+  const ElmConfig& cfg = model.config();
+  writer.write_u64(cfg.input_dim);
+  writer.write_u64(cfg.hidden_units);
+  writer.write_u64(cfg.output_dim);
+  writer.write_u8(static_cast<std::uint8_t>(cfg.activation));
+  writer.write_f64(cfg.l2_delta);
+  writer.write_f64(cfg.init_low);
+  writer.write_f64(cfg.init_high);
+
+  writer.write_u8(model.initialized() ? 1 : 0);
+  writer.write_matrix(model.alpha());
+  writer.write_vector(model.bias());
+  writer.write_matrix(model.beta());
+  writer.write_matrix(model.p());
+  if (!writer.ok()) throw std::runtime_error("save_os_elm: write failed");
+}
+
+void save_os_elm_file(const OsElm& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_os_elm: cannot open " + path);
+  save_os_elm(model, out);
+}
+
+OsElm load_os_elm(std::istream& in) {
+  util::BinaryReader reader(in);
+  util::read_header(reader, kMagic, kVersion);
+
+  ElmConfig cfg;
+  cfg.input_dim = reader.read_u64();
+  cfg.hidden_units = reader.read_u64();
+  cfg.output_dim = reader.read_u64();
+  const std::uint8_t activation = reader.read_u8();
+  if (activation > static_cast<std::uint8_t>(Activation::kLinear)) {
+    throw std::runtime_error("load_os_elm: unknown activation");
+  }
+  cfg.activation = static_cast<Activation>(activation);
+  cfg.l2_delta = reader.read_f64();
+  cfg.init_low = reader.read_f64();
+  cfg.init_high = reader.read_f64();
+
+  const bool initialized = reader.read_u8() != 0;
+  linalg::MatD alpha = reader.read_matrix();
+  linalg::VecD bias = reader.read_vector();
+  linalg::MatD beta = reader.read_matrix();
+  linalg::MatD p = reader.read_matrix();
+  return OsElm::from_parts(cfg, std::move(alpha), std::move(bias),
+                           std::move(beta), std::move(p), initialized);
+}
+
+OsElm load_os_elm_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_os_elm: cannot open " + path);
+  return load_os_elm(in);
+}
+
+}  // namespace oselm::elm

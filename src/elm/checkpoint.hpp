@@ -1,0 +1,23 @@
+// Checkpointing for OS-ELM models: persist the full learner state
+// (alpha, bias, beta, P, config) so a deployed device can resume
+// sequential training after a power cycle without re-running the initial
+// training.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "elm/os_elm.hpp"
+
+namespace oselm::elm {
+
+/// Serializes the complete OS-ELM state (format "OSLM" v1).
+void save_os_elm(const OsElm& model, std::ostream& out);
+void save_os_elm_file(const OsElm& model, const std::string& path);
+
+/// Restores a model saved by save_os_elm; throws std::runtime_error on
+/// corrupt/mismatched input.
+OsElm load_os_elm(std::istream& in);
+OsElm load_os_elm_file(const std::string& path);
+
+}  // namespace oselm::elm

@@ -1,0 +1,137 @@
+#include "elm/elm.hpp"
+
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/svd.hpp"
+
+namespace oselm::elm {
+
+void ElmConfig::validate() const {
+  if (input_dim == 0) throw std::invalid_argument("ElmConfig: input_dim == 0");
+  if (hidden_units == 0) {
+    throw std::invalid_argument("ElmConfig: hidden_units == 0");
+  }
+  if (output_dim == 0) {
+    throw std::invalid_argument("ElmConfig: output_dim == 0");
+  }
+  if (l2_delta < 0.0) throw std::invalid_argument("ElmConfig: l2_delta < 0");
+  if (!(init_low < init_high)) {
+    throw std::invalid_argument("ElmConfig: init range empty");
+  }
+}
+
+Elm::Elm(ElmConfig config, util::Rng& rng) : config_(config) {
+  config_.validate();
+  reinitialize(rng);
+}
+
+void Elm::reinitialize(util::Rng& rng) {
+  alpha_ = linalg::MatD(config_.input_dim, config_.hidden_units);
+  bias_ = linalg::VecD(config_.hidden_units);
+  beta_ = linalg::MatD(config_.hidden_units, config_.output_dim);
+  rng.fill_uniform(alpha_.storage(), config_.init_low, config_.init_high);
+  rng.fill_uniform(bias_, config_.init_low, config_.init_high);
+  rng.fill_uniform(beta_.storage(), config_.init_low, config_.init_high);
+  trained_ = false;
+}
+
+linalg::MatD Elm::hidden(const linalg::MatD& x) const {
+  if (x.cols() != config_.input_dim) {
+    throw std::invalid_argument("Elm::hidden: input width mismatch");
+  }
+  linalg::MatD h = linalg::matmul(x, alpha_);
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    double* row = h.row_ptr(r);
+    for (std::size_t c = 0; c < h.cols(); ++c) row[c] += bias_[c];
+  }
+  apply_activation_inplace(config_.activation, h);
+  return h;
+}
+
+linalg::VecD Elm::hidden_one(const linalg::VecD& x) const {
+  if (x.size() != config_.input_dim) {
+    throw std::invalid_argument("Elm::hidden_one: input width mismatch");
+  }
+  linalg::VecD h = linalg::matvec_t(alpha_, x);  // alpha^T x == x * alpha
+  for (std::size_t c = 0; c < h.size(); ++c) {
+    h[c] = apply_activation(config_.activation, h[c] + bias_[c]);
+  }
+  return h;
+}
+
+void Elm::train_batch(const linalg::MatD& x, const linalg::MatD& t) {
+  if (x.rows() != t.rows()) {
+    throw std::invalid_argument("Elm::train_batch: sample count mismatch");
+  }
+  if (t.cols() != config_.output_dim) {
+    throw std::invalid_argument("Elm::train_batch: target width mismatch");
+  }
+  const linalg::MatD h = hidden(x);
+  if (config_.l2_delta > 0.0) {
+    // beta = (H^T H + delta I)^-1 H^T t  — SPD, solved via Cholesky.
+    linalg::MatD gram = linalg::matmul_at_b(h, h);
+    linalg::add_diagonal_inplace(gram, config_.l2_delta);
+    const auto factor = linalg::cholesky_decompose(gram);
+    if (!factor.spd) {
+      throw std::runtime_error("Elm::train_batch: Gram matrix not SPD");
+    }
+    const linalg::MatD ht_t = linalg::matmul_at_b(h, t);
+    beta_ = linalg::MatD(config_.hidden_units, config_.output_dim);
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+      const linalg::VecD col = linalg::cholesky_solve(factor, ht_t.col(c));
+      for (std::size_t r2 = 0; r2 < beta_.rows(); ++r2) beta_(r2, c) = col[r2];
+    }
+  } else {
+    // beta = H^+ t (Eq. 3). Fast path: solve the normal equations with a
+    // microscopic ridge via Cholesky (the standard ELM implementation
+    // trick — O(N^3/3) instead of a full SVD). Squaring H's condition
+    // number can ruin near-singular problems, so the solution is accepted
+    // only if its least-squares optimality check (gradient H^T(H beta - t)
+    // ~ 0) holds; otherwise fall back to the exact SVD pseudo-inverse.
+    bool solved = false;
+    linalg::MatD gram = linalg::matmul_at_b(h, h);
+    linalg::add_diagonal_inplace(gram, 1e-9);
+    const auto factor = linalg::cholesky_decompose(gram);
+    if (factor.spd) {
+      const linalg::MatD ht_t = linalg::matmul_at_b(h, t);
+      linalg::MatD candidate(config_.hidden_units, config_.output_dim);
+      for (std::size_t c = 0; c < t.cols(); ++c) {
+        const linalg::VecD col = linalg::cholesky_solve(factor, ht_t.col(c));
+        for (std::size_t r2 = 0; r2 < candidate.rows(); ++r2) {
+          candidate(r2, c) = col[r2];
+        }
+      }
+      // Optimality check: the normal-equation residual must be tiny
+      // relative to the data scale.
+      const linalg::MatD grad = linalg::sub(
+          linalg::matmul_at_b(h, linalg::matmul(h, candidate)), ht_t);
+      double scale = 1e-30;
+      for (std::size_t i = 0; i < ht_t.size(); ++i) {
+        scale = std::max(scale, std::abs(ht_t.data()[i]));
+      }
+      double worst = 0.0;
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        worst = std::max(worst, std::abs(grad.data()[i]));
+      }
+      if (worst <= 1e-7 * scale) {
+        beta_ = std::move(candidate);
+        solved = true;
+      }
+    }
+    if (!solved) beta_ = linalg::matmul(linalg::pseudo_inverse(h), t);
+  }
+  trained_ = true;
+}
+
+linalg::MatD Elm::predict(const linalg::MatD& x) const {
+  return linalg::matmul(hidden(x), beta_);
+}
+
+linalg::VecD Elm::predict_one(const linalg::VecD& x) const {
+  const linalg::VecD h = hidden_one(x);
+  return linalg::matvec_t(beta_, h);  // beta^T h == h * beta
+}
+
+}  // namespace oselm::elm

@@ -1,0 +1,173 @@
+#include "elm/os_elm.hpp"
+
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+
+namespace oselm::elm {
+
+OsElm::OsElm(ElmConfig config, util::Rng& rng) : net_(config, rng) {}
+
+OsElm OsElm::from_parts(const ElmConfig& config, linalg::MatD alpha,
+                        linalg::VecD bias, linalg::MatD beta,
+                        linalg::MatD p, bool initialized) {
+  config.validate();
+  if (alpha.rows() != config.input_dim ||
+      alpha.cols() != config.hidden_units ||
+      bias.size() != config.hidden_units ||
+      beta.rows() != config.hidden_units ||
+      beta.cols() != config.output_dim) {
+    throw std::invalid_argument("OsElm::from_parts: weight shape mismatch");
+  }
+  if (initialized && (p.rows() != config.hidden_units ||
+                      p.cols() != config.hidden_units)) {
+    throw std::invalid_argument("OsElm::from_parts: P shape mismatch");
+  }
+  util::Rng scratch_rng(0);
+  OsElm model(config, scratch_rng);
+  model.net_.mutable_alpha() = std::move(alpha);
+  model.net_.mutable_bias() = std::move(bias);
+  model.net_.mutable_beta() = std::move(beta);
+  model.p_ = std::move(p);
+  model.initialized_ = initialized;
+  return model;
+}
+
+void OsElm::reinitialize(util::Rng& rng) {
+  net_.reinitialize(rng);
+  p_ = linalg::MatD();
+  initialized_ = false;
+  initial_ridge_used_ = 0.0;
+}
+
+void OsElm::set_beta(const linalg::MatD& beta) {
+  if (beta.rows() != config().hidden_units ||
+      beta.cols() != config().output_dim) {
+    throw std::invalid_argument("OsElm::set_beta: shape mismatch");
+  }
+  net_.mutable_beta() = beta;
+}
+
+void OsElm::init_train(const linalg::MatD& x0, const linalg::MatD& t0) {
+  if (x0.rows() != t0.rows()) {
+    throw std::invalid_argument("OsElm::init_train: sample count mismatch");
+  }
+  if (t0.cols() != config().output_dim) {
+    throw std::invalid_argument("OsElm::init_train: target width mismatch");
+  }
+  const linalg::MatD h0 = net_.hidden(x0);
+  linalg::MatD gram = linalg::matmul_at_b(h0, h0);
+
+  double ridge = config().l2_delta;
+  if (ridge > 0.0) {
+    linalg::add_diagonal_inplace(gram, ridge);
+    initial_ridge_used_ = ridge;
+    p_ = linalg::inverse_spd(gram);
+  } else {
+    // Plain Eq. 7. With ReLU some hidden units can be dead on the initial
+    // chunk, making the Gram matrix singular; escalate a tiny ridge until
+    // the factorization succeeds and record what was used.
+    initial_ridge_used_ = 0.0;
+    auto factor = linalg::cholesky_decompose(gram);
+    double jitter = 1e-10;
+    while (!factor.spd && jitter < 1.0) {
+      linalg::MatD jittered = gram;
+      linalg::add_diagonal_inplace(jittered, jitter);
+      factor = linalg::cholesky_decompose(jittered);
+      if (factor.spd) {
+        gram = jittered;
+        initial_ridge_used_ = jitter;
+        break;
+      }
+      jitter *= 10.0;
+    }
+    if (!factor.spd) {
+      throw std::runtime_error("OsElm::init_train: Gram matrix singular");
+    }
+    p_ = linalg::inverse_spd(gram);
+  }
+
+  // beta_0 = P_0 H_0^T t_0.
+  net_.mutable_beta() = linalg::matmul(p_, linalg::matmul_at_b(h0, t0));
+  initialized_ = true;
+}
+
+void OsElm::seq_train(const linalg::MatD& x, const linalg::MatD& t) {
+  if (!initialized_) {
+    throw std::logic_error("OsElm::seq_train: init_train has not run");
+  }
+  if (x.rows() != t.rows()) {
+    throw std::invalid_argument("OsElm::seq_train: sample count mismatch");
+  }
+  if (x.rows() == 1) {
+    seq_train_one(x.row(0), t.row(0));
+    return;
+  }
+  const linalg::MatD h = net_.hidden(x);             // k x N
+  const linalg::MatD ph_t = linalg::matmul_a_bt(p_, h);  // N x k
+  linalg::MatD inner = linalg::matmul(h, ph_t);      // k x k
+  linalg::add_diagonal_inplace(inner, 1.0);          // I + H P H^T
+  // P -= P H^T (I + H P H^T)^-1 H P
+  const linalg::MatD inner_inv = linalg::inverse(inner);
+  const linalg::MatD gain = linalg::matmul(ph_t, inner_inv);  // N x k
+  const linalg::MatD hp = linalg::matmul(h, p_);              // k x N
+  linalg::axpy_inplace(p_, -1.0, linalg::matmul(gain, hp));
+  linalg::symmetrize_inplace(p_);
+  // beta += P H^T (t - H beta)
+  const linalg::MatD residual =
+      linalg::sub(t, linalg::matmul(h, net_.beta()));
+  const linalg::MatD update =
+      linalg::matmul(linalg::matmul_a_bt(p_, h), residual);
+  linalg::axpy_inplace(net_.mutable_beta(), 1.0, update);
+}
+
+void OsElm::seq_train_one(const linalg::VecD& x, const linalg::VecD& t) {
+  seq_train_one_forgetting(x, t, 1.0);
+}
+
+void OsElm::seq_train_one_forgetting(const linalg::VecD& x,
+                                     const linalg::VecD& t, double lambda) {
+  if (!initialized_) {
+    throw std::logic_error("OsElm::seq_train_one: init_train has not run");
+  }
+  if (t.size() != config().output_dim) {
+    throw std::invalid_argument("OsElm::seq_train_one: target width");
+  }
+  if (lambda <= 0.0 || lambda > 1.0) {
+    throw std::invalid_argument("OsElm: forgetting factor outside (0, 1]");
+  }
+  const linalg::VecD h = net_.hidden_one(x);     // N
+  const linalg::VecD u = linalg::matvec(p_, h);  // P h^T
+  const double denom = lambda + linalg::dot(h, u);  // lambda + h P h^T
+  const double inv = 1.0 / denom;
+  const double p_scale = 1.0 / lambda;
+
+  // P <- (P - u u^T / denom) / lambda  — rank-1 downdate + re-inflation.
+  const std::size_t n = u.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scaled = u[i] * inv;
+    double* row = p_.row_ptr(i);
+    if (p_scale == 1.0) {
+      if (scaled == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) row[j] -= scaled * u[j];
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = (row[j] - scaled * u[j]) * p_scale;
+      }
+    }
+  }
+
+  // beta += gain * (t - h beta) with gain = P_old h^T / denom == u / denom
+  // (identical to the Kalman gain; independent of the re-inflation).
+  linalg::MatD& beta = net_.mutable_beta();
+  for (std::size_t c = 0; c < config().output_dim; ++c) {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pred += h[i] * beta(i, c);
+    const double err = (t[c] - pred) * inv;
+    for (std::size_t i = 0; i < n; ++i) beta(i, c) += u[i] * err;
+  }
+}
+
+}  // namespace oselm::elm

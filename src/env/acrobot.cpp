@@ -1,0 +1,137 @@
+#include "env/acrobot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace oselm::env {
+
+namespace {
+
+/// Wraps an angle into [-pi, pi).
+double wrap_pi(double x) {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  x = std::fmod(x + std::numbers::pi, kTwoPi);
+  if (x < 0.0) x += kTwoPi;
+  return x - std::numbers::pi;
+}
+
+}  // namespace
+
+Acrobot::Acrobot(AcrobotParams params, std::uint64_t seed_value)
+    : params_(params), rng_(seed_value) {
+  observation_space_.low = {-1.0, -1.0, -1.0, -1.0, -params_.max_vel_1,
+                            -params_.max_vel_2};
+  observation_space_.high = {1.0, 1.0, 1.0, 1.0, params_.max_vel_1,
+                             params_.max_vel_2};
+}
+
+Observation Acrobot::reset() {
+  for (auto& v : state_) v = rng_.uniform(-0.1, 0.1);
+  steps_ = 0;
+  episode_over_ = false;
+  return observe();
+}
+
+void Acrobot::seed(std::uint64_t seed_value) { rng_ = util::Rng(seed_value); }
+
+void Acrobot::set_internal_state(const std::array<double, 4>& state) {
+  state_ = state;
+  episode_over_ = false;
+}
+
+Observation Acrobot::observe() const {
+  return {std::cos(state_[0]), std::sin(state_[0]), std::cos(state_[1]),
+          std::sin(state_[1]), state_[2], state_[3]};
+}
+
+std::array<double, 4> Acrobot::dynamics(const std::array<double, 4>& s,
+                                        double torque) const {
+  // "Book" variant of the acrobot equations, as in Gym's acrobot.py.
+  const double m1 = params_.link_mass_1;
+  const double m2 = params_.link_mass_2;
+  const double l1 = params_.link_length_1;
+  const double lc1 = params_.link_com_1;
+  const double lc2 = params_.link_com_2;
+  const double i1 = params_.link_moi;
+  const double i2 = params_.link_moi;
+  const double g = 9.8;
+
+  const double theta1 = s[0];
+  const double theta2 = s[1];
+  const double dtheta1 = s[2];
+  const double dtheta2 = s[3];
+
+  const double d1 =
+      m1 * lc1 * lc1 +
+      m2 * (l1 * l1 + lc2 * lc2 + 2.0 * l1 * lc2 * std::cos(theta2)) + i1 +
+      i2;
+  const double d2 = m2 * (lc2 * lc2 + l1 * lc2 * std::cos(theta2)) + i2;
+  const double phi2 =
+      m2 * lc2 * g * std::cos(theta1 + theta2 - std::numbers::pi / 2.0);
+  const double phi1 =
+      -m2 * l1 * lc2 * dtheta2 * dtheta2 * std::sin(theta2) -
+      2.0 * m2 * l1 * lc2 * dtheta2 * dtheta1 * std::sin(theta2) +
+      (m1 * lc1 + m2 * l1) * g * std::cos(theta1 - std::numbers::pi / 2.0) +
+      phi2;
+  const double ddtheta2 =
+      (torque + d2 / d1 * phi1 -
+       m2 * l1 * lc2 * dtheta1 * dtheta1 * std::sin(theta2) - phi2) /
+      (m2 * lc2 * lc2 + i2 - d2 * d2 / d1);
+  const double ddtheta1 = -(d2 * ddtheta2 + phi1) / d1;
+
+  return {dtheta1, dtheta2, ddtheta1, ddtheta2};
+}
+
+StepResult Acrobot::step(std::size_t action) {
+  if (episode_over_) {
+    throw std::logic_error("Acrobot::step: episode already finished");
+  }
+  if (!action_space_.contains(action)) {
+    throw std::invalid_argument("Acrobot::step: invalid action");
+  }
+  const double torque = static_cast<double>(action) - 1.0;
+
+  // RK4 over one dt, matching Gym's rk4 helper.
+  const std::array<double, 4> y0 = state_;
+  const auto k1 = dynamics(y0, torque);
+  std::array<double, 4> y1{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    y1[i] = y0[i] + 0.5 * params_.dt * k1[i];
+  }
+  const auto k2 = dynamics(y1, torque);
+  std::array<double, 4> y2{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    y2[i] = y0[i] + 0.5 * params_.dt * k2[i];
+  }
+  const auto k3 = dynamics(y2, torque);
+  std::array<double, 4> y3{};
+  for (std::size_t i = 0; i < 4; ++i) y3[i] = y0[i] + params_.dt * k3[i];
+  const auto k4 = dynamics(y3, torque);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    state_[i] = y0[i] + params_.dt / 6.0 *
+                            (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+  state_[0] = wrap_pi(state_[0]);
+  state_[1] = wrap_pi(state_[1]);
+  state_[2] = std::clamp(state_[2], -params_.max_vel_1, params_.max_vel_1);
+  state_[3] = std::clamp(state_[3], -params_.max_vel_2, params_.max_vel_2);
+
+  ++steps_;
+
+  StepResult result;
+  result.observation = observe();
+  // Goal: free end above the bar by one link length.
+  result.terminated =
+      -std::cos(state_[0]) - std::cos(state_[1] + state_[0]) > 1.0;
+  result.truncated = !result.terminated && params_.max_episode_steps != 0 &&
+                     steps_ >= params_.max_episode_steps;
+  result.reward = result.terminated ? 0.0 : -1.0;
+  episode_over_ = result.done();
+  return result;
+}
+
+}  // namespace oselm::env

@@ -1,0 +1,69 @@
+// Acrobot-v1 (Gym-compatible): two-link underactuated pendulum with RK4
+// integration of the book (Sutton & Barto / NIPS) dynamics. Included as a
+// second continuous-observation benchmark for the extension experiments.
+#pragma once
+
+#include <array>
+
+#include "env/environment.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::env {
+
+struct AcrobotParams {
+  double link_length_1 = 1.0;
+  double link_mass_1 = 1.0;
+  double link_mass_2 = 1.0;
+  double link_com_1 = 0.5;   ///< center-of-mass position on link 1
+  double link_com_2 = 0.5;
+  double link_moi = 1.0;     ///< moment of inertia per link
+  double max_vel_1 = 4.0 * 3.14159265358979323846;
+  double max_vel_2 = 9.0 * 3.14159265358979323846;
+  double dt = 0.2;
+  std::size_t max_episode_steps = 500;
+};
+
+/// Observation is the Gym 6-vector
+/// [cos th1, sin th1, cos th2, sin th2, th1_dot, th2_dot].
+class Acrobot final : public Environment {
+ public:
+  explicit Acrobot(AcrobotParams params = {}, std::uint64_t seed_value = 2020);
+
+  Observation reset() override;
+  StepResult step(std::size_t action) override;
+  void seed(std::uint64_t seed_value) override;
+
+  [[nodiscard]] const BoxSpace& observation_space() const override {
+    return observation_space_;
+  }
+  [[nodiscard]] const DiscreteSpace& action_space() const override {
+    return action_space_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "Acrobot-v1";
+  }
+  [[nodiscard]] std::size_t max_episode_steps() const override {
+    return params_.max_episode_steps;
+  }
+
+  /// Internal state [theta1, theta2, theta1_dot, theta2_dot].
+  [[nodiscard]] const std::array<double, 4>& internal_state() const noexcept {
+    return state_;
+  }
+  void set_internal_state(const std::array<double, 4>& state);
+
+ private:
+  [[nodiscard]] Observation observe() const;
+  [[nodiscard]] std::array<double, 4> dynamics(
+      const std::array<double, 4>& s, double torque) const;
+
+  AcrobotParams params_;
+  BoxSpace observation_space_;
+  DiscreteSpace action_space_{3};  // torque -1 / 0 / +1
+  util::Rng rng_;
+  std::array<double, 4> state_{};
+  std::size_t steps_ = 0;
+  bool episode_over_ = true;
+};
+
+}  // namespace oselm::env

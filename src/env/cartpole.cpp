@@ -1,0 +1,93 @@
+#include "env/cartpole.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace oselm::env {
+
+CartPole::CartPole(CartPoleParams params, std::uint64_t seed_value)
+    : params_(params), rng_(seed_value) {
+  // Gym publishes bounds at 2x the failure thresholds for the bounded axes
+  // and +-inf for the velocities (Table 2 of the paper).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  observation_space_.low = {-2.0 * params_.x_threshold, -kInf,
+                            -2.0 * params_.theta_threshold, -kInf};
+  observation_space_.high = {2.0 * params_.x_threshold, kInf,
+                             2.0 * params_.theta_threshold, kInf};
+}
+
+Observation CartPole::reset() {
+  for (auto& v : state_) {
+    v = rng_.uniform(-params_.reset_bound, params_.reset_bound);
+  }
+  steps_ = 0;
+  episode_over_ = false;
+  return state_;
+}
+
+void CartPole::seed(std::uint64_t seed_value) { rng_ = util::Rng(seed_value); }
+
+void CartPole::set_state(const Observation& state) {
+  if (state.size() != 4) {
+    throw std::invalid_argument("CartPole::set_state: expected 4 values");
+  }
+  state_ = state;
+  episode_over_ = false;
+}
+
+StepResult CartPole::step(std::size_t action) {
+  if (episode_over_) {
+    throw std::logic_error("CartPole::step: episode already finished");
+  }
+  if (!action_space_.contains(action)) {
+    throw std::invalid_argument("CartPole::step: invalid action");
+  }
+
+  double x = state_[0];
+  double x_dot = state_[1];
+  double theta = state_[2];
+  double theta_dot = state_[3];
+
+  const double force =
+      action == 1 ? params_.force_magnitude : -params_.force_magnitude;
+  const double cos_theta = std::cos(theta);
+  const double sin_theta = std::sin(theta);
+
+  const double total_mass = params_.cart_mass + params_.pole_mass;
+  const double pole_mass_length =
+      params_.pole_mass * params_.pole_half_length;
+
+  // Barto–Sutton–Anderson dynamics, exactly as in Gym's cartpole.py.
+  const double temp =
+      (force + pole_mass_length * theta_dot * theta_dot * sin_theta) /
+      total_mass;
+  const double theta_acc =
+      (params_.gravity * sin_theta - cos_theta * temp) /
+      (params_.pole_half_length *
+       (4.0 / 3.0 - params_.pole_mass * cos_theta * cos_theta / total_mass));
+  const double x_acc =
+      temp - pole_mass_length * theta_acc * cos_theta / total_mass;
+
+  // Explicit Euler in Gym's update order (kinematics use old derivatives).
+  x += params_.tau * x_dot;
+  x_dot += params_.tau * x_acc;
+  theta += params_.tau * theta_dot;
+  theta_dot += params_.tau * theta_acc;
+
+  state_ = {x, x_dot, theta, theta_dot};
+  ++steps_;
+
+  StepResult result;
+  result.observation = state_;
+  result.terminated = x < -params_.x_threshold || x > params_.x_threshold ||
+                      theta < -params_.theta_threshold ||
+                      theta > params_.theta_threshold;
+  result.truncated = !result.terminated && params_.max_episode_steps != 0 &&
+                     steps_ >= params_.max_episode_steps;
+  result.reward = 1.0;  // Gym pays +1 for every step, including the last
+  episode_over_ = result.done();
+  return result;
+}
+
+}  // namespace oselm::env

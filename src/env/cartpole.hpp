@@ -1,0 +1,77 @@
+// CartPole-v0 — the paper's evaluation task (§4.1, Table 2).
+//
+// Physics, constants, reset distribution and termination thresholds follow
+// the OpenAI Gym `CartPoleEnv` reference implementation exactly (semi-
+// implicit-free Euler with the Barto–Sutton–Anderson pole equations):
+//   gravity 9.8, cart mass 1.0, pole mass 0.1, pole half-length 0.5,
+//   force ±10 N, tau 0.02 s; failure at |x| > 2.4 or |theta| > 12 deg;
+//   v0 truncates episodes at 200 steps; reward +1 per step.
+//
+// Table 2 of the paper lists the observation-space bounds; note the
+// "41.8 deg" row corresponds to Gym's 0.418 rad (~24 deg) bound on theta.
+#pragma once
+
+#include "env/environment.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::env {
+
+struct CartPoleParams {
+  double gravity = 9.8;
+  double cart_mass = 1.0;
+  double pole_mass = 0.1;
+  double pole_half_length = 0.5;
+  double force_magnitude = 10.0;
+  double tau = 0.02;                       ///< integration timestep [s]
+  double x_threshold = 2.4;                ///< |cart position| failure bound
+  double theta_threshold = 12.0 * 2.0 * 3.14159265358979323846 / 360.0;
+  std::size_t max_episode_steps = 200;     ///< v0 cap (use 500 for v1)
+  double reset_bound = 0.05;               ///< uniform(-b, b) initial state
+};
+
+class CartPole final : public Environment {
+ public:
+  explicit CartPole(CartPoleParams params = {},
+                    std::uint64_t seed_value = 2020);
+
+  Observation reset() override;
+  StepResult step(std::size_t action) override;
+  void seed(std::uint64_t seed_value) override;
+
+  [[nodiscard]] const BoxSpace& observation_space() const override {
+    return observation_space_;
+  }
+  [[nodiscard]] const DiscreteSpace& action_space() const override {
+    return action_space_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "CartPole-v0";
+  }
+  [[nodiscard]] std::size_t max_episode_steps() const override {
+    return params_.max_episode_steps;
+  }
+
+  /// Current [x, x_dot, theta, theta_dot] (for tests and rendering).
+  [[nodiscard]] const Observation& state() const noexcept { return state_; }
+
+  /// Sets the physics state directly (tests drive exact trajectories).
+  void set_state(const Observation& state);
+
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return steps_; }
+
+  /// Score threshold for "solved" per the Gym leaderboard: mean return of
+  /// at least 195 over 100 consecutive episodes.
+  static constexpr double kSolvedThreshold = 195.0;
+  static constexpr std::size_t kSolvedWindow = 100;
+
+ private:
+  CartPoleParams params_;
+  BoxSpace observation_space_;
+  DiscreteSpace action_space_{2};
+  util::Rng rng_;
+  Observation state_{0.0, 0.0, 0.0, 0.0};
+  std::size_t steps_ = 0;
+  bool episode_over_ = true;
+};
+
+}  // namespace oselm::env

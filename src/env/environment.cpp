@@ -1,0 +1,3 @@
+#include "env/environment.hpp"
+
+// Interface-only translation unit; anchors the vtable.

@@ -1,0 +1,52 @@
+// Abstract episodic environment with a discrete action space — a minimal
+// OpenAI Gym clone sufficient for the paper's experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "env/space.hpp"
+
+namespace oselm::env {
+
+using Observation = std::vector<double>;
+
+/// Result of one environment step, following the Gymnasium convention of
+/// separating physics termination from time-limit truncation. Algorithm 1
+/// observes a single flag d_t; callers combine the two (`done()`).
+struct StepResult {
+  Observation observation;
+  double reward = 0.0;
+  bool terminated = false;  ///< reached a terminal physics state
+  bool truncated = false;   ///< hit the episode step cap
+
+  [[nodiscard]] bool done() const noexcept { return terminated || truncated; }
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Starts a new episode and returns the initial observation.
+  virtual Observation reset() = 0;
+
+  /// Advances one step. Calling step() on a finished episode is an error
+  /// (implementations throw std::logic_error).
+  virtual StepResult step(std::size_t action) = 0;
+
+  /// Reseeds the environment's internal randomness.
+  virtual void seed(std::uint64_t seed_value) = 0;
+
+  [[nodiscard]] virtual const BoxSpace& observation_space() const = 0;
+  [[nodiscard]] virtual const DiscreteSpace& action_space() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Episode step cap (0 = uncapped).
+  [[nodiscard]] virtual std::size_t max_episode_steps() const = 0;
+};
+
+using EnvironmentPtr = std::unique_ptr<Environment>;
+
+}  // namespace oselm::env

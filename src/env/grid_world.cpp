@@ -1,0 +1,125 @@
+#include "env/grid_world.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace oselm::env {
+
+GridWorld::GridWorld(GridWorldParams params, std::uint64_t seed_value)
+    : params_(params) {
+  (void)seed_value;  // deterministic environment; kept for interface parity
+  const std::size_t cells = params_.width * params_.height;
+  if (params_.start_cell >= cells || params_.goal_cell >= cells) {
+    throw std::invalid_argument("GridWorld: start/goal outside the grid");
+  }
+  for (const std::size_t pit : params_.pit_cells) {
+    if (pit >= cells) throw std::invalid_argument("GridWorld: pit outside");
+  }
+  observation_space_.low = {0.0, 0.0};
+  observation_space_.high = {1.0, 1.0};
+}
+
+Observation GridWorld::observe() const {
+  const std::size_t x = cell_ % params_.width;
+  const std::size_t y = cell_ / params_.width;
+  const double wx = params_.width > 1
+                        ? static_cast<double>(x) /
+                              static_cast<double>(params_.width - 1)
+                        : 0.0;
+  const double wy = params_.height > 1
+                        ? static_cast<double>(y) /
+                              static_cast<double>(params_.height - 1)
+                        : 0.0;
+  return {wx, wy};
+}
+
+Observation GridWorld::reset() {
+  cell_ = params_.start_cell;
+  steps_ = 0;
+  episode_over_ = false;
+  return observe();
+}
+
+void GridWorld::seed(std::uint64_t /*seed_value*/) {}
+
+StepResult GridWorld::step(std::size_t action) {
+  if (episode_over_) {
+    throw std::logic_error("GridWorld::step: episode already finished");
+  }
+  if (!action_space_.contains(action)) {
+    throw std::invalid_argument("GridWorld::step: invalid action");
+  }
+
+  const std::size_t x = cell_ % params_.width;
+  const std::size_t y = cell_ / params_.width;
+  std::size_t nx = x;
+  std::size_t ny = y;
+  switch (action) {
+    case 0:  // up
+      if (y > 0) ny = y - 1;
+      break;
+    case 1:  // right
+      if (x + 1 < params_.width) nx = x + 1;
+      break;
+    case 2:  // down
+      if (y + 1 < params_.height) ny = y + 1;
+      break;
+    case 3:  // left
+      if (x > 0) nx = x - 1;
+      break;
+    default:
+      break;
+  }
+  cell_ = ny * params_.width + nx;
+  ++steps_;
+
+  StepResult result;
+  result.observation = observe();
+  if (cell_ == params_.goal_cell) {
+    result.terminated = true;
+    result.reward = params_.goal_reward;
+  } else if (std::find(params_.pit_cells.begin(), params_.pit_cells.end(),
+                       cell_) != params_.pit_cells.end()) {
+    result.terminated = true;
+    result.reward = params_.pit_reward;
+  } else {
+    result.reward = params_.step_reward;
+    result.truncated = params_.max_episode_steps != 0 &&
+                       steps_ >= params_.max_episode_steps;
+  }
+  episode_over_ = result.done();
+  return result;
+}
+
+std::size_t GridWorld::shortest_path_length() const {
+  const std::size_t cells = params_.width * params_.height;
+  constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(cells, kUnvisited);
+  std::deque<std::size_t> frontier{params_.start_cell};
+  dist[params_.start_cell] = 0;
+  while (!frontier.empty()) {
+    const std::size_t cell = frontier.front();
+    frontier.pop_front();
+    if (cell == params_.goal_cell) return dist[cell];
+    const std::size_t x = cell % params_.width;
+    const std::size_t y = cell / params_.width;
+    const auto try_move = [&](std::size_t nx2, std::size_t ny2) {
+      const std::size_t next = ny2 * params_.width + nx2;
+      const bool pit = std::find(params_.pit_cells.begin(),
+                                 params_.pit_cells.end(),
+                                 next) != params_.pit_cells.end();
+      if (pit || dist[next] != kUnvisited) return;
+      dist[next] = dist[cell] + 1;
+      frontier.push_back(next);
+    };
+    if (y > 0) try_move(x, y - 1);
+    if (x + 1 < params_.width) try_move(x + 1, y);
+    if (y + 1 < params_.height) try_move(x, y + 1);
+    if (x > 0) try_move(x - 1, y);
+  }
+  return kUnvisited;
+}
+
+}  // namespace oselm::env

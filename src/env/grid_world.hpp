@@ -1,0 +1,67 @@
+// Deterministic grid world with a goal cell and pit cells. Small enough to
+// verify learned policies analytically, which makes it the workhorse of the
+// RL integration tests and the tabular-vs-OS-ELM example.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::env {
+
+struct GridWorldParams {
+  std::size_t width = 4;
+  std::size_t height = 4;
+  std::size_t start_cell = 0;                 ///< row-major index
+  std::size_t goal_cell = 15;
+  std::vector<std::size_t> pit_cells = {5, 7};
+  double step_reward = -0.02;
+  double goal_reward = 1.0;
+  double pit_reward = -1.0;
+  std::size_t max_episode_steps = 100;
+};
+
+/// Actions: 0=up, 1=right, 2=down, 3=left. Moves off the edge are no-ops.
+/// Observation: normalized (x, y) in [0,1]^2.
+class GridWorld final : public Environment {
+ public:
+  explicit GridWorld(GridWorldParams params = {},
+                     std::uint64_t seed_value = 2020);
+
+  Observation reset() override;
+  StepResult step(std::size_t action) override;
+  void seed(std::uint64_t seed_value) override;
+
+  [[nodiscard]] const BoxSpace& observation_space() const override {
+    return observation_space_;
+  }
+  [[nodiscard]] const DiscreteSpace& action_space() const override {
+    return action_space_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "GridWorld"; }
+  [[nodiscard]] std::size_t max_episode_steps() const override {
+    return params_.max_episode_steps;
+  }
+
+  [[nodiscard]] std::size_t current_cell() const noexcept { return cell_; }
+  [[nodiscard]] const GridWorldParams& params() const noexcept {
+    return params_;
+  }
+  /// Shortest path length start -> goal avoiding pits (BFS); used by tests
+  /// to check that a learned greedy policy is optimal.
+  [[nodiscard]] std::size_t shortest_path_length() const;
+
+ private:
+  [[nodiscard]] Observation observe() const;
+
+  GridWorldParams params_;
+  BoxSpace observation_space_;
+  DiscreteSpace action_space_{4};
+  std::size_t cell_ = 0;
+  std::size_t steps_ = 0;
+  bool episode_over_ = true;
+};
+
+}  // namespace oselm::env

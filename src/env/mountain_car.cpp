@@ -1,0 +1,66 @@
+#include "env/mountain_car.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oselm::env {
+
+MountainCar::MountainCar(MountainCarParams params, std::uint64_t seed_value)
+    : params_(params), rng_(seed_value) {
+  observation_space_.low = {params_.min_position, -params_.max_speed};
+  observation_space_.high = {params_.max_position, params_.max_speed};
+}
+
+Observation MountainCar::reset() {
+  state_ = {rng_.uniform(-0.6, -0.4), 0.0};
+  steps_ = 0;
+  episode_over_ = false;
+  return state_;
+}
+
+void MountainCar::seed(std::uint64_t seed_value) {
+  rng_ = util::Rng(seed_value);
+}
+
+void MountainCar::set_state(const Observation& state) {
+  if (state.size() != 2) {
+    throw std::invalid_argument("MountainCar::set_state: expected 2 values");
+  }
+  state_ = state;
+  episode_over_ = false;
+}
+
+StepResult MountainCar::step(std::size_t action) {
+  if (episode_over_) {
+    throw std::logic_error("MountainCar::step: episode already finished");
+  }
+  if (!action_space_.contains(action)) {
+    throw std::invalid_argument("MountainCar::step: invalid action");
+  }
+
+  double position = state_[0];
+  double velocity = state_[1];
+
+  velocity += (static_cast<double>(action) - 1.0) * params_.force +
+              std::cos(3.0 * position) * (-params_.gravity);
+  velocity = std::clamp(velocity, -params_.max_speed, params_.max_speed);
+  position += velocity;
+  position =
+      std::clamp(position, params_.min_position, params_.max_position);
+  if (position <= params_.min_position && velocity < 0.0) velocity = 0.0;
+
+  state_ = {position, velocity};
+  ++steps_;
+
+  StepResult result;
+  result.observation = state_;
+  result.terminated = position >= params_.goal_position;
+  result.truncated = !result.terminated && params_.max_episode_steps != 0 &&
+                     steps_ >= params_.max_episode_steps;
+  result.reward = -1.0;  // Gym pays -1 per step until the goal
+  episode_over_ = result.done();
+  return result;
+}
+
+}  // namespace oselm::env

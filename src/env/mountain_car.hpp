@@ -1,0 +1,56 @@
+// MountainCar-v0 (Gym-compatible). Used by the extension experiments the
+// paper lists as future work ("apply the proposed FPGA-based design to
+// solve some other reinforcement tasks", §5).
+#pragma once
+
+#include "env/environment.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::env {
+
+struct MountainCarParams {
+  double min_position = -1.2;
+  double max_position = 0.6;
+  double max_speed = 0.07;
+  double goal_position = 0.5;
+  double force = 0.001;
+  double gravity = 0.0025;
+  std::size_t max_episode_steps = 200;
+};
+
+class MountainCar final : public Environment {
+ public:
+  explicit MountainCar(MountainCarParams params = {},
+                       std::uint64_t seed_value = 2020);
+
+  Observation reset() override;
+  StepResult step(std::size_t action) override;
+  void seed(std::uint64_t seed_value) override;
+
+  [[nodiscard]] const BoxSpace& observation_space() const override {
+    return observation_space_;
+  }
+  [[nodiscard]] const DiscreteSpace& action_space() const override {
+    return action_space_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "MountainCar-v0";
+  }
+  [[nodiscard]] std::size_t max_episode_steps() const override {
+    return params_.max_episode_steps;
+  }
+
+  [[nodiscard]] const Observation& state() const noexcept { return state_; }
+  void set_state(const Observation& state);
+
+ private:
+  MountainCarParams params_;
+  BoxSpace observation_space_;
+  DiscreteSpace action_space_{3};  // push left / no-op / push right
+  util::Rng rng_;
+  Observation state_{0.0, 0.0};
+  std::size_t steps_ = 0;
+  bool episode_over_ = true;
+};
+
+}  // namespace oselm::env

@@ -1,0 +1,47 @@
+#include "env/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "env/acrobot.hpp"
+#include "env/cartpole.hpp"
+#include "env/grid_world.hpp"
+#include "env/mountain_car.hpp"
+#include "env/shaping.hpp"
+
+namespace oselm::env {
+
+EnvironmentPtr make_environment(const std::string& id,
+                                std::uint64_t seed_value) {
+  if (id == "CartPole-v0") {
+    return std::make_unique<CartPole>(CartPoleParams{}, seed_value);
+  }
+  if (id == "ShapedCartPole-v0") return make_shaped_cartpole(seed_value);
+  if (id == "ShapedMountainCar-v0") {
+    return std::make_unique<GoalShaping>(
+        std::make_unique<MountainCar>(MountainCarParams{}, seed_value));
+  }
+  if (id == "ShapedAcrobot-v1") {
+    return std::make_unique<GoalShaping>(
+        std::make_unique<Acrobot>(AcrobotParams{}, seed_value));
+  }
+  if (id == "MountainCar-v0") {
+    return std::make_unique<MountainCar>(MountainCarParams{}, seed_value);
+  }
+  if (id == "Acrobot-v1") {
+    return std::make_unique<Acrobot>(AcrobotParams{}, seed_value);
+  }
+  if (id == "GridWorld") {
+    return std::make_unique<GridWorld>(GridWorldParams{}, seed_value);
+  }
+  throw std::invalid_argument("make_environment: unknown id '" + id + "'");
+}
+
+std::vector<std::string> registered_environments() {
+  return {"CartPole-v0",        "ShapedCartPole-v0",
+          "MountainCar-v0",     "ShapedMountainCar-v0",
+          "Acrobot-v1",         "ShapedAcrobot-v1",
+          "GridWorld"};
+}
+
+}  // namespace oselm::env

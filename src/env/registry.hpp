@@ -1,0 +1,21 @@
+// Environment factory keyed by Gym-style id strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "env/environment.hpp"
+
+namespace oselm::env {
+
+/// Creates an environment by id. Known ids: "CartPole-v0",
+/// "ShapedCartPole-v0", "MountainCar-v0", "ShapedMountainCar-v0",
+/// "Acrobot-v1", "ShapedAcrobot-v1", "GridWorld".
+/// Throws std::invalid_argument for unknown ids.
+EnvironmentPtr make_environment(const std::string& id,
+                                std::uint64_t seed_value = 2020);
+
+/// All ids make_environment accepts.
+std::vector<std::string> registered_environments();
+
+}  // namespace oselm::env

@@ -1,0 +1,53 @@
+#include "env/shaping.hpp"
+
+#include <stdexcept>
+
+#include "env/cartpole.hpp"
+
+namespace oselm::env {
+
+SurvivalShaping::SurvivalShaping(EnvironmentPtr inner,
+                                 SurvivalShapingParams params)
+    : inner_(std::move(inner)), params_(params) {
+  if (!inner_) {
+    throw std::invalid_argument("SurvivalShaping: null environment");
+  }
+}
+
+StepResult SurvivalShaping::step(std::size_t action) {
+  StepResult result = inner_->step(action);
+  if (result.terminated) {
+    result.reward = params_.failure_reward;
+  } else if (result.truncated) {
+    result.reward = params_.success_reward;
+  } else {
+    result.reward = params_.step_reward;
+  }
+  return result;
+}
+
+EnvironmentPtr make_shaped_cartpole(std::uint64_t seed_value) {
+  return std::make_unique<SurvivalShaping>(
+      std::make_unique<CartPole>(CartPoleParams{}, seed_value));
+}
+
+GoalShaping::GoalShaping(EnvironmentPtr inner, GoalShapingParams params)
+    : inner_(std::move(inner)), params_(params) {
+  if (!inner_) {
+    throw std::invalid_argument("GoalShaping: null environment");
+  }
+}
+
+StepResult GoalShaping::step(std::size_t action) {
+  StepResult result = inner_->step(action);
+  if (result.terminated) {
+    result.reward = params_.goal_reward;
+  } else if (result.truncated) {
+    result.reward = params_.timeout_reward;
+  } else {
+    result.reward = params_.step_reward;
+  }
+  return result;
+}
+
+}  // namespace oselm::env

@@ -1,0 +1,94 @@
+// Reward shaping wrapper implementing the paper's [-1, 1] reward scheme.
+//
+// §3.1 assumes "the maximum reward given by the environment is 1 and the
+// minimum reward is -1" and clips TD targets into that range. Raw
+// CartPole-v0 pays +1 per step, which would pin every clipped target at 1;
+// the established shaping in this paper lineage instead pays
+//     0    for every surviving step,
+//    +1    when the episode reaches the step cap (success), and
+//    -1    when the pole falls early (failure).
+// SurvivalShaping applies exactly that transformation to any wrapped
+// environment while passing raw step counts through for curve reporting.
+#pragma once
+
+#include <memory>
+
+#include "env/environment.hpp"
+
+namespace oselm::env {
+
+struct SurvivalShapingParams {
+  double step_reward = 0.0;
+  double success_reward = 1.0;  ///< paid when the episode is truncated (cap)
+  double failure_reward = -1.0; ///< paid on premature termination
+};
+
+class SurvivalShaping final : public Environment {
+ public:
+  SurvivalShaping(EnvironmentPtr inner, SurvivalShapingParams params = {});
+
+  Observation reset() override { return inner_->reset(); }
+  StepResult step(std::size_t action) override;
+  void seed(std::uint64_t seed_value) override { inner_->seed(seed_value); }
+
+  [[nodiscard]] const BoxSpace& observation_space() const override {
+    return inner_->observation_space();
+  }
+  [[nodiscard]] const DiscreteSpace& action_space() const override {
+    return inner_->action_space();
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+  [[nodiscard]] std::size_t max_episode_steps() const override {
+    return inner_->max_episode_steps();
+  }
+
+  [[nodiscard]] Environment& inner() noexcept { return *inner_; }
+
+ private:
+  EnvironmentPtr inner_;
+  SurvivalShapingParams params_;
+};
+
+/// Convenience: shaped CartPole-v0 exactly as the experiments use it.
+EnvironmentPtr make_shaped_cartpole(std::uint64_t seed_value);
+
+/// Goal-reaching shaping — the dual of SurvivalShaping for tasks where
+/// terminating EARLY is the objective (MountainCar, Acrobot): +1 when the
+/// episode terminates at the goal, -1 when the step cap truncates it,
+/// `step_reward` otherwise. Keeps rewards inside the paper's [-1, 1]
+/// clipping range for the future-work tasks (§5).
+struct GoalShapingParams {
+  double step_reward = 0.0;
+  double goal_reward = 1.0;     ///< paid on termination (goal reached)
+  double timeout_reward = -1.0; ///< paid on truncation (ran out of time)
+};
+
+class GoalShaping final : public Environment {
+ public:
+  GoalShaping(EnvironmentPtr inner, GoalShapingParams params = {});
+
+  Observation reset() override { return inner_->reset(); }
+  StepResult step(std::size_t action) override;
+  void seed(std::uint64_t seed_value) override { inner_->seed(seed_value); }
+
+  [[nodiscard]] const BoxSpace& observation_space() const override {
+    return inner_->observation_space();
+  }
+  [[nodiscard]] const DiscreteSpace& action_space() const override {
+    return inner_->action_space();
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+  [[nodiscard]] std::size_t max_episode_steps() const override {
+    return inner_->max_episode_steps();
+  }
+
+ private:
+  EnvironmentPtr inner_;
+  GoalShapingParams params_;
+};
+
+}  // namespace oselm::env

@@ -1,0 +1,13 @@
+#include "env/space.hpp"
+
+namespace oselm::env {
+
+bool BoxSpace::contains(const std::vector<double>& point) const noexcept {
+  if (point.size() != low.size()) return false;
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    if (point[i] < low[i] || point[i] > high[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace oselm::env

@@ -1,0 +1,31 @@
+// Observation/action space descriptions mirroring OpenAI Gym's Box and
+// Discrete spaces (only what the reproduced experiments need).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oselm::env {
+
+/// Axis-aligned box of real observations; infinities model unbounded axes
+/// (Table 2: cart velocity and pole tip velocity are unbounded).
+struct BoxSpace {
+  std::vector<double> low;
+  std::vector<double> high;
+
+  [[nodiscard]] std::size_t dimensions() const noexcept { return low.size(); }
+
+  /// True when `point` lies inside (or on the boundary of) the box.
+  [[nodiscard]] bool contains(const std::vector<double>& point) const noexcept;
+};
+
+/// Finite action set {0, 1, ..., n-1}.
+struct DiscreteSpace {
+  std::size_t n = 0;
+
+  [[nodiscard]] bool contains(std::size_t action) const noexcept {
+    return action < n;
+  }
+};
+
+}  // namespace oselm::env

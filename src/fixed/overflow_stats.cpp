@@ -1,0 +1,10 @@
+#include "fixed/overflow_stats.hpp"
+
+namespace oselm::fixed {
+
+OverflowStats& overflow_stats() noexcept {
+  thread_local OverflowStats stats;
+  return stats;
+}
+
+}  // namespace oselm::fixed

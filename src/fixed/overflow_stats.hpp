@@ -1,0 +1,30 @@
+// Saturation accounting for fixed-point arithmetic.
+//
+// The FPGA functional model uses saturating Q-format arithmetic; counting
+// saturation events is how the fidelity experiments (bench_ablation_
+// fixed_point) diagnose where the Q12.20 format loses information.
+#pragma once
+
+#include <cstdint>
+
+namespace oselm::fixed {
+
+struct OverflowStats {
+  std::uint64_t add_saturations = 0;
+  std::uint64_t mul_saturations = 0;
+  std::uint64_t div_saturations = 0;
+  std::uint64_t div_by_zero = 0;
+  std::uint64_t conversion_saturations = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return add_saturations + mul_saturations + div_saturations + div_by_zero +
+           conversion_saturations;
+  }
+
+  void reset() noexcept { *this = OverflowStats{}; }
+};
+
+/// Thread-local saturation counters (each worker thread observes its own).
+OverflowStats& overflow_stats() noexcept;
+
+}  // namespace oselm::fixed

@@ -1,0 +1,40 @@
+#include "hw/cycle_model.hpp"
+
+#include <stdexcept>
+
+namespace oselm::hw {
+
+CycleModel::CycleModel(std::size_t hidden_units, std::size_t input_dim,
+                       CycleModelParams params, BoardClocks clocks)
+    : n_hidden_(hidden_units),
+      n_input_(input_dim),
+      params_(params),
+      clocks_(clocks) {
+  if (hidden_units == 0 || input_dim == 0) {
+    throw std::invalid_argument("CycleModel: zero dimension");
+  }
+  if (clocks_.pl_hz <= 0.0) {
+    throw std::invalid_argument("CycleModel: non-positive PL clock");
+  }
+}
+
+std::size_t CycleModel::predict_cycles() const noexcept {
+  return n_hidden_ * (n_input_ + 3) + params_.pipeline_overhead;
+}
+
+std::size_t CycleModel::seq_train_cycles() const noexcept {
+  return 2 * n_hidden_ * n_hidden_ + n_hidden_ * (n_input_ + 6) +
+         params_.divider_latency + params_.pipeline_overhead;
+}
+
+double CycleModel::predict_seconds() const noexcept {
+  return static_cast<double>(predict_cycles() + params_.axi_overhead) /
+         clocks_.pl_hz;
+}
+
+double CycleModel::seq_train_seconds() const noexcept {
+  return static_cast<double>(seq_train_cycles() + params_.axi_overhead) /
+         clocks_.pl_hz;
+}
+
+}  // namespace oselm::hw

@@ -1,0 +1,64 @@
+// Cycle-level timing model of the predict and seq_train modules.
+//
+// The core has a single pipelined multiply-accumulate path (one MAC retired
+// per cycle once full), one adder and one divider (§4.2: "only a single
+// add, mult, and div unit"). Cycle counts follow the dataflow:
+//
+//   predict  (h = G(x·alpha + b); y = h·beta):
+//     N*(n MACs + bias add + activation) + N output MACs + pipeline/control
+//     = N*(n+3) + C_pipe
+//
+//   seq_train (rank-1 Eq. 6 update, k = 1):
+//     hidden            N*(n+2)
+//     u = P h^T         N^2 MACs
+//     s = 1 + h·u       N MACs + 1
+//     1/s               C_div (pipelined 32-bit divider)
+//     u' = u / s        N
+//     P -= u' u^T       N^2 MACs
+//     e = (t - h·beta)/s  N MACs + 2
+//     beta += e * u     N MACs
+//     = 2N^2 + N*(n+6) + C_div + C_pipe
+//
+// The identity P_new h^T = u / s removes the second N^2 product the naive
+// formula would need (see seq_train_one in elm/os_elm.cpp).
+//
+// Each invocation additionally pays an AXI handshake/transfer overhead on
+// the host side (state in / Q-value out are a handful of 32-bit words).
+#pragma once
+
+#include <cstddef>
+
+#include "hw/zynq.hpp"
+
+namespace oselm::hw {
+
+struct CycleModelParams {
+  std::size_t pipeline_overhead = 64;  ///< fill/drain + FSM per call
+  std::size_t divider_latency = 32;    ///< 32-bit fixed-point divide
+  std::size_t axi_overhead = 100;      ///< per-call host handshake cycles
+};
+
+class CycleModel {
+ public:
+  CycleModel(std::size_t hidden_units, std::size_t input_dim,
+             CycleModelParams params = {}, BoardClocks clocks = {});
+
+  [[nodiscard]] std::size_t predict_cycles() const noexcept;
+  [[nodiscard]] std::size_t seq_train_cycles() const noexcept;
+
+  /// Seconds of modeled PL time for one call, AXI overhead included.
+  [[nodiscard]] double predict_seconds() const noexcept;
+  [[nodiscard]] double seq_train_seconds() const noexcept;
+
+  [[nodiscard]] std::size_t hidden_units() const noexcept { return n_hidden_; }
+  [[nodiscard]] std::size_t input_dim() const noexcept { return n_input_; }
+  [[nodiscard]] const BoardClocks& clocks() const noexcept { return clocks_; }
+
+ private:
+  std::size_t n_hidden_;
+  std::size_t n_input_;
+  CycleModelParams params_;
+  BoardClocks clocks_;
+};
+
+}  // namespace oselm::hw

@@ -1,0 +1,33 @@
+#include "hw/fixed_tensor.hpp"
+
+namespace oselm::hw {
+
+FixedVec quantize(const linalg::VecD& v) {
+  FixedVec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = Q::from_double(v[i]);
+  return out;
+}
+
+FixedMat quantize(const linalg::MatD& m) {
+  FixedMat out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = Q::from_double(m.data()[i]);
+  }
+  return out;
+}
+
+linalg::VecD dequantize(const FixedVec& v) {
+  linalg::VecD out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i].to_double();
+  return out;
+}
+
+linalg::MatD dequantize(const FixedMat& m) {
+  linalg::MatD out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = m.data()[i].to_double();
+  }
+  return out;
+}
+
+}  // namespace oselm::hw

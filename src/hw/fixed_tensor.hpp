@@ -1,0 +1,33 @@
+// Fixed-point vector/matrix helpers for the FPGA functional model —
+// thin row-major containers of Q20 words mirroring the on-chip BRAM
+// layout, with conversions to and from the double-precision host side.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fixed/fixed_point.hpp"
+#include "linalg/matrix.hpp"
+
+namespace oselm::hw {
+
+using Q = fixed::Q20;
+using FixedVec = std::vector<Q>;
+
+/// Row-major fixed-point matrix (reuses the linalg container).
+using FixedMat = linalg::Matrix<Q>;
+
+/// Quantizes a double vector/matrix into Q20 (round-to-nearest, saturate).
+FixedVec quantize(const linalg::VecD& v);
+FixedMat quantize(const linalg::MatD& m);
+
+/// Converts back to double (exact: Q20 values are dyadic rationals).
+linalg::VecD dequantize(const FixedVec& v);
+linalg::MatD dequantize(const FixedMat& m);
+
+/// Worst-case absolute quantization error of one round trip: half an ulp.
+inline constexpr double quantization_half_ulp() noexcept {
+  return 0.5 / static_cast<double>(Q::kOne);
+}
+
+}  // namespace oselm::hw

@@ -1,0 +1,197 @@
+#include "hw/fpga_backend.hpp"
+
+#include <stdexcept>
+
+#include "elm/spectral.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/ops.hpp"
+#include "util/timer.hpp"
+
+namespace oselm::hw {
+
+FpgaOsElmBackend::FpgaOsElmBackend(FpgaBackendConfig config,
+                                   std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      cycles_(config.hidden_units, config.input_dim, config.cycle_params,
+              config.clocks) {
+  if (config_.l2_delta < 0.0) {
+    throw std::invalid_argument("FpgaBackendConfig: l2_delta < 0");
+  }
+  initialize();
+}
+
+void FpgaOsElmBackend::initialize() {
+  const std::size_t n = config_.input_dim;
+  const std::size_t units = config_.hidden_units;
+
+  // Host side draws and (optionally) spectral-normalizes alpha in double,
+  // exactly like the software designs; the PL then receives quantized
+  // copies. This mirrors Algorithm 1 lines 1-4 running on the CPU.
+  alpha_host_ = linalg::MatD(n, units);
+  bias_host_ = linalg::VecD(units);
+  rng_.fill_uniform(alpha_host_.storage(), config_.init_low,
+                    config_.init_high);
+  rng_.fill_uniform(bias_host_, config_.init_low, config_.init_high);
+  if (config_.spectral_normalize) {
+    elm::spectral_normalize_inplace(alpha_host_, elm::SigmaMethod::kSvd,
+                                    rng_);
+  }
+
+  linalg::MatD beta_host(units, 1);
+  rng_.fill_uniform(beta_host.storage(), config_.init_low, config_.init_high);
+
+  alpha_ = quantize(alpha_host_);
+  bias_ = quantize(bias_host_);
+  beta_ = quantize(beta_host);
+  beta_target_ = beta_;
+  p_ = FixedMat(units, units);
+
+  x_scratch_.assign(n, Q::zero());
+  h_scratch_.assign(units, Q::zero());
+  u_scratch_.assign(units, Q::zero());
+
+  initialized_ = false;
+  total_pl_cycles_ = 0;
+  predict_calls_ = 0;
+  seq_train_calls_ = 0;
+}
+
+void FpgaOsElmBackend::hidden_fixed(const FixedVec& x) {
+  const std::size_t n = config_.input_dim;
+  const std::size_t units = config_.hidden_units;
+  // One MAC unit: accumulate column-by-column like the on-chip dataflow.
+  for (std::size_t j = 0; j < units; ++j) {
+    Q acc = bias_[j];
+    for (std::size_t i = 0; i < n; ++i) acc += x[i] * alpha_(i, j);
+    h_scratch_[j] = fixed::relu(acc);
+  }
+}
+
+Q FpgaOsElmBackend::output_fixed(const FixedMat& beta) const {
+  Q acc = Q::zero();
+  for (std::size_t j = 0; j < h_scratch_.size(); ++j) {
+    acc += h_scratch_[j] * beta(j, 0);
+  }
+  return acc;
+}
+
+double FpgaOsElmBackend::predict_main(const linalg::VecD& sa,
+                                      double& q_out) {
+  if (sa.size() != config_.input_dim) {
+    throw std::invalid_argument("FpgaOsElmBackend::predict_main: width");
+  }
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    x_scratch_[i] = Q::from_double(sa[i]);
+  }
+  hidden_fixed(x_scratch_);
+  q_out = output_fixed(beta_).to_double();
+  ++predict_calls_;
+  total_pl_cycles_ += cycles_.predict_cycles();
+  return cycles_.predict_seconds();
+}
+
+double FpgaOsElmBackend::predict_target(const linalg::VecD& sa,
+                                        double& q_out) {
+  if (sa.size() != config_.input_dim) {
+    throw std::invalid_argument("FpgaOsElmBackend::predict_target: width");
+  }
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    x_scratch_[i] = Q::from_double(sa[i]);
+  }
+  hidden_fixed(x_scratch_);
+  q_out = output_fixed(beta_target_).to_double();
+  ++predict_calls_;
+  total_pl_cycles_ += cycles_.predict_cycles();
+  return cycles_.predict_seconds();
+}
+
+double FpgaOsElmBackend::init_train(const linalg::MatD& x,
+                                    const linalg::MatD& t) {
+  util::WallTimer timer;  // init_train runs on the CPU part (Fig. 3)
+  if (x.cols() != config_.input_dim || t.cols() != 1 ||
+      x.rows() != t.rows()) {
+    throw std::invalid_argument("FpgaOsElmBackend::init_train: shape");
+  }
+
+  // H0 = relu(x*alpha + b) in double on the host.
+  linalg::MatD h0 = linalg::matmul(x, alpha_host_);
+  for (std::size_t r = 0; r < h0.rows(); ++r) {
+    double* row = h0.row_ptr(r);
+    for (std::size_t c = 0; c < h0.cols(); ++c) {
+      row[c] = std::max(0.0, row[c] + bias_host_[c]);
+    }
+  }
+
+  // Eq. 8: P0 = (H0^T H0 + delta I)^-1, beta0 = P0 H0^T t0.
+  linalg::MatD gram = linalg::matmul_at_b(h0, h0);
+  double ridge = config_.l2_delta;
+  if (ridge <= 0.0) ridge = 1e-6;  // the fixed-point core needs bounded P
+  linalg::add_diagonal_inplace(gram, ridge);
+  const linalg::MatD p0 = linalg::inverse_spd(gram);
+  const linalg::MatD beta0 =
+      linalg::matmul(p0, linalg::matmul_at_b(h0, t));
+
+  // CPU writes the results into the PL's BRAMs. theta_2 is NOT synced
+  // here — Algorithm 1 only updates it every UPDATE_STEP episodes
+  // (matching the software backend's behaviour).
+  p_ = quantize(p0);
+  beta_ = quantize(beta0);
+  initialized_ = true;
+  return timer.seconds();
+}
+
+double FpgaOsElmBackend::seq_train(const linalg::VecD& sa, double target) {
+  if (!initialized_) {
+    throw std::logic_error("FpgaOsElmBackend::seq_train: not initialized");
+  }
+  if (sa.size() != config_.input_dim) {
+    throw std::invalid_argument("FpgaOsElmBackend::seq_train: width");
+  }
+  const std::size_t units = config_.hidden_units;
+
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    x_scratch_[i] = Q::from_double(sa[i]);
+  }
+  hidden_fixed(x_scratch_);
+
+  // u = P h^T (single MAC unit, row-major sweep).
+  for (std::size_t i = 0; i < units; ++i) {
+    Q acc = Q::zero();
+    for (std::size_t j = 0; j < units; ++j) {
+      acc += p_(i, j) * h_scratch_[j];
+    }
+    u_scratch_[i] = acc;
+  }
+
+  // s = 1 + h·u; inv = 1/s via the divider unit.
+  Q s = Q::one();
+  for (std::size_t j = 0; j < units; ++j) s += h_scratch_[j] * u_scratch_[j];
+  const Q inv = Q::one() / s;
+
+  // P -= (u * inv) u^T — rank-1 downdate.
+  for (std::size_t i = 0; i < units; ++i) {
+    const Q scaled = u_scratch_[i] * inv;
+    for (std::size_t j = 0; j < units; ++j) {
+      p_(i, j) -= scaled * u_scratch_[j];
+    }
+  }
+
+  // e = (t - h·beta) * inv;  beta += e * u   (P_new h^T == u * inv).
+  Q pred = Q::zero();
+  for (std::size_t j = 0; j < units; ++j) {
+    pred += h_scratch_[j] * beta_(j, 0);
+  }
+  const Q err = (Q::from_double(target) - pred) * inv;
+  for (std::size_t j = 0; j < units; ++j) {
+    beta_(j, 0) += u_scratch_[j] * err;
+  }
+
+  ++seq_train_calls_;
+  total_pl_cycles_ += cycles_.seq_train_cycles();
+  return cycles_.seq_train_seconds();
+}
+
+void FpgaOsElmBackend::sync_target() { beta_target_ = beta_; }
+
+}  // namespace oselm::hw

@@ -1,0 +1,109 @@
+// FPGA functional + timing model of the OS-ELM Q-Network core —
+// design (7) of §4.1.
+//
+// Reproduces the hardware/software split of Fig. 3:
+//   * predict and seq_train run "in programmable logic": bit-faithful
+//     Q20 fixed-point arithmetic (saturating, single-unit dataflow order)
+//     with their cost charged as modeled PL seconds from hw::CycleModel;
+//   * init_train runs "on the CPU": double-precision host math (Eq. 8),
+//     wall-clock timed, with the results quantized into the on-chip
+//     weight/P memories afterwards.
+//
+// Because this class implements rl::OsElmQBackend, the identical
+// Algorithm 1 agent drives both the software designs and this model.
+#pragma once
+
+#include <cstdint>
+
+#include "elm/activation.hpp"
+#include "hw/cycle_model.hpp"
+#include "hw/fixed_tensor.hpp"
+#include "rl/agent.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::hw {
+
+struct FpgaBackendConfig {
+  std::size_t input_dim = 5;      ///< states + action code (CartPole: 5)
+  std::size_t hidden_units = 64;  ///< N-tilde
+  double l2_delta = 0.5;          ///< Eq. 8 delta (paper: 0.5 with Lipschitz)
+  bool spectral_normalize = true; ///< the deployed design is L2-Lipschitz
+  double init_low = -1.0;
+  double init_high = 1.0;
+  CycleModelParams cycle_params;
+  BoardClocks clocks;
+};
+
+class FpgaOsElmBackend final : public rl::OsElmQBackend {
+ public:
+  FpgaOsElmBackend(FpgaBackendConfig config, std::uint64_t seed);
+
+  void initialize() override;
+  double predict_main(const linalg::VecD& sa, double& q_out) override;
+  double predict_target(const linalg::VecD& sa, double& q_out) override;
+  double init_train(const linalg::MatD& x, const linalg::MatD& t) override;
+  double seq_train(const linalg::VecD& sa, double target) override;
+  void sync_target() override;
+
+  [[nodiscard]] bool initialized() const override { return initialized_; }
+  [[nodiscard]] std::size_t input_dim() const override {
+    return config_.input_dim;
+  }
+  [[nodiscard]] std::size_t hidden_units() const override {
+    return config_.hidden_units;
+  }
+
+  /// Introspection for the fidelity tests/benches.
+  [[nodiscard]] const FixedMat& beta_fixed() const noexcept { return beta_; }
+  [[nodiscard]] const FixedMat& p_fixed() const noexcept { return p_; }
+  [[nodiscard]] const linalg::MatD& alpha_host() const noexcept {
+    return alpha_host_;
+  }
+  [[nodiscard]] const linalg::VecD& bias_host() const noexcept {
+    return bias_host_;
+  }
+  [[nodiscard]] const CycleModel& cycle_model() const noexcept {
+    return cycles_;
+  }
+  [[nodiscard]] std::uint64_t total_pl_cycles() const noexcept {
+    return total_pl_cycles_;
+  }
+  [[nodiscard]] std::size_t predict_calls() const noexcept {
+    return predict_calls_;
+  }
+  [[nodiscard]] std::size_t seq_train_calls() const noexcept {
+    return seq_train_calls_;
+  }
+
+ private:
+  /// Fixed-point hidden layer h = relu(x·alpha + b) into `h_scratch_`.
+  void hidden_fixed(const FixedVec& x);
+  /// Fixed-point dot h·beta_column.
+  [[nodiscard]] Q output_fixed(const FixedMat& beta) const;
+
+  FpgaBackendConfig config_;
+  util::Rng rng_;
+  CycleModel cycles_;
+
+  // Host-side (CPU) copies used by init_train and initialization.
+  linalg::MatD alpha_host_;  ///< n x N, spectral-normalized in double
+  linalg::VecD bias_host_;
+
+  // On-chip (BRAM) fixed-point state.
+  FixedMat alpha_;        ///< n x N
+  FixedVec bias_;         ///< N
+  FixedMat beta_;         ///< N x 1 (theta_1)
+  FixedMat beta_target_;  ///< N x 1 (theta_2)
+  FixedMat p_;            ///< N x N
+
+  FixedVec x_scratch_;
+  FixedVec h_scratch_;
+  FixedVec u_scratch_;
+
+  bool initialized_ = false;
+  std::uint64_t total_pl_cycles_ = 0;
+  std::size_t predict_calls_ = 0;
+  std::size_t seq_train_calls_ = 0;
+};
+
+}  // namespace oselm::hw

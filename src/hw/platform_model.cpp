@@ -1,0 +1,70 @@
+#include "hw/platform_model.hpp"
+
+namespace oselm::hw {
+
+double SoftwarePlatformModel::cost(double dispatches, double flops,
+                                   double dispatch_seconds) const {
+  return dispatches * dispatch_seconds + flops / params_.flops_per_second;
+}
+
+double SoftwarePlatformModel::oselm_predict_seconds(
+    std::size_t hidden_units, std::size_t input_dim) const {
+  const double n = static_cast<double>(hidden_units);
+  const double in = static_cast<double>(input_dim);
+  const double flops = 2.0 * in * n + 3.0 * n;  // x*alpha + bias/relu + h*beta
+  return cost(4.0, flops, params_.numpy_dispatch_seconds);
+}
+
+double SoftwarePlatformModel::oselm_seq_train_seconds(
+    std::size_t hidden_units, std::size_t input_dim) const {
+  const double n = static_cast<double>(hidden_units);
+  const double in = static_cast<double>(input_dim);
+  const double flops = 2.0 * in * n + 3.0 * n   // hidden layer
+                       + 2.0 * n * n            // u = P h
+                       + 2.0 * n                // h.u, scale
+                       + 2.0 * n * n            // P -= u u^T / s
+                       + 4.0 * n;               // residual + beta update
+  return cost(11.0, flops, params_.numpy_dispatch_seconds);
+}
+
+double SoftwarePlatformModel::oselm_init_train_seconds(
+    std::size_t hidden_units, std::size_t input_dim,
+    std::size_t samples) const {
+  const double n = static_cast<double>(hidden_units);
+  const double in = static_cast<double>(input_dim);
+  const double s = static_cast<double>(samples);
+  const double flops = 2.0 * s * in * n        // H0
+                       + 2.0 * s * n * n       // H^T H
+                       + (2.0 / 3.0) * n * n * n  // inverse
+                       + 2.0 * s * n + 2.0 * n * n;  // beta0
+  return cost(8.0, flops, params_.numpy_dispatch_seconds);
+}
+
+double SoftwarePlatformModel::dqn_predict_seconds(
+    std::size_t batch, std::size_t input_dim, std::size_t hidden_units,
+    std::size_t output_dim) const {
+  const double k = static_cast<double>(batch);
+  const double flops =
+      k * (2.0 * static_cast<double>(input_dim * hidden_units) +
+           2.0 * static_cast<double>(hidden_units * output_dim) +
+           3.0 * static_cast<double>(hidden_units));
+  return cost(6.0, flops, params_.pytorch_dispatch_seconds);
+}
+
+double SoftwarePlatformModel::dqn_train_seconds(std::size_t batch,
+                                                std::size_t input_dim,
+                                                std::size_t hidden_units,
+                                                std::size_t output_dim) const {
+  const double forward_flops =
+      static_cast<double>(batch) *
+      (2.0 * static_cast<double>(input_dim * hidden_units) +
+       2.0 * static_cast<double>(hidden_units * output_dim) +
+       3.0 * static_cast<double>(hidden_units));
+  const double params =
+      static_cast<double>(input_dim * hidden_units + hidden_units +
+                          hidden_units * output_dim + output_dim);
+  const double flops = 3.0 * forward_flops + 10.0 * params;  // bwd + Adam
+  return cost(30.0, flops, params_.pytorch_dispatch_seconds);
+}
+
+}  // namespace oselm::hw

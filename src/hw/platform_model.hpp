@@ -1,0 +1,80 @@
+// Timing model of the paper's SOFTWARE platform: NumPy / PyTorch running
+// on the PYNQ-Z1's 650 MHz Cortex-A9 (§4.1, §4.3).
+//
+// Why this exists: this reproduction executes the software designs as
+// native C++ on the build host, which is ~10^3 faster per operation than
+// interpreted Python on the board. Absolute Fig. 5 numbers therefore
+// cannot be compared directly. This model converts *operation counts*
+// (which our trainer instruments exactly) into modeled board seconds:
+//
+//     t_op = dispatch_overhead * ops_dispatched + flops / flops_per_sec
+//
+// Per-op dispatch overhead dominates for the tiny matrices involved —
+// the well-known behaviour of NumPy/PyTorch on microcontroller-class
+// CPUs. The two free parameters per framework are calibrated once against
+// the paper's own reported completion times (§4.4) and then held fixed
+// across all designs and sizes; EXPERIMENTS.md reports the residuals.
+#pragma once
+
+#include <cstddef>
+
+namespace oselm::hw {
+
+struct SoftwarePlatformParams {
+  /// Seconds per interpreted tensor-op dispatch (NumPy on 650 MHz A9).
+  double numpy_dispatch_seconds = 60e-6;
+  /// Seconds per PyTorch op dispatch (autograd bookkeeping included).
+  double pytorch_dispatch_seconds = 250e-6;
+  /// Effective double-precision throughput for small matrices on the A9.
+  double flops_per_second = 120.0e6;
+};
+
+/// Converts instrumented op counts into modeled PYNQ-Z1 CPU seconds.
+class SoftwarePlatformModel {
+ public:
+  explicit SoftwarePlatformModel(SoftwarePlatformParams params = {})
+      : params_(params) {}
+
+  /// One OS-ELM prediction: h = G(x alpha + b); y = h beta.
+  /// NumPy ops: matmul, add, maximum, matmul -> 4 dispatches.
+  [[nodiscard]] double oselm_predict_seconds(std::size_t hidden_units,
+                                             std::size_t input_dim) const;
+
+  /// One k=1 sequential update (Eq. 6 with the scalar reciprocal):
+  /// hidden (4 ops) + P h, h u, scale, outer, subtract, residual, axpy
+  /// -> ~11 dispatches; 2 N^2 + O(N n) flops.
+  [[nodiscard]] double oselm_seq_train_seconds(std::size_t hidden_units,
+                                               std::size_t input_dim) const;
+
+  /// Initial training (Eq. 7/8) on `samples` rows: Gram, ridge add,
+  /// inverse, two matmuls -> ~8 dispatches; O(s N^2 + N^3) flops.
+  [[nodiscard]] double oselm_init_train_seconds(std::size_t hidden_units,
+                                                std::size_t input_dim,
+                                                std::size_t samples) const;
+
+  /// DQN forward pass at the given batch (predict_1 / predict_32 bars):
+  /// ~6 PyTorch dispatches; batch * (2 n N + 2 N m) flops.
+  [[nodiscard]] double dqn_predict_seconds(std::size_t batch,
+                                           std::size_t input_dim,
+                                           std::size_t hidden_units,
+                                           std::size_t output_dim) const;
+
+  /// DQN training step (forward + Huber + backward + Adam):
+  /// ~30 PyTorch dispatches; ~3x forward flops + Adam element ops.
+  [[nodiscard]] double dqn_train_seconds(std::size_t batch,
+                                         std::size_t input_dim,
+                                         std::size_t hidden_units,
+                                         std::size_t output_dim) const;
+
+  [[nodiscard]] const SoftwarePlatformParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  [[nodiscard]] double cost(double dispatches, double flops,
+                            double dispatch_seconds) const;
+
+  SoftwarePlatformParams params_;
+};
+
+}  // namespace oselm::hw

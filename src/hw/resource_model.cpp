@@ -1,0 +1,67 @@
+#include "hw/resource_model.hpp"
+
+#include <cmath>
+
+namespace oselm::hw {
+
+namespace {
+
+constexpr double kBramBits = 36.0 * 1024.0;  // one BRAM36 primitive
+constexpr std::size_t kMatrixBanks = 4;
+constexpr std::size_t kMultiplierDsp = 4;  // one 32x32 multiplier
+
+// Least-squares calibration against Table 3 (see header).
+constexpr double kFfIntercept = 1665.0;
+constexpr double kFfSlope = 27.3;
+constexpr double kLutIntercept = 1063.0;
+constexpr double kLutSlope = 24.9;
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t oselm_core_bram36(std::size_t hidden_units) noexcept {
+  const double p_bits = static_cast<double>(hidden_units) *
+                        static_cast<double>(hidden_units) * 32.0;
+  const auto blocks_per_bank =
+      static_cast<std::size_t>(std::ceil(p_bits / kBramBits));
+  return kMatrixBanks * next_pow2(blocks_per_bank);
+}
+
+ResourceEstimate estimate_oselm_core(const FpgaDevice& device,
+                                     std::size_t hidden_units,
+                                     std::size_t word_bits) noexcept {
+  ResourceEstimate e;
+  e.hidden_units = hidden_units;
+
+  const double p_bits = static_cast<double>(hidden_units) *
+                        static_cast<double>(hidden_units) *
+                        static_cast<double>(word_bits);
+  const auto blocks_per_bank =
+      static_cast<std::size_t>(std::ceil(p_bits / kBramBits));
+  e.bram36 = kMatrixBanks * next_pow2(blocks_per_bank);
+  e.dsp = kMultiplierDsp;
+
+  const double n = static_cast<double>(hidden_units);
+  e.ff = static_cast<std::size_t>(std::lround(kFfIntercept + kFfSlope * n));
+  e.lut =
+      static_cast<std::size_t>(std::lround(kLutIntercept + kLutSlope * n));
+
+  e.bram_pct = 100.0 * static_cast<double>(e.bram36) /
+               static_cast<double>(device.bram36);
+  e.dsp_pct =
+      100.0 * static_cast<double>(e.dsp) / static_cast<double>(device.dsp);
+  e.ff_pct =
+      100.0 * static_cast<double>(e.ff) / static_cast<double>(device.ff);
+  e.lut_pct =
+      100.0 * static_cast<double>(e.lut) / static_cast<double>(device.lut);
+  e.fits = e.bram36 <= device.bram36 && e.dsp <= device.dsp &&
+           e.ff <= device.ff && e.lut <= device.lut;
+  return e;
+}
+
+}  // namespace oselm::hw

@@ -1,0 +1,13 @@
+#include "hw/zynq.hpp"
+
+namespace oselm::hw {
+
+FpgaDevice zynq7020() noexcept {
+  // Xilinx DS190: Z-7020 has 140 BRAM36 (4.9 Mb), 220 DSP48E1 slices,
+  // 106,400 flip-flops and 53,200 LUTs.
+  return FpgaDevice{"xc7z020clg400-1", 140, 220, 106400, 53200};
+}
+
+BoardClocks pynq_z1_clocks() noexcept { return BoardClocks{}; }
+
+}  // namespace oselm::hw

@@ -1,0 +1,32 @@
+// Device and board database for the paper's deployment target.
+//
+// PYNQ-Z1: Zynq-7000 xc7z020clg400-1 (programmable logic at 125 MHz in the
+// paper's design) + 650 MHz Cortex-A9 host (§4.2, Table 1).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace oselm::hw {
+
+/// Programmable-logic resource inventory of an FPGA device.
+struct FpgaDevice {
+  std::string_view name;
+  std::size_t bram36 = 0;  ///< 36 Kbit block RAMs
+  std::size_t dsp = 0;     ///< DSP48E1 slices
+  std::size_t ff = 0;      ///< flip-flops
+  std::size_t lut = 0;     ///< 6-input LUTs
+};
+
+/// Xilinx xc7z020clg400-1 (the PYNQ-Z1's device, §4.2).
+FpgaDevice zynq7020() noexcept;
+
+/// Board-level clocking used by the timing model.
+struct BoardClocks {
+  double pl_hz = 125.0e6;   ///< programmable logic (§4.2)
+  double cpu_hz = 650.0e6;  ///< Cortex-A9 (§4.2, Table 1)
+};
+
+BoardClocks pynq_z1_clocks() noexcept;
+
+}  // namespace oselm::hw

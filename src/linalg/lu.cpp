@@ -1,0 +1,107 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace oselm::linalg {
+
+namespace {
+constexpr double kPivotEps = 1e-13;
+}
+
+LuDecomposition lu_decompose(const MatD& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("lu_decompose: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  LuDecomposition f{a, std::vector<std::size_t>(n), 1, false};
+  std::iota(f.perm.begin(), f.perm.end(), std::size_t{0});
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: choose the largest magnitude in this column.
+    std::size_t pivot_row = col;
+    double pivot_mag = std::abs(f.lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(f.lu(r, col));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < kPivotEps) {
+      f.singular = true;
+      continue;
+    }
+    if (pivot_row != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(f.lu(pivot_row, c), f.lu(col, c));
+      }
+      std::swap(f.perm[pivot_row], f.perm[col]);
+      f.sign = -f.sign;
+    }
+    const double pivot = f.lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = f.lu(r, col) / pivot;
+      f.lu(r, col) = factor;
+      if (factor == 0.0) continue;
+      const double* u_row = f.lu.row_ptr(col);
+      double* l_row = f.lu.row_ptr(r);
+      for (std::size_t c = col + 1; c < n; ++c) l_row[c] -= factor * u_row[c];
+    }
+  }
+  return f;
+}
+
+VecD lu_solve(const LuDecomposition& f, const VecD& b) {
+  const std::size_t n = f.lu.rows();
+  if (b.size() != n) throw std::invalid_argument("lu_solve: size mismatch");
+  if (f.singular) throw std::runtime_error("lu_solve: singular matrix");
+
+  VecD x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[f.perm[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double* row = f.lu.row_ptr(i);
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* row = f.lu.row_ptr(ii);
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    x[ii] = acc / row[ii];
+  }
+  return x;
+}
+
+MatD lu_solve_matrix(const LuDecomposition& f, const MatD& b) {
+  const std::size_t n = f.lu.rows();
+  if (b.rows() != n) {
+    throw std::invalid_argument("lu_solve_matrix: size mismatch");
+  }
+  MatD x(n, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const VecD col = lu_solve(f, b.col(c));
+    for (std::size_t r = 0; r < n; ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+MatD inverse(const MatD& a) {
+  const auto f = lu_decompose(a);
+  if (f.singular) throw std::runtime_error("inverse: singular matrix");
+  return lu_solve_matrix(f, MatD::identity(a.rows()));
+}
+
+double determinant(const MatD& a) {
+  const auto f = lu_decompose(a);
+  if (f.singular) return 0.0;
+  double det = static_cast<double>(f.sign);
+  for (std::size_t i = 0; i < a.rows(); ++i) det *= f.lu(i, i);
+  return det;
+}
+
+}  // namespace oselm::linalg

@@ -1,0 +1,35 @@
+#include "linalg/norms.hpp"
+
+#include <cmath>
+
+#include "linalg/svd.hpp"
+
+namespace oselm::linalg {
+
+double frobenius_norm(const MatD& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a.data()[i] * a.data()[i];
+  return std::sqrt(acc);
+}
+
+double spectral_norm(const MatD& a) { return largest_singular_value(a); }
+
+double infinity_norm(const MatD& a) {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) row_sum += std::abs(a(r, c));
+    worst = std::max(worst, row_sum);
+  }
+  return worst;
+}
+
+double max_abs(const MatD& a) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i]));
+  }
+  return worst;
+}
+
+}  // namespace oselm::linalg

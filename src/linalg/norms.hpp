@@ -1,0 +1,22 @@
+// Matrix norms used by the regularization analysis (Relation 13):
+// spectral norm (largest singular value) vs Frobenius norm.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace oselm::linalg {
+
+/// Frobenius norm sqrt(sum a_ij^2) — the paper calls this the L2 norm of
+/// the weight matrix in Relation 13.
+double frobenius_norm(const MatD& a);
+
+/// Spectral norm ||A||_2 = sigma_max(A) via full SVD.
+double spectral_norm(const MatD& a);
+
+/// Max row-sum norm (infinity norm).
+double infinity_norm(const MatD& a);
+
+/// Max absolute element.
+double max_abs(const MatD& a);
+
+}  // namespace oselm::linalg

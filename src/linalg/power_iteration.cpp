@@ -1,0 +1,53 @@
+#include "linalg/power_iteration.hpp"
+
+#include <cmath>
+
+#include "linalg/ops.hpp"
+
+namespace oselm::linalg {
+
+PowerIterationResult power_iteration_sigma_max(
+    const MatD& a, util::Rng& rng, const PowerIterationOptions& options) {
+  PowerIterationResult result;
+  if (a.empty()) return result;
+
+  VecD v(a.cols());
+  for (auto& x : v) x = rng.normal();
+  double v_norm = norm2(v);
+  if (v_norm == 0.0) {
+    v.assign(a.cols(), 0.0);
+    v[0] = 1.0;
+    v_norm = 1.0;
+  }
+  for (auto& x : v) x /= v_norm;
+
+  double sigma_prev = 0.0;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    VecD av = matvec(a, v);          // A v
+    const double sigma = norm2(av);  // ||A v|| -> sigma for unit v
+    if (sigma == 0.0) {
+      result.sigma_max = 0.0;
+      result.converged = true;
+      break;
+    }
+    VecD atav = matvec_t(a, av);  // A^T A v
+    const double atav_norm = norm2(atav);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = atav[i] / atav_norm;
+
+    result.sigma_max = sigma;
+    if (it > 0 &&
+        std::abs(sigma - sigma_prev) <= options.tolerance * sigma) {
+      result.converged = true;
+      break;
+    }
+    sigma_prev = sigma;
+  }
+  // One final Rayleigh-style refinement with the converged vector.
+  const VecD av = matvec(a, v);
+  result.sigma_max = norm2(av);
+  result.right_vector = std::move(v);
+  return result;
+}
+
+}  // namespace oselm::linalg

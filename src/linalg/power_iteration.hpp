@@ -1,0 +1,30 @@
+// Power iteration estimate of the largest singular value.
+//
+// Spectral normalization (Miyato et al., used in §3.3 for alpha) is usually
+// implemented with a handful of power iterations instead of a full SVD;
+// this is the cheap runtime-friendly path, validated against linalg::svd
+// in the test suite.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::linalg {
+
+struct PowerIterationOptions {
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-10;  ///< relative change convergence threshold
+};
+
+struct PowerIterationResult {
+  double sigma_max = 0.0;
+  VecD right_vector;           ///< unit right singular vector (v)
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Estimates sigma_max(A) by iterating v <- normalize(A^T (A v)).
+PowerIterationResult power_iteration_sigma_max(
+    const MatD& a, util::Rng& rng, const PowerIterationOptions& options = {});
+
+}  // namespace oselm::linalg

@@ -1,0 +1,137 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/ops.hpp"
+
+namespace oselm::linalg {
+
+namespace {
+
+/// Applies Householder reflectors stored in `work` (and scalars in `tau`)
+/// to b in place: b <- Q^T b.
+void apply_qt(const MatD& work, const VecD& tau, VecD& b) {
+  const std::size_t m = work.rows();
+  const std::size_t n = work.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    // v = [1, work(k+1..m-1, k)]
+    double acc = b[k];
+    for (std::size_t i = k + 1; i < m; ++i) acc += work(i, k) * b[i];
+    acc *= tau[k];
+    b[k] -= acc;
+    for (std::size_t i = k + 1; i < m; ++i) b[i] -= acc * work(i, k);
+  }
+}
+
+struct HouseholderFactor {
+  MatD work;  ///< R in upper triangle, reflector tails below
+  VecD tau;   ///< reflector scalars
+};
+
+HouseholderFactor householder_factor(const MatD& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) throw std::invalid_argument("qr: requires rows >= cols");
+  HouseholderFactor f{a, VecD(n, 0.0)};
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Norm of the k-th column below (and including) the diagonal.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += f.work(i, k) * f.work(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      f.tau[k] = 0.0;
+      continue;
+    }
+    const double alpha = f.work(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = f.work(k, k) - alpha;
+    // Normalize the reflector so its first component is 1.
+    for (std::size_t i = k + 1; i < m; ++i) f.work(i, k) /= v0;
+    f.tau[k] = -v0 / alpha;  // == 2 / (v^T v) with v0-normalized v
+    f.work(k, k) = alpha;
+
+    // Apply the reflector to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double acc = f.work(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) {
+        acc += f.work(i, k) * f.work(i, j);
+      }
+      acc *= f.tau[k];
+      f.work(k, j) -= acc;
+      for (std::size_t i = k + 1; i < m; ++i) {
+        f.work(i, j) -= acc * f.work(i, k);
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+QrDecomposition qr_decompose(const MatD& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const auto f = householder_factor(a);
+
+  QrDecomposition out{MatD(m, n), MatD(n, n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) out.r(i, j) = f.work(i, j);
+  }
+  // Build thin Q by applying reflectors to the identity columns.
+  // Q = H_0 H_1 ... H_{n-1}; we form Q e_c for each c < n.
+  for (std::size_t c = 0; c < n; ++c) {
+    VecD q_col(m, 0.0);
+    q_col[c] = 1.0;
+    // Apply reflectors in reverse order: Q = H_0 ... H_{n-1} applied to e_c.
+    for (std::size_t kk = n; kk-- > 0;) {
+      double acc = q_col[kk];
+      for (std::size_t i = kk + 1; i < m; ++i) {
+        acc += f.work(i, kk) * q_col[i];
+      }
+      acc *= f.tau[kk];
+      q_col[kk] -= acc;
+      for (std::size_t i = kk + 1; i < m; ++i) {
+        q_col[i] -= acc * f.work(i, kk);
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) out.q(i, c) = q_col[i];
+  }
+  return out;
+}
+
+VecD qr_least_squares(const MatD& a, const VecD& b) {
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("qr_least_squares: size mismatch");
+  }
+  const std::size_t n = a.cols();
+  const auto f = householder_factor(a);
+  VecD qtb = b;
+  apply_qt(f.work, f.tau, qtb);
+  // Back-substitute R x = (Q^T b)[0..n)
+  VecD x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= f.work(ii, j) * x[j];
+    const double diag = f.work(ii, ii);
+    if (std::abs(diag) < 1e-13) {
+      throw std::runtime_error("qr_least_squares: rank deficient");
+    }
+    x[ii] = acc / diag;
+  }
+  return x;
+}
+
+MatD qr_least_squares_matrix(const MatD& a, const MatD& b) {
+  if (b.rows() != a.rows()) {
+    throw std::invalid_argument("qr_least_squares_matrix: size mismatch");
+  }
+  MatD x(a.cols(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const VecD col = qr_least_squares(a, b.col(c));
+    for (std::size_t r = 0; r < a.cols(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+}  // namespace oselm::linalg

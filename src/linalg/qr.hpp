@@ -1,0 +1,26 @@
+// Householder QR decomposition and least-squares solve.
+//
+// The paper mentions QRD as one of the decompositions an ELM pseudo-inverse
+// would need on-chip (§2.1); it also serves as an independent reference
+// implementation against which the SVD-based pseudo-inverse is tested.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace oselm::linalg {
+
+struct QrDecomposition {
+  MatD q;  ///< m x n with orthonormal columns (thin Q)
+  MatD r;  ///< n x n upper triangular
+};
+
+/// Thin QR of an m x n matrix with m >= n.
+QrDecomposition qr_decompose(const MatD& a);
+
+/// Least-squares solution of A x = b via QR (m >= n, full column rank).
+VecD qr_least_squares(const MatD& a, const VecD& b);
+
+/// Matrix right-hand-side variant: minimizes ||A X - B||_F column-wise.
+MatD qr_least_squares_matrix(const MatD& a, const MatD& b);
+
+}  // namespace oselm::linalg

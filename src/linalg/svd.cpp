@@ -1,0 +1,131 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "linalg/ops.hpp"
+
+namespace oselm::linalg {
+
+namespace {
+
+/// One-sided Jacobi SVD on a matrix with rows >= cols. Rotates column pairs
+/// of a working copy of A until all pairs are numerically orthogonal; then
+/// column norms are the singular values, normalized columns are U, and the
+/// accumulated rotations are V.
+SvdResult jacobi_svd_tall(const MatD& a, const SvdOptions& options) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  MatD w = a;                     // working copy whose columns converge to U*S
+  MatD v = MatD::identity(n);
+
+  std::size_t sweep = 0;
+  for (; sweep < options.max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries for the (p,q) column pair.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (std::abs(apq) <=
+            options.tolerance * std::sqrt(app * aqq) + 1e-300) {
+          continue;
+        }
+        rotated = true;
+        // Classic Jacobi rotation annihilating the (p,q) Gram entry.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Extract singular values (column norms) and normalize U.
+  SvdResult out{MatD(m, n), VecD(n, 0.0), v, sweep};
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm_sq += w(i, j) * w(i, j);
+    const double sigma = std::sqrt(norm_sq);
+    out.singular_values[j] = sigma;
+    if (sigma > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) out.u(i, j) = w(i, j) / sigma;
+    }
+  }
+
+  // Sort descending by singular value (stable permutation of U, S, V).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return out.singular_values[x] > out.singular_values[y];
+                   });
+  SvdResult sorted{MatD(m, n), VecD(n, 0.0), MatD(n, n), sweep};
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    sorted.singular_values[j] = out.singular_values[src];
+    for (std::size_t i = 0; i < m; ++i) sorted.u(i, j) = out.u(i, src);
+    for (std::size_t i = 0; i < n; ++i) sorted.v(i, j) = out.v(i, src);
+  }
+  return sorted;
+}
+
+}  // namespace
+
+SvdResult svd(const MatD& a, const SvdOptions& options) {
+  if (a.empty()) return {};
+  if (a.rows() >= a.cols()) return jacobi_svd_tall(a, options);
+  // A = U S V^T  <=>  A^T = V S U^T: factor the transpose and swap.
+  SvdResult t = jacobi_svd_tall(a.transposed(), options);
+  return SvdResult{std::move(t.v), std::move(t.singular_values),
+                   std::move(t.u), t.sweeps};
+}
+
+double largest_singular_value(const MatD& a, const SvdOptions& options) {
+  const auto result = svd(a, options);
+  if (result.singular_values.empty()) return 0.0;
+  return result.singular_values.front();
+}
+
+MatD pseudo_inverse(const MatD& a, double tol) {
+  const auto f = svd(a);
+  if (f.singular_values.empty()) return a.transposed();
+  const double sigma_max = f.singular_values.front();
+  if (tol < 0.0) {
+    tol = static_cast<double>(std::max(a.rows(), a.cols())) *
+          std::numeric_limits<double>::epsilon() * sigma_max;
+  }
+  // A^+ = V S^+ U^T with reciprocal of singular values above tolerance.
+  const std::size_t r = f.singular_values.size();
+  MatD v_scaled = f.v;  // scale columns of V by 1/sigma
+  for (std::size_t j = 0; j < r; ++j) {
+    const double sigma = f.singular_values[j];
+    const double inv = sigma > tol ? 1.0 / sigma : 0.0;
+    for (std::size_t i = 0; i < v_scaled.rows(); ++i) v_scaled(i, j) *= inv;
+  }
+  return matmul_a_bt(v_scaled, f.u);
+}
+
+}  // namespace oselm::linalg

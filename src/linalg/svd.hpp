@@ -1,0 +1,34 @@
+// Singular value decomposition via the one-sided Jacobi method, plus the
+// Moore–Penrose pseudo-inverse built on it.
+//
+// The paper uses SVD twice: (1) the ELM pseudo-inverse H^+ (Eq. 3) and
+// (2) sigma_max(alpha) for spectral normalization (Algorithm 1 line 2).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace oselm::linalg {
+
+struct SvdResult {
+  MatD u;                 ///< m x r with orthonormal columns
+  VecD singular_values;   ///< r values, descending
+  MatD v;                 ///< n x r with orthonormal columns  (A = U S V^T)
+  std::size_t sweeps = 0; ///< Jacobi sweeps used
+};
+
+struct SvdOptions {
+  std::size_t max_sweeps = 60;
+  double tolerance = 1e-12;  ///< off-diagonal convergence threshold
+};
+
+/// Thin SVD of an arbitrary m x n matrix (internally transposes if m < n).
+SvdResult svd(const MatD& a, const SvdOptions& options = {});
+
+/// Largest singular value of A.
+double largest_singular_value(const MatD& a, const SvdOptions& options = {});
+
+/// Moore–Penrose pseudo-inverse with tolerance-based rank truncation.
+/// tol < 0 selects the NumPy-style default max(m,n) * eps * sigma_max.
+MatD pseudo_inverse(const MatD& a, double tol = -1.0);
+
+}  // namespace oselm::linalg

@@ -1,0 +1,138 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/ops.hpp"
+
+namespace oselm::nn {
+
+void MlpConfig::validate() const {
+  if (input_dim == 0 || hidden_units == 0 || output_dim == 0) {
+    throw std::invalid_argument("MlpConfig: zero dimension");
+  }
+}
+
+void MlpGradients::scale(double factor) noexcept {
+  for (std::size_t i = 0; i < w1.size(); ++i) w1.data()[i] *= factor;
+  for (auto& v : b1) v *= factor;
+  for (std::size_t i = 0; i < w2.size(); ++i) w2.data()[i] *= factor;
+  for (auto& v : b2) v *= factor;
+}
+
+Mlp::Mlp(MlpConfig config, util::Rng& rng) : config_(config) {
+  config_.validate();
+  reinitialize(rng);
+}
+
+void Mlp::reinitialize(util::Rng& rng) {
+  w1_ = linalg::MatD(config_.input_dim, config_.hidden_units);
+  b1_ = linalg::VecD(config_.hidden_units);
+  w2_ = linalg::MatD(config_.hidden_units, config_.output_dim);
+  b2_ = linalg::VecD(config_.output_dim);
+  const double bound1 = 1.0 / std::sqrt(static_cast<double>(config_.input_dim));
+  const double bound2 =
+      1.0 / std::sqrt(static_cast<double>(config_.hidden_units));
+  rng.fill_uniform(w1_.storage(), -bound1, bound1);
+  rng.fill_uniform(b1_, -bound1, bound1);
+  rng.fill_uniform(w2_.storage(), -bound2, bound2);
+  rng.fill_uniform(b2_, -bound2, bound2);
+}
+
+linalg::VecD Mlp::forward(const linalg::VecD& x) const {
+  if (x.size() != config_.input_dim) {
+    throw std::invalid_argument("Mlp::forward: input width mismatch");
+  }
+  linalg::VecD h = linalg::matvec_t(w1_, x);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    h[i] += b1_[i];
+    if (h[i] < 0.0) h[i] = 0.0;  // ReLU
+  }
+  linalg::VecD out = linalg::matvec_t(w2_, h);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += b2_[i];
+  return out;
+}
+
+linalg::MatD Mlp::forward_batch(const linalg::MatD& x) const {
+  MlpCache scratch;
+  return forward_cached(x, scratch);
+}
+
+linalg::MatD Mlp::forward_cached(const linalg::MatD& x,
+                                 MlpCache& cache) const {
+  if (x.cols() != config_.input_dim) {
+    throw std::invalid_argument("Mlp::forward_cached: input width mismatch");
+  }
+  cache.x = x;
+  cache.h_pre = linalg::matmul(x, w1_);
+  for (std::size_t r = 0; r < cache.h_pre.rows(); ++r) {
+    double* row = cache.h_pre.row_ptr(r);
+    for (std::size_t c = 0; c < cache.h_pre.cols(); ++c) row[c] += b1_[c];
+  }
+  cache.h = cache.h_pre;
+  for (std::size_t i = 0; i < cache.h.size(); ++i) {
+    if (cache.h.data()[i] < 0.0) cache.h.data()[i] = 0.0;
+  }
+  cache.out = linalg::matmul(cache.h, w2_);
+  for (std::size_t r = 0; r < cache.out.rows(); ++r) {
+    double* row = cache.out.row_ptr(r);
+    for (std::size_t c = 0; c < cache.out.cols(); ++c) row[c] += b2_[c];
+  }
+  return cache.out;
+}
+
+MlpGradients Mlp::backward(const MlpCache& cache,
+                           const linalg::MatD& dloss_dout) const {
+  const std::size_t batch = cache.x.rows();
+  if (dloss_dout.rows() != batch ||
+      dloss_dout.cols() != config_.output_dim) {
+    throw std::invalid_argument("Mlp::backward: gradient shape mismatch");
+  }
+
+  MlpGradients grads{linalg::MatD(config_.input_dim, config_.hidden_units),
+                     linalg::VecD(config_.hidden_units, 0.0),
+                     linalg::MatD(config_.hidden_units, config_.output_dim),
+                     linalg::VecD(config_.output_dim, 0.0)};
+
+  // dW2 = h^T dOut;  db2 = column sums of dOut.
+  grads.w2 = linalg::matmul_at_b(cache.h, dloss_dout);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* row = dloss_dout.row_ptr(r);
+    for (std::size_t c = 0; c < config_.output_dim; ++c) grads.b2[c] += row[c];
+  }
+
+  // dH = dOut W2^T, gated by ReLU' (h_pre > 0).
+  linalg::MatD dh = linalg::matmul_a_bt(dloss_dout, w2_);
+  for (std::size_t i = 0; i < dh.size(); ++i) {
+    if (cache.h_pre.data()[i] <= 0.0) dh.data()[i] = 0.0;
+  }
+
+  // dW1 = x^T dH;  db1 = column sums of dH.
+  grads.w1 = linalg::matmul_at_b(cache.x, dh);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* row = dh.row_ptr(r);
+    for (std::size_t c = 0; c < config_.hidden_units; ++c) {
+      grads.b1[c] += row[c];
+    }
+  }
+
+  return grads;
+}
+
+void Mlp::copy_parameters_from(const Mlp& other) {
+  if (other.config_.input_dim != config_.input_dim ||
+      other.config_.hidden_units != config_.hidden_units ||
+      other.config_.output_dim != config_.output_dim) {
+    throw std::invalid_argument("Mlp::copy_parameters_from: shape mismatch");
+  }
+  w1_ = other.w1_;
+  b1_ = other.b1_;
+  w2_ = other.w2_;
+  b2_ = other.b2_;
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  return w1_.size() + b1_.size() + w2_.size() + b2_.size();
+}
+
+}  // namespace oselm::nn

@@ -1,0 +1,49 @@
+#include "nn/replay_buffer.hpp"
+
+#include <stdexcept>
+
+namespace oselm::nn {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ReplayBuffer: capacity == 0");
+  }
+  storage_.reserve(capacity);
+}
+
+void ReplayBuffer::push(Transition transition) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(transition));
+    return;
+  }
+  storage_[next_] = std::move(transition);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<Transition> ReplayBuffer::sample(std::size_t count,
+                                             util::Rng& rng) const {
+  if (storage_.empty()) {
+    throw std::logic_error("ReplayBuffer::sample: buffer empty");
+  }
+  std::vector<Transition> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(storage_[rng.uniform_index(storage_.size())]);
+  }
+  return batch;
+}
+
+const Transition& ReplayBuffer::at(std::size_t logical_index) const {
+  if (logical_index >= storage_.size()) {
+    throw std::out_of_range("ReplayBuffer::at: index out of range");
+  }
+  if (storage_.size() < capacity_) return storage_[logical_index];
+  return storage_[(next_ + logical_index) % capacity_];
+}
+
+void ReplayBuffer::clear() noexcept {
+  storage_.clear();
+  next_ = 0;
+}
+
+}  // namespace oselm::nn

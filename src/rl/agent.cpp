@@ -1,0 +1,3 @@
+#include "rl/agent.hpp"
+
+// Interface-only translation unit; anchors the vtables.

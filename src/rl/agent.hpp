@@ -1,0 +1,82 @@
+// Agent interface shared by the seven evaluated designs (§4.1) and the
+// backend interface that separates Algorithm 1 from its arithmetic
+// substrate (double-precision software vs fixed-point FPGA model).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "linalg/matrix.hpp"
+#include "nn/replay_buffer.hpp"  // nn::Transition
+#include "util/op_accounting.hpp"
+
+namespace oselm::rl {
+
+/// An episodic learner driven by rl::run_training.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Chooses an action for `state` (exploration included). Prediction time
+  /// is charged to the agent's breakdown internally.
+  virtual std::size_t act(const linalg::VecD& state) = 0;
+
+  /// Processes one environment transition (Store + Update of Algorithm 1).
+  virtual void observe(const nn::Transition& transition) = 0;
+
+  /// Hook at episode end with the 1-based episode index since the last
+  /// weight reset; used for the theta_2 <- theta_1 sync (lines 23-24).
+  virtual void episode_end(std::size_t episode_index) = 0;
+
+  /// Re-randomizes all weights (the §4.3 reset rule). Only called when
+  /// supports_weight_reset() is true.
+  virtual void reset_weights() = 0;
+
+  /// The paper resets the ELM/OS-ELM designs but never the DQN.
+  [[nodiscard]] virtual bool supports_weight_reset() const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Per-operation time accounting (Fig. 5 categories).
+  [[nodiscard]] virtual const util::OpBreakdown& breakdown() const = 0;
+};
+
+using AgentPtr = std::unique_ptr<Agent>;
+
+/// Arithmetic backend for the OS-ELM Q-network: the same Algorithm 1 agent
+/// drives either the software (double) implementation or the fixed-point
+/// FPGA functional model. Every mutating/predicting call returns the
+/// seconds to charge: wall-clock for software backends, modeled
+/// programmable-logic time for the FPGA backend.
+class OsElmQBackend {
+ public:
+  virtual ~OsElmQBackend() = default;
+
+  /// (Re)randomizes weights; applies spectral normalization when the
+  /// backing configuration asks for it. Forgets any initial training.
+  virtual void initialize() = 0;
+
+  /// Q_theta1(s, a) for an encoded (state, action) input.
+  virtual double predict_main(const linalg::VecD& sa, double& q_out) = 0;
+
+  /// Q_theta2(s, a) — the fixed target network.
+  virtual double predict_target(const linalg::VecD& sa, double& q_out) = 0;
+
+  /// Initial training (Eq. 7/8) on the buffered chunk; runs on the host
+  /// CPU in both backends, mirroring Fig. 3's hardware/software split.
+  virtual double init_train(const linalg::MatD& x, const linalg::MatD& t) = 0;
+
+  /// One sequential update (Eq. 6, k = 1) toward `target`.
+  virtual double seq_train(const linalg::VecD& sa, double target) = 0;
+
+  /// theta_2 <- theta_1.
+  virtual void sync_target() = 0;
+
+  [[nodiscard]] virtual bool initialized() const = 0;
+  [[nodiscard]] virtual std::size_t input_dim() const = 0;
+  [[nodiscard]] virtual std::size_t hidden_units() const = 0;
+};
+
+using OsElmQBackendPtr = std::unique_ptr<OsElmQBackend>;
+
+}  // namespace oselm::rl

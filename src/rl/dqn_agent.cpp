@@ -1,0 +1,125 @@
+#include "rl/dqn_agent.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace oselm::rl {
+
+void DqnAgentConfig::validate() const {
+  if (state_dim == 0 || action_count < 2 || hidden_units == 0) {
+    throw std::invalid_argument("DqnAgentConfig: bad dimensions");
+  }
+  if (gamma < 0.0 || gamma > 1.0) {
+    throw std::invalid_argument("DqnAgentConfig: gamma outside [0, 1]");
+  }
+  if (batch_size == 0 || replay_capacity < batch_size) {
+    throw std::invalid_argument("DqnAgentConfig: bad replay sizes");
+  }
+  if (target_sync_interval == 0) {
+    throw std::invalid_argument("DqnAgentConfig: UPDATE_STEP == 0");
+  }
+}
+
+namespace {
+
+nn::MlpConfig make_mlp_config(const DqnAgentConfig& config) {
+  return nn::MlpConfig{config.state_dim, config.hidden_units,
+                       config.action_count};
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(DqnAgentConfig config, std::uint64_t seed)
+    : config_(config),
+      policy_(config.epsilon_greedy, config.action_count),
+      rng_(seed),
+      online_(make_mlp_config(config), rng_),
+      target_(make_mlp_config(config), rng_),
+      optimizer_(config.adam, make_mlp_config(config)),
+      replay_(config.replay_capacity) {
+  config_.validate();
+  target_.copy_parameters_from(online_);
+}
+
+std::size_t DqnAgent::greedy_action(const linalg::VecD& state) {
+  util::WallTimer timer;
+  const linalg::VecD q = online_.forward(state);
+  breakdown_.add(util::OpCategory::kPredict1, timer.seconds());
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < q.size(); ++a) {
+    if (q[a] > q[best]) best = a;
+  }
+  return best;
+}
+
+std::size_t DqnAgent::act(const linalg::VecD& state) {
+  if (policy_.should_act_greedily(rng_)) return greedy_action(state);
+  return policy_.random_action(rng_);
+}
+
+void DqnAgent::train_step() {
+  const auto batch = replay_.sample(config_.batch_size, rng_);
+  const std::size_t k = batch.size();
+
+  linalg::MatD states(k, config_.state_dim);
+  linalg::MatD next_states(k, config_.state_dim);
+  for (std::size_t i = 0; i < k; ++i) {
+    states.set_row(i, batch[i].state);
+    next_states.set_row(i, batch[i].next_state);
+  }
+
+  // Target Q-values from the frozen network (the paper's predict_32 bar).
+  util::WallTimer predict32_timer;
+  const linalg::MatD next_q = target_.forward_batch(next_states);
+  breakdown_.add(util::OpCategory::kPredict32, predict32_timer.seconds());
+
+  util::WallTimer train_timer;
+  nn::MlpCache cache;
+  const linalg::MatD q = online_.forward_cached(states, cache);
+
+  // Only the taken action's Q contributes to the loss (Eq. 9): the target
+  // matrix equals the prediction except at (i, a_i).
+  linalg::MatD targets = q;
+  for (std::size_t i = 0; i < k; ++i) {
+    double best_next = 0.0;
+    if (!batch[i].done) {
+      const double* row = next_q.row_ptr(i);
+      best_next = row[0];
+      for (std::size_t a = 1; a < config_.action_count; ++a) {
+        best_next = std::max(best_next, row[a]);
+      }
+    }
+    targets(i, batch[i].action) =
+        batch[i].reward +
+        (batch[i].done ? 0.0 : config_.gamma * best_next);
+  }
+
+  const nn::HuberResult loss = nn::huber_loss_mean(q, targets);
+  last_loss_ = loss.loss;
+  const nn::MlpGradients grads = online_.backward(cache, loss.grad);
+  optimizer_.step(online_, grads);
+  breakdown_.add(util::OpCategory::kTrainDqn, train_timer.seconds());
+  ++training_steps_;
+}
+
+void DqnAgent::observe(const nn::Transition& transition) {
+  replay_.push(transition);
+  if (replay_.size() >= config_.learning_starts) train_step();
+}
+
+void DqnAgent::episode_end(std::size_t episode_index) {
+  if (episode_index % config_.target_sync_interval == 0) {
+    target_.copy_parameters_from(online_);
+  }
+}
+
+void DqnAgent::reset_weights() {
+  online_.reinitialize(rng_);
+  target_.copy_parameters_from(online_);
+  optimizer_.reset();
+  replay_.clear();
+  training_steps_ = 0;
+}
+
+}  // namespace oselm::rl

@@ -1,0 +1,145 @@
+#include "rl/oselm_q_agent.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oselm::rl {
+
+void OsElmQAgentConfig::validate() const {
+  if (gamma < 0.0 || gamma > 1.0) {
+    throw std::invalid_argument("OsElmQAgentConfig: gamma outside [0, 1]");
+  }
+  if (epsilon_greedy < 0.0 || epsilon_greedy > 1.0) {
+    throw std::invalid_argument("OsElmQAgentConfig: epsilon_1 outside [0,1]");
+  }
+  if (update_probability < 0.0 || update_probability > 1.0) {
+    throw std::invalid_argument("OsElmQAgentConfig: epsilon_2 outside [0,1]");
+  }
+  if (target_sync_interval == 0) {
+    throw std::invalid_argument("OsElmQAgentConfig: UPDATE_STEP == 0");
+  }
+  if (clip_targets && !(clip_min < clip_max)) {
+    throw std::invalid_argument("OsElmQAgentConfig: empty clip range");
+  }
+}
+
+OsElmQAgent::OsElmQAgent(OsElmQBackendPtr backend, SimplifiedOutputModel model,
+                         OsElmQAgentConfig config, std::uint64_t seed,
+                         std::string_view display_name)
+    : backend_(std::move(backend)),
+      model_(model),
+      config_(config),
+      policy_(config.epsilon_greedy, model.action_count()),
+      rng_(seed),
+      name_(display_name),
+      scratch_sa_(model.input_dim(), 0.0) {
+  config_.validate();
+  if (!backend_) throw std::invalid_argument("OsElmQAgent: null backend");
+  if (backend_->input_dim() != model_.input_dim()) {
+    throw std::invalid_argument(
+        "OsElmQAgent: backend input width != encoder width");
+  }
+  buffer_.reserve(backend_->hidden_units());
+}
+
+std::size_t OsElmQAgent::greedy_action(const linalg::VecD& state) {
+  const util::OpCategory charge = backend_->initialized()
+                                      ? util::OpCategory::kPredictSeq
+                                      : util::OpCategory::kPredictInit;
+  std::size_t best = 0;
+  double best_q = 0.0;
+  for (std::size_t a = 0; a < model_.action_count(); ++a) {
+    model_.encode_into(state, a, scratch_sa_);
+    double q = 0.0;
+    breakdown_.add(charge, backend_->predict_main(scratch_sa_, q));
+    if (a == 0 || q > best_q) {
+      best_q = q;
+      best = a;
+    }
+  }
+  return best;
+}
+
+double OsElmQAgent::q_value(const linalg::VecD& state, std::size_t action) {
+  const util::OpCategory charge = backend_->initialized()
+                                      ? util::OpCategory::kPredictSeq
+                                      : util::OpCategory::kPredictInit;
+  model_.encode_into(state, action, scratch_sa_);
+  double q = 0.0;
+  breakdown_.add(charge, backend_->predict_main(scratch_sa_, q));
+  return q;
+}
+
+std::size_t OsElmQAgent::act(const linalg::VecD& state) {
+  if (policy_.should_act_greedily(rng_)) return greedy_action(state);
+  return policy_.random_action(rng_);
+}
+
+double OsElmQAgent::td_target(const nn::Transition& transition,
+                              util::OpCategory charge_to) {
+  double best_next = 0.0;
+  if (!transition.done) {
+    for (std::size_t a = 0; a < model_.action_count(); ++a) {
+      model_.encode_into(transition.next_state, a, scratch_sa_);
+      double q = 0.0;
+      breakdown_.add(charge_to, backend_->predict_target(scratch_sa_, q));
+      if (a == 0 || q > best_next) best_next = q;
+    }
+  }
+  double target = transition.reward;
+  if (!transition.done) target += config_.gamma * best_next;
+  if (config_.clip_targets) {
+    target = std::clamp(target, config_.clip_min, config_.clip_max);
+  }
+  return target;
+}
+
+void OsElmQAgent::run_init_train() {
+  const std::size_t n = buffer_.size();
+  linalg::MatD x(n, model_.input_dim());
+  linalg::MatD t(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    model_.encode_into(buffer_[i].state, buffer_[i].action, scratch_sa_);
+    x.set_row(i, scratch_sa_);
+    t(i, 0) = td_target(buffer_[i], util::OpCategory::kInitTrain);
+  }
+  breakdown_.add(util::OpCategory::kInitTrain, backend_->init_train(x, t));
+  ++init_trainings_;
+  buffer_.clear();
+  buffer_.shrink_to_fit();  // the edge device frees D after initial training
+}
+
+void OsElmQAgent::observe(const nn::Transition& transition) {
+  if (!backend_->initialized()) {
+    // Store state (line 15) until buffer D holds N-tilde samples, then run
+    // the initial training (lines 16-19) and release the buffer.
+    buffer_.push_back(transition);
+    if (buffer_.size() >= backend_->hidden_units()) run_init_train();
+    return;
+  }
+  // Random update (§3.2): one Bernoulli(epsilon_2) coin per step decides
+  // whether this transition trains the network (lines 21-22).
+  if (config_.random_update && !rng_.bernoulli(config_.update_probability)) {
+    return;
+  }
+  const double target =
+      td_target(transition, util::OpCategory::kSeqTrain);
+  model_.encode_into(transition.state, transition.action, scratch_sa_);
+  breakdown_.add(util::OpCategory::kSeqTrain,
+                 backend_->seq_train(scratch_sa_, target));
+  ++seq_updates_;
+}
+
+void OsElmQAgent::episode_end(std::size_t episode_index) {
+  if (episode_index % config_.target_sync_interval == 0) {
+    backend_->sync_target();  // theta_2 <- theta_1 (lines 23-24)
+  }
+}
+
+void OsElmQAgent::reset_weights() {
+  backend_->initialize();
+  buffer_.clear();
+  buffer_.reserve(backend_->hidden_units());
+}
+
+}  // namespace oselm::rl

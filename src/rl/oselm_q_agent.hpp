@@ -1,0 +1,89 @@
+// OS-ELM Q-Network — Algorithm 1 with the OS-ELM-specific branches
+// (lines 20-24): the paper's primary contribution (§3.2), generic over
+// the arithmetic backend so designs (2)-(5) [software] and (7) [FPGA
+// functional model] share one implementation of the control flow.
+#pragma once
+
+#include <vector>
+
+#include "rl/agent.hpp"
+#include "rl/policy.hpp"
+#include "rl/sa_encoding.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::rl {
+
+struct OsElmQAgentConfig {
+  double gamma = 0.99;              ///< discount rate
+  double epsilon_greedy = 0.7;      ///< epsilon_1: P(act greedily)
+  double update_probability = 0.5;  ///< epsilon_2: P(seq update per step)
+  std::size_t target_sync_interval = 2;  ///< UPDATE_STEP (episodes)
+  bool clip_targets = true;         ///< Q-value clipping (§3.1)
+  double clip_min = -1.0;
+  double clip_max = 1.0;
+  bool random_update = true;        ///< §3.2 (false: update every step)
+
+  void validate() const;
+};
+
+class OsElmQAgent final : public Agent {
+ public:
+  /// `backend` provides the arithmetic; `model` the (s, a) encoding;
+  /// `seed` drives exploration and the random-update coin flips.
+  OsElmQAgent(OsElmQBackendPtr backend, SimplifiedOutputModel model,
+              OsElmQAgentConfig config, std::uint64_t seed,
+              std::string_view display_name = "OS-ELM");
+
+  std::size_t act(const linalg::VecD& state) override;
+  void observe(const nn::Transition& transition) override;
+  void episode_end(std::size_t episode_index) override;
+  void reset_weights() override;
+  [[nodiscard]] bool supports_weight_reset() const override { return true; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] const util::OpBreakdown& breakdown() const override {
+    return breakdown_;
+  }
+
+  /// Greedy action under theta_1 (no exploration); used by evaluation.
+  std::size_t greedy_action(const linalg::VecD& state);
+
+  /// Q_theta1(s, a) (prediction time charged as usual).
+  double q_value(const linalg::VecD& state, std::size_t action);
+
+  [[nodiscard]] const OsElmQBackend& backend() const noexcept {
+    return *backend_;
+  }
+  [[nodiscard]] std::size_t buffered_samples() const noexcept {
+    return buffer_.size();
+  }
+  [[nodiscard]] std::size_t seq_updates() const noexcept {
+    return seq_updates_;
+  }
+  [[nodiscard]] std::size_t init_trainings() const noexcept {
+    return init_trainings_;
+  }
+
+ private:
+  /// r + (1 - d) * gamma * max_a Q_theta2(s', a), optionally clipped;
+  /// target-network prediction time is charged to `charge_to`.
+  double td_target(const nn::Transition& transition,
+                   util::OpCategory charge_to);
+
+  /// Runs the initial training on the filled buffer (lines 17-19).
+  void run_init_train();
+
+  OsElmQBackendPtr backend_;
+  SimplifiedOutputModel model_;
+  OsElmQAgentConfig config_;
+  GreedyWithProbabilityPolicy policy_;
+  util::Rng rng_;
+  std::string name_;
+
+  std::vector<nn::Transition> buffer_;  ///< buffer D, capacity = N-tilde
+  util::OpBreakdown breakdown_;
+  linalg::VecD scratch_sa_;  ///< reused encode buffer (no hot-loop allocs)
+  std::size_t seq_updates_ = 0;
+  std::size_t init_trainings_ = 0;
+};
+
+}  // namespace oselm::rl

@@ -1,0 +1,18 @@
+#include "rl/policy.hpp"
+
+#include <stdexcept>
+
+namespace oselm::rl {
+
+GreedyWithProbabilityPolicy::GreedyWithProbabilityPolicy(
+    double greedy_probability, std::size_t action_count)
+    : greedy_probability_(greedy_probability), action_count_(action_count) {
+  if (greedy_probability < 0.0 || greedy_probability > 1.0) {
+    throw std::invalid_argument("Policy: probability outside [0, 1]");
+  }
+  if (action_count == 0) {
+    throw std::invalid_argument("Policy: action_count == 0");
+  }
+}
+
+}  // namespace oselm::rl

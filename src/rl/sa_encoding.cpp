@@ -1,0 +1,48 @@
+#include "rl/sa_encoding.hpp"
+
+#include <stdexcept>
+
+namespace oselm::rl {
+
+SimplifiedOutputModel::SimplifiedOutputModel(std::size_t state_dim,
+                                             std::size_t action_count)
+    : state_dim_(state_dim), action_count_(action_count) {
+  if (state_dim == 0) {
+    throw std::invalid_argument("SimplifiedOutputModel: state_dim == 0");
+  }
+  if (action_count < 2) {
+    throw std::invalid_argument("SimplifiedOutputModel: need >= 2 actions");
+  }
+}
+
+double SimplifiedOutputModel::action_code(std::size_t action) const {
+  if (action >= action_count_) {
+    throw std::invalid_argument("SimplifiedOutputModel: bad action index");
+  }
+  // Evenly spaced codes over [-1, 1]; two actions give {-1, +1}.
+  return 2.0 * static_cast<double>(action) /
+             static_cast<double>(action_count_ - 1) -
+         1.0;
+}
+
+linalg::VecD SimplifiedOutputModel::encode(const linalg::VecD& state,
+                                           std::size_t action) const {
+  linalg::VecD out(input_dim());
+  encode_into(state, action, out);
+  return out;
+}
+
+void SimplifiedOutputModel::encode_into(const linalg::VecD& state,
+                                        std::size_t action,
+                                        linalg::VecD& out) const {
+  if (state.size() != state_dim_) {
+    throw std::invalid_argument("SimplifiedOutputModel: state width");
+  }
+  if (out.size() != input_dim()) {
+    throw std::invalid_argument("SimplifiedOutputModel: output width");
+  }
+  for (std::size_t i = 0; i < state_dim_; ++i) out[i] = state[i];
+  out[state_dim_] = action_code(action);
+}
+
+}  // namespace oselm::rl

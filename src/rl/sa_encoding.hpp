@@ -1,0 +1,49 @@
+// Simplified output model (§3.1, Figure 2 right).
+//
+// DQN maps state -> vector of per-action Q-values. The ELM/OS-ELM
+// Q-networks instead take (state, action) as one input and emit a scalar
+// Q-value, because a single-hidden-layer network with a one-column beta is
+// what the FPGA core implements. For CartPole-v0 this gives input size
+// 4 states + 1 action dimension = 5, matching §4.2.
+//
+// The discrete action index is embedded as a single real feature scaled
+// into [-1, 1] (two actions map to -1 / +1), keeping the input range
+// compatible with the spectral-normalization analysis.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace oselm::rl {
+
+class SimplifiedOutputModel {
+ public:
+  SimplifiedOutputModel(std::size_t state_dim, std::size_t action_count);
+
+  [[nodiscard]] std::size_t state_dim() const noexcept { return state_dim_; }
+  [[nodiscard]] std::size_t action_count() const noexcept {
+    return action_count_;
+  }
+  /// Width of the encoded (state, action) input: state_dim + 1.
+  [[nodiscard]] std::size_t input_dim() const noexcept {
+    return state_dim_ + 1;
+  }
+
+  /// The scalar embedding of an action index, in [-1, 1].
+  [[nodiscard]] double action_code(std::size_t action) const;
+
+  /// Encodes (state, action) into a fresh vector.
+  [[nodiscard]] linalg::VecD encode(const linalg::VecD& state,
+                                    std::size_t action) const;
+
+  /// Allocation-free variant for hot loops; `out` must be input_dim() long.
+  void encode_into(const linalg::VecD& state, std::size_t action,
+                   linalg::VecD& out) const;
+
+ private:
+  std::size_t state_dim_;
+  std::size_t action_count_;
+};
+
+}  // namespace oselm::rl

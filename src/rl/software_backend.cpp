@@ -1,0 +1,59 @@
+#include "rl/software_backend.hpp"
+
+#include "linalg/ops.hpp"
+#include "util/timer.hpp"
+
+namespace oselm::rl {
+
+SoftwareOsElmBackend::SoftwareOsElmBackend(SoftwareBackendConfig config,
+                                           std::uint64_t seed)
+    : config_(config), rng_(seed), net_(config.elm, rng_) {
+  initialize();
+}
+
+void SoftwareOsElmBackend::initialize() {
+  net_.reinitialize(rng_);
+  if (config_.spectral_normalize) {
+    sigma_at_init_ = elm::spectral_normalize_inplace(
+        net_.mutable_alpha(), config_.sigma_method, rng_);
+  } else {
+    sigma_at_init_ = 0.0;
+  }
+  beta_target_ = net_.beta();  // theta_2 <- theta_1 (Algorithm 1 line 4)
+}
+
+double SoftwareOsElmBackend::predict_main(const linalg::VecD& sa,
+                                          double& q_out) {
+  util::WallTimer timer;
+  q_out = net_.predict_one(sa)[0];
+  return timer.seconds();
+}
+
+double SoftwareOsElmBackend::predict_target(const linalg::VecD& sa,
+                                            double& q_out) {
+  util::WallTimer timer;
+  const linalg::VecD h = net_.hidden_one(sa);
+  double q = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) q += h[i] * beta_target_(i, 0);
+  q_out = q;
+  return timer.seconds();
+}
+
+double SoftwareOsElmBackend::init_train(const linalg::MatD& x,
+                                        const linalg::MatD& t) {
+  util::WallTimer timer;
+  net_.init_train(x, t);
+  return timer.seconds();
+}
+
+double SoftwareOsElmBackend::seq_train(const linalg::VecD& sa,
+                                       double target) {
+  util::WallTimer timer;
+  net_.seq_train_one_forgetting(sa, linalg::VecD{target},
+                                config_.forgetting_factor);
+  return timer.seconds();
+}
+
+void SoftwareOsElmBackend::sync_target() { beta_target_ = net_.beta(); }
+
+}  // namespace oselm::rl

@@ -1,0 +1,64 @@
+// Double-precision software backend for the OS-ELM Q-network
+// (designs 2-5 of §4.1). Owns the OS-ELM state plus a frozen copy of beta
+// acting as the target network theta_2 (alpha and the bias never change
+// after initialization, so theta_2 only needs its own beta).
+#pragma once
+
+#include "elm/os_elm.hpp"
+#include "elm/spectral.hpp"
+#include "rl/agent.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::rl {
+
+struct SoftwareBackendConfig {
+  elm::ElmConfig elm;              ///< input_dim, hidden_units, delta, ...
+  bool spectral_normalize = false; ///< Algorithm 1 lines 2-3 (alpha /= sigma)
+  elm::SigmaMethod sigma_method = elm::SigmaMethod::kSvd;
+  /// FOS-ELM forgetting factor for sequential updates; 1.0 (default)
+  /// reproduces the paper exactly, <1 exponentially discounts old TD
+  /// targets (extension experiment, see bench_ext_future_work).
+  double forgetting_factor = 1.0;
+};
+
+class SoftwareOsElmBackend final : public OsElmQBackend {
+ public:
+  /// The backend keeps its own Rng (split from `seed`) so reinitialization
+  /// draws fresh weights on every reset.
+  SoftwareOsElmBackend(SoftwareBackendConfig config, std::uint64_t seed);
+
+  void initialize() override;
+  double predict_main(const linalg::VecD& sa, double& q_out) override;
+  double predict_target(const linalg::VecD& sa, double& q_out) override;
+  double init_train(const linalg::MatD& x, const linalg::MatD& t) override;
+  double seq_train(const linalg::VecD& sa, double target) override;
+  void sync_target() override;
+
+  [[nodiscard]] bool initialized() const override {
+    return net_.initialized();
+  }
+  [[nodiscard]] std::size_t input_dim() const override {
+    return config_.elm.input_dim;
+  }
+  [[nodiscard]] std::size_t hidden_units() const override {
+    return config_.elm.hidden_units;
+  }
+
+  /// Introspection for tests and the Lipschitz diagnostics.
+  [[nodiscard]] const elm::OsElm& network() const noexcept { return net_; }
+  [[nodiscard]] const linalg::MatD& target_beta() const noexcept {
+    return beta_target_;
+  }
+  [[nodiscard]] double sigma_max_alpha_at_init() const noexcept {
+    return sigma_at_init_;
+  }
+
+ private:
+  SoftwareBackendConfig config_;
+  util::Rng rng_;
+  elm::OsElm net_;
+  linalg::MatD beta_target_;
+  double sigma_at_init_ = 0.0;
+};
+
+}  // namespace oselm::rl

@@ -1,0 +1,91 @@
+#include "rl/trainer.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace oselm::rl {
+
+TrainResult run_training(Agent& agent, env::Environment& environment,
+                         const TrainerConfig& config,
+                         const EpisodeCallback& on_episode) {
+  if (config.solved_window == 0) {
+    throw std::invalid_argument("TrainerConfig: solved_window == 0");
+  }
+
+  TrainResult result;
+  util::WallTimer run_timer;
+  util::MovingAverage window(config.solved_window);
+  double env_seconds = 0.0;
+
+  std::size_t episodes_since_reset = 0;
+  for (std::size_t episode = 1; episode <= config.max_episodes; ++episode) {
+    // §4.3 reset rule: re-randomize unpromising weights every
+    // reset_interval episodes, but only while the task has never been
+    // completed (ELM/OS-ELM designs only).
+    if (!result.solved && agent.supports_weight_reset() &&
+        config.reset_interval != 0 &&
+        episodes_since_reset >= config.reset_interval) {
+      agent.reset_weights();
+      window.reset();  // fresh weights start a fresh evaluation window
+      episodes_since_reset = 0;
+      ++result.resets;
+    }
+
+    linalg::VecD state;
+    {
+      util::WallTimer env_timer;
+      state = environment.reset();
+      env_seconds += env_timer.seconds();
+    }
+
+    std::size_t steps = 0;
+    double episode_return = 0.0;
+    for (;;) {
+      const std::size_t action = agent.act(state);
+
+      env::StepResult step;
+      {
+        util::WallTimer env_timer;
+        step = environment.step(action);
+        env_seconds += env_timer.seconds();
+      }
+      ++steps;
+      episode_return += step.reward;
+
+      nn::Transition transition{state, action, step.reward,
+                                step.observation, step.done()};
+      agent.observe(transition);
+      state = step.observation;
+
+      if (step.done()) break;
+      if (config.episode_step_cap != 0 && steps >= config.episode_step_cap) {
+        break;
+      }
+    }
+
+    ++episodes_since_reset;
+    agent.episode_end(episodes_since_reset);
+    result.episode_steps.push_back(static_cast<double>(steps));
+    result.episode_returns.push_back(episode_return);
+    result.total_steps += steps;
+    result.episodes = episode;
+    window.add(static_cast<double>(steps));
+    if (on_episode) on_episode(episode, steps, episode_return);
+
+    if (!result.solved && window.full() &&
+        window.value() >= config.solved_threshold) {
+      result.solved = true;
+      result.first_solved_episode = episode;
+      if (config.stop_on_solved) break;
+    }
+  }
+
+  result.wall_seconds = run_timer.seconds();
+  result.breakdown = agent.breakdown();
+  result.breakdown.add(util::OpCategory::kEnvironment, env_seconds);
+  return result;
+}
+
+}  // namespace oselm::rl

@@ -1,0 +1,150 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace oselm::util {
+
+namespace {
+
+/// Bucket-averages `values` down to `width` points (or pads by repetition
+/// when shorter); keeps curve shape at terminal resolution.
+std::vector<double> resample(const std::vector<double>& values,
+                             std::size_t width) {
+  std::vector<double> out(width, 0.0);
+  if (values.empty() || width == 0) return out;
+  const double stride =
+      static_cast<double>(values.size()) / static_cast<double>(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto lo = static_cast<std::size_t>(
+        std::floor(static_cast<double>(i) * stride));
+    auto hi = static_cast<std::size_t>(
+        std::floor(static_cast<double>(i + 1) * stride));
+    hi = std::max(hi, lo + 1);
+    hi = std::min(hi, values.size());
+    double sum = 0.0;
+    for (std::size_t j = lo; j < hi && j < values.size(); ++j) sum += values[j];
+    const auto n = static_cast<double>(std::max<std::size_t>(hi - lo, 1));
+    out[i] = sum / n;
+  }
+  return out;
+}
+
+std::string format_tick(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%8.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_ascii_chart(const std::vector<PlotSeries>& series,
+                               const PlotOptions& options) {
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+  const std::size_t height = std::max<std::size_t>(options.height, 4);
+
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  if (options.fixed_y_range) {
+    y_min = options.y_min;
+    y_max = options.y_max;
+  } else {
+    for (const auto& s : series) {
+      for (const double v : s.values) {
+        y_min = std::min(y_min, v);
+        y_max = std::max(y_max, v);
+      }
+    }
+    if (!std::isfinite(y_min) || !std::isfinite(y_max)) {
+      y_min = 0.0;
+      y_max = 1.0;
+    }
+    if (y_max - y_min < 1e-12) y_max = y_min + 1.0;
+  }
+
+  // canvas[row][col]; row 0 is the top.
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  std::size_t max_len = 0;
+  for (const auto& s : series) max_len = std::max(max_len, s.values.size());
+
+  for (const auto& s : series) {
+    if (s.values.empty()) continue;
+    const auto resampled = resample(s.values, width);
+    for (std::size_t col = 0; col < width; ++col) {
+      const double frac =
+          std::clamp((resampled[col] - y_min) / (y_max - y_min), 0.0, 1.0);
+      const auto row = static_cast<std::size_t>(
+          std::lround((1.0 - frac) * static_cast<double>(height - 1)));
+      canvas[row][col] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  for (std::size_t row = 0; row < height; ++row) {
+    const double frac =
+        1.0 - static_cast<double>(row) / static_cast<double>(height - 1);
+    const double tick = y_min + frac * (y_max - y_min);
+    out << format_tick(tick) << " |" << canvas[row] << '\n';
+  }
+  out << std::string(9, ' ') << '+' << std::string(width, '-') << '\n';
+  out << std::string(9, ' ') << ' ' << options.x_label << " (0.."
+      << max_len << ")\n";
+  out << "  legend:";
+  for (const auto& s : series) out << "  [" << s.glyph << "] " << s.label;
+  out << '\n';
+  return out.str();
+}
+
+std::string render_bar_chart(const std::vector<Bar>& bars, std::size_t width,
+                             const std::string& unit) {
+  double max_total = 0.0;
+  for (const auto& bar : bars) {
+    double total = 0.0;
+    for (const auto& seg : bar.segments) total += seg.value;
+    max_total = std::max(max_total, total);
+  }
+  if (max_total <= 0.0) max_total = 1.0;
+
+  std::size_t label_width = 0;
+  for (const auto& bar : bars) {
+    label_width = std::max(label_width, bar.label.size());
+  }
+
+  // A stable glyph per segment index keeps segments distinguishable.
+  static constexpr char kGlyphs[] = {'#', '=', '+', ':', '%', 'o', '.', '~'};
+
+  std::ostringstream out;
+  for (const auto& bar : bars) {
+    double total = 0.0;
+    out << "  " << bar.label
+        << std::string(label_width - bar.label.size() + 1, ' ') << '|';
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < bar.segments.size(); ++i) {
+      const auto& seg = bar.segments[i];
+      total += seg.value;
+      const auto cells = static_cast<std::size_t>(
+          std::lround(seg.value / max_total * static_cast<double>(width)));
+      out << std::string(cells, kGlyphs[i % sizeof kGlyphs]);
+      used += cells;
+    }
+    if (used < width) out << std::string(width - used, ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "| %10.4f %s", total, unit.c_str());
+    out << buf << '\n';
+  }
+  if (!bars.empty()) {
+    out << "  legend:";
+    for (std::size_t i = 0; i < bars.front().segments.size(); ++i) {
+      out << "  [" << kGlyphs[i % sizeof kGlyphs] << "] "
+          << bars.front().segments[i].label;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace oselm::util

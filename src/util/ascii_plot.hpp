@@ -1,0 +1,47 @@
+// Terminal line charts so the figure benches can render the paper's
+// training curves (Fig. 4) without a plotting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oselm::util {
+
+/// One named series to render.
+struct PlotSeries {
+  std::string label;
+  std::vector<double> values;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  std::size_t width = 100;   ///< chart columns (x resolution)
+  std::size_t height = 20;   ///< chart rows (y resolution)
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  /// When set, y-axis spans [y_min, y_max] instead of the data range.
+  bool fixed_y_range = false;
+  double y_min = 0.0;
+  double y_max = 1.0;
+};
+
+/// Renders series into a multi-line ASCII chart. Series longer than the
+/// chart width are downsampled by bucket-averaging.
+std::string render_ascii_chart(const std::vector<PlotSeries>& series,
+                               const PlotOptions& options);
+
+/// Renders a horizontal bar chart (used for the Fig. 5/6 stacked bars).
+struct BarSegment {
+  std::string label;
+  double value = 0.0;
+};
+struct Bar {
+  std::string label;
+  std::vector<BarSegment> segments;
+};
+std::string render_bar_chart(const std::vector<Bar>& bars,
+                             std::size_t width = 70,
+                             const std::string& unit = "s");
+
+}  // namespace oselm::util

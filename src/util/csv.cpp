@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace oselm::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> cells) {
+  bool first = true;
+  for (const auto cell : cells) {
+    if (!first) out_ << ',';
+    out_ << escape(cell);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    out_ << escape(cell);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::format_cell(double v) {
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << v;
+  return oss.str();
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace oselm::util

@@ -1,0 +1,55 @@
+// Minimal CSV writer for experiment artifacts (one file per table/figure).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oselm::util {
+
+/// Streams rows to a CSV file with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(std::initializer_list<std::string_view> cells);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic values with max precision.
+  template <typename... Ts>
+  void write_values(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(format_cell(values)), ...);
+    write_row(cells);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(std::string_view s) {
+    return std::string(s);
+  }
+  static std::string format_cell(double v);
+  static std::string format_cell(float v) {
+    return format_cell(static_cast<double>(v));
+  }
+  template <typename T>
+  static std::string format_cell(T v)
+    requires std::is_integral_v<T>
+  {
+    return std::to_string(v);
+  }
+
+  static std::string escape(std::string_view cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace oselm::util

@@ -1,0 +1,38 @@
+#include "util/env_flags.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace oselm::util {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed < 0) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || parsed < 0.0) return fallback;
+  return parsed;
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::string v(raw);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace oselm::util

@@ -1,0 +1,20 @@
+// Environment-variable overrides for bench fidelity knobs, e.g.
+// OSELM_TRIALS=100 ./bench_fig5_time_to_complete
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oselm::util {
+
+/// Reads an integer environment variable; returns `fallback` when unset or
+/// malformed. Negative values are rejected (fallback is returned).
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Reads a floating-point environment variable with the same fallback rule.
+double env_double(const std::string& name, double fallback);
+
+/// Reads a boolean flag ("1"/"true"/"yes" case-insensitive => true).
+bool env_bool(const std::string& name, bool fallback);
+
+}  // namespace oselm::util

@@ -1,0 +1,57 @@
+#include "util/op_accounting.hpp"
+
+namespace oselm::util {
+
+std::string_view op_category_name(OpCategory category) noexcept {
+  switch (category) {
+    case OpCategory::kSeqTrain:
+      return "seq_train";
+    case OpCategory::kPredictSeq:
+      return "predict_seq";
+    case OpCategory::kInitTrain:
+      return "init_train";
+    case OpCategory::kPredictInit:
+      return "predict_init";
+    case OpCategory::kTrainDqn:
+      return "train_DQN";
+    case OpCategory::kPredict1:
+      return "predict_1";
+    case OpCategory::kPredict32:
+      return "predict_32";
+    case OpCategory::kEnvironment:
+      return "environment";
+    case OpCategory::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+double OpBreakdown::total() const noexcept {
+  double sum = 0.0;
+  for (const double s : seconds_) sum += s;
+  return sum;
+}
+
+double OpBreakdown::total_excluding_env() const noexcept {
+  return total() - get(OpCategory::kEnvironment);
+}
+
+OpBreakdown& OpBreakdown::operator+=(const OpBreakdown& other) noexcept {
+  for (std::size_t i = 0; i < kOpCategoryCount; ++i) {
+    seconds_[i] += other.seconds_[i];
+    invocations_[i] += other.invocations_[i];
+  }
+  return *this;
+}
+
+OpBreakdown OpBreakdown::averaged_over(std::size_t trials) const noexcept {
+  OpBreakdown out;
+  if (trials == 0) return out;
+  for (std::size_t i = 0; i < kOpCategoryCount; ++i) {
+    out.seconds_[i] = seconds_[i] / static_cast<double>(trials);
+    out.invocations_[i] = invocations_[i] / trials;
+  }
+  return out;
+}
+
+}  // namespace oselm::util

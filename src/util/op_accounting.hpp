@@ -1,0 +1,71 @@
+// Per-operation time accounting for the paper's Figure 5/6 breakdown.
+//
+// The paper decomposes each design's time-to-complete into the categories
+// below (§4.4). Software designs accumulate measured wall-clock seconds;
+// the FPGA design accumulates *modeled* programmable-logic seconds for
+// predict/seq_train (cycle count / 125 MHz) and measured host seconds for
+// init_train, exactly mirroring the hardware/software split of Fig. 3.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace oselm::util {
+
+/// Operation categories reported in the paper's execution-time breakdown.
+enum class OpCategory : std::size_t {
+  kSeqTrain = 0,     ///< OS-ELM sequential training (Eq. 6)
+  kPredictSeq,       ///< prediction after initial training completed
+  kInitTrain,        ///< ELM/OS-ELM initial training (Eq. 7/8)
+  kPredictInit,      ///< prediction before initial training completed
+  kTrainDqn,         ///< DQN backprop + Adam step
+  kPredict1,         ///< DQN batch-1 prediction (action selection)
+  kPredict32,        ///< DQN batch-32 prediction (target computation)
+  kEnvironment,      ///< environment stepping (not in the paper's bars)
+  kCount
+};
+
+constexpr std::size_t kOpCategoryCount =
+    static_cast<std::size_t>(OpCategory::kCount);
+
+/// Human-readable name matching the paper's legend.
+std::string_view op_category_name(OpCategory category) noexcept;
+
+/// Accumulates seconds and invocation counts per operation category.
+/// Counts let the Fig. 5 "board mode" convert instrumented op counts into
+/// modeled PYNQ-Z1 seconds (see hw::SoftwarePlatformModel).
+class OpBreakdown {
+ public:
+  void add(OpCategory category, double seconds,
+           std::uint64_t invocations = 1) noexcept {
+    seconds_[static_cast<std::size_t>(category)] += seconds;
+    invocations_[static_cast<std::size_t>(category)] += invocations;
+  }
+
+  [[nodiscard]] double get(OpCategory category) const noexcept {
+    return seconds_[static_cast<std::size_t>(category)];
+  }
+
+  [[nodiscard]] std::uint64_t invocations(OpCategory category) const noexcept {
+    return invocations_[static_cast<std::size_t>(category)];
+  }
+
+  /// Sum over every category (== time-to-complete for the design).
+  [[nodiscard]] double total() const noexcept;
+
+  /// Sum excluding environment time (the paper's bars exclude env cost).
+  [[nodiscard]] double total_excluding_env() const noexcept;
+
+  OpBreakdown& operator+=(const OpBreakdown& other) noexcept;
+
+  /// Element-wise division by a trial count, for averaging.
+  [[nodiscard]] OpBreakdown averaged_over(std::size_t trials) const noexcept;
+
+ private:
+  std::array<double, kOpCategoryCount> seconds_{};
+  std::array<std::uint64_t, kOpCategoryCount> invocations_{};
+};
+
+}  // namespace oselm::util

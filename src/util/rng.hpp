@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components in this repository (weight initialization,
+// epsilon-greedy exploration, environment reset noise, replay sampling)
+// draw from util::Rng so that a single 64-bit seed reproduces an entire
+// experiment bit-for-bit, independent of the standard library's
+// distribution implementations.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// SplitMix64. Both are public-domain algorithms reimplemented here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace oselm::util {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ pseudo-random generator with derived distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be handed to
+/// standard algorithms, but the member distributions below are preferred
+/// because their output is platform-stable.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state via SplitMix64 from a single seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n) for n > 0 (unbiased via rejection).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial: true with probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Fills `out` with uniform values in [lo, hi).
+  void fill_uniform(std::vector<double>& out, double lo, double hi) noexcept;
+
+  /// Derives an independent child generator (for parallel trials).
+  Rng split() noexcept;
+
+  /// 2^128 jump, advancing the stream as if by 2^128 draws.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace oselm::util

@@ -1,0 +1,152 @@
+#include "util/serialization.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace oselm::util {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little ||
+                  std::endian::native == std::endian::big,
+              "mixed-endian platforms are not supported");
+
+template <typename T>
+T to_little(T v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    T out;
+    auto* src = reinterpret_cast<const std::uint8_t*>(&v);
+    auto* dst = reinterpret_cast<std::uint8_t*>(&out);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      dst[i] = src[sizeof(T) - 1 - i];
+    }
+    return out;
+  }
+  return v;
+}
+
+}  // namespace
+
+void BinaryWriter::write_u8(std::uint8_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), 1);
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  const std::uint32_t le = to_little(v);
+  out_.write(reinterpret_cast<const char*>(&le), sizeof le);
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+  const std::uint64_t le = to_little(v);
+  out_.write(reinterpret_cast<const char*>(&le), sizeof le);
+}
+
+void BinaryWriter::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  write_u64(bits);
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_vector(const std::vector<double>& v) {
+  write_u64(v.size());
+  for (const double x : v) write_f64(x);
+}
+
+void BinaryWriter::write_matrix(const linalg::MatD& m) {
+  write_u64(m.rows());
+  write_u64(m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) write_f64(m.data()[i]);
+}
+
+void BinaryReader::read_bytes(void* dst, std::size_t count) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(count));
+  if (static_cast<std::size_t>(in_.gcount()) != count) {
+    throw std::runtime_error("BinaryReader: truncated input");
+  }
+}
+
+std::uint8_t BinaryReader::read_u8() {
+  std::uint8_t v;
+  read_bytes(&v, 1);
+  return v;
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_bytes(&v, sizeof v);
+  return to_little(v);
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  read_bytes(&v, sizeof v);
+  return to_little(v);
+}
+
+double BinaryReader::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 32)) {
+    throw std::runtime_error("BinaryReader: implausible string size");
+  }
+  std::string s(size, '\0');
+  read_bytes(s.data(), size);
+  return s;
+}
+
+std::vector<double> BinaryReader::read_vector() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 32)) {
+    throw std::runtime_error("BinaryReader: implausible vector size");
+  }
+  std::vector<double> v(size);
+  for (auto& x : v) x = read_f64();
+  return v;
+}
+
+linalg::MatD BinaryReader::read_matrix() {
+  const std::uint64_t rows = read_u64();
+  const std::uint64_t cols = read_u64();
+  if (rows > (1ULL << 24) || cols > (1ULL << 24)) {
+    throw std::runtime_error("BinaryReader: implausible matrix shape");
+  }
+  linalg::MatD m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = read_f64();
+  return m;
+}
+
+void write_header(BinaryWriter& writer, const char magic[4],
+                  std::uint8_t version) {
+  for (int i = 0; i < 4; ++i) {
+    writer.write_u8(static_cast<std::uint8_t>(magic[i]));
+  }
+  writer.write_u8(version);
+}
+
+void read_header(BinaryReader& reader, const char magic[4],
+                 std::uint8_t expected_version) {
+  for (int i = 0; i < 4; ++i) {
+    if (reader.read_u8() != static_cast<std::uint8_t>(magic[i])) {
+      throw std::runtime_error("serialization: magic mismatch");
+    }
+  }
+  const std::uint8_t version = reader.read_u8();
+  if (version != expected_version) {
+    throw std::runtime_error("serialization: unsupported version " +
+                             std::to_string(version));
+  }
+}
+
+}  // namespace oselm::util

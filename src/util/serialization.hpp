@@ -1,0 +1,64 @@
+// Minimal binary serialization for model checkpoints.
+//
+// Deployment need: the PYNQ-Z1's CPU part persists trained weights
+// (alpha, beta, P) across power cycles and writes them back into the PL's
+// BRAMs on boot. The format is explicit little-endian with a magic tag
+// and version byte so files are portable and refuse to load mismatched
+// layouts.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace oselm::util {
+
+/// Stream writer with explicit little-endian encoding.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_vector(const std::vector<double>& v);
+  void write_matrix(const linalg::MatD& m);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Stream reader; throws std::runtime_error on truncated/corrupt input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  double read_f64();
+  std::string read_string();
+  std::vector<double> read_vector();
+  linalg::MatD read_matrix();
+
+ private:
+  void read_bytes(void* dst, std::size_t count);
+  std::istream& in_;
+};
+
+/// Writes/validates a 4-byte magic tag plus a format version byte.
+void write_header(BinaryWriter& writer, const char magic[4],
+                  std::uint8_t version);
+/// Throws std::runtime_error when magic or version mismatch.
+void read_header(BinaryReader& reader, const char magic[4],
+                 std::uint8_t expected_version);
+
+}  // namespace oselm::util

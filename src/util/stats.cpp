@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oselm::util {
+
+void RunningStat::add(double value) noexcept {
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    mean_ = value;
+    min_ = value;
+    max_ = value;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStat::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("MovingAverage: window == 0");
+}
+
+void MovingAverage::add(double value) {
+  buffer_.push_back(value);
+  sum_ += value;
+  if (buffer_.size() > window_) {
+    sum_ -= buffer_.front();
+    buffer_.pop_front();
+  }
+}
+
+double MovingAverage::value() const noexcept {
+  if (buffer_.empty()) return 0.0;
+  return sum_ / static_cast<double>(buffer_.size());
+}
+
+void MovingAverage::reset() noexcept {
+  buffer_.clear();
+  sum_ = 0.0;
+}
+
+std::vector<double> moving_average_series(const std::vector<double>& series,
+                                          std::size_t window) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  MovingAverage ma(window == 0 ? 1 : window);
+  for (const double v : series) {
+    ma.add(v);
+    out.push_back(ma.value());
+  }
+  return out;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace oselm::util

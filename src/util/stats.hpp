@@ -1,0 +1,62 @@
+// Streaming statistics and moving averages for training-curve reporting.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace oselm::util {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-window moving average; the paper's darker training-curve lines
+/// use a 100-episode window (§4.3).
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  void add(double value);
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  /// True once the window is fully populated.
+  [[nodiscard]] bool full() const noexcept {
+    return buffer_.size() == window_;
+  }
+  void reset() noexcept;
+
+ private:
+  std::size_t window_;
+  std::deque<double> buffer_;
+  double sum_ = 0.0;
+};
+
+/// Moving average of a whole series (NaN-free: partial windows average
+/// whatever is available, matching matplotlib-style rolling plots).
+std::vector<double> moving_average_series(const std::vector<double>& series,
+                                          std::size_t window);
+
+/// Percentile by linear interpolation on a copy of the data (q in [0,1]).
+double percentile(std::vector<double> values, double q);
+
+}  // namespace oselm::util

@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a blocking parallel_for, used to run
+// independent RL trials concurrently when averaging Fig. 5 results.
+//
+// Matrix-level parallelism uses OpenMP inside linalg; this pool exists for
+// the coarser trial-level fan-out where per-trial determinism (one Rng per
+// trial) must be preserved regardless of scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace oselm::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 -> hardware_concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it finishes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for i in [0, count) across the pool and blocks until all
+  /// iterations complete. Exceptions from iterations are rethrown (first
+  /// one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace oselm::util

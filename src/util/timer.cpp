@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only today; the translation unit anchors the target and keeps an
+// insertion point for platform-specific clocks (e.g. CLOCK_MONOTONIC_RAW).

@@ -1,0 +1,38 @@
+// Wall-clock timing helpers used by the execution-time experiments (Fig. 5/6).
+#pragma once
+
+#include <chrono>
+
+namespace oselm::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's duration to an accumulator on destruction.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) noexcept : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace oselm::util

@@ -1,0 +1,105 @@
+#include "core/design.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::core {
+namespace {
+
+TEST(Design, NamesMatchPaperSection41) {
+  EXPECT_EQ(design_name(Design::kElm), "ELM");
+  EXPECT_EQ(design_name(Design::kOsElm), "OS-ELM");
+  EXPECT_EQ(design_name(Design::kOsElmL2), "OS-ELM-L2");
+  EXPECT_EQ(design_name(Design::kOsElmLipschitz), "OS-ELM-Lipschitz");
+  EXPECT_EQ(design_name(Design::kOsElmL2Lipschitz), "OS-ELM-L2-Lipschitz");
+  EXPECT_EQ(design_name(Design::kDqn), "DQN");
+  EXPECT_EQ(design_name(Design::kFpga), "FPGA");
+}
+
+TEST(Design, AllDesignsListsSeven) {
+  EXPECT_EQ(all_designs().size(), 7u);
+  EXPECT_EQ(software_designs().size(), 6u);
+}
+
+TEST(Design, RoundTripThroughNames) {
+  for (const Design d : all_designs()) {
+    EXPECT_EQ(design_from_name(design_name(d)), d);
+  }
+  EXPECT_THROW(design_from_name("NotADesign"), std::invalid_argument);
+}
+
+TEST(Design, DeltaDefaultsFollowSection41) {
+  AgentConfig cfg;
+  cfg.design = Design::kOsElmL2;
+  EXPECT_DOUBLE_EQ(cfg.resolved_delta(), 1.0);
+  cfg.design = Design::kOsElmL2Lipschitz;
+  EXPECT_DOUBLE_EQ(cfg.resolved_delta(), 0.5);
+  cfg.design = Design::kFpga;
+  EXPECT_DOUBLE_EQ(cfg.resolved_delta(), 0.5);
+  cfg.design = Design::kOsElm;
+  EXPECT_DOUBLE_EQ(cfg.resolved_delta(), 0.0);
+  cfg.design = Design::kOsElmLipschitz;
+  EXPECT_DOUBLE_EQ(cfg.resolved_delta(), 0.0);
+}
+
+TEST(Design, ExplicitDeltaOverridesDefault) {
+  AgentConfig cfg;
+  cfg.design = Design::kOsElmL2;
+  cfg.l2_delta = 0.125;
+  EXPECT_DOUBLE_EQ(cfg.resolved_delta(), 0.125);
+}
+
+TEST(Factory, BuildsEveryDesign) {
+  for (const Design d : all_designs()) {
+    AgentConfig cfg;
+    cfg.design = d;
+    cfg.hidden_units = 8;
+    cfg.seed = 3;
+    const rl::AgentPtr agent = make_agent(cfg);
+    ASSERT_NE(agent, nullptr) << design_name(d);
+    EXPECT_EQ(agent->name(), design_name(d)) << design_name(d);
+  }
+}
+
+TEST(Factory, RejectsZeroHiddenUnits) {
+  AgentConfig cfg;
+  cfg.hidden_units = 0;
+  EXPECT_THROW(make_agent(cfg), std::invalid_argument);
+}
+
+TEST(Factory, OnlyDqnLacksWeightReset) {
+  for (const Design d : all_designs()) {
+    AgentConfig cfg;
+    cfg.design = d;
+    cfg.hidden_units = 8;
+    const rl::AgentPtr agent = make_agent(cfg);
+    EXPECT_EQ(agent->supports_weight_reset(), d != Design::kDqn)
+        << design_name(d);
+  }
+}
+
+TEST(Factory, AgentsActOnCartPoleStates) {
+  for (const Design d : all_designs()) {
+    AgentConfig cfg;
+    cfg.design = d;
+    cfg.hidden_units = 8;
+    const rl::AgentPtr agent = make_agent(cfg);
+    const std::size_t action = agent->act({0.01, -0.02, 0.03, -0.04});
+    EXPECT_LT(action, 2u) << design_name(d);
+  }
+}
+
+TEST(Factory, SameSeedSameFirstActions) {
+  AgentConfig cfg;
+  cfg.design = Design::kOsElmL2Lipschitz;
+  cfg.hidden_units = 16;
+  cfg.seed = 77;
+  const rl::AgentPtr a = make_agent(cfg);
+  const rl::AgentPtr b = make_agent(cfg);
+  for (int i = 0; i < 20; ++i) {
+    const linalg::VecD s{0.01 * i, 0.0, -0.01 * i, 0.0};
+    EXPECT_EQ(a->act(s), b->act(s)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace oselm::core

@@ -1,0 +1,75 @@
+#include "elm/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace oselm::elm {
+namespace {
+
+TEST(Activation, ReluMatchesDefinition) {
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kReLU, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kReLU, -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kReLU, 0.0), 0.0);
+}
+
+TEST(Activation, SigmoidRangeAndSymmetry) {
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kSigmoid, 0.0), 0.5);
+  const double s2 = apply_activation(Activation::kSigmoid, 2.0);
+  const double sm2 = apply_activation(Activation::kSigmoid, -2.0);
+  EXPECT_NEAR(s2 + sm2, 1.0, 1e-12);
+  EXPECT_GT(s2, 0.5);
+  EXPECT_LT(s2, 1.0);
+}
+
+TEST(Activation, TanhMatchesStd) {
+  for (const double x : {-2.0, -0.5, 0.0, 0.5, 2.0}) {
+    EXPECT_DOUBLE_EQ(apply_activation(Activation::kTanh, x), std::tanh(x));
+  }
+}
+
+TEST(Activation, LinearIsIdentity) {
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kLinear, -7.5), -7.5);
+}
+
+TEST(Activation, AllAreOneLipschitz) {
+  // §2.5 relies on activation Lipschitz constants <= 1.
+  util::Rng rng(1);
+  for (const Activation g : {Activation::kReLU, Activation::kSigmoid,
+                             Activation::kTanh, Activation::kLinear}) {
+    for (int i = 0; i < 1000; ++i) {
+      const double x1 = rng.uniform(-5.0, 5.0);
+      const double x2 = rng.uniform(-5.0, 5.0);
+      const double dy =
+          std::abs(apply_activation(g, x1) - apply_activation(g, x2));
+      EXPECT_LE(dy, std::abs(x1 - x2) + 1e-12)
+          << activation_name(g) << " at " << x1 << "," << x2;
+    }
+  }
+}
+
+TEST(Activation, InplaceAppliesElementwise) {
+  linalg::MatD m{{-1.0, 2.0}, {3.0, -4.0}};
+  apply_activation_inplace(Activation::kReLU, m);
+  EXPECT_TRUE(
+      linalg::approx_equal(m, linalg::MatD{{0.0, 2.0}, {3.0, 0.0}}, 0.0));
+}
+
+TEST(Activation, InplaceLinearIsNoOp) {
+  linalg::MatD m{{-1.0, 2.0}};
+  const linalg::MatD copy = m;
+  apply_activation_inplace(Activation::kLinear, m);
+  EXPECT_TRUE(m == copy);
+}
+
+TEST(Activation, NamesAreStable) {
+  EXPECT_EQ(activation_name(Activation::kReLU), "relu");
+  EXPECT_EQ(activation_name(Activation::kSigmoid), "sigmoid");
+  EXPECT_EQ(activation_name(Activation::kTanh), "tanh");
+  EXPECT_EQ(activation_name(Activation::kLinear), "linear");
+}
+
+}  // namespace
+}  // namespace oselm::elm

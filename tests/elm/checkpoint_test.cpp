@@ -1,0 +1,146 @@
+#include "elm/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "linalg/ops.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::elm {
+namespace {
+
+ElmConfig sample_config() {
+  ElmConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden_units = 12;
+  cfg.output_dim = 2;
+  cfg.l2_delta = 0.25;
+  return cfg;
+}
+
+OsElm trained_model(std::uint64_t seed) {
+  util::Rng rng(seed);
+  OsElm model(sample_config(), rng);
+  linalg::MatD x0(20, 4);
+  linalg::MatD t0(20, 2);
+  rng.fill_uniform(x0.storage(), -1.0, 1.0);
+  rng.fill_uniform(t0.storage(), -1.0, 1.0);
+  model.init_train(x0, t0);
+  for (int i = 0; i < 10; ++i) {
+    linalg::VecD x(4);
+    rng.fill_uniform(x, -1.0, 1.0);
+    model.seq_train_one(x, {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)});
+  }
+  return model;
+}
+
+TEST(Checkpoint, RoundTripPreservesEveryTensor) {
+  const OsElm original = trained_model(1);
+  std::stringstream buffer;
+  save_os_elm(original, buffer);
+  const OsElm restored = load_os_elm(buffer);
+
+  EXPECT_TRUE(linalg::approx_equal(restored.alpha(), original.alpha(), 0.0));
+  EXPECT_EQ(restored.bias(), original.bias());
+  EXPECT_TRUE(linalg::approx_equal(restored.beta(), original.beta(), 0.0));
+  EXPECT_TRUE(linalg::approx_equal(restored.p(), original.p(), 0.0));
+  EXPECT_TRUE(restored.initialized());
+  EXPECT_EQ(restored.config().hidden_units, 12u);
+  EXPECT_DOUBLE_EQ(restored.config().l2_delta, 0.25);
+}
+
+TEST(Checkpoint, RestoredModelPredictsIdentically) {
+  const OsElm original = trained_model(2);
+  std::stringstream buffer;
+  save_os_elm(original, buffer);
+  OsElm restored = load_os_elm(buffer);
+
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    linalg::VecD x(4);
+    rng.fill_uniform(x, -1.0, 1.0);
+    const linalg::VecD a = original.predict_one(x);
+    const linalg::VecD b = restored.predict_one(x);
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(a[c], b[c]) << i;
+  }
+}
+
+TEST(Checkpoint, RestoredModelContinuesSequentialTraining) {
+  // The deployment scenario: resume Eq. 6 updates after a power cycle and
+  // land on exactly the same weights as the uninterrupted model.
+  OsElm original = trained_model(4);
+  std::stringstream buffer;
+  save_os_elm(original, buffer);
+  OsElm restored = load_os_elm(buffer);
+
+  util::Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    linalg::VecD x(4);
+    rng.fill_uniform(x, -1.0, 1.0);
+    const linalg::VecD t{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    original.seq_train_one(x, t);
+    restored.seq_train_one(x, t);
+  }
+  EXPECT_TRUE(linalg::approx_equal(restored.beta(), original.beta(), 0.0));
+  EXPECT_TRUE(linalg::approx_equal(restored.p(), original.p(), 0.0));
+}
+
+TEST(Checkpoint, UntrainedModelRoundTrips) {
+  util::Rng rng(6);
+  const OsElm original(sample_config(), rng);
+  std::stringstream buffer;
+  save_os_elm(original, buffer);
+  OsElm restored = load_os_elm(buffer);
+  EXPECT_FALSE(restored.initialized());
+  EXPECT_THROW(restored.seq_train_one({1, 2, 3, 4}, {0.0, 0.0}),
+               std::logic_error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "oselm_checkpoint.bin";
+  const OsElm original = trained_model(7);
+  save_os_elm_file(original, path);
+  const OsElm restored = load_os_elm_file(path);
+  EXPECT_TRUE(linalg::approx_equal(restored.beta(), original.beta(), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptMagic) {
+  std::stringstream buffer;
+  save_os_elm(trained_model(8), buffer);
+  std::string bytes = buffer.str();
+  bytes[0] = 'X';
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(load_os_elm(corrupt), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTruncatedStream) {
+  std::stringstream buffer;
+  save_os_elm(trained_model(9), buffer);
+  std::stringstream truncated(buffer.str().substr(0, 40));
+  EXPECT_THROW(load_os_elm(truncated), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsUnknownVersion) {
+  std::stringstream buffer;
+  save_os_elm(trained_model(10), buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version byte follows the 4-byte magic
+  std::stringstream wrong(bytes);
+  EXPECT_THROW(load_os_elm(wrong), std::runtime_error);
+}
+
+TEST(FromParts, ValidatesShapes) {
+  const ElmConfig cfg = sample_config();
+  EXPECT_THROW(OsElm::from_parts(cfg, linalg::MatD(2, 2), linalg::VecD(12),
+                                 linalg::MatD(12, 2), linalg::MatD(), false),
+               std::invalid_argument);
+  EXPECT_THROW(OsElm::from_parts(cfg, linalg::MatD(4, 12),
+                                 linalg::VecD(12), linalg::MatD(12, 2),
+                                 linalg::MatD(3, 3), true),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oselm::elm

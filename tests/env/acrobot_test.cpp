@@ -1,0 +1,114 @@
+#include "env/acrobot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oselm::env {
+namespace {
+
+TEST(Acrobot, ObservationIsSixDimensionalTrigEncoding) {
+  Acrobot env;
+  const Observation obs = env.reset();
+  ASSERT_EQ(obs.size(), 6u);
+  // cos^2 + sin^2 == 1 for both links.
+  EXPECT_NEAR(obs[0] * obs[0] + obs[1] * obs[1], 1.0, 1e-12);
+  EXPECT_NEAR(obs[2] * obs[2] + obs[3] * obs[3], 1.0, 1e-12);
+}
+
+TEST(Acrobot, ThreeTorqueActions) {
+  Acrobot env;
+  EXPECT_EQ(env.action_space().n, 3u);
+}
+
+TEST(Acrobot, ResetSamplesSmallAngles) {
+  Acrobot env;
+  env.reset();
+  for (const double v : env.internal_state()) {
+    EXPECT_GE(v, -0.1);
+    EXPECT_LE(v, 0.1);
+  }
+}
+
+TEST(Acrobot, RewardIsMinusOneUntilGoal) {
+  Acrobot env;
+  env.reset();
+  const auto result = env.step(1);
+  if (!result.terminated) EXPECT_DOUBLE_EQ(result.reward, -1.0);
+}
+
+TEST(Acrobot, HangingStillWithNoTorqueStaysNearRest) {
+  Acrobot env;
+  env.reset();
+  env.set_internal_state({0.0, 0.0, 0.0, 0.0});  // stable equilibrium
+  const auto result = env.step(1);               // zero torque
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(env.internal_state()[i], 0.0, 1e-9) << i;
+  }
+  EXPECT_FALSE(result.terminated);
+}
+
+TEST(Acrobot, InvertedConfigurationIsTerminal) {
+  // theta1 = pi puts the free end height at -cos(pi) - cos(pi) = 2 > 1.
+  Acrobot env;
+  env.reset();
+  env.set_internal_state({3.14159, 0.0, 0.0, 0.0});
+  const auto result = env.step(1);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_DOUBLE_EQ(result.reward, 0.0);
+}
+
+TEST(Acrobot, TorqueAccelerationHasConsistentSign) {
+  Acrobot env;
+  env.reset();
+  env.set_internal_state({0.0, 0.0, 0.0, 0.0});
+  (void)env.step(2);  // +1 torque on the second joint
+  EXPECT_GT(env.internal_state()[3], 0.0);  // dtheta2 responds positively
+}
+
+TEST(Acrobot, VelocitiesAreClamped) {
+  Acrobot env;
+  env.reset();
+  env.set_internal_state({0.0, 0.0, 12.0, 25.0});  // above both caps
+  (void)env.step(1);
+  EXPECT_LE(std::abs(env.internal_state()[2]), 4.0 * 3.14159266);
+  EXPECT_LE(std::abs(env.internal_state()[3]), 9.0 * 3.14159266);
+}
+
+TEST(Acrobot, AnglesWrapIntoMinusPiPi) {
+  Acrobot env;
+  env.reset();
+  env.set_internal_state({3.1, 0.0, 3.0, 0.0});
+  (void)env.step(2);
+  EXPECT_LE(env.internal_state()[0], 3.14159266);
+  EXPECT_GE(env.internal_state()[0], -3.14159266);
+}
+
+TEST(Acrobot, TruncatesAtFiveHundredSteps) {
+  AcrobotParams params;
+  params.max_episode_steps = 5;  // shrink the cap for the test
+  Acrobot env(params, 1);
+  env.reset();
+  env.set_internal_state({0.0, 0.0, 0.0, 0.0});
+  StepResult last;
+  for (int i = 0; i < 5; ++i) last = env.step(1);
+  EXPECT_TRUE(last.truncated);
+}
+
+TEST(Acrobot, SameSeedSameTrajectory) {
+  Acrobot a(AcrobotParams{}, 77);
+  Acrobot b(AcrobotParams{}, 77);
+  EXPECT_EQ(a.reset(), b.reset());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.step(2).observation, b.step(2).observation);
+  }
+}
+
+TEST(Acrobot, InvalidActionThrows) {
+  Acrobot env;
+  env.reset();
+  EXPECT_THROW(env.step(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oselm::env

@@ -1,0 +1,171 @@
+#include "env/cartpole.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oselm::env {
+namespace {
+
+TEST(CartPole, SpacesMatchGymAndTable2) {
+  CartPole env;
+  EXPECT_EQ(env.action_space().n, 2u);
+  const BoxSpace& obs = env.observation_space();
+  ASSERT_EQ(obs.dimensions(), 4u);
+  // Table 2: cart position +-(2*2.4)=4.8 published bound, velocities
+  // unbounded, pole angle bound = 2 * 12 deg = 0.418 rad.
+  EXPECT_DOUBLE_EQ(obs.high[0], 4.8);
+  EXPECT_TRUE(std::isinf(obs.high[1]));
+  EXPECT_NEAR(obs.high[2], 0.41887902047863906, 1e-12);
+  EXPECT_TRUE(std::isinf(obs.high[3]));
+}
+
+TEST(CartPole, ResetSamplesWithinPlusMinus005) {
+  CartPole env;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Observation obs = env.reset();
+    ASSERT_EQ(obs.size(), 4u);
+    for (const double v : obs) {
+      EXPECT_GE(v, -0.05);
+      EXPECT_LE(v, 0.05);
+    }
+  }
+}
+
+TEST(CartPole, SameSeedSameEpisode) {
+  CartPole a(CartPoleParams{}, 99);
+  CartPole b(CartPoleParams{}, 99);
+  EXPECT_EQ(a.reset(), b.reset());
+  for (int i = 0; i < 20; ++i) {
+    const auto ra = a.step(static_cast<std::size_t>(i % 2));
+    const auto rb = b.step(static_cast<std::size_t>(i % 2));
+    EXPECT_EQ(ra.observation, rb.observation);
+    EXPECT_EQ(ra.done(), rb.done());
+    if (ra.done()) break;
+  }
+}
+
+TEST(CartPole, ReseedReproducesReset) {
+  CartPole env(CartPoleParams{}, 5);
+  const Observation first = env.reset();
+  env.seed(5);
+  EXPECT_EQ(env.reset(), first);
+}
+
+TEST(CartPole, OneStepFromOriginMatchesGymDynamics) {
+  // Hand-computed from Gym's cartpole.py with force +10 at the zero state:
+  //   temp      = 10 / 1.1                  =  9.0909091
+  //   theta_acc = -temp / (0.5*(4/3 - 0.1/1.1)) = -14.6341463
+  //   x_acc     = temp + 0.05*14.6341463/1.1   =  9.7560976
+  CartPole env;
+  env.reset();
+  env.set_state({0.0, 0.0, 0.0, 0.0});
+  const auto result = env.step(1);
+  ASSERT_EQ(result.observation.size(), 4u);
+  EXPECT_NEAR(result.observation[0], 0.0, 1e-12);          // x (old x_dot=0)
+  EXPECT_NEAR(result.observation[1], 0.19512195121951220, 1e-9);
+  EXPECT_NEAR(result.observation[2], 0.0, 1e-12);          // theta
+  EXPECT_NEAR(result.observation[3], -0.29268292682926828, 1e-9);
+  EXPECT_FALSE(result.done());
+  EXPECT_DOUBLE_EQ(result.reward, 1.0);
+}
+
+TEST(CartPole, LeftPushMirrorsRightPushFromOrigin) {
+  CartPole env;
+  env.reset();
+  env.set_state({0.0, 0.0, 0.0, 0.0});
+  const auto right = env.step(1);
+  env.set_state({0.0, 0.0, 0.0, 0.0});
+  const auto left = env.step(0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(left.observation[i], -right.observation[i], 1e-12) << i;
+  }
+}
+
+TEST(CartPole, TerminatesWhenCartLeavesTrack) {
+  CartPole env;
+  env.reset();
+  env.set_state({2.39, 10.0, 0.0, 0.0});  // about to cross +2.4
+  const auto result = env.step(1);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_DOUBLE_EQ(result.reward, 1.0);  // Gym pays the final step too
+}
+
+TEST(CartPole, TerminatesWhenPoleFallsPastTwelveDegrees) {
+  CartPole env;
+  env.reset();
+  env.set_state({0.0, 0.0, 0.205, 2.0});  // theta near the 0.2094 bound
+  const auto result = env.step(1);
+  EXPECT_TRUE(result.terminated);
+}
+
+TEST(CartPole, ConstantPushFailsWithinFewHundredSteps) {
+  CartPole env(CartPoleParams{}, 4);
+  env.reset();
+  std::size_t steps = 0;
+  for (;; ++steps) {
+    const auto result = env.step(1);
+    if (result.done()) {
+      EXPECT_TRUE(result.terminated);  // fell, not timed out
+      break;
+    }
+    ASSERT_LT(steps, 200u);
+  }
+  EXPECT_LT(steps, 100u);  // always-right destabilizes quickly
+}
+
+TEST(CartPole, TruncatesAtConfiguredCap) {
+  CartPoleParams params;
+  params.max_episode_steps = 3;
+  CartPole env(params, 11);
+  env.reset();
+  env.set_state({0.0, 0.0, 0.0, 0.0});
+  // Alternate pushes to keep the pole near balance for 3 steps.
+  auto r1 = env.step(1);
+  EXPECT_FALSE(r1.done());
+  auto r2 = env.step(0);
+  EXPECT_FALSE(r2.done());
+  auto r3 = env.step(1);
+  EXPECT_TRUE(r3.truncated);
+  EXPECT_FALSE(r3.terminated);
+}
+
+TEST(CartPole, StepAfterDoneThrows) {
+  CartPole env;
+  env.reset();
+  env.set_state({2.39, 100.0, 0.0, 0.0});
+  (void)env.step(1);
+  EXPECT_THROW(env.step(0), std::logic_error);
+}
+
+TEST(CartPole, StepBeforeResetThrows) {
+  CartPole env;
+  EXPECT_THROW(env.step(0), std::logic_error);
+}
+
+TEST(CartPole, InvalidActionThrows) {
+  CartPole env;
+  env.reset();
+  EXPECT_THROW(env.step(2), std::invalid_argument);
+}
+
+TEST(CartPole, SetStateValidatesWidth) {
+  CartPole env;
+  EXPECT_THROW(env.set_state({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(CartPole, EnergyInjectionIncreasesSpeedInPushDirection) {
+  CartPole env;
+  env.reset();
+  env.set_state({0.0, 0.0, 0.0, 0.0});
+  double x_dot = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto result = env.step(1);
+    EXPECT_GT(result.observation[1], x_dot);  // monotone while upright-ish
+    x_dot = result.observation[1];
+  }
+}
+
+}  // namespace
+}  // namespace oselm::env

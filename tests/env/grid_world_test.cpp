@@ -1,0 +1,149 @@
+#include "env/grid_world.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::env {
+namespace {
+
+TEST(GridWorld, DefaultLayoutIsValid) {
+  GridWorld env;
+  EXPECT_EQ(env.action_space().n, 4u);
+  EXPECT_EQ(env.observation_space().dimensions(), 2u);
+}
+
+TEST(GridWorld, ResetReturnsStartObservation) {
+  GridWorld env;
+  const Observation obs = env.reset();
+  EXPECT_EQ(env.current_cell(), 0u);
+  EXPECT_DOUBLE_EQ(obs[0], 0.0);
+  EXPECT_DOUBLE_EQ(obs[1], 0.0);
+}
+
+TEST(GridWorld, MovesUpdateCellRowMajor) {
+  GridWorld env;
+  env.reset();
+  (void)env.step(1);  // right: 0 -> 1
+  EXPECT_EQ(env.current_cell(), 1u);
+  (void)env.step(2);  // down: 1 -> 5? cell 5 is a pit in the default map...
+}
+
+TEST(GridWorld, EdgeMovesAreNoOps) {
+  GridWorld env;
+  env.reset();
+  (void)env.step(0);  // up from the top row
+  EXPECT_EQ(env.current_cell(), 0u);
+  (void)env.step(3);  // left from the left column
+  EXPECT_EQ(env.current_cell(), 0u);
+}
+
+TEST(GridWorld, GoalPaysGoalReward) {
+  GridWorldParams params;
+  params.width = 2;
+  params.height = 1;
+  params.start_cell = 0;
+  params.goal_cell = 1;
+  params.pit_cells = {};
+  GridWorld env(params);
+  env.reset();
+  const auto result = env.step(1);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_DOUBLE_EQ(result.reward, params.goal_reward);
+}
+
+TEST(GridWorld, PitPaysPitRewardAndTerminates) {
+  GridWorldParams params;
+  params.width = 2;
+  params.height = 1;
+  params.start_cell = 0;
+  params.goal_cell = 1;
+  params.pit_cells = {1};
+  params.goal_cell = 0;  // goal at start is fine; we walk into the pit
+  GridWorld env(params);
+  env.reset();
+  const auto result = env.step(1);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_DOUBLE_EQ(result.reward, params.pit_reward);
+}
+
+TEST(GridWorld, StepRewardOnNonTerminalMoves) {
+  GridWorld env;
+  env.reset();
+  const auto result = env.step(1);  // 0 -> 1, ordinary cell
+  EXPECT_FALSE(result.done());
+  EXPECT_DOUBLE_EQ(result.reward, GridWorldParams{}.step_reward);
+}
+
+TEST(GridWorld, TruncatesAtStepCap) {
+  GridWorldParams params;
+  params.max_episode_steps = 4;
+  GridWorld env(params);
+  env.reset();
+  StepResult last;
+  for (int i = 0; i < 4; ++i) last = env.step(0);  // bump against the wall
+  EXPECT_TRUE(last.truncated);
+}
+
+TEST(GridWorld, ObservationIsNormalizedPosition) {
+  GridWorld env;
+  env.reset();
+  (void)env.step(1);
+  (void)env.step(1);
+  (void)env.step(1);  // cell 3 = top-right of 4x4
+  const auto result = env.step(2);  // down to cell 7? pit! restart instead
+  (void)result;
+  GridWorld env2;
+  env2.reset();
+  (void)env2.step(1);
+  const auto r = env2.step(1);  // cell 2: x = 2/3, y = 0
+  EXPECT_NEAR(r.observation[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.observation[1], 0.0, 1e-12);
+}
+
+TEST(GridWorld, ShortestPathAvoidsPits) {
+  // Default 4x4 map: start 0, goal 15, pits {5, 7}: BFS distance is 6.
+  GridWorld env;
+  EXPECT_EQ(env.shortest_path_length(), 6u);
+}
+
+TEST(GridWorld, ShortestPathOnOpenGridIsManhattan) {
+  GridWorldParams params;
+  params.pit_cells = {};
+  GridWorld env(params);
+  EXPECT_EQ(env.shortest_path_length(), 6u);  // (3 right + 3 down)
+}
+
+TEST(GridWorld, UnreachableGoalReportsMaxDistance) {
+  GridWorldParams params;
+  params.width = 3;
+  params.height = 1;
+  params.start_cell = 0;
+  params.goal_cell = 2;
+  params.pit_cells = {1};  // wall of pits
+  GridWorld env(params);
+  EXPECT_EQ(env.shortest_path_length(),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(GridWorld, InvalidConfigurationThrows) {
+  GridWorldParams params;
+  params.start_cell = 99;
+  EXPECT_THROW(GridWorld{params}, std::invalid_argument);
+  GridWorldParams bad_pit;
+  bad_pit.pit_cells = {99};
+  EXPECT_THROW(GridWorld{bad_pit}, std::invalid_argument);
+}
+
+TEST(GridWorld, StepAfterTerminalThrows) {
+  GridWorldParams params;
+  params.width = 2;
+  params.height = 1;
+  params.goal_cell = 1;
+  params.pit_cells = {};
+  GridWorld env(params);
+  env.reset();
+  (void)env.step(1);
+  EXPECT_THROW(env.step(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace oselm::env

@@ -1,0 +1,120 @@
+#include "env/mountain_car.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oselm::env {
+namespace {
+
+TEST(MountainCar, SpacesMatchGym) {
+  MountainCar env;
+  EXPECT_EQ(env.action_space().n, 3u);
+  const BoxSpace& obs = env.observation_space();
+  EXPECT_DOUBLE_EQ(obs.low[0], -1.2);
+  EXPECT_DOUBLE_EQ(obs.high[0], 0.6);
+  EXPECT_DOUBLE_EQ(obs.low[1], -0.07);
+  EXPECT_DOUBLE_EQ(obs.high[1], 0.07);
+}
+
+TEST(MountainCar, ResetInValleyWithZeroVelocity) {
+  MountainCar env;
+  for (int i = 0; i < 20; ++i) {
+    const Observation obs = env.reset();
+    EXPECT_GE(obs[0], -0.6);
+    EXPECT_LE(obs[0], -0.4);
+    EXPECT_DOUBLE_EQ(obs[1], 0.0);
+  }
+}
+
+TEST(MountainCar, OneStepMatchesGymDynamics) {
+  // From (-0.5, 0) with action 2 (push right):
+  //   vel = 0.001 + cos(-1.5) * (-0.0025) = 0.001 - 0.0025*cos(1.5)
+  MountainCar env;
+  env.reset();
+  env.set_state({-0.5, 0.0});
+  const auto result = env.step(2);
+  const double expected_vel = 0.001 - 0.0025 * std::cos(1.5);
+  EXPECT_NEAR(result.observation[1], expected_vel, 1e-12);
+  EXPECT_NEAR(result.observation[0], -0.5 + expected_vel, 1e-12);
+  EXPECT_DOUBLE_EQ(result.reward, -1.0);
+}
+
+TEST(MountainCar, NoOpActionOnlyFeelsGravity) {
+  MountainCar env;
+  env.reset();
+  env.set_state({-0.5, 0.0});
+  const auto result = env.step(1);
+  EXPECT_NEAR(result.observation[1], -0.0025 * std::cos(1.5), 1e-12);
+}
+
+TEST(MountainCar, VelocityIsClamped) {
+  MountainCar env;
+  env.reset();
+  env.set_state({-0.3, 0.069});
+  // Push right downhill-ish; velocity must not exceed +0.07.
+  const auto result = env.step(2);
+  EXPECT_LE(result.observation[1], 0.07);
+}
+
+TEST(MountainCar, LeftWallStopsTheCar) {
+  MountainCar env;
+  env.reset();
+  env.set_state({-1.199, -0.07});
+  const auto result = env.step(0);
+  EXPECT_DOUBLE_EQ(result.observation[0], -1.2);
+  EXPECT_DOUBLE_EQ(result.observation[1], 0.0);
+}
+
+TEST(MountainCar, ReachingGoalTerminates) {
+  MountainCar env;
+  env.reset();
+  env.set_state({0.495, 0.07});
+  const auto result = env.step(2);
+  EXPECT_TRUE(result.terminated);
+}
+
+TEST(MountainCar, AlwaysPushingRightFromRestFailsIn200Steps) {
+  // The classic underpowered-car property: direct pushing cannot climb.
+  MountainCar env(MountainCarParams{}, 3);
+  env.reset();
+  env.set_state({-0.5, 0.0});
+  StepResult last;
+  for (int i = 0; i < 200; ++i) {
+    last = env.step(2);
+    if (last.done()) break;
+  }
+  EXPECT_TRUE(last.truncated);
+  EXPECT_FALSE(last.terminated);
+}
+
+TEST(MountainCar, OscillationStrategyBuildsMomentum) {
+  // Swinging left first reaches a more negative position than pure right
+  // pushing ever loses, demonstrating the energy-pumping dynamic.
+  MountainCar env;
+  env.reset();
+  env.set_state({-0.5, 0.0});
+  double min_pos = -0.5;
+  for (int i = 0; i < 50; ++i) {
+    const auto result = env.step(0);
+    min_pos = std::min(min_pos, result.observation[0]);
+  }
+  EXPECT_LT(min_pos, -0.8);
+}
+
+TEST(MountainCar, StepAfterDoneThrows) {
+  MountainCar env;
+  env.reset();
+  env.set_state({0.499, 0.07});
+  (void)env.step(2);
+  EXPECT_THROW(env.step(2), std::logic_error);
+}
+
+TEST(MountainCar, InvalidActionThrows) {
+  MountainCar env;
+  env.reset();
+  EXPECT_THROW(env.step(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oselm::env

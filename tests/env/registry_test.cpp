@@ -1,0 +1,59 @@
+#include "env/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::env {
+namespace {
+
+TEST(Registry, AllRegisteredIdsConstruct) {
+  for (const std::string& id : registered_environments()) {
+    const EnvironmentPtr env = make_environment(id, 1);
+    ASSERT_NE(env, nullptr) << id;
+    const Observation obs = env->reset();
+    EXPECT_EQ(obs.size(), env->observation_space().dimensions()) << id;
+    EXPECT_GE(env->action_space().n, 2u) << id;
+  }
+}
+
+TEST(Registry, UnknownIdThrows) {
+  EXPECT_THROW(make_environment("Pong-v5"), std::invalid_argument);
+  EXPECT_THROW(make_environment(""), std::invalid_argument);
+}
+
+TEST(Registry, CartPoleIdsHaveExpectedNames) {
+  EXPECT_EQ(make_environment("CartPole-v0")->name(), "CartPole-v0");
+  // The shaped wrapper keeps the inner environment's name.
+  EXPECT_EQ(make_environment("ShapedCartPole-v0")->name(), "CartPole-v0");
+}
+
+TEST(Registry, SeedsPropagate) {
+  auto a = make_environment("CartPole-v0", 42);
+  auto b = make_environment("CartPole-v0", 42);
+  EXPECT_EQ(a->reset(), b->reset());
+}
+
+TEST(Registry, ShapedCartPoleHasShapedRewards) {
+  auto env = make_environment("ShapedCartPole-v0", 3);
+  env->reset();
+  EXPECT_DOUBLE_EQ(env->step(1).reward, 0.0);  // raw CartPole would pay 1
+}
+
+TEST(Registry, ListsSevenEnvironments) {
+  EXPECT_EQ(registered_environments().size(), 7u);
+}
+
+TEST(Registry, ShapedMountainCarRewardsGoalReaching) {
+  auto env = make_environment("ShapedMountainCar-v0", 3);
+  env->reset();
+  // Ordinary step: 0 instead of the raw -1.
+  EXPECT_DOUBLE_EQ(env->step(1).reward, 0.0);
+}
+
+TEST(Registry, ShapedAcrobotConstructs) {
+  auto env = make_environment("ShapedAcrobot-v1", 3);
+  const Observation obs = env->reset();
+  EXPECT_EQ(obs.size(), 6u);
+}
+
+}  // namespace
+}  // namespace oselm::env

@@ -1,0 +1,135 @@
+#include "env/shaping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "env/cartpole.hpp"
+#include "env/mountain_car.hpp"
+
+namespace oselm::env {
+namespace {
+
+EnvironmentPtr small_cartpole(std::size_t cap, std::uint64_t seed = 1) {
+  CartPoleParams params;
+  params.max_episode_steps = cap;
+  return std::make_unique<CartPole>(params, seed);
+}
+
+TEST(SurvivalShaping, NullInnerThrows) {
+  EXPECT_THROW(SurvivalShaping(nullptr), std::invalid_argument);
+}
+
+TEST(SurvivalShaping, SurvivingStepPaysZero) {
+  SurvivalShaping env(small_cartpole(200));
+  env.reset();
+  const auto result = env.step(1);
+  ASSERT_FALSE(result.done());
+  EXPECT_DOUBLE_EQ(result.reward, 0.0);
+}
+
+TEST(SurvivalShaping, PrematureTerminationPaysMinusOne) {
+  auto inner = std::make_unique<CartPole>(CartPoleParams{}, 2);
+  CartPole* raw = inner.get();
+  SurvivalShaping env(std::move(inner));
+  env.reset();
+  raw->set_state({2.39, 100.0, 0.0, 0.0});
+  const auto result = env.step(1);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_DOUBLE_EQ(result.reward, -1.0);
+}
+
+TEST(SurvivalShaping, ReachingTheCapPaysPlusOne) {
+  auto inner = std::make_unique<CartPole>(
+      []{ CartPoleParams p; p.max_episode_steps = 2; return p; }(), 3);
+  CartPole* raw = inner.get();
+  SurvivalShaping env(std::move(inner));
+  env.reset();
+  raw->set_state({0.0, 0.0, 0.0, 0.0});
+  (void)env.step(1);
+  const auto result = env.step(0);
+  ASSERT_TRUE(result.truncated);
+  EXPECT_DOUBLE_EQ(result.reward, 1.0);
+}
+
+TEST(SurvivalShaping, CustomRewardsAreHonored) {
+  SurvivalShapingParams shaping;
+  shaping.step_reward = -0.01;
+  shaping.failure_reward = -5.0;
+  auto inner = std::make_unique<CartPole>(CartPoleParams{}, 4);
+  CartPole* raw = inner.get();
+  SurvivalShaping env(std::move(inner), shaping);
+  env.reset();
+  raw->set_state({0.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(env.step(1).reward, -0.01);
+  raw->set_state({2.39, 100.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(env.step(1).reward, -5.0);
+}
+
+TEST(SurvivalShaping, DelegatesSpacesAndMetadata) {
+  SurvivalShaping env(small_cartpole(200));
+  EXPECT_EQ(env.name(), "CartPole-v0");
+  EXPECT_EQ(env.action_space().n, 2u);
+  EXPECT_EQ(env.max_episode_steps(), 200u);
+  EXPECT_EQ(env.observation_space().dimensions(), 4u);
+}
+
+TEST(SurvivalShaping, RewardsStayWithinPaperRange) {
+  // §3.1: "the maximum reward given by the environment is 1 and the
+  // minimum reward is -1" — the wrapper must guarantee that.
+  SurvivalShaping env(small_cartpole(50, 8));
+  env.reset();
+  for (int episode = 0; episode < 5; ++episode) {
+    for (;;) {
+      const auto result = env.step(episode % 2 == 0 ? 1u : 0u);
+      EXPECT_GE(result.reward, -1.0);
+      EXPECT_LE(result.reward, 1.0);
+      if (result.done()) break;
+    }
+    env.reset();
+  }
+}
+
+TEST(MakeShapedCartpole, ProducesWorkingEnvironment) {
+  const EnvironmentPtr env = make_shaped_cartpole(17);
+  const Observation obs = env->reset();
+  EXPECT_EQ(obs.size(), 4u);
+  EXPECT_EQ(env->step(0).reward, 0.0);
+}
+
+TEST(GoalShaping, NullInnerThrows) {
+  EXPECT_THROW(GoalShaping(nullptr), std::invalid_argument);
+}
+
+TEST(GoalShaping, GoalTerminationPaysPlusOne) {
+  // MountainCar about to reach the goal: termination is success here.
+  auto inner = std::make_unique<MountainCar>(MountainCarParams{}, 2);
+  MountainCar* raw = inner.get();
+  GoalShaping env(std::move(inner));
+  env.reset();
+  raw->set_state({0.499, 0.07});
+  const auto result = env.step(2);
+  ASSERT_TRUE(result.terminated);
+  EXPECT_DOUBLE_EQ(result.reward, 1.0);
+}
+
+TEST(GoalShaping, TimeoutPaysMinusOne) {
+  MountainCarParams params;
+  params.max_episode_steps = 2;
+  GoalShaping env(std::make_unique<MountainCar>(params, 3));
+  env.reset();
+  (void)env.step(1);
+  const auto result = env.step(1);
+  ASSERT_TRUE(result.truncated);
+  EXPECT_DOUBLE_EQ(result.reward, -1.0);
+}
+
+TEST(GoalShaping, OrdinaryStepsPayStepReward) {
+  GoalShapingParams shaping;
+  shaping.step_reward = -0.01;
+  GoalShaping env(std::make_unique<MountainCar>(MountainCarParams{}, 4),
+                  shaping);
+  env.reset();
+  EXPECT_DOUBLE_EQ(env.step(1).reward, -0.01);
+}
+
+}  // namespace
+}  // namespace oselm::env

@@ -1,0 +1,50 @@
+#include "env/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace oselm::env {
+namespace {
+
+TEST(BoxSpace, ContainsInteriorAndBoundary) {
+  BoxSpace box{{-1.0, -2.0}, {1.0, 2.0}};
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({1.0, 2.0}));    // boundary included
+  EXPECT_TRUE(box.contains({-1.0, -2.0}));
+  EXPECT_FALSE(box.contains({1.1, 0.0}));
+  EXPECT_FALSE(box.contains({0.0, -2.1}));
+}
+
+TEST(BoxSpace, RejectsWrongDimension) {
+  BoxSpace box{{-1.0}, {1.0}};
+  EXPECT_FALSE(box.contains({0.0, 0.0}));
+  EXPECT_FALSE(box.contains({}));
+}
+
+TEST(BoxSpace, UnboundedAxesAcceptAnyFiniteValue) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  BoxSpace box{{-kInf}, {kInf}};
+  EXPECT_TRUE(box.contains({1e308}));
+  EXPECT_TRUE(box.contains({-1e308}));
+}
+
+TEST(BoxSpace, DimensionsReflectsVectors) {
+  BoxSpace box{{-1.0, 0.0, 1.0}, {1.0, 2.0, 3.0}};
+  EXPECT_EQ(box.dimensions(), 3u);
+}
+
+TEST(DiscreteSpace, ContainsIndicesBelowN) {
+  DiscreteSpace d{3};
+  EXPECT_TRUE(d.contains(0));
+  EXPECT_TRUE(d.contains(2));
+  EXPECT_FALSE(d.contains(3));
+}
+
+TEST(DiscreteSpace, EmptySpaceContainsNothing) {
+  DiscreteSpace d{0};
+  EXPECT_FALSE(d.contains(0));
+}
+
+}  // namespace
+}  // namespace oselm::env

@@ -1,0 +1,161 @@
+#include "fixed/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::fixed {
+namespace {
+
+class FixedPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { overflow_stats().reset(); }
+};
+
+TEST_F(FixedPointTest, FormatConstantsMatchPaperQ20) {
+  // §4.2: 32-bit word, 20 fractional bits => 11 integer bits + sign.
+  EXPECT_EQ(Q20::kFracBits, 20);
+  EXPECT_EQ(Q20::kIntBits, 11);
+  EXPECT_EQ(Q20::kOne, 1 << 20);
+}
+
+TEST_F(FixedPointTest, RoundTripSmallValues) {
+  for (const double v : {0.0, 1.0, -1.0, 0.5, -0.25, 3.14159, -123.456}) {
+    EXPECT_NEAR(Q20::from_double(v).to_double(), v, 1e-6) << v;
+  }
+}
+
+TEST_F(FixedPointTest, OneUlpIsTwoToMinusTwenty) {
+  EXPECT_DOUBLE_EQ(Q20::epsilon().to_double(), 1.0 / (1 << 20));
+}
+
+TEST_F(FixedPointTest, ConversionRoundsToNearest) {
+  const double ulp = 1.0 / (1 << 20);
+  EXPECT_EQ(Q20::from_double(0.4 * ulp).raw(), 0);
+  EXPECT_EQ(Q20::from_double(0.6 * ulp).raw(), 1);
+  EXPECT_EQ(Q20::from_double(-0.6 * ulp).raw(), -1);
+}
+
+TEST_F(FixedPointTest, ConversionSaturatesAndCounts) {
+  // Max representable is just under 2048 for Q11.20.
+  const Q20 big = Q20::from_double(5000.0);
+  EXPECT_EQ(big.raw(), Q20::kRawMax);
+  const Q20 small = Q20::from_double(-5000.0);
+  EXPECT_EQ(small.raw(), Q20::kRawMin);
+  EXPECT_EQ(overflow_stats().conversion_saturations, 2u);
+}
+
+TEST_F(FixedPointTest, AdditionExact) {
+  const Q20 a = Q20::from_double(1.25);
+  const Q20 b = Q20::from_double(2.5);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -1.25);
+}
+
+TEST_F(FixedPointTest, AdditionSaturatesAndCounts) {
+  const Q20 max = Q20::max();
+  const Q20 one = Q20::one();
+  EXPECT_EQ((max + one).raw(), Q20::kRawMax);
+  EXPECT_EQ((Q20::min() - one).raw(), Q20::kRawMin);
+  EXPECT_EQ(overflow_stats().add_saturations, 2u);
+}
+
+TEST_F(FixedPointTest, MultiplicationOfDyadicsIsExact) {
+  const Q20 a = Q20::from_double(1.5);
+  const Q20 b = Q20::from_double(-2.25);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -3.375);
+}
+
+TEST_F(FixedPointTest, MultiplicationSaturates) {
+  const Q20 big = Q20::from_double(1000.0);
+  EXPECT_EQ((big * big).raw(), Q20::kRawMax);
+  EXPECT_GE(overflow_stats().mul_saturations, 1u);
+}
+
+TEST_F(FixedPointTest, DivisionExactForPowersOfTwo) {
+  const Q20 a = Q20::from_double(3.0);
+  const Q20 b = Q20::from_double(4.0);
+  EXPECT_DOUBLE_EQ((a / b).to_double(), 0.75);
+}
+
+TEST_F(FixedPointTest, DivisionByZeroSaturatesAndCounts) {
+  EXPECT_EQ((Q20::one() / Q20::zero()).raw(), Q20::kRawMax);
+  EXPECT_EQ(((-Q20::one()) / Q20::zero()).raw(), Q20::kRawMin);
+  EXPECT_EQ(overflow_stats().div_by_zero, 2u);
+}
+
+TEST_F(FixedPointTest, NegationOfMinSaturates) {
+  EXPECT_EQ((-Q20::min()).raw(), Q20::kRawMax);
+}
+
+TEST_F(FixedPointTest, ComparisonsFollowNumericOrder) {
+  const Q20 a = Q20::from_double(-1.0);
+  const Q20 b = Q20::from_double(2.0);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, Q20::from_double(-1.0));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FixedPointTest, CompoundAssignmentMatchesBinaryOps) {
+  Q20 acc = Q20::from_double(1.0);
+  acc += Q20::from_double(2.0);
+  EXPECT_DOUBLE_EQ(acc.to_double(), 3.0);
+  acc *= Q20::from_double(2.0);
+  EXPECT_DOUBLE_EQ(acc.to_double(), 6.0);
+  acc -= Q20::from_double(1.0);
+  EXPECT_DOUBLE_EQ(acc.to_double(), 5.0);
+  acc /= Q20::from_double(2.0);
+  EXPECT_DOUBLE_EQ(acc.to_double(), 2.5);
+}
+
+TEST_F(FixedPointTest, AbsClampRelu) {
+  EXPECT_DOUBLE_EQ(abs(Q20::from_double(-3.5)).to_double(), 3.5);
+  EXPECT_DOUBLE_EQ(clamp(Q20::from_double(5.0), Q20::from_double(-1.0),
+                         Q20::from_double(1.0))
+                       .to_double(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(clamp(Q20::from_double(-5.0), Q20::from_double(-1.0),
+                         Q20::from_double(1.0))
+                       .to_double(),
+                   -1.0);
+  EXPECT_DOUBLE_EQ(relu(Q20::from_double(-2.0)).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(relu(Q20::from_double(2.0)).to_double(), 2.0);
+}
+
+TEST_F(FixedPointTest, FromIntSaturates) {
+  EXPECT_DOUBLE_EQ(Q20::from_int(2).to_double(), 2.0);
+  EXPECT_EQ(Q20::from_int(100000).raw(), Q20::kRawMax);
+}
+
+TEST_F(FixedPointTest, ReciprocalNrMatchesExactDivision) {
+  for (const double v : {1.0, 2.0, 0.5, 3.0, 7.25, 100.0, 0.01, -2.0, -0.3}) {
+    const Q20 x = Q20::from_double(v);
+    const Q20 approx = reciprocal_nr(x);
+    // Absolute error scales with the magnitude of the reciprocal (the
+    // post-scaling left shift amplifies the quantized seed error).
+    const double bound = 5e-4 * std::max(1.0, std::abs(1.0 / v));
+    EXPECT_NEAR(approx.to_double(), 1.0 / v, bound) << v;
+  }
+}
+
+TEST_F(FixedPointTest, ReciprocalNrOfZeroSaturates) {
+  EXPECT_EQ(reciprocal_nr(Q20::zero()).raw(), Q20::kRawMax);
+}
+
+TEST_F(FixedPointTest, AlternativeFormatsTradeRangeForPrecision) {
+  using Q8 = Fixed<8>;   // wide range, coarse
+  using Q28 = Fixed<28>; // tight range, fine
+  EXPECT_GT(Q8::max().to_double(), Q20::max().to_double());
+  EXPECT_LT(Q28::max().to_double(), Q20::max().to_double());
+  EXPECT_LT(Q28::epsilon().to_double(), Q20::epsilon().to_double());
+}
+
+TEST_F(FixedPointTest, OverflowStatsTotalAndReset) {
+  (void)(Q20::max() + Q20::one());
+  (void)(Q20::one() / Q20::zero());
+  EXPECT_EQ(overflow_stats().total(), 2u);
+  overflow_stats().reset();
+  EXPECT_EQ(overflow_stats().total(), 0u);
+}
+
+}  // namespace
+}  // namespace oselm::fixed

@@ -1,0 +1,85 @@
+#include "hw/cycle_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::hw {
+namespace {
+
+TEST(CycleModel, ValidatesConstruction) {
+  EXPECT_THROW(CycleModel(0, 5), std::invalid_argument);
+  EXPECT_THROW(CycleModel(64, 0), std::invalid_argument);
+  BoardClocks bad;
+  bad.pl_hz = 0.0;
+  EXPECT_THROW(CycleModel(64, 5, CycleModelParams{}, bad),
+               std::invalid_argument);
+}
+
+TEST(CycleModel, PredictCyclesFollowFormula) {
+  CycleModelParams p;
+  p.pipeline_overhead = 64;
+  const CycleModel m(64, 5, p);
+  // N*(n+3) + overhead = 64*8 + 64.
+  EXPECT_EQ(m.predict_cycles(), 64u * 8 + 64);
+}
+
+TEST(CycleModel, SeqTrainCyclesFollowFormula) {
+  CycleModelParams p;
+  p.pipeline_overhead = 64;
+  p.divider_latency = 32;
+  const CycleModel m(64, 5, p);
+  // 2N^2 + N*(n+6) + div + overhead = 8192 + 704 + 32 + 64.
+  EXPECT_EQ(m.seq_train_cycles(), 2u * 64 * 64 + 64 * 11 + 32 + 64);
+}
+
+TEST(CycleModel, SeqTrainIsQuadraticPredictLinear) {
+  // Zero out the constant overheads to expose the asymptotics.
+  CycleModelParams bare;
+  bare.pipeline_overhead = 0;
+  bare.divider_latency = 0;
+  const CycleModel small(32, 5, bare);
+  const CycleModel big(128, 5, bare);  // 4x the units
+  const double predict_ratio =
+      static_cast<double>(big.predict_cycles()) /
+      static_cast<double>(small.predict_cycles());
+  const double train_ratio =
+      static_cast<double>(big.seq_train_cycles()) /
+      static_cast<double>(small.seq_train_cycles());
+  EXPECT_DOUBLE_EQ(predict_ratio, 4.0);  // exactly linear in N
+  EXPECT_GT(train_ratio, 10.0);          // super-linear (2N^2 dominates...)
+  EXPECT_LE(train_ratio, 16.0);          // ...but the N(n+6) term dilutes
+}
+
+TEST(CycleModel, SecondsUsePlClockAndAxiOverhead) {
+  CycleModelParams p;
+  p.axi_overhead = 100;
+  const CycleModel m(64, 5, p);
+  const double expected =
+      static_cast<double>(m.predict_cycles() + 100) / 125.0e6;
+  EXPECT_DOUBLE_EQ(m.predict_seconds(), expected);
+}
+
+TEST(CycleModel, SeqTrainDominatesPredict) {
+  // The paper's Fig. 6: seq_train is the dominant FPGA cost.
+  for (const std::size_t n : {32u, 64u, 128u, 192u}) {
+    const CycleModel m(n, 5);
+    EXPECT_GT(m.seq_train_cycles(), m.predict_cycles()) << n;
+  }
+}
+
+TEST(CycleModel, PaperScaleSanity) {
+  // At N = 64 a seq_train is ~9 kcycles ~ 73 us at 125 MHz: thousands of
+  // updates per second, which is what makes the FPGA design fastest.
+  const CycleModel m(64, 5);
+  EXPECT_LT(m.seq_train_seconds(), 1e-4);
+  EXPECT_GT(m.seq_train_seconds(), 1e-6);
+}
+
+TEST(CycleModel, ClockAccessors) {
+  const CycleModel m(64, 5);
+  EXPECT_DOUBLE_EQ(m.clocks().pl_hz, 125.0e6);
+  EXPECT_EQ(m.hidden_units(), 64u);
+  EXPECT_EQ(m.input_dim(), 5u);
+}
+
+}  // namespace
+}  // namespace oselm::hw

@@ -1,0 +1,53 @@
+#include "hw/fixed_tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace oselm::hw {
+namespace {
+
+TEST(FixedTensor, VectorRoundTripWithinHalfUlp) {
+  util::Rng rng(1);
+  linalg::VecD v(100);
+  rng.fill_uniform(v, -10.0, 10.0);
+  const linalg::VecD back = dequantize(quantize(v));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], quantization_half_ulp()) << i;
+  }
+}
+
+TEST(FixedTensor, MatrixRoundTripPreservesShape) {
+  util::Rng rng(2);
+  linalg::MatD m(7, 13);
+  rng.fill_uniform(m.storage(), -2.0, 2.0);
+  const FixedMat q = quantize(m);
+  EXPECT_EQ(q.rows(), 7u);
+  EXPECT_EQ(q.cols(), 13u);
+  const linalg::MatD back = dequantize(q);
+  EXPECT_LT(linalg::max_abs_diff(back, m), quantization_half_ulp());
+}
+
+TEST(FixedTensor, DequantizeIsExact) {
+  // Q20 values are dyadic rationals: converting back to double is lossless
+  // so double round trips of already-quantized data are identities.
+  util::Rng rng(3);
+  linalg::VecD v(50);
+  rng.fill_uniform(v, -1.0, 1.0);
+  const linalg::VecD once = dequantize(quantize(v));
+  const linalg::VecD twice = dequantize(quantize(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(FixedTensor, QuantizeSaturatesOutOfRange) {
+  const FixedVec q = quantize(linalg::VecD{5000.0, -5000.0});
+  EXPECT_EQ(q[0].raw(), Q::kRawMax);
+  EXPECT_EQ(q[1].raw(), Q::kRawMin);
+}
+
+TEST(FixedTensor, HalfUlpConstant) {
+  EXPECT_DOUBLE_EQ(quantization_half_ulp(), 0.5 / (1 << 20));
+}
+
+}  // namespace
+}  // namespace oselm::hw

@@ -1,0 +1,238 @@
+#include "hw/fpga_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/svd.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::hw {
+namespace {
+
+FpgaBackendConfig small_config(std::size_t hidden = 16) {
+  FpgaBackendConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden_units = hidden;
+  cfg.l2_delta = 0.5;
+  cfg.spectral_normalize = true;
+  return cfg;
+}
+
+linalg::MatD random_matrix(std::size_t rows, std::size_t cols,
+                           util::Rng& rng, double lo = -1.0,
+                           double hi = 1.0) {
+  linalg::MatD m(rows, cols);
+  rng.fill_uniform(m.storage(), lo, hi);
+  return m;
+}
+
+/// Double-precision ReLU hidden layer using the backend's host weights.
+linalg::VecD host_hidden(const FpgaOsElmBackend& backend,
+                         const linalg::VecD& x) {
+  const linalg::MatD& alpha = backend.alpha_host();
+  const linalg::VecD& bias = backend.bias_host();
+  linalg::VecD h(alpha.cols());
+  for (std::size_t j = 0; j < alpha.cols(); ++j) {
+    double acc = bias[j];
+    for (std::size_t i = 0; i < alpha.rows(); ++i) {
+      acc += x[i] * alpha(i, j);
+    }
+    h[j] = std::max(0.0, acc);
+  }
+  return h;
+}
+
+TEST(FpgaBackend, AlphaIsSpectralNormalizedOnHost) {
+  FpgaOsElmBackend backend(small_config(), 1);
+  EXPECT_NEAR(linalg::largest_singular_value(backend.alpha_host()), 1.0,
+              1e-9);
+}
+
+TEST(FpgaBackend, StartsUninitialized) {
+  FpgaOsElmBackend backend(small_config(), 2);
+  EXPECT_FALSE(backend.initialized());
+  EXPECT_THROW(backend.seq_train(linalg::VecD(5, 0.1), 0.5),
+               std::logic_error);
+}
+
+TEST(FpgaBackend, PredictMatchesDoubleReferenceBeforeTraining) {
+  FpgaOsElmBackend backend(small_config(), 3);
+  util::Rng rng(30);
+  for (int trial = 0; trial < 20; ++trial) {
+    linalg::VecD x(5);
+    rng.fill_uniform(x, -1.0, 1.0);
+    double q_fixed = 0.0;
+    (void)backend.predict_main(x, q_fixed);
+    // Double reference with the dequantized on-chip weights.
+    const linalg::VecD h = host_hidden(backend, x);
+    const linalg::MatD beta = dequantize(backend.beta_fixed());
+    double q_ref = 0.0;
+    for (std::size_t j = 0; j < h.size(); ++j) q_ref += h[j] * beta(j, 0);
+    // Error budget: ~(n + N) rounding events of <= 1 ulp each.
+    EXPECT_NEAR(q_fixed, q_ref, 64 * quantization_half_ulp()) << trial;
+  }
+}
+
+TEST(FpgaBackend, InitTrainMatchesEq8WithinQuantization) {
+  FpgaBackendConfig cfg = small_config(12);
+  FpgaOsElmBackend backend(cfg, 4);
+  util::Rng rng(40);
+  const linalg::MatD x0 = random_matrix(24, 5, rng);
+  const linalg::MatD t0 = random_matrix(24, 1, rng);
+  const double seconds = backend.init_train(x0, t0);
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_TRUE(backend.initialized());
+
+  // Double reference: P0 = (H0^T H0 + delta I)^-1, beta0 = P0 H0^T t0.
+  linalg::MatD h0(24, 12);
+  for (std::size_t r = 0; r < 24; ++r) {
+    const linalg::VecD h = host_hidden(backend, x0.row(r));
+    h0.set_row(r, h);
+  }
+  linalg::MatD gram = linalg::matmul_at_b(h0, h0);
+  linalg::add_diagonal_inplace(gram, cfg.l2_delta);
+  const linalg::MatD p0 = linalg::inverse_spd(gram);
+  const linalg::MatD beta0 =
+      linalg::matmul(p0, linalg::matmul_at_b(h0, t0));
+
+  EXPECT_LT(linalg::max_abs_diff(dequantize(backend.p_fixed()), p0),
+            1e-5);
+  EXPECT_LT(linalg::max_abs_diff(dequantize(backend.beta_fixed()), beta0),
+            1e-5);
+}
+
+TEST(FpgaBackend, SeqTrainMovesPredictionTowardTarget) {
+  FpgaOsElmBackend backend(small_config(16), 5);
+  util::Rng rng(50);
+  backend.init_train(random_matrix(32, 5, rng), random_matrix(32, 1, rng));
+
+  linalg::VecD x(5);
+  rng.fill_uniform(x, -0.5, 0.5);
+  const double target = 0.8;
+  double before = 0.0;
+  (void)backend.predict_main(x, before);
+  // RLS residual decays ~1/k on a repeated sample; 50 repeats suffice.
+  for (int i = 0; i < 50; ++i) (void)backend.seq_train(x, target);
+  double after = 0.0;
+  (void)backend.predict_main(x, after);
+  EXPECT_LT(std::abs(after - target), std::abs(before - target));
+  EXPECT_LT(std::abs(after - target), 0.2);
+}
+
+TEST(FpgaBackend, SeqTrainTracksDoubleMirrorForManySteps) {
+  // Fixed-point Eq. 6 must stay close to an exact double implementation
+  // over a long update stream — the core fidelity claim of design (7).
+  FpgaBackendConfig cfg = small_config(16);
+  FpgaOsElmBackend backend(cfg, 6);
+  util::Rng rng(60);
+  const linalg::MatD x0 = random_matrix(32, 5, rng);
+  linalg::MatD t0(32, 1);
+  for (std::size_t i = 0; i < 32; ++i) t0(i, 0) = rng.uniform(-1.0, 1.0);
+  backend.init_train(x0, t0);
+
+  // Double mirror of the on-chip state.
+  linalg::MatD p = dequantize(backend.p_fixed());
+  linalg::MatD beta = dequantize(backend.beta_fixed());
+
+  double worst_q_gap = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    linalg::VecD x(5);
+    rng.fill_uniform(x, -1.0, 1.0);
+    const double target = rng.uniform(-1.0, 1.0);
+
+    (void)backend.seq_train(x, target);
+
+    // Exact rank-1 update in double.
+    const linalg::VecD h = host_hidden(backend, x);
+    const linalg::VecD u = linalg::matvec(p, h);
+    const double denom = 1.0 + linalg::dot(h, u);
+    const double inv = 1.0 / denom;
+    for (std::size_t i = 0; i < 16; ++i) {
+      for (std::size_t j = 0; j < 16; ++j) {
+        p(i, j) -= u[i] * inv * u[j];
+      }
+    }
+    double pred = 0.0;
+    for (std::size_t j = 0; j < 16; ++j) pred += h[j] * beta(j, 0);
+    const double err = (target - pred) * inv;
+    for (std::size_t j = 0; j < 16; ++j) beta(j, 0) += u[j] * err;
+
+    double q_fixed = 0.0;
+    (void)backend.predict_main(x, q_fixed);
+    double q_ref = 0.0;
+    const linalg::VecD h2 = host_hidden(backend, x);
+    for (std::size_t j = 0; j < 16; ++j) q_ref += h2[j] * beta(j, 0);
+    worst_q_gap = std::max(worst_q_gap, std::abs(q_fixed - q_ref));
+  }
+  EXPECT_LT(worst_q_gap, 0.02);
+}
+
+TEST(FpgaBackend, TargetNetworkSyncsOnDemand) {
+  FpgaOsElmBackend backend(small_config(8), 7);
+  util::Rng rng(70);
+  backend.init_train(random_matrix(16, 5, rng), random_matrix(16, 1, rng));
+  linalg::VecD x(5, 0.2);
+  // Drift theta_1 away from theta_2.
+  for (int i = 0; i < 10; ++i) (void)backend.seq_train(x, 1.0);
+  double q_main = 0.0;
+  double q_target = 0.0;
+  (void)backend.predict_main(x, q_main);
+  (void)backend.predict_target(x, q_target);
+  EXPECT_NE(q_main, q_target);
+  backend.sync_target();
+  (void)backend.predict_target(x, q_target);
+  EXPECT_DOUBLE_EQ(q_main, q_target);
+}
+
+TEST(FpgaBackend, ChargesModeledPlSeconds) {
+  FpgaOsElmBackend backend(small_config(64), 8);
+  const CycleModel& m = backend.cycle_model();
+  linalg::VecD x(5, 0.1);
+  double q = 0.0;
+  EXPECT_DOUBLE_EQ(backend.predict_main(x, q), m.predict_seconds());
+  util::Rng rng(80);
+  backend.init_train(random_matrix(64, 5, rng),
+                     random_matrix(64, 1, rng));
+  EXPECT_DOUBLE_EQ(backend.seq_train(x, 0.1), m.seq_train_seconds());
+}
+
+TEST(FpgaBackend, CycleAccountingAccumulates) {
+  FpgaOsElmBackend backend(small_config(32), 9);
+  util::Rng rng(90);
+  backend.init_train(random_matrix(32, 5, rng), random_matrix(32, 1, rng));
+  linalg::VecD x(5, 0.1);
+  double q = 0.0;
+  const std::uint64_t before = backend.total_pl_cycles();
+  (void)backend.predict_main(x, q);
+  (void)backend.seq_train(x, 0.3);
+  const CycleModel& m = backend.cycle_model();
+  EXPECT_EQ(backend.total_pl_cycles() - before,
+            m.predict_cycles() + m.seq_train_cycles());
+  EXPECT_GE(backend.predict_calls(), 1u);
+  EXPECT_EQ(backend.seq_train_calls(), 1u);
+}
+
+TEST(FpgaBackend, InitializeResetsState) {
+  FpgaOsElmBackend backend(small_config(8), 10);
+  util::Rng rng(100);
+  backend.init_train(random_matrix(16, 5, rng), random_matrix(16, 1, rng));
+  ASSERT_TRUE(backend.initialized());
+  backend.initialize();
+  EXPECT_FALSE(backend.initialized());
+  EXPECT_EQ(backend.total_pl_cycles(), 0u);
+}
+
+TEST(FpgaBackend, ValidatesShapes) {
+  FpgaOsElmBackend backend(small_config(8), 11);
+  double q = 0.0;
+  EXPECT_THROW(backend.predict_main(linalg::VecD(3), q),
+               std::invalid_argument);
+  EXPECT_THROW(backend.predict_target(linalg::VecD(9), q),
+               std::invalid_argument);
+  EXPECT_THROW(backend.init_train(linalg::MatD(4, 3), linalg::MatD(4, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oselm::hw

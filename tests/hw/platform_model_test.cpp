@@ -1,0 +1,81 @@
+#include "hw/platform_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/cycle_model.hpp"
+
+namespace oselm::hw {
+namespace {
+
+TEST(PlatformModel, DispatchOverheadDominatesTinyOps) {
+  // For the paper's matrix sizes, interpreted dispatch is the cost driver:
+  // halving N barely changes the predict time.
+  const SoftwarePlatformModel model;
+  const double at64 = model.oselm_predict_seconds(64, 5);
+  const double at32 = model.oselm_predict_seconds(32, 5);
+  EXPECT_LT(at64 / at32, 1.2);
+  EXPECT_GT(at64, 4 * model.params().numpy_dispatch_seconds);
+}
+
+TEST(PlatformModel, SeqTrainGrowsQuadraticallyForLargeN) {
+  const SoftwarePlatformModel model;
+  const double at64 = model.oselm_seq_train_seconds(64, 5);
+  const double at192 = model.oselm_seq_train_seconds(192, 5);
+  EXPECT_GT(at192, at64);  // flops term kicks in as N^2 grows
+}
+
+TEST(PlatformModel, DqnTrainIsTheMostExpensiveOp) {
+  // §4.4's breakdown: train_DQN dominates the DQN bars.
+  const SoftwarePlatformModel model;
+  const double train = model.dqn_train_seconds(32, 4, 64, 2);
+  const double predict32 = model.dqn_predict_seconds(32, 4, 64, 2);
+  const double predict1 = model.dqn_predict_seconds(1, 4, 64, 2);
+  EXPECT_GT(train, predict32);
+  EXPECT_GT(predict32, predict1 * 0.99);  // batch costs at least batch-1
+}
+
+TEST(PlatformModel, OrderOfMagnitudeMatchesPaperPerStepCosts) {
+  // Back-of-envelope from §4.4: OS-ELM-L2-Lipschitz completed in ~74 s at
+  // N = 64; with a few tens of thousands of environment steps that is
+  // roughly a millisecond per step, i.e. per-op costs in the 0.1-1 ms
+  // band. The DQN per-step cost must be several ms.
+  const SoftwarePlatformModel model;
+  const double oselm_step = model.oselm_predict_seconds(64, 5) * 2 +
+                            model.oselm_seq_train_seconds(64, 5) * 0.5;
+  EXPECT_GT(oselm_step, 1e-4);
+  EXPECT_LT(oselm_step, 5e-3);
+  const double dqn_step = model.dqn_predict_seconds(1, 4, 64, 2) +
+                          model.dqn_predict_seconds(32, 4, 64, 2) +
+                          model.dqn_train_seconds(32, 4, 64, 2);
+  EXPECT_GT(dqn_step, 5e-3);
+  EXPECT_LT(dqn_step, 5e-2);
+}
+
+TEST(PlatformModel, ModeledBoardSoftwareIsSlowerThanModeledPl) {
+  // The central hardware claim: the dedicated PL datapath beats the
+  // interpreted software stack per sequential update at every size.
+  const SoftwarePlatformModel sw;
+  for (const std::size_t n : {32u, 64u, 128u, 192u}) {
+    const CycleModel pl(n, 5);
+    EXPECT_GT(sw.oselm_seq_train_seconds(n, 5), pl.seq_train_seconds()) << n;
+    EXPECT_GT(sw.oselm_predict_seconds(n, 5), pl.predict_seconds()) << n;
+  }
+}
+
+TEST(PlatformModel, InitTrainScalesWithCube) {
+  const SoftwarePlatformModel model;
+  const double at32 = model.oselm_init_train_seconds(32, 5, 32);
+  const double at192 = model.oselm_init_train_seconds(192, 5, 192);
+  EXPECT_GT(at192, 10.0 * at32);  // N^3 inverse term
+}
+
+TEST(PlatformModel, CustomParamsAreHonored) {
+  SoftwarePlatformParams params;
+  params.numpy_dispatch_seconds = 1.0;
+  params.flops_per_second = 1e12;
+  const SoftwarePlatformModel model(params);
+  EXPECT_NEAR(model.oselm_predict_seconds(64, 5), 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace oselm::hw

@@ -1,0 +1,92 @@
+// Cross-design fidelity: the FPGA functional model and the software
+// OS-ELM must implement the same algorithm, and the modeled FPGA time
+// must reproduce the paper's qualitative cost structure (Fig. 6).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "fixed/fixed_point.hpp"
+
+namespace oselm::core {
+namespace {
+
+RunSpec short_spec(Design design, std::size_t hidden = 32) {
+  RunSpec spec;
+  spec.agent.design = design;
+  spec.agent.hidden_units = hidden;
+  spec.agent.seed = 9;
+  spec.env_seed = 19;
+  spec.trainer.max_episodes = 120;
+  spec.trainer.reset_interval = 0;
+  spec.trainer.solved_threshold = 1e9;  // run the full horizon
+  return spec;
+}
+
+TEST(Fidelity, FpgaBreakdownIsDominatedBySeqTrain) {
+  // Fig. 6: the FPGA's programmable-logic time is mostly seq_train.
+  const rl::TrainResult result = run_experiment(short_spec(Design::kFpga));
+  const double seq = result.breakdown.get(util::OpCategory::kSeqTrain);
+  const double pred = result.breakdown.get(util::OpCategory::kPredictSeq) +
+                      result.breakdown.get(util::OpCategory::kPredictInit);
+  EXPECT_GT(seq, 0.0);
+  EXPECT_GT(pred, 0.0);
+  EXPECT_GT(seq, pred * 0.5);  // same order; seq_train clearly significant
+}
+
+TEST(Fidelity, SoftwareOsElmBreakdownAlsoSeqTrainHeavy) {
+  const rl::TrainResult result =
+      run_experiment(short_spec(Design::kOsElmL2Lipschitz));
+  const double seq = result.breakdown.get(util::OpCategory::kSeqTrain);
+  EXPECT_GT(seq, 0.0);
+  EXPECT_GT(seq, result.breakdown.get(util::OpCategory::kInitTrain) * 0.1);
+}
+
+TEST(Fidelity, FpgaModeledOpsAreFasterThanDqnMeasuredOps) {
+  // The structural speed claim: per-episode modeled PL time is far below
+  // the DQN's measured backprop time at equal hidden width.
+  const rl::TrainResult fpga = run_experiment(short_spec(Design::kFpga));
+  const rl::TrainResult dqn = run_experiment(short_spec(Design::kDqn));
+  const double fpga_train_per_step =
+      fpga.breakdown.get(util::OpCategory::kSeqTrain) /
+      static_cast<double>(fpga.total_steps);
+  const double dqn_train_per_step =
+      dqn.breakdown.get(util::OpCategory::kTrainDqn) /
+      static_cast<double>(dqn.total_steps);
+  EXPECT_LT(fpga_train_per_step, dqn_train_per_step);
+}
+
+TEST(Fidelity, FixedPointOverflowIsRareDuringTraining) {
+  // Q11.20 must have enough headroom for CartPole-scale data: saturation
+  // events during a full training run should be essentially absent.
+  fixed::overflow_stats().reset();
+  (void)run_experiment(short_spec(Design::kFpga));
+  // u = P h^T intermediates stay inside +-2048 by a wide margin.
+  EXPECT_EQ(fixed::overflow_stats().add_saturations, 0u);
+  EXPECT_EQ(fixed::overflow_stats().mul_saturations, 0u);
+  EXPECT_EQ(fixed::overflow_stats().div_by_zero, 0u);
+}
+
+TEST(Fidelity, DqnSpendsTimeInAllThreeDqnCategories) {
+  const rl::TrainResult dqn = run_experiment(short_spec(Design::kDqn));
+  EXPECT_GT(dqn.breakdown.get(util::OpCategory::kTrainDqn), 0.0);
+  EXPECT_GT(dqn.breakdown.get(util::OpCategory::kPredict1), 0.0);
+  EXPECT_GT(dqn.breakdown.get(util::OpCategory::kPredict32), 0.0);
+  EXPECT_DOUBLE_EQ(dqn.breakdown.get(util::OpCategory::kSeqTrain), 0.0);
+}
+
+TEST(Fidelity, ModeledFpgaSecondsScaleWithHiddenUnits) {
+  const rl::TrainResult small = run_experiment(short_spec(Design::kFpga, 32));
+  const rl::TrainResult large =
+      run_experiment(short_spec(Design::kFpga, 128));
+  const double small_per_update =
+      small.breakdown.get(util::OpCategory::kSeqTrain) /
+      std::max(1.0, static_cast<double>(small.total_steps));
+  const double large_per_update =
+      large.breakdown.get(util::OpCategory::kSeqTrain) /
+      std::max(1.0, static_cast<double>(large.total_steps));
+  // 2N^2 scaling: 128 vs 32 units is ~16x per update; allow a wide band
+  // because update counts differ between runs.
+  EXPECT_GT(large_per_update, small_per_update * 4.0);
+}
+
+}  // namespace
+}  // namespace oselm::core

@@ -1,0 +1,93 @@
+// End-to-end learning: the paper's flagship design must actually acquire
+// behaviour on the evaluation task (shaped CartPole-v0).
+//
+// Completion semantics follow §4.3/§4.4: the task is "complete" when an
+// episode first survives the full 200-step cap (see TrainerConfig docs).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "env/registry.hpp"
+#include "rl/trainer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace oselm::core {
+namespace {
+
+RunSpec paper_spec(Design design, std::size_t units, std::uint64_t seed) {
+  RunSpec spec;
+  spec.agent.design = design;
+  spec.agent.hidden_units = units;
+  spec.agent.seed = seed;
+  spec.env_seed = seed * 31 + 7;  // same pairing as the benches
+  spec.trainer.max_episodes = 8000;
+  spec.trainer.reset_interval = 300;
+  return spec;
+}
+
+TEST(Learning, OsElmL2LipschitzSolvesCartPole) {
+  // The headline result: design (5) completes CartPole-v0.
+  const rl::TrainResult result =
+      run_experiment(paper_spec(Design::kOsElmL2Lipschitz, 32, 1));
+  EXPECT_TRUE(result.solved)
+      << "episodes=" << result.episodes << " resets=" << result.resets;
+  EXPECT_GE(result.episode_steps.back(), 200.0);
+}
+
+TEST(Learning, OsElmL2SolvesCartPoleQuickly) {
+  // §4.4: OS-ELM-L2 completes fastest of the software OS-ELM variants.
+  const rl::TrainResult result =
+      run_experiment(paper_spec(Design::kOsElmL2, 32, 1));
+  EXPECT_TRUE(result.solved);
+  EXPECT_LT(result.episodes, 4000u);
+}
+
+TEST(Learning, OsElmL2TrainingCurveGrowsWithoutResets) {
+  // Fig. 4 stability: with L2 regularization the 100-episode moving
+  // average improves substantially over a no-reset horizon.
+  RunSpec spec = paper_spec(Design::kOsElmL2, 32, 1);
+  spec.env_seed = 18;
+  spec.trainer.reset_interval = 0;
+  spec.trainer.solved_threshold = 1e9;  // run the full horizon
+  spec.trainer.max_episodes = 1500;
+  const rl::TrainResult result = run_experiment(spec);
+  const auto ma = util::moving_average_series(result.episode_steps, 100);
+  EXPECT_GT(ma.back(), ma[199]);  // late beats early
+  EXPECT_GT(ma.back(), 60.0);     // well above the ~20-step random floor
+}
+
+TEST(Learning, DqnBaselineSolvesCartPole) {
+  const rl::TrainResult result =
+      run_experiment(paper_spec(Design::kDqn, 32, 3));
+  EXPECT_TRUE(result.solved);
+}
+
+TEST(Learning, FpgaDesignLearnsLikeItsSoftwareTwin) {
+  const rl::TrainResult result =
+      run_experiment(paper_spec(Design::kFpga, 32, 1));
+  EXPECT_TRUE(result.solved)
+      << "episodes=" << result.episodes << " resets=" << result.resets;
+}
+
+TEST(Learning, RandomPolicyBaselineIsShort) {
+  // Context for the numbers above: a purely random CartPole policy lives
+  // ~20 steps. This pins the floor the learners must clear.
+  auto env = env::make_environment("CartPole-v0", 21);
+  util::Rng rng(22);
+  util::RunningStat steps;
+  for (int episode = 0; episode < 200; ++episode) {
+    env->reset();
+    std::size_t count = 0;
+    for (;;) {
+      const auto r = env->step(rng.uniform_index(2));
+      ++count;
+      if (r.done()) break;
+    }
+    steps.add(static_cast<double>(count));
+  }
+  EXPECT_LT(steps.mean(), 40.0);
+  EXPECT_GT(steps.mean(), 10.0);
+}
+
+}  // namespace
+}  // namespace oselm::core

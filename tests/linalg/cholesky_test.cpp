@@ -1,0 +1,100 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::linalg {
+namespace {
+
+/// Random SPD matrix A = B^T B + ridge*I.
+MatD random_spd(std::size_t n, util::Rng& rng, double ridge = 0.1) {
+  MatD b(n, n);
+  rng.fill_uniform(b.storage(), -1.0, 1.0);
+  MatD a = matmul_at_b(b, b);
+  add_diagonal_inplace(a, ridge);
+  return a;
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky_decompose(MatD(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, FactorOfIdentityIsIdentity) {
+  const auto f = cholesky_decompose(MatD::identity(4));
+  ASSERT_TRUE(f.spd);
+  EXPECT_TRUE(approx_equal(f.l, MatD::identity(4), 1e-14));
+}
+
+TEST(Cholesky, KnownFactor) {
+  // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+  const auto f = cholesky_decompose(MatD{{4.0, 2.0}, {2.0, 3.0}});
+  ASSERT_TRUE(f.spd);
+  EXPECT_NEAR(f.l(0, 0), 2.0, 1e-14);
+  EXPECT_NEAR(f.l(1, 0), 1.0, 1e-14);
+  EXPECT_NEAR(f.l(1, 1), std::sqrt(2.0), 1e-14);
+  EXPECT_DOUBLE_EQ(f.l(0, 1), 0.0);
+}
+
+TEST(Cholesky, FlagsIndefiniteMatrix) {
+  const auto f = cholesky_decompose(MatD{{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_FALSE(f.spd);
+  EXPECT_THROW(cholesky_solve(f, {1.0, 1.0}), std::runtime_error);
+  EXPECT_THROW(inverse_spd(MatD{{1.0, 2.0}, {2.0, 1.0}}),
+               std::runtime_error);
+}
+
+class CholeskyRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyRandomTest, ReconstructsInput) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(300 + GetParam());
+  const MatD a = random_spd(n, rng);
+  const auto f = cholesky_decompose(a);
+  ASSERT_TRUE(f.spd);
+  EXPECT_TRUE(approx_equal(matmul_a_bt(f.l, f.l), a, 1e-9));
+}
+
+TEST_P(CholeskyRandomTest, SolveSatisfiesSystem) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(400 + GetParam());
+  const MatD a = random_spd(n, rng);
+  VecD b(n);
+  rng.fill_uniform(b, -1.0, 1.0);
+  const VecD x = cholesky_solve(cholesky_decompose(a), b);
+  const VecD ax = matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST_P(CholeskyRandomTest, InverseSpdIsTwoSidedInverse) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(500 + GetParam());
+  const MatD a = random_spd(n, rng);
+  const MatD inv = inverse_spd(a);
+  EXPECT_TRUE(approx_equal(matmul(a, inv), MatD::identity(n), 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CholeskyRandomTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+TEST(Cholesky, ReosElmGramScenario) {
+  // The exact shape used by Eq. 8: H^T H + delta I with tall thin H.
+  util::Rng rng(42);
+  MatD h(100, 32);
+  rng.fill_uniform(h.storage(), 0.0, 1.0);
+  MatD gram = matmul_at_b(h, h);
+  add_diagonal_inplace(gram, 0.5);
+  const auto f = cholesky_decompose(gram);
+  EXPECT_TRUE(f.spd);
+  const MatD p = inverse_spd(gram);
+  EXPECT_TRUE(approx_equal(matmul(gram, p), MatD::identity(32), 1e-7));
+}
+
+TEST(CholeskySolve, SizeMismatchThrows) {
+  const auto f = cholesky_decompose(MatD::identity(3));
+  EXPECT_THROW(cholesky_solve(f, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oselm::linalg

@@ -1,0 +1,108 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::linalg {
+namespace {
+
+MatD random_matrix(std::size_t n, util::Rng& rng) {
+  MatD m(n, n);
+  rng.fill_uniform(m.storage(), -1.0, 1.0);
+  return m;
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(lu_decompose(MatD(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+  MatD a{{2.0, 1.0}, {1.0, 3.0}};
+  const VecD x = lu_solve(lu_decompose(a), {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  MatD a{{1.0, 2.0}, {2.0, 4.0}};
+  const auto f = lu_decompose(a);
+  EXPECT_TRUE(f.singular);
+  EXPECT_THROW(lu_solve(f, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  MatD a{{0.0, 1.0}, {1.0, 0.0}};  // needs a row swap
+  const VecD x = lu_solve(lu_decompose(a), {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, SolveSatisfiesResidual) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(100 + GetParam());
+  MatD a = random_matrix(n, rng);
+  add_diagonal_inplace(a, 2.0);  // keep well-conditioned
+  VecD b(n);
+  rng.fill_uniform(b, -1.0, 1.0);
+  const VecD x = lu_solve(lu_decompose(a), b);
+  const VecD ax = matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST_P(LuRandomTest, InverseTimesSelfIsIdentity) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(200 + GetParam());
+  MatD a = random_matrix(n, rng);
+  add_diagonal_inplace(a, 2.0);
+  const MatD inv = inverse(a);
+  EXPECT_TRUE(approx_equal(matmul(a, inv), MatD::identity(n), 1e-8));
+  EXPECT_TRUE(approx_equal(matmul(inv, a), MatD::identity(n), 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, LuRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+TEST(Lu, SolveMatrixHandlesMultipleRhs) {
+  MatD a{{2.0, 0.0}, {0.0, 4.0}};
+  MatD b{{2.0, 4.0}, {4.0, 8.0}};
+  const MatD x = lu_solve_matrix(lu_decompose(a), b);
+  EXPECT_TRUE(approx_equal(x, MatD{{1.0, 2.0}, {1.0, 2.0}}, 1e-12));
+}
+
+TEST(Determinant, KnownValues) {
+  EXPECT_DOUBLE_EQ(determinant(MatD::identity(4)), 1.0);
+  EXPECT_NEAR(determinant(MatD{{1.0, 2.0}, {3.0, 4.0}}), -2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(determinant(MatD{{1.0, 2.0}, {2.0, 4.0}}), 0.0);
+}
+
+TEST(Determinant, ProductRule) {
+  util::Rng rng(7);
+  MatD a = random_matrix(5, rng);
+  MatD b = random_matrix(5, rng);
+  add_diagonal_inplace(a, 1.5);
+  add_diagonal_inplace(b, 1.5);
+  EXPECT_NEAR(determinant(matmul(a, b)), determinant(a) * determinant(b),
+              1e-6 * std::abs(determinant(a) * determinant(b)) + 1e-9);
+}
+
+TEST(Determinant, SwapFlipsSign) {
+  MatD a{{0.0, 1.0}, {1.0, 0.0}};  // permutation matrix
+  EXPECT_NEAR(determinant(a), -1.0, 1e-14);
+}
+
+TEST(Inverse, ThrowsOnSingular) {
+  EXPECT_THROW(inverse(MatD{{1.0, 1.0}, {1.0, 1.0}}), std::runtime_error);
+}
+
+TEST(LuSolve, SizeMismatchThrows) {
+  const auto f = lu_decompose(MatD::identity(3));
+  EXPECT_THROW(lu_solve(f, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oselm::linalg

@@ -1,0 +1,139 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oselm::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  MatD m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, SizedConstructionZeroInitializes) {
+  MatD m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0);
+}
+
+TEST(Matrix, FillValueConstruction) {
+  MatD m(2, 2, 7.0);
+  EXPECT_EQ(m(0, 0), 7.0);
+  EXPECT_EQ(m(1, 1), 7.0);
+}
+
+TEST(Matrix, InitializerListLaysOutRowMajor) {
+  MatD m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+  EXPECT_EQ(m.data()[2], 3.0);  // row-major order
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((MatD{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, VectorAdoptionChecksSize) {
+  EXPECT_NO_THROW(MatD(2, 2, std::vector<double>{1, 2, 3, 4}));
+  EXPECT_THROW(MatD(2, 2, std::vector<double>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  MatD m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const MatD eye = MatD::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, DiagonalFromVector) {
+  const MatD d = MatD::diagonal({2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, RowAndColVectorFactories) {
+  const MatD r = MatD::row_vector({1.0, 2.0, 3.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  const MatD c = MatD::col_vector({1.0, 2.0, 3.0});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  MatD m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const MatD t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, DoubleTransposeIsIdentity) {
+  MatD m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_TRUE(m == m.transposed().transposed());
+}
+
+TEST(Matrix, RowAndColExtraction) {
+  MatD m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.row(1), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(m.col(0), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Matrix, SetRowReplacesContentsAndValidatesWidth) {
+  MatD m(2, 2);
+  m.set_row(0, {9.0, 8.0});
+  EXPECT_EQ(m(0, 0), 9.0);
+  EXPECT_EQ(m(0, 1), 8.0);
+  EXPECT_THROW(m.set_row(0, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, FillOverwritesEverything) {
+  MatD m(3, 3, 1.0);
+  m.fill(5.0);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 5.0);
+}
+
+TEST(Matrix, MaxAbsDiffAndApproxEqual) {
+  MatD a{{1.0, 2.0}};
+  MatD b{{1.0, 2.0 + 1e-12}};
+  EXPECT_LE(max_abs_diff(a, b), 1e-11);
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  MatD c{{1.0, 3.0}};
+  EXPECT_FALSE(approx_equal(a, c, 1e-9));
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchThrows) {
+  MatD a(1, 2);
+  MatD b(2, 1);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, WorksWithIntegralElements) {
+  Matrix<int> m(2, 2, 3);
+  m(0, 1) = 5;
+  EXPECT_EQ(m(0, 1), 5);
+  EXPECT_EQ(Matrix<int>::identity(2)(1, 1), 1);
+}
+
+}  // namespace
+}  // namespace oselm::linalg

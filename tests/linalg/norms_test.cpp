@@ -1,0 +1,61 @@
+#include "linalg/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::linalg {
+namespace {
+
+TEST(Norms, FrobeniusKnownValue) {
+  EXPECT_DOUBLE_EQ(frobenius_norm(MatD{{3.0, 0.0}, {0.0, 4.0}}), 5.0);
+}
+
+TEST(Norms, SpectralOfDiagonalIsMaxEntry) {
+  EXPECT_NEAR(spectral_norm(MatD::diagonal({1.0, 7.0, 3.0})), 7.0, 1e-10);
+}
+
+TEST(Norms, InfinityNormIsMaxRowSum) {
+  EXPECT_DOUBLE_EQ(infinity_norm(MatD{{1.0, -2.0}, {3.0, 4.0}}), 7.0);
+}
+
+TEST(Norms, MaxAbsFindsLargestMagnitude) {
+  EXPECT_DOUBLE_EQ(max_abs(MatD{{1.0, -9.0}, {3.0, 4.0}}), 9.0);
+}
+
+TEST(Norms, Relation13SpectralLeqFrobenius) {
+  // The inequality the paper's L2-for-spectral substitution rests on:
+  // ||A||_2 = sigma_max(A) <= ||A||_F  (Relation 13).
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    MatD a(8, 8);
+    rng.fill_uniform(a.storage(), -2.0, 2.0);
+    EXPECT_LE(spectral_norm(a), frobenius_norm(a) + 1e-9) << trial;
+  }
+}
+
+TEST(Norms, SpectralNormSubmultiplicative) {
+  util::Rng rng(12);
+  MatD a(6, 6);
+  MatD b(6, 6);
+  rng.fill_uniform(a.storage(), -1.0, 1.0);
+  rng.fill_uniform(b.storage(), -1.0, 1.0);
+  const MatD ab = matmul(a, b);
+  EXPECT_LE(spectral_norm(ab),
+            spectral_norm(a) * spectral_norm(b) + 1e-9);
+}
+
+TEST(Norms, ScalingIsAbsolutelyHomogeneous) {
+  util::Rng rng(13);
+  MatD a(5, 7);
+  rng.fill_uniform(a.storage(), -1.0, 1.0);
+  const double s = spectral_norm(a);
+  const double f = frobenius_norm(a);
+  const MatD a3 = scale(a, -3.0);
+  EXPECT_NEAR(spectral_norm(a3), 3.0 * s, 1e-8);
+  EXPECT_NEAR(frobenius_norm(a3), 3.0 * f, 1e-10);
+}
+
+}  // namespace
+}  // namespace oselm::linalg

@@ -1,0 +1,182 @@
+#include "linalg/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace oselm::linalg {
+namespace {
+
+MatD random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  MatD m(rows, cols);
+  rng.fill_uniform(m.storage(), -1.0, 1.0);
+  return m;
+}
+
+/// Textbook O(n^3) reference used to validate the blocked kernel.
+MatD naive_matmul(const MatD& a, const MatD& b) {
+  MatD c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Matmul, TinyKnownProduct) {
+  MatD a{{1.0, 2.0}, {3.0, 4.0}};
+  MatD b{{5.0, 6.0}, {7.0, 8.0}};
+  const MatD c = matmul(a, b);
+  EXPECT_TRUE(approx_equal(c, MatD{{19.0, 22.0}, {43.0, 50.0}}, 1e-14));
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  util::Rng rng(1);
+  const MatD a = random_matrix(7, 7, rng);
+  EXPECT_TRUE(approx_equal(matmul(a, MatD::identity(7)), a, 1e-14));
+  EXPECT_TRUE(approx_equal(matmul(MatD::identity(7), a), a, 1e-14));
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  MatD a(2, 3);
+  MatD b(4, 2);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+// Parameterized sweep: the blocked/parallel kernel must agree with the
+// naive kernel across shapes, including ones crossing the block size (64)
+// and the OpenMP-parallel cutoff.
+class MatmulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapeTest, MatchesNaiveKernel) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  const MatD a = random_matrix(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(k), rng);
+  const MatD b = random_matrix(static_cast<std::size_t>(k),
+                               static_cast<std::size_t>(n), rng);
+  EXPECT_TRUE(approx_equal(matmul(a, b), naive_matmul(a, b), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapeTest,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 5, 1},
+                      std::tuple{3, 4, 5}, std::tuple{16, 16, 16},
+                      std::tuple{63, 65, 64}, std::tuple{64, 64, 64},
+                      std::tuple{65, 63, 66}, std::tuple{128, 32, 96},
+                      std::tuple{70, 70, 70}, std::tuple{1, 192, 192}));
+
+TEST(MatmulAtB, EqualsExplicitTranspose) {
+  util::Rng rng(2);
+  const MatD a = random_matrix(17, 5, rng);
+  const MatD b = random_matrix(17, 9, rng);
+  EXPECT_TRUE(
+      approx_equal(matmul_at_b(a, b), matmul(a.transposed(), b), 1e-11));
+}
+
+TEST(MatmulABt, EqualsExplicitTranspose) {
+  util::Rng rng(3);
+  const MatD a = random_matrix(6, 13, rng);
+  const MatD b = random_matrix(8, 13, rng);
+  EXPECT_TRUE(
+      approx_equal(matmul_a_bt(a, b), matmul(a, b.transposed()), 1e-11));
+}
+
+TEST(MatmulAtB, MismatchThrows) {
+  EXPECT_THROW(matmul_at_b(MatD(3, 2), MatD(4, 2)), std::invalid_argument);
+}
+
+TEST(MatmulABt, MismatchThrows) {
+  EXPECT_THROW(matmul_a_bt(MatD(3, 2), MatD(3, 4)), std::invalid_argument);
+}
+
+TEST(Matvec, KnownProduct) {
+  MatD a{{1.0, 2.0}, {3.0, 4.0}};
+  const VecD y = matvec(a, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matvec, MatchesMatmulWithColumn) {
+  util::Rng rng(4);
+  const MatD a = random_matrix(9, 6, rng);
+  VecD x(6);
+  rng.fill_uniform(x, -1.0, 1.0);
+  const VecD y = matvec(a, x);
+  const MatD y_mat = matmul(a, MatD::col_vector(x));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], y_mat(i, 0), 1e-12);
+  }
+}
+
+TEST(MatvecT, MatchesTransposedMatvec) {
+  util::Rng rng(5);
+  const MatD a = random_matrix(9, 6, rng);
+  VecD x(9);
+  rng.fill_uniform(x, -1.0, 1.0);
+  const VecD expected = matvec(a.transposed(), x);
+  const VecD got = matvec_t(a, x);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-12);
+  }
+}
+
+TEST(ElementWise, AddSubScale) {
+  MatD a{{1.0, 2.0}};
+  MatD b{{3.0, 5.0}};
+  EXPECT_TRUE(approx_equal(add(a, b), MatD{{4.0, 7.0}}, 0.0));
+  EXPECT_TRUE(approx_equal(sub(b, a), MatD{{2.0, 3.0}}, 0.0));
+  EXPECT_TRUE(approx_equal(scale(a, -2.0), MatD{{-2.0, -4.0}}, 0.0));
+}
+
+TEST(ElementWise, ShapeMismatchThrows) {
+  EXPECT_THROW(add(MatD(1, 2), MatD(2, 1)), std::invalid_argument);
+  EXPECT_THROW(sub(MatD(1, 2), MatD(2, 1)), std::invalid_argument);
+}
+
+TEST(AxpyInplace, AccumulatesScaledMatrix) {
+  MatD a{{1.0, 1.0}};
+  axpy_inplace(a, 2.0, MatD{{3.0, 4.0}});
+  EXPECT_TRUE(approx_equal(a, MatD{{7.0, 9.0}}, 0.0));
+}
+
+TEST(Outer, ProductShapeAndValues) {
+  const MatD o = outer({1.0, 2.0}, {3.0, 4.0, 5.0});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+TEST(DotAndNorm, BasicIdentities) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(AddDiagonal, AddsOnlyDiagonal) {
+  MatD a(3, 3, 1.0);
+  add_diagonal_inplace(a, 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 1.0);
+}
+
+TEST(Symmetrize, AveragesOffDiagonalPairs) {
+  MatD a{{1.0, 2.0}, {4.0, 5.0}};
+  symmetrize_inplace(a);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+}
+
+TEST(Symmetrize, RejectsNonSquare) {
+  MatD rect(2, 3);
+  EXPECT_THROW(symmetrize_inplace(rect), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oselm::linalg

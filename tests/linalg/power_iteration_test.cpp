@@ -1,0 +1,87 @@
+#include "linalg/power_iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.hpp"
+#include "linalg/svd.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::linalg {
+namespace {
+
+TEST(PowerIteration, DiagonalMatrix) {
+  util::Rng rng(1);
+  const auto result =
+      power_iteration_sigma_max(MatD::diagonal({1.0, 5.0, 2.0}), rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.sigma_max, 5.0, 1e-7);
+}
+
+TEST(PowerIteration, ZeroMatrixConvergesToZero) {
+  util::Rng rng(2);
+  const auto result = power_iteration_sigma_max(MatD(4, 4), rng);
+  EXPECT_NEAR(result.sigma_max, 0.0, 1e-12);
+}
+
+TEST(PowerIteration, EmptyMatrixIsSafe) {
+  util::Rng rng(3);
+  const auto result = power_iteration_sigma_max(MatD(), rng);
+  EXPECT_EQ(result.sigma_max, 0.0);
+}
+
+TEST(PowerIteration, RightVectorIsUnitAndAligned) {
+  util::Rng rng(4);
+  const MatD a{{3.0, 0.0}, {0.0, 1.0}};
+  const auto result = power_iteration_sigma_max(a, rng);
+  ASSERT_EQ(result.right_vector.size(), 2u);
+  EXPECT_NEAR(norm2(result.right_vector), 1.0, 1e-9);
+  // Dominant right singular vector of diag(3,1) is +-e0.
+  EXPECT_NEAR(std::abs(result.right_vector[0]), 1.0, 1e-6);
+}
+
+class PowerIterationRandomTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PowerIterationRandomTest, AgreesWithSvd) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(2000 + m * 41 + n));
+  MatD a(static_cast<std::size_t>(m), static_cast<std::size_t>(n));
+  rng.fill_uniform(a.storage(), -1.0, 1.0);
+  const double exact = largest_singular_value(a);
+  const auto estimate = power_iteration_sigma_max(a, rng);
+  EXPECT_NEAR(estimate.sigma_max, exact, 1e-5 * (1.0 + exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PowerIterationRandomTest,
+                         ::testing::Values(std::pair{2, 2}, std::pair{5, 5},
+                                           std::pair{5, 64},
+                                           std::pair{64, 5},
+                                           std::pair{32, 32},
+                                           std::pair{100, 10}));
+
+TEST(PowerIteration, SpectralNormalizationUseCase) {
+  // Normalizing by the estimate must bring sigma_max to ~1 (Algorithm 1
+  // lines 2-3 use exactly this quantity).
+  util::Rng rng(5);
+  MatD alpha(5, 64);
+  rng.fill_uniform(alpha.storage(), -1.0, 1.0);
+  const auto est = power_iteration_sigma_max(alpha, rng);
+  ASSERT_GT(est.sigma_max, 0.0);
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    alpha.data()[i] /= est.sigma_max;
+  }
+  EXPECT_NEAR(largest_singular_value(alpha), 1.0, 1e-4);
+}
+
+TEST(PowerIteration, RespectsIterationBudget) {
+  util::Rng rng(6);
+  MatD a(16, 16);
+  rng.fill_uniform(a.storage(), -1.0, 1.0);
+  PowerIterationOptions opts;
+  opts.max_iterations = 3;
+  const auto result = power_iteration_sigma_max(a, rng, opts);
+  EXPECT_LE(result.iterations, 3u);
+}
+
+}  // namespace
+}  // namespace oselm::linalg

@@ -1,0 +1,114 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::linalg {
+namespace {
+
+MatD random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  MatD m(rows, cols);
+  rng.fill_uniform(m.storage(), -1.0, 1.0);
+  return m;
+}
+
+TEST(Qr, RejectsWideMatrix) {
+  EXPECT_THROW(qr_decompose(MatD(2, 3)), std::invalid_argument);
+}
+
+class QrShapeTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrShapeTest, ReconstructsInput) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(600 + m * 31 + n));
+  const MatD a = random_matrix(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n), rng);
+  const auto f = qr_decompose(a);
+  EXPECT_TRUE(approx_equal(matmul(f.q, f.r), a, 1e-9));
+}
+
+TEST_P(QrShapeTest, QHasOrthonormalColumns) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(700 + m * 31 + n));
+  const MatD a = random_matrix(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n), rng);
+  const auto f = qr_decompose(a);
+  const MatD qtq = matmul_at_b(f.q, f.q);
+  EXPECT_TRUE(
+      approx_equal(qtq, MatD::identity(static_cast<std::size_t>(n)), 1e-9));
+}
+
+TEST_P(QrShapeTest, RIsUpperTriangular) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(800 + m * 31 + n));
+  const MatD a = random_matrix(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n), rng);
+  const auto f = qr_decompose(a);
+  for (std::size_t r = 1; r < f.r.rows(); ++r) {
+    for (std::size_t c = 0; c < r; ++c) EXPECT_NEAR(f.r(r, c), 0.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapeTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{3, 2},
+                                           std::pair{5, 5}, std::pair{10, 4},
+                                           std::pair{33, 16},
+                                           std::pair{64, 64},
+                                           std::pair{100, 32}));
+
+TEST(QrLeastSquares, ExactSystemRecoversSolution) {
+  MatD a{{2.0, 0.0}, {0.0, 3.0}};
+  const VecD x = qr_least_squares(a, {4.0, 9.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(QrLeastSquares, OverdeterminedMatchesNormalEquations) {
+  util::Rng rng(900);
+  const MatD a = random_matrix(40, 7, rng);
+  VecD b(40);
+  rng.fill_uniform(b, -1.0, 1.0);
+  const VecD x = qr_least_squares(a, b);
+  // Normal equations: A^T A x = A^T b.
+  const VecD atb = matvec_t(a, b);
+  const MatD ata = matmul_at_b(a, a);
+  const VecD atax = matvec(ata, x);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_NEAR(atax[i], atb[i], 1e-9);
+}
+
+TEST(QrLeastSquares, ResidualIsOrthogonalToColumnSpace) {
+  util::Rng rng(901);
+  const MatD a = random_matrix(25, 4, rng);
+  VecD b(25);
+  rng.fill_uniform(b, -1.0, 1.0);
+  const VecD x = qr_least_squares(a, b);
+  VecD residual = matvec(a, x);
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = b[i] - residual[i];
+  }
+  const VecD proj = matvec_t(a, residual);
+  for (const double p : proj) EXPECT_NEAR(p, 0.0, 1e-9);
+}
+
+TEST(QrLeastSquares, RankDeficientThrows) {
+  MatD a{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};  // two identical columns
+  EXPECT_THROW(qr_least_squares(a, {1.0, 2.0, 3.0}), std::runtime_error);
+}
+
+TEST(QrLeastSquares, SizeMismatchThrows) {
+  EXPECT_THROW(qr_least_squares(MatD(3, 2), {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(QrLeastSquaresMatrix, SolvesColumnwise) {
+  MatD a{{1.0, 0.0}, {0.0, 2.0}, {0.0, 0.0}};
+  MatD b{{1.0, 2.0}, {4.0, 6.0}, {0.0, 0.0}};
+  const MatD x = qr_least_squares_matrix(a, b);
+  EXPECT_TRUE(approx_equal(x, MatD{{1.0, 2.0}, {2.0, 3.0}}, 1e-12));
+}
+
+}  // namespace
+}  // namespace oselm::linalg

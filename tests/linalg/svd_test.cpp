@@ -1,0 +1,176 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "linalg/ops.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::linalg {
+namespace {
+
+MatD random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  MatD m(rows, cols);
+  rng.fill_uniform(m.storage(), -1.0, 1.0);
+  return m;
+}
+
+MatD reconstruct(const SvdResult& f) {
+  MatD us = f.u;  // scale columns of U by the singular values
+  for (std::size_t j = 0; j < f.singular_values.size(); ++j) {
+    for (std::size_t i = 0; i < us.rows(); ++i) {
+      us(i, j) *= f.singular_values[j];
+    }
+  }
+  return matmul_a_bt(us, f.v);
+}
+
+TEST(Svd, DiagonalMatrixGivesDiagonalAsSingularValues) {
+  const auto f = svd(MatD::diagonal({3.0, 1.0, 2.0}));
+  ASSERT_EQ(f.singular_values.size(), 3u);
+  EXPECT_NEAR(f.singular_values[0], 3.0, 1e-12);
+  EXPECT_NEAR(f.singular_values[1], 2.0, 1e-12);
+  EXPECT_NEAR(f.singular_values[2], 1.0, 1e-12);
+}
+
+TEST(Svd, SingularValuesOfOrthogonalMatrixAreOnes) {
+  // Rotation by 30 degrees.
+  const double c = std::cos(0.5236);
+  const double s = std::sin(0.5236);
+  const auto f = svd(MatD{{c, -s}, {s, c}});
+  EXPECT_NEAR(f.singular_values[0], 1.0, 1e-12);
+  EXPECT_NEAR(f.singular_values[1], 1.0, 1e-12);
+}
+
+TEST(Svd, KnownRankOneMatrix) {
+  // [[3,0],[4,0]] has sigma = {5, 0}.
+  const auto f = svd(MatD{{3.0, 0.0}, {4.0, 0.0}});
+  EXPECT_NEAR(f.singular_values[0], 5.0, 1e-12);
+  EXPECT_NEAR(f.singular_values[1], 0.0, 1e-12);
+}
+
+TEST(Svd, EmptyMatrixIsSafe) {
+  const auto f = svd(MatD());
+  EXPECT_TRUE(f.singular_values.empty());
+}
+
+class SvdShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdShapeTest, ReconstructsInput) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(1000 + m * 37 + n));
+  const MatD a = random_matrix(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n), rng);
+  const auto f = svd(a);
+  EXPECT_TRUE(approx_equal(reconstruct(f), a, 1e-8));
+}
+
+TEST_P(SvdShapeTest, SingularValuesDescendAndAreNonNegative) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(1100 + m * 37 + n));
+  const MatD a = random_matrix(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n), rng);
+  const auto f = svd(a);
+  for (std::size_t i = 0; i < f.singular_values.size(); ++i) {
+    EXPECT_GE(f.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(f.singular_values[i], f.singular_values[i - 1] + 1e-12);
+    }
+  }
+}
+
+TEST_P(SvdShapeTest, UAndVHaveOrthonormalColumns) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(1200 + m * 37 + n));
+  const MatD a = random_matrix(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n), rng);
+  const auto f = svd(a);
+  const std::size_t r = f.singular_values.size();
+  EXPECT_TRUE(approx_equal(matmul_at_b(f.u, f.u), MatD::identity(r), 1e-8));
+  EXPECT_TRUE(approx_equal(matmul_at_b(f.v, f.v), MatD::identity(r), 1e-8));
+}
+
+TEST_P(SvdShapeTest, FrobeniusNormEqualsSigmaNorm) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(1300 + m * 37 + n));
+  const MatD a = random_matrix(static_cast<std::size_t>(m),
+                               static_cast<std::size_t>(n), rng);
+  const auto f = svd(a);
+  double fro_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    fro_sq += a.data()[i] * a.data()[i];
+  }
+  double sigma_sq = 0.0;
+  for (const double s : f.singular_values) sigma_sq += s * s;
+  EXPECT_NEAR(fro_sq, sigma_sq, 1e-8 * (1.0 + fro_sq));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2},
+                                           std::pair{5, 3}, std::pair{3, 5},
+                                           std::pair{16, 16},
+                                           std::pair{40, 8}, std::pair{8, 40},
+                                           std::pair{64, 64},
+                                           std::pair{5, 64}));
+
+TEST(Svd, WideMatrixMatchesTransposedFactorization) {
+  util::Rng rng(77);
+  const MatD a = random_matrix(4, 9, rng);
+  const auto fa = svd(a);
+  const auto fat = svd(a.transposed());
+  ASSERT_EQ(fa.singular_values.size(), fat.singular_values.size());
+  for (std::size_t i = 0; i < fa.singular_values.size(); ++i) {
+    EXPECT_NEAR(fa.singular_values[i], fat.singular_values[i], 1e-9);
+  }
+}
+
+TEST(LargestSingularValue, MatchesSpectralDefinition) {
+  // sigma_max([[2, 0], [0, 1]]) == 2 and scales linearly.
+  EXPECT_NEAR(largest_singular_value(MatD{{2.0, 0.0}, {0.0, 1.0}}), 2.0,
+              1e-12);
+  EXPECT_NEAR(largest_singular_value(MatD{{6.0, 0.0}, {0.0, 3.0}}), 6.0,
+              1e-12);
+}
+
+TEST(PseudoInverse, EqualsInverseForNonSingularSquare) {
+  util::Rng rng(78);
+  MatD a = random_matrix(6, 6, rng);
+  add_diagonal_inplace(a, 2.0);
+  const MatD pinv = pseudo_inverse(a);
+  EXPECT_TRUE(approx_equal(matmul(a, pinv), MatD::identity(6), 1e-8));
+}
+
+TEST(PseudoInverse, MoorePenroseConditions) {
+  util::Rng rng(79);
+  const MatD a = random_matrix(9, 4, rng);
+  const MatD ap = pseudo_inverse(a);
+  // (1) A A+ A = A;  (2) A+ A A+ = A+;  (3)/(4) symmetric products.
+  EXPECT_TRUE(approx_equal(matmul(matmul(a, ap), a), a, 1e-8));
+  EXPECT_TRUE(approx_equal(matmul(matmul(ap, a), ap), ap, 1e-8));
+  const MatD aap = matmul(a, ap);
+  const MatD apa = matmul(ap, a);
+  EXPECT_TRUE(approx_equal(aap, aap.transposed(), 1e-8));
+  EXPECT_TRUE(approx_equal(apa, apa.transposed(), 1e-8));
+}
+
+TEST(PseudoInverse, RankDeficientTruncatesGracefully) {
+  // Rank-1: pinv([[1,1],[1,1]]) = [[0.25, 0.25], [0.25, 0.25]].
+  const MatD ap = pseudo_inverse(MatD{{1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_TRUE(
+      approx_equal(ap, MatD{{0.25, 0.25}, {0.25, 0.25}}, 1e-10));
+}
+
+TEST(PseudoInverse, ElmTrainingScenario) {
+  // beta = H^+ t reproduces targets exactly when H is square well-posed
+  // (the N-tilde-sample initial-training case from Eq. 3).
+  util::Rng rng(80);
+  MatD h = random_matrix(16, 16, rng);
+  add_diagonal_inplace(h, 2.0);
+  const MatD t = random_matrix(16, 1, rng);
+  const MatD beta = matmul(pseudo_inverse(h), t);
+  EXPECT_TRUE(approx_equal(matmul(h, beta), t, 1e-7));
+}
+
+}  // namespace
+}  // namespace oselm::linalg

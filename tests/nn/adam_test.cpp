@@ -1,0 +1,129 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/huber.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::nn {
+namespace {
+
+MlpGradients zero_like(const Mlp& net) {
+  return MlpGradients{
+      linalg::MatD(net.config().input_dim, net.config().hidden_units),
+      linalg::VecD(net.config().hidden_units, 0.0),
+      linalg::MatD(net.config().hidden_units, net.config().output_dim),
+      linalg::VecD(net.config().output_dim, 0.0)};
+}
+
+TEST(Adam, FirstStepMovesByLearningRateTimesSign) {
+  // With bias correction, the very first Adam step is almost exactly
+  // lr * sign(grad) (since m_hat/sqrt(v_hat) == g/|g| when t == 1).
+  util::Rng rng(1);
+  Mlp net(MlpConfig{2, 3, 1}, rng);
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  AdamOptimizer opt(cfg, net.config());
+
+  MlpGradients grads = zero_like(net);
+  grads.w1(0, 0) = 0.7;    // positive gradient
+  grads.w1(1, 1) = -0.2;   // negative gradient
+  const double w_pos = net.w1()(0, 0);
+  const double w_neg = net.w1()(1, 1);
+  const double untouched = net.w1()(0, 1);
+  opt.step(net, grads);
+  EXPECT_NEAR(net.w1()(0, 0), w_pos - 0.01, 1e-6);
+  EXPECT_NEAR(net.w1()(1, 1), w_neg + 0.01, 1e-6);
+  EXPECT_DOUBLE_EQ(net.w1()(0, 1), untouched);  // zero grad, zero move
+}
+
+TEST(Adam, StepCounterAdvances) {
+  util::Rng rng(2);
+  Mlp net(MlpConfig{2, 3, 1}, rng);
+  AdamOptimizer opt(AdamConfig{}, net.config());
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  opt.step(net, zero_like(net));
+  opt.step(net, zero_like(net));
+  EXPECT_EQ(opt.steps_taken(), 2u);
+}
+
+TEST(Adam, ResetClearsMomentsAndCounter) {
+  util::Rng rng(3);
+  Mlp net(MlpConfig{2, 3, 1}, rng);
+  AdamOptimizer opt(AdamConfig{}, net.config());
+  MlpGradients grads = zero_like(net);
+  grads.w1(0, 0) = 1.0;
+  opt.step(net, grads);
+  opt.reset();
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  // After reset, the first step must again equal lr * sign(grad).
+  const double before = net.w1()(0, 0);
+  opt.step(net, grads);
+  EXPECT_NEAR(net.w1()(0, 0), before - AdamConfig{}.learning_rate, 1e-6);
+}
+
+TEST(Adam, ShapeMismatchThrows) {
+  util::Rng rng(4);
+  Mlp net(MlpConfig{2, 3, 1}, rng);
+  Mlp other(MlpConfig{2, 5, 1}, rng);
+  AdamOptimizer opt(AdamConfig{}, net.config());
+  const MlpGradients wrong = zero_like(other);
+  EXPECT_THROW(opt.step(net, wrong), std::invalid_argument);
+}
+
+TEST(Adam, MinimizesQuadraticRegressionLoss) {
+  // End-to-end optimizer sanity: fit y = x via the full MLP + Huber + Adam
+  // pipeline; loss must drop by orders of magnitude.
+  util::Rng rng(5);
+  Mlp net(MlpConfig{1, 8, 1}, rng);
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;  // the paper's rate
+  AdamOptimizer opt(cfg, net.config());
+
+  linalg::MatD x(16, 1);
+  linalg::MatD t(16, 1);
+  for (std::size_t i = 0; i < 16; ++i) {
+    x(i, 0) = -1.0 + 2.0 * static_cast<double>(i) / 15.0;
+    t(i, 0) = 0.5 * x(i, 0);
+  }
+
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 500; ++step) {
+    MlpCache cache;
+    const linalg::MatD out = net.forward_cached(x, cache);
+    const HuberResult loss = huber_loss_mean(out, t);
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+    opt.step(net, net.backward(cache, loss.grad));
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01);
+  EXPECT_LT(last_loss, 1e-3);
+}
+
+TEST(Adam, LargerLearningRateMovesFurtherOnFirstStep) {
+  util::Rng rng(6);
+  Mlp net_a(MlpConfig{2, 3, 1}, rng);
+  Mlp net_b(MlpConfig{2, 3, 1}, rng);
+  net_b.copy_parameters_from(net_a);
+
+  MlpGradients grads = zero_like(net_a);
+  grads.w1(0, 0) = 0.5;
+
+  AdamConfig slow;
+  slow.learning_rate = 0.001;
+  AdamConfig fast;
+  fast.learning_rate = 0.1;
+  AdamOptimizer opt_a(slow, net_a.config());
+  AdamOptimizer opt_b(fast, net_b.config());
+  const double start = net_a.w1()(0, 0);
+  opt_a.step(net_a, grads);
+  opt_b.step(net_b, grads);
+  EXPECT_LT(std::abs(net_a.w1()(0, 0) - start),
+            std::abs(net_b.w1()(0, 0) - start));
+}
+
+}  // namespace
+}  // namespace oselm::nn

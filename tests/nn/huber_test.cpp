@@ -1,0 +1,89 @@
+#include "nn/huber.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::nn {
+namespace {
+
+TEST(HuberTerm, QuadraticInsideUnitResidual) {
+  // Eq. 15: z = (x - y)^2 / 2 when |x - y| < 1.
+  EXPECT_DOUBLE_EQ(huber_term(0.5, 0.0), 0.125);
+  EXPECT_DOUBLE_EQ(huber_term(0.0, 0.5), 0.125);
+  EXPECT_DOUBLE_EQ(huber_term(1.0, 1.0), 0.0);
+}
+
+TEST(HuberTerm, LinearOutsideUnitResidual) {
+  // Eq. 15: z = |x - y| - 1/2 otherwise.
+  EXPECT_DOUBLE_EQ(huber_term(3.0, 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(huber_term(0.0, 3.0), 2.5);
+}
+
+TEST(HuberTerm, ContinuousAtTheKnee) {
+  const double inside = huber_term(0.999999, 0.0);
+  const double outside = huber_term(1.000001, 0.0);
+  EXPECT_NEAR(inside, 0.5, 1e-5);
+  EXPECT_NEAR(outside, 0.5, 1e-5);
+}
+
+TEST(HuberLossMean, AveragesOverAllElements) {
+  // Residuals 0.5 (quadratic) and 2.0 (linear): (0.125 + 1.5) / 2.
+  linalg::MatD pred{{0.5, 2.0}};
+  linalg::MatD target{{0.0, 0.0}};
+  const HuberResult r = huber_loss_mean(pred, target);
+  EXPECT_DOUBLE_EQ(r.loss, (0.125 + 1.5) / 2.0);
+}
+
+TEST(HuberLossMean, GradientQuadraticRegion) {
+  linalg::MatD pred{{0.5}};
+  linalg::MatD target{{0.0}};
+  const HuberResult r = huber_loss_mean(pred, target);
+  EXPECT_DOUBLE_EQ(r.grad(0, 0), 0.5);  // d/dp (p^2/2) = p, n = 1
+}
+
+TEST(HuberLossMean, GradientClipsInLinearRegion) {
+  linalg::MatD pred{{5.0, -5.0}};
+  linalg::MatD target{{0.0, 0.0}};
+  const HuberResult r = huber_loss_mean(pred, target);
+  EXPECT_DOUBLE_EQ(r.grad(0, 0), 0.5);   // sign(+) / n with n = 2
+  EXPECT_DOUBLE_EQ(r.grad(0, 1), -0.5);  // sign(-) / n
+}
+
+TEST(HuberLossMean, GradientIsBounded) {
+  // The outlier-robustness property §3.1 credits DQN's loss with: the
+  // gradient magnitude never exceeds 1/n no matter how wild the target.
+  linalg::MatD pred{{1e6, -1e6, 0.1}};
+  linalg::MatD target{{0.0, 0.0, 0.0}};
+  const HuberResult r = huber_loss_mean(pred, target);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(std::abs(r.grad(0, i)), 1.0 / 3.0 + 1e-12);
+  }
+}
+
+TEST(HuberLossMean, ZeroResidualGivesZeroLossAndGradient) {
+  linalg::MatD pred{{1.0, -2.0}};
+  const HuberResult r = huber_loss_mean(pred, pred);
+  EXPECT_DOUBLE_EQ(r.loss, 0.0);
+  EXPECT_DOUBLE_EQ(r.grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.grad(0, 1), 0.0);
+}
+
+TEST(HuberLossMean, ShapeMismatchThrows) {
+  EXPECT_THROW(huber_loss_mean(linalg::MatD(1, 2), linalg::MatD(2, 1)),
+               std::invalid_argument);
+}
+
+TEST(HuberLossMean, EmptyInputThrows) {
+  EXPECT_THROW(huber_loss_mean(linalg::MatD(), linalg::MatD()),
+               std::invalid_argument);
+}
+
+TEST(HuberLossMean, LessSensitiveToOutliersThanSquaredError) {
+  linalg::MatD pred{{10.0}};
+  linalg::MatD target{{0.0}};
+  const HuberResult r = huber_loss_mean(pred, target);
+  EXPECT_DOUBLE_EQ(r.loss, 9.5);        // vs 50 for squared/2
+  EXPECT_LT(r.loss, 0.5 * 10.0 * 10.0);
+}
+
+}  // namespace
+}  // namespace oselm::nn

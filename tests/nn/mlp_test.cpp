@@ -1,0 +1,134 @@
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/ops.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::nn {
+namespace {
+
+MlpConfig small_config(std::size_t in = 4, std::size_t hidden = 16,
+                       std::size_t out = 2) {
+  return MlpConfig{in, hidden, out};
+}
+
+TEST(MlpConfig, ValidationRejectsZeros) {
+  EXPECT_THROW(MlpConfig({0, 4, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW(MlpConfig({4, 0, 2}).validate(), std::invalid_argument);
+  EXPECT_THROW(MlpConfig({4, 4, 0}).validate(), std::invalid_argument);
+}
+
+TEST(Mlp, InitializationUsesFanInBounds) {
+  util::Rng rng(1);
+  Mlp net(small_config(4, 16, 2), rng);
+  const double bound1 = 1.0 / std::sqrt(4.0);
+  for (std::size_t i = 0; i < net.w1().size(); ++i) {
+    EXPECT_GE(net.w1().data()[i], -bound1);
+    EXPECT_LT(net.w1().data()[i], bound1);
+  }
+  const double bound2 = 1.0 / std::sqrt(16.0);
+  for (std::size_t i = 0; i < net.w2().size(); ++i) {
+    EXPECT_GE(net.w2().data()[i], -bound2);
+    EXPECT_LT(net.w2().data()[i], bound2);
+  }
+}
+
+TEST(Mlp, ForwardMatchesManualComputation) {
+  util::Rng rng(2);
+  Mlp net(small_config(2, 3, 1), rng);
+  const linalg::VecD x{0.5, -1.0};
+  // Manual: out = w2^T relu(w1^T x + b1) + b2.
+  linalg::VecD h(3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    h[j] = std::max(0.0, net.b1()[j] + 0.5 * net.w1()(0, j) -
+                             1.0 * net.w1()(1, j));
+  }
+  double expected = net.b2()[0];
+  for (std::size_t j = 0; j < 3; ++j) expected += h[j] * net.w2()(j, 0);
+  EXPECT_NEAR(net.forward(x)[0], expected, 1e-12);
+}
+
+TEST(Mlp, ForwardBatchMatchesSingleForward) {
+  util::Rng rng(3);
+  Mlp net(small_config(4, 8, 3), rng);
+  linalg::MatD x(5, 4);
+  rng.fill_uniform(x.storage(), -1.0, 1.0);
+  const linalg::MatD batch = net.forward_batch(x);
+  for (std::size_t r = 0; r < 5; ++r) {
+    const linalg::VecD single = net.forward(x.row(r));
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(batch(r, c), single[c], 1e-12);
+    }
+  }
+}
+
+TEST(Mlp, ForwardCachedStoresActivations) {
+  util::Rng rng(4);
+  Mlp net(small_config(3, 6, 2), rng);
+  linalg::MatD x(4, 3);
+  rng.fill_uniform(x.storage(), -1.0, 1.0);
+  MlpCache cache;
+  const linalg::MatD out = net.forward_cached(x, cache);
+  EXPECT_TRUE(linalg::approx_equal(cache.x, x, 0.0));
+  EXPECT_TRUE(linalg::approx_equal(cache.out, out, 0.0));
+  EXPECT_EQ(cache.h.rows(), 4u);
+  EXPECT_EQ(cache.h.cols(), 6u);
+  // h is the ReLU of h_pre.
+  for (std::size_t i = 0; i < cache.h.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cache.h.data()[i],
+                     std::max(0.0, cache.h_pre.data()[i]));
+  }
+}
+
+TEST(Mlp, CopyParametersMakesNetworksIdentical) {
+  util::Rng rng(5);
+  Mlp a(small_config(), rng);
+  Mlp b(small_config(), rng);
+  linalg::VecD x{0.1, 0.2, 0.3, 0.4};
+  EXPECT_NE(a.forward(x)[0], b.forward(x)[0]);  // different weights
+  b.copy_parameters_from(a);
+  const linalg::VecD ya = a.forward(x);
+  const linalg::VecD yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Mlp, CopyParametersValidatesShape) {
+  util::Rng rng(6);
+  Mlp a(small_config(4, 16, 2), rng);
+  Mlp b(small_config(4, 8, 2), rng);
+  EXPECT_THROW(b.copy_parameters_from(a), std::invalid_argument);
+}
+
+TEST(Mlp, ParameterCountIsExact) {
+  util::Rng rng(7);
+  Mlp net(small_config(4, 16, 2), rng);
+  EXPECT_EQ(net.parameter_count(), 4u * 16 + 16 + 16 * 2 + 2);
+}
+
+TEST(Mlp, ReinitializeChangesOutputs) {
+  util::Rng rng(8);
+  Mlp net(small_config(), rng);
+  const linalg::VecD x{0.3, -0.3, 0.5, -0.5};
+  const double before = net.forward(x)[0];
+  net.reinitialize(rng);
+  EXPECT_NE(before, net.forward(x)[0]);
+}
+
+TEST(Mlp, ShapeValidationOnForwardAndBackward) {
+  util::Rng rng(9);
+  Mlp net(small_config(4, 8, 2), rng);
+  EXPECT_THROW(net.forward(linalg::VecD(3)), std::invalid_argument);
+  EXPECT_THROW(net.forward_batch(linalg::MatD(2, 5)),
+               std::invalid_argument);
+  MlpCache cache;
+  linalg::MatD x(3, 4);
+  net.forward_cached(x, cache);
+  EXPECT_THROW(net.backward(cache, linalg::MatD(3, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oselm::nn

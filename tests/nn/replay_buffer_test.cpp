@@ -1,0 +1,111 @@
+#include "nn/replay_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace oselm::nn {
+namespace {
+
+Transition make_transition(double tag) {
+  return Transition{{tag, tag}, 0, tag, {tag + 0.5, tag + 0.5}, false};
+}
+
+TEST(ReplayBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+}
+
+TEST(ReplayBuffer, GrowsUntilCapacity) {
+  ReplayBuffer buf(3);
+  EXPECT_TRUE(buf.empty());
+  buf.push(make_transition(1.0));
+  buf.push(make_transition(2.0));
+  EXPECT_EQ(buf.size(), 2u);
+  buf.push(make_transition(3.0));
+  buf.push(make_transition(4.0));
+  EXPECT_EQ(buf.size(), 3u);  // capped
+}
+
+TEST(ReplayBuffer, EvictsOldestFirst) {
+  ReplayBuffer buf(3);
+  for (double tag = 1.0; tag <= 5.0; tag += 1.0) {
+    buf.push(make_transition(tag));
+  }
+  // Survivors must be 3, 4, 5 in logical (oldest-first) order.
+  EXPECT_DOUBLE_EQ(buf.at(0).reward, 3.0);
+  EXPECT_DOUBLE_EQ(buf.at(1).reward, 4.0);
+  EXPECT_DOUBLE_EQ(buf.at(2).reward, 5.0);
+}
+
+TEST(ReplayBuffer, AtOutOfRangeThrows) {
+  ReplayBuffer buf(3);
+  buf.push(make_transition(1.0));
+  EXPECT_THROW(buf.at(1), std::out_of_range);
+}
+
+TEST(ReplayBuffer, SampleFromEmptyThrows) {
+  ReplayBuffer buf(3);
+  util::Rng rng(1);
+  EXPECT_THROW(buf.sample(1, rng), std::logic_error);
+}
+
+TEST(ReplayBuffer, SampleReturnsRequestedCount) {
+  ReplayBuffer buf(10);
+  for (double tag = 0.0; tag < 4.0; tag += 1.0) {
+    buf.push(make_transition(tag));
+  }
+  util::Rng rng(2);
+  EXPECT_EQ(buf.sample(32, rng).size(), 32u);  // with replacement
+}
+
+TEST(ReplayBuffer, SampleOnlyReturnsStoredTransitions) {
+  ReplayBuffer buf(5);
+  std::set<double> tags;
+  for (double tag = 0.0; tag < 5.0; tag += 1.0) {
+    buf.push(make_transition(tag));
+    tags.insert(tag);
+  }
+  util::Rng rng(3);
+  for (const Transition& tr : buf.sample(100, rng)) {
+    EXPECT_TRUE(tags.count(tr.reward)) << tr.reward;
+  }
+}
+
+TEST(ReplayBuffer, SampleEventuallyCoversAllEntries) {
+  ReplayBuffer buf(8);
+  for (double tag = 0.0; tag < 8.0; tag += 1.0) {
+    buf.push(make_transition(tag));
+  }
+  util::Rng rng(4);
+  std::set<double> seen;
+  for (const Transition& tr : buf.sample(500, rng)) seen.insert(tr.reward);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ReplayBuffer, ClearEmptiesAndAllowsReuse) {
+  ReplayBuffer buf(4);
+  for (double tag = 0.0; tag < 6.0; tag += 1.0) {
+    buf.push(make_transition(tag));
+  }
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  buf.push(make_transition(9.0));
+  EXPECT_DOUBLE_EQ(buf.at(0).reward, 9.0);
+}
+
+TEST(ReplayBuffer, StoresFullTransitionContents) {
+  ReplayBuffer buf(2);
+  Transition tr{{1.0, 2.0, 3.0, 4.0}, 1, -1.0, {5.0, 6.0, 7.0, 8.0}, true};
+  buf.push(tr);
+  const Transition& got = buf.at(0);
+  EXPECT_EQ(got.state, tr.state);
+  EXPECT_EQ(got.action, 1u);
+  EXPECT_DOUBLE_EQ(got.reward, -1.0);
+  EXPECT_EQ(got.next_state, tr.next_state);
+  EXPECT_TRUE(got.done);
+}
+
+}  // namespace
+}  // namespace oselm::nn

@@ -1,0 +1,155 @@
+#include "rl/dqn_agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::rl {
+namespace {
+
+DqnAgentConfig small_config() {
+  DqnAgentConfig cfg;
+  cfg.state_dim = 4;
+  cfg.action_count = 2;
+  cfg.hidden_units = 16;
+  cfg.batch_size = 4;
+  cfg.learning_starts = 4;
+  cfg.replay_capacity = 100;
+  return cfg;
+}
+
+nn::Transition transition(double reward, bool done = false) {
+  return nn::Transition{{0.1, 0.2, 0.3, 0.4}, 1, reward,
+                        {0.5, 0.6, 0.7, 0.8}, done};
+}
+
+TEST(DqnAgentConfig, Validation) {
+  DqnAgentConfig cfg = small_config();
+  cfg.action_count = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.gamma = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.replay_capacity = 2;  // below batch size
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  cfg.target_sync_interval = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(DqnAgent, TargetStartsIdenticalToOnline) {
+  DqnAgent agent(small_config(), 1);
+  const linalg::VecD x{0.1, -0.2, 0.3, -0.4};
+  const linalg::VecD online = agent.online_network().forward(x);
+  const linalg::VecD target = agent.target_network().forward(x);
+  for (std::size_t i = 0; i < online.size(); ++i) {
+    EXPECT_EQ(online[i], target[i]);
+  }
+}
+
+TEST(DqnAgent, TrainingStartsAfterLearningStarts) {
+  DqnAgent agent(small_config(), 2);
+  for (int i = 0; i < 3; ++i) agent.observe(transition(0.0));
+  EXPECT_EQ(agent.training_steps(), 0u);
+  agent.observe(transition(0.0));  // 4th: batch available
+  EXPECT_EQ(agent.training_steps(), 1u);
+  agent.observe(transition(0.0));
+  EXPECT_EQ(agent.training_steps(), 2u);  // every step thereafter
+}
+
+TEST(DqnAgent, TrainingChangesOnlineButNotTargetWeights) {
+  DqnAgent agent(small_config(), 3);
+  const linalg::VecD x{0.1, 0.2, 0.3, 0.4};
+  const linalg::VecD target_before = agent.target_network().forward(x);
+  for (int i = 0; i < 20; ++i) agent.observe(transition(1.0));
+  const linalg::VecD online_after = agent.online_network().forward(x);
+  const linalg::VecD target_after = agent.target_network().forward(x);
+  bool online_moved = false;
+  for (std::size_t i = 0; i < online_after.size(); ++i) {
+    if (online_after[i] != target_after[i]) online_moved = true;
+    EXPECT_EQ(target_after[i], target_before[i]);  // frozen theta_2
+  }
+  EXPECT_TRUE(online_moved);
+}
+
+TEST(DqnAgent, EpisodeEndSyncsTargetEveryInterval) {
+  DqnAgentConfig cfg = small_config();
+  cfg.target_sync_interval = 2;
+  DqnAgent agent(cfg, 4);
+  for (int i = 0; i < 10; ++i) agent.observe(transition(0.5));
+  const linalg::VecD x{0.1, 0.2, 0.3, 0.4};
+  const linalg::VecD online = agent.online_network().forward(x);
+
+  agent.episode_end(1);  // no sync yet
+  const linalg::VecD target1 = agent.target_network().forward(x);
+  bool differs = false;
+  for (std::size_t i = 0; i < online.size(); ++i) {
+    if (target1[i] != online[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+
+  agent.episode_end(2);  // sync
+  const linalg::VecD online2 = agent.online_network().forward(x);
+  const linalg::VecD target2 = agent.target_network().forward(x);
+  for (std::size_t i = 0; i < online2.size(); ++i) {
+    EXPECT_EQ(target2[i], online2[i]);
+  }
+}
+
+TEST(DqnAgent, BreakdownUsesDqnCategories) {
+  DqnAgent agent(small_config(), 5);
+  (void)agent.greedy_action({0.0, 0.0, 0.0, 0.0});
+  for (int i = 0; i < 8; ++i) agent.observe(transition(0.0));
+  const util::OpBreakdown& b = agent.breakdown();
+  EXPECT_GT(b.get(util::OpCategory::kPredict1), 0.0);
+  EXPECT_GT(b.get(util::OpCategory::kPredict32), 0.0);
+  EXPECT_GT(b.get(util::OpCategory::kTrainDqn), 0.0);
+  // The OS-ELM categories stay untouched.
+  EXPECT_DOUBLE_EQ(b.get(util::OpCategory::kSeqTrain), 0.0);
+  EXPECT_DOUBLE_EQ(b.get(util::OpCategory::kInitTrain), 0.0);
+}
+
+TEST(DqnAgent, DoesNotSupportWeightReset) {
+  // §4.3: the reset rule applies to the ELM/OS-ELM designs only.
+  DqnAgent agent(small_config(), 6);
+  EXPECT_FALSE(agent.supports_weight_reset());
+}
+
+TEST(DqnAgent, LastLossBecomesFiniteAndDecreasesOnConstantTask) {
+  DqnAgentConfig cfg = small_config();
+  cfg.gamma = 0.0;  // pure reward regression: Q(s, a) -> r
+  DqnAgent agent(cfg, 7);
+  double early_loss = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    agent.observe(transition(1.0, true));
+    if (i == 10) early_loss = agent.last_loss();
+  }
+  EXPECT_TRUE(std::isfinite(agent.last_loss()));
+  EXPECT_LT(agent.last_loss(), early_loss);
+}
+
+TEST(DqnAgent, GreedyActionIsArgmaxOfOnlineNetwork) {
+  DqnAgent agent(small_config(), 8);
+  const linalg::VecD x{0.3, -0.1, 0.2, 0.0};
+  const linalg::VecD q = agent.online_network().forward(x);
+  const std::size_t expected = q[0] >= q[1] ? 0u : 1u;
+  EXPECT_EQ(agent.greedy_action(x), expected);
+}
+
+TEST(DqnAgent, ResetWeightsClearsReplayAndOptimizer) {
+  DqnAgent agent(small_config(), 9);
+  for (int i = 0; i < 10; ++i) agent.observe(transition(0.0));
+  ASSERT_GT(agent.training_steps(), 0u);
+  agent.reset_weights();
+  EXPECT_EQ(agent.training_steps(), 0u);
+  // New observations need to refill the replay before training resumes.
+  agent.observe(transition(0.0));
+  EXPECT_EQ(agent.training_steps(), 0u);
+}
+
+TEST(DqnAgent, NameIsDqn) {
+  DqnAgent agent(small_config(), 10);
+  EXPECT_EQ(agent.name(), "DQN");
+}
+
+}  // namespace
+}  // namespace oselm::rl

@@ -1,0 +1,89 @@
+#include "rl/elm_q_agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::rl {
+namespace {
+
+ElmQAgentConfig small_config(std::size_t hidden = 8) {
+  ElmQAgentConfig cfg;
+  cfg.hidden_units = hidden;
+  return cfg;
+}
+
+nn::Transition transition(double reward, bool done = false) {
+  return nn::Transition{{0.1, 0.2, 0.3, 0.4}, 1, reward,
+                        {0.5, 0.6, 0.7, 0.8}, done};
+}
+
+TEST(ElmQAgent, BatchTrainsExactlyWhenBufferFills) {
+  ElmQAgent agent(SimplifiedOutputModel(4, 2), small_config(8), 1);
+  for (int i = 0; i < 7; ++i) agent.observe(transition(0.0));
+  EXPECT_EQ(agent.batch_trainings(), 0u);
+  agent.observe(transition(0.0));  // 8th sample
+  EXPECT_EQ(agent.batch_trainings(), 1u);
+  // Refill: the next training fires after 8 MORE samples (§3.2: "updated
+  // only when buffer D becomes full").
+  for (int i = 0; i < 7; ++i) agent.observe(transition(0.0));
+  EXPECT_EQ(agent.batch_trainings(), 1u);
+  agent.observe(transition(0.0));
+  EXPECT_EQ(agent.batch_trainings(), 2u);
+}
+
+TEST(ElmQAgent, NetworkBecomesTrainedAfterFirstBatch) {
+  ElmQAgent agent(SimplifiedOutputModel(4, 2), small_config(4), 2);
+  EXPECT_FALSE(agent.network().trained());
+  for (int i = 0; i < 4; ++i) agent.observe(transition(0.0, i == 3));
+  EXPECT_TRUE(agent.network().trained());
+}
+
+TEST(ElmQAgent, PredictChargesSwitchCategoriesAfterTraining) {
+  ElmQAgent agent(SimplifiedOutputModel(4, 2), small_config(4), 3);
+  (void)agent.greedy_action({0.0, 0.0, 0.0, 0.0});
+  EXPECT_GT(agent.breakdown().get(util::OpCategory::kPredictInit), 0.0);
+  for (int i = 0; i < 4; ++i) agent.observe(transition(0.0));
+  (void)agent.greedy_action({0.0, 0.0, 0.0, 0.0});
+  EXPECT_GT(agent.breakdown().get(util::OpCategory::kPredictSeq), 0.0);
+  EXPECT_GT(agent.breakdown().get(util::OpCategory::kInitTrain), 0.0);
+}
+
+TEST(ElmQAgent, ResetClearsTrainingState) {
+  ElmQAgent agent(SimplifiedOutputModel(4, 2), small_config(4), 4);
+  for (int i = 0; i < 4; ++i) agent.observe(transition(0.0));
+  ASSERT_TRUE(agent.network().trained());
+  agent.reset_weights();
+  EXPECT_FALSE(agent.network().trained());
+  EXPECT_TRUE(agent.supports_weight_reset());
+  // After reset the fill counter restarts from zero.
+  for (int i = 0; i < 3; ++i) agent.observe(transition(0.0));
+  EXPECT_EQ(agent.batch_trainings(), 1u);  // no new training yet
+  agent.observe(transition(0.0));
+  EXPECT_EQ(agent.batch_trainings(), 2u);
+}
+
+TEST(ElmQAgent, ActReturnsValidActions) {
+  ElmQAgent agent(SimplifiedOutputModel(4, 2), small_config(4), 5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(agent.act({0.1, 0.1, 0.1, 0.1}), 2u);
+  }
+}
+
+TEST(ElmQAgent, NameIsElm) {
+  ElmQAgent agent(SimplifiedOutputModel(4, 2), small_config(4), 6);
+  EXPECT_EQ(agent.name(), "ELM");
+}
+
+TEST(ElmQAgent, QValuesBoundedByClippedTargets) {
+  // All batch targets live in [-1, 1]; the interpolating ELM solution
+  // must therefore produce bounded predictions on its own training data.
+  ElmQAgent agent(SimplifiedOutputModel(4, 2), small_config(8), 7);
+  for (int i = 0; i < 24; ++i) {
+    agent.observe(transition(i % 2 == 0 ? -1.0 : 1.0, i % 4 == 3));
+  }
+  ASSERT_GE(agent.batch_trainings(), 1u);
+  const std::size_t a = agent.greedy_action({0.1, 0.2, 0.3, 0.4});
+  EXPECT_LT(a, 2u);
+}
+
+}  // namespace
+}  // namespace oselm::rl

@@ -1,0 +1,67 @@
+#include "rl/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace oselm::rl {
+namespace {
+
+TEST(Policy, ValidatesConstruction) {
+  EXPECT_THROW(GreedyWithProbabilityPolicy(-0.1, 2), std::invalid_argument);
+  EXPECT_THROW(GreedyWithProbabilityPolicy(1.1, 2), std::invalid_argument);
+  EXPECT_THROW(GreedyWithProbabilityPolicy(0.5, 0), std::invalid_argument);
+}
+
+TEST(Policy, GreedyFrequencyMatchesEpsilon1) {
+  // Algorithm 1 line 10: greedy WITH probability epsilon_1 = 0.7 (the
+  // paper's inverted convention).
+  GreedyWithProbabilityPolicy policy(0.7, 2);
+  util::Rng rng(1);
+  int greedy = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    greedy += policy.should_act_greedily(rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(greedy) / kDraws, 0.7, 0.01);
+}
+
+TEST(Policy, AlwaysGreedyAndNeverGreedyExtremes) {
+  util::Rng rng(2);
+  GreedyWithProbabilityPolicy always(1.0, 2);
+  GreedyWithProbabilityPolicy never(0.0, 2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(always.should_act_greedily(rng));
+    EXPECT_FALSE(never.should_act_greedily(rng));
+  }
+}
+
+TEST(Policy, RandomActionCoversTheActionSpace) {
+  GreedyWithProbabilityPolicy policy(0.5, 4);
+  util::Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(policy.random_action(rng));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(Policy, RandomActionIsRoughlyUniform) {
+  GreedyWithProbabilityPolicy policy(0.5, 2);
+  util::Rng rng(4);
+  int zeros = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    zeros += policy.random_action(rng) == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / kDraws, 0.5, 0.01);
+}
+
+TEST(Policy, AccessorsReturnConfiguration) {
+  GreedyWithProbabilityPolicy policy(0.7, 3);
+  EXPECT_DOUBLE_EQ(policy.greedy_probability(), 0.7);
+  EXPECT_EQ(policy.action_count(), 3u);
+}
+
+}  // namespace
+}  // namespace oselm::rl

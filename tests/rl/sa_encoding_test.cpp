@@ -1,0 +1,78 @@
+#include "rl/sa_encoding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::rl {
+namespace {
+
+TEST(SimplifiedOutputModel, CartPoleInputWidthIsFive) {
+  // §4.2: "its input size ... is equal to the sum of the numbers of states
+  // and actions, which is five in the CartPole-v0 task."
+  const SimplifiedOutputModel model(4, 2);
+  EXPECT_EQ(model.input_dim(), 5u);
+}
+
+TEST(SimplifiedOutputModel, TwoActionsMapToPlusMinusOne) {
+  const SimplifiedOutputModel model(4, 2);
+  EXPECT_DOUBLE_EQ(model.action_code(0), -1.0);
+  EXPECT_DOUBLE_EQ(model.action_code(1), 1.0);
+}
+
+TEST(SimplifiedOutputModel, ThreeActionsAreEvenlySpaced) {
+  const SimplifiedOutputModel model(2, 3);
+  EXPECT_DOUBLE_EQ(model.action_code(0), -1.0);
+  EXPECT_DOUBLE_EQ(model.action_code(1), 0.0);
+  EXPECT_DOUBLE_EQ(model.action_code(2), 1.0);
+}
+
+TEST(SimplifiedOutputModel, EncodeAppendsActionCode) {
+  const SimplifiedOutputModel model(3, 2);
+  const linalg::VecD out = model.encode({0.1, 0.2, 0.3}, 1);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 0.1);
+  EXPECT_DOUBLE_EQ(out[1], 0.2);
+  EXPECT_DOUBLE_EQ(out[2], 0.3);
+  EXPECT_DOUBLE_EQ(out[3], 1.0);
+}
+
+TEST(SimplifiedOutputModel, EncodeIntoReusesBuffer) {
+  const SimplifiedOutputModel model(2, 2);
+  linalg::VecD buffer(3, -9.0);
+  model.encode_into({0.5, -0.5}, 0, buffer);
+  EXPECT_DOUBLE_EQ(buffer[0], 0.5);
+  EXPECT_DOUBLE_EQ(buffer[1], -0.5);
+  EXPECT_DOUBLE_EQ(buffer[2], -1.0);
+}
+
+TEST(SimplifiedOutputModel, DifferentActionsDifferOnlyInLastSlot) {
+  const SimplifiedOutputModel model(4, 2);
+  const linalg::VecD s{1.0, 2.0, 3.0, 4.0};
+  const linalg::VecD a0 = model.encode(s, 0);
+  const linalg::VecD a1 = model.encode(s, 1);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a0[i], a1[i]);
+  EXPECT_NE(a0[4], a1[4]);
+}
+
+TEST(SimplifiedOutputModel, ValidatesConstructionAndArguments) {
+  EXPECT_THROW(SimplifiedOutputModel(0, 2), std::invalid_argument);
+  EXPECT_THROW(SimplifiedOutputModel(4, 1), std::invalid_argument);
+  const SimplifiedOutputModel model(2, 2);
+  EXPECT_THROW(model.action_code(2), std::invalid_argument);
+  EXPECT_THROW(model.encode({1.0}, 0), std::invalid_argument);
+  linalg::VecD wrong(5);
+  EXPECT_THROW(model.encode_into({1.0, 2.0}, 0, wrong),
+               std::invalid_argument);
+}
+
+TEST(SimplifiedOutputModel, ActionCodesStayWithinUnitRange) {
+  for (std::size_t n = 2; n <= 10; ++n) {
+    const SimplifiedOutputModel model(1, n);
+    for (std::size_t a = 0; a < n; ++a) {
+      EXPECT_GE(model.action_code(a), -1.0);
+      EXPECT_LE(model.action_code(a), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oselm::rl

@@ -1,0 +1,218 @@
+#include "rl/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "env/cartpole.hpp"
+#include "env/grid_world.hpp"
+
+namespace oselm::rl {
+namespace {
+
+/// Scripted agent: plays a fixed action, counts lifecycle calls.
+class ScriptedAgent final : public Agent {
+ public:
+  explicit ScriptedAgent(std::size_t action, bool resettable = true)
+      : action_(action), resettable_(resettable) {}
+
+  std::size_t act(const linalg::VecD&) override {
+    ++act_calls;
+    return action_;
+  }
+  void observe(const nn::Transition& tr) override {
+    ++observe_calls;
+    last_done = tr.done;
+  }
+  void episode_end(std::size_t episode_index) override {
+    episode_end_indices.push_back(episode_index);
+  }
+  void reset_weights() override { ++reset_calls; }
+  [[nodiscard]] bool supports_weight_reset() const override {
+    return resettable_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+  [[nodiscard]] const util::OpBreakdown& breakdown() const override {
+    return breakdown_;
+  }
+
+  std::size_t action_;
+  bool resettable_;
+  int act_calls = 0;
+  int observe_calls = 0;
+  int reset_calls = 0;
+  bool last_done = false;
+  std::vector<std::size_t> episode_end_indices;
+  util::OpBreakdown breakdown_;
+};
+
+TrainerConfig quick_config(std::size_t max_episodes = 5) {
+  TrainerConfig cfg;
+  cfg.max_episodes = max_episodes;
+  cfg.reset_interval = 0;
+  cfg.solved_threshold = 1e9;  // never solved unless a test lowers it
+  cfg.solved_window = 2;
+  return cfg;
+}
+
+TEST(Trainer, RunsRequestedEpisodes) {
+  ScriptedAgent agent(1);
+  env::CartPole env(env::CartPoleParams{}, 1);
+  const TrainResult result = run_training(agent, env, quick_config(5));
+  EXPECT_EQ(result.episodes, 5u);
+  EXPECT_EQ(result.episode_steps.size(), 5u);
+  EXPECT_FALSE(result.solved);
+  EXPECT_EQ(agent.episode_end_indices.size(), 5u);
+}
+
+TEST(Trainer, EpisodeStepsMatchObserveCalls) {
+  ScriptedAgent agent(1);
+  env::CartPole env(env::CartPoleParams{}, 2);
+  const TrainResult result = run_training(agent, env, quick_config(3));
+  double total = 0.0;
+  for (const double s : result.episode_steps) total += s;
+  EXPECT_EQ(static_cast<int>(total), agent.observe_calls);
+  EXPECT_EQ(result.total_steps, static_cast<std::size_t>(total));
+}
+
+TEST(Trainer, SolvedStopsEarly) {
+  // GridWorld with a 1-step goal: every episode takes the same number of
+  // steps, so any threshold <= that is immediately satisfied.
+  env::GridWorldParams params;
+  params.width = 2;
+  params.height = 1;
+  params.goal_cell = 1;
+  params.pit_cells = {};
+  env::GridWorld env(params);
+  ScriptedAgent agent(1);  // move right -> goal in one step
+  TrainerConfig cfg = quick_config(100);
+  cfg.solved_threshold = 1.0;
+  cfg.solved_window = 3;
+  const TrainResult result = run_training(agent, env, cfg);
+  EXPECT_TRUE(result.solved);
+  EXPECT_EQ(result.episodes, 3u);  // stops as soon as the window fills
+}
+
+TEST(Trainer, ResetRuleFiresForResettableAgents) {
+  ScriptedAgent agent(1);
+  env::CartPole env(env::CartPoleParams{}, 3);
+  TrainerConfig cfg = quick_config(7);
+  cfg.reset_interval = 3;
+  const TrainResult result = run_training(agent, env, cfg);
+  // Episodes 1-3 run, reset fires before episode 4; episodes 4-6 run,
+  // reset fires before episode 7.
+  EXPECT_EQ(agent.reset_calls, 2);
+  EXPECT_EQ(result.resets, 2u);
+  // Episode indices restart after each reset (target sync counts from the
+  // reset per Algorithm 1's fresh theta_1/theta_2 pair).
+  EXPECT_EQ(agent.episode_end_indices,
+            (std::vector<std::size_t>{1, 2, 3, 1, 2, 3, 1}));
+}
+
+TEST(Trainer, ResetRuleIgnoredForNonResettableAgents) {
+  ScriptedAgent agent(1, /*resettable=*/false);  // e.g. DQN
+  env::CartPole env(env::CartPoleParams{}, 4);
+  TrainerConfig cfg = quick_config(7);
+  cfg.reset_interval = 3;
+  const TrainResult result = run_training(agent, env, cfg);
+  EXPECT_EQ(agent.reset_calls, 0);
+  EXPECT_EQ(result.resets, 0u);
+}
+
+TEST(Trainer, EnvironmentTimeIsAccounted) {
+  ScriptedAgent agent(1);
+  env::CartPole env(env::CartPoleParams{}, 5);
+  const TrainResult result = run_training(agent, env, quick_config(3));
+  EXPECT_GT(result.breakdown.get(util::OpCategory::kEnvironment), 0.0);
+  EXPECT_GE(result.wall_seconds,
+            result.breakdown.get(util::OpCategory::kEnvironment));
+}
+
+TEST(Trainer, EpisodeCallbackSeesEveryEpisode) {
+  ScriptedAgent agent(1);
+  env::CartPole env(env::CartPoleParams{}, 6);
+  std::vector<std::size_t> episodes;
+  std::vector<std::size_t> steps;
+  const TrainResult result = run_training(
+      agent, env, quick_config(4),
+      [&](std::size_t episode, std::size_t step_count, double) {
+        episodes.push_back(episode);
+        steps.push_back(step_count);
+      });
+  EXPECT_EQ(episodes, (std::vector<std::size_t>{1, 2, 3, 4}));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(steps[i]),
+                     result.episode_steps[i]);
+  }
+}
+
+TEST(Trainer, EpisodeStepCapBreaksRunawayEpisodes) {
+  // GridWorld bumping against a wall never terminates on its own within
+  // the env's own cap; the trainer-level cap must cut it earlier.
+  env::GridWorldParams params;
+  params.max_episode_steps = 0;  // env cap disabled
+  env::GridWorld env(params);
+  ScriptedAgent agent(0);  // keep moving up into the wall
+  TrainerConfig cfg = quick_config(2);
+  cfg.episode_step_cap = 10;
+  const TrainResult result = run_training(agent, env, cfg);
+  EXPECT_DOUBLE_EQ(result.episode_steps[0], 10.0);
+}
+
+TEST(Trainer, ZeroSolvedWindowThrows) {
+  ScriptedAgent agent(1);
+  env::CartPole env;
+  TrainerConfig cfg = quick_config(1);
+  cfg.solved_window = 0;
+  EXPECT_THROW(run_training(agent, env, cfg), std::invalid_argument);
+}
+
+TEST(Trainer, StopOnSolvedFalseRunsFullBudgetAndRecordsFirstSolve) {
+  env::GridWorldParams params;
+  params.width = 2;
+  params.height = 1;
+  params.goal_cell = 1;
+  params.pit_cells = {};
+  env::GridWorld env(params);
+  ScriptedAgent agent(1);  // solves every episode in one step
+  TrainerConfig cfg = quick_config(10);
+  cfg.solved_threshold = 1.0;
+  cfg.solved_window = 2;
+  cfg.stop_on_solved = false;
+  const TrainResult result = run_training(agent, env, cfg);
+  EXPECT_TRUE(result.solved);
+  EXPECT_EQ(result.first_solved_episode, 2u);  // window fills at episode 2
+  EXPECT_EQ(result.episodes, 10u);             // but training continued
+}
+
+TEST(Trainer, ResetRuleStopsFiringAfterFirstSolve) {
+  env::GridWorldParams params;
+  params.width = 2;
+  params.height = 1;
+  params.goal_cell = 1;
+  params.pit_cells = {};
+  env::GridWorld env(params);
+  ScriptedAgent agent(1);
+  TrainerConfig cfg = quick_config(10);
+  cfg.solved_threshold = 1.0;
+  cfg.solved_window = 1;
+  cfg.stop_on_solved = false;
+  cfg.reset_interval = 3;  // would fire at episodes 4, 7, 10 if unsolved
+  const TrainResult result = run_training(agent, env, cfg);
+  EXPECT_TRUE(result.solved);
+  EXPECT_EQ(result.resets, 0u);  // solved at episode 1: never reset
+}
+
+TEST(Trainer, ReturnsShapedEpisodeReturns) {
+  env::GridWorldParams params;
+  params.width = 2;
+  params.height = 1;
+  params.goal_cell = 1;
+  params.pit_cells = {};
+  env::GridWorld env(params);
+  ScriptedAgent agent(1);
+  const TrainResult result = run_training(agent, env, quick_config(2));
+  ASSERT_EQ(result.episode_returns.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.episode_returns[0], params.goal_reward);
+}
+
+}  // namespace
+}  // namespace oselm::rl

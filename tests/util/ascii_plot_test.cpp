@@ -1,0 +1,97 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::util {
+namespace {
+
+TEST(AsciiChart, ContainsTitleAxisAndLegend) {
+  PlotSeries s{"steps", {1.0, 2.0, 3.0}, '*'};
+  PlotOptions opts;
+  opts.title = "Training curve";
+  opts.x_label = "episode";
+  const std::string chart = render_ascii_chart({s}, opts);
+  EXPECT_NE(chart.find("Training curve"), std::string::npos);
+  EXPECT_NE(chart.find("episode"), std::string::npos);
+  EXPECT_NE(chart.find("[*] steps"), std::string::npos);
+}
+
+TEST(AsciiChart, RisingSeriesPutsGlyphHigherOnTheRight) {
+  std::vector<double> rising;
+  for (int i = 0; i < 200; ++i) rising.push_back(i);
+  PlotOptions opts;
+  opts.width = 40;
+  opts.height = 10;
+  const std::string chart =
+      render_ascii_chart({PlotSeries{"r", rising, '*'}}, opts);
+  // The first data row (max tick) should contain a glyph near the right
+  // edge; the bottom row near the left edge.
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char c : chart) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  const std::string& top = lines[0];
+  const std::string& bottom = lines[9];
+  EXPECT_GT(top.rfind('*'), bottom.rfind('*'));
+}
+
+TEST(AsciiChart, EmptySeriesDoesNotCrash) {
+  const std::string chart =
+      render_ascii_chart({PlotSeries{"empty", {}, 'x'}}, PlotOptions{});
+  EXPECT_FALSE(chart.empty());
+}
+
+TEST(AsciiChart, FixedYRangeClampsOutliers) {
+  PlotOptions opts;
+  opts.fixed_y_range = true;
+  opts.y_min = 0.0;
+  opts.y_max = 1.0;
+  const std::string chart = render_ascii_chart(
+      {PlotSeries{"s", {0.5, 100.0, -100.0}, '*'}}, opts);
+  EXPECT_FALSE(chart.empty());  // out-of-range values must not crash
+}
+
+TEST(AsciiChart, ConstantSeriesRendersFlatLine) {
+  const std::string chart = render_ascii_chart(
+      {PlotSeries{"flat", std::vector<double>(50, 3.0), '='}}, PlotOptions{});
+  EXPECT_NE(chart.find('='), std::string::npos);
+}
+
+TEST(BarChart, RendersLabelsTotalsAndLegend) {
+  Bar bar{"OS-ELM-64",
+          {{"seq_train", 3.0}, {"predict_seq", 1.0}, {"init_train", 0.5}}};
+  const std::string chart = render_bar_chart({bar}, 40, "s");
+  EXPECT_NE(chart.find("OS-ELM-64"), std::string::npos);
+  EXPECT_NE(chart.find("4.5"), std::string::npos);  // total
+  EXPECT_NE(chart.find("seq_train"), std::string::npos);
+}
+
+TEST(BarChart, LongestBarFillsWidth) {
+  Bar small{"small", {{"a", 1.0}}};
+  Bar large{"large", {{"a", 10.0}}};
+  const std::string chart = render_bar_chart({small, large}, 20, "s");
+  // The large bar must render strictly more cells than the small one.
+  const auto count_in_line = [&](const std::string& label) {
+    const auto pos = chart.find(label);
+    const auto end = chart.find('\n', pos);
+    std::size_t cells = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      if (chart[i] == '#') ++cells;
+    }
+    return cells;
+  };
+  EXPECT_GT(count_in_line("large"), count_in_line("small"));
+}
+
+TEST(BarChart, EmptyInputIsSafe) {
+  EXPECT_TRUE(render_bar_chart({}, 10, "s").empty());
+}
+
+}  // namespace
+}  // namespace oselm::util

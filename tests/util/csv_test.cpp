@@ -1,0 +1,80 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace oselm::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"design", "units", "seconds"});
+    csv.write_values(std::string("DQN"), 64, 12.5);
+  }
+  EXPECT_EQ(slurp(path_), "design,units,seconds\nDQN,64,12.5\n");
+}
+
+TEST_F(CsvTest, QuotesCellsWithCommas) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"a,b", "plain"});
+  }
+  EXPECT_EQ(slurp(path_), "\"a,b\",plain\n");
+}
+
+TEST_F(CsvTest, EscapesEmbeddedQuotes) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"say \"hi\""});
+  }
+  EXPECT_EQ(slurp(path_), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, QuotesNewlines) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"line1\nline2"});
+  }
+  EXPECT_EQ(slurp(path_), "\"line1\nline2\"\n");
+}
+
+TEST_F(CsvTest, DoublePrecisionRoundTrips) {
+  {
+    CsvWriter csv(path_);
+    csv.write_values(0.1 + 0.2);
+  }
+  const std::string content = slurp(path_);
+  EXPECT_NE(content.find("0.30000000000000004"), std::string::npos);
+}
+
+TEST_F(CsvTest, VectorRowOverload) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row(std::vector<std::string>{"x", "y"});
+  }
+  EXPECT_EQ(slurp(path_), "x,y\n");
+}
+
+TEST(CsvWriter, ThrowsWhenPathUnwritable) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/out.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace oselm::util

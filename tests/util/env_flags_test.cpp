@@ -1,0 +1,78 @@
+#include "util/env_flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace oselm::util {
+namespace {
+
+class EnvFlagsTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    set_.push_back(name);
+  }
+  void TearDown() override {
+    for (const auto* name : set_) ::unsetenv(name);
+  }
+  std::vector<const char*> set_;
+};
+
+TEST_F(EnvFlagsTest, IntFallsBackWhenUnset) {
+  ::unsetenv("OSELM_TEST_INT");
+  EXPECT_EQ(env_int("OSELM_TEST_INT", 7), 7);
+}
+
+TEST_F(EnvFlagsTest, IntParsesValue) {
+  SetEnv("OSELM_TEST_INT", "123");
+  EXPECT_EQ(env_int("OSELM_TEST_INT", 7), 123);
+}
+
+TEST_F(EnvFlagsTest, IntRejectsGarbage) {
+  SetEnv("OSELM_TEST_INT", "12abc");
+  EXPECT_EQ(env_int("OSELM_TEST_INT", 7), 7);
+}
+
+TEST_F(EnvFlagsTest, IntRejectsNegative) {
+  SetEnv("OSELM_TEST_INT", "-5");
+  EXPECT_EQ(env_int("OSELM_TEST_INT", 7), 7);
+}
+
+TEST_F(EnvFlagsTest, IntRejectsEmpty) {
+  SetEnv("OSELM_TEST_INT", "");
+  EXPECT_EQ(env_int("OSELM_TEST_INT", 7), 7);
+}
+
+TEST_F(EnvFlagsTest, DoubleParsesValue) {
+  SetEnv("OSELM_TEST_DBL", "2.5");
+  EXPECT_DOUBLE_EQ(env_double("OSELM_TEST_DBL", 1.0), 2.5);
+}
+
+TEST_F(EnvFlagsTest, DoubleFallsBackOnGarbage) {
+  SetEnv("OSELM_TEST_DBL", "x");
+  EXPECT_DOUBLE_EQ(env_double("OSELM_TEST_DBL", 1.5), 1.5);
+}
+
+TEST_F(EnvFlagsTest, BoolRecognizesTruthyStrings) {
+  for (const char* v : {"1", "true", "TRUE", "yes", "on"}) {
+    SetEnv("OSELM_TEST_BOOL", v);
+    EXPECT_TRUE(env_bool("OSELM_TEST_BOOL", false)) << v;
+  }
+}
+
+TEST_F(EnvFlagsTest, BoolRecognizesFalsyStrings) {
+  for (const char* v : {"0", "false", "NO", "off"}) {
+    SetEnv("OSELM_TEST_BOOL", v);
+    EXPECT_FALSE(env_bool("OSELM_TEST_BOOL", true)) << v;
+  }
+}
+
+TEST_F(EnvFlagsTest, BoolFallsBackOnUnknownString) {
+  SetEnv("OSELM_TEST_BOOL", "maybe");
+  EXPECT_TRUE(env_bool("OSELM_TEST_BOOL", true));
+  EXPECT_FALSE(env_bool("OSELM_TEST_BOOL", false));
+}
+
+}  // namespace
+}  // namespace oselm::util

@@ -1,0 +1,71 @@
+#include "util/op_accounting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::util {
+namespace {
+
+TEST(OpBreakdown, StartsEmpty) {
+  OpBreakdown b;
+  EXPECT_DOUBLE_EQ(b.total(), 0.0);
+  for (std::size_t i = 0; i < kOpCategoryCount; ++i) {
+    EXPECT_DOUBLE_EQ(b.get(static_cast<OpCategory>(i)), 0.0);
+  }
+}
+
+TEST(OpBreakdown, AccumulatesPerCategory) {
+  OpBreakdown b;
+  b.add(OpCategory::kSeqTrain, 1.0);
+  b.add(OpCategory::kSeqTrain, 0.5);
+  b.add(OpCategory::kPredictSeq, 0.25);
+  EXPECT_DOUBLE_EQ(b.get(OpCategory::kSeqTrain), 1.5);
+  EXPECT_DOUBLE_EQ(b.get(OpCategory::kPredictSeq), 0.25);
+  EXPECT_DOUBLE_EQ(b.total(), 1.75);
+}
+
+TEST(OpBreakdown, TotalExcludingEnvDropsOnlyEnvironment) {
+  OpBreakdown b;
+  b.add(OpCategory::kTrainDqn, 2.0);
+  b.add(OpCategory::kEnvironment, 5.0);
+  EXPECT_DOUBLE_EQ(b.total(), 7.0);
+  EXPECT_DOUBLE_EQ(b.total_excluding_env(), 2.0);
+}
+
+TEST(OpBreakdown, PlusEqualsMergesAllCategories) {
+  OpBreakdown a;
+  a.add(OpCategory::kInitTrain, 1.0);
+  OpBreakdown b;
+  b.add(OpCategory::kInitTrain, 2.0);
+  b.add(OpCategory::kPredict1, 3.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.get(OpCategory::kInitTrain), 3.0);
+  EXPECT_DOUBLE_EQ(a.get(OpCategory::kPredict1), 3.0);
+}
+
+TEST(OpBreakdown, AveragedOverDividesEachCategory) {
+  OpBreakdown b;
+  b.add(OpCategory::kSeqTrain, 10.0);
+  b.add(OpCategory::kPredictInit, 4.0);
+  const OpBreakdown avg = b.averaged_over(4);
+  EXPECT_DOUBLE_EQ(avg.get(OpCategory::kSeqTrain), 2.5);
+  EXPECT_DOUBLE_EQ(avg.get(OpCategory::kPredictInit), 1.0);
+}
+
+TEST(OpBreakdown, AveragedOverZeroTrialsIsEmpty) {
+  OpBreakdown b;
+  b.add(OpCategory::kSeqTrain, 10.0);
+  EXPECT_DOUBLE_EQ(b.averaged_over(0).total(), 0.0);
+}
+
+TEST(OpCategoryName, MatchesPaperLegend) {
+  EXPECT_EQ(op_category_name(OpCategory::kSeqTrain), "seq_train");
+  EXPECT_EQ(op_category_name(OpCategory::kPredictSeq), "predict_seq");
+  EXPECT_EQ(op_category_name(OpCategory::kInitTrain), "init_train");
+  EXPECT_EQ(op_category_name(OpCategory::kPredictInit), "predict_init");
+  EXPECT_EQ(op_category_name(OpCategory::kTrainDqn), "train_DQN");
+  EXPECT_EQ(op_category_name(OpCategory::kPredict1), "predict_1");
+  EXPECT_EQ(op_category_name(OpCategory::kPredict32), "predict_32");
+}
+
+}  // namespace
+}  // namespace oselm::util

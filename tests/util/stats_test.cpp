@@ -1,0 +1,142 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oselm::util {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStat, MatchesClosedFormForSmallSeries) {
+  RunningStat s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, IsNumericallyStableForLargeOffsets) {
+  RunningStat s;
+  // Welford should keep precision where naive sum-of-squares loses it.
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + static_cast<double>(i % 2));
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(MovingAverage, RejectsZeroWindow) {
+  EXPECT_THROW(MovingAverage(0), std::invalid_argument);
+}
+
+TEST(MovingAverage, PartialWindowAveragesWhatExists) {
+  MovingAverage ma(4);
+  ma.add(2.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 2.0);
+  ma.add(4.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 3.0);
+  EXPECT_FALSE(ma.full());
+}
+
+TEST(MovingAverage, SlidesOffOldValues) {
+  MovingAverage ma(3);
+  for (const double v : {1.0, 2.0, 3.0}) ma.add(v);
+  EXPECT_TRUE(ma.full());
+  EXPECT_DOUBLE_EQ(ma.value(), 2.0);
+  ma.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(ma.value(), 5.0);
+}
+
+TEST(MovingAverage, ResetEmptiesTheWindow) {
+  MovingAverage ma(2);
+  ma.add(1.0);
+  ma.add(2.0);
+  ma.reset();
+  EXPECT_EQ(ma.size(), 0u);
+  EXPECT_DOUBLE_EQ(ma.value(), 0.0);
+  ma.add(7.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 7.0);
+}
+
+TEST(MovingAverage, SolvedCriterionScenario) {
+  // CartPole-style: 100-episode window must reach 195.
+  MovingAverage ma(100);
+  for (int i = 0; i < 99; ++i) ma.add(200.0);
+  EXPECT_FALSE(ma.full());
+  ma.add(200.0);
+  EXPECT_TRUE(ma.full());
+  EXPECT_GE(ma.value(), 195.0);
+  // A run of short episodes drags the mean below threshold.
+  for (int i = 0; i < 30; ++i) ma.add(10.0);
+  EXPECT_LT(ma.value(), 195.0);
+}
+
+TEST(MovingAverageSeries, MatchesManualComputation) {
+  const std::vector<double> series{1.0, 2.0, 3.0, 4.0};
+  const auto smoothed = moving_average_series(series, 2);
+  ASSERT_EQ(smoothed.size(), 4u);
+  EXPECT_DOUBLE_EQ(smoothed[0], 1.0);
+  EXPECT_DOUBLE_EQ(smoothed[1], 1.5);
+  EXPECT_DOUBLE_EQ(smoothed[2], 2.5);
+  EXPECT_DOUBLE_EQ(smoothed[3], 3.5);
+}
+
+TEST(MovingAverageSeries, WindowZeroActsAsIdentity) {
+  const std::vector<double> series{3.0, 1.0, 2.0};
+  const auto smoothed = moving_average_series(series, 0);
+  EXPECT_EQ(smoothed, series);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Percentile, ClampsQuantileOutsideUnitRange) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 3.0);
+}
+
+}  // namespace
+}  // namespace oselm::util

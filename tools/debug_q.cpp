@@ -1,0 +1,70 @@
+// Scratch diagnostic: inspect what the OS-ELM Q-network actually learns.
+#include <cstdio>
+#include <cstdlib>
+
+#include "env/shaping.hpp"
+#include "rl/oselm_q_agent.hpp"
+#include "rl/software_backend.hpp"
+#include "util/stats.hpp"
+
+using namespace oselm;
+
+int main(int argc, char** argv) {
+  const double gamma = argc > 1 ? std::atof(argv[1]) : 0.9;
+  const std::size_t units = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+  const double delta = argc > 3 ? std::atof(argv[3]) : 0.5;
+  const std::size_t episodes =
+      argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1200;
+
+  rl::SoftwareBackendConfig bc;
+  bc.elm.input_dim = 5;
+  bc.elm.hidden_units = units;
+  bc.elm.output_dim = 1;
+  bc.elm.l2_delta = delta;
+  bc.spectral_normalize = true;
+  auto backend = std::make_unique<rl::SoftwareOsElmBackend>(bc, 99);
+  auto* backend_raw = backend.get();
+
+  rl::OsElmQAgentConfig ac;
+  ac.gamma = gamma;
+  rl::OsElmQAgent agent(std::move(backend), rl::SimplifiedOutputModel(4, 2),
+                        ac, 7);
+
+  auto env = env::make_shaped_cartpole(123);
+
+  // Probe states: pole leaning right (+theta) should prefer push right (1);
+  // leaning left should prefer push left (0).
+  const linalg::VecD lean_right{0.0, 0.0, 0.1, 0.5};
+  const linalg::VecD lean_left{0.0, 0.0, -0.1, -0.5};
+
+  util::MovingAverage ma(100);
+  double best = 0.0;
+  for (std::size_t ep = 1; ep <= episodes; ++ep) {
+    linalg::VecD s = env->reset();
+    std::size_t steps = 0;
+    for (;;) {
+      const std::size_t a = agent.act(s);
+      const auto r = env->step(a);
+      ++steps;
+      agent.observe({s, a, r.reward, r.observation, r.done()});
+      s = r.observation;
+      if (r.done()) break;
+    }
+    agent.episode_end(ep);
+    ma.add(static_cast<double>(steps));
+    best = std::max(best, static_cast<double>(steps));
+    if (ep % 100 == 0) {
+      const double qr0 = agent.q_value(lean_right, 0);
+      const double qr1 = agent.q_value(lean_right, 1);
+      const double ql0 = agent.q_value(lean_left, 0);
+      const double ql1 = agent.q_value(lean_left, 1);
+      std::printf(
+          "ep=%4zu ma=%6.1f best=%3.0f | leanR: Q0=%+.4f Q1=%+.4f %s | "
+          "leanL: Q0=%+.4f Q1=%+.4f %s | updates=%zu\n",
+          ep, ma.value(), best, qr0, qr1, qr1 > qr0 ? "OK " : "BAD",
+          ql0, ql1, ql0 > ql1 ? "OK " : "BAD", agent.seq_updates());
+    }
+  }
+  (void)backend_raw;
+  return 0;
+}

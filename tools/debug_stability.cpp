@@ -1,0 +1,36 @@
+// Scratch diagnostic: long-horizon training stability without resets or
+// completion, mirroring what Fig. 4's training curves show.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace oselm;
+
+int main(int argc, char** argv) {
+  const char* design = argc > 1 ? argv[1] : "OS-ELM";
+  const std::size_t units = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+  const std::size_t episodes =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 2000;
+  const std::uint64_t seed = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1;
+
+  core::RunSpec spec;
+  spec.agent.design = core::design_from_name(design);
+  spec.agent.hidden_units = units;
+  spec.agent.seed = seed;
+  spec.env_seed = seed * 13 + 5;
+  spec.trainer.max_episodes = episodes;
+  spec.trainer.reset_interval = 0;
+  spec.trainer.solved_threshold = 1e9;  // never stop early
+
+  const rl::TrainResult r = core::run_experiment(spec);
+  const auto ma = util::moving_average_series(r.episode_steps, 100);
+  std::printf("%s units=%zu seed=%llu:", design, units,
+              static_cast<unsigned long long>(seed));
+  for (std::size_t ep = 199; ep < ma.size(); ep += 200) {
+    std::printf(" ma[%zu]=%.0f", ep + 1, ma[ep]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Scratch: sweep OS-ELM Q-network hyper-parameters on GridWorld.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "env/grid_world.hpp"
+#include "rl/oselm_q_agent.hpp"
+#include "rl/software_backend.hpp"
+#include "rl/trainer.hpp"
+#include "util/stats.hpp"
+
+using namespace oselm;
+
+int main(int argc, char** argv) {
+  const double gamma = argc > 1 ? std::atof(argv[1]) : 0.9;
+  const double eps1 = argc > 2 ? std::atof(argv[2]) : 0.7;
+  const double delta = argc > 3 ? std::atof(argv[3]) : 0.5;
+  const double eps2 = argc > 4 ? std::atof(argv[4]) : 0.5;
+  const std::size_t units = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 48;
+  const int spectral = argc > 6 ? std::atoi(argv[6]) : 1;
+
+  double total_rate = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    env::GridWorld env;
+    rl::SoftwareBackendConfig bc;
+    bc.elm.input_dim = 3;
+    bc.elm.hidden_units = units;
+    bc.elm.output_dim = 1;
+    bc.elm.l2_delta = delta;
+    bc.spectral_normalize = spectral != 0;
+    auto backend =
+        std::make_unique<rl::SoftwareOsElmBackend>(bc, seed * 101 + 7);
+    rl::OsElmQAgentConfig ac;
+    ac.gamma = gamma;
+    ac.epsilon_greedy = eps1;
+    ac.update_probability = eps2;
+    rl::OsElmQAgent agent(std::move(backend),
+                          rl::SimplifiedOutputModel(2, 4), ac, seed, "gw");
+    rl::TrainerConfig tc;
+    tc.max_episodes = 2000;
+    tc.reset_interval = 0;
+    tc.solved_threshold = 1e9;
+    const rl::TrainResult r = rl::run_training(agent, env, tc);
+    std::size_t wins = 0;
+    for (std::size_t i = r.episode_returns.size() - 200;
+         i < r.episode_returns.size(); ++i) {
+      if (r.episode_returns[i] > 0.0) ++wins;
+    }
+    total_rate += static_cast<double>(wins) / 200.0;
+  }
+  std::printf(
+      "gamma=%.2f eps1=%.2f delta=%.2f eps2=%.2f units=%zu spectral=%d -> "
+      "mean success %.1f%%\n",
+      gamma, eps1, delta, eps2, units, spectral, 100.0 * total_rate / 3.0);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Scratch diagnostic: sweep hyper-parameters for the OS-ELM Q-network on
+// shaped CartPole and report learning statistics. Not part of the build;
+// compiled ad hoc while tuning (kept in-tree for reproducibility).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace oselm;
+
+int main(int argc, char** argv) {
+  const double gamma = argc > 1 ? std::atof(argv[1]) : 0.99;
+  const double eps1 = argc > 2 ? std::atof(argv[2]) : 0.7;
+  const std::size_t units = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 32;
+  const std::size_t max_ep =
+      argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 2000;
+  const char* design_name_arg = argc > 5 ? argv[5] : "OS-ELM-L2-Lipschitz";
+
+  int solved_count = 0;
+  double total_ep_to_solve = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    core::RunSpec spec;
+    spec.agent.design = core::design_from_name(design_name_arg);
+    spec.agent.hidden_units = units;
+    spec.agent.gamma = gamma;
+    spec.agent.epsilon_greedy = eps1;
+    spec.agent.seed = seed;
+    spec.env_seed = seed * 31 + 7;
+    spec.trainer.max_episodes = max_ep;
+    spec.trainer.reset_interval = 300;
+    const rl::TrainResult r = core::run_experiment(spec);
+
+    util::RunningStat last100;
+    const std::size_t n = r.episode_steps.size();
+    for (std::size_t i = n > 100 ? n - 100 : 0; i < n; ++i) {
+      last100.add(r.episode_steps[i]);
+    }
+    std::printf(
+        "seed=%llu solved=%d eps=%zu resets=%zu last100=%.1f max=%.0f\n",
+        static_cast<unsigned long long>(seed), r.solved ? 1 : 0, r.episodes,
+        r.resets, last100.mean(), last100.max());
+    if (r.solved) {
+      ++solved_count;
+      total_ep_to_solve += static_cast<double>(r.episodes);
+    }
+  }
+  std::printf("design=%s gamma=%.2f eps1=%.2f units=%zu -> solved %d/5",
+              design_name_arg, gamma, eps1, units, solved_count);
+  if (solved_count > 0) {
+    std::printf(" mean_episodes=%.0f", total_ep_to_solve / solved_count);
+  }
+  std::printf("\n");
+  return 0;
+}
