@@ -2,30 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "linalg/ops.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::elm {
 namespace {
 
-ElmConfig sample_config() {
-  ElmConfig cfg;
-  cfg.input_dim = 4;
-  cfg.hidden_units = 12;
-  cfg.output_dim = 2;
-  cfg.l2_delta = 0.25;
-  return cfg;
-}
+using test_support::random_matrix;
+
+ElmConfig sample_config() { return test_support::config_for(4, 12, 2, 0.25); }
 
 OsElm trained_model(std::uint64_t seed) {
   util::Rng rng(seed);
   OsElm model(sample_config(), rng);
-  linalg::MatD x0(20, 4);
-  linalg::MatD t0(20, 2);
-  rng.fill_uniform(x0.storage(), -1.0, 1.0);
-  rng.fill_uniform(t0.storage(), -1.0, 1.0);
+  const linalg::MatD x0 = random_matrix(20, 4, rng);
+  const linalg::MatD t0 = random_matrix(20, 2, rng);
   model.init_train(x0, t0);
   for (int i = 0; i < 10; ++i) {
     linalg::VecD x(4);
@@ -97,13 +93,46 @@ TEST(Checkpoint, UntrainedModelRoundTrips) {
                std::logic_error);
 }
 
-TEST(Checkpoint, FileRoundTrip) {
-  const std::string path = ::testing::TempDir() + "oselm_checkpoint.bin";
-  const OsElm original = trained_model(7);
+TEST(Checkpoint, FileRoundTripPredictsIdentically) {
+  // The full deployment path: every tensor through a real file on disk and
+  // bit-identical predictions on the other side.
+  const std::string path = ::testing::TempDir() + "oselm_roundtrip.bin";
+  const OsElm original = trained_model(11);
   save_os_elm_file(original, path);
   const OsElm restored = load_os_elm_file(path);
-  EXPECT_TRUE(linalg::approx_equal(restored.beta(), original.beta(), 0.0));
   std::remove(path.c_str());
+
+  EXPECT_TRUE(restored.initialized());
+  EXPECT_TRUE(linalg::approx_equal(restored.beta(), original.beta(), 0.0));
+  EXPECT_TRUE(linalg::approx_equal(restored.p(), original.p(), 0.0));
+  util::Rng rng(110);
+  for (int i = 0; i < 20; ++i) {
+    linalg::VecD x(4);
+    rng.fill_uniform(x, -1.0, 1.0);
+    const linalg::VecD a = original.predict_one(x);
+    const linalg::VecD b = restored.predict_one(x);
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(a[c], b[c]) << i;
+  }
+}
+
+TEST(Checkpoint, LoadTruncatedFileThrows) {
+  const std::string path = ::testing::TempDir() + "oselm_truncated.bin";
+  std::stringstream buffer;
+  save_os_elm(trained_model(12), buffer);
+  const std::string bytes = buffer.str();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(load_os_elm_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadMissingFileThrows) {
+  EXPECT_THROW(
+      load_os_elm_file(::testing::TempDir() + "oselm_does_not_exist.bin"),
+      std::runtime_error);
 }
 
 TEST(Checkpoint, RejectsCorruptMagic) {

@@ -4,6 +4,7 @@
 
 #include "linalg/norms.hpp"
 #include "linalg/ops.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::elm {
@@ -18,13 +19,7 @@ ElmConfig small_config(std::size_t input = 3, std::size_t hidden = 24,
   return cfg;
 }
 
-linalg::MatD random_matrix(std::size_t rows, std::size_t cols,
-                           util::Rng& rng, double lo = -1.0,
-                           double hi = 1.0) {
-  linalg::MatD m(rows, cols);
-  rng.fill_uniform(m.storage(), lo, hi);
-  return m;
-}
+using test_support::random_matrix;
 
 TEST(ElmConfig, ValidationCatchesBadValues) {
   ElmConfig cfg = small_config();

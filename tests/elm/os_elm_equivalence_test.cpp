@@ -7,6 +7,7 @@
 #include "elm/elm.hpp"
 #include "elm/os_elm.hpp"
 #include "linalg/ops.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::elm {
@@ -21,12 +22,7 @@ struct EquivCase {
   double delta;
 };
 
-linalg::MatD random_matrix(std::size_t rows, std::size_t cols,
-                           util::Rng& rng) {
-  linalg::MatD m(rows, cols);
-  rng.fill_uniform(m.storage(), -1.0, 1.0);
-  return m;
-}
+using test_support::random_matrix;
 
 class OsElmEquivalence : public ::testing::TestWithParam<EquivCase> {};
 

@@ -3,27 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "linalg/ops.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::elm {
 namespace {
 
-ElmConfig config_for(std::size_t input, std::size_t hidden,
-                     std::size_t output, double delta = 0.0) {
-  ElmConfig cfg;
-  cfg.input_dim = input;
-  cfg.hidden_units = hidden;
-  cfg.output_dim = output;
-  cfg.l2_delta = delta;
-  return cfg;
-}
-
-linalg::MatD random_matrix(std::size_t rows, std::size_t cols,
-                           util::Rng& rng) {
-  linalg::MatD m(rows, cols);
-  rng.fill_uniform(m.storage(), -1.0, 1.0);
-  return m;
-}
+using test_support::config_for;
+using test_support::random_matrix;
 
 TEST(OsElm, SeqTrainBeforeInitThrows) {
   util::Rng rng(1);

@@ -4,17 +4,13 @@
 
 #include "elm/elm.hpp"
 #include "linalg/svd.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::elm {
 namespace {
 
-linalg::MatD random_matrix(std::size_t rows, std::size_t cols,
-                           util::Rng& rng) {
-  linalg::MatD m(rows, cols);
-  rng.fill_uniform(m.storage(), -1.0, 1.0);
-  return m;
-}
+using test_support::random_matrix;
 
 TEST(SigmaMax, BothMethodsAgree) {
   util::Rng rng(1);

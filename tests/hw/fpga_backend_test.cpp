@@ -5,6 +5,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/svd.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::hw {
@@ -19,13 +20,7 @@ FpgaBackendConfig small_config(std::size_t hidden = 16) {
   return cfg;
 }
 
-linalg::MatD random_matrix(std::size_t rows, std::size_t cols,
-                           util::Rng& rng, double lo = -1.0,
-                           double hi = 1.0) {
-  linalg::MatD m(rows, cols);
-  rng.fill_uniform(m.storage(), lo, hi);
-  return m;
-}
+using test_support::random_matrix;
 
 /// Double-precision ReLU hidden layer using the backend's host weights.
 linalg::VecD host_hidden(const FpgaOsElmBackend& backend,

@@ -3,16 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "linalg/ops.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::linalg {
 namespace {
 
-MatD random_matrix(std::size_t n, util::Rng& rng) {
-  MatD m(n, n);
-  rng.fill_uniform(m.storage(), -1.0, 1.0);
-  return m;
-}
+using test_support::random_matrix;
 
 TEST(Lu, RejectsNonSquare) {
   EXPECT_THROW(lu_decompose(MatD(2, 3)), std::invalid_argument);
@@ -45,7 +42,7 @@ class LuRandomTest : public ::testing::TestWithParam<int> {};
 TEST_P(LuRandomTest, SolveSatisfiesResidual) {
   const auto n = static_cast<std::size_t>(GetParam());
   util::Rng rng(100 + GetParam());
-  MatD a = random_matrix(n, rng);
+  MatD a = random_matrix(n, n, rng);
   add_diagonal_inplace(a, 2.0);  // keep well-conditioned
   VecD b(n);
   rng.fill_uniform(b, -1.0, 1.0);
@@ -57,7 +54,7 @@ TEST_P(LuRandomTest, SolveSatisfiesResidual) {
 TEST_P(LuRandomTest, InverseTimesSelfIsIdentity) {
   const auto n = static_cast<std::size_t>(GetParam());
   util::Rng rng(200 + GetParam());
-  MatD a = random_matrix(n, rng);
+  MatD a = random_matrix(n, n, rng);
   add_diagonal_inplace(a, 2.0);
   const MatD inv = inverse(a);
   EXPECT_TRUE(approx_equal(matmul(a, inv), MatD::identity(n), 1e-8));
@@ -82,8 +79,8 @@ TEST(Determinant, KnownValues) {
 
 TEST(Determinant, ProductRule) {
   util::Rng rng(7);
-  MatD a = random_matrix(5, rng);
-  MatD b = random_matrix(5, rng);
+  MatD a = random_matrix(5, 5, rng);
+  MatD b = random_matrix(5, 5, rng);
   add_diagonal_inplace(a, 1.5);
   add_diagonal_inplace(b, 1.5);
   EXPECT_NEAR(determinant(matmul(a, b)), determinant(a) * determinant(b),

@@ -2,16 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::linalg {
 namespace {
 
-MatD random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
-  MatD m(rows, cols);
-  rng.fill_uniform(m.storage(), -1.0, 1.0);
-  return m;
-}
+using test_support::random_matrix;
 
 /// Textbook O(n^3) reference used to validate the blocked kernel.
 MatD naive_matmul(const MatD& a, const MatD& b) {

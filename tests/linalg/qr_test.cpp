@@ -3,16 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "linalg/ops.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::linalg {
 namespace {
 
-MatD random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
-  MatD m(rows, cols);
-  rng.fill_uniform(m.storage(), -1.0, 1.0);
-  return m;
-}
+using test_support::random_matrix;
 
 TEST(Qr, RejectsWideMatrix) {
   EXPECT_THROW(qr_decompose(MatD(2, 3)), std::invalid_argument);

@@ -5,16 +5,13 @@
 #include <algorithm>
 
 #include "linalg/ops.hpp"
+#include "test_support.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::linalg {
 namespace {
 
-MatD random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
-  MatD m(rows, cols);
-  rng.fill_uniform(m.storage(), -1.0, 1.0);
-  return m;
-}
+using test_support::random_matrix;
 
 MatD reconstruct(const SvdResult& f) {
   MatD us = f.u;  // scale columns of U by the singular values

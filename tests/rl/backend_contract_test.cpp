@@ -1,0 +1,231 @@
+// Contract suite for rl::OsElmQBackend: every backend implementation must
+// satisfy the same observable behavior, because the Algorithm 1 agent is
+// written against the interface alone (the paper's Fig. 3 hardware/software
+// split depends on the two sides being interchangeable). The suite is
+// value-parameterized over backend factories — a future backend (batched,
+// sharded, multi-device) registers one factory and inherits every check.
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "hw/fpga_backend.hpp"
+#include "rl/agent.hpp"
+#include "rl/software_backend.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::rl {
+namespace {
+
+constexpr std::size_t kInputDim = 5;
+constexpr std::size_t kHiddenUnits = 16;
+constexpr double kDelta = 0.5;
+
+struct BackendCase {
+  std::string name;
+  std::function<OsElmQBackendPtr(std::uint64_t seed)> make;
+};
+
+void PrintTo(const BackendCase& c, std::ostream* os) { *os << c.name; }
+
+BackendCase software_case() {
+  return {"SoftwareOsElmBackend", [](std::uint64_t seed) -> OsElmQBackendPtr {
+            SoftwareBackendConfig cfg;
+            cfg.elm =
+                test_support::config_for(kInputDim, kHiddenUnits, 1, kDelta);
+            cfg.spectral_normalize = true;
+            return std::make_unique<SoftwareOsElmBackend>(cfg, seed);
+          }};
+}
+
+BackendCase fpga_case() {
+  return {"FpgaOsElmBackend", [](std::uint64_t seed) -> OsElmQBackendPtr {
+            hw::FpgaBackendConfig cfg;
+            cfg.input_dim = kInputDim;
+            cfg.hidden_units = kHiddenUnits;
+            cfg.l2_delta = kDelta;
+            cfg.spectral_normalize = true;
+            return std::make_unique<hw::FpgaOsElmBackend>(cfg, seed);
+          }};
+}
+
+class BackendContract : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  [[nodiscard]] OsElmQBackendPtr make(std::uint64_t seed) const {
+    return GetParam().make(seed);
+  }
+
+  /// Runs the standard initial-training chunk (32 samples) on `backend`.
+  static void run_init_train(OsElmQBackend& backend, std::uint64_t data_seed) {
+    util::Rng rng(data_seed);
+    const linalg::MatD x =
+        test_support::random_matrix(32, kInputDim, rng);
+    const linalg::MatD t = test_support::random_matrix(32, 1, rng);
+    EXPECT_GE(backend.init_train(x, t), 0.0);
+  }
+};
+
+TEST_P(BackendContract, StartsUninitialized) {
+  EXPECT_FALSE(make(1)->initialized());
+}
+
+TEST_P(BackendContract, ReportsConfiguredDimensions) {
+  const auto backend = make(2);
+  EXPECT_EQ(backend->input_dim(), kInputDim);
+  EXPECT_EQ(backend->hidden_units(), kHiddenUnits);
+}
+
+TEST_P(BackendContract, PredictWorksBeforeInitTrain) {
+  // Prediction with the freshly randomized weights is legal (the agent
+  // explores before the init chunk fills); only seq_train requires P.
+  const auto backend = make(3);
+  util::Rng rng(30);
+  const linalg::VecD sa = test_support::random_vector(kInputDim, rng);
+  double q_main = std::nan("");
+  double q_target = std::nan("");
+  EXPECT_GE(backend->predict_main(sa, q_main), 0.0);
+  EXPECT_GE(backend->predict_target(sa, q_target), 0.0);
+  EXPECT_TRUE(std::isfinite(q_main));
+  EXPECT_TRUE(std::isfinite(q_target));
+}
+
+TEST_P(BackendContract, SeqTrainBeforeInitTrainThrows) {
+  const auto backend = make(4);
+  EXPECT_THROW(backend->seq_train(linalg::VecD(kInputDim, 0.1), 0.5),
+               std::logic_error);
+}
+
+TEST_P(BackendContract, RejectsMismatchedInputWidths) {
+  const auto backend = make(5);
+  double q = 0.0;
+  EXPECT_THROW(backend->predict_main(linalg::VecD(kInputDim - 1), q),
+               std::invalid_argument);
+  EXPECT_THROW(backend->predict_target(linalg::VecD(kInputDim + 3), q),
+               std::invalid_argument);
+  EXPECT_THROW(backend->init_train(linalg::MatD(8, kInputDim - 2),
+                                   linalg::MatD(8, 1)),
+               std::invalid_argument);
+}
+
+TEST_P(BackendContract, InitTrainTransitionsToInitialized) {
+  const auto backend = make(6);
+  ASSERT_FALSE(backend->initialized());
+  run_init_train(*backend, 60);
+  EXPECT_TRUE(backend->initialized());
+}
+
+TEST_P(BackendContract, InitializeResetsTheLifecycle) {
+  const auto backend = make(7);
+  run_init_train(*backend, 70);
+  ASSERT_TRUE(backend->initialized());
+  backend->initialize();
+  EXPECT_FALSE(backend->initialized());
+  // Back in the pre-init state: sequential updates are illegal again ...
+  EXPECT_THROW(backend->seq_train(linalg::VecD(kInputDim, 0.1), 0.5),
+               std::logic_error);
+  // ... and a fresh init chunk brings the backend back up.
+  run_init_train(*backend, 71);
+  EXPECT_TRUE(backend->initialized());
+}
+
+TEST_P(BackendContract, SeqTrainMovesPredictionTowardTarget) {
+  const auto backend = make(8);
+  run_init_train(*backend, 80);
+  util::Rng rng(81);
+  const linalg::VecD sa =
+      test_support::random_vector(kInputDim, rng, -0.5, 0.5);
+  const double target = 0.8;
+  double before = 0.0;
+  (void)backend->predict_main(sa, before);
+  // RLS on a repeated sample contracts the residual ~1/k.
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_GE(backend->seq_train(sa, target), 0.0);
+  }
+  double after = 0.0;
+  (void)backend->predict_main(sa, after);
+  EXPECT_LT(std::abs(after - target), std::abs(before - target));
+  EXPECT_LT(std::abs(after - target), 0.2);
+}
+
+TEST_P(BackendContract, SyncTargetCopiesMainIntoTarget) {
+  const auto backend = make(9);
+  run_init_train(*backend, 90);
+  // Drift theta_1 away from theta_2.
+  const linalg::VecD sa(kInputDim, 0.2);
+  for (int i = 0; i < 10; ++i) (void)backend->seq_train(sa, 1.0);
+  double q_main = 0.0;
+  double q_target = 0.0;
+  (void)backend->predict_main(sa, q_main);
+  (void)backend->predict_target(sa, q_target);
+  EXPECT_NE(q_main, q_target);
+  backend->sync_target();
+  (void)backend->predict_target(sa, q_target);
+  EXPECT_NEAR(q_main, q_target, 1e-12);
+}
+
+TEST_P(BackendContract, TargetStaysFrozenDuringSeqTrain) {
+  const auto backend = make(10);
+  run_init_train(*backend, 100);
+  backend->sync_target();
+  const linalg::VecD probe(kInputDim, 0.3);
+  double frozen = 0.0;
+  (void)backend->predict_target(probe, frozen);
+  util::Rng rng(101);
+  for (int i = 0; i < 25; ++i) {
+    (void)backend->seq_train(test_support::random_vector(kInputDim, rng),
+                             rng.uniform(-1.0, 1.0));
+  }
+  double still_frozen = 0.0;
+  (void)backend->predict_target(probe, still_frozen);
+  EXPECT_DOUBLE_EQ(frozen, still_frozen);
+}
+
+TEST_P(BackendContract, SameSeedSameTrainingIsDeterministic) {
+  const auto a = make(42);
+  const auto b = make(42);
+  run_init_train(*a, 420);
+  run_init_train(*b, 420);
+  util::Rng stream(421);
+  for (int i = 0; i < 20; ++i) {
+    const linalg::VecD sa = test_support::random_vector(kInputDim, stream);
+    const double target = stream.uniform(-1.0, 1.0);
+    (void)a->seq_train(sa, target);
+    (void)b->seq_train(sa, target);
+  }
+  util::Rng probes(422);
+  for (int i = 0; i < 10; ++i) {
+    const linalg::VecD sa = test_support::random_vector(kInputDim, probes);
+    double qa = 0.0;
+    double qb = 0.0;
+    (void)a->predict_main(sa, qa);
+    (void)b->predict_main(sa, qb);
+    EXPECT_DOUBLE_EQ(qa, qb) << "probe " << i;
+    (void)a->predict_target(sa, qa);
+    (void)b->predict_target(sa, qb);
+    EXPECT_DOUBLE_EQ(qa, qb) << "target probe " << i;
+  }
+}
+
+TEST_P(BackendContract, DifferentSeedsDrawDifferentWeights) {
+  const auto a = make(1);
+  const auto b = make(2);
+  const linalg::VecD sa(kInputDim, 0.25);
+  double qa = 0.0;
+  double qb = 0.0;
+  (void)a->predict_main(sa, qa);
+  (void)b->predict_main(sa, qb);
+  EXPECT_NE(qa, qb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendContract,
+    ::testing::Values(software_case(), fpga_case()),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace oselm::rl
