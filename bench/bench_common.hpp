@@ -73,9 +73,14 @@ inline util::OpBreakdown to_board_seconds(const util::OpBreakdown& measured,
     return board;
   }
 
+  // FPGA Q evaluations run through the batched predict_actions schedule
+  // (shared state projection + one AXI handshake per batch), so the
+  // per-evaluation cost is the amortized batch cost over `actions`.
   const double predict_model =
       design == core::Design::kFpga
-          ? hw::CycleModel(hidden_units, input_dim).predict_seconds()
+          ? hw::CycleModel(hidden_units, input_dim)
+                    .predict_batch_seconds(actions) /
+                static_cast<double>(actions)
           : sw.oselm_predict_seconds(hidden_units, input_dim);
   const double seq_model =
       design == core::Design::kFpga

@@ -1,0 +1,234 @@
+// Hot-path benchmark: per-action vs batched greedy Q evaluation.
+//
+// Measures the act/observe-path prediction cost at the paper's CartPole
+// configuration (4 state features + 1 action code, 2 actions) and emits
+// BENCH_predict.json so CI records the perf trajectory over time:
+//   * software per-action: the seed implementation's greedy loop — encode
+//     each (s, a) and run an allocating Elm::predict_one per action;
+//   * software batched: one OsElmQBackend::predict_actions call — shared
+//     state projection + per-action rank-1 correction, allocation-free;
+//   * FPGA modeled: the cycle model's per-action vs amortized batch
+//     schedule (AXI handshake included).
+//
+// Dependency-free on purpose (plain chrono timing, no google-benchmark)
+// so it is always built and runs in every CI image.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hw/cycle_model.hpp"
+#include "rl/agent.hpp"
+#include "rl/sa_encoding.hpp"
+#include "rl/software_backend.hpp"
+#include "util/env_flags.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using oselm::linalg::MatD;
+using oselm::linalg::VecD;
+
+constexpr std::size_t kStateDim = 4;   // CartPole observation (§4.2)
+constexpr std::size_t kActions = 2;    // left / right
+constexpr std::size_t kStatePool = 256;
+
+struct Measurement {
+  double per_action_ns = 0.0;  ///< ns per greedy evaluation (all actions)
+  double per_action_noalloc_ns = 0.0;  ///< current predict_main loop
+  double batched_ns = 0.0;
+  double speedup = 0.0;
+  double batching_only_speedup = 0.0;
+  double checksum = 0.0;  ///< anti-DCE accumulator, also printed
+};
+
+oselm::rl::SoftwareOsElmBackend make_backend(std::size_t hidden_units) {
+  oselm::rl::SoftwareBackendConfig cfg;
+  cfg.elm.input_dim = kStateDim + 1;
+  cfg.elm.hidden_units = hidden_units;
+  cfg.elm.output_dim = 1;
+  cfg.elm.l2_delta = 0.5;           // the deployed design (Eq. 8)
+  cfg.spectral_normalize = true;    // L2-Lipschitz variant
+  return {cfg, /*seed=*/42};
+}
+
+std::vector<VecD> random_states(oselm::util::Rng& rng) {
+  std::vector<VecD> states(kStatePool, VecD(kStateDim, 0.0));
+  for (auto& s : states) rng.fill_uniform(s, -0.5, 0.5);
+  return states;
+}
+
+Measurement measure(std::size_t hidden_units, std::size_t iters) {
+  oselm::rl::SoftwareOsElmBackend backend = make_backend(hidden_units);
+  const oselm::rl::SimplifiedOutputModel model(kStateDim, kActions);
+  oselm::util::Rng rng(7);
+  {
+    // Bring the backend into its post-init regime (beta trained via Eq. 8)
+    // so the measurement matches steady-state play.
+    MatD x(hidden_units, kStateDim + 1);
+    MatD t(hidden_units, 1);
+    for (std::size_t r = 0; r < hidden_units; ++r) {
+      VecD row(kStateDim + 1);
+      rng.fill_uniform(row, -0.5, 0.5);
+      x.set_row(r, row);
+      t(r, 0) = rng.uniform(-1.0, 1.0);
+    }
+    backend.init_train(x, t);
+  }
+
+  const std::vector<VecD> states = random_states(rng);
+  VecD codes(kActions);
+  for (std::size_t a = 0; a < kActions; ++a) codes[a] = model.action_code(a);
+  VecD sa(kStateDim + 1, 0.0);
+  VecD q(kActions, 0.0);
+
+  Measurement out;
+  const std::size_t warmup = iters / 10 + 1;
+
+  // --- Per-action loop, as the seed's greedy_action ran it: one encode +
+  // one allocating predict_one per action against the same weights.
+  const oselm::elm::OsElm& net = backend.network();
+  for (std::size_t it = 0; it < warmup; ++it) {
+    const VecD& s = states[it % kStatePool];
+    for (std::size_t a = 0; a < kActions; ++a) {
+      model.encode_into(s, a, sa);
+      out.checksum += net.predict_one(sa)[0];
+    }
+  }
+  oselm::util::WallTimer timer;
+  for (std::size_t it = 0; it < iters; ++it) {
+    const VecD& s = states[it % kStatePool];
+    for (std::size_t a = 0; a < kActions; ++a) {
+      model.encode_into(s, a, sa);
+      out.checksum += net.predict_one(sa)[0];
+    }
+  }
+  out.per_action_ns = timer.seconds() * 1e9 / static_cast<double>(iters);
+
+  // --- Per-action loop on today's allocation-free predict_main: isolates
+  // what batching alone buys, so a batching regression cannot hide behind
+  // the allocation-removal delta.
+  double q_single = 0.0;
+  for (std::size_t it = 0; it < warmup; ++it) {
+    const VecD& s = states[it % kStatePool];
+    for (std::size_t a = 0; a < kActions; ++a) {
+      model.encode_into(s, a, sa);
+      (void)backend.predict_main(sa, q_single);
+      out.checksum += q_single;
+    }
+  }
+  timer.reset();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const VecD& s = states[it % kStatePool];
+    for (std::size_t a = 0; a < kActions; ++a) {
+      model.encode_into(s, a, sa);
+      (void)backend.predict_main(sa, q_single);
+      out.checksum += q_single;
+    }
+  }
+  out.per_action_noalloc_ns =
+      timer.seconds() * 1e9 / static_cast<double>(iters);
+
+  // --- Batched path: one predict_actions call per greedy evaluation.
+  for (std::size_t it = 0; it < warmup; ++it) {
+    (void)backend.predict_actions(states[it % kStatePool], codes,
+                                  oselm::rl::QNetwork::kMain, q);
+    out.checksum += q[0] + q[1];
+  }
+  timer.reset();
+  for (std::size_t it = 0; it < iters; ++it) {
+    (void)backend.predict_actions(states[it % kStatePool], codes,
+                                  oselm::rl::QNetwork::kMain, q);
+    out.checksum += q[0] + q[1];
+  }
+  out.batched_ns = timer.seconds() * 1e9 / static_cast<double>(iters);
+  out.speedup = out.per_action_ns / out.batched_ns;
+  out.batching_only_speedup = out.per_action_noalloc_ns / out.batched_ns;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_predict.json";
+  const auto hidden_units = static_cast<std::size_t>(
+      oselm::util::env_int("OSELM_UNITS", 64));
+  const auto iters = static_cast<std::size_t>(
+      oselm::util::env_int("OSELM_BENCH_ITERS", 200000));
+
+  // Best of 3 repetitions per path to shrug off scheduler noise.
+  Measurement best;
+  for (int rep = 0; rep < 3; ++rep) {
+    const Measurement m = measure(hidden_units, iters);
+    if (rep == 0 || m.batched_ns < best.batched_ns) {
+      best.batched_ns = m.batched_ns;
+    }
+    if (rep == 0 || m.per_action_ns < best.per_action_ns) {
+      best.per_action_ns = m.per_action_ns;
+    }
+    if (rep == 0 || m.per_action_noalloc_ns < best.per_action_noalloc_ns) {
+      best.per_action_noalloc_ns = m.per_action_noalloc_ns;
+    }
+    best.checksum += m.checksum;
+  }
+  best.speedup = best.per_action_ns / best.batched_ns;
+  best.batching_only_speedup = best.per_action_noalloc_ns / best.batched_ns;
+
+  // Modeled PYNQ-Z1 schedule: A single predictions vs one amortized batch.
+  const oselm::hw::CycleModel cycles(hidden_units, kStateDim + 1);
+  const double fpga_per_action_us =
+      static_cast<double>(kActions) * cycles.predict_seconds() * 1e6;
+  const double fpga_batched_us =
+      cycles.predict_batch_seconds(kActions) * 1e6;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"config\": {\"state_dim\": %zu, \"hidden_units\": %zu, "
+               "\"actions\": %zu, \"iterations\": %zu},\n"
+               "  \"software\": {\"per_action_ns_per_eval\": %.1f, "
+               "\"per_action_noalloc_ns_per_eval\": %.1f, "
+               "\"batched_ns_per_eval\": %.1f, \"speedup\": %.3f, "
+               "\"batching_only_speedup\": %.3f},\n"
+               "  \"fpga_model\": {\"per_action_us_per_eval\": %.3f, "
+               "\"batched_us_per_eval\": %.3f, \"speedup\": %.3f}\n"
+               "}\n",
+               kStateDim, hidden_units, kActions, iters, best.per_action_ns,
+               best.per_action_noalloc_ns, best.batched_ns, best.speedup,
+               best.batching_only_speedup, fpga_per_action_us,
+               fpga_batched_us, fpga_per_action_us / fpga_batched_us);
+  std::fclose(f);
+
+  std::printf("greedy eval @ N=%zu, %zu actions (checksum %.3g)\n",
+              hidden_units, kActions, best.checksum);
+  std::printf("  software per-action (seed path)  : %8.1f ns/eval\n",
+              best.per_action_ns);
+  std::printf("  software per-action (no-alloc)   : %8.1f ns/eval\n",
+              best.per_action_noalloc_ns);
+  std::printf("  software batched    : %8.1f ns/eval  (%.2fx vs seed, "
+              "%.2fx vs no-alloc loop)\n",
+              best.batched_ns, best.speedup, best.batching_only_speedup);
+  std::printf("  fpga model per-action: %7.3f us/eval\n", fpga_per_action_us);
+  std::printf("  fpga model batched   : %7.3f us/eval  (%.2fx)\n",
+              fpga_batched_us, fpga_per_action_us / fpga_batched_us);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Optional regression gate: with OSELM_BENCH_MIN_SPEEDUP_PCT set (CI
+  // passes 130, i.e. 1.3x — the 1.5x target minus noise margin on shared
+  // runners), a batched path slower than the bar fails the run instead of
+  // silently recording a regression.
+  const double min_speedup = static_cast<double>(
+      oselm::util::env_int("OSELM_BENCH_MIN_SPEEDUP_PCT", 0)) / 100.0;
+  if (min_speedup > 0.0 && best.speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: software batched speedup %.3f below the %.2f bar\n",
+                 best.speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

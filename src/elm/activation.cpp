@@ -18,20 +18,6 @@ std::string_view activation_name(Activation activation) noexcept {
   return "unknown";
 }
 
-double apply_activation(Activation activation, double x) noexcept {
-  switch (activation) {
-    case Activation::kReLU:
-      return x >= 0.0 ? x : 0.0;
-    case Activation::kSigmoid:
-      return 1.0 / (1.0 + std::exp(-x));
-    case Activation::kTanh:
-      return std::tanh(x);
-    case Activation::kLinear:
-      return x;
-  }
-  return x;
-}
-
 void apply_activation_inplace(Activation activation,
                               linalg::MatD& m) noexcept {
   if (activation == Activation::kLinear) return;

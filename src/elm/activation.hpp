@@ -7,6 +7,7 @@
 // Lipschitz constant by sigma_max of the weights alone.
 #pragma once
 
+#include <cmath>
 #include <string_view>
 
 #include "linalg/matrix.hpp"
@@ -17,8 +18,22 @@ enum class Activation { kReLU, kSigmoid, kTanh, kLinear };
 
 std::string_view activation_name(Activation activation) noexcept;
 
-/// Scalar application of G.
-double apply_activation(Activation activation, double x) noexcept;
+/// Scalar application of G. Inline so the per-element switch folds into
+/// the act/observe hot loops (predict_actions, hidden_into) instead of
+/// costing an out-of-line call per hidden unit.
+inline double apply_activation(Activation activation, double x) noexcept {
+  switch (activation) {
+    case Activation::kReLU:
+      return x >= 0.0 ? x : 0.0;
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kLinear:
+      return x;
+  }
+  return x;
+}
 
 /// Element-wise application over a matrix (in place).
 void apply_activation_inplace(Activation activation, linalg::MatD& m) noexcept;

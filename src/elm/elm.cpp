@@ -51,14 +51,25 @@ linalg::MatD Elm::hidden(const linalg::MatD& x) const {
 }
 
 linalg::VecD Elm::hidden_one(const linalg::VecD& x) const {
+  linalg::VecD h;
+  hidden_into(x, h);
+  return h;
+}
+
+void Elm::hidden_into(const linalg::VecD& x, linalg::VecD& h) const {
   if (x.size() != config_.input_dim) {
-    throw std::invalid_argument("Elm::hidden_one: input width mismatch");
+    throw std::invalid_argument("Elm::hidden_into: input width mismatch");
   }
-  linalg::VecD h = linalg::matvec_t(alpha_, x);  // alpha^T x == x * alpha
-  for (std::size_t c = 0; c < h.size(); ++c) {
+  h.assign(config_.hidden_units, 0.0);  // alpha^T x == x * alpha
+  for (std::size_t i = 0; i < config_.input_dim; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = alpha_.row_ptr(i);
+    for (std::size_t j = 0; j < config_.hidden_units; ++j) h[j] += xi * row[j];
+  }
+  for (std::size_t c = 0; c < config_.hidden_units; ++c) {
     h[c] = apply_activation(config_.activation, h[c] + bias_[c]);
   }
-  return h;
 }
 
 void Elm::train_batch(const linalg::MatD& x, const linalg::MatD& t) {

@@ -43,6 +43,11 @@ class Elm {
   /// Hidden-layer row for a single sample.
   [[nodiscard]] linalg::VecD hidden_one(const linalg::VecD& x) const;
 
+  /// Allocation-free hidden_one for hot loops: writes G(x*alpha + b) into
+  /// `h`, reusing its capacity (same accumulation order as hidden_one, so
+  /// results are bit-identical).
+  void hidden_into(const linalg::VecD& x, linalg::VecD& h) const;
+
   /// Batch training: solves for beta against targets t (k x m).
   /// Plain ELM uses the SVD pseudo-inverse; delta > 0 uses the SPD solve.
   void train_batch(const linalg::MatD& x, const linalg::MatD& t);

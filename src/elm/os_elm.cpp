@@ -8,7 +8,10 @@
 
 namespace oselm::elm {
 
-OsElm::OsElm(ElmConfig config, util::Rng& rng) : net_(config, rng) {}
+OsElm::OsElm(ElmConfig config, util::Rng& rng)
+    : net_(config, rng),
+      h_ws_(config.hidden_units, 0.0),
+      u_ws_(config.hidden_units, 0.0) {}
 
 OsElm OsElm::from_parts(const ElmConfig& config, linalg::MatD alpha,
                         linalg::VecD bias, linalg::MatD beta,
@@ -21,9 +24,17 @@ OsElm OsElm::from_parts(const ElmConfig& config, linalg::MatD alpha,
       beta.cols() != config.output_dim) {
     throw std::invalid_argument("OsElm::from_parts: weight shape mismatch");
   }
-  if (initialized && (p.rows() != config.hidden_units ||
-                      p.cols() != config.hidden_units)) {
-    throw std::invalid_argument("OsElm::from_parts: P shape mismatch");
+  if (initialized) {
+    if (p.rows() != config.hidden_units || p.cols() != config.hidden_units) {
+      throw std::invalid_argument("OsElm::from_parts: P shape mismatch");
+    }
+  } else if (!p.empty()) {
+    // A model that never ran its initial training has no P. Accepting one
+    // anyway would let a corrupt checkpoint (initialized=false plus stale
+    // P bytes) load silently, and a later init_train round-trip would
+    // resurrect the stale state.
+    throw std::invalid_argument(
+        "OsElm::from_parts: uninitialized model carries a non-empty P");
   }
   util::Rng scratch_rng(0);
   OsElm model(config, scratch_rng);
@@ -138,8 +149,10 @@ void OsElm::seq_train_one_forgetting(const linalg::VecD& x,
   if (lambda <= 0.0 || lambda > 1.0) {
     throw std::invalid_argument("OsElm: forgetting factor outside (0, 1]");
   }
-  const linalg::VecD h = net_.hidden_one(x);     // N
-  const linalg::VecD u = linalg::matvec(p_, h);  // P h^T
+  net_.hidden_into(x, h_ws_);            // N (reused workspace, no alloc)
+  linalg::matvec_into(p_, h_ws_, u_ws_);  // P h^T
+  const linalg::VecD& h = h_ws_;
+  const linalg::VecD& u = u_ws_;
   const double denom = lambda + linalg::dot(h, u);  // lambda + h P h^T
   const double inv = 1.0 / denom;
   const double p_scale = 1.0 / lambda;

@@ -62,6 +62,9 @@ class OsElm {
   [[nodiscard]] linalg::VecD hidden_one(const linalg::VecD& x) const {
     return net_.hidden_one(x);
   }
+  void hidden_into(const linalg::VecD& x, linalg::VecD& h) const {
+    net_.hidden_into(x, h);
+  }
   [[nodiscard]] linalg::MatD hidden(const linalg::MatD& x) const {
     return net_.hidden(x);
   }
@@ -92,6 +95,8 @@ class OsElm {
  private:
   Elm net_;          ///< shares alpha/bias/beta representation with ELM
   linalg::MatD p_;   ///< N-tilde x N-tilde
+  linalg::VecD h_ws_;  ///< seq_train_one hidden-row workspace (no allocs)
+  linalg::VecD u_ws_;  ///< seq_train_one P h^T workspace (no allocs)
   bool initialized_ = false;
   double initial_ridge_used_ = 0.0;
 };

@@ -22,6 +22,14 @@ std::size_t CycleModel::predict_cycles() const noexcept {
   return n_hidden_ * (n_input_ + 3) + params_.pipeline_overhead;
 }
 
+std::size_t CycleModel::predict_batch_cycles(
+    std::size_t actions) const noexcept {
+  // Shared projection N*n (state MACs + bias), then 3N per action (code
+  // MAC, activation, output MAC); fill/drain paid once per batch.
+  return n_hidden_ * n_input_ + 3 * actions * n_hidden_ +
+         params_.pipeline_overhead;
+}
+
 std::size_t CycleModel::seq_train_cycles() const noexcept {
   return 2 * n_hidden_ * n_hidden_ + n_hidden_ * (n_input_ + 6) +
          params_.divider_latency + params_.pipeline_overhead;
@@ -34,6 +42,12 @@ double CycleModel::predict_seconds() const noexcept {
 
 double CycleModel::seq_train_seconds() const noexcept {
   return static_cast<double>(seq_train_cycles() + params_.axi_overhead) /
+         clocks_.pl_hz;
+}
+
+double CycleModel::predict_batch_seconds(std::size_t actions) const noexcept {
+  return static_cast<double>(predict_batch_cycles(actions) +
+                             params_.axi_overhead) /
          clocks_.pl_hz;
 }
 

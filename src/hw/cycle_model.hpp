@@ -8,6 +8,13 @@
 //     N*(n MACs + bias add + activation) + N output MACs + pipeline/control
 //     = N*(n+3) + C_pipe
 //
+//   predict_batch (Q(s, a) for A action candidates sharing one state):
+//     shared projection  N*((n-1) state MACs + bias add) = N*n
+//     per action         N*(code MAC + activation + output MAC) = 3N each
+//     = N*n + 3*A*N + C_pipe
+//   The shared hidden-layer work and the AXI handshake are paid once per
+//   batch instead of once per action; A = 1 reduces exactly to predict.
+//
 //   seq_train (rank-1 Eq. 6 update, k = 1):
 //     hidden            N*(n+2)
 //     u = P h^T         N^2 MACs
@@ -46,9 +53,18 @@ class CycleModel {
   [[nodiscard]] std::size_t predict_cycles() const noexcept;
   [[nodiscard]] std::size_t seq_train_cycles() const noexcept;
 
+  /// Batched Q(s, .) over `actions` candidates amortizing the shared state
+  /// projection; predict_batch_cycles(1) == predict_cycles().
+  [[nodiscard]] std::size_t predict_batch_cycles(
+      std::size_t actions) const noexcept;
+
   /// Seconds of modeled PL time for one call, AXI overhead included.
   [[nodiscard]] double predict_seconds() const noexcept;
   [[nodiscard]] double seq_train_seconds() const noexcept;
+
+  /// Seconds for one batched call: one AXI handshake for the whole batch.
+  [[nodiscard]] double predict_batch_seconds(
+      std::size_t actions) const noexcept;
 
   [[nodiscard]] std::size_t hidden_units() const noexcept { return n_hidden_; }
   [[nodiscard]] std::size_t input_dim() const noexcept { return n_input_; }

@@ -50,6 +50,7 @@ void FpgaOsElmBackend::initialize() {
   x_scratch_.assign(n, Q::zero());
   h_scratch_.assign(units, Q::zero());
   u_scratch_.assign(units, Q::zero());
+  shared_scratch_.assign(units, Q::zero());
 
   initialized_ = false;
   total_pl_cycles_ = 0;
@@ -104,6 +105,51 @@ double FpgaOsElmBackend::predict_target(const linalg::VecD& sa,
   ++predict_calls_;
   total_pl_cycles_ += cycles_.predict_cycles();
   return cycles_.predict_seconds();
+}
+
+double FpgaOsElmBackend::predict_actions(const linalg::VecD& state,
+                                         const linalg::VecD& action_codes,
+                                         rl::QNetwork which,
+                                         linalg::VecD& q_out) {
+  const std::size_t n = config_.input_dim;
+  const std::size_t units = config_.hidden_units;
+  if (state.size() + 1 != n) {
+    throw std::invalid_argument("FpgaOsElmBackend::predict_actions: width");
+  }
+  if (q_out.size() != action_codes.size()) {
+    throw std::invalid_argument(
+        "FpgaOsElmBackend::predict_actions: q_out size");
+  }
+  const FixedMat& beta = which == rl::QNetwork::kMain ? beta_ : beta_target_;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    x_scratch_[i] = Q::from_double(state[i]);
+  }
+
+  // Shared partial accumulation bias + alpha_state^T s, in the same
+  // dataflow order as hidden_fixed (bias first, then features in index
+  // order) so each per-action result — including any saturation — is
+  // bit-identical to the per-action predict path.
+  for (std::size_t j = 0; j < units; ++j) {
+    Q acc = bias_[j];
+    for (std::size_t i = 0; i + 1 < n; ++i) acc += x_scratch_[i] * alpha_(i, j);
+    shared_scratch_[j] = acc;
+  }
+
+  // Per-action rank-1 correction on alpha's last row, then activation and
+  // the output MAC — the amortized schedule the cycle model charges.
+  for (std::size_t a = 0; a < action_codes.size(); ++a) {
+    const Q code = Q::from_double(action_codes[a]);
+    Q q = Q::zero();
+    for (std::size_t j = 0; j < units; ++j) {
+      const Q h = fixed::relu(shared_scratch_[j] + code * alpha_(n - 1, j));
+      q += h * beta(j, 0);
+    }
+    q_out[a] = q.to_double();
+  }
+
+  predict_calls_ += action_codes.size();
+  total_pl_cycles_ += cycles_.predict_batch_cycles(action_codes.size());
+  return cycles_.predict_batch_seconds(action_codes.size());
 }
 
 double FpgaOsElmBackend::init_train(const linalg::MatD& x,

@@ -41,6 +41,9 @@ class FpgaOsElmBackend final : public rl::OsElmQBackend {
   void initialize() override;
   double predict_main(const linalg::VecD& sa, double& q_out) override;
   double predict_target(const linalg::VecD& sa, double& q_out) override;
+  double predict_actions(const linalg::VecD& state,
+                         const linalg::VecD& action_codes, rl::QNetwork which,
+                         linalg::VecD& q_out) override;
   double init_train(const linalg::MatD& x, const linalg::MatD& t) override;
   double seq_train(const linalg::VecD& sa, double target) override;
   void sync_target() override;
@@ -99,6 +102,7 @@ class FpgaOsElmBackend final : public rl::OsElmQBackend {
   FixedVec x_scratch_;
   FixedVec h_scratch_;
   FixedVec u_scratch_;
+  FixedVec shared_scratch_;  ///< bias + alpha_state^T s for predict_actions
 
   bool initialized_ = false;
   std::uint64_t total_pl_cycles_ = 0;

@@ -1,8 +1,13 @@
 #include "linalg/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <stdexcept>
+
+#if defined(OSELM_HAVE_OPENMP)
+#include <omp.h>
+#endif
 
 namespace oselm::linalg {
 
@@ -46,11 +51,23 @@ MatD matmul(const MatD& a, const MatD& b) {
   const std::size_t work = a.rows() * a.cols() * b.cols();
 #if defined(OSELM_HAVE_OPENMP)
   if (work >= kParallelCutoff) {
-    const auto rows = static_cast<std::ptrdiff_t>(a.rows());
+    // Parallelize over multi-row bands, not single rows: a height-1 band
+    // defeats gemm_band's i-blocking and re-streams all of B once per row.
+    // Cap the band height at kBlock for the L1 tiling, but shrink it when
+    // the matrix has fewer than threads*kBlock rows so every core still
+    // gets work (e.g. 70 rows on 8 cores -> 9-row bands, not 2x64).
+    const std::size_t rows = a.rows();
+    const auto threads =
+        static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+    const std::size_t per_thread = (rows + threads - 1) / threads;
+    const std::size_t band_h =
+        std::max<std::size_t>(1, std::min(kBlock, per_thread));
+    const auto bands = static_cast<std::ptrdiff_t>((rows + band_h - 1) /
+                                                   band_h);
 #pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t r = 0; r < rows; ++r) {
-      gemm_band(a, b, c, static_cast<std::size_t>(r),
-                static_cast<std::size_t>(r) + 1);
+    for (std::ptrdiff_t band = 0; band < bands; ++band) {
+      const std::size_t r0 = static_cast<std::size_t>(band) * band_h;
+      gemm_band(a, b, c, r0, std::min(r0 + band_h, rows));
     }
     return c;
   }
@@ -96,15 +113,20 @@ MatD matmul_a_bt(const MatD& a, const MatD& b) {
 }
 
 VecD matvec(const MatD& a, const VecD& x) {
+  VecD y;
+  matvec_into(a, x, y);
+  return y;
+}
+
+void matvec_into(const MatD& a, const VecD& x, VecD& y) {
   require(a.cols() == x.size(), "matvec: dimension mismatch");
-  VecD y(a.rows(), 0.0);
+  y.assign(a.rows(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* row = a.row_ptr(i);
     double acc = 0.0;
     for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
     y[i] = acc;
   }
-  return y;
 }
 
 VecD matvec_t(const MatD& a, const VecD& x) {

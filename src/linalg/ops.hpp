@@ -21,6 +21,10 @@ MatD matmul_a_bt(const MatD& a, const MatD& b);
 /// y = A * x (matrix-vector product).
 VecD matvec(const MatD& a, const VecD& x);
 
+/// y = A * x into a caller-owned vector (resized to a.rows(), reusing its
+/// capacity — allocation-free in steady state). `y` must not alias `x`.
+void matvec_into(const MatD& a, const VecD& x, VecD& y);
+
 /// y = A^T * x.
 VecD matvec_t(const MatD& a, const VecD& x);
 

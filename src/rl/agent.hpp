@@ -24,9 +24,13 @@ class Agent {
   /// Processes one environment transition (Store + Update of Algorithm 1).
   virtual void observe(const nn::Transition& transition) = 0;
 
-  /// Hook at episode end with the 1-based episode index since the last
-  /// weight reset; used for the theta_2 <- theta_1 sync (lines 23-24).
-  virtual void episode_end(std::size_t episode_index) = 0;
+  /// Hook at episode end. The argument is the 1-based count of episodes
+  /// since the last weight reset — NOT a global episode number. Every
+  /// §4.3 reset re-randomizes theta_1 and theta_2 together, so any
+  /// schedule keyed on this count (e.g. the UPDATE_STEP target sync of
+  /// lines 23-24) intentionally restarts from 1 after a reset; the fresh
+  /// theta pair starts a fresh sync cadence.
+  virtual void episode_end(std::size_t episodes_since_reset) = 0;
 
   /// Re-randomizes all weights (the §4.3 reset rule). Only called when
   /// supports_weight_reset() is true.
@@ -42,6 +46,11 @@ class Agent {
 };
 
 using AgentPtr = std::unique_ptr<Agent>;
+
+/// Selects which set of output weights a batched prediction reads:
+/// theta_1 (the continuously trained network) or theta_2 (the frozen
+/// target copy).
+enum class QNetwork { kMain, kTarget };
 
 /// Arithmetic backend for the OS-ELM Q-network: the same Algorithm 1 agent
 /// drives either the software (double) implementation or the fixed-point
@@ -61,6 +70,25 @@ class OsElmQBackend {
 
   /// Q_theta2(s, a) — the fixed target network.
   virtual double predict_target(const linalg::VecD& sa, double& q_out) = 0;
+
+  /// Batched Q(s, .) over every action candidate in one pass.
+  ///
+  /// `action_codes[k]` is the scalar action feature the encoder appends to
+  /// `state` (see SimplifiedOutputModel::action_code), so `state` has
+  /// input_dim() - 1 entries and `q_out` must already hold
+  /// `action_codes.size()` slots — the call is allocation-free.
+  ///
+  /// The encoded inputs differ only in that trailing feature, which is what
+  /// the paper's FPGA core exploits: backends compute the shared state
+  /// projection alpha_state^T s + bias once and apply a per-action rank-1
+  /// correction alpha_last * code before the activation. Results match the
+  /// per-action predict_main/predict_target loop (bit-exact in software,
+  /// bit-faithful on the fixed-point model) and the returned seconds cover
+  /// the whole batch (amortized: cheaper than action_codes.size() single
+  /// predictions).
+  virtual double predict_actions(const linalg::VecD& state,
+                                 const linalg::VecD& action_codes,
+                                 QNetwork which, linalg::VecD& q_out) = 0;
 
   /// Initial training (Eq. 7/8) on the buffered chunk; runs on the host
   /// CPU in both backends, mirroring Fig. 3's hardware/software split.

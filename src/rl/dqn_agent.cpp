@@ -108,8 +108,10 @@ void DqnAgent::observe(const nn::Transition& transition) {
   if (replay_.size() >= config_.learning_starts) train_step();
 }
 
-void DqnAgent::episode_end(std::size_t episode_index) {
-  if (episode_index % config_.target_sync_interval == 0) {
+void DqnAgent::episode_end(std::size_t episodes_since_reset) {
+  // DQN never resets (§4.3), so this count is effectively the global
+  // episode number for this agent.
+  if (episodes_since_reset % config_.target_sync_interval == 0) {
     target_.copy_parameters_from(online_);
   }
 }

@@ -38,7 +38,7 @@ class DqnAgent final : public Agent {
 
   std::size_t act(const linalg::VecD& state) override;
   void observe(const nn::Transition& transition) override;
-  void episode_end(std::size_t episode_index) override;
+  void episode_end(std::size_t episodes_since_reset) override;
   void reset_weights() override;
   /// The paper's reset rule applies only to the ELM/OS-ELM designs (§4.3).
   [[nodiscard]] bool supports_weight_reset() const override { return false; }

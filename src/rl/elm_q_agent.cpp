@@ -114,7 +114,7 @@ void ElmQAgent::observe(const nn::Transition& transition) {
   if (pushes_ % config_.hidden_units == 0) run_batch_train();
 }
 
-void ElmQAgent::episode_end(std::size_t /*episode_index*/) {
+void ElmQAgent::episode_end(std::size_t /*episodes_since_reset*/) {
   // theta_2 syncs after each batch train instead (see header).
 }
 

@@ -38,7 +38,7 @@ class ElmQAgent final : public Agent {
 
   std::size_t act(const linalg::VecD& state) override;
   void observe(const nn::Transition& transition) override;
-  void episode_end(std::size_t episode_index) override;
+  void episode_end(std::size_t episodes_since_reset) override;
   void reset_weights() override;
   [[nodiscard]] bool supports_weight_reset() const override { return true; }
   [[nodiscard]] std::string_view name() const override { return "ELM"; }

@@ -32,12 +32,17 @@ OsElmQAgent::OsElmQAgent(OsElmQBackendPtr backend, SimplifiedOutputModel model,
       policy_(config.epsilon_greedy, model.action_count()),
       rng_(seed),
       name_(display_name),
-      scratch_sa_(model.input_dim(), 0.0) {
+      scratch_sa_(model.input_dim(), 0.0),
+      action_codes_(model.action_count(), 0.0),
+      q_ws_(model.action_count(), 0.0) {
   config_.validate();
   if (!backend_) throw std::invalid_argument("OsElmQAgent: null backend");
   if (backend_->input_dim() != model_.input_dim()) {
     throw std::invalid_argument(
         "OsElmQAgent: backend input width != encoder width");
+  }
+  for (std::size_t a = 0; a < model_.action_count(); ++a) {
+    action_codes_[a] = model_.action_code(a);
   }
   buffer_.reserve(backend_->hidden_units());
 }
@@ -46,16 +51,16 @@ std::size_t OsElmQAgent::greedy_action(const linalg::VecD& state) {
   const util::OpCategory charge = backend_->initialized()
                                       ? util::OpCategory::kPredictSeq
                                       : util::OpCategory::kPredictInit;
+  // One batched call evaluates Q(s, a) for every action over a shared
+  // hidden-layer pass; invocations stay one-per-evaluation so the board
+  // models keep their count semantics.
+  breakdown_.add(charge,
+                 backend_->predict_actions(state, action_codes_,
+                                           QNetwork::kMain, q_ws_),
+                 model_.action_count());
   std::size_t best = 0;
-  double best_q = 0.0;
-  for (std::size_t a = 0; a < model_.action_count(); ++a) {
-    model_.encode_into(state, a, scratch_sa_);
-    double q = 0.0;
-    breakdown_.add(charge, backend_->predict_main(scratch_sa_, q));
-    if (a == 0 || q > best_q) {
-      best_q = q;
-      best = a;
-    }
+  for (std::size_t a = 1; a < q_ws_.size(); ++a) {
+    if (q_ws_[a] > q_ws_[best]) best = a;  // ties keep the lowest index
   }
   return best;
 }
@@ -79,11 +84,14 @@ double OsElmQAgent::td_target(const nn::Transition& transition,
                               util::OpCategory charge_to) {
   double best_next = 0.0;
   if (!transition.done) {
-    for (std::size_t a = 0; a < model_.action_count(); ++a) {
-      model_.encode_into(transition.next_state, a, scratch_sa_);
-      double q = 0.0;
-      breakdown_.add(charge_to, backend_->predict_target(scratch_sa_, q));
-      if (a == 0 || q > best_next) best_next = q;
+    breakdown_.add(charge_to,
+                   backend_->predict_actions(transition.next_state,
+                                             action_codes_, QNetwork::kTarget,
+                                             q_ws_),
+                   model_.action_count());
+    best_next = q_ws_[0];
+    for (std::size_t a = 1; a < q_ws_.size(); ++a) {
+      if (q_ws_[a] > best_next) best_next = q_ws_[a];
     }
   }
   double target = transition.reward;
@@ -130,8 +138,10 @@ void OsElmQAgent::observe(const nn::Transition& transition) {
   ++seq_updates_;
 }
 
-void OsElmQAgent::episode_end(std::size_t episode_index) {
-  if (episode_index % config_.target_sync_interval == 0) {
+void OsElmQAgent::episode_end(std::size_t episodes_since_reset) {
+  // The count restarts after every §4.3 weight reset (see Agent), so the
+  // UPDATE_STEP cadence is relative to the current theta_1/theta_2 pair.
+  if (episodes_since_reset % config_.target_sync_interval == 0) {
     backend_->sync_target();  // theta_2 <- theta_1 (lines 23-24)
   }
 }

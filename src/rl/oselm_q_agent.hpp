@@ -36,7 +36,7 @@ class OsElmQAgent final : public Agent {
 
   std::size_t act(const linalg::VecD& state) override;
   void observe(const nn::Transition& transition) override;
-  void episode_end(std::size_t episode_index) override;
+  void episode_end(std::size_t episodes_since_reset) override;
   void reset_weights() override;
   [[nodiscard]] bool supports_weight_reset() const override { return true; }
   [[nodiscard]] std::string_view name() const override { return name_; }
@@ -45,6 +45,8 @@ class OsElmQAgent final : public Agent {
   }
 
   /// Greedy action under theta_1 (no exploration); used by evaluation.
+  /// One batched predict_actions call; ties break toward the lowest
+  /// action index, matching the historical per-action argmax loop.
   std::size_t greedy_action(const linalg::VecD& state);
 
   /// Q_theta1(s, a) (prediction time charged as usual).
@@ -81,7 +83,9 @@ class OsElmQAgent final : public Agent {
 
   std::vector<nn::Transition> buffer_;  ///< buffer D, capacity = N-tilde
   util::OpBreakdown breakdown_;
-  linalg::VecD scratch_sa_;  ///< reused encode buffer (no hot-loop allocs)
+  linalg::VecD scratch_sa_;     ///< reused encode buffer (no hot-loop allocs)
+  linalg::VecD action_codes_;   ///< precomputed codes for predict_actions
+  linalg::VecD q_ws_;           ///< per-action Q workspace (no allocs)
   std::size_t seq_updates_ = 0;
   std::size_t init_trainings_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "rl/software_backend.hpp"
 
+#include <stdexcept>
+
 #include "linalg/ops.hpp"
 #include "util/timer.hpp"
 
@@ -7,7 +9,12 @@ namespace oselm::rl {
 
 SoftwareOsElmBackend::SoftwareOsElmBackend(SoftwareBackendConfig config,
                                            std::uint64_t seed)
-    : config_(config), rng_(seed), net_(config.elm, rng_) {
+    : config_(config),
+      rng_(seed),
+      net_(config.elm, rng_),
+      h_ws_(config.elm.hidden_units, 0.0),
+      shared_ws_(config.elm.hidden_units, 0.0),
+      target_ws_(1, 0.0) {
   initialize();
 }
 
@@ -22,20 +29,85 @@ void SoftwareOsElmBackend::initialize() {
   beta_target_ = net_.beta();  // theta_2 <- theta_1 (Algorithm 1 line 4)
 }
 
+double SoftwareOsElmBackend::output_dot(const linalg::VecD& h,
+                                        QNetwork which) const noexcept {
+  const linalg::MatD& beta =
+      which == QNetwork::kMain ? net_.beta() : beta_target_;
+  double q = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) q += h[i] * beta(i, 0);
+  return q;
+}
+
 double SoftwareOsElmBackend::predict_main(const linalg::VecD& sa,
                                           double& q_out) {
   util::WallTimer timer;
-  q_out = net_.predict_one(sa)[0];
+  net_.hidden_into(sa, h_ws_);
+  q_out = output_dot(h_ws_, QNetwork::kMain);
   return timer.seconds();
 }
 
 double SoftwareOsElmBackend::predict_target(const linalg::VecD& sa,
                                             double& q_out) {
   util::WallTimer timer;
-  const linalg::VecD h = net_.hidden_one(sa);
-  double q = 0.0;
-  for (std::size_t i = 0; i < h.size(); ++i) q += h[i] * beta_target_(i, 0);
-  q_out = q;
+  net_.hidden_into(sa, h_ws_);
+  q_out = output_dot(h_ws_, QNetwork::kTarget);
+  return timer.seconds();
+}
+
+double SoftwareOsElmBackend::predict_actions(const linalg::VecD& state,
+                                             const linalg::VecD& action_codes,
+                                             QNetwork which,
+                                             linalg::VecD& q_out) {
+  util::WallTimer timer;
+  const std::size_t n = config_.elm.input_dim;
+  const std::size_t units = config_.elm.hidden_units;
+  if (state.size() + 1 != n) {
+    throw std::invalid_argument(
+        "SoftwareOsElmBackend::predict_actions: state width");
+  }
+  if (q_out.size() != action_codes.size()) {
+    throw std::invalid_argument(
+        "SoftwareOsElmBackend::predict_actions: q_out size");
+  }
+  const linalg::MatD& alpha = net_.alpha();
+  const linalg::VecD& bias = net_.bias();
+  const linalg::MatD& beta =
+      which == QNetwork::kMain ? net_.beta() : beta_target_;
+  const elm::Activation activation = config_.elm.activation;
+
+  // Shared state projection alpha_state^T s, accumulated in the same
+  // feature order (and with the same skip of exact zeros) as
+  // Elm::hidden_into, so every per-action result is bit-identical to the
+  // predict_main/predict_target loop.
+  shared_ws_.assign(units, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double xi = state[i];
+    if (xi == 0.0) continue;
+    const double* row = alpha.row_ptr(i);
+    for (std::size_t j = 0; j < units; ++j) shared_ws_[j] += xi * row[j];
+  }
+
+  // Per-action rank-1 correction: the encoded inputs differ only in the
+  // trailing action feature, whose weights are alpha's last row.
+  const double* last_row = alpha.row_ptr(n - 1);
+  for (std::size_t a = 0; a < action_codes.size(); ++a) {
+    const double code = action_codes[a];
+    double q = 0.0;
+    if (code == 0.0) {
+      for (std::size_t j = 0; j < units; ++j) {
+        const double h = elm::apply_activation(activation,
+                                               shared_ws_[j] + bias[j]);
+        q += h * beta(j, 0);
+      }
+    } else {
+      for (std::size_t j = 0; j < units; ++j) {
+        const double h = elm::apply_activation(
+            activation, shared_ws_[j] + code * last_row[j] + bias[j]);
+        q += h * beta(j, 0);
+      }
+    }
+    q_out[a] = q;
+  }
   return timer.seconds();
 }
 
@@ -49,8 +121,8 @@ double SoftwareOsElmBackend::init_train(const linalg::MatD& x,
 double SoftwareOsElmBackend::seq_train(const linalg::VecD& sa,
                                        double target) {
   util::WallTimer timer;
-  net_.seq_train_one_forgetting(sa, linalg::VecD{target},
-                                config_.forgetting_factor);
+  target_ws_[0] = target;
+  net_.seq_train_one_forgetting(sa, target_ws_, config_.forgetting_factor);
   return timer.seconds();
 }
 

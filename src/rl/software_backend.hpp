@@ -30,6 +30,9 @@ class SoftwareOsElmBackend final : public OsElmQBackend {
   void initialize() override;
   double predict_main(const linalg::VecD& sa, double& q_out) override;
   double predict_target(const linalg::VecD& sa, double& q_out) override;
+  double predict_actions(const linalg::VecD& state,
+                         const linalg::VecD& action_codes, QNetwork which,
+                         linalg::VecD& q_out) override;
   double init_train(const linalg::MatD& x, const linalg::MatD& t) override;
   double seq_train(const linalg::VecD& sa, double target) override;
   void sync_target() override;
@@ -54,11 +57,20 @@ class SoftwareOsElmBackend final : public OsElmQBackend {
   }
 
  private:
+  /// h . beta(:, 0) for whichever output weights `which` selects.
+  [[nodiscard]] double output_dot(const linalg::VecD& h,
+                                  QNetwork which) const noexcept;
+
   SoftwareBackendConfig config_;
   util::Rng rng_;
   elm::OsElm net_;
   linalg::MatD beta_target_;
   double sigma_at_init_ = 0.0;
+
+  // Hot-loop workspaces: the act/observe path never allocates.
+  linalg::VecD h_ws_;       ///< hidden row for single-sample predictions
+  linalg::VecD shared_ws_;  ///< shared state projection for predict_actions
+  linalg::VecD target_ws_;  ///< 1-element target wrapper for seq_train
 };
 
 }  // namespace oselm::rl

@@ -66,6 +66,9 @@ TrainResult run_training(Agent& agent, env::Environment& environment,
     }
 
     ++episodes_since_reset;
+    // Contract (rl::Agent): episode_end receives the count since the last
+    // §4.3 reset, not the global episode number — the fresh theta pair a
+    // reset installs restarts every episode-keyed schedule.
     agent.episode_end(episodes_since_reset);
     result.episode_steps.push_back(static_cast<double>(steps));
     result.episode_returns.push_back(episode_return);

@@ -171,5 +171,30 @@ TEST(FromParts, ValidatesShapes) {
                std::invalid_argument);
 }
 
+TEST(FromParts, RejectsNonEmptyPWhenUninitialized) {
+  // A model that never ran init_train has no P; accepting one would let a
+  // later init_train round-trip resurrect stale inverse-Gram state.
+  const ElmConfig cfg = sample_config();
+  EXPECT_THROW(OsElm::from_parts(cfg, linalg::MatD(4, 12), linalg::VecD(12),
+                                 linalg::MatD(12, 2), linalg::MatD(12, 12),
+                                 /*initialized=*/false),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsUninitializedFlagWithStaleP) {
+  // The corrupt-checkpoint scenario: a trained model's bytes with the
+  // `initialized` flag flipped to 0 but P still present must not load.
+  std::stringstream buffer;
+  save_os_elm(trained_model(13), buffer);
+  std::string bytes = buffer.str();
+  // Layout: 4-byte magic + 1 version + 3 u64 dims + 1 activation byte +
+  // 3 f64 config doubles, then the initialized flag.
+  constexpr std::size_t kInitializedFlagOffset = 4 + 1 + 24 + 1 + 24;
+  ASSERT_EQ(bytes[kInitializedFlagOffset], 1);
+  bytes[kInitializedFlagOffset] = 0;
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(load_os_elm(corrupt), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace oselm::elm

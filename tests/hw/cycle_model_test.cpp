@@ -22,6 +22,37 @@ TEST(CycleModel, PredictCyclesFollowFormula) {
   EXPECT_EQ(m.predict_cycles(), 64u * 8 + 64);
 }
 
+TEST(CycleModel, BatchPredictCyclesFollowFormula) {
+  CycleModelParams p;
+  p.pipeline_overhead = 64;
+  const CycleModel m(64, 5, p);
+  // N*n + 3*A*N + overhead = 320 + 384 + 64 for A = 2 actions.
+  EXPECT_EQ(m.predict_batch_cycles(2), 64u * 5 + 3 * 2 * 64 + 64);
+}
+
+TEST(CycleModel, BatchOfOneReducesToSinglePredict) {
+  const CycleModel m(64, 5);
+  EXPECT_EQ(m.predict_batch_cycles(1), m.predict_cycles());
+  EXPECT_DOUBLE_EQ(m.predict_batch_seconds(1), m.predict_seconds());
+}
+
+TEST(CycleModel, BatchAmortizesSharedProjectionAndHandshake) {
+  // The acceptance bar for the batched schedule: at the paper's CartPole
+  // configuration (N = 64, n = 5, 2 actions), one batched evaluation must
+  // be at least 1.5x faster than two single predictions, because the
+  // state projection and the AXI handshake are paid once.
+  for (const std::size_t n : {32u, 64u, 128u, 192u}) {
+    const CycleModel m(n, 5);
+    const double per_action = 2.0 * m.predict_seconds();
+    const double batched = m.predict_batch_seconds(2);
+    EXPECT_LT(batched, per_action) << n;
+    EXPECT_GE(per_action / batched, 1.4) << n;
+  }
+  const CycleModel paper(64, 5);
+  EXPECT_GE(2.0 * paper.predict_seconds() / paper.predict_batch_seconds(2),
+            1.5);
+}
+
 TEST(CycleModel, SeqTrainCyclesFollowFormula) {
   CycleModelParams p;
   p.pipeline_overhead = 64;

@@ -208,6 +208,24 @@ TEST(FpgaBackend, CycleAccountingAccumulates) {
   EXPECT_EQ(backend.seq_train_calls(), 1u);
 }
 
+TEST(FpgaBackend, BatchedPredictChargesAmortizedSchedule) {
+  FpgaOsElmBackend backend(small_config(64), 12);
+  const CycleModel& m = backend.cycle_model();
+  const linalg::VecD state(4, 0.1);
+  const linalg::VecD codes{-1.0, 1.0};
+  linalg::VecD q(2, 0.0);
+  const std::uint64_t before = backend.total_pl_cycles();
+  const std::size_t calls_before = backend.predict_calls();
+  EXPECT_DOUBLE_EQ(
+      backend.predict_actions(state, codes, rl::QNetwork::kMain, q),
+      m.predict_batch_seconds(2));
+  EXPECT_EQ(backend.total_pl_cycles() - before, m.predict_batch_cycles(2));
+  // Counts stay one-per-evaluation for the board-time models.
+  EXPECT_EQ(backend.predict_calls() - calls_before, 2u);
+  // The amortized batch is strictly cheaper than two single predictions.
+  EXPECT_LT(m.predict_batch_cycles(2), 2 * m.predict_cycles());
+}
+
 TEST(FpgaBackend, InitializeResetsState) {
   FpgaOsElmBackend backend(small_config(8), 10);
   util::Rng rng(100);

@@ -65,7 +65,12 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{3, 4, 5}, std::tuple{16, 16, 16},
                       std::tuple{63, 65, 64}, std::tuple{64, 64, 64},
                       std::tuple{65, 63, 66}, std::tuple{128, 32, 96},
-                      std::tuple{70, 70, 70}, std::tuple{1, 192, 192}));
+                      std::tuple{70, 70, 70}, std::tuple{1, 192, 192},
+                      // Above the OpenMP cutoff (64^3 elements of work)
+                      // with row counts that are not multiples of the
+                      // 64-row band: exercises the banded parallel path.
+                      std::tuple{130, 70, 40}, std::tuple{200, 64, 64},
+                      std::tuple{65, 100, 80}));
 
 TEST(MatmulAtB, EqualsExplicitTranspose) {
   util::Rng rng(2);
@@ -108,6 +113,23 @@ TEST(Matvec, MatchesMatmulWithColumn) {
   for (std::size_t i = 0; i < y.size(); ++i) {
     EXPECT_NEAR(y[i], y_mat(i, 0), 1e-12);
   }
+}
+
+TEST(MatvecInto, MatchesMatvecAndReusesCapacity) {
+  util::Rng rng(41);
+  const MatD a = random_matrix(9, 6, rng);
+  VecD x(6);
+  rng.fill_uniform(x, -1.0, 1.0);
+  const VecD expected = matvec(a, x);
+  VecD y(32, 99.0);  // oversized + dirty: must be resized and overwritten
+  matvec_into(a, x, y);
+  ASSERT_EQ(y.size(), 9u);
+  const double* storage_before = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], expected[i]);
+  // A second call must not reallocate (the hot-loop guarantee).
+  matvec_into(a, x, y);
+  EXPECT_EQ(y.data(), storage_before);
+  EXPECT_THROW(matvec_into(a, VecD(5), y), std::invalid_argument);
 }
 
 TEST(MatvecT, MatchesTransposedMatvec) {

@@ -27,29 +27,36 @@ constexpr double kDelta = 0.5;
 struct BackendCase {
   std::string name;
   std::function<OsElmQBackendPtr(std::uint64_t seed)> make;
+  /// Allowed |batched - per-action-loop| difference: 0 = bit-exact
+  /// (software); the fixed-point model gets a half-ulp budget.
+  double batch_tolerance = 0.0;
 };
 
 void PrintTo(const BackendCase& c, std::ostream* os) { *os << c.name; }
 
 BackendCase software_case() {
-  return {"SoftwareOsElmBackend", [](std::uint64_t seed) -> OsElmQBackendPtr {
+  return {"SoftwareOsElmBackend",
+          [](std::uint64_t seed) -> OsElmQBackendPtr {
             SoftwareBackendConfig cfg;
             cfg.elm =
                 test_support::config_for(kInputDim, kHiddenUnits, 1, kDelta);
             cfg.spectral_normalize = true;
             return std::make_unique<SoftwareOsElmBackend>(cfg, seed);
-          }};
+          },
+          0.0};
 }
 
 BackendCase fpga_case() {
-  return {"FpgaOsElmBackend", [](std::uint64_t seed) -> OsElmQBackendPtr {
+  return {"FpgaOsElmBackend",
+          [](std::uint64_t seed) -> OsElmQBackendPtr {
             hw::FpgaBackendConfig cfg;
             cfg.input_dim = kInputDim;
             cfg.hidden_units = kHiddenUnits;
             cfg.l2_delta = kDelta;
             cfg.spectral_normalize = true;
             return std::make_unique<hw::FpgaOsElmBackend>(cfg, seed);
-          }};
+          },
+          hw::quantization_half_ulp()};
 }
 
 class BackendContract : public ::testing::TestWithParam<BackendCase> {
@@ -65,6 +72,34 @@ class BackendContract : public ::testing::TestWithParam<BackendCase> {
         test_support::random_matrix(32, kInputDim, rng);
     const linalg::MatD t = test_support::random_matrix(32, 1, rng);
     EXPECT_GE(backend.init_train(x, t), 0.0);
+  }
+
+  /// Asserts predict_actions(state, codes, which) agrees with an explicit
+  /// per-action predict_main/predict_target loop within the backend's
+  /// fixed-point budget (bit-exact when the budget is zero).
+  void expect_batch_matches_loop(OsElmQBackend& backend,
+                                 const linalg::VecD& state,
+                                 const linalg::VecD& codes, QNetwork which) {
+    linalg::VecD batched(codes.size(), std::nan(""));
+    EXPECT_GE(backend.predict_actions(state, codes, which, batched), 0.0);
+
+    linalg::VecD sa(kInputDim, 0.0);
+    for (std::size_t i = 0; i < state.size(); ++i) sa[i] = state[i];
+    for (std::size_t a = 0; a < codes.size(); ++a) {
+      sa[kInputDim - 1] = codes[a];
+      double q_loop = std::nan("");
+      if (which == QNetwork::kMain) {
+        (void)backend.predict_main(sa, q_loop);
+      } else {
+        (void)backend.predict_target(sa, q_loop);
+      }
+      const double tol = GetParam().batch_tolerance;
+      if (tol == 0.0) {
+        EXPECT_DOUBLE_EQ(batched[a], q_loop) << "action " << a;
+      } else {
+        EXPECT_NEAR(batched[a], q_loop, tol) << "action " << a;
+      }
+    }
   }
 };
 
@@ -218,6 +253,84 @@ TEST_P(BackendContract, DifferentSeedsDrawDifferentWeights) {
   (void)a->predict_main(sa, qa);
   (void)b->predict_main(sa, qb);
   EXPECT_NE(qa, qb);
+}
+
+TEST_P(BackendContract, BatchedPredictMatchesPerActionLoopBeforeInit) {
+  const auto backend = make(20);
+  util::Rng rng(200);
+  for (int probe = 0; probe < 5; ++probe) {
+    const linalg::VecD state =
+        test_support::random_vector(kInputDim - 1, rng, -0.8, 0.8);
+    expect_batch_matches_loop(*backend, state, {-1.0, 1.0}, QNetwork::kMain);
+    expect_batch_matches_loop(*backend, state, {-1.0, 1.0},
+                              QNetwork::kTarget);
+  }
+}
+
+TEST_P(BackendContract, BatchedPredictMatchesPerActionLoopAfterTraining) {
+  const auto backend = make(21);
+  run_init_train(*backend, 210);
+  util::Rng rng(211);
+  for (int i = 0; i < 15; ++i) {
+    (void)backend->seq_train(test_support::random_vector(kInputDim, rng),
+                             rng.uniform(-1.0, 1.0));
+  }
+  for (int probe = 0; probe < 5; ++probe) {
+    const linalg::VecD state =
+        test_support::random_vector(kInputDim - 1, rng, -0.8, 0.8);
+    // A 3-action code set exercises the zero-code fast path too.
+    expect_batch_matches_loop(*backend, state, {-1.0, 0.0, 1.0},
+                              QNetwork::kMain);
+    expect_batch_matches_loop(*backend, state, {-1.0, 0.0, 1.0},
+                              QNetwork::kTarget);
+  }
+}
+
+TEST_P(BackendContract, BatchedPredictIsDeterministicAndTieStable) {
+  const auto backend = make(22);
+  run_init_train(*backend, 220);
+  const linalg::VecD state(kInputDim - 1, 0.3);
+  // Duplicated codes must produce exactly equal Q values — the property
+  // the agent's lowest-index tie-break depends on — and repeated calls
+  // must reproduce bit-identical outputs.
+  const linalg::VecD codes{0.5, 0.5, 0.5};
+  linalg::VecD first(3, 0.0);
+  linalg::VecD second(3, 0.0);
+  (void)backend->predict_actions(state, codes, QNetwork::kMain, first);
+  (void)backend->predict_actions(state, codes, QNetwork::kMain, second);
+  EXPECT_EQ(first[0], first[1]);
+  EXPECT_EQ(first[1], first[2]);
+  for (std::size_t a = 0; a < 3; ++a) EXPECT_EQ(first[a], second[a]) << a;
+}
+
+TEST_P(BackendContract, BatchedPredictValidatesShapes) {
+  const auto backend = make(23);
+  const linalg::VecD codes{-1.0, 1.0};
+  linalg::VecD q2(2, 0.0);
+  linalg::VecD q1(1, 0.0);
+  // State must be input_dim - 1 wide (the action feature is appended).
+  EXPECT_THROW(backend->predict_actions(linalg::VecD(kInputDim, 0.1), codes,
+                                        QNetwork::kMain, q2),
+               std::invalid_argument);
+  // q_out must already hold one slot per action code.
+  EXPECT_THROW(backend->predict_actions(linalg::VecD(kInputDim - 1, 0.1),
+                                        codes, QNetwork::kMain, q1),
+               std::invalid_argument);
+}
+
+TEST_P(BackendContract, BatchedPredictReadsTheRequestedNetwork) {
+  const auto backend = make(24);
+  run_init_train(*backend, 240);
+  // Drift theta_1 away from theta_2 so the two networks disagree.
+  const linalg::VecD sa(kInputDim, 0.2);
+  for (int i = 0; i < 10; ++i) (void)backend->seq_train(sa, 1.0);
+  const linalg::VecD state(kInputDim - 1, 0.2);
+  const linalg::VecD codes{-1.0, 1.0};
+  linalg::VecD q_main(2, 0.0);
+  linalg::VecD q_target(2, 0.0);
+  (void)backend->predict_actions(state, codes, QNetwork::kMain, q_main);
+  (void)backend->predict_actions(state, codes, QNetwork::kTarget, q_target);
+  EXPECT_NE(q_main, q_target);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -32,6 +32,26 @@ class MockBackend final : public OsElmQBackend {
     q_out = target_q;
     return 0.002;
   }
+  double predict_actions(const linalg::VecD& state,
+                         const linalg::VecD& action_codes, QNetwork which,
+                         linalg::VecD& q_out) override {
+    if (q_out.size() != action_codes.size()) {
+      throw std::invalid_argument("MockBackend::predict_actions: q_out");
+    }
+    if (which == QNetwork::kMain) {
+      batched_main_states.push_back(state);
+      batched_codes = action_codes;
+      // Mirrors the single-sample mock: Q equals the action code unless a
+      // tie script overrides it, so argmax behavior is assertable.
+      for (std::size_t a = 0; a < action_codes.size(); ++a) {
+        q_out[a] = tie_all_actions ? 0.125 : action_codes[a];
+      }
+      return 0.001 * static_cast<double>(action_codes.size());
+    }
+    batched_target_states.push_back(state);
+    for (std::size_t a = 0; a < action_codes.size(); ++a) q_out[a] = target_q;
+    return 0.002 * static_cast<double>(action_codes.size());
+  }
   double init_train(const linalg::MatD& x, const linalg::MatD& t) override {
     init_x = x;
     init_t = t;
@@ -53,11 +73,15 @@ class MockBackend final : public OsElmQBackend {
   std::size_t hidden_;
   bool initialized_ = false;
   double target_q = 0.0;
+  bool tie_all_actions = false;
   int initialize_calls = 0;
   int init_calls = 0;
   int sync_calls = 0;
   std::vector<linalg::VecD> main_inputs;
   std::vector<linalg::VecD> target_inputs;
+  std::vector<linalg::VecD> batched_main_states;
+  std::vector<linalg::VecD> batched_target_states;
+  linalg::VecD batched_codes;
   std::vector<linalg::VecD> seq_inputs;
   std::vector<double> seq_targets;
   linalg::MatD init_x;
@@ -142,13 +166,13 @@ TEST(OsElmQAgent, TerminalTransitionSkipsBootstrap) {
   mock->target_q = 10.0;
   agent->observe(transition(0.0));  // fills buffer, init-trains
   ASSERT_TRUE(mock->initialized());
-  mock->target_inputs.clear();  // drop the init-training's target queries
+  mock->batched_target_states.clear();  // drop init-training target queries
 
   agent->observe(transition(-1.0, /*done=*/true));
   ASSERT_EQ(mock->seq_targets.size(), 1u);
   // d == 1: target = clip(r) = -1, no Q_theta2 evaluation.
   EXPECT_DOUBLE_EQ(mock->seq_targets[0], -1.0);
-  EXPECT_TRUE(mock->target_inputs.empty());
+  EXPECT_TRUE(mock->batched_target_states.empty());
 }
 
 TEST(OsElmQAgent, NonTerminalTargetUsesMaxOverActions) {
@@ -158,15 +182,15 @@ TEST(OsElmQAgent, NonTerminalTargetUsesMaxOverActions) {
   auto [mock, agent] = make_agent(cfg, /*hidden=*/1);
   mock->target_q = 0.6;
   agent->observe(transition(0.0));  // init train
-  mock->target_inputs.clear();
+  mock->batched_target_states.clear();
 
   agent->observe(transition(0.25));
   ASSERT_EQ(mock->seq_targets.size(), 1u);
   // target = 0.25 + 0.5 * 0.6 = 0.55 (within the clip range).
   EXPECT_DOUBLE_EQ(mock->seq_targets[0], 0.55);
-  // max over both actions => two theta_2 predictions on s'.
-  EXPECT_EQ(mock->target_inputs.size(), 2u);
-  EXPECT_DOUBLE_EQ(mock->target_inputs[0][0], 0.5);  // s' state forwarded
+  // max over both actions => ONE batched theta_2 evaluation on s'.
+  EXPECT_EQ(mock->batched_target_states.size(), 1u);
+  EXPECT_DOUBLE_EQ(mock->batched_target_states[0][0], 0.5);  // s' forwarded
 }
 
 TEST(OsElmQAgent, SeqTrainEncodesTakenStateAction) {
@@ -221,11 +245,23 @@ TEST(OsElmQAgent, GreedyActionPicksArgmaxAndChargesPredicts) {
   auto [mock, agent] = make_agent(cfg);
   // Mock Q equals the action code, so action 1 (+1) must win.
   EXPECT_EQ(agent->greedy_action({0.0, 0.0, 0.0, 0.0}), 1u);
-  EXPECT_EQ(mock->main_inputs.size(), 2u);  // one predict per action
-  // Before init training, prediction time goes to predict_init.
+  // One batched evaluation covering both actions.
+  EXPECT_EQ(mock->batched_main_states.size(), 1u);
+  EXPECT_EQ(mock->batched_codes, (linalg::VecD{-1.0, 1.0}));
+  // Before init training, prediction time goes to predict_init; counts
+  // stay one-per-evaluation (2 actions) for the board-time models.
   EXPECT_GT(agent->breakdown().get(util::OpCategory::kPredictInit), 0.0);
+  EXPECT_EQ(agent->breakdown().invocations(util::OpCategory::kPredictInit),
+            2u);
   EXPECT_DOUBLE_EQ(agent->breakdown().get(util::OpCategory::kPredictSeq),
                    0.0);
+}
+
+TEST(OsElmQAgent, GreedyActionBreaksTiesTowardLowestAction) {
+  OsElmQAgentConfig cfg;
+  auto [mock, agent] = make_agent(cfg);
+  mock->tie_all_actions = true;  // every action reports the same Q
+  EXPECT_EQ(agent->greedy_action({0.0, 0.0, 0.0, 0.0}), 0u);
 }
 
 TEST(OsElmQAgent, PredictionChargesSwitchAfterInitTraining) {
@@ -243,6 +279,8 @@ TEST(OsElmQAgent, BreakdownChargesBackendReportedSeconds) {
   agent->observe(transition(0.0));
   agent->observe(transition(0.0));  // init train: 0.25s + target predicts
   agent->observe(transition(0.0, /*done=*/true));  // seq train: 0.125s
+  // Each buffered sample pays one batched target evaluation (2 actions
+  // at 0.002 each in the mock).
   EXPECT_NEAR(agent->breakdown().get(util::OpCategory::kInitTrain),
               0.25 + 2 * 2 * 0.002, 1e-12);
   EXPECT_NEAR(agent->breakdown().get(util::OpCategory::kSeqTrain), 0.125,

@@ -107,6 +107,42 @@ TEST(Trainer, ResetRuleFiresForResettableAgents) {
             (std::vector<std::size_t>{1, 2, 3, 1, 2, 3, 1}));
 }
 
+TEST(Trainer, EpisodeKeyedSchedulesRestartAfterEveryReset) {
+  // Regression for the episode_end contract: the trainer passes the count
+  // of episodes SINCE THE LAST §4.3 RESET, not the global episode number.
+  // An every-2-episodes schedule (the paper's UPDATE_STEP target sync)
+  // therefore restarts its cadence after each reset: with reset_interval 3
+  // it fires at relative episodes {2, 2, ...} = global episodes {2, 5},
+  // not at global {2, 4, 6}.
+  class SyncingAgent final : public Agent {
+   public:
+    std::size_t act(const linalg::VecD&) override { return 1; }
+    void observe(const nn::Transition&) override {}
+    void episode_end(std::size_t episodes_since_reset) override {
+      ++global_episode;
+      if (episodes_since_reset % 2 == 0) {
+        sync_episodes.push_back(global_episode);
+      }
+    }
+    void reset_weights() override {}
+    [[nodiscard]] bool supports_weight_reset() const override { return true; }
+    [[nodiscard]] std::string_view name() const override { return "syncing"; }
+    [[nodiscard]] const util::OpBreakdown& breakdown() const override {
+      return breakdown_;
+    }
+    std::size_t global_episode = 0;
+    std::vector<std::size_t> sync_episodes;
+    util::OpBreakdown breakdown_;
+  };
+
+  SyncingAgent agent;
+  env::CartPole env(env::CartPoleParams{}, 7);
+  TrainerConfig cfg = quick_config(7);
+  cfg.reset_interval = 3;  // resets before global episodes 4 and 7
+  (void)run_training(agent, env, cfg);
+  EXPECT_EQ(agent.sync_episodes, (std::vector<std::size_t>{2, 5}));
+}
+
 TEST(Trainer, ResetRuleIgnoredForNonResettableAgents) {
   ScriptedAgent agent(1, /*resettable=*/false);  // e.g. DQN
   env::CartPole env(env::CartPoleParams{}, 4);
