@@ -65,7 +65,7 @@ int main() {
     linalg::VecD x(5);
     rng.fill_uniform(x, -1.0, 1.0);
     const double target = rng.uniform(-1.0, 1.0);
-    (void)backend.seq_train(x, target);
+    backend.seq_train(x, target);
 
     // Exact double mirror of Eq. 6 (k = 1).
     linalg::VecD h(64);
@@ -86,8 +86,7 @@ int main() {
     const double err = (target - pred) * inv;
     for (std::size_t j = 0; j < 64; ++j) beta(j, 0) += u[j] * err;
 
-    double q_fixed = 0.0;
-    (void)backend.predict_main(x, q_fixed);
+    const double q_fixed = backend.predict_main(x);
     double q_ref = 0.0;
     for (std::size_t j = 0; j < 64; ++j) q_ref += h[j] * beta(j, 0);
     worst = std::max(worst, std::abs(q_fixed - q_ref));

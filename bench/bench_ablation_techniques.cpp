@@ -10,8 +10,8 @@
 
 #include "bench_common.hpp"
 #include "env/registry.hpp"
+#include "rl/backend_registry.hpp"
 #include "rl/oselm_q_agent.hpp"
-#include "rl/software_backend.hpp"
 #include "rl/trainer.hpp"
 #include "util/csv.hpp"
 
@@ -40,16 +40,15 @@ VariantResult run_variant(const Variant& v, std::size_t trials,
   VariantResult out;
   double episode_sum = 0.0;
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    rl::SoftwareBackendConfig bc;
-    bc.elm.input_dim = 5;
-    bc.elm.hidden_units = 32;
-    bc.elm.output_dim = 1;
-    bc.elm.l2_delta = v.delta;
-    bc.elm.init_low = v.init_low;
-    bc.elm.init_high = v.init_high;
+    rl::BackendConfig bc;
+    bc.input_dim = 5;
+    bc.hidden_units = 32;
+    bc.l2_delta = v.delta;
+    bc.init_low = v.init_low;
+    bc.init_high = v.init_high;
     bc.spectral_normalize = v.spectral_normalize;
-    auto backend =
-        std::make_unique<rl::SoftwareOsElmBackend>(bc, 1000 + trial * 7);
+    bc.seed = 1000 + trial * 7;
+    auto backend = rl::make_backend("software", bc);
 
     rl::OsElmQAgentConfig ac;
     ac.gamma = 0.9;

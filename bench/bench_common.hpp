@@ -1,8 +1,10 @@
 // Shared helpers for the figure/table benches: fidelity knobs read from
-// the environment and the measured->modeled-board time conversion.
+// the environment, regression-gate configuration, and the
+// measured->modeled-board time conversion.
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,35 @@ struct BenchKnobs {
     return knobs;
   }
 };
+
+/// Speedup regression gate from the environment, shared by every gated
+/// bench so gates are configured uniformly: `var` holds a percentage
+/// (130 -> a 1.3x bar); unset/0 disables the gate. Parsed once per
+/// variable per process — benches call this per measurement without
+/// re-reading the environment.
+inline double min_speedup_gate(
+    const std::string& var = "OSELM_BENCH_MIN_SPEEDUP_PCT") {
+  static std::map<std::string, double> cache;
+  const auto it = cache.find(var);
+  if (it != cache.end()) return it->second;
+  const double gate =
+      static_cast<double>(util::env_int(var, 0)) / 100.0;
+  cache.emplace(var, gate);
+  return gate;
+}
+
+/// Applies a min_speedup_gate: returns false (and prints the diagnostic)
+/// when the gate is enabled and `speedup` falls below it.
+inline bool check_speedup_gate(const std::string& var, const char* label,
+                               double speedup) {
+  const double gate = min_speedup_gate(var);
+  if (gate > 0.0 && speedup < gate) {
+    std::fprintf(stderr, "FAIL: %s speedup %.3f below the %.2f bar (%s)\n",
+                 label, speedup, gate, var.c_str());
+    return false;
+  }
+  return true;
+}
 
 /// Modeled PYNQ-Z1 seconds per category for one design run, derived from
 /// the instrumented invocation counts (see hw::SoftwarePlatformModel).

@@ -9,7 +9,7 @@
 #include "bench_common.hpp"
 #include "env/registry.hpp"
 #include "rl/oselm_q_agent.hpp"
-#include "rl/software_backend.hpp"
+#include "rl/backend_registry.hpp"
 #include "rl/trainer.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -32,15 +32,19 @@ rl::OsElmQAgent make_extension_agent(std::size_t state_dim,
                                      std::size_t actions,
                                      const ExtensionAgentParams& p,
                                      std::uint64_t seed) {
-  rl::SoftwareBackendConfig bc;
-  bc.elm.input_dim = state_dim + 1;
-  bc.elm.hidden_units = p.units;
-  bc.elm.output_dim = 1;
-  bc.elm.l2_delta = p.delta;
+  rl::BackendConfig bc;
+  bc.input_dim = state_dim + 1;
+  bc.hidden_units = p.units;
+  bc.l2_delta = p.delta;
   bc.spectral_normalize = p.spectral;
   bc.forgetting_factor = p.forgetting;
-  auto backend =
-      std::make_unique<rl::SoftwareOsElmBackend>(bc, seed * 101 + 7);
+  bc.seed = seed * 101 + 7;
+  // Declare the FOS-ELM requirement: a backend without the forgetting
+  // capability would be rejected with a clear error instead of silently
+  // running lambda = 1.
+  rl::BackendCapabilities needs;
+  needs.forgetting = p.forgetting < 1.0;
+  auto backend = rl::make_backend("software", bc, needs);
   rl::OsElmQAgentConfig ac;
   ac.gamma = p.gamma;
   ac.epsilon_greedy = p.epsilon_greedy;

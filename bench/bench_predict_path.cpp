@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "hw/cycle_model.hpp"
 #include "rl/agent.hpp"
 #include "rl/sa_encoding.hpp"
@@ -74,7 +75,7 @@ Measurement measure(std::size_t hidden_units, std::size_t iters) {
       x.set_row(r, row);
       t(r, 0) = rng.uniform(-1.0, 1.0);
     }
-    backend.init_train(x, t);
+    backend.init_train(x, t);  // time lands on the backend's ledger
   }
 
   const std::vector<VecD> states = random_states(rng);
@@ -109,13 +110,11 @@ Measurement measure(std::size_t hidden_units, std::size_t iters) {
   // --- Per-action loop on today's allocation-free predict_main: isolates
   // what batching alone buys, so a batching regression cannot hide behind
   // the allocation-removal delta.
-  double q_single = 0.0;
   for (std::size_t it = 0; it < warmup; ++it) {
     const VecD& s = states[it % kStatePool];
     for (std::size_t a = 0; a < kActions; ++a) {
       model.encode_into(s, a, sa);
-      (void)backend.predict_main(sa, q_single);
-      out.checksum += q_single;
+      out.checksum += backend.predict_main(sa);
     }
   }
   timer.reset();
@@ -123,8 +122,7 @@ Measurement measure(std::size_t hidden_units, std::size_t iters) {
     const VecD& s = states[it % kStatePool];
     for (std::size_t a = 0; a < kActions; ++a) {
       model.encode_into(s, a, sa);
-      (void)backend.predict_main(sa, q_single);
-      out.checksum += q_single;
+      out.checksum += backend.predict_main(sa);
     }
   }
   out.per_action_noalloc_ns =
@@ -132,14 +130,14 @@ Measurement measure(std::size_t hidden_units, std::size_t iters) {
 
   // --- Batched path: one predict_actions call per greedy evaluation.
   for (std::size_t it = 0; it < warmup; ++it) {
-    (void)backend.predict_actions(states[it % kStatePool], codes,
-                                  oselm::rl::QNetwork::kMain, q);
+    backend.predict_actions(states[it % kStatePool], codes,
+                            oselm::rl::QNetwork::kMain, q);
     out.checksum += q[0] + q[1];
   }
   timer.reset();
   for (std::size_t it = 0; it < iters; ++it) {
-    (void)backend.predict_actions(states[it % kStatePool], codes,
-                                  oselm::rl::QNetwork::kMain, q);
+    backend.predict_actions(states[it % kStatePool], codes,
+                            oselm::rl::QNetwork::kMain, q);
     out.checksum += q[0] + q[1];
   }
   out.batched_ns = timer.seconds() * 1e9 / static_cast<double>(iters);
@@ -221,13 +219,10 @@ int main(int argc, char** argv) {
   // Optional regression gate: with OSELM_BENCH_MIN_SPEEDUP_PCT set (CI
   // passes 130, i.e. 1.3x — the 1.5x target minus noise margin on shared
   // runners), a batched path slower than the bar fails the run instead of
-  // silently recording a regression.
-  const double min_speedup = static_cast<double>(
-      oselm::util::env_int("OSELM_BENCH_MIN_SPEEDUP_PCT", 0)) / 100.0;
-  if (min_speedup > 0.0 && best.speedup < min_speedup) {
-    std::fprintf(stderr,
-                 "FAIL: software batched speedup %.3f below the %.2f bar\n",
-                 best.speedup, min_speedup);
+  // silently recording a regression. Parsing is hoisted into
+  // bench_common.hpp and shared with bench_serving.
+  if (!oselm::bench::check_speedup_gate("OSELM_BENCH_MIN_SPEEDUP_PCT",
+                                        "software batched", best.speedup)) {
     return 1;
   }
   return 0;

@@ -8,8 +8,8 @@
 #include <memory>
 
 #include "env/grid_world.hpp"
+#include "rl/backend_registry.hpp"
 #include "rl/oselm_q_agent.hpp"
-#include "rl/software_backend.hpp"
 #include "rl/trainer.hpp"
 
 int main(int argc, char** argv) {
@@ -22,15 +22,15 @@ int main(int argc, char** argv) {
 
   // Hyper-parameters differ from the CartPole protocol: GridWorld's
   // sparse +-1 terminals reward a longer horizon (gamma 0.95), denser
-  // updates (train every step) and a lighter ridge.
-  rl::SoftwareBackendConfig backend_config;
-  backend_config.elm.input_dim = 3;  // (x, y) + action code
-  backend_config.elm.hidden_units = 48;
-  backend_config.elm.output_dim = 1;
-  backend_config.elm.l2_delta = 0.1;
+  // updates (train every step) and a lighter ridge. The backend comes
+  // from the registry by id — no hand-constructed implementation config.
+  rl::BackendConfig backend_config;
+  backend_config.input_dim = 3;  // (x, y) + action code
+  backend_config.hidden_units = 48;
+  backend_config.l2_delta = 0.1;
   backend_config.spectral_normalize = false;
-  auto backend =
-      std::make_unique<rl::SoftwareOsElmBackend>(backend_config, 209);
+  backend_config.seed = 209;
+  auto backend = rl::make_backend("software", backend_config);
 
   rl::OsElmQAgentConfig agent_config;
   agent_config.gamma = 0.95;

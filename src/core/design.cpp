@@ -2,11 +2,10 @@
 
 #include <stdexcept>
 
-#include "hw/fpga_backend.hpp"
+#include "rl/backend_registry.hpp"
 #include "rl/dqn_agent.hpp"
 #include "rl/elm_q_agent.hpp"
 #include "rl/oselm_q_agent.hpp"
-#include "rl/software_backend.hpp"
 
 namespace oselm::core {
 
@@ -64,22 +63,37 @@ double AgentConfig::resolved_delta() const noexcept {
   }
 }
 
+std::string AgentConfig::resolved_backend_id() const {
+  if (!backend_id.empty()) return backend_id;
+  switch (design) {
+    case Design::kOsElm:
+    case Design::kOsElmL2:
+    case Design::kOsElmLipschitz:
+    case Design::kOsElmL2Lipschitz:
+      return "software";
+    case Design::kFpga:
+      return "fpga-q20";
+    default:
+      return {};  // ELM and DQN carry their own arithmetic
+  }
+}
+
 namespace {
 
-rl::AgentPtr make_software_oselm(const AgentConfig& config,
-                                 bool spectral_normalize) {
+rl::AgentPtr make_oselm_agent(const AgentConfig& config,
+                              bool spectral_normalize,
+                              std::string_view display_name) {
   const rl::SimplifiedOutputModel model(config.state_dim,
                                         config.action_count);
-  rl::SoftwareBackendConfig backend_config;
-  backend_config.elm.input_dim = model.input_dim();
-  backend_config.elm.hidden_units = config.hidden_units;
-  backend_config.elm.output_dim = 1;
-  backend_config.elm.activation = elm::Activation::kReLU;
-  backend_config.elm.l2_delta = config.resolved_delta();
+  rl::BackendConfig backend_config;
+  backend_config.input_dim = model.input_dim();
+  backend_config.hidden_units = config.hidden_units;
+  backend_config.l2_delta = config.resolved_delta();
   backend_config.spectral_normalize = spectral_normalize;
+  backend_config.seed = config.seed * 2654435761ULL + 1;
 
-  auto backend = std::make_unique<rl::SoftwareOsElmBackend>(
-      backend_config, config.seed * 2654435761ULL + 1);
+  rl::OsElmQBackendPtr backend =
+      rl::make_backend(config.resolved_backend_id(), backend_config);
 
   rl::OsElmQAgentConfig agent_config;
   agent_config.gamma = config.gamma;
@@ -89,7 +103,7 @@ rl::AgentPtr make_software_oselm(const AgentConfig& config,
 
   return std::make_unique<rl::OsElmQAgent>(std::move(backend), model,
                                            agent_config, config.seed,
-                                           design_name(config.design));
+                                           display_name);
 }
 
 }  // namespace
@@ -97,6 +111,15 @@ rl::AgentPtr make_software_oselm(const AgentConfig& config,
 rl::AgentPtr make_agent(const AgentConfig& config) {
   if (config.hidden_units == 0) {
     throw std::invalid_argument("AgentConfig: hidden_units == 0");
+  }
+  if (!config.backend_id.empty() &&
+      (config.design == Design::kElm || config.design == Design::kDqn)) {
+    // ELM and DQN carry their own arithmetic: a requested Q backend would
+    // be silently ignored, so reject the misconfiguration loudly.
+    throw std::invalid_argument(
+        "AgentConfig: backend_id '" + config.backend_id +
+        "' is meaningless for design " +
+        std::string(design_name(config.design)));
   }
   switch (config.design) {
     case Design::kElm: {
@@ -110,10 +133,12 @@ rl::AgentPtr make_agent(const AgentConfig& config) {
     }
     case Design::kOsElm:
     case Design::kOsElmL2:
-      return make_software_oselm(config, /*spectral_normalize=*/false);
+      return make_oselm_agent(config, /*spectral_normalize=*/false,
+                              design_name(config.design));
     case Design::kOsElmLipschitz:
     case Design::kOsElmL2Lipschitz:
-      return make_software_oselm(config, /*spectral_normalize=*/true);
+      return make_oselm_agent(config, /*spectral_normalize=*/true,
+                              design_name(config.design));
     case Design::kDqn: {
       rl::DqnAgentConfig dqn_config;
       dqn_config.state_dim = config.state_dim;
@@ -124,27 +149,8 @@ rl::AgentPtr make_agent(const AgentConfig& config) {
       dqn_config.target_sync_interval = config.target_sync_interval;
       return std::make_unique<rl::DqnAgent>(dqn_config, config.seed);
     }
-    case Design::kFpga: {
-      const rl::SimplifiedOutputModel model(config.state_dim,
-                                            config.action_count);
-      hw::FpgaBackendConfig backend_config;
-      backend_config.input_dim = model.input_dim();
-      backend_config.hidden_units = config.hidden_units;
-      backend_config.l2_delta = config.resolved_delta();
-      backend_config.spectral_normalize = true;
-
-      auto backend = std::make_unique<hw::FpgaOsElmBackend>(
-          backend_config, config.seed * 2654435761ULL + 1);
-
-      rl::OsElmQAgentConfig agent_config;
-      agent_config.gamma = config.gamma;
-      agent_config.epsilon_greedy = config.epsilon_greedy;
-      agent_config.update_probability = config.update_probability;
-      agent_config.target_sync_interval = config.target_sync_interval;
-      return std::make_unique<rl::OsElmQAgent>(std::move(backend), model,
-                                               agent_config, config.seed,
-                                               "FPGA");
-    }
+    case Design::kFpga:
+      return make_oselm_agent(config, /*spectral_normalize=*/true, "FPGA");
   }
   throw std::invalid_argument("make_agent: unknown design");
 }

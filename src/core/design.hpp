@@ -56,9 +56,17 @@ struct AgentConfig {
   /// (1.0 for OS-ELM-L2, 0.5 for OS-ELM-L2-Lipschitz and FPGA, else 0).
   double l2_delta = -1.0;
   std::uint64_t seed = 42;
+  /// rl::BackendRegistry id for the OS-ELM designs; empty selects the
+  /// per-design default ("software" for designs 2-5, "fpga-q20" for 7).
+  /// Ignored by the ELM and DQN designs, which have no Q backend.
+  std::string backend_id;
 
   /// Resolved delta after applying per-design defaults.
   [[nodiscard]] double resolved_delta() const noexcept;
+
+  /// Resolved registry id after applying per-design defaults; empty for
+  /// the backend-less designs.
+  [[nodiscard]] std::string resolved_backend_id() const;
 };
 
 /// Builds the agent for a design. All designs share the Algorithm 1

@@ -9,12 +9,22 @@ namespace oselm::elm {
 
 namespace {
 constexpr char kMagic[4] = {'O', 'S', 'L', 'M'};
-constexpr std::uint8_t kVersion = 1;
+// Container version byte (part of the generic header) and the explicit
+// payload schema word. The schema word is what future layout changes bump
+// so stale readers/writers fail loudly instead of mis-parsing the weight
+// matrices; see checkpoint.hpp for the v2 layout.
+constexpr std::uint8_t kVersion = 2;
+constexpr std::uint32_t kSchemaVersion = 2;
 }  // namespace
+
+std::uint32_t os_elm_checkpoint_schema_version() noexcept {
+  return kSchemaVersion;
+}
 
 void save_os_elm(const OsElm& model, std::ostream& out) {
   util::BinaryWriter writer(out);
   util::write_header(writer, kMagic, kVersion);
+  writer.write_u32(kSchemaVersion);
 
   const ElmConfig& cfg = model.config();
   writer.write_u64(cfg.input_dim);
@@ -42,6 +52,13 @@ void save_os_elm_file(const OsElm& model, const std::string& path) {
 OsElm load_os_elm(std::istream& in) {
   util::BinaryReader reader(in);
   util::read_header(reader, kMagic, kVersion);
+  const std::uint32_t schema = reader.read_u32();
+  if (schema != kSchemaVersion) {
+    throw std::runtime_error(
+        "load_os_elm: unsupported checkpoint schema version " +
+        std::to_string(schema) + " (this build reads schema " +
+        std::to_string(kSchemaVersion) + ")");
+  }
 
   ElmConfig cfg;
   cfg.input_dim = reader.read_u64();

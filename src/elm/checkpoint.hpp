@@ -2,8 +2,16 @@
 // (alpha, bias, beta, P, config) so a deployed device can resume
 // sequential training after a power cycle without re-running the initial
 // training.
+//
+// Format "OSLM" v2: generic header (magic + container version byte)
+// followed by an explicit u32 payload schema-version field, then the
+// config scalars and weight matrices. Any future layout change bumps the
+// schema word, so a mismatched reader throws a clear error instead of
+// mis-parsing matrix bytes. (v1 files lacked the schema word; they are
+// rejected at the header version check.)
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -11,7 +19,10 @@
 
 namespace oselm::elm {
 
-/// Serializes the complete OS-ELM state (format "OSLM" v1).
+/// The payload schema version this build writes and accepts.
+[[nodiscard]] std::uint32_t os_elm_checkpoint_schema_version() noexcept;
+
+/// Serializes the complete OS-ELM state (format "OSLM" v2).
 void save_os_elm(const OsElm& model, std::ostream& out);
 void save_os_elm_file(const OsElm& model, const std::string& path);
 

@@ -30,6 +30,15 @@ std::size_t CycleModel::predict_batch_cycles(
          params_.pipeline_overhead;
 }
 
+std::size_t CycleModel::predict_multi_cycles(
+    std::size_t states, std::size_t actions) const noexcept {
+  // Independent states share nothing but the pipeline fill/drain, so the
+  // per-state cost is predict_batch_cycles(actions) minus that overhead.
+  return states *
+             (n_hidden_ * n_input_ + 3 * actions * n_hidden_) +
+         params_.pipeline_overhead;
+}
+
 std::size_t CycleModel::seq_train_cycles() const noexcept {
   return 2 * n_hidden_ * n_hidden_ + n_hidden_ * (n_input_ + 6) +
          params_.divider_latency + params_.pipeline_overhead;
@@ -47,6 +56,13 @@ double CycleModel::seq_train_seconds() const noexcept {
 
 double CycleModel::predict_batch_seconds(std::size_t actions) const noexcept {
   return static_cast<double>(predict_batch_cycles(actions) +
+                             params_.axi_overhead) /
+         clocks_.pl_hz;
+}
+
+double CycleModel::predict_multi_seconds(std::size_t states,
+                                         std::size_t actions) const noexcept {
+  return static_cast<double>(predict_multi_cycles(states, actions) +
                              params_.axi_overhead) /
          clocks_.pl_hz;
 }

@@ -58,6 +58,16 @@ class CycleModel {
   [[nodiscard]] std::size_t predict_batch_cycles(
       std::size_t actions) const noexcept;
 
+  /// Cross-session batch: `states` independent states, each evaluated over
+  /// `actions` candidates in one call. Every state pays its own shared
+  /// projection + per-action work (they share no inputs), but the pipeline
+  /// fill/drain — and, in the seconds model, the AXI handshake — are paid
+  /// once for the whole coalesced batch:
+  ///   states * (N*n + 3*actions*N) + C_pipe
+  /// predict_multi_cycles(1, A) == predict_batch_cycles(A).
+  [[nodiscard]] std::size_t predict_multi_cycles(
+      std::size_t states, std::size_t actions) const noexcept;
+
   /// Seconds of modeled PL time for one call, AXI overhead included.
   [[nodiscard]] double predict_seconds() const noexcept;
   [[nodiscard]] double seq_train_seconds() const noexcept;
@@ -65,6 +75,10 @@ class CycleModel {
   /// Seconds for one batched call: one AXI handshake for the whole batch.
   [[nodiscard]] double predict_batch_seconds(
       std::size_t actions) const noexcept;
+
+  /// Seconds for one cross-session multi-batch call (one AXI handshake).
+  [[nodiscard]] double predict_multi_seconds(
+      std::size_t states, std::size_t actions) const noexcept;
 
   [[nodiscard]] std::size_t hidden_units() const noexcept { return n_hidden_; }
   [[nodiscard]] std::size_t input_dim() const noexcept { return n_input_; }

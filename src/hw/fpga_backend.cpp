@@ -10,8 +10,10 @@
 namespace oselm::hw {
 
 FpgaOsElmBackend::FpgaOsElmBackend(FpgaBackendConfig config,
-                                   std::uint64_t seed)
-    : config_(config),
+                                   std::uint64_t seed,
+                                   util::TimeLedgerPtr ledger)
+    : rl::OsElmQBackend(std::move(ledger)),
+      config_(config),
       rng_(seed),
       cycles_(config.hidden_units, config.input_dim, config.cycle_params,
               config.clocks) {
@@ -77,8 +79,7 @@ Q FpgaOsElmBackend::output_fixed(const FixedMat& beta) const {
   return acc;
 }
 
-double FpgaOsElmBackend::predict_main(const linalg::VecD& sa,
-                                      double& q_out) {
+double FpgaOsElmBackend::predict_main(const linalg::VecD& sa) {
   if (sa.size() != config_.input_dim) {
     throw std::invalid_argument("FpgaOsElmBackend::predict_main: width");
   }
@@ -86,14 +87,14 @@ double FpgaOsElmBackend::predict_main(const linalg::VecD& sa,
     x_scratch_[i] = Q::from_double(sa[i]);
   }
   hidden_fixed(x_scratch_);
-  q_out = output_fixed(beta_).to_double();
+  const double q = output_fixed(beta_).to_double();
   ++predict_calls_;
   total_pl_cycles_ += cycles_.predict_cycles();
-  return cycles_.predict_seconds();
+  ledger_->charge_predict(initialized_, cycles_.predict_seconds());
+  return q;
 }
 
-double FpgaOsElmBackend::predict_target(const linalg::VecD& sa,
-                                        double& q_out) {
+double FpgaOsElmBackend::predict_target(const linalg::VecD& sa) {
   if (sa.size() != config_.input_dim) {
     throw std::invalid_argument("FpgaOsElmBackend::predict_target: width");
   }
@@ -101,29 +102,18 @@ double FpgaOsElmBackend::predict_target(const linalg::VecD& sa,
     x_scratch_[i] = Q::from_double(sa[i]);
   }
   hidden_fixed(x_scratch_);
-  q_out = output_fixed(beta_target_).to_double();
+  const double q = output_fixed(beta_target_).to_double();
   ++predict_calls_;
   total_pl_cycles_ += cycles_.predict_cycles();
-  return cycles_.predict_seconds();
+  ledger_->charge_predict(initialized_, cycles_.predict_seconds());
+  return q;
 }
 
-double FpgaOsElmBackend::predict_actions(const linalg::VecD& state,
-                                         const linalg::VecD& action_codes,
-                                         rl::QNetwork which,
-                                         linalg::VecD& q_out) {
+void FpgaOsElmBackend::predict_actions_loaded(
+    const linalg::VecD& action_codes, rl::QNetwork which, double* q_out) {
   const std::size_t n = config_.input_dim;
   const std::size_t units = config_.hidden_units;
-  if (state.size() + 1 != n) {
-    throw std::invalid_argument("FpgaOsElmBackend::predict_actions: width");
-  }
-  if (q_out.size() != action_codes.size()) {
-    throw std::invalid_argument(
-        "FpgaOsElmBackend::predict_actions: q_out size");
-  }
   const FixedMat& beta = which == rl::QNetwork::kMain ? beta_ : beta_target_;
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    x_scratch_[i] = Q::from_double(state[i]);
-  }
 
   // Shared partial accumulation bias + alpha_state^T s, in the same
   // dataflow order as hidden_fixed (bias first, then features in index
@@ -146,14 +136,69 @@ double FpgaOsElmBackend::predict_actions(const linalg::VecD& state,
     }
     q_out[a] = q.to_double();
   }
+}
+
+void FpgaOsElmBackend::predict_actions(const linalg::VecD& state,
+                                       const linalg::VecD& action_codes,
+                                       rl::QNetwork which,
+                                       linalg::VecD& q_out) {
+  const std::size_t n = config_.input_dim;
+  if (state.size() + 1 != n) {
+    throw std::invalid_argument("FpgaOsElmBackend::predict_actions: width");
+  }
+  if (q_out.size() != action_codes.size()) {
+    throw std::invalid_argument(
+        "FpgaOsElmBackend::predict_actions: q_out size");
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    x_scratch_[i] = Q::from_double(state[i]);
+  }
+  predict_actions_loaded(action_codes, which, q_out.data());
 
   predict_calls_ += action_codes.size();
   total_pl_cycles_ += cycles_.predict_batch_cycles(action_codes.size());
-  return cycles_.predict_batch_seconds(action_codes.size());
+  ledger_->charge_predict(initialized_,
+                          cycles_.predict_batch_seconds(action_codes.size()),
+                          action_codes.size());
 }
 
-double FpgaOsElmBackend::init_train(const linalg::MatD& x,
-                                    const linalg::MatD& t) {
+void FpgaOsElmBackend::predict_actions_multi(const linalg::MatD& states,
+                                             const linalg::VecD& action_codes,
+                                             rl::QNetwork which,
+                                             linalg::MatD& q_out) {
+  const std::size_t n = config_.input_dim;
+  if (states.cols() + 1 != n) {
+    throw std::invalid_argument(
+        "FpgaOsElmBackend::predict_actions_multi: state width");
+  }
+  if (q_out.rows() != states.rows() || q_out.cols() != action_codes.size()) {
+    throw std::invalid_argument(
+        "FpgaOsElmBackend::predict_actions_multi: q_out shape");
+  }
+  // An empty batch performs no evaluations and charges nothing — the host
+  // never raises the core for it (keeps ledger totals comparable with the
+  // software backends on identical call streams).
+  if (states.rows() == 0) return;
+  for (std::size_t s = 0; s < states.rows(); ++s) {
+    const double* row = states.row_ptr(s);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      x_scratch_[i] = Q::from_double(row[i]);
+    }
+    predict_actions_loaded(action_codes, which, q_out.row_ptr(s));
+  }
+
+  const std::size_t evaluations = states.rows() * action_codes.size();
+  predict_calls_ += evaluations;
+  total_pl_cycles_ +=
+      cycles_.predict_multi_cycles(states.rows(), action_codes.size());
+  ledger_->charge_predict(
+      initialized_,
+      cycles_.predict_multi_seconds(states.rows(), action_codes.size()),
+      evaluations);
+}
+
+void FpgaOsElmBackend::init_train(const linalg::MatD& x,
+                                  const linalg::MatD& t) {
   util::WallTimer timer;  // init_train runs on the CPU part (Fig. 3)
   if (x.cols() != config_.input_dim || t.cols() != 1 ||
       x.rows() != t.rows()) {
@@ -184,10 +229,10 @@ double FpgaOsElmBackend::init_train(const linalg::MatD& x,
   p_ = quantize(p0);
   beta_ = quantize(beta0);
   initialized_ = true;
-  return timer.seconds();
+  ledger_->charge(util::OpCategory::kInitTrain, timer.seconds());
 }
 
-double FpgaOsElmBackend::seq_train(const linalg::VecD& sa, double target) {
+void FpgaOsElmBackend::seq_train(const linalg::VecD& sa, double target) {
   if (!initialized_) {
     throw std::logic_error("FpgaOsElmBackend::seq_train: not initialized");
   }
@@ -235,7 +280,7 @@ double FpgaOsElmBackend::seq_train(const linalg::VecD& sa, double target) {
 
   ++seq_train_calls_;
   total_pl_cycles_ += cycles_.seq_train_cycles();
-  return cycles_.seq_train_seconds();
+  ledger_->charge(util::OpCategory::kSeqTrain, cycles_.seq_train_seconds());
 }
 
 void FpgaOsElmBackend::sync_target() { beta_target_ = beta_; }

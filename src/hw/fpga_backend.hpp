@@ -4,7 +4,8 @@
 // Reproduces the hardware/software split of Fig. 3:
 //   * predict and seq_train run "in programmable logic": bit-faithful
 //     Q20 fixed-point arithmetic (saturating, single-unit dataflow order)
-//     with their cost charged as modeled PL seconds from hw::CycleModel;
+//     with their cost charged to the injected util::TimeLedger as modeled
+//     PL seconds from hw::CycleModel;
 //   * init_train runs "on the CPU": double-precision host math (Eq. 8),
 //     wall-clock timed, with the results quantized into the on-chip
 //     weight/P memories afterwards.
@@ -36,16 +37,24 @@ struct FpgaBackendConfig {
 
 class FpgaOsElmBackend final : public rl::OsElmQBackend {
  public:
-  FpgaOsElmBackend(FpgaBackendConfig config, std::uint64_t seed);
+  FpgaOsElmBackend(FpgaBackendConfig config, std::uint64_t seed,
+                   util::TimeLedgerPtr ledger = nullptr);
 
   void initialize() override;
-  double predict_main(const linalg::VecD& sa, double& q_out) override;
-  double predict_target(const linalg::VecD& sa, double& q_out) override;
-  double predict_actions(const linalg::VecD& state,
-                         const linalg::VecD& action_codes, rl::QNetwork which,
-                         linalg::VecD& q_out) override;
-  double init_train(const linalg::MatD& x, const linalg::MatD& t) override;
-  double seq_train(const linalg::VecD& sa, double target) override;
+  [[nodiscard]] double predict_main(const linalg::VecD& sa) override;
+  [[nodiscard]] double predict_target(const linalg::VecD& sa) override;
+  void predict_actions(const linalg::VecD& state,
+                       const linalg::VecD& action_codes, rl::QNetwork which,
+                       linalg::VecD& q_out) override;
+  /// Coalesced cross-session batch: per-state arithmetic bit-identical to
+  /// predict_actions row by row, but charged as ONE amortized multi-batch
+  /// (single pipeline fill + AXI handshake, CycleModel::predict_multi_*).
+  void predict_actions_multi(const linalg::MatD& states,
+                             const linalg::VecD& action_codes,
+                             rl::QNetwork which,
+                             linalg::MatD& q_out) override;
+  void init_train(const linalg::MatD& x, const linalg::MatD& t) override;
+  void seq_train(const linalg::VecD& sa, double target) override;
   void sync_target() override;
 
   [[nodiscard]] bool initialized() const override { return initialized_; }
@@ -83,6 +92,11 @@ class FpgaOsElmBackend final : public rl::OsElmQBackend {
   void hidden_fixed(const FixedVec& x);
   /// Fixed-point dot h·beta_column.
   [[nodiscard]] Q output_fixed(const FixedMat& beta) const;
+  /// Per-action Q values for the state already loaded in x_scratch_
+  /// (first input_dim-1 slots); shared by the single- and multi-state
+  /// batched entry points so both produce bit-identical results.
+  void predict_actions_loaded(const linalg::VecD& action_codes,
+                              rl::QNetwork which, double* q_out);
 
   FpgaBackendConfig config_;
   util::Rng rng_;

@@ -1,3 +1,30 @@
 #include "rl/agent.hpp"
 
-// Interface-only translation unit; anchors the vtables.
+#include <stdexcept>
+
+namespace oselm::rl {
+
+void OsElmQBackend::predict_actions_multi(const linalg::MatD& states,
+                                          const linalg::VecD& action_codes,
+                                          QNetwork which,
+                                          linalg::MatD& q_out) {
+  if (states.cols() + 1 != input_dim()) {
+    throw std::invalid_argument(
+        "OsElmQBackend::predict_actions_multi: state width");
+  }
+  if (q_out.rows() != states.rows() || q_out.cols() != action_codes.size()) {
+    throw std::invalid_argument(
+        "OsElmQBackend::predict_actions_multi: q_out shape");
+  }
+  if (states.rows() == 0) return;  // no evaluations => no charge
+  linalg::VecD state(states.cols());
+  linalg::VecD q_row(action_codes.size());
+  for (std::size_t s = 0; s < states.rows(); ++s) {
+    const double* row = states.row_ptr(s);
+    for (std::size_t i = 0; i < state.size(); ++i) state[i] = row[i];
+    predict_actions(state, action_codes, which, q_row);
+    q_out.set_row(s, q_row);
+  }
+}
+
+}  // namespace oselm::rl

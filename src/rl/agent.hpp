@@ -9,6 +9,7 @@
 #include "linalg/matrix.hpp"
 #include "nn/replay_buffer.hpp"  // nn::Transition
 #include "util/op_accounting.hpp"
+#include "util/time_ledger.hpp"
 
 namespace oselm::rl {
 
@@ -18,7 +19,7 @@ class Agent {
   virtual ~Agent() = default;
 
   /// Chooses an action for `state` (exploration included). Prediction time
-  /// is charged to the agent's breakdown internally.
+  /// is charged to the agent's ledger internally.
   virtual std::size_t act(const linalg::VecD& state) = 0;
 
   /// Processes one environment transition (Store + Update of Algorithm 1).
@@ -41,7 +42,8 @@ class Agent {
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 
-  /// Per-operation time accounting (Fig. 5 categories).
+  /// Per-operation time accounting (Fig. 5 categories), read from the
+  /// agent's TimeLedger.
   [[nodiscard]] virtual const util::OpBreakdown& breakdown() const = 0;
 };
 
@@ -54,22 +56,36 @@ enum class QNetwork { kMain, kTarget };
 
 /// Arithmetic backend for the OS-ELM Q-network: the same Algorithm 1 agent
 /// drives either the software (double) implementation or the fixed-point
-/// FPGA functional model. Every mutating/predicting call returns the
-/// seconds to charge: wall-clock for software backends, modeled
-/// programmable-logic time for the FPGA backend.
+/// FPGA functional model.
+///
+/// Time accounting (PR 3 redesign): every predicting/training call charges
+/// the util::TimeLedger injected at construction instead of returning
+/// "seconds to charge" doubles. Software backends charge measured
+/// wall-clock; the FPGA backend charges modeled programmable-logic time.
+/// Prediction charges route through TimeLedger::charge_predict, so agents
+/// retarget them with a TimeLedger::PredictScope (e.g. TD-target
+/// evaluations inside init/seq training). Construct with a shared ledger
+/// to account several backends — or several sessions on one backend —
+/// into a single OpBreakdown.
 class OsElmQBackend {
  public:
+  /// `ledger` is the time account this backend charges; pass nullptr for
+  /// a private ledger.
+  explicit OsElmQBackend(util::TimeLedgerPtr ledger)
+      : ledger_(ledger ? std::move(ledger)
+                       : std::make_shared<util::TimeLedger>()) {}
   virtual ~OsElmQBackend() = default;
 
   /// (Re)randomizes weights; applies spectral normalization when the
   /// backing configuration asks for it. Forgets any initial training.
+  /// Does NOT touch the ledger — accumulated time survives §4.3 resets.
   virtual void initialize() = 0;
 
   /// Q_theta1(s, a) for an encoded (state, action) input.
-  virtual double predict_main(const linalg::VecD& sa, double& q_out) = 0;
+  [[nodiscard]] virtual double predict_main(const linalg::VecD& sa) = 0;
 
   /// Q_theta2(s, a) — the fixed target network.
-  virtual double predict_target(const linalg::VecD& sa, double& q_out) = 0;
+  [[nodiscard]] virtual double predict_target(const linalg::VecD& sa) = 0;
 
   /// Batched Q(s, .) over every action candidate in one pass.
   ///
@@ -83,19 +99,36 @@ class OsElmQBackend {
   /// projection alpha_state^T s + bias once and apply a per-action rank-1
   /// correction alpha_last * code before the activation. Results match the
   /// per-action predict_main/predict_target loop (bit-exact in software,
-  /// bit-faithful on the fixed-point model) and the returned seconds cover
+  /// bit-faithful on the fixed-point model) and the charged time covers
   /// the whole batch (amortized: cheaper than action_codes.size() single
   /// predictions).
-  virtual double predict_actions(const linalg::VecD& state,
-                                 const linalg::VecD& action_codes,
-                                 QNetwork which, linalg::VecD& q_out) = 0;
+  virtual void predict_actions(const linalg::VecD& state,
+                               const linalg::VecD& action_codes,
+                               QNetwork which, linalg::VecD& q_out) = 0;
+
+  /// Cross-session batch: Q(s_i, .) for `states.rows()` independent states
+  /// (each states.cols() == input_dim() - 1 wide) over the same action
+  /// codes; `q_out` must be states.rows() x action_codes.size().
+  ///
+  /// Row i of `q_out` is bit-identical to
+  /// predict_actions(states.row(i), ...) — the serving front-end
+  /// (rl::QServer) relies on that to coalesce many sessions' greedy/target
+  /// evaluations into one call. The base implementation loops over
+  /// predict_actions; the FPGA model overrides it to charge one amortized
+  /// multi-batch (a single AXI handshake and pipeline fill for the whole
+  /// coalesced batch, see CycleModel::predict_multi_cycles).
+  virtual void predict_actions_multi(const linalg::MatD& states,
+                                     const linalg::VecD& action_codes,
+                                     QNetwork which, linalg::MatD& q_out);
 
   /// Initial training (Eq. 7/8) on the buffered chunk; runs on the host
   /// CPU in both backends, mirroring Fig. 3's hardware/software split.
-  virtual double init_train(const linalg::MatD& x, const linalg::MatD& t) = 0;
+  /// Charges kInitTrain.
+  virtual void init_train(const linalg::MatD& x, const linalg::MatD& t) = 0;
 
-  /// One sequential update (Eq. 6, k = 1) toward `target`.
-  virtual double seq_train(const linalg::VecD& sa, double target) = 0;
+  /// One sequential update (Eq. 6, k = 1) toward `target`. Charges
+  /// kSeqTrain.
+  virtual void seq_train(const linalg::VecD& sa, double target) = 0;
 
   /// theta_2 <- theta_1.
   virtual void sync_target() = 0;
@@ -103,8 +136,22 @@ class OsElmQBackend {
   [[nodiscard]] virtual bool initialized() const = 0;
   [[nodiscard]] virtual std::size_t input_dim() const = 0;
   [[nodiscard]] virtual std::size_t hidden_units() const = 0;
+
+  /// The time account this backend charges.
+  [[nodiscard]] util::TimeLedger& ledger() noexcept { return *ledger_; }
+  [[nodiscard]] const util::TimeLedger& ledger() const noexcept {
+    return *ledger_;
+  }
+  [[nodiscard]] const util::TimeLedgerPtr& ledger_ptr() const noexcept {
+    return ledger_;
+  }
+
+ protected:
+  util::TimeLedgerPtr ledger_;
 };
 
-using OsElmQBackendPtr = std::unique_ptr<OsElmQBackend>;
+/// Backends are shared between an owning agent/server and the registry
+/// callers that configured them (and, in serving, between N sessions).
+using OsElmQBackendPtr = std::shared_ptr<OsElmQBackend>;
 
 }  // namespace oselm::rl

@@ -1,0 +1,165 @@
+#include "rl/backend_registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "hw/fpga_backend.hpp"
+#include "rl/software_backend.hpp"
+
+namespace oselm::rl {
+
+namespace {
+
+std::string missing_capabilities(const BackendCapabilities& have,
+                                 const BackendCapabilities& required) {
+  std::string missing;
+  const auto note = [&missing](bool lacking, const char* name) {
+    if (!lacking) return;
+    if (!missing.empty()) missing += ", ";
+    missing += name;
+  };
+  note(required.fixed_point && !have.fixed_point, "fixed-point");
+  note(required.batched_predict && !have.batched_predict, "batched-predict");
+  note(required.chunked_train && !have.chunked_train, "chunked-train");
+  note(required.forgetting && !have.forgetting, "forgetting");
+  return missing;
+}
+
+OsElmQBackendPtr make_software(const BackendConfig& config) {
+  SoftwareBackendConfig native;
+  native.elm.input_dim = config.input_dim;
+  native.elm.hidden_units = config.hidden_units;
+  native.elm.output_dim = 1;
+  native.elm.activation = elm::Activation::kReLU;
+  native.elm.l2_delta = config.l2_delta;
+  native.elm.init_low = config.init_low;
+  native.elm.init_high = config.init_high;
+  native.spectral_normalize = config.spectral_normalize;
+  native.forgetting_factor = config.forgetting_factor;
+  return std::make_shared<SoftwareOsElmBackend>(native, config.seed,
+                                                config.ledger);
+}
+
+OsElmQBackendPtr make_fpga_q20(const BackendConfig& config) {
+  hw::FpgaBackendConfig native;
+  native.input_dim = config.input_dim;
+  native.hidden_units = config.hidden_units;
+  native.l2_delta = config.l2_delta;
+  native.spectral_normalize = config.spectral_normalize;
+  native.init_low = config.init_low;
+  native.init_high = config.init_high;
+  return std::make_shared<hw::FpgaOsElmBackend>(native, config.seed,
+                                                config.ledger);
+}
+
+}  // namespace
+
+void BackendRegistry::register_backend(const std::string& id,
+                                       BackendCapabilities caps,
+                                       Factory factory) {
+  if (id.empty()) {
+    throw std::invalid_argument("BackendRegistry: empty backend id");
+  }
+  if (!factory) {
+    throw std::invalid_argument("BackendRegistry: null factory for '" + id +
+                                "'");
+  }
+  if (find(id) != nullptr) {
+    throw std::invalid_argument("BackendRegistry: duplicate backend id '" +
+                                id + "'");
+  }
+  entries_.push_back(Entry{id, caps, std::move(factory)});
+}
+
+const BackendRegistry::Entry* BackendRegistry::find(
+    const std::string& id) const noexcept {
+  for (const Entry& entry : entries_) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+OsElmQBackendPtr BackendRegistry::make(
+    const std::string& id, const BackendConfig& config,
+    const BackendCapabilities& required) const {
+  const Entry* entry = find(id);
+  if (entry == nullptr) {
+    throw std::invalid_argument("make_backend: unknown backend id '" + id +
+                                "'");
+  }
+  if (!entry->caps.covers(required)) {
+    throw std::invalid_argument(
+        "make_backend: backend '" + id + "' lacks required capabilities: " +
+        missing_capabilities(entry->caps, required));
+  }
+  // A config that asks for forgetting implies the capability even when the
+  // caller forgot to require it — otherwise a non-forgetting backend would
+  // silently train with lambda = 1 under a FOS-ELM label.
+  if (config.forgetting_factor != 1.0 && !entry->caps.forgetting) {
+    throw std::invalid_argument(
+        "make_backend: backend '" + id + "' lacks required capabilities: " +
+        "forgetting (config.forgetting_factor = " +
+        std::to_string(config.forgetting_factor) + ")");
+  }
+  return entry->factory(config);
+}
+
+bool BackendRegistry::contains(const std::string& id) const noexcept {
+  return find(id) != nullptr;
+}
+
+const BackendCapabilities& BackendRegistry::capabilities(
+    const std::string& id) const {
+  const Entry* entry = find(id);
+  if (entry == nullptr) {
+    throw std::invalid_argument(
+        "BackendRegistry::capabilities: unknown backend id '" + id + "'");
+  }
+  return entry->caps;
+}
+
+std::vector<std::string> BackendRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.id);
+  return out;
+}
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    // Double-precision software implementation (designs 2-5). The OS-ELM
+    // core also takes k > 1 Eq. 5 chunks and the FOS-ELM forgetting
+    // extension.
+    r->register_backend(
+        "software",
+        BackendCapabilities{/*fixed_point=*/false, /*batched_predict=*/true,
+                            /*chunked_train=*/true, /*forgetting=*/true},
+        make_software);
+    // Q11.20 fixed-point functional + timing model (design 7): k = 1
+    // rank-1 updates only, exact paper semantics (no forgetting).
+    r->register_backend(
+        "fpga-q20",
+        BackendCapabilities{/*fixed_point=*/true, /*batched_predict=*/true,
+                            /*chunked_train=*/false, /*forgetting=*/false},
+        make_fpga_q20);
+    return r;
+  }();
+  return *registry;
+}
+
+OsElmQBackendPtr make_backend(const std::string& id,
+                              const BackendConfig& config,
+                              const BackendCapabilities& required) {
+  return BackendRegistry::global().make(id, config, required);
+}
+
+const BackendCapabilities& backend_capabilities(const std::string& id) {
+  return BackendRegistry::global().capabilities(id);
+}
+
+std::vector<std::string> registered_backends() {
+  return BackendRegistry::global().ids();
+}
+
+}  // namespace oselm::rl

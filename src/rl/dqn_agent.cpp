@@ -30,14 +30,17 @@ nn::MlpConfig make_mlp_config(const DqnAgentConfig& config) {
 
 }  // namespace
 
-DqnAgent::DqnAgent(DqnAgentConfig config, std::uint64_t seed)
+DqnAgent::DqnAgent(DqnAgentConfig config, std::uint64_t seed,
+                   util::TimeLedgerPtr ledger)
     : config_(config),
       policy_(config.epsilon_greedy, config.action_count),
       rng_(seed),
       online_(make_mlp_config(config), rng_),
       target_(make_mlp_config(config), rng_),
       optimizer_(config.adam, make_mlp_config(config)),
-      replay_(config.replay_capacity) {
+      replay_(config.replay_capacity),
+      ledger_(ledger ? std::move(ledger)
+                     : std::make_shared<util::TimeLedger>()) {
   config_.validate();
   target_.copy_parameters_from(online_);
 }
@@ -45,7 +48,7 @@ DqnAgent::DqnAgent(DqnAgentConfig config, std::uint64_t seed)
 std::size_t DqnAgent::greedy_action(const linalg::VecD& state) {
   util::WallTimer timer;
   const linalg::VecD q = online_.forward(state);
-  breakdown_.add(util::OpCategory::kPredict1, timer.seconds());
+  ledger_->charge(util::OpCategory::kPredict1, timer.seconds());
   std::size_t best = 0;
   for (std::size_t a = 1; a < q.size(); ++a) {
     if (q[a] > q[best]) best = a;
@@ -72,7 +75,7 @@ void DqnAgent::train_step() {
   // Target Q-values from the frozen network (the paper's predict_32 bar).
   util::WallTimer predict32_timer;
   const linalg::MatD next_q = target_.forward_batch(next_states);
-  breakdown_.add(util::OpCategory::kPredict32, predict32_timer.seconds());
+  ledger_->charge(util::OpCategory::kPredict32, predict32_timer.seconds());
 
   util::WallTimer train_timer;
   nn::MlpCache cache;
@@ -99,7 +102,7 @@ void DqnAgent::train_step() {
   last_loss_ = loss.loss;
   const nn::MlpGradients grads = online_.backward(cache, loss.grad);
   optimizer_.step(online_, grads);
-  breakdown_.add(util::OpCategory::kTrainDqn, train_timer.seconds());
+  ledger_->charge(util::OpCategory::kTrainDqn, train_timer.seconds());
   ++training_steps_;
 }
 

@@ -33,8 +33,9 @@ struct ElmQAgentConfig {
 
 class ElmQAgent final : public Agent {
  public:
+  /// `ledger` is the time account to charge (nullptr = private ledger).
   ElmQAgent(SimplifiedOutputModel model, ElmQAgentConfig config,
-            std::uint64_t seed);
+            std::uint64_t seed, util::TimeLedgerPtr ledger = nullptr);
 
   std::size_t act(const linalg::VecD& state) override;
   void observe(const nn::Transition& transition) override;
@@ -43,7 +44,7 @@ class ElmQAgent final : public Agent {
   [[nodiscard]] bool supports_weight_reset() const override { return true; }
   [[nodiscard]] std::string_view name() const override { return "ELM"; }
   [[nodiscard]] const util::OpBreakdown& breakdown() const override {
-    return breakdown_;
+    return ledger_->breakdown();
   }
 
   std::size_t greedy_action(const linalg::VecD& state);
@@ -66,7 +67,7 @@ class ElmQAgent final : public Agent {
 
   std::vector<nn::Transition> buffer_;  ///< ring buffer D of capacity N
   std::size_t pushes_ = 0;
-  util::OpBreakdown breakdown_;
+  util::TimeLedgerPtr ledger_;
   linalg::VecD scratch_sa_;
   std::size_t batch_trainings_ = 0;
 };

@@ -48,16 +48,10 @@ OsElmQAgent::OsElmQAgent(OsElmQBackendPtr backend, SimplifiedOutputModel model,
 }
 
 std::size_t OsElmQAgent::greedy_action(const linalg::VecD& state) {
-  const util::OpCategory charge = backend_->initialized()
-                                      ? util::OpCategory::kPredictSeq
-                                      : util::OpCategory::kPredictInit;
   // One batched call evaluates Q(s, a) for every action over a shared
-  // hidden-layer pass; invocations stay one-per-evaluation so the board
-  // models keep their count semantics.
-  breakdown_.add(charge,
-                 backend_->predict_actions(state, action_codes_,
-                                           QNetwork::kMain, q_ws_),
-                 model_.action_count());
+  // hidden-layer pass; the backend charges its ledger (invocations stay
+  // one-per-evaluation so the board models keep their count semantics).
+  backend_->predict_actions(state, action_codes_, QNetwork::kMain, q_ws_);
   std::size_t best = 0;
   for (std::size_t a = 1; a < q_ws_.size(); ++a) {
     if (q_ws_[a] > q_ws_[best]) best = a;  // ties keep the lowest index
@@ -66,13 +60,8 @@ std::size_t OsElmQAgent::greedy_action(const linalg::VecD& state) {
 }
 
 double OsElmQAgent::q_value(const linalg::VecD& state, std::size_t action) {
-  const util::OpCategory charge = backend_->initialized()
-                                      ? util::OpCategory::kPredictSeq
-                                      : util::OpCategory::kPredictInit;
   model_.encode_into(state, action, scratch_sa_);
-  double q = 0.0;
-  breakdown_.add(charge, backend_->predict_main(scratch_sa_, q));
-  return q;
+  return backend_->predict_main(scratch_sa_);
 }
 
 std::size_t OsElmQAgent::act(const linalg::VecD& state) {
@@ -84,11 +73,12 @@ double OsElmQAgent::td_target(const nn::Transition& transition,
                               util::OpCategory charge_to) {
   double best_next = 0.0;
   if (!transition.done) {
-    breakdown_.add(charge_to,
-                   backend_->predict_actions(transition.next_state,
-                                             action_codes_, QNetwork::kTarget,
-                                             q_ws_),
-                   model_.action_count());
+    // Route the target-network evaluation's time into the surrounding
+    // training category (kInitTrain / kSeqTrain), as the explicit
+    // charge_to arguments did before the ledger redesign.
+    const util::TimeLedger::PredictScope scope(backend_->ledger(), charge_to);
+    backend_->predict_actions(transition.next_state, action_codes_,
+                              QNetwork::kTarget, q_ws_);
     best_next = q_ws_[0];
     for (std::size_t a = 1; a < q_ws_.size(); ++a) {
       if (q_ws_[a] > best_next) best_next = q_ws_[a];
@@ -111,7 +101,7 @@ void OsElmQAgent::run_init_train() {
     x.set_row(i, scratch_sa_);
     t(i, 0) = td_target(buffer_[i], util::OpCategory::kInitTrain);
   }
-  breakdown_.add(util::OpCategory::kInitTrain, backend_->init_train(x, t));
+  backend_->init_train(x, t);
   ++init_trainings_;
   buffer_.clear();
   buffer_.shrink_to_fit();  // the edge device frees D after initial training
@@ -133,8 +123,7 @@ void OsElmQAgent::observe(const nn::Transition& transition) {
   const double target =
       td_target(transition, util::OpCategory::kSeqTrain);
   model_.encode_into(transition.state, transition.action, scratch_sa_);
-  breakdown_.add(util::OpCategory::kSeqTrain,
-                 backend_->seq_train(scratch_sa_, target));
+  backend_->seq_train(scratch_sa_, target);
   ++seq_updates_;
 }
 

@@ -29,7 +29,9 @@ struct OsElmQAgentConfig {
 class OsElmQAgent final : public Agent {
  public:
   /// `backend` provides the arithmetic; `model` the (s, a) encoding;
-  /// `seed` drives exploration and the random-update coin flips.
+  /// `seed` drives exploration and the random-update coin flips. The
+  /// agent accounts time through the backend's TimeLedger (inject a
+  /// shared ledger at backend construction to aggregate across agents).
   OsElmQAgent(OsElmQBackendPtr backend, SimplifiedOutputModel model,
               OsElmQAgentConfig config, std::uint64_t seed,
               std::string_view display_name = "OS-ELM");
@@ -41,7 +43,7 @@ class OsElmQAgent final : public Agent {
   [[nodiscard]] bool supports_weight_reset() const override { return true; }
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] const util::OpBreakdown& breakdown() const override {
-    return breakdown_;
+    return backend_->ledger().breakdown();
   }
 
   /// Greedy action under theta_1 (no exploration); used by evaluation.
@@ -67,7 +69,8 @@ class OsElmQAgent final : public Agent {
 
  private:
   /// r + (1 - d) * gamma * max_a Q_theta2(s', a), optionally clipped;
-  /// target-network prediction time is charged to `charge_to`.
+  /// target-network prediction time is routed to `charge_to` via a
+  /// TimeLedger::PredictScope.
   double td_target(const nn::Transition& transition,
                    util::OpCategory charge_to);
 
@@ -82,7 +85,6 @@ class OsElmQAgent final : public Agent {
   std::string name_;
 
   std::vector<nn::Transition> buffer_;  ///< buffer D, capacity = N-tilde
-  util::OpBreakdown breakdown_;
   linalg::VecD scratch_sa_;     ///< reused encode buffer (no hot-loop allocs)
   linalg::VecD action_codes_;   ///< precomputed codes for predict_actions
   linalg::VecD q_ws_;           ///< per-action Q workspace (no allocs)

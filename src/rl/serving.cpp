@@ -1,0 +1,316 @@
+#include "rl/serving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "env/registry.hpp"
+#include "util/timer.hpp"
+
+namespace oselm::rl {
+
+QServer::QServer(OsElmQBackendPtr backend, SimplifiedOutputModel model)
+    : backend_(std::move(backend)),
+      model_(model),
+      action_codes_(model.action_count(), 0.0),
+      scratch_sa_(model.input_dim(), 0.0),
+      q_ws_(model.action_count(), 0.0) {
+  if (!backend_) throw std::invalid_argument("QServer: null backend");
+  if (backend_->input_dim() != model_.input_dim()) {
+    throw std::invalid_argument(
+        "QServer: backend input width != encoder width");
+  }
+  for (std::size_t a = 0; a < model_.action_count(); ++a) {
+    action_codes_[a] = model_.action_code(a);
+  }
+}
+
+std::size_t QServer::add_session(const ServingSessionSpec& spec) {
+  if (ran_) {
+    throw std::logic_error("QServer::add_session: server already ran");
+  }
+  spec.agent.validate();
+  if (spec.trainer.solved_window == 0) {
+    throw std::invalid_argument("QServer: solved_window == 0");
+  }
+  env::EnvironmentPtr environment =
+      env::make_environment(spec.env_id, spec.env_seed);
+  if (environment->observation_space().dimensions() != model_.state_dim() ||
+      environment->action_space().n != model_.action_count()) {
+    throw std::invalid_argument(
+        "QServer::add_session: environment '" + spec.env_id +
+        "' does not match the server's (state, action) encoding");
+  }
+  sessions_.emplace_back(spec, std::move(environment),
+                         model_.action_count());
+  sessions_.back().buffer.reserve(backend_->hidden_units());
+  return sessions_.size() - 1;
+}
+
+double QServer::clip_target(const Session& s, double target) const {
+  if (!s.spec.agent.clip_targets) return target;
+  return std::clamp(target, s.spec.agent.clip_min, s.spec.agent.clip_max);
+}
+
+double QServer::session_td_target(Session& s,
+                                  const nn::Transition& transition,
+                                  util::OpCategory charge_to) {
+  double best_next = 0.0;
+  if (!transition.done) {
+    const util::TimeLedger::PredictScope scope(backend_->ledger(), charge_to);
+    backend_->predict_actions(transition.next_state, action_codes_,
+                              QNetwork::kTarget, q_ws_);
+    best_next = q_ws_[0];
+    for (std::size_t a = 1; a < q_ws_.size(); ++a) {
+      if (q_ws_[a] > best_next) best_next = q_ws_[a];
+    }
+  }
+  double target = transition.reward;
+  if (!transition.done) target += s.spec.agent.gamma * best_next;
+  return clip_target(s, target);
+}
+
+void QServer::run_session_init_train(Session& s) {
+  const std::size_t n = s.buffer.size();
+  linalg::MatD x(n, model_.input_dim());
+  linalg::MatD t(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    model_.encode_into(s.buffer[i].state, s.buffer[i].action, scratch_sa_);
+    x.set_row(i, scratch_sa_);
+    t(i, 0) =
+        session_td_target(s, s.buffer[i], util::OpCategory::kInitTrain);
+  }
+  backend_->init_train(x, t);
+  s.buffer.clear();
+  s.buffer.shrink_to_fit();  // the edge device frees D after init training
+}
+
+void QServer::begin_episode(Session& s) {
+  // §4.3 reset rule, identical to rl::run_training: re-randomize
+  // unpromising weights while the task has never been completed. On a
+  // shared backend this resets EVERY session's network — multi-session
+  // configs usually run with reset_interval = 0.
+  if (!s.result.solved && s.spec.trainer.reset_interval != 0 &&
+      s.episodes_since_reset >= s.spec.trainer.reset_interval) {
+    backend_->initialize();
+    s.buffer.clear();
+    s.buffer.reserve(backend_->hidden_units());
+    s.window.reset();
+    s.episodes_since_reset = 0;
+    ++s.result.resets;
+  }
+  ++s.episode;
+  s.steps = 0;
+  s.episode_return = 0.0;
+  {
+    util::WallTimer env_timer;
+    s.state = s.env->reset();
+    s.env_seconds += env_timer.seconds();
+  }
+}
+
+void QServer::finish_episode(Session& s) {
+  ++s.episodes_since_reset;
+  // UPDATE_STEP target sync (Algorithm 1 lines 23-24), keyed on the
+  // episodes-since-reset count exactly like Agent::episode_end.
+  if (s.episodes_since_reset % s.spec.agent.target_sync_interval == 0) {
+    backend_->sync_target();
+  }
+  s.result.episode_steps.push_back(static_cast<double>(s.steps));
+  s.result.episode_returns.push_back(s.episode_return);
+  s.result.total_steps += s.steps;
+  s.result.episodes = s.episode;
+  s.window.add(static_cast<double>(s.steps));
+
+  if (!s.result.solved && s.window.full() &&
+      s.window.value() >= s.spec.trainer.solved_threshold) {
+    s.result.solved = true;
+    s.result.first_solved_episode = s.episode;
+    if (s.spec.trainer.stop_on_solved) {
+      s.active = false;
+      return;
+    }
+  }
+  if (s.episode >= s.spec.trainer.max_episodes) {
+    s.active = false;
+    return;
+  }
+  begin_episode(s);
+}
+
+QServerResult QServer::run() {
+  if (ran_) throw std::logic_error("QServer::run: server already ran");
+  if (sessions_.empty()) throw std::logic_error("QServer::run: no sessions");
+  ran_ = true;
+
+  QServerResult out;
+  util::WallTimer run_timer;
+
+  for (Session& s : sessions_) {
+    if (s.spec.trainer.max_episodes == 0) {
+      s.active = false;  // empty episode budget, like rl::run_training
+      continue;
+    }
+    begin_episode(s);
+  }
+
+  std::vector<std::size_t> pending;  // session indices awaiting a batch row
+  pending.reserve(sessions_.size());
+  linalg::MatD states_ws;
+  linalg::MatD q_multi_ws;
+
+  const auto coalesced_predict = [&](QNetwork which,
+                                     const auto& state_of) {
+    // Batch sizes are stable across most ticks; only reallocate the
+    // workspaces when the coalesced row count actually changes.
+    if (states_ws.rows() != pending.size()) {
+      states_ws = linalg::MatD(pending.size(), model_.state_dim());
+      q_multi_ws = linalg::MatD(pending.size(), model_.action_count());
+    }
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      states_ws.set_row(i, state_of(sessions_[pending[i]]));
+    }
+    backend_->predict_actions_multi(states_ws, action_codes_, which,
+                                    q_multi_ws);
+    ++out.coalesced_calls;
+    out.coalesced_rows += pending.size();
+  };
+
+  const auto any_active = [&] {
+    for (const Session& s : sessions_) {
+      if (s.active) return true;
+    }
+    return false;
+  };
+
+  while (any_active()) {
+    ++out.ticks;
+
+    // Phase A — action selection. Greedy sessions coalesce into one
+    // cross-session batch on theta_1; explorers draw their random action
+    // from the same per-session rng stream as the single-agent path.
+    pending.clear();
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      Session& s = sessions_[i];
+      if (!s.active) continue;
+      s.wants_greedy = s.policy.should_act_greedily(s.rng);
+      if (s.wants_greedy) {
+        pending.push_back(i);
+      } else {
+        s.action = s.policy.random_action(s.rng);
+      }
+    }
+    if (!pending.empty()) {
+      coalesced_predict(QNetwork::kMain,
+                        [](const Session& s) -> const linalg::VecD& {
+                          return s.state;
+                        });
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        Session& s = sessions_[pending[i]];
+        const double* q = q_multi_ws.row_ptr(i);
+        std::size_t best = 0;
+        for (std::size_t a = 1; a < model_.action_count(); ++a) {
+          if (q[a] > q[best]) best = a;  // ties keep the lowest index
+        }
+        s.action = best;
+      }
+    }
+
+    // Phase B — environment step (per-session env time, like the trainer).
+    for (Session& s : sessions_) {
+      if (!s.active) continue;
+      env::StepResult step;
+      {
+        util::WallTimer env_timer;
+        step = s.env->step(s.action);
+        s.env_seconds += env_timer.seconds();
+      }
+      ++s.steps;
+      s.episode_return += step.reward;
+      s.transition = nn::Transition{s.state, s.action, step.reward,
+                                    step.observation, step.done()};
+      s.state = step.observation;
+    }
+
+    // Phase C — observe. Pre-init sessions buffer toward the Eq. 7/8
+    // chunk; post-init sessions draw the §3.2 update coin, coalesce their
+    // TD-target evaluations into one theta_2 batch, then apply their
+    // rank-1 updates in session order (the shared core is sequential).
+    pending.clear();
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      Session& s = sessions_[i];
+      if (!s.active) continue;
+      s.wants_update = false;
+      if (!backend_->initialized()) {
+        s.buffer.push_back(s.transition);
+        if (s.buffer.size() >= backend_->hidden_units()) {
+          run_session_init_train(s);
+        }
+        continue;
+      }
+      if (!s.buffer.empty()) {
+        // This session lost the init-train race to another session of the
+        // shared backend: its part-filled chunk is stale (recorded under
+        // pre-init weights) and must not survive into a later chunk after
+        // a §4.3 reset — drop it like run_session_init_train drops D.
+        s.buffer.clear();
+        s.buffer.shrink_to_fit();
+      }
+      if (s.spec.agent.random_update &&
+          !s.rng.bernoulli(s.spec.agent.update_probability)) {
+        continue;
+      }
+      s.wants_update = true;
+      if (!s.transition.done) pending.push_back(i);
+    }
+    if (!pending.empty()) {
+      const util::TimeLedger::PredictScope scope(
+          backend_->ledger(), util::OpCategory::kSeqTrain);
+      coalesced_predict(QNetwork::kTarget,
+                        [](const Session& s) -> const linalg::VecD& {
+                          return s.transition.next_state;
+                        });
+    }
+    {
+      std::size_t row = 0;
+      for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        Session& s = sessions_[i];
+        if (!s.active || !s.wants_update) continue;
+        double target = s.transition.reward;
+        if (!s.transition.done) {
+          const double* q = q_multi_ws.row_ptr(row++);
+          double best_next = q[0];
+          for (std::size_t a = 1; a < model_.action_count(); ++a) {
+            best_next = std::max(best_next, q[a]);
+          }
+          target += s.spec.agent.gamma * best_next;
+        }
+        target = clip_target(s, target);
+        model_.encode_into(s.transition.state, s.transition.action,
+                           scratch_sa_);
+        backend_->seq_train(scratch_sa_, target);
+      }
+    }
+
+    // Phase D — episode bookkeeping (and the next episode's reset).
+    for (Session& s : sessions_) {
+      if (!s.active) continue;
+      const bool capped = s.spec.trainer.episode_step_cap != 0 &&
+                          s.steps >= s.spec.trainer.episode_step_cap;
+      if (s.transition.done || capped) finish_episode(s);
+    }
+  }
+
+  out.wall_seconds = run_timer.seconds();
+  out.breakdown = backend_->ledger().breakdown();
+  out.sessions.reserve(sessions_.size());
+  for (Session& s : sessions_) {
+    s.result.wall_seconds = out.wall_seconds;
+    s.result.breakdown = util::OpBreakdown{};
+    s.result.breakdown.add(util::OpCategory::kEnvironment, s.env_seconds);
+    out.breakdown.add(util::OpCategory::kEnvironment, s.env_seconds);
+    out.sessions.push_back(std::move(s.result));
+  }
+  return out;
+}
+
+}  // namespace oselm::rl

@@ -1,0 +1,157 @@
+// Multi-session serving front-end: N concurrent episodic training
+// sessions multiplexed onto ONE shared OsElmQBackend.
+//
+// The ROADMAP's production framing ("serve heavy traffic from millions of
+// users") needs more than the one-agent/one-backend shape of Algorithm 1:
+// an edge device (or a fleet simulator) runs many episodic sessions whose
+// Q evaluations all hit the same network. QServer advances every session
+// in lockstep ticks and coalesces their predictions into cross-session
+// batches:
+//
+//   * greedy action selection: every session that drew a greedy step this
+//     tick contributes its state to ONE predict_actions_multi call
+//     (QNetwork::kMain);
+//   * TD-target evaluation: every session that drew a sequential update
+//     contributes its next-state to ONE predict_actions_multi call
+//     (QNetwork::kTarget), charged to kSeqTrain via the ledger's
+//     PredictScope exactly like the single-agent path.
+//
+// On the FPGA model a coalesced batch pays one pipeline fill and one AXI
+// handshake for all sessions (CycleModel::predict_multi_*), which is what
+// bench_serving measures against N independent agents.
+//
+// Semantics: the per-session control flow replicates rl::OsElmQAgent +
+// rl::run_training step for step (same rng draw order, same lowest-index
+// tie-break, same §4.3 reset and UPDATE_STEP rules), so a QServer with a
+// single session reproduces the single-agent training trajectory exactly —
+// pinned by tests/rl/serving_test.cpp. With N > 1 sessions the shared
+// network is trained by all sessions at once; weight resets and target
+// syncs act on the shared state, so multi-session configs usually disable
+// the reset rule (reset_interval = 0).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "rl/oselm_q_agent.hpp"
+#include "rl/sa_encoding.hpp"
+#include "rl/trainer.hpp"
+#include "util/stats.hpp"
+
+namespace oselm::rl {
+
+/// One episodic training session served by a QServer.
+struct ServingSessionSpec {
+  std::string env_id = "ShapedCartPole-v0";
+  std::uint64_t env_seed = 7;
+  std::uint64_t agent_seed = 42;
+  OsElmQAgentConfig agent;   ///< exploration/update/sync knobs
+  TrainerConfig trainer;     ///< episode budget, solved criterion, resets
+};
+
+struct QServerResult {
+  /// Per-session trajectories (TrainResult::breakdown holds only that
+  /// session's kEnvironment time; backend time is shared — see below).
+  std::vector<TrainResult> sessions;
+  /// Shared backend ledger plus every session's environment time.
+  util::OpBreakdown breakdown;
+  std::size_t ticks = 0;  ///< lockstep rounds driven
+  /// Coalescing telemetry: multi-predict calls issued and the states they
+  /// carried (rows / calls = mean cross-session batch size).
+  std::uint64_t coalesced_calls = 0;
+  std::uint64_t coalesced_rows = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double mean_batch_rows() const noexcept {
+    return coalesced_calls == 0
+               ? 0.0
+               : static_cast<double>(coalesced_rows) /
+                     static_cast<double>(coalesced_calls);
+  }
+};
+
+class QServer {
+ public:
+  /// `backend` is shared by every session; its ledger aggregates all
+  /// backend time. `model` fixes the (state, action) encoding — every
+  /// session's environment must match its dimensions.
+  QServer(OsElmQBackendPtr backend, SimplifiedOutputModel model);
+
+  /// Registers a session (environment created via env::make_environment).
+  /// Returns the session index. Throws std::invalid_argument when the
+  /// environment's spaces do not match the server's encoding model.
+  std::size_t add_session(const ServingSessionSpec& spec);
+
+  /// Drives every session to completion (solved / episode budget) in
+  /// lockstep ticks. One-shot: throws std::logic_error on a second call
+  /// or when no session was added.
+  QServerResult run();
+
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] const OsElmQBackend& backend() const noexcept {
+    return *backend_;
+  }
+  [[nodiscard]] const SimplifiedOutputModel& model() const noexcept {
+    return model_;
+  }
+
+ private:
+  struct Session {
+    ServingSessionSpec spec;
+    env::EnvironmentPtr env;
+    GreedyWithProbabilityPolicy policy;
+    util::Rng rng;
+    util::MovingAverage window;
+    TrainResult result;
+    std::vector<nn::Transition> buffer;  ///< buffer D, capacity N-tilde
+    double env_seconds = 0.0;
+
+    // Episode-transient state.
+    linalg::VecD state;
+    std::size_t episode = 0;  ///< 1-based, == result.episodes once begun
+    std::size_t steps = 0;
+    double episode_return = 0.0;
+    std::size_t episodes_since_reset = 0;
+    bool active = true;
+
+    // Tick-transient scratch.
+    std::size_t action = 0;
+    bool wants_greedy = false;
+    bool wants_update = false;
+    nn::Transition transition;
+
+    Session(ServingSessionSpec s, env::EnvironmentPtr e,
+            std::size_t action_count)
+        : spec(std::move(s)),
+          env(std::move(e)),
+          policy(spec.agent.epsilon_greedy, action_count),
+          rng(spec.agent_seed),
+          window(spec.trainer.solved_window) {}
+  };
+
+  void begin_episode(Session& s);
+  void finish_episode(Session& s);
+  /// Replicates OsElmQAgent::run_init_train for one session (the init
+  /// chunk is a per-session one-off; only steady-state predictions are
+  /// coalesced across sessions).
+  void run_session_init_train(Session& s);
+  /// r + (1-d) * gamma * max_a Q_theta2(s', a) with clipping, charged to
+  /// `charge_to`; per-session variant used on the init-training path.
+  double session_td_target(Session& s, const nn::Transition& transition,
+                           util::OpCategory charge_to);
+  [[nodiscard]] double clip_target(const Session& s, double target) const;
+
+  OsElmQBackendPtr backend_;
+  SimplifiedOutputModel model_;
+  std::vector<Session> sessions_;
+  linalg::VecD action_codes_;
+  linalg::VecD scratch_sa_;
+  linalg::VecD q_ws_;
+  bool ran_ = false;
+};
+
+}  // namespace oselm::rl

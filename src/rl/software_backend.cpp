@@ -8,8 +8,10 @@
 namespace oselm::rl {
 
 SoftwareOsElmBackend::SoftwareOsElmBackend(SoftwareBackendConfig config,
-                                           std::uint64_t seed)
-    : config_(config),
+                                           std::uint64_t seed,
+                                           util::TimeLedgerPtr ledger)
+    : OsElmQBackend(std::move(ledger)),
+      config_(config),
       rng_(seed),
       net_(config.elm, rng_),
       h_ws_(config.elm.hidden_units, 0.0),
@@ -38,27 +40,25 @@ double SoftwareOsElmBackend::output_dot(const linalg::VecD& h,
   return q;
 }
 
-double SoftwareOsElmBackend::predict_main(const linalg::VecD& sa,
-                                          double& q_out) {
+double SoftwareOsElmBackend::predict_main(const linalg::VecD& sa) {
   util::WallTimer timer;
   net_.hidden_into(sa, h_ws_);
-  q_out = output_dot(h_ws_, QNetwork::kMain);
-  return timer.seconds();
+  const double q = output_dot(h_ws_, QNetwork::kMain);
+  ledger_->charge_predict(initialized(), timer.seconds());
+  return q;
 }
 
-double SoftwareOsElmBackend::predict_target(const linalg::VecD& sa,
-                                            double& q_out) {
+double SoftwareOsElmBackend::predict_target(const linalg::VecD& sa) {
   util::WallTimer timer;
   net_.hidden_into(sa, h_ws_);
-  q_out = output_dot(h_ws_, QNetwork::kTarget);
-  return timer.seconds();
+  const double q = output_dot(h_ws_, QNetwork::kTarget);
+  ledger_->charge_predict(initialized(), timer.seconds());
+  return q;
 }
 
-double SoftwareOsElmBackend::predict_actions(const linalg::VecD& state,
-                                             const linalg::VecD& action_codes,
-                                             QNetwork which,
-                                             linalg::VecD& q_out) {
-  util::WallTimer timer;
+void SoftwareOsElmBackend::predict_actions_into(
+    const linalg::VecD& state, const linalg::VecD& action_codes,
+    QNetwork which, linalg::VecD& q_out) {
   const std::size_t n = config_.elm.input_dim;
   const std::size_t units = config_.elm.hidden_units;
   if (state.size() + 1 != n) {
@@ -108,22 +108,56 @@ double SoftwareOsElmBackend::predict_actions(const linalg::VecD& state,
     }
     q_out[a] = q;
   }
-  return timer.seconds();
 }
 
-double SoftwareOsElmBackend::init_train(const linalg::MatD& x,
-                                        const linalg::MatD& t) {
+void SoftwareOsElmBackend::predict_actions(const linalg::VecD& state,
+                                           const linalg::VecD& action_codes,
+                                           QNetwork which,
+                                           linalg::VecD& q_out) {
+  util::WallTimer timer;
+  predict_actions_into(state, action_codes, which, q_out);
+  ledger_->charge_predict(initialized(), timer.seconds(),
+                          action_codes.size());
+}
+
+void SoftwareOsElmBackend::predict_actions_multi(
+    const linalg::MatD& states, const linalg::VecD& action_codes,
+    QNetwork which, linalg::MatD& q_out) {
+  util::WallTimer timer;
+  if (states.cols() + 1 != config_.elm.input_dim) {
+    throw std::invalid_argument(
+        "SoftwareOsElmBackend::predict_actions_multi: state width");
+  }
+  if (q_out.rows() != states.rows() || q_out.cols() != action_codes.size()) {
+    throw std::invalid_argument(
+        "SoftwareOsElmBackend::predict_actions_multi: q_out shape");
+  }
+  if (states.rows() == 0) return;  // no evaluations => no charge
+  state_ws_.resize(states.cols());
+  q_row_ws_.resize(action_codes.size());
+  for (std::size_t s = 0; s < states.rows(); ++s) {
+    const double* row = states.row_ptr(s);
+    for (std::size_t i = 0; i < state_ws_.size(); ++i) state_ws_[i] = row[i];
+    predict_actions_into(state_ws_, action_codes, which, q_row_ws_);
+    double* out = q_out.row_ptr(s);
+    for (std::size_t a = 0; a < q_row_ws_.size(); ++a) out[a] = q_row_ws_[a];
+  }
+  ledger_->charge_predict(initialized(), timer.seconds(),
+                          states.rows() * action_codes.size());
+}
+
+void SoftwareOsElmBackend::init_train(const linalg::MatD& x,
+                                      const linalg::MatD& t) {
   util::WallTimer timer;
   net_.init_train(x, t);
-  return timer.seconds();
+  ledger_->charge(util::OpCategory::kInitTrain, timer.seconds());
 }
 
-double SoftwareOsElmBackend::seq_train(const linalg::VecD& sa,
-                                       double target) {
+void SoftwareOsElmBackend::seq_train(const linalg::VecD& sa, double target) {
   util::WallTimer timer;
   target_ws_[0] = target;
   net_.seq_train_one_forgetting(sa, target_ws_, config_.forgetting_factor);
-  return timer.seconds();
+  ledger_->charge(util::OpCategory::kSeqTrain, timer.seconds());
 }
 
 void SoftwareOsElmBackend::sync_target() { beta_target_ = net_.beta(); }

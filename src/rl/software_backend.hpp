@@ -2,6 +2,9 @@
 // (designs 2-5 of §4.1). Owns the OS-ELM state plus a frozen copy of beta
 // acting as the target network theta_2 (alpha and the bias never change
 // after initialization, so theta_2 only needs its own beta).
+//
+// Every predicting/training call charges measured wall-clock seconds to
+// the injected util::TimeLedger (see rl/agent.hpp).
 #pragma once
 
 #include "elm/os_elm.hpp"
@@ -24,17 +27,25 @@ struct SoftwareBackendConfig {
 class SoftwareOsElmBackend final : public OsElmQBackend {
  public:
   /// The backend keeps its own Rng (split from `seed`) so reinitialization
-  /// draws fresh weights on every reset.
-  SoftwareOsElmBackend(SoftwareBackendConfig config, std::uint64_t seed);
+  /// draws fresh weights on every reset. `ledger` is the time account to
+  /// charge (nullptr = private ledger).
+  SoftwareOsElmBackend(SoftwareBackendConfig config, std::uint64_t seed,
+                       util::TimeLedgerPtr ledger = nullptr);
 
   void initialize() override;
-  double predict_main(const linalg::VecD& sa, double& q_out) override;
-  double predict_target(const linalg::VecD& sa, double& q_out) override;
-  double predict_actions(const linalg::VecD& state,
-                         const linalg::VecD& action_codes, QNetwork which,
-                         linalg::VecD& q_out) override;
-  double init_train(const linalg::MatD& x, const linalg::MatD& t) override;
-  double seq_train(const linalg::VecD& sa, double target) override;
+  [[nodiscard]] double predict_main(const linalg::VecD& sa) override;
+  [[nodiscard]] double predict_target(const linalg::VecD& sa) override;
+  void predict_actions(const linalg::VecD& state,
+                       const linalg::VecD& action_codes, QNetwork which,
+                       linalg::VecD& q_out) override;
+  /// Row-wise loop over the rank-1 batched path, reusing member
+  /// workspaces so the serving hot loop stays allocation-free (the base
+  /// implementation allocates per call).
+  void predict_actions_multi(const linalg::MatD& states,
+                             const linalg::VecD& action_codes,
+                             QNetwork which, linalg::MatD& q_out) override;
+  void init_train(const linalg::MatD& x, const linalg::MatD& t) override;
+  void seq_train(const linalg::VecD& sa, double target) override;
   void sync_target() override;
 
   [[nodiscard]] bool initialized() const override {
@@ -60,6 +71,11 @@ class SoftwareOsElmBackend final : public OsElmQBackend {
   /// h . beta(:, 0) for whichever output weights `which` selects.
   [[nodiscard]] double output_dot(const linalg::VecD& h,
                                   QNetwork which) const noexcept;
+  /// Writes the per-action Q values for one state; shared by the single-
+  /// and multi-state entry points, outside any timing scope.
+  void predict_actions_into(const linalg::VecD& state,
+                            const linalg::VecD& action_codes, QNetwork which,
+                            linalg::VecD& q_out);
 
   SoftwareBackendConfig config_;
   util::Rng rng_;
@@ -71,6 +87,8 @@ class SoftwareOsElmBackend final : public OsElmQBackend {
   linalg::VecD h_ws_;       ///< hidden row for single-sample predictions
   linalg::VecD shared_ws_;  ///< shared state projection for predict_actions
   linalg::VecD target_ws_;  ///< 1-element target wrapper for seq_train
+  linalg::VecD state_ws_;   ///< one row of a multi-state batch
+  linalg::VecD q_row_ws_;   ///< per-row Q output of a multi-state batch
 };
 
 }  // namespace oselm::rl

@@ -1,0 +1,84 @@
+// Per-category time ledger — the single place operation time is charged.
+//
+// PR 3 redesign: backends no longer *return* "seconds to charge" doubles
+// that every caller must remember to thread into an OpBreakdown. Instead a
+// TimeLedger is injected at backend construction and every predicting /
+// training call charges it directly; agents read the finished OpBreakdown
+// off the ledger. This mirrors the paper's Fig. 3 split between *what is
+// computed* (the backend's arithmetic) and *where the time goes* (the
+// ledger's categories), and lets several sessions share one backend — and
+// therefore one time account — in the serving front-end (rl/serving.hpp).
+//
+// Prediction charges are routed by context: by default they land on
+// kPredictInit/kPredictSeq depending on whether the backend has run its
+// initial training, but a PredictScope can retarget them — the TD-target
+// evaluations inside the agent's init_train/seq_train paths charge
+// kInitTrain/kSeqTrain, exactly like the historical explicit `charge_to`
+// arguments did.
+#pragma once
+
+#include <memory>
+
+#include "util/op_accounting.hpp"
+
+namespace oselm::util {
+
+class TimeLedger {
+ public:
+  /// Adds `seconds` (and `invocations` op counts) to `category`.
+  void charge(OpCategory category, double seconds,
+              std::uint64_t invocations = 1) noexcept {
+    breakdown_.add(category, seconds, invocations);
+  }
+
+  /// Charges a prediction: to the active PredictScope's category when one
+  /// is set, otherwise kPredictSeq/kPredictInit selected by `initialized`
+  /// (the caller-side charge = initialized ? seq : init rule the agents
+  /// used before the redesign).
+  void charge_predict(bool initialized, double seconds,
+                      std::uint64_t invocations = 1) noexcept {
+    breakdown_.add(predict_category(initialized), seconds, invocations);
+  }
+
+  /// Where a prediction would be charged right now.
+  [[nodiscard]] OpCategory predict_category(bool initialized) const noexcept {
+    if (predict_override_ != OpCategory::kCount) return predict_override_;
+    return initialized ? OpCategory::kPredictSeq : OpCategory::kPredictInit;
+  }
+
+  [[nodiscard]] const OpBreakdown& breakdown() const noexcept {
+    return breakdown_;
+  }
+
+  /// Forgets all accumulated time and counts (not the PredictScope state).
+  void reset() noexcept { breakdown_ = OpBreakdown{}; }
+
+  /// RAII override: predictions charged while the scope is alive land on
+  /// `category` regardless of backend lifecycle. Nestable; the previous
+  /// routing is restored on destruction.
+  class PredictScope {
+   public:
+    PredictScope(TimeLedger& ledger, OpCategory category) noexcept
+        : ledger_(ledger), previous_(ledger.predict_override_) {
+      ledger_.predict_override_ = category;
+    }
+    PredictScope(const PredictScope&) = delete;
+    PredictScope& operator=(const PredictScope&) = delete;
+    ~PredictScope() { ledger_.predict_override_ = previous_; }
+
+   private:
+    TimeLedger& ledger_;
+    OpCategory previous_;
+  };
+
+ private:
+  OpBreakdown breakdown_;
+  /// kCount doubles as "no override active".
+  OpCategory predict_override_ = OpCategory::kCount;
+};
+
+/// Ledgers are shared between a backend and everything accounting against
+/// it (agents, servers, benches), hence the shared_ptr alias.
+using TimeLedgerPtr = std::shared_ptr<TimeLedger>;
+
+}  // namespace oselm::util

@@ -88,6 +88,48 @@ TEST(Factory, AgentsActOnCartPoleStates) {
   }
 }
 
+TEST(Design, BackendIdDefaultsFollowTheDesign) {
+  AgentConfig cfg;
+  cfg.design = Design::kOsElmL2Lipschitz;
+  EXPECT_EQ(cfg.resolved_backend_id(), "software");
+  cfg.design = Design::kFpga;
+  EXPECT_EQ(cfg.resolved_backend_id(), "fpga-q20");
+  cfg.backend_id = "software";
+  EXPECT_EQ(cfg.resolved_backend_id(), "software");  // explicit id wins
+  cfg.backend_id.clear();
+  cfg.design = Design::kDqn;
+  EXPECT_TRUE(cfg.resolved_backend_id().empty());
+}
+
+TEST(Factory, SelectsTheBackendByRegistryId) {
+  // The FPGA design on the software backend: a legal cross-wiring that
+  // exists exactly because RunSpec selects backends by id now.
+  AgentConfig cfg;
+  cfg.design = Design::kFpga;
+  cfg.backend_id = "software";
+  cfg.hidden_units = 8;
+  const rl::AgentPtr agent = make_agent(cfg);
+  EXPECT_EQ(agent->name(), "FPGA");
+}
+
+TEST(Factory, RejectsUnknownBackendId) {
+  AgentConfig cfg;
+  cfg.design = Design::kOsElmL2Lipschitz;
+  cfg.backend_id = "analog-q4";
+  EXPECT_THROW(make_agent(cfg), std::invalid_argument);
+}
+
+TEST(Factory, RejectsBackendIdOnBackendlessDesigns) {
+  // ELM and DQN carry their own arithmetic; a requested Q backend would
+  // otherwise be silently ignored.
+  for (const Design design : {Design::kElm, Design::kDqn}) {
+    AgentConfig cfg;
+    cfg.design = design;
+    cfg.backend_id = "fpga-q20";
+    EXPECT_THROW(make_agent(cfg), std::invalid_argument);
+  }
+}
+
 TEST(Factory, SameSeedSameFirstActions) {
   AgentConfig cfg;
   cfg.design = Design::kOsElmL2Lipschitz;

@@ -160,6 +160,44 @@ TEST(Checkpoint, RejectsUnknownVersion) {
   EXPECT_THROW(load_os_elm(wrong), std::runtime_error);
 }
 
+TEST(Checkpoint, RejectsWrongSchemaVersionWithAClearError) {
+  // The v2 header carries an explicit u32 schema word after the version
+  // byte; a future-format file (or bit rot there) must fail loudly with
+  // both versions named, never mis-parse the weight matrices.
+  std::stringstream buffer;
+  save_os_elm(trained_model(14), buffer);
+  std::string bytes = buffer.str();
+  constexpr std::size_t kSchemaOffset = 4 + 1;  // magic + version byte
+  ASSERT_EQ(static_cast<unsigned char>(bytes[kSchemaOffset]),
+            os_elm_checkpoint_schema_version());
+  bytes[kSchemaOffset] = 77;  // little-endian low byte of the schema word
+  std::stringstream wrong(bytes);
+  try {
+    (void)load_os_elm(wrong);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("schema version 77"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find(std::to_string(
+                  os_elm_checkpoint_schema_version())),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(Checkpoint, V1FilesWithoutTheSchemaWordAreRejected) {
+  // A legacy v1 stream is byte-identical except version byte 1 and no
+  // schema word; the header check rejects it before any payload parsing.
+  std::stringstream buffer;
+  save_os_elm(trained_model(15), buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 1;                 // pretend container version 1
+  bytes.erase(5, 4);            // drop the schema word like v1 writers did
+  std::stringstream legacy(bytes);
+  EXPECT_THROW(load_os_elm(legacy), std::runtime_error);
+}
+
 TEST(FromParts, ValidatesShapes) {
   const ElmConfig cfg = sample_config();
   EXPECT_THROW(OsElm::from_parts(cfg, linalg::MatD(2, 2), linalg::VecD(12),
@@ -187,9 +225,9 @@ TEST(Checkpoint, RejectsUninitializedFlagWithStaleP) {
   std::stringstream buffer;
   save_os_elm(trained_model(13), buffer);
   std::string bytes = buffer.str();
-  // Layout: 4-byte magic + 1 version + 3 u64 dims + 1 activation byte +
-  // 3 f64 config doubles, then the initialized flag.
-  constexpr std::size_t kInitializedFlagOffset = 4 + 1 + 24 + 1 + 24;
+  // Layout: 4-byte magic + 1 version + 4-byte schema word + 3 u64 dims +
+  // 1 activation byte + 3 f64 config doubles, then the initialized flag.
+  constexpr std::size_t kInitializedFlagOffset = 4 + 1 + 4 + 24 + 1 + 24;
   ASSERT_EQ(bytes[kInitializedFlagOffset], 1);
   bytes[kInitializedFlagOffset] = 0;
   std::stringstream corrupt(bytes);

@@ -151,5 +151,77 @@ TEST(OsElmEquivalence, ChunkedStreamMatchesBatchToo) {
   EXPECT_TRUE(linalg::approx_equal(online.beta(), batch.beta(), 1e-6));
 }
 
+struct ChunkCase {
+  std::size_t input_dim;
+  std::size_t hidden_units;
+  std::size_t output_dim;
+  std::size_t chunk;     ///< k of the Eq. 5 update under test
+  std::uint64_t seed;
+  double delta;
+};
+
+class OsElmChunkEquivalence : public ::testing::TestWithParam<ChunkCase> {};
+
+TEST_P(OsElmChunkEquivalence, ChunkUpdateEqualsRowByRowUpdates) {
+  // Property (matrix-inversion lemma): one Eq. 5 update on a k-row chunk
+  // is algebraically identical to applying the same rows one at a time
+  // through the k = 1 fast path. The general-k branch previously had no
+  // equivalence coverage at all — a transposed gain or a dropped
+  // symmetrization would have sailed through.
+  const ChunkCase& c = GetParam();
+  ElmConfig cfg;
+  cfg.input_dim = c.input_dim;
+  cfg.hidden_units = c.hidden_units;
+  cfg.output_dim = c.output_dim;
+  cfg.l2_delta = c.delta;
+
+  util::Rng rng_a(c.seed);
+  OsElm chunked(cfg, rng_a);
+  util::Rng rng_b(c.seed);
+  OsElm row_by_row(cfg, rng_b);
+  ASSERT_TRUE(linalg::approx_equal(chunked.alpha(), row_by_row.alpha(), 0.0));
+
+  util::Rng data_rng(c.seed * 31 + 5);
+  const std::size_t init_samples = 2 * c.hidden_units;
+  chunked.init_train(random_matrix(init_samples, c.input_dim, data_rng),
+                     random_matrix(init_samples, c.output_dim, data_rng));
+  // Rewind the data stream so both models see the identical init chunk.
+  util::Rng data_rng_b(c.seed * 31 + 5);
+  row_by_row.init_train(
+      random_matrix(init_samples, c.input_dim, data_rng_b),
+      random_matrix(init_samples, c.output_dim, data_rng_b));
+
+  // Several consecutive chunk updates so errors would compound.
+  for (int round = 0; round < 4; ++round) {
+    const linalg::MatD x = random_matrix(c.chunk, c.input_dim, data_rng);
+    const linalg::MatD t = random_matrix(c.chunk, c.output_dim, data_rng);
+    chunked.seq_train(x, t);
+    for (std::size_t i = 0; i < c.chunk; ++i) {
+      row_by_row.seq_train_one(x.row(i), t.row(i));
+    }
+  }
+
+  EXPECT_TRUE(linalg::approx_equal(chunked.beta(), row_by_row.beta(), 1e-8))
+      << "beta max diff "
+      << linalg::max_abs_diff(chunked.beta(), row_by_row.beta());
+  EXPECT_TRUE(linalg::approx_equal(chunked.p(), row_by_row.p(), 1e-8))
+      << "P max diff " << linalg::max_abs_diff(chunked.p(), row_by_row.p());
+
+  // And the models keep agreeing on fresh inputs.
+  const linalg::MatD probes = random_matrix(10, c.input_dim, data_rng);
+  EXPECT_LT(linalg::max_abs_diff(chunked.predict(probes),
+                                 row_by_row.predict(probes)),
+            1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chunkings, OsElmChunkEquivalence,
+    ::testing::Values(ChunkCase{4, 12, 1, 2, 21, 0.5},   // smallest k > 1
+                      ChunkCase{5, 16, 1, 3, 22, 1.0},   // paper's delta
+                      ChunkCase{5, 16, 2, 5, 23, 0.5},   // multi-output
+                      ChunkCase{3, 8, 1, 8, 24, 0.1},    // k == N/1 band
+                      ChunkCase{6, 20, 1, 7, 25, 0.25},  // k coprime to N
+                      ChunkCase{4, 10, 3, 4, 26, 2.0})); // strong ridge
+
 }  // namespace
 }  // namespace oselm::elm

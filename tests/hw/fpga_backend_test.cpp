@@ -57,8 +57,7 @@ TEST(FpgaBackend, PredictMatchesDoubleReferenceBeforeTraining) {
   for (int trial = 0; trial < 20; ++trial) {
     linalg::VecD x(5);
     rng.fill_uniform(x, -1.0, 1.0);
-    double q_fixed = 0.0;
-    (void)backend.predict_main(x, q_fixed);
+    const double q_fixed = backend.predict_main(x);
     // Double reference with the dequantized on-chip weights.
     const linalg::VecD h = host_hidden(backend, x);
     const linalg::MatD beta = dequantize(backend.beta_fixed());
@@ -75,9 +74,10 @@ TEST(FpgaBackend, InitTrainMatchesEq8WithinQuantization) {
   util::Rng rng(40);
   const linalg::MatD x0 = random_matrix(24, 5, rng);
   const linalg::MatD t0 = random_matrix(24, 1, rng);
-  const double seconds = backend.init_train(x0, t0);
-  EXPECT_GE(seconds, 0.0);
+  backend.init_train(x0, t0);
   EXPECT_TRUE(backend.initialized());
+  EXPECT_GE(backend.ledger().breakdown().get(util::OpCategory::kInitTrain),
+            0.0);
 
   // Double reference: P0 = (H0^T H0 + delta I)^-1, beta0 = P0 H0^T t0.
   linalg::MatD h0(24, 12);
@@ -105,12 +105,10 @@ TEST(FpgaBackend, SeqTrainMovesPredictionTowardTarget) {
   linalg::VecD x(5);
   rng.fill_uniform(x, -0.5, 0.5);
   const double target = 0.8;
-  double before = 0.0;
-  (void)backend.predict_main(x, before);
+  const double before = backend.predict_main(x);
   // RLS residual decays ~1/k on a repeated sample; 50 repeats suffice.
-  for (int i = 0; i < 50; ++i) (void)backend.seq_train(x, target);
-  double after = 0.0;
-  (void)backend.predict_main(x, after);
+  for (int i = 0; i < 50; ++i) backend.seq_train(x, target);
+  const double after = backend.predict_main(x);
   EXPECT_LT(std::abs(after - target), std::abs(before - target));
   EXPECT_LT(std::abs(after - target), 0.2);
 }
@@ -136,7 +134,7 @@ TEST(FpgaBackend, SeqTrainTracksDoubleMirrorForManySteps) {
     rng.fill_uniform(x, -1.0, 1.0);
     const double target = rng.uniform(-1.0, 1.0);
 
-    (void)backend.seq_train(x, target);
+    backend.seq_train(x, target);
 
     // Exact rank-1 update in double.
     const linalg::VecD h = host_hidden(backend, x);
@@ -153,8 +151,7 @@ TEST(FpgaBackend, SeqTrainTracksDoubleMirrorForManySteps) {
     const double err = (target - pred) * inv;
     for (std::size_t j = 0; j < 16; ++j) beta(j, 0) += u[j] * err;
 
-    double q_fixed = 0.0;
-    (void)backend.predict_main(x, q_fixed);
+    const double q_fixed = backend.predict_main(x);
     double q_ref = 0.0;
     const linalg::VecD h2 = host_hidden(backend, x);
     for (std::size_t j = 0; j < 16; ++j) q_ref += h2[j] * beta(j, 0);
@@ -169,27 +166,71 @@ TEST(FpgaBackend, TargetNetworkSyncsOnDemand) {
   backend.init_train(random_matrix(16, 5, rng), random_matrix(16, 1, rng));
   linalg::VecD x(5, 0.2);
   // Drift theta_1 away from theta_2.
-  for (int i = 0; i < 10; ++i) (void)backend.seq_train(x, 1.0);
-  double q_main = 0.0;
-  double q_target = 0.0;
-  (void)backend.predict_main(x, q_main);
-  (void)backend.predict_target(x, q_target);
-  EXPECT_NE(q_main, q_target);
+  for (int i = 0; i < 10; ++i) backend.seq_train(x, 1.0);
+  const double q_main = backend.predict_main(x);
+  EXPECT_NE(q_main, backend.predict_target(x));
   backend.sync_target();
-  (void)backend.predict_target(x, q_target);
-  EXPECT_DOUBLE_EQ(q_main, q_target);
+  EXPECT_DOUBLE_EQ(q_main, backend.predict_target(x));
 }
 
-TEST(FpgaBackend, ChargesModeledPlSeconds) {
+TEST(FpgaBackend, ChargesModeledPlSecondsToTheLedger) {
+  using util::OpCategory;
   FpgaOsElmBackend backend(small_config(64), 8);
   const CycleModel& m = backend.cycle_model();
+  const util::OpBreakdown& b = backend.ledger().breakdown();
   linalg::VecD x(5, 0.1);
-  double q = 0.0;
-  EXPECT_DOUBLE_EQ(backend.predict_main(x, q), m.predict_seconds());
+  (void)backend.predict_main(x);
+  EXPECT_DOUBLE_EQ(b.get(OpCategory::kPredictInit), m.predict_seconds());
   util::Rng rng(80);
   backend.init_train(random_matrix(64, 5, rng),
                      random_matrix(64, 1, rng));
-  EXPECT_DOUBLE_EQ(backend.seq_train(x, 0.1), m.seq_train_seconds());
+  backend.seq_train(x, 0.1);
+  EXPECT_DOUBLE_EQ(b.get(OpCategory::kSeqTrain), m.seq_train_seconds());
+}
+
+TEST(FpgaBackend, LedgerMatchesTheAnalyticModelBitForBit) {
+  // The acceptance bar for the ledger redesign: on a fixed deterministic
+  // scenario the ledger-reported breakdown equals the sum the historical
+  // seconds-returning API would have produced — accumulated here in the
+  // same call order, so the comparison is exact to the last bit.
+  using util::OpCategory;
+  FpgaOsElmBackend backend(small_config(32), 14);
+  const CycleModel& m = backend.cycle_model();
+  const util::OpBreakdown& b = backend.ledger().breakdown();
+  util::Rng rng(140);
+
+  double expected_pre_init = 0.0;
+  const linalg::VecD state(4, 0.2);
+  const linalg::VecD codes{-1.0, 1.0};
+  linalg::VecD q(2, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    backend.predict_actions(state, codes, rl::QNetwork::kMain, q);
+    expected_pre_init += m.predict_batch_seconds(2);
+  }
+  (void)backend.predict_main(linalg::VecD(5, 0.1));
+  expected_pre_init += m.predict_seconds();
+
+  backend.init_train(random_matrix(32, 5, rng), random_matrix(32, 1, rng));
+
+  double expected_seq = 0.0;
+  double expected_post_init = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    backend.seq_train(linalg::VecD(5, 0.1), 0.4);
+    expected_seq += m.seq_train_seconds();
+    backend.predict_actions(state, codes, rl::QNetwork::kTarget, q);
+    expected_post_init += m.predict_batch_seconds(2);
+  }
+  linalg::MatD states(3, 4);
+  linalg::MatD q_multi(3, 2);
+  backend.predict_actions_multi(states, codes, rl::QNetwork::kMain, q_multi);
+  expected_post_init += m.predict_multi_seconds(3, 2);
+
+  EXPECT_DOUBLE_EQ(b.get(OpCategory::kPredictInit), expected_pre_init);
+  EXPECT_DOUBLE_EQ(b.get(OpCategory::kSeqTrain), expected_seq);
+  EXPECT_DOUBLE_EQ(b.get(OpCategory::kPredictSeq), expected_post_init);
+  EXPECT_EQ(b.invocations(OpCategory::kPredictInit), 7u);   // 3*2 + 1
+  EXPECT_EQ(b.invocations(OpCategory::kPredictSeq), 16u);   // 5*2 + 3*2
+  EXPECT_EQ(b.invocations(OpCategory::kSeqTrain), 5u);
 }
 
 TEST(FpgaBackend, CycleAccountingAccumulates) {
@@ -197,10 +238,9 @@ TEST(FpgaBackend, CycleAccountingAccumulates) {
   util::Rng rng(90);
   backend.init_train(random_matrix(32, 5, rng), random_matrix(32, 1, rng));
   linalg::VecD x(5, 0.1);
-  double q = 0.0;
   const std::uint64_t before = backend.total_pl_cycles();
-  (void)backend.predict_main(x, q);
-  (void)backend.seq_train(x, 0.3);
+  (void)backend.predict_main(x);
+  backend.seq_train(x, 0.3);
   const CycleModel& m = backend.cycle_model();
   EXPECT_EQ(backend.total_pl_cycles() - before,
             m.predict_cycles() + m.seq_train_cycles());
@@ -216,14 +256,40 @@ TEST(FpgaBackend, BatchedPredictChargesAmortizedSchedule) {
   linalg::VecD q(2, 0.0);
   const std::uint64_t before = backend.total_pl_cycles();
   const std::size_t calls_before = backend.predict_calls();
+  backend.predict_actions(state, codes, rl::QNetwork::kMain, q);
   EXPECT_DOUBLE_EQ(
-      backend.predict_actions(state, codes, rl::QNetwork::kMain, q),
+      backend.ledger().breakdown().get(util::OpCategory::kPredictInit),
       m.predict_batch_seconds(2));
   EXPECT_EQ(backend.total_pl_cycles() - before, m.predict_batch_cycles(2));
   // Counts stay one-per-evaluation for the board-time models.
   EXPECT_EQ(backend.predict_calls() - calls_before, 2u);
   // The amortized batch is strictly cheaper than two single predictions.
   EXPECT_LT(m.predict_batch_cycles(2), 2 * m.predict_cycles());
+}
+
+TEST(FpgaBackend, MultiStateBatchChargesOneHandshake) {
+  FpgaOsElmBackend backend(small_config(64), 13);
+  const CycleModel& m = backend.cycle_model();
+  const linalg::VecD codes{-1.0, 1.0};
+  linalg::MatD states(4, 4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      states(s, i) = 0.1 * static_cast<double>(s + i);
+    }
+  }
+  linalg::MatD q(4, 2);
+  const std::uint64_t before = backend.total_pl_cycles();
+  backend.predict_actions_multi(states, codes, rl::QNetwork::kMain, q);
+  EXPECT_EQ(backend.total_pl_cycles() - before, m.predict_multi_cycles(4, 2));
+  EXPECT_DOUBLE_EQ(
+      backend.ledger().breakdown().get(util::OpCategory::kPredictInit),
+      m.predict_multi_seconds(4, 2));
+  // One pipeline fill + one AXI handshake for the whole coalesced batch:
+  // strictly cheaper than four per-session batched calls.
+  EXPECT_LT(m.predict_multi_cycles(4, 2), 4 * m.predict_batch_cycles(2));
+  // A single-state multi batch degenerates to the per-session batch.
+  EXPECT_EQ(m.predict_multi_cycles(1, 2), m.predict_batch_cycles(2));
+  EXPECT_DOUBLE_EQ(m.predict_multi_seconds(1, 2), m.predict_batch_seconds(2));
 }
 
 TEST(FpgaBackend, InitializeResetsState) {
@@ -238,10 +304,9 @@ TEST(FpgaBackend, InitializeResetsState) {
 
 TEST(FpgaBackend, ValidatesShapes) {
   FpgaOsElmBackend backend(small_config(8), 11);
-  double q = 0.0;
-  EXPECT_THROW(backend.predict_main(linalg::VecD(3), q),
+  EXPECT_THROW((void)backend.predict_main(linalg::VecD(3)),
                std::invalid_argument);
-  EXPECT_THROW(backend.predict_target(linalg::VecD(9), q),
+  EXPECT_THROW((void)backend.predict_target(linalg::VecD(9)),
                std::invalid_argument);
   EXPECT_THROW(backend.init_train(linalg::MatD(4, 3), linalg::MatD(4, 1)),
                std::invalid_argument);

@@ -2,20 +2,24 @@
 // satisfy the same observable behavior, because the Algorithm 1 agent is
 // written against the interface alone (the paper's Fig. 3 hardware/software
 // split depends on the two sides being interchangeable). The suite is
-// value-parameterized over backend factories — a future backend (batched,
-// sharded, multi-device) registers one factory and inherits every check.
+// value-parameterized over rl::BackendRegistry — it enumerates every
+// REGISTERED backend id instead of hard-coding the pair, so a new backend
+// registers one factory and inherits every check; its declared capability
+// flags drive the per-backend tolerances (fixed-point => half-ulp batch
+// budget).
 #include <cmath>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
-#include "hw/fpga_backend.hpp"
-#include "rl/agent.hpp"
-#include "rl/software_backend.hpp"
+#include "hw/fixed_tensor.hpp"
+#include "rl/backend_registry.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
+#include "util/time_ledger.hpp"
 
 namespace oselm::rl {
 namespace {
@@ -25,44 +29,40 @@ constexpr std::size_t kHiddenUnits = 16;
 constexpr double kDelta = 0.5;
 
 struct BackendCase {
-  std::string name;
-  std::function<OsElmQBackendPtr(std::uint64_t seed)> make;
+  std::string id;
+  BackendCapabilities caps;
   /// Allowed |batched - per-action-loop| difference: 0 = bit-exact
   /// (software); the fixed-point model gets a half-ulp budget.
   double batch_tolerance = 0.0;
 };
 
-void PrintTo(const BackendCase& c, std::ostream* os) { *os << c.name; }
+void PrintTo(const BackendCase& c, std::ostream* os) { *os << c.id; }
 
-BackendCase software_case() {
-  return {"SoftwareOsElmBackend",
-          [](std::uint64_t seed) -> OsElmQBackendPtr {
-            SoftwareBackendConfig cfg;
-            cfg.elm =
-                test_support::config_for(kInputDim, kHiddenUnits, 1, kDelta);
-            cfg.spectral_normalize = true;
-            return std::make_unique<SoftwareOsElmBackend>(cfg, seed);
-          },
-          0.0};
-}
-
-BackendCase fpga_case() {
-  return {"FpgaOsElmBackend",
-          [](std::uint64_t seed) -> OsElmQBackendPtr {
-            hw::FpgaBackendConfig cfg;
-            cfg.input_dim = kInputDim;
-            cfg.hidden_units = kHiddenUnits;
-            cfg.l2_delta = kDelta;
-            cfg.spectral_normalize = true;
-            return std::make_unique<hw::FpgaOsElmBackend>(cfg, seed);
-          },
-          hw::quantization_half_ulp()};
+/// Every backend the registry knows, with capability-derived tolerances.
+std::vector<BackendCase> all_registered_cases() {
+  std::vector<BackendCase> cases;
+  for (const std::string& id : registered_backends()) {
+    BackendCase c;
+    c.id = id;
+    c.caps = backend_capabilities(id);
+    c.batch_tolerance = c.caps.fixed_point ? hw::quantization_half_ulp() : 0.0;
+    cases.push_back(std::move(c));
+  }
+  return cases;
 }
 
 class BackendContract : public ::testing::TestWithParam<BackendCase> {
  protected:
-  [[nodiscard]] OsElmQBackendPtr make(std::uint64_t seed) const {
-    return GetParam().make(seed);
+  [[nodiscard]] OsElmQBackendPtr make(
+      std::uint64_t seed, util::TimeLedgerPtr ledger = nullptr) const {
+    BackendConfig config;
+    config.input_dim = kInputDim;
+    config.hidden_units = kHiddenUnits;
+    config.l2_delta = kDelta;
+    config.spectral_normalize = true;
+    config.seed = seed;
+    config.ledger = std::move(ledger);
+    return make_backend(GetParam().id, config);
   }
 
   /// Runs the standard initial-training chunk (32 samples) on `backend`.
@@ -71,7 +71,7 @@ class BackendContract : public ::testing::TestWithParam<BackendCase> {
     const linalg::MatD x =
         test_support::random_matrix(32, kInputDim, rng);
     const linalg::MatD t = test_support::random_matrix(32, 1, rng);
-    EXPECT_GE(backend.init_train(x, t), 0.0);
+    backend.init_train(x, t);
   }
 
   /// Asserts predict_actions(state, codes, which) agrees with an explicit
@@ -81,18 +81,15 @@ class BackendContract : public ::testing::TestWithParam<BackendCase> {
                                  const linalg::VecD& state,
                                  const linalg::VecD& codes, QNetwork which) {
     linalg::VecD batched(codes.size(), std::nan(""));
-    EXPECT_GE(backend.predict_actions(state, codes, which, batched), 0.0);
+    backend.predict_actions(state, codes, which, batched);
 
     linalg::VecD sa(kInputDim, 0.0);
     for (std::size_t i = 0; i < state.size(); ++i) sa[i] = state[i];
     for (std::size_t a = 0; a < codes.size(); ++a) {
       sa[kInputDim - 1] = codes[a];
-      double q_loop = std::nan("");
-      if (which == QNetwork::kMain) {
-        (void)backend.predict_main(sa, q_loop);
-      } else {
-        (void)backend.predict_target(sa, q_loop);
-      }
+      const double q_loop = which == QNetwork::kMain
+                                ? backend.predict_main(sa)
+                                : backend.predict_target(sa);
       const double tol = GetParam().batch_tolerance;
       if (tol == 0.0) {
         EXPECT_DOUBLE_EQ(batched[a], q_loop) << "action " << a;
@@ -113,18 +110,20 @@ TEST_P(BackendContract, ReportsConfiguredDimensions) {
   EXPECT_EQ(backend->hidden_units(), kHiddenUnits);
 }
 
+TEST_P(BackendContract, DeclaresTheBatchedPredictCapability) {
+  // Every current backend implements the amortized predict_actions
+  // schedule; a future one that does not must not claim the flag.
+  EXPECT_TRUE(GetParam().caps.batched_predict);
+}
+
 TEST_P(BackendContract, PredictWorksBeforeInitTrain) {
   // Prediction with the freshly randomized weights is legal (the agent
   // explores before the init chunk fills); only seq_train requires P.
   const auto backend = make(3);
   util::Rng rng(30);
   const linalg::VecD sa = test_support::random_vector(kInputDim, rng);
-  double q_main = std::nan("");
-  double q_target = std::nan("");
-  EXPECT_GE(backend->predict_main(sa, q_main), 0.0);
-  EXPECT_GE(backend->predict_target(sa, q_target), 0.0);
-  EXPECT_TRUE(std::isfinite(q_main));
-  EXPECT_TRUE(std::isfinite(q_target));
+  EXPECT_TRUE(std::isfinite(backend->predict_main(sa)));
+  EXPECT_TRUE(std::isfinite(backend->predict_target(sa)));
 }
 
 TEST_P(BackendContract, SeqTrainBeforeInitTrainThrows) {
@@ -135,10 +134,9 @@ TEST_P(BackendContract, SeqTrainBeforeInitTrainThrows) {
 
 TEST_P(BackendContract, RejectsMismatchedInputWidths) {
   const auto backend = make(5);
-  double q = 0.0;
-  EXPECT_THROW(backend->predict_main(linalg::VecD(kInputDim - 1), q),
+  EXPECT_THROW((void)backend->predict_main(linalg::VecD(kInputDim - 1)),
                std::invalid_argument);
-  EXPECT_THROW(backend->predict_target(linalg::VecD(kInputDim + 3), q),
+  EXPECT_THROW((void)backend->predict_target(linalg::VecD(kInputDim + 3)),
                std::invalid_argument);
   EXPECT_THROW(backend->init_train(linalg::MatD(8, kInputDim - 2),
                                    linalg::MatD(8, 1)),
@@ -173,14 +171,10 @@ TEST_P(BackendContract, SeqTrainMovesPredictionTowardTarget) {
   const linalg::VecD sa =
       test_support::random_vector(kInputDim, rng, -0.5, 0.5);
   const double target = 0.8;
-  double before = 0.0;
-  (void)backend->predict_main(sa, before);
+  const double before = backend->predict_main(sa);
   // RLS on a repeated sample contracts the residual ~1/k.
-  for (int i = 0; i < 60; ++i) {
-    EXPECT_GE(backend->seq_train(sa, target), 0.0);
-  }
-  double after = 0.0;
-  (void)backend->predict_main(sa, after);
+  for (int i = 0; i < 60; ++i) backend->seq_train(sa, target);
+  const double after = backend->predict_main(sa);
   EXPECT_LT(std::abs(after - target), std::abs(before - target));
   EXPECT_LT(std::abs(after - target), 0.2);
 }
@@ -190,15 +184,11 @@ TEST_P(BackendContract, SyncTargetCopiesMainIntoTarget) {
   run_init_train(*backend, 90);
   // Drift theta_1 away from theta_2.
   const linalg::VecD sa(kInputDim, 0.2);
-  for (int i = 0; i < 10; ++i) (void)backend->seq_train(sa, 1.0);
-  double q_main = 0.0;
-  double q_target = 0.0;
-  (void)backend->predict_main(sa, q_main);
-  (void)backend->predict_target(sa, q_target);
-  EXPECT_NE(q_main, q_target);
+  for (int i = 0; i < 10; ++i) backend->seq_train(sa, 1.0);
+  const double q_main = backend->predict_main(sa);
+  EXPECT_NE(q_main, backend->predict_target(sa));
   backend->sync_target();
-  (void)backend->predict_target(sa, q_target);
-  EXPECT_NEAR(q_main, q_target, 1e-12);
+  EXPECT_NEAR(q_main, backend->predict_target(sa), 1e-12);
 }
 
 TEST_P(BackendContract, TargetStaysFrozenDuringSeqTrain) {
@@ -206,16 +196,13 @@ TEST_P(BackendContract, TargetStaysFrozenDuringSeqTrain) {
   run_init_train(*backend, 100);
   backend->sync_target();
   const linalg::VecD probe(kInputDim, 0.3);
-  double frozen = 0.0;
-  (void)backend->predict_target(probe, frozen);
+  const double frozen = backend->predict_target(probe);
   util::Rng rng(101);
   for (int i = 0; i < 25; ++i) {
-    (void)backend->seq_train(test_support::random_vector(kInputDim, rng),
-                             rng.uniform(-1.0, 1.0));
+    backend->seq_train(test_support::random_vector(kInputDim, rng),
+                       rng.uniform(-1.0, 1.0));
   }
-  double still_frozen = 0.0;
-  (void)backend->predict_target(probe, still_frozen);
-  EXPECT_DOUBLE_EQ(frozen, still_frozen);
+  EXPECT_DOUBLE_EQ(frozen, backend->predict_target(probe));
 }
 
 TEST_P(BackendContract, SameSeedSameTrainingIsDeterministic) {
@@ -227,20 +214,16 @@ TEST_P(BackendContract, SameSeedSameTrainingIsDeterministic) {
   for (int i = 0; i < 20; ++i) {
     const linalg::VecD sa = test_support::random_vector(kInputDim, stream);
     const double target = stream.uniform(-1.0, 1.0);
-    (void)a->seq_train(sa, target);
-    (void)b->seq_train(sa, target);
+    a->seq_train(sa, target);
+    b->seq_train(sa, target);
   }
   util::Rng probes(422);
   for (int i = 0; i < 10; ++i) {
     const linalg::VecD sa = test_support::random_vector(kInputDim, probes);
-    double qa = 0.0;
-    double qb = 0.0;
-    (void)a->predict_main(sa, qa);
-    (void)b->predict_main(sa, qb);
-    EXPECT_DOUBLE_EQ(qa, qb) << "probe " << i;
-    (void)a->predict_target(sa, qa);
-    (void)b->predict_target(sa, qb);
-    EXPECT_DOUBLE_EQ(qa, qb) << "target probe " << i;
+    EXPECT_DOUBLE_EQ(a->predict_main(sa), b->predict_main(sa))
+        << "probe " << i;
+    EXPECT_DOUBLE_EQ(a->predict_target(sa), b->predict_target(sa))
+        << "target probe " << i;
   }
 }
 
@@ -248,11 +231,7 @@ TEST_P(BackendContract, DifferentSeedsDrawDifferentWeights) {
   const auto a = make(1);
   const auto b = make(2);
   const linalg::VecD sa(kInputDim, 0.25);
-  double qa = 0.0;
-  double qb = 0.0;
-  (void)a->predict_main(sa, qa);
-  (void)b->predict_main(sa, qb);
-  EXPECT_NE(qa, qb);
+  EXPECT_NE(a->predict_main(sa), b->predict_main(sa));
 }
 
 TEST_P(BackendContract, BatchedPredictMatchesPerActionLoopBeforeInit) {
@@ -272,8 +251,8 @@ TEST_P(BackendContract, BatchedPredictMatchesPerActionLoopAfterTraining) {
   run_init_train(*backend, 210);
   util::Rng rng(211);
   for (int i = 0; i < 15; ++i) {
-    (void)backend->seq_train(test_support::random_vector(kInputDim, rng),
-                             rng.uniform(-1.0, 1.0));
+    backend->seq_train(test_support::random_vector(kInputDim, rng),
+                       rng.uniform(-1.0, 1.0));
   }
   for (int probe = 0; probe < 5; ++probe) {
     const linalg::VecD state =
@@ -296,8 +275,8 @@ TEST_P(BackendContract, BatchedPredictIsDeterministicAndTieStable) {
   const linalg::VecD codes{0.5, 0.5, 0.5};
   linalg::VecD first(3, 0.0);
   linalg::VecD second(3, 0.0);
-  (void)backend->predict_actions(state, codes, QNetwork::kMain, first);
-  (void)backend->predict_actions(state, codes, QNetwork::kMain, second);
+  backend->predict_actions(state, codes, QNetwork::kMain, first);
+  backend->predict_actions(state, codes, QNetwork::kMain, second);
   EXPECT_EQ(first[0], first[1]);
   EXPECT_EQ(first[1], first[2]);
   for (std::size_t a = 0; a < 3; ++a) EXPECT_EQ(first[a], second[a]) << a;
@@ -323,21 +302,159 @@ TEST_P(BackendContract, BatchedPredictReadsTheRequestedNetwork) {
   run_init_train(*backend, 240);
   // Drift theta_1 away from theta_2 so the two networks disagree.
   const linalg::VecD sa(kInputDim, 0.2);
-  for (int i = 0; i < 10; ++i) (void)backend->seq_train(sa, 1.0);
+  for (int i = 0; i < 10; ++i) backend->seq_train(sa, 1.0);
   const linalg::VecD state(kInputDim - 1, 0.2);
   const linalg::VecD codes{-1.0, 1.0};
   linalg::VecD q_main(2, 0.0);
   linalg::VecD q_target(2, 0.0);
-  (void)backend->predict_actions(state, codes, QNetwork::kMain, q_main);
-  (void)backend->predict_actions(state, codes, QNetwork::kTarget, q_target);
+  backend->predict_actions(state, codes, QNetwork::kMain, q_main);
+  backend->predict_actions(state, codes, QNetwork::kTarget, q_target);
   EXPECT_NE(q_main, q_target);
 }
 
+TEST_P(BackendContract, MultiStatePredictMatchesPerStateBatches) {
+  // Row i of predict_actions_multi must be bit-identical to a
+  // predict_actions call on states.row(i) — the property QServer's
+  // cross-session coalescing rests on (for every backend, including the
+  // fixed-point model: same dataflow order per state).
+  const auto backend = make(25);
+  run_init_train(*backend, 250);
+  util::Rng rng(251);
+  const linalg::VecD codes{-1.0, 1.0};
+  constexpr std::size_t kStates = 6;
+  linalg::MatD states(kStates, kInputDim - 1);
+  for (std::size_t s = 0; s < kStates; ++s) {
+    states.set_row(s,
+                   test_support::random_vector(kInputDim - 1, rng, -0.8, 0.8));
+  }
+  for (const QNetwork which : {QNetwork::kMain, QNetwork::kTarget}) {
+    linalg::MatD multi(kStates, codes.size());
+    backend->predict_actions_multi(states, codes, which, multi);
+    linalg::VecD single(codes.size(), 0.0);
+    for (std::size_t s = 0; s < kStates; ++s) {
+      backend->predict_actions(states.row(s), codes, which, single);
+      for (std::size_t a = 0; a < codes.size(); ++a) {
+        EXPECT_EQ(multi(s, a), single[a]) << "state " << s << " action " << a;
+      }
+    }
+  }
+}
+
+TEST_P(BackendContract, EmptyMultiBatchChargesNothing) {
+  // Zero evaluations must leave the ledger untouched on every backend —
+  // the FPGA model must not raise the core (pipeline + AXI) for a batch
+  // the host never sends.
+  const auto backend = make(27);
+  linalg::MatD states(0, kInputDim - 1);
+  linalg::MatD q(0, 2);
+  backend->predict_actions_multi(states, {-1.0, 1.0}, QNetwork::kMain, q);
+  EXPECT_DOUBLE_EQ(backend->ledger().breakdown().total(), 0.0);
+  EXPECT_EQ(
+      backend->ledger().breakdown().invocations(
+          util::OpCategory::kPredictInit),
+      0u);
+}
+
+TEST_P(BackendContract, MultiStatePredictValidatesShapes) {
+  const auto backend = make(26);
+  const linalg::VecD codes{-1.0, 1.0};
+  linalg::MatD q(3, 2);
+  EXPECT_THROW(backend->predict_actions_multi(linalg::MatD(3, kInputDim),
+                                              codes, QNetwork::kMain, q),
+               std::invalid_argument);
+  linalg::MatD q_bad(2, 2);
+  EXPECT_THROW(backend->predict_actions_multi(linalg::MatD(3, kInputDim - 1),
+                                              codes, QNetwork::kMain, q_bad),
+               std::invalid_argument);
+}
+
+// --- Ledger contract -------------------------------------------------
+
+TEST_P(BackendContract, ChargesTheInjectedLedger) {
+  auto ledger = std::make_shared<util::TimeLedger>();
+  const auto backend = make(30, ledger);
+  EXPECT_EQ(&backend->ledger(), ledger.get());
+  run_init_train(*backend, 300);
+  EXPECT_EQ(ledger->breakdown().invocations(util::OpCategory::kInitTrain),
+            1u);
+  EXPECT_GT(ledger->breakdown().get(util::OpCategory::kInitTrain), 0.0);
+}
+
+TEST_P(BackendContract, LedgerInvocationCountsMatchTheFixedScenario) {
+  // The fixed scenario's op counts are deterministic for every backend:
+  // 3 pre-init evaluations (1 single + one 2-action batch), an init
+  // chunk, 4 sequential updates, 6 post-init evaluations (one 2-action
+  // batch + one 4-row 1-action multi).
+  using util::OpCategory;
+  const auto backend = make(31);
+  const util::OpBreakdown& b = backend->ledger().breakdown();
+
+  const linalg::VecD sa(kInputDim, 0.1);
+  const linalg::VecD state(kInputDim - 1, 0.1);
+  const linalg::VecD codes{-1.0, 1.0};
+  linalg::VecD q2(2, 0.0);
+  (void)backend->predict_main(sa);
+  backend->predict_actions(state, codes, QNetwork::kMain, q2);
+  EXPECT_EQ(b.invocations(OpCategory::kPredictInit), 3u);
+  EXPECT_EQ(b.invocations(OpCategory::kPredictSeq), 0u);
+
+  run_init_train(*backend, 310);
+  EXPECT_EQ(b.invocations(OpCategory::kInitTrain), 1u);
+
+  for (int i = 0; i < 4; ++i) backend->seq_train(sa, 0.2);
+  EXPECT_EQ(b.invocations(OpCategory::kSeqTrain), 4u);
+
+  backend->predict_actions(state, codes, QNetwork::kTarget, q2);
+  linalg::MatD states(4, kInputDim - 1);
+  linalg::MatD q_multi(4, 1);
+  backend->predict_actions_multi(states, linalg::VecD{1.0}, QNetwork::kMain,
+                                 q_multi);
+  EXPECT_EQ(b.invocations(OpCategory::kPredictSeq), 6u);
+  EXPECT_EQ(b.invocations(OpCategory::kPredictInit), 3u);  // unchanged
+}
+
+TEST_P(BackendContract, PredictScopeReroutesPredictionCharges) {
+  // The agent's TD-target path charges target evaluations to the
+  // surrounding training category; the ledger scope must route every
+  // backend's prediction charge, with nesting restored on exit.
+  using util::OpCategory;
+  const auto backend = make(32);
+  const util::OpBreakdown& b = backend->ledger().breakdown();
+  const linalg::VecD state(kInputDim - 1, 0.2);
+  const linalg::VecD codes{-1.0, 1.0};
+  linalg::VecD q2(2, 0.0);
+  {
+    const util::TimeLedger::PredictScope scope(backend->ledger(),
+                                               OpCategory::kSeqTrain);
+    backend->predict_actions(state, codes, QNetwork::kTarget, q2);
+  }
+  EXPECT_EQ(b.invocations(OpCategory::kSeqTrain), 2u);
+  EXPECT_EQ(b.invocations(OpCategory::kPredictInit), 0u);
+  backend->predict_actions(state, codes, QNetwork::kMain, q2);
+  EXPECT_EQ(b.invocations(OpCategory::kPredictInit), 2u);  // scope ended
+}
+
+TEST_P(BackendContract, WeightResetsDoNotClearTheLedger) {
+  const auto backend = make(33);
+  run_init_train(*backend, 330);
+  const double accumulated =
+      backend->ledger().breakdown().get(util::OpCategory::kInitTrain);
+  ASSERT_GT(accumulated, 0.0);
+  backend->initialize();  // §4.3 reset
+  EXPECT_DOUBLE_EQ(
+      backend->ledger().breakdown().get(util::OpCategory::kInitTrain),
+      accumulated);
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    AllBackends, BackendContract,
-    ::testing::Values(software_case(), fpga_case()),
+    AllRegisteredBackends, BackendContract,
+    ::testing::ValuesIn(all_registered_cases()),
     [](const ::testing::TestParamInfo<BackendCase>& info) {
-      return info.param.name;
+      std::string name = info.param.id;
+      for (char& c : name) {
+        if (c == '-' || c == '.') c = '_';
+      }
+      return name;
     });
 
 }  // namespace

@@ -10,31 +10,33 @@ namespace oselm::rl {
 namespace {
 
 /// Records every backend interaction so the Algorithm 1 control flow can
-/// be asserted precisely.
+/// be asserted precisely. Charges fixed per-op seconds to its ledger so
+/// the routing (PredictScope retargeting, init/seq categories) is
+/// assertable bit-for-bit.
 class MockBackend final : public OsElmQBackend {
  public:
   MockBackend(std::size_t input, std::size_t hidden)
-      : input_dim_(input), hidden_(hidden) {}
+      : OsElmQBackend(nullptr), input_dim_(input), hidden_(hidden) {}
 
   void initialize() override {
     ++initialize_calls;
     initialized_ = false;
   }
-  double predict_main(const linalg::VecD& sa, double& q_out) override {
+  double predict_main(const linalg::VecD& sa) override {
     main_inputs.push_back(sa);
+    ledger_->charge_predict(initialized_, 0.001);
     // Q depends on the action code (last slot) so argmax is deterministic:
     // action with code +1 wins.
-    q_out = sa.back();
-    return 0.001;
+    return sa.back();
   }
-  double predict_target(const linalg::VecD& sa, double& q_out) override {
+  double predict_target(const linalg::VecD& sa) override {
     target_inputs.push_back(sa);
-    q_out = target_q;
-    return 0.002;
+    ledger_->charge_predict(initialized_, 0.002);
+    return target_q;
   }
-  double predict_actions(const linalg::VecD& state,
-                         const linalg::VecD& action_codes, QNetwork which,
-                         linalg::VecD& q_out) override {
+  void predict_actions(const linalg::VecD& state,
+                       const linalg::VecD& action_codes, QNetwork which,
+                       linalg::VecD& q_out) override {
     if (q_out.size() != action_codes.size()) {
       throw std::invalid_argument("MockBackend::predict_actions: q_out");
     }
@@ -46,23 +48,28 @@ class MockBackend final : public OsElmQBackend {
       for (std::size_t a = 0; a < action_codes.size(); ++a) {
         q_out[a] = tie_all_actions ? 0.125 : action_codes[a];
       }
-      return 0.001 * static_cast<double>(action_codes.size());
+      ledger_->charge_predict(initialized_,
+                              0.001 * static_cast<double>(q_out.size()),
+                              q_out.size());
+      return;
     }
     batched_target_states.push_back(state);
     for (std::size_t a = 0; a < action_codes.size(); ++a) q_out[a] = target_q;
-    return 0.002 * static_cast<double>(action_codes.size());
+    ledger_->charge_predict(initialized_,
+                            0.002 * static_cast<double>(q_out.size()),
+                            q_out.size());
   }
-  double init_train(const linalg::MatD& x, const linalg::MatD& t) override {
+  void init_train(const linalg::MatD& x, const linalg::MatD& t) override {
     init_x = x;
     init_t = t;
     initialized_ = true;
     ++init_calls;
-    return 0.25;
+    ledger_->charge(util::OpCategory::kInitTrain, 0.25);
   }
-  double seq_train(const linalg::VecD& sa, double target) override {
+  void seq_train(const linalg::VecD& sa, double target) override {
     seq_inputs.push_back(sa);
     seq_targets.push_back(target);
-    return 0.125;
+    ledger_->charge(util::OpCategory::kSeqTrain, 0.125);
   }
   void sync_target() override { ++sync_calls; }
   [[nodiscard]] bool initialized() const override { return initialized_; }

@@ -1,0 +1,267 @@
+// rl::QServer — the multi-session serving front-end.
+//
+// The load-bearing property is N=1 fidelity: a server with one session
+// must reproduce the single-agent rl::run_training trajectory EXACTLY
+// (same rng streams, same backend call order, same reset/sync schedules),
+// because the serving layer is only allowed to change WHERE predictions
+// are batched, never WHAT is computed. On the fpga-q20 backend the
+// modeled time is deterministic too, so the ledger breakdown must match
+// the single-agent run bit-for-bit.
+#include "rl/serving.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rl/backend_registry.hpp"
+#include "rl/oselm_q_agent.hpp"
+#include "rl/trainer.hpp"
+#include "env/registry.hpp"
+
+namespace oselm::rl {
+namespace {
+
+constexpr std::size_t kHidden = 16;
+
+BackendConfig backend_config(std::uint64_t seed) {
+  BackendConfig config;
+  config.input_dim = 5;
+  config.hidden_units = kHidden;
+  config.l2_delta = 0.5;
+  config.spectral_normalize = true;
+  config.seed = seed;
+  return config;
+}
+
+ServingSessionSpec cartpole_spec(std::uint64_t env_seed,
+                                 std::uint64_t agent_seed) {
+  ServingSessionSpec spec;
+  spec.env_id = "ShapedCartPole-v0";
+  spec.env_seed = env_seed;
+  spec.agent_seed = agent_seed;
+  spec.trainer.max_episodes = 60;
+  spec.trainer.reset_interval = 25;  // exercise the §4.3 reset too
+  return spec;
+}
+
+/// The single-agent reference for a spec, on a fresh backend of the same
+/// id/seed (exactly what the server multiplexes).
+TrainResult single_agent_reference(const std::string& backend_id,
+                                   std::uint64_t backend_seed,
+                                   const ServingSessionSpec& spec,
+                                   util::OpBreakdown* breakdown_out) {
+  OsElmQBackendPtr backend =
+      make_backend(backend_id, backend_config(backend_seed));
+  OsElmQBackend* raw = backend.get();
+  OsElmQAgent agent(std::move(backend), SimplifiedOutputModel(4, 2),
+                    spec.agent, spec.agent_seed);
+  const env::EnvironmentPtr env =
+      env::make_environment(spec.env_id, spec.env_seed);
+  const TrainResult result = run_training(agent, *env, spec.trainer);
+  if (breakdown_out != nullptr) *breakdown_out = raw->ledger().breakdown();
+  return result;
+}
+
+class SingleSessionFidelity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SingleSessionFidelity, ReproducesTheSingleAgentTrajectoryExactly) {
+  const std::string backend_id = GetParam();
+  const ServingSessionSpec spec = cartpole_spec(913, 37);
+
+  util::OpBreakdown agent_breakdown;
+  const TrainResult reference =
+      single_agent_reference(backend_id, 5150, spec, &agent_breakdown);
+
+  QServer server(make_backend(backend_id, backend_config(5150)),
+                 SimplifiedOutputModel(4, 2));
+  server.add_session(spec);
+  const QServerResult out = server.run();
+  ASSERT_EQ(out.sessions.size(), 1u);
+  const TrainResult& served = out.sessions[0];
+
+  // Trajectory equality, episode by episode.
+  EXPECT_EQ(served.episodes, reference.episodes);
+  EXPECT_EQ(served.total_steps, reference.total_steps);
+  EXPECT_EQ(served.resets, reference.resets);
+  EXPECT_EQ(served.solved, reference.solved);
+  EXPECT_EQ(served.first_solved_episode, reference.first_solved_episode);
+  ASSERT_EQ(served.episode_steps.size(), reference.episode_steps.size());
+  for (std::size_t i = 0; i < reference.episode_steps.size(); ++i) {
+    EXPECT_EQ(served.episode_steps[i], reference.episode_steps[i])
+        << "episode " << i;
+    EXPECT_EQ(served.episode_returns[i], reference.episode_returns[i])
+        << "episode " << i;
+  }
+
+  // Op-count equality on the shared ledger: the server issued exactly the
+  // calls the agent would have.
+  using util::OpCategory;
+  for (const OpCategory cat :
+       {OpCategory::kPredictInit, OpCategory::kPredictSeq,
+        OpCategory::kSeqTrain, OpCategory::kInitTrain}) {
+    EXPECT_EQ(out.breakdown.invocations(cat),
+              agent_breakdown.invocations(cat))
+        << util::op_category_name(cat);
+  }
+}
+
+TEST(QServerFpga, SingleSessionModeledTimeMatchesBitForBit) {
+  // Deterministic modeled PL seconds: the N=1 server must charge the
+  // identical ledger totals as the single agent (predict_multi of one
+  // state degenerates to the per-session batch schedule).
+  const ServingSessionSpec spec = cartpole_spec(4242, 11);
+  util::OpBreakdown agent_breakdown;
+  (void)single_agent_reference("fpga-q20", 999, spec, &agent_breakdown);
+
+  QServer server(make_backend("fpga-q20", backend_config(999)),
+                 SimplifiedOutputModel(4, 2));
+  server.add_session(spec);
+  const QServerResult out = server.run();
+
+  using util::OpCategory;
+  for (const OpCategory cat :
+       {OpCategory::kPredictInit, OpCategory::kPredictSeq,
+        OpCategory::kSeqTrain}) {
+    EXPECT_DOUBLE_EQ(out.breakdown.get(cat), agent_breakdown.get(cat))
+        << util::op_category_name(cat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, SingleSessionFidelity,
+                         ::testing::ValuesIn(registered_backends()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (c == '-' || c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(QServer, ValidatesConstructionAndSessionSpecs) {
+  EXPECT_THROW(QServer(nullptr, SimplifiedOutputModel(4, 2)),
+               std::invalid_argument);
+  // Backend width 5 vs GridWorld encoding width 3.
+  QServer server(make_backend("software", backend_config(1)),
+                 SimplifiedOutputModel(4, 2));
+  ServingSessionSpec mismatched;
+  mismatched.env_id = "GridWorld";
+  EXPECT_THROW(server.add_session(mismatched), std::invalid_argument);
+  EXPECT_EQ(server.session_count(), 0u);
+  // Running with no sessions is a logic error.
+  EXPECT_THROW(server.run(), std::logic_error);
+}
+
+TEST(QServer, RunIsOneShot) {
+  QServer server(make_backend("software", backend_config(2)),
+                 SimplifiedOutputModel(4, 2));
+  ServingSessionSpec spec = cartpole_spec(7, 8);
+  spec.trainer.max_episodes = 2;
+  server.add_session(spec);
+  (void)server.run();
+  EXPECT_THROW(server.run(), std::logic_error);
+  EXPECT_THROW(server.add_session(spec), std::logic_error);
+}
+
+TEST(QServer, MultiSessionRunIsDeterministic) {
+  const auto run_once = [] {
+    QServer server(make_backend("software", backend_config(33)),
+                   SimplifiedOutputModel(4, 2));
+    for (std::size_t i = 0; i < 3; ++i) {
+      ServingSessionSpec spec = cartpole_spec(100 + i, 50 + i);
+      spec.trainer.max_episodes = 12;
+      spec.trainer.reset_interval = 0;
+      server.add_session(spec);
+    }
+    return server.run();
+  };
+  const QServerResult a = run_once();
+  const QServerResult b = run_once();
+  ASSERT_EQ(a.sessions.size(), 3u);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.coalesced_calls, b.coalesced_calls);
+  EXPECT_EQ(a.coalesced_rows, b.coalesced_rows);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.sessions[i].total_steps, b.sessions[i].total_steps) << i;
+    EXPECT_EQ(a.sessions[i].episodes, b.sessions[i].episodes) << i;
+  }
+}
+
+TEST(QServer, SharedBackendInitTrainsOnceAcrossSessions) {
+  // With N sessions buffering toward one shared network, exactly one
+  // session fills the Eq. 7/8 chunk; everyone else switches straight to
+  // sequential updates against the initialized core.
+  QServer server(make_backend("software", backend_config(44)),
+                 SimplifiedOutputModel(4, 2));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ServingSessionSpec spec = cartpole_spec(200 + i, 70 + i);
+    spec.trainer.max_episodes = 15;
+    spec.trainer.reset_interval = 0;  // shared network: no resets
+    server.add_session(spec);
+  }
+  const QServerResult out = server.run();
+  // kInitTrain counts the Eq. 7/8 solve plus its TD-target evaluations
+  // (at most 2 per buffered sample): one session's chunk bounds it at
+  // 1 + 2 * N-tilde. Four independent init trainings would blow well past
+  // that.
+  const std::uint64_t init_counts =
+      out.breakdown.invocations(util::OpCategory::kInitTrain);
+  EXPECT_GE(init_counts, 1u);
+  EXPECT_LE(init_counts, 1u + 2u * kHidden);
+  EXPECT_GT(out.breakdown.invocations(util::OpCategory::kSeqTrain), 0u);
+}
+
+TEST(QServer, CoalescesAcrossSessions) {
+  QServer server(make_backend("software", backend_config(55)),
+                 SimplifiedOutputModel(4, 2));
+  constexpr std::size_t kSessions = 6;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    ServingSessionSpec spec = cartpole_spec(300 + i, 90 + i);
+    spec.trainer.max_episodes = 15;
+    spec.trainer.reset_interval = 0;
+    server.add_session(spec);
+  }
+  const QServerResult out = server.run();
+  EXPECT_GT(out.coalesced_calls, 0u);
+  EXPECT_GE(out.coalesced_rows, out.coalesced_calls);
+  // With 6 concurrent sessions at epsilon_1 = 0.7, batches must actually
+  // coalesce (mean well above one state per call)...
+  EXPECT_GT(out.mean_batch_rows(), 1.5);
+  // ... and can never exceed the session count.
+  EXPECT_LE(out.mean_batch_rows(), static_cast<double>(kSessions));
+  EXPECT_GT(out.ticks, 0u);
+}
+
+TEST(QServer, SessionsEndIndependently) {
+  // Sessions with different episode budgets retire at different ticks;
+  // the server keeps serving the rest.
+  QServer server(make_backend("software", backend_config(66)),
+                 SimplifiedOutputModel(4, 2));
+  ServingSessionSpec short_spec = cartpole_spec(400, 110);
+  short_spec.trainer.max_episodes = 3;
+  short_spec.trainer.reset_interval = 0;
+  ServingSessionSpec long_spec = cartpole_spec(401, 111);
+  long_spec.trainer.max_episodes = 20;
+  long_spec.trainer.reset_interval = 0;
+  server.add_session(short_spec);
+  server.add_session(long_spec);
+  const QServerResult out = server.run();
+  EXPECT_EQ(out.sessions[0].episodes, 3u);
+  EXPECT_EQ(out.sessions[1].episodes, 20u);
+}
+
+TEST(QServer, PerSessionBreakdownCarriesOnlyEnvironmentTime) {
+  // Backend time is shared and lives in QServerResult::breakdown; the
+  // per-session TrainResult accounts its own environment stepping only.
+  QServer server(make_backend("software", backend_config(77)),
+                 SimplifiedOutputModel(4, 2));
+  ServingSessionSpec spec = cartpole_spec(500, 120);
+  spec.trainer.max_episodes = 5;
+  server.add_session(spec);
+  const QServerResult out = server.run();
+  const util::OpBreakdown& session = out.sessions[0].breakdown;
+  EXPECT_GT(session.get(util::OpCategory::kEnvironment), 0.0);
+  EXPECT_DOUBLE_EQ(session.total_excluding_env(), 0.0);
+  EXPECT_GE(out.breakdown.get(util::OpCategory::kEnvironment),
+            session.get(util::OpCategory::kEnvironment));
+}
+
+}  // namespace
+}  // namespace oselm::rl

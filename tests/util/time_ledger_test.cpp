@@ -1,0 +1,69 @@
+#include "util/time_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::util {
+namespace {
+
+TEST(TimeLedger, ChargeAccumulatesSecondsAndInvocations) {
+  TimeLedger ledger;
+  ledger.charge(OpCategory::kSeqTrain, 0.25);
+  ledger.charge(OpCategory::kSeqTrain, 0.5, 3);
+  EXPECT_DOUBLE_EQ(ledger.breakdown().get(OpCategory::kSeqTrain), 0.75);
+  EXPECT_EQ(ledger.breakdown().invocations(OpCategory::kSeqTrain), 4u);
+  EXPECT_DOUBLE_EQ(ledger.breakdown().get(OpCategory::kInitTrain), 0.0);
+}
+
+TEST(TimeLedger, PredictChargesRouteByInitializationState) {
+  TimeLedger ledger;
+  ledger.charge_predict(/*initialized=*/false, 0.1, 2);
+  ledger.charge_predict(/*initialized=*/true, 0.2, 2);
+  EXPECT_DOUBLE_EQ(ledger.breakdown().get(OpCategory::kPredictInit), 0.1);
+  EXPECT_DOUBLE_EQ(ledger.breakdown().get(OpCategory::kPredictSeq), 0.2);
+  EXPECT_EQ(ledger.breakdown().invocations(OpCategory::kPredictInit), 2u);
+  EXPECT_EQ(ledger.breakdown().invocations(OpCategory::kPredictSeq), 2u);
+}
+
+TEST(TimeLedger, PredictScopeOverridesRouting) {
+  TimeLedger ledger;
+  {
+    const TimeLedger::PredictScope scope(ledger, OpCategory::kSeqTrain);
+    ledger.charge_predict(/*initialized=*/true, 0.3, 2);
+    ledger.charge_predict(/*initialized=*/false, 0.1);
+  }
+  // Everything inside the scope lands on the override category.
+  EXPECT_DOUBLE_EQ(ledger.breakdown().get(OpCategory::kSeqTrain), 0.4);
+  EXPECT_EQ(ledger.breakdown().invocations(OpCategory::kSeqTrain), 3u);
+  EXPECT_DOUBLE_EQ(ledger.breakdown().get(OpCategory::kPredictSeq), 0.0);
+  // After the scope the default routing is restored.
+  ledger.charge_predict(/*initialized=*/true, 0.5);
+  EXPECT_DOUBLE_EQ(ledger.breakdown().get(OpCategory::kPredictSeq), 0.5);
+}
+
+TEST(TimeLedger, PredictScopesNest) {
+  TimeLedger ledger;
+  const TimeLedger::PredictScope outer(ledger, OpCategory::kInitTrain);
+  {
+    const TimeLedger::PredictScope inner(ledger, OpCategory::kSeqTrain);
+    EXPECT_EQ(ledger.predict_category(true), OpCategory::kSeqTrain);
+  }
+  // The inner scope restores the outer override, not the default.
+  EXPECT_EQ(ledger.predict_category(true), OpCategory::kInitTrain);
+}
+
+TEST(TimeLedger, PredictCategoryReportsTheRoute) {
+  TimeLedger ledger;
+  EXPECT_EQ(ledger.predict_category(false), OpCategory::kPredictInit);
+  EXPECT_EQ(ledger.predict_category(true), OpCategory::kPredictSeq);
+}
+
+TEST(TimeLedger, ResetClearsTheBreakdown) {
+  TimeLedger ledger;
+  ledger.charge(OpCategory::kInitTrain, 1.0, 5);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.breakdown().total(), 0.0);
+  EXPECT_EQ(ledger.breakdown().invocations(OpCategory::kInitTrain), 0u);
+}
+
+}  // namespace
+}  // namespace oselm::util

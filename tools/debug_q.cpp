@@ -3,8 +3,8 @@
 #include <cstdlib>
 
 #include "env/shaping.hpp"
+#include "rl/backend_registry.hpp"
 #include "rl/oselm_q_agent.hpp"
-#include "rl/software_backend.hpp"
 #include "util/stats.hpp"
 
 using namespace oselm;
@@ -16,13 +16,13 @@ int main(int argc, char** argv) {
   const std::size_t episodes =
       argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1200;
 
-  rl::SoftwareBackendConfig bc;
-  bc.elm.input_dim = 5;
-  bc.elm.hidden_units = units;
-  bc.elm.output_dim = 1;
-  bc.elm.l2_delta = delta;
+  rl::BackendConfig bc;
+  bc.input_dim = 5;
+  bc.hidden_units = units;
+  bc.l2_delta = delta;
   bc.spectral_normalize = true;
-  auto backend = std::make_unique<rl::SoftwareOsElmBackend>(bc, 99);
+  bc.seed = 99;
+  auto backend = rl::make_backend("software", bc);
   auto* backend_raw = backend.get();
 
   rl::OsElmQAgentConfig ac;

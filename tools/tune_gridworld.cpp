@@ -4,8 +4,8 @@
 #include <memory>
 
 #include "env/grid_world.hpp"
+#include "rl/backend_registry.hpp"
 #include "rl/oselm_q_agent.hpp"
-#include "rl/software_backend.hpp"
 #include "rl/trainer.hpp"
 #include "util/stats.hpp"
 
@@ -22,14 +22,13 @@ int main(int argc, char** argv) {
   double total_rate = 0.0;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     env::GridWorld env;
-    rl::SoftwareBackendConfig bc;
-    bc.elm.input_dim = 3;
-    bc.elm.hidden_units = units;
-    bc.elm.output_dim = 1;
-    bc.elm.l2_delta = delta;
+    rl::BackendConfig bc;
+    bc.input_dim = 3;
+    bc.hidden_units = units;
+    bc.l2_delta = delta;
     bc.spectral_normalize = spectral != 0;
-    auto backend =
-        std::make_unique<rl::SoftwareOsElmBackend>(bc, seed * 101 + 7);
+    bc.seed = seed * 101 + 7;
+    auto backend = rl::make_backend("software", bc);
     rl::OsElmQAgentConfig ac;
     ac.gamma = gamma;
     ac.epsilon_greedy = eps1;
