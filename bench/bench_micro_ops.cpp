@@ -8,6 +8,7 @@
 #include "fixed/fixed_point.hpp"
 #include "hw/fpga_backend.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/svd.hpp"
 #include "nn/adam.hpp"
@@ -130,6 +131,62 @@ void BM_DqnTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DqnTrainStep)->Arg(32)->Arg(64)->Arg(128)->Arg(192);
+
+void BM_SymRank1Update(benchmark::State& state) {
+  // The kernel behind seq_train_one's P update (upper triangle + mirrored
+  // lower). Toggle arg(1) to time the scalar reference instead.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool simd = state.range(1) == 1;
+  linalg::kernels::set_simd_enabled(simd &&
+                                    linalg::kernels::simd_available());
+  util::Rng rng(20);
+  linalg::MatD b = random_matrix(n, n, rng);
+  linalg::MatD p = linalg::matmul_a_bt(b, b);
+  linalg::add_diagonal_inplace(p, 1.0);
+  linalg::VecD u(n);
+  rng.fill_uniform(u, -1.0, 1.0);
+  for (auto _ : state) {
+    linalg::kernels::sym_rank1_update(p.data(), n, u.data(), 1e-4, 1.0);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+  linalg::kernels::reset_simd_override();
+}
+BENCHMARK(BM_SymRank1Update)
+    ->ArgsProduct({{32, 64, 128, 192}, {0, 1}})
+    ->ArgNames({"n", "simd"});
+
+void BM_FusedProjection(benchmark::State& state) {
+  // The fused shared-projection + activation + output-dot kernel of the
+  // batched predict path (one call = one action's Q value).
+  const auto units = static_cast<std::size_t>(state.range(0));
+  const bool simd = state.range(1) == 1;
+  linalg::kernels::set_simd_enabled(simd &&
+                                    linalg::kernels::simd_available());
+  util::Rng rng(21);
+  linalg::VecD shared(units);
+  linalg::VecD last(units);
+  linalg::VecD bias(units);
+  linalg::VecD beta(units);
+  rng.fill_uniform(shared, -1.0, 1.0);
+  rng.fill_uniform(last, -1.0, 1.0);
+  rng.fill_uniform(bias, -1.0, 1.0);
+  rng.fill_uniform(beta, -1.0, 1.0);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += linalg::kernels::fused_act_dot(shared.data(), last.data(), 1.0,
+                                          bias.data(), beta.data(), units,
+                                          linalg::kernels::Act::kReLU);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(units));
+  linalg::kernels::reset_simd_override();
+}
+BENCHMARK(BM_FusedProjection)
+    ->ArgsProduct({{32, 64, 128, 192}, {0, 1}})
+    ->ArgNames({"units", "simd"});
 
 void BM_SvdSigmaMax(benchmark::State& state) {
   const auto units = static_cast<std::size_t>(state.range(0));

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <string_view>
 
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 
 namespace oselm::elm {
@@ -17,6 +18,22 @@ namespace oselm::elm {
 enum class Activation { kReLU, kSigmoid, kTanh, kLinear };
 
 std::string_view activation_name(Activation activation) noexcept;
+
+/// Maps onto the SIMD kernel layer's activation enum (the kernel layer
+/// cannot depend on elm; both hot paths must agree on the mapping).
+inline linalg::kernels::Act kernel_act(Activation activation) noexcept {
+  switch (activation) {
+    case Activation::kReLU:
+      return linalg::kernels::Act::kReLU;
+    case Activation::kSigmoid:
+      return linalg::kernels::Act::kSigmoid;
+    case Activation::kTanh:
+      return linalg::kernels::Act::kTanh;
+    case Activation::kLinear:
+      return linalg::kernels::Act::kLinear;
+  }
+  return linalg::kernels::Act::kLinear;
+}
 
 /// Scalar application of G. Inline so the per-element switch folds into
 /// the act/observe hot loops (predict_actions, hidden_into) instead of

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/svd.hpp"
 
@@ -64,12 +65,11 @@ void Elm::hidden_into(const linalg::VecD& x, linalg::VecD& h) const {
   for (std::size_t i = 0; i < config_.input_dim; ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    const double* row = alpha_.row_ptr(i);
-    for (std::size_t j = 0; j < config_.hidden_units; ++j) h[j] += xi * row[j];
+    linalg::kernels::axpy(h.data(), xi, alpha_.row_ptr(i),
+                          config_.hidden_units);
   }
-  for (std::size_t c = 0; c < config_.hidden_units; ++c) {
-    h[c] = apply_activation(config_.activation, h[c] + bias_[c]);
-  }
+  linalg::kernels::bias_activate(h.data(), bias_.data(), config_.hidden_units,
+                                 kernel_act(config_.activation));
 }
 
 void Elm::train_batch(const linalg::MatD& x, const linalg::MatD& t) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/ops.hpp"
 
@@ -158,23 +159,23 @@ void OsElm::seq_train_one_forgetting(const linalg::VecD& x,
   const double p_scale = 1.0 / lambda;
 
   // P <- (P - u u^T / denom) / lambda  — rank-1 downdate + re-inflation.
+  // P is symmetric positive-definite (Liang et al. 2006, Eq. 5), so the
+  // kernel computes only the upper triangle and mirrors it down: half the
+  // FLOPs of the seed's full-matrix sweep, and P stays exactly symmetric
+  // instead of drifting by rounding.
   const std::size_t n = u.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double scaled = u[i] * inv;
-    double* row = p_.row_ptr(i);
-    if (p_scale == 1.0) {
-      if (scaled == 0.0) continue;
-      for (std::size_t j = 0; j < n; ++j) row[j] -= scaled * u[j];
-    } else {
-      for (std::size_t j = 0; j < n; ++j) {
-        row[j] = (row[j] - scaled * u[j]) * p_scale;
-      }
-    }
-  }
+  linalg::kernels::sym_rank1_update(p_.data(), n, u.data(), inv, p_scale);
 
   // beta += gain * (t - h beta) with gain = P_old h^T / denom == u / denom
   // (identical to the Kalman gain; independent of the re-inflation).
   linalg::MatD& beta = net_.mutable_beta();
+  if (config().output_dim == 1) {
+    // Q-network fast path: beta is one contiguous column.
+    const double pred = linalg::kernels::dot(h.data(), beta.data(), n);
+    const double err = (t[0] - pred) * inv;
+    linalg::kernels::axpy(beta.data(), err, u.data(), n);
+    return;
+  }
   for (std::size_t c = 0; c < config().output_dim; ++c) {
     double pred = 0.0;
     for (std::size_t i = 0; i < n; ++i) pred += h[i] * beta(i, c);

@@ -1,32 +1,35 @@
 #include "hw/fixed_tensor.hpp"
 
+#include "hw/q20_kernel_glue.hpp"
+#include "linalg/kernels.hpp"
+
 namespace oselm::hw {
 
 FixedVec quantize(const linalg::VecD& v) {
   FixedVec out(v.size());
-  for (std::size_t i = 0; i < v.size(); ++i) out[i] = Q::from_double(v[i]);
+  linalg::kernels::Q20SatCounts sat;
+  linalg::kernels::q20_quantize(v.data(), raw(out), v.size(), sat);
+  commit(sat);
   return out;
 }
 
 FixedMat quantize(const linalg::MatD& m) {
   FixedMat out(m.rows(), m.cols());
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    out.data()[i] = Q::from_double(m.data()[i]);
-  }
+  linalg::kernels::Q20SatCounts sat;
+  linalg::kernels::q20_quantize(m.data(), raw(out), m.size(), sat);
+  commit(sat);
   return out;
 }
 
 linalg::VecD dequantize(const FixedVec& v) {
   linalg::VecD out(v.size());
-  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i].to_double();
+  linalg::kernels::q20_dequantize(raw(v), out.data(), v.size());
   return out;
 }
 
 linalg::MatD dequantize(const FixedMat& m) {
   linalg::MatD out(m.rows(), m.cols());
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    out.data()[i] = m.data()[i].to_double();
-  }
+  linalg::kernels::q20_dequantize(raw(m), out.data(), m.size());
   return out;
 }
 

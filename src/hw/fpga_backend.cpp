@@ -1,13 +1,22 @@
 #include "hw/fpga_backend.hpp"
 
 #include <stdexcept>
+#include <type_traits>
 
 #include "elm/spectral.hpp"
+#include "hw/q20_kernel_glue.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
 #include "util/timer.hpp"
 
 namespace oselm::hw {
+
+namespace {
+
+namespace kernels = linalg::kernels;
+
+}  // namespace
 
 FpgaOsElmBackend::FpgaOsElmBackend(FpgaBackendConfig config,
                                    std::uint64_t seed,
@@ -53,6 +62,7 @@ void FpgaOsElmBackend::initialize() {
   h_scratch_.assign(units, Q::zero());
   u_scratch_.assign(units, Q::zero());
   shared_scratch_.assign(units, Q::zero());
+  scaled_scratch_.assign(units, Q::zero());
 
   initialized_ = false;
   total_pl_cycles_ = 0;
@@ -61,30 +71,32 @@ void FpgaOsElmBackend::initialize() {
 }
 
 void FpgaOsElmBackend::hidden_fixed(const FixedVec& x) {
-  const std::size_t n = config_.input_dim;
-  const std::size_t units = config_.hidden_units;
-  // One MAC unit: accumulate column-by-column like the on-chip dataflow.
-  for (std::size_t j = 0; j < units; ++j) {
-    Q acc = bias_[j];
-    for (std::size_t i = 0; i < n; ++i) acc += x[i] * alpha_(i, j);
-    h_scratch_[j] = fixed::relu(acc);
-  }
+  // Single-MAC-unit dataflow (bias first, features in index order with a
+  // saturating accumulate per step), vectorized across hidden units by
+  // the bit-exact q20_hidden_mac kernel.
+  kernels::Q20SatCounts sat;
+  kernels::q20_hidden_mac(raw(alpha_), config_.input_dim,
+                          config_.hidden_units, raw(x), raw(bias_),
+                          raw(h_scratch_), /*relu=*/true, sat);
+  commit(sat);
 }
 
 Q FpgaOsElmBackend::output_fixed(const FixedMat& beta) const {
-  Q acc = Q::zero();
-  for (std::size_t j = 0; j < h_scratch_.size(); ++j) {
-    acc += h_scratch_[j] * beta(j, 0);
-  }
-  return acc;
+  kernels::Q20SatCounts sat;
+  const std::int32_t acc = kernels::q20_dot(
+      raw(h_scratch_), raw(beta), h_scratch_.size(), 0, sat);
+  commit(sat);
+  return Q::from_raw(acc);
 }
 
 double FpgaOsElmBackend::predict_main(const linalg::VecD& sa) {
   if (sa.size() != config_.input_dim) {
     throw std::invalid_argument("FpgaOsElmBackend::predict_main: width");
   }
-  for (std::size_t i = 0; i < sa.size(); ++i) {
-    x_scratch_[i] = Q::from_double(sa[i]);
+  {
+    kernels::Q20SatCounts sat;
+    kernels::q20_quantize(sa.data(), raw(x_scratch_), sa.size(), sat);
+    commit(sat);
   }
   hidden_fixed(x_scratch_);
   const double q = output_fixed(beta_).to_double();
@@ -98,8 +110,10 @@ double FpgaOsElmBackend::predict_target(const linalg::VecD& sa) {
   if (sa.size() != config_.input_dim) {
     throw std::invalid_argument("FpgaOsElmBackend::predict_target: width");
   }
-  for (std::size_t i = 0; i < sa.size(); ++i) {
-    x_scratch_[i] = Q::from_double(sa[i]);
+  {
+    kernels::Q20SatCounts sat;
+    kernels::q20_quantize(sa.data(), raw(x_scratch_), sa.size(), sat);
+    commit(sat);
   }
   hidden_fixed(x_scratch_);
   const double q = output_fixed(beta_target_).to_double();
@@ -119,23 +133,22 @@ void FpgaOsElmBackend::predict_actions_loaded(
   // dataflow order as hidden_fixed (bias first, then features in index
   // order) so each per-action result — including any saturation — is
   // bit-identical to the per-action predict path.
-  for (std::size_t j = 0; j < units; ++j) {
-    Q acc = bias_[j];
-    for (std::size_t i = 0; i + 1 < n; ++i) acc += x_scratch_[i] * alpha_(i, j);
-    shared_scratch_[j] = acc;
-  }
+  kernels::Q20SatCounts sat;
+  kernels::q20_hidden_mac(raw(alpha_), n - 1, units, raw(x_scratch_),
+                          raw(bias_), raw(shared_scratch_), /*relu=*/false,
+                          sat);
 
-  // Per-action rank-1 correction on alpha's last row, then activation and
-  // the output MAC — the amortized schedule the cycle model charges.
+  // Per-action rank-1 correction on alpha's last row fused with the
+  // activation and the output MAC — the amortized schedule the cycle
+  // model charges.
+  const std::int32_t* last_row = raw(alpha_) + (n - 1) * units;
   for (std::size_t a = 0; a < action_codes.size(); ++a) {
     const Q code = Q::from_double(action_codes[a]);
-    Q q = Q::zero();
-    for (std::size_t j = 0; j < units; ++j) {
-      const Q h = fixed::relu(shared_scratch_[j] + code * alpha_(n - 1, j));
-      q += h * beta(j, 0);
-    }
-    q_out[a] = q.to_double();
+    const std::int32_t q = kernels::q20_action_dot(
+        raw(shared_scratch_), last_row, code.raw(), raw(beta), units, sat);
+    q_out[a] = Q::from_raw(q).to_double();
   }
+  commit(sat);
 }
 
 void FpgaOsElmBackend::predict_actions(const linalg::VecD& state,
@@ -150,8 +163,10 @@ void FpgaOsElmBackend::predict_actions(const linalg::VecD& state,
     throw std::invalid_argument(
         "FpgaOsElmBackend::predict_actions: q_out size");
   }
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    x_scratch_[i] = Q::from_double(state[i]);
+  {
+    kernels::Q20SatCounts sat;
+    kernels::q20_quantize(state.data(), raw(x_scratch_), n - 1, sat);
+    commit(sat);
   }
   predict_actions_loaded(action_codes, which, q_out.data());
 
@@ -180,10 +195,9 @@ void FpgaOsElmBackend::predict_actions_multi(const linalg::MatD& states,
   // software backends on identical call streams).
   if (states.rows() == 0) return;
   for (std::size_t s = 0; s < states.rows(); ++s) {
-    const double* row = states.row_ptr(s);
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      x_scratch_[i] = Q::from_double(row[i]);
-    }
+    kernels::Q20SatCounts sat;
+    kernels::q20_quantize(states.row_ptr(s), raw(x_scratch_), n - 1, sat);
+    commit(sat);
     predict_actions_loaded(action_codes, which, q_out.row_ptr(s));
   }
 
@@ -241,42 +255,28 @@ void FpgaOsElmBackend::seq_train(const linalg::VecD& sa, double target) {
   }
   const std::size_t units = config_.hidden_units;
 
-  for (std::size_t i = 0; i < sa.size(); ++i) {
-    x_scratch_[i] = Q::from_double(sa[i]);
-  }
+  kernels::Q20SatCounts sat;
+  kernels::q20_quantize(sa.data(), raw(x_scratch_), sa.size(), sat);
   hidden_fixed(x_scratch_);
 
   // u = P h^T (single MAC unit, row-major sweep).
-  for (std::size_t i = 0; i < units; ++i) {
-    Q acc = Q::zero();
-    for (std::size_t j = 0; j < units; ++j) {
-      acc += p_(i, j) * h_scratch_[j];
-    }
-    u_scratch_[i] = acc;
-  }
+  kernels::q20_matvec(raw(p_), units, raw(h_scratch_), raw(u_scratch_), sat);
 
   // s = 1 + h·u; inv = 1/s via the divider unit.
-  Q s = Q::one();
-  for (std::size_t j = 0; j < units; ++j) s += h_scratch_[j] * u_scratch_[j];
+  const Q s = Q::from_raw(kernels::q20_dot(raw(h_scratch_), raw(u_scratch_),
+                                           units, Q::one().raw(), sat));
   const Q inv = Q::one() / s;
 
-  // P -= (u * inv) u^T — rank-1 downdate.
-  for (std::size_t i = 0; i < units; ++i) {
-    const Q scaled = u_scratch_[i] * inv;
-    for (std::size_t j = 0; j < units; ++j) {
-      p_(i, j) -= scaled * u_scratch_[j];
-    }
-  }
+  // P -= (u * inv) u^T — rank-1 downdate (the O(N^2) PL loop).
+  kernels::q20_rank1_downdate(raw(p_), units, raw(u_scratch_), inv.raw(),
+                              raw(scaled_scratch_), sat);
 
   // e = (t - h·beta) * inv;  beta += e * u   (P_new h^T == u * inv).
-  Q pred = Q::zero();
-  for (std::size_t j = 0; j < units; ++j) {
-    pred += h_scratch_[j] * beta_(j, 0);
-  }
+  const Q pred = Q::from_raw(
+      kernels::q20_dot(raw(h_scratch_), raw(beta_), units, 0, sat));
   const Q err = (Q::from_double(target) - pred) * inv;
-  for (std::size_t j = 0; j < units; ++j) {
-    beta_(j, 0) += u_scratch_[j] * err;
-  }
+  kernels::q20_axpy(raw(beta_), err.raw(), raw(u_scratch_), units, sat);
+  commit(sat);
 
   ++seq_train_calls_;
   total_pl_cycles_ += cycles_.seq_train_cycles();

@@ -117,6 +117,7 @@ class FpgaOsElmBackend final : public rl::OsElmQBackend {
   FixedVec h_scratch_;
   FixedVec u_scratch_;
   FixedVec shared_scratch_;  ///< bias + alpha_state^T s for predict_actions
+  FixedVec scaled_scratch_;  ///< u * inv for the rank-1 downdate kernel
 
   bool initialized_ = false;
   std::uint64_t total_pl_cycles_ = 0;

@@ -1,0 +1,46 @@
+// Internal glue between the hw fixed-point containers and the Q20 SIMD
+// kernels: raw-word views of Q arrays and the fold of kernel-reported
+// saturation events into fixed::overflow_stats(). Shared by
+// fixed_tensor.cpp and fpga_backend.cpp so the layout assumptions and the
+// counter accounting live in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "hw/fixed_tensor.hpp"
+#include "linalg/kernels.hpp"
+
+namespace oselm::hw {
+
+// The Q20 kernels operate on raw int32 words; Q is a standard-layout
+// wrapper around exactly one such word, so an array of Q is traversable
+// through its first member.
+static_assert(sizeof(Q) == sizeof(std::int32_t));
+static_assert(std::is_standard_layout_v<Q>);
+
+inline const std::int32_t* raw(const FixedVec& v) noexcept {
+  return reinterpret_cast<const std::int32_t*>(v.data());
+}
+inline std::int32_t* raw(FixedVec& v) noexcept {
+  return reinterpret_cast<std::int32_t*>(v.data());
+}
+inline const std::int32_t* raw(const FixedMat& m) noexcept {
+  return reinterpret_cast<const std::int32_t*>(m.data());
+}
+inline std::int32_t* raw(FixedMat& m) noexcept {
+  return reinterpret_cast<std::int32_t*>(m.data());
+}
+
+/// Folds kernel-reported saturation events into the same thread-local
+/// telemetry the scalar fixed::Q20 operators feed (bit-exact counts
+/// either way).
+inline void commit(const linalg::kernels::Q20SatCounts& sat) noexcept {
+  if (sat.add == 0 && sat.mul == 0 && sat.conversion == 0) return;
+  auto& stats = fixed::overflow_stats();
+  stats.add_saturations += sat.add;
+  stats.mul_saturations += sat.mul;
+  stats.conversion_saturations += sat.conversion;
+}
+
+}  // namespace oselm::hw

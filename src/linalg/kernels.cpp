@@ -1,0 +1,381 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "linalg/kernels_q20_inline.hpp"
+#include "util/env_flags.hpp"
+
+namespace oselm::linalg::kernels {
+
+// Declarations of the AVX2/FMA set (defined in kernels_avx2.cpp, which is
+// compiled with -mavx2 -mfma only when the toolchain supports them — see
+// src/CMakeLists.txt). Never called unless simd_enabled().
+#if defined(OSELM_HAVE_AVX2_KERNELS)
+namespace avx2 {
+double dot(const double* a, const double* b, std::size_t n) noexcept;
+void axpy(double* y, double a, const double* x, std::size_t n) noexcept;
+void bias_activate(double* h, const double* bias, std::size_t n,
+                   Act act) noexcept;
+void act_combine(const double* shared, const double* last_row, double code,
+                 const double* bias, double* h_out, std::size_t n,
+                 Act act) noexcept;
+double fused_act_dot(const double* shared, const double* last_row,
+                     double code, const double* bias, const double* beta,
+                     std::size_t n, Act act) noexcept;
+void sym_rank1_update(double* p, std::size_t n, const double* u, double inv,
+                      double p_scale) noexcept;
+void q20_hidden_mac(const std::int32_t* a, std::size_t rows,
+                    std::size_t units, const std::int32_t* x,
+                    const std::int32_t* init, std::int32_t* out, bool relu,
+                    Q20SatCounts& sat) noexcept;
+std::int32_t q20_dot(const std::int32_t* a, const std::int32_t* b,
+                     std::size_t n, std::int32_t init,
+                     Q20SatCounts& sat) noexcept;
+std::int32_t q20_action_dot(const std::int32_t* shared,
+                            const std::int32_t* last_row, std::int32_t code,
+                            const std::int32_t* beta, std::size_t units,
+                            Q20SatCounts& sat) noexcept;
+void q20_rank1_downdate(std::int32_t* p, std::size_t n,
+                        const std::int32_t* u, std::int32_t inv,
+                        std::int32_t* scaled_ws, Q20SatCounts& sat) noexcept;
+void q20_axpy(std::int32_t* y, std::int32_t a, const std::int32_t* x,
+              std::size_t n, Q20SatCounts& sat) noexcept;
+void q20_quantize(const double* src, std::int32_t* dst, std::size_t n,
+                  Q20SatCounts& sat) noexcept;
+void q20_dequantize(const std::int32_t* src, double* dst,
+                    std::size_t n) noexcept;
+}  // namespace avx2
+#endif
+
+// ---------------------------------------------------------------------------
+// Dispatch state
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// -1: follow the OSELM_SIMD environment flag; 0/1: explicit override.
+std::atomic<int> g_simd_override{-1};
+
+bool env_allows_simd() noexcept {
+  static const bool allowed = util::env_bool("OSELM_SIMD", true);
+  return allowed;
+}
+
+}  // namespace
+
+bool simd_available() noexcept {
+#if defined(OSELM_HAVE_AVX2_KERNELS)
+  static const bool available =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return available;
+#else
+  return false;
+#endif
+}
+
+bool simd_enabled() noexcept {
+  if (!simd_available()) return false;
+  const int override_state = g_simd_override.load(std::memory_order_relaxed);
+  if (override_state >= 0) return override_state == 1;
+  return env_allows_simd();
+}
+
+void set_simd_enabled(bool enabled) noexcept {
+  g_simd_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void reset_simd_override() noexcept {
+  g_simd_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* active_kernel_set() noexcept {
+  return simd_enabled() ? "avx2" : "scalar";
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference — double kernels
+// ---------------------------------------------------------------------------
+//
+// These loops reproduce the pre-SIMD arithmetic exactly: plain multiply
+// then add (no FMA contraction — the TU is compiled for the baseline
+// target), strictly sequential reductions.
+
+namespace scalar {
+
+namespace {
+
+inline double act_apply(Act act, double x) noexcept {
+  switch (act) {
+    case Act::kReLU:
+      return x >= 0.0 ? x : 0.0;
+    case Act::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case Act::kTanh:
+      return std::tanh(x);
+    case Act::kLinear:
+      return x;
+  }
+  return x;
+}
+
+}  // namespace
+
+double dot(const double* a, const double* b, std::size_t n) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double* y, double a, const double* x, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void bias_activate(double* h, const double* bias, std::size_t n,
+                   Act act) noexcept {
+  for (std::size_t i = 0; i < n; ++i) h[i] = act_apply(act, h[i] + bias[i]);
+}
+
+void act_combine(const double* shared, const double* last_row, double code,
+                 const double* bias, double* h_out, std::size_t n,
+                 Act act) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    h_out[i] = act_apply(act, shared[i] + code * last_row[i] + bias[i]);
+  }
+}
+
+double fused_act_dot(const double* shared, const double* last_row,
+                     double code, const double* bias, const double* beta,
+                     std::size_t n, Act act) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += act_apply(act, shared[i] + code * last_row[i] + bias[i]) * beta[i];
+  }
+  return acc;
+}
+
+void sym_rank1_update(double* p, std::size_t n, const double* u, double inv,
+                      double p_scale) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scaled = u[i] * inv;
+    double* row = p + i * n;
+    if (p_scale == 1.0) {
+      if (scaled == 0.0) continue;
+      for (std::size_t j = i; j < n; ++j) row[j] -= scaled * u[j];
+    } else {
+      for (std::size_t j = i; j < n; ++j) {
+        row[j] = (row[j] - scaled * u[j]) * p_scale;
+      }
+    }
+  }
+  // Mirror the upper triangle down so P is exactly symmetric — replaces
+  // the seed's full-matrix second pass. Tiled so each 16x16 block of
+  // source cache lines is reused across the block's rows instead of
+  // being streamed once per element (a plain column walk thrashes L1 at
+  // N-tilde >= 128).
+  constexpr std::size_t kTile = 16;
+  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
+    const std::size_t i1 = std::min(i0 + kTile, n);
+    for (std::size_t i = i0 + 1; i < i1; ++i) {  // diagonal tile
+      double* row = p + i * n;
+      for (std::size_t j = i0; j < i; ++j) row[j] = p[j * n + i];
+    }
+    for (std::size_t j0 = 0; j0 < i0; j0 += kTile) {  // tiles left of it
+      const std::size_t j1 = j0 + kTile;  // full tile: j1 <= i0 <= n
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* row = p + i * n;
+        for (std::size_t j = j0; j < j1; ++j) row[j] = p[j * n + i];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference — Q20 kernels (fixed::Q20 semantics on raw words,
+// primitives shared with the AVX2 TU via kernels_q20_inline.hpp)
+// ---------------------------------------------------------------------------
+
+using q20detail::q_add;
+using q20detail::q_from_double;
+using q20detail::q_mul;
+using q20detail::q_relu;
+using q20detail::q_sub;
+
+void q20_hidden_mac(const std::int32_t* a, std::size_t rows,
+                    std::size_t units, const std::int32_t* x,
+                    const std::int32_t* init, std::int32_t* out, bool relu,
+                    Q20SatCounts& sat) noexcept {
+  for (std::size_t j = 0; j < units; ++j) {
+    std::int32_t acc = init[j];
+    for (std::size_t i = 0; i < rows; ++i) {
+      acc = q_add(acc, q_mul(x[i], a[i * units + j], sat), sat);
+    }
+    out[j] = relu ? q_relu(acc) : acc;
+  }
+}
+
+std::int32_t q20_dot(const std::int32_t* a, const std::int32_t* b,
+                     std::size_t n, std::int32_t init,
+                     Q20SatCounts& sat) noexcept {
+  std::int32_t acc = init;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = q_add(acc, q_mul(a[i], b[i], sat), sat);
+  }
+  return acc;
+}
+
+std::int32_t q20_action_dot(const std::int32_t* shared,
+                            const std::int32_t* last_row, std::int32_t code,
+                            const std::int32_t* beta, std::size_t units,
+                            Q20SatCounts& sat) noexcept {
+  std::int32_t acc = 0;
+  for (std::size_t j = 0; j < units; ++j) {
+    const std::int32_t h =
+        q_relu(q_add(shared[j], q_mul(code, last_row[j], sat), sat));
+    acc = q_add(acc, q_mul(h, beta[j], sat), sat);
+  }
+  return acc;
+}
+
+void q20_matvec(const std::int32_t* m, std::size_t n, const std::int32_t* x,
+                std::int32_t* y, Q20SatCounts& sat) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = scalar::q20_dot(m + i * n, x, n, 0, sat);
+  }
+}
+
+void q20_rank1_downdate(std::int32_t* p, std::size_t n,
+                        const std::int32_t* u, std::int32_t inv,
+                        std::int32_t* scaled_ws, Q20SatCounts& sat) noexcept {
+  for (std::size_t i = 0; i < n; ++i) scaled_ws[i] = q_mul(u[i], inv, sat);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t scaled = scaled_ws[i];
+    std::int32_t* row = p + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = q_sub(row[j], q_mul(scaled, u[j], sat), sat);
+    }
+  }
+}
+
+void q20_axpy(std::int32_t* y, std::int32_t a, const std::int32_t* x,
+              std::size_t n, Q20SatCounts& sat) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = q_add(y[i], q_mul(a, x[i], sat), sat);
+  }
+}
+
+void q20_quantize(const double* src, std::int32_t* dst, std::size_t n,
+                  Q20SatCounts& sat) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = q_from_double(src[i], sat);
+}
+
+void q20_dequantize(const std::int32_t* src, double* dst,
+                    std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<double>(src[i]) / 1048576.0;
+  }
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points
+// ---------------------------------------------------------------------------
+
+#if defined(OSELM_HAVE_AVX2_KERNELS)
+#define OSELM_DISPATCH(fn, ...) \
+  (simd_enabled() ? avx2::fn(__VA_ARGS__) : scalar::fn(__VA_ARGS__))
+#else
+#define OSELM_DISPATCH(fn, ...) scalar::fn(__VA_ARGS__)
+#endif
+
+double dot(const double* a, const double* b, std::size_t n) noexcept {
+  return OSELM_DISPATCH(dot, a, b, n);
+}
+
+void axpy(double* y, double a, const double* x, std::size_t n) noexcept {
+  OSELM_DISPATCH(axpy, y, a, x, n);
+}
+
+void bias_activate(double* h, const double* bias, std::size_t n,
+                   Act act) noexcept {
+  OSELM_DISPATCH(bias_activate, h, bias, n, act);
+}
+
+void act_combine(const double* shared, const double* last_row, double code,
+                 const double* bias, double* h_out, std::size_t n,
+                 Act act) noexcept {
+  OSELM_DISPATCH(act_combine, shared, last_row, code, bias, h_out, n, act);
+}
+
+double fused_act_dot(const double* shared, const double* last_row,
+                     double code, const double* bias, const double* beta,
+                     std::size_t n, Act act) noexcept {
+  return OSELM_DISPATCH(fused_act_dot, shared, last_row, code, bias, beta, n,
+                        act);
+}
+
+void sym_rank1_update(double* p, std::size_t n, const double* u, double inv,
+                      double p_scale) noexcept {
+  OSELM_DISPATCH(sym_rank1_update, p, n, u, inv, p_scale);
+}
+
+void q20_hidden_mac(const std::int32_t* a, std::size_t rows,
+                    std::size_t units, const std::int32_t* x,
+                    const std::int32_t* init, std::int32_t* out, bool relu,
+                    Q20SatCounts& sat) noexcept {
+  OSELM_DISPATCH(q20_hidden_mac, a, rows, units, x, init, out, relu, sat);
+}
+
+std::int32_t q20_dot(const std::int32_t* a, const std::int32_t* b,
+                     std::size_t n, std::int32_t init,
+                     Q20SatCounts& sat) noexcept {
+  return OSELM_DISPATCH(q20_dot, a, b, n, init, sat);
+}
+
+std::int32_t q20_action_dot(const std::int32_t* shared,
+                            const std::int32_t* last_row, std::int32_t code,
+                            const std::int32_t* beta, std::size_t units,
+                            Q20SatCounts& sat) noexcept {
+  return OSELM_DISPATCH(q20_action_dot, shared, last_row, code, beta, units,
+                        sat);
+}
+
+void q20_matvec(const std::int32_t* m, std::size_t n, const std::int32_t* x,
+                std::int32_t* y, Q20SatCounts& sat) noexcept {
+#if defined(OSELM_HAVE_AVX2_KERNELS)
+  if (simd_enabled()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = avx2::q20_dot(m + i * n, x, n, 0, sat);
+    }
+    return;
+  }
+#endif
+  scalar::q20_matvec(m, n, x, y, sat);
+}
+
+void q20_rank1_downdate(std::int32_t* p, std::size_t n,
+                        const std::int32_t* u, std::int32_t inv,
+                        std::int32_t* scaled_ws, Q20SatCounts& sat) noexcept {
+  OSELM_DISPATCH(q20_rank1_downdate, p, n, u, inv, scaled_ws, sat);
+}
+
+void q20_axpy(std::int32_t* y, std::int32_t a, const std::int32_t* x,
+              std::size_t n, Q20SatCounts& sat) noexcept {
+  OSELM_DISPATCH(q20_axpy, y, a, x, n, sat);
+}
+
+void q20_quantize(const double* src, std::int32_t* dst, std::size_t n,
+                  Q20SatCounts& sat) noexcept {
+  OSELM_DISPATCH(q20_quantize, src, dst, n, sat);
+}
+
+void q20_dequantize(const std::int32_t* src, double* dst,
+                    std::size_t n) noexcept {
+  OSELM_DISPATCH(q20_dequantize, src, dst, n);
+}
+
+#undef OSELM_DISPATCH
+
+}  // namespace oselm::linalg::kernels

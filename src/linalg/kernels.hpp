@@ -1,0 +1,216 @@
+// SIMD kernel layer for the OS-ELM hot paths.
+//
+// Every kernel has two implementations selected by a runtime dispatcher:
+//   * a portable scalar reference (the exact pre-SIMD semantics), and
+//   * an AVX2/FMA implementation compiled only when the toolchain supports
+//     `-mavx2 -mfma` (see src/CMakeLists.txt) and used only when the CPU
+//     reports both features at runtime.
+//
+// Dispatch rules:
+//   * `OSELM_SIMD=off|0|false|no` in the environment forces the scalar
+//     reference everywhere (debugging and exact-reference tests);
+//   * set_simd_enabled() overrides the environment for in-process A/B
+//     measurement (bench_train_path) and the kernel equivalence tests.
+//
+// Numerical contract:
+//   * double kernels: the AVX2 path fuses multiply-adds (FMA) and
+//     vector-reduces dot products, so results may differ from the scalar
+//     reference at the last few ulps (tests pin <= 1e-12 relative).
+//     Within ONE dispatch mode the kernels are mutually bit-consistent:
+//     `fused_act_dot` reproduces `act_combine` + `dot` exactly, and the
+//     backend prediction paths built on them stay bit-identical to each
+//     other (the backend-contract EXPECT_DOUBLE_EQ pins rely on this).
+//   * q20_* kernels: bit-exact against the scalar reference in BOTH
+//     modes, including the saturation counters — the rank-1 update and
+//     MAC loops mirror fixed::Q20 semantics (round-to-nearest multiply,
+//     per-step saturating accumulate). This is the FPGA fidelity
+//     contract: OSELM_SIMD never changes a fixed-point result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oselm::linalg::kernels {
+
+// ---------------------------------------------------------------------------
+// Dispatch control
+// ---------------------------------------------------------------------------
+
+/// True when an AVX2/FMA kernel set was compiled in AND this CPU supports
+/// it. Independent of the OSELM_SIMD flag.
+[[nodiscard]] bool simd_available() noexcept;
+
+/// True when the SIMD kernel set is active: available, not disabled via
+/// `OSELM_SIMD=off` (read once), and not overridden by set_simd_enabled().
+[[nodiscard]] bool simd_enabled() noexcept;
+
+/// Programmatic override of the environment flag (benches and tests that
+/// A/B both kernel sets in one process). Enabling is a no-op when no SIMD
+/// set is available. Not thread-safe against concurrent kernel calls —
+/// flip it only between measurement phases.
+void set_simd_enabled(bool enabled) noexcept;
+
+/// Drops any set_simd_enabled() override and returns to following the
+/// OSELM_SIMD environment flag — the correct "restore defaults" for code
+/// that toggled the dispatch temporarily.
+void reset_simd_override() noexcept;
+
+/// "avx2" or "scalar" — whichever set simd_enabled() resolves to.
+[[nodiscard]] const char* active_kernel_set() noexcept;
+
+// ---------------------------------------------------------------------------
+// Double-precision kernels
+// ---------------------------------------------------------------------------
+
+/// Hidden-layer activation, mirroring elm::Activation (kernels cannot
+/// depend on the elm layer; elm::kernel_act maps between the two).
+enum class Act { kReLU, kSigmoid, kTanh, kLinear };
+
+/// sum_i a[i] * b[i].
+[[nodiscard]] double dot(const double* a, const double* b,
+                         std::size_t n) noexcept;
+
+/// y[i] += a * x[i].
+void axpy(double* y, double a, const double* x, std::size_t n) noexcept;
+
+/// h[i] = act(h[i] + bias[i]) — the tail of the hidden-layer projection.
+void bias_activate(double* h, const double* bias, std::size_t n,
+                   Act act) noexcept;
+
+/// h_out[i] = act(shared[i] + code * last_row[i] + bias[i]) — the
+/// per-action rank-1 correction on a precomputed shared state projection.
+void act_combine(const double* shared, const double* last_row, double code,
+                 const double* bias, double* h_out, std::size_t n,
+                 Act act) noexcept;
+
+/// Fused act_combine + dot against the output weights:
+///   sum_i act(shared[i] + code*last_row[i] + bias[i]) * beta[i]
+/// Bit-identical to act_combine into a buffer followed by dot(buffer,
+/// beta) under the active dispatch mode.
+[[nodiscard]] double fused_act_dot(const double* shared,
+                                   const double* last_row, double code,
+                                   const double* bias, const double* beta,
+                                   std::size_t n, Act act) noexcept;
+
+/// Symmetric rank-1 update of a row-major n x n matrix:
+///   P <- (P - (u * inv) u^T) * p_scale
+/// Only the upper triangle is computed; the lower triangle is mirrored
+/// from it afterwards, so P is exactly symmetric on return. p_scale == 1
+/// takes the cheaper no-reinflation path (FOS-ELM lambda == 1).
+void sym_rank1_update(double* p, std::size_t n, const double* u, double inv,
+                      double p_scale) noexcept;
+
+// ---------------------------------------------------------------------------
+// Q20 fixed-point kernels (raw int32 words, fixed::Q20 semantics)
+// ---------------------------------------------------------------------------
+//
+// All q20_* kernels are bit-exact against fixed::Q20 operator arithmetic,
+// including saturation events, which are reported through Q20SatCounts so
+// the caller can fold them into fixed::overflow_stats(). The AVX2 paths
+// saturate in-line and fall back to the scalar reference for any vector
+// group that observed a saturation (rare), so values AND counts always
+// match the reference.
+
+struct Q20SatCounts {
+  std::uint64_t add = 0;         ///< add/sub saturations
+  std::uint64_t mul = 0;         ///< multiply saturations
+  std::uint64_t conversion = 0;  ///< double -> Q20 saturations
+};
+
+/// out[j] = [relu]( init[j] + sum_{i<rows} x[i] * a(i, j) ) for a
+/// row-major `rows x units` matrix — the single-MAC-unit hidden-layer
+/// dataflow (bias-first, features in index order, per-step saturation).
+void q20_hidden_mac(const std::int32_t* a, std::size_t rows,
+                    std::size_t units, const std::int32_t* x,
+                    const std::int32_t* init, std::int32_t* out, bool relu,
+                    Q20SatCounts& sat) noexcept;
+
+/// Sequential saturating dot with seed `init`:
+///   acc = init; for j: acc += a[j] * b[j]  (Q20 ops at every step).
+[[nodiscard]] std::int32_t q20_dot(const std::int32_t* a,
+                                   const std::int32_t* b, std::size_t n,
+                                   std::int32_t init,
+                                   Q20SatCounts& sat) noexcept;
+
+/// acc = 0; for j: acc += relu(shared[j] + code*last_row[j]) * beta[j]
+/// — the fused per-action activation + output MAC of the predict path.
+[[nodiscard]] std::int32_t q20_action_dot(const std::int32_t* shared,
+                                          const std::int32_t* last_row,
+                                          std::int32_t code,
+                                          const std::int32_t* beta,
+                                          std::size_t units,
+                                          Q20SatCounts& sat) noexcept;
+
+/// y[i] = q20_dot(row i of the row-major n x n matrix, x, n, 0).
+void q20_matvec(const std::int32_t* m, std::size_t n, const std::int32_t* x,
+                std::int32_t* y, Q20SatCounts& sat) noexcept;
+
+/// Rank-1 downdate P -= (u * inv) u^T:
+///   scaled[i] = u[i] * inv;  p(i, j) -= scaled[i] * u[j]
+/// `scaled_ws` is caller-owned scratch of length n (allocation-free).
+void q20_rank1_downdate(std::int32_t* p, std::size_t n,
+                        const std::int32_t* u, std::int32_t inv,
+                        std::int32_t* scaled_ws, Q20SatCounts& sat) noexcept;
+
+/// y[j] += a * x[j] (the beta update).
+void q20_axpy(std::int32_t* y, std::int32_t a, const std::int32_t* x,
+              std::size_t n, Q20SatCounts& sat) noexcept;
+
+/// dst[i] = Q20::from_double(src[i]) — round-to-nearest, saturating.
+void q20_quantize(const double* src, std::int32_t* dst, std::size_t n,
+                  Q20SatCounts& sat) noexcept;
+
+/// dst[i] = src[i] / 2^20 (exact — Q20 values are dyadic rationals).
+void q20_dequantize(const std::int32_t* src, double* dst,
+                    std::size_t n) noexcept;
+
+// ---------------------------------------------------------------------------
+// Scalar reference entry points (always the portable implementations,
+// regardless of dispatch state) — used by the kernel equivalence tests
+// and the bench_train_path baseline.
+// ---------------------------------------------------------------------------
+namespace scalar {
+
+[[nodiscard]] double dot(const double* a, const double* b,
+                         std::size_t n) noexcept;
+void axpy(double* y, double a, const double* x, std::size_t n) noexcept;
+void bias_activate(double* h, const double* bias, std::size_t n,
+                   Act act) noexcept;
+void act_combine(const double* shared, const double* last_row, double code,
+                 const double* bias, double* h_out, std::size_t n,
+                 Act act) noexcept;
+[[nodiscard]] double fused_act_dot(const double* shared,
+                                   const double* last_row, double code,
+                                   const double* bias, const double* beta,
+                                   std::size_t n, Act act) noexcept;
+void sym_rank1_update(double* p, std::size_t n, const double* u, double inv,
+                      double p_scale) noexcept;
+void q20_hidden_mac(const std::int32_t* a, std::size_t rows,
+                    std::size_t units, const std::int32_t* x,
+                    const std::int32_t* init, std::int32_t* out, bool relu,
+                    Q20SatCounts& sat) noexcept;
+[[nodiscard]] std::int32_t q20_dot(const std::int32_t* a,
+                                   const std::int32_t* b, std::size_t n,
+                                   std::int32_t init,
+                                   Q20SatCounts& sat) noexcept;
+[[nodiscard]] std::int32_t q20_action_dot(const std::int32_t* shared,
+                                          const std::int32_t* last_row,
+                                          std::int32_t code,
+                                          const std::int32_t* beta,
+                                          std::size_t units,
+                                          Q20SatCounts& sat) noexcept;
+void q20_matvec(const std::int32_t* m, std::size_t n, const std::int32_t* x,
+                std::int32_t* y, Q20SatCounts& sat) noexcept;
+void q20_rank1_downdate(std::int32_t* p, std::size_t n,
+                        const std::int32_t* u, std::int32_t inv,
+                        std::int32_t* scaled_ws, Q20SatCounts& sat) noexcept;
+void q20_axpy(std::int32_t* y, std::int32_t a, const std::int32_t* x,
+              std::size_t n, Q20SatCounts& sat) noexcept;
+void q20_quantize(const double* src, std::int32_t* dst, std::size_t n,
+                  Q20SatCounts& sat) noexcept;
+void q20_dequantize(const std::int32_t* src, double* dst,
+                    std::size_t n) noexcept;
+
+}  // namespace scalar
+
+}  // namespace oselm::linalg::kernels

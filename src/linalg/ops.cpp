@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "linalg/kernels.hpp"
+
 #if defined(OSELM_HAVE_OPENMP)
 #include <omp.h>
 #endif
@@ -122,10 +124,7 @@ void matvec_into(const MatD& a, const VecD& x, VecD& y) {
   require(a.cols() == x.size(), "matvec: dimension mismatch");
   y.assign(a.rows(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.row_ptr(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    y[i] = acc;
+    y[i] = kernels::dot(a.row_ptr(i), x.data(), a.cols());
   }
 }
 
@@ -185,9 +184,7 @@ MatD outer(const VecD& u, const VecD& v) {
 
 double dot(const VecD& u, const VecD& v) {
   require(u.size() == v.size(), "dot: length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < u.size(); ++i) acc += u[i] * v[i];
-  return acc;
+  return kernels::dot(u.data(), v.data(), u.size());
 }
 
 double norm2(const VecD& v) { return std::sqrt(dot(v, v)); }

@@ -1,19 +1,27 @@
 #include "rl/serving.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "env/registry.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace oselm::rl {
 
-QServer::QServer(OsElmQBackendPtr backend, SimplifiedOutputModel model)
+QServer::QServer(OsElmQBackendPtr backend, SimplifiedOutputModel model,
+                 std::size_t env_threads)
     : backend_(std::move(backend)),
       model_(model),
       action_codes_(model.action_count(), 0.0),
       scratch_sa_(model.input_dim(), 0.0),
-      q_ws_(model.action_count(), 0.0) {
+      q_ws_(model.action_count(), 0.0),
+      env_threads_(env_threads != 0
+                       ? env_threads
+                       : std::max<std::size_t>(
+                             1, std::thread::hardware_concurrency())) {
   if (!backend_) throw std::invalid_argument("QServer: null backend");
   if (backend_->input_dim() != model_.input_dim()) {
     throw std::invalid_argument(
@@ -40,8 +48,8 @@ std::size_t QServer::add_session(const ServingSessionSpec& spec) {
         "QServer::add_session: environment '" + spec.env_id +
         "' does not match the server's (state, action) encoding");
   }
-  sessions_.emplace_back(spec, std::move(environment),
-                         model_.action_count());
+  sessions_.emplace_back(spec, std::move(environment), model_.action_count(),
+                         model_.input_dim());
   sessions_.back().buffer.reserve(backend_->hidden_units());
   return sessions_.size() - 1;
 }
@@ -158,6 +166,14 @@ QServerResult QServer::run() {
   linalg::MatD states_ws;
   linalg::MatD q_multi_ws;
 
+  // Worker pool for the env phase; a single session (or env_threads == 1)
+  // steps inline — spinning up workers would only add latency.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (env_threads_ > 1 && sessions_.size() > 1) {
+    pool = std::make_unique<util::ThreadPool>(
+        std::min(env_threads_, sessions_.size()));
+  }
+
   const auto coalesced_predict = [&](QNetwork which,
                                      const auto& state_of) {
     // Batch sizes are stable across most ticks; only reallocate the
@@ -215,9 +231,11 @@ QServerResult QServer::run() {
       }
     }
 
-    // Phase B — environment step (per-session env time, like the trainer).
-    for (Session& s : sessions_) {
-      if (!s.active) continue;
+    // Phase B — environment step + (state, action) encoding, sharded
+    // across the pool. Every session touches only its own environment,
+    // RNG, counters, and `sa` scratch here, so the result is identical
+    // for any thread count and any scheduling order.
+    const auto step_session = [this](Session& s) {
       env::StepResult step;
       {
         util::WallTimer env_timer;
@@ -229,6 +247,18 @@ QServerResult QServer::run() {
       s.transition = nn::Transition{s.state, s.action, step.reward,
                                     step.observation, step.done()};
       s.state = step.observation;
+      // Pre-encode the row a sequential update would train on; Phase C
+      // consumes it without touching the shared scratch.
+      model_.encode_into(s.transition.state, s.action, s.sa);
+    };
+    if (pool) {
+      pool->parallel_for(sessions_.size(), [&](std::size_t i) {
+        if (sessions_[i].active) step_session(sessions_[i]);
+      });
+    } else {
+      for (Session& s : sessions_) {
+        if (s.active) step_session(s);
+      }
     }
 
     // Phase C — observe. Pre-init sessions buffer toward the Eq. 7/8
@@ -285,9 +315,7 @@ QServerResult QServer::run() {
           target += s.spec.agent.gamma * best_next;
         }
         target = clip_target(s, target);
-        model_.encode_into(s.transition.state, s.transition.action,
-                           scratch_sa_);
-        backend_->seq_train(scratch_sa_, target);
+        backend_->seq_train(s.sa, target);  // encoded in the env phase
       }
     }
 

@@ -20,6 +20,12 @@
 // handshake for all sessions (CycleModel::predict_multi_*), which is what
 // bench_serving measures against N independent agents.
 //
+// Each tick's environment stepping + (state, action) encoding is sharded
+// across a util::ThreadPool (per-session envs/RNGs/scratch make that safe
+// and scheduling-independent); the shared backend's coalesced predict and
+// sequential-train calls stay serialized in session order, so the batch
+// composition per tick is identical to the serial server.
+//
 // Semantics: the per-session control flow replicates rl::OsElmQAgent +
 // rl::run_training step for step (same rng draw order, same lowest-index
 // tie-break, same §4.3 reset and UPDATE_STEP rules), so a QServer with a
@@ -77,7 +83,17 @@ class QServer {
   /// `backend` is shared by every session; its ledger aggregates all
   /// backend time. `model` fixes the (state, action) encoding — every
   /// session's environment must match its dimensions.
-  QServer(OsElmQBackendPtr backend, SimplifiedOutputModel model);
+  ///
+  /// `env_threads` sizes the worker pool that shards each tick's
+  /// environment stepping + (state, action) encoding across sessions
+  /// (0 = hardware concurrency, 1 = serial). Only the env phase is
+  /// parallel — every session touches exclusively its own environment,
+  /// RNG, and scratch there, so results are identical for ANY thread
+  /// count; the shared backend's coalesced predict/train calls stay
+  /// serialized in session order, preserving the exact per-tick batch
+  /// composition the determinism pins rely on.
+  QServer(OsElmQBackendPtr backend, SimplifiedOutputModel model,
+          std::size_t env_threads = 0);
 
   /// Registers a session (environment created via env::make_environment).
   /// Returns the session index. Throws std::invalid_argument when the
@@ -123,14 +139,17 @@ class QServer {
     bool wants_greedy = false;
     bool wants_update = false;
     nn::Transition transition;
+    linalg::VecD sa;  ///< per-session (state, action) encoding — written in
+                      ///< the parallel env phase, consumed by seq_train
 
     Session(ServingSessionSpec s, env::EnvironmentPtr e,
-            std::size_t action_count)
+            std::size_t action_count, std::size_t input_dim)
         : spec(std::move(s)),
           env(std::move(e)),
           policy(spec.agent.epsilon_greedy, action_count),
           rng(spec.agent_seed),
-          window(spec.trainer.solved_window) {}
+          window(spec.trainer.solved_window),
+          sa(input_dim, 0.0) {}
   };
 
   void begin_episode(Session& s);
@@ -151,6 +170,7 @@ class QServer {
   linalg::VecD action_codes_;
   linalg::VecD scratch_sa_;
   linalg::VecD q_ws_;
+  std::size_t env_threads_;  ///< resolved worker count for the env phase
   bool ran_ = false;
 };
 

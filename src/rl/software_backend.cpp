@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
 #include "util/timer.hpp"
 
@@ -33,11 +34,12 @@ void SoftwareOsElmBackend::initialize() {
 
 double SoftwareOsElmBackend::output_dot(const linalg::VecD& h,
                                         QNetwork which) const noexcept {
+  // beta is (units x 1), i.e. one contiguous column; the kernel dot uses
+  // the same reduction structure as fused_act_dot, keeping predict_main
+  // bit-identical to the batched predict_actions path.
   const linalg::MatD& beta =
       which == QNetwork::kMain ? net_.beta() : beta_target_;
-  double q = 0.0;
-  for (std::size_t i = 0; i < h.size(); ++i) q += h[i] * beta(i, 0);
-  return q;
+  return linalg::kernels::dot(h.data(), beta.data(), h.size());
 }
 
 double SoftwareOsElmBackend::predict_main(const linalg::VecD& sa) {
@@ -73,40 +75,27 @@ void SoftwareOsElmBackend::predict_actions_into(
   const linalg::VecD& bias = net_.bias();
   const linalg::MatD& beta =
       which == QNetwork::kMain ? net_.beta() : beta_target_;
-  const elm::Activation activation = config_.elm.activation;
+  const linalg::kernels::Act act = elm::kernel_act(config_.elm.activation);
 
-  // Shared state projection alpha_state^T s, accumulated in the same
-  // feature order (and with the same skip of exact zeros) as
-  // Elm::hidden_into, so every per-action result is bit-identical to the
+  // Shared state projection alpha_state^T s, accumulated with the same
+  // axpy kernel (and the same skip of exact zeros) as Elm::hidden_into,
+  // so every per-action result is bit-identical to the
   // predict_main/predict_target loop.
   shared_ws_.assign(units, 0.0);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     const double xi = state[i];
     if (xi == 0.0) continue;
-    const double* row = alpha.row_ptr(i);
-    for (std::size_t j = 0; j < units; ++j) shared_ws_[j] += xi * row[j];
+    linalg::kernels::axpy(shared_ws_.data(), xi, alpha.row_ptr(i), units);
   }
 
-  // Per-action rank-1 correction: the encoded inputs differ only in the
-  // trailing action feature, whose weights are alpha's last row.
+  // Per-action rank-1 correction on alpha's last row, fused with the
+  // activation and the output dot (same reduction structure as the
+  // output_dot kernel — the bit-exactness contract of predict_actions).
   const double* last_row = alpha.row_ptr(n - 1);
   for (std::size_t a = 0; a < action_codes.size(); ++a) {
-    const double code = action_codes[a];
-    double q = 0.0;
-    if (code == 0.0) {
-      for (std::size_t j = 0; j < units; ++j) {
-        const double h = elm::apply_activation(activation,
-                                               shared_ws_[j] + bias[j]);
-        q += h * beta(j, 0);
-      }
-    } else {
-      for (std::size_t j = 0; j < units; ++j) {
-        const double h = elm::apply_activation(
-            activation, shared_ws_[j] + code * last_row[j] + bias[j]);
-        q += h * beta(j, 0);
-      }
-    }
-    q_out[a] = q;
+    q_out[a] = linalg::kernels::fused_act_dot(shared_ws_.data(), last_row,
+                                              action_codes[a], bias.data(),
+                                              beta.data(), units, act);
   }
 }
 

@@ -39,19 +39,47 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::vector<std::future<void>> futures;
   const std::size_t lanes = std::min(count, workers_.size());
   futures.reserve(lanes);
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    futures.push_back(submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        body(i);
-      }
-    }));
+  // Drain EVERY spawned lane before leaving this scope, no matter how it
+  // is left — the lane lambdas capture this frame's locals by reference,
+  // so returning (or throwing, including a submit() allocation failure
+  // mid-spawn) while a lane still runs would leave it reading freed
+  // stack memory. The first exception wins and is rethrown only after
+  // all lanes finished.
+  std::exception_ptr first;
+  try {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      futures.push_back(submit([&] {
+        for (;;) {
+          // Once any lane threw, stop claiming iterations: the remaining
+          // work would be discarded with the exception anyway.
+          if (failed.load(std::memory_order_relaxed)) return;
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          try {
+            body(i);
+          } catch (...) {
+            failed.store(true, std::memory_order_relaxed);
+            throw;
+          }
+        }
+      }));
+    }
+  } catch (...) {
+    failed.store(true, std::memory_order_relaxed);
+    first = std::current_exception();
   }
-  for (auto& f : futures) f.get();  // get() rethrows task exceptions
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 void ThreadPool::worker_loop() {

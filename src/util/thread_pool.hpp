@@ -31,8 +31,9 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Runs body(i) for i in [0, count) across the pool and blocks until all
-  /// iterations complete. Exceptions from iterations are rethrown (first
-  /// one wins).
+  /// iterations complete. A throwing iteration stops further iterations
+  /// from being claimed; every lane is drained before the first exception
+  /// is rethrown, so no worker outlives the call frame it captured.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,428 @@
+// Kernel-layer equivalence suite: every dispatched kernel against the
+// scalar reference, over remainder-lane sizes (1, 7, 8, 9, 31, ...) and
+// unaligned spans.
+//
+//   * double kernels: <= 1e-12 relative (the AVX2 set fuses multiply-adds
+//     and vector-reduces dot products, so the last ulps may differ);
+//     fused_act_dot must additionally reproduce act_combine + dot
+//     BIT-exactly under whichever mode is active — that identity is what
+//     keeps the backend's predict paths mutually bit-identical.
+//   * q20 kernels: bit-exact in values AND saturation counters, including
+//     inputs engineered to saturate (the FPGA fidelity contract).
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::linalg::kernels {
+namespace {
+
+const std::size_t kSizes[] = {1, 7, 8, 9, 31, 64, 100};
+
+/// Forces SIMD dispatch for the scope; restores the available-default on
+/// exit (each test file is its own binary, so no cross-suite leakage).
+class SimdGuard {
+ public:
+  SimdGuard() { set_simd_enabled(true); }
+  ~SimdGuard() { reset_simd_override(); }
+};
+
+std::vector<double> random_vec(std::size_t n, util::Rng& rng, double lo = -2.0,
+                               double hi = 2.0) {
+  std::vector<double> v(n);
+  rng.fill_uniform(v, lo, hi);
+  return v;
+}
+
+/// Unaligned view: copies `v` into a buffer offset by one double so the
+/// data pointer is 8-byte- but never 32-byte-aligned.
+struct Unaligned {
+  std::vector<double> storage;
+  double* data;
+  explicit Unaligned(const std::vector<double>& v)
+      : storage(v.size() + 1, 0.0) {
+    std::copy(v.begin(), v.end(), storage.begin() + 1);
+    data = storage.data() + 1;
+  }
+};
+
+void expect_close(double a, double b, const char* what, std::size_t n) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  EXPECT_LE(std::abs(a - b), 1e-12 * scale) << what << " n=" << n;
+}
+
+TEST(KernelDispatch, ReportsAConsistentState) {
+  if (!simd_available()) {
+    EXPECT_FALSE(simd_enabled());
+    GTEST_SKIP() << "no SIMD kernel set on this host";
+  }
+  SimdGuard guard;
+  EXPECT_TRUE(simd_enabled());
+  EXPECT_STREQ(active_kernel_set(), "avx2");
+  set_simd_enabled(false);
+  EXPECT_FALSE(simd_enabled());
+  EXPECT_STREQ(active_kernel_set(), "scalar");
+}
+
+TEST(KernelDot, MatchesScalarReference) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD kernel set";
+  SimdGuard guard;
+  util::Rng rng(1);
+  for (const std::size_t n : kSizes) {
+    const Unaligned a(random_vec(n, rng));
+    const Unaligned b(random_vec(n, rng));
+    expect_close(dot(a.data, b.data, n), scalar::dot(a.data, b.data, n),
+                 "dot", n);
+  }
+}
+
+TEST(KernelAxpy, MatchesScalarReference) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD kernel set";
+  SimdGuard guard;
+  util::Rng rng(2);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> x = random_vec(n, rng);
+    const std::vector<double> y0 = random_vec(n, rng);
+    Unaligned xs(x);
+    Unaligned ys(y0);
+    std::vector<double> y_ref = y0;
+    axpy(ys.data, 0.7321, xs.data, n);
+    scalar::axpy(y_ref.data(), 0.7321, x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      expect_close(ys.data[i], y_ref[i], "axpy", n);
+    }
+  }
+}
+
+TEST(KernelBiasActivate, MatchesScalarReferenceForEveryActivation) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD kernel set";
+  SimdGuard guard;
+  util::Rng rng(3);
+  for (const Act act :
+       {Act::kReLU, Act::kSigmoid, Act::kTanh, Act::kLinear}) {
+    for (const std::size_t n : kSizes) {
+      const std::vector<double> h0 = random_vec(n, rng);
+      const std::vector<double> bias = random_vec(n, rng);
+      Unaligned hs(h0);
+      std::vector<double> h_ref = h0;
+      bias_activate(hs.data, bias.data(), n, act);
+      scalar::bias_activate(h_ref.data(), bias.data(), n, act);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_close(hs.data[i], h_ref[i], "bias_activate", n);
+      }
+    }
+  }
+}
+
+TEST(KernelActCombine, MatchesScalarReferenceForEveryActivation) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD kernel set";
+  SimdGuard guard;
+  util::Rng rng(4);
+  for (const Act act :
+       {Act::kReLU, Act::kSigmoid, Act::kTanh, Act::kLinear}) {
+    for (const std::size_t n : kSizes) {
+      const Unaligned shared(random_vec(n, rng));
+      const Unaligned last(random_vec(n, rng));
+      const std::vector<double> bias = random_vec(n, rng);
+      std::vector<double> h_simd(n, 0.0);
+      std::vector<double> h_ref(n, 0.0);
+      act_combine(shared.data, last.data, -0.37, bias.data(), h_simd.data(),
+                  n, act);
+      scalar::act_combine(shared.data, last.data, -0.37, bias.data(),
+                          h_ref.data(), n, act);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_close(h_simd[i], h_ref[i], "act_combine", n);
+      }
+    }
+  }
+}
+
+TEST(KernelFusedActDot, MatchesScalarReference) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD kernel set";
+  SimdGuard guard;
+  util::Rng rng(5);
+  for (const Act act :
+       {Act::kReLU, Act::kSigmoid, Act::kTanh, Act::kLinear}) {
+    for (const std::size_t n : kSizes) {
+      const Unaligned shared(random_vec(n, rng));
+      const Unaligned last(random_vec(n, rng));
+      const std::vector<double> bias = random_vec(n, rng);
+      const Unaligned beta(random_vec(n, rng));
+      expect_close(
+          fused_act_dot(shared.data, last.data, 0.81, bias.data(), beta.data,
+                        n, act),
+          scalar::fused_act_dot(shared.data, last.data, 0.81, bias.data(),
+                                beta.data, n, act),
+          "fused_act_dot", n);
+    }
+  }
+}
+
+TEST(KernelFusedActDot, EqualsActCombinePlusDotBitExactInBothModes) {
+  // The identity the backend-contract EXPECT_DOUBLE_EQ pins stand on:
+  // within one dispatch mode, fusing must not change a single bit.
+  util::Rng rng(6);
+  for (const bool simd : {false, true}) {
+    if (simd && !simd_available()) continue;
+    set_simd_enabled(simd);
+    for (const Act act :
+         {Act::kReLU, Act::kSigmoid, Act::kTanh, Act::kLinear}) {
+      for (const std::size_t n : kSizes) {
+        const std::vector<double> shared = random_vec(n, rng);
+        const std::vector<double> last = random_vec(n, rng);
+        const std::vector<double> bias = random_vec(n, rng);
+        const std::vector<double> beta = random_vec(n, rng);
+        std::vector<double> h(n, 0.0);
+        act_combine(shared.data(), last.data(), 1.0, bias.data(), h.data(),
+                    n, act);
+        const double staged = dot(h.data(), beta.data(), n);
+        const double fused = fused_act_dot(shared.data(), last.data(), 1.0,
+                                           bias.data(), beta.data(), n, act);
+        EXPECT_EQ(fused, staged)
+            << "mode=" << (simd ? "avx2" : "scalar") << " n=" << n;
+      }
+    }
+  }
+  reset_simd_override();
+}
+
+TEST(KernelSymRank1, MatchesScalarReferenceAndStaysSymmetric) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD kernel set";
+  SimdGuard guard;
+  util::Rng rng(7);
+  for (const std::size_t n : kSizes) {
+    for (const double p_scale : {1.0, 1.0 / 0.97}) {
+      // Build a symmetric P = B B^T + I.
+      std::vector<double> b = random_vec(n * n, rng, -0.5, 0.5);
+      std::vector<double> p(n * n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          double acc = i == j ? 1.0 : 0.0;
+          for (std::size_t k = 0; k < n; ++k) {
+            acc += b[i * n + k] * b[j * n + k];
+          }
+          p[i * n + j] = acc;
+        }
+      }
+      const std::vector<double> u = random_vec(n, rng);
+      std::vector<double> p_simd = p;
+      std::vector<double> p_ref = p;
+      sym_rank1_update(p_simd.data(), n, u.data(), 0.31, p_scale);
+      scalar::sym_rank1_update(p_ref.data(), n, u.data(), 0.31, p_scale);
+      for (std::size_t i = 0; i < n * n; ++i) {
+        expect_close(p_simd[i], p_ref[i], "sym_rank1_update", n);
+      }
+      // Mirroring makes symmetry exact, not just approximate.
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          EXPECT_EQ(p_simd[i * n + j], p_simd[j * n + i]);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Q20 kernels: bit-exact, counters included
+// ---------------------------------------------------------------------------
+
+std::vector<std::int32_t> random_q20(std::size_t n, util::Rng& rng,
+                                     double lo = -2.0, double hi = 2.0) {
+  std::vector<std::int32_t> v(n);
+  for (auto& w : v) w = fixed::Q20::from_double(rng.uniform(lo, hi)).raw();
+  return v;
+}
+
+/// Values near the Q20 limits so multiplies and accumulations saturate.
+std::vector<std::int32_t> extreme_q20(std::size_t n, util::Rng& rng) {
+  std::vector<std::int32_t> v(n);
+  for (auto& w : v) {
+    const double huge = rng.uniform(900.0, 1023.0);  // Q20 max ~2047.99
+    w = fixed::Q20::from_double(rng.bernoulli(0.5) ? huge : -huge).raw();
+  }
+  return v;
+}
+
+void expect_sat_eq(const Q20SatCounts& a, const Q20SatCounts& b,
+                   const char* what, std::size_t n) {
+  EXPECT_EQ(a.add, b.add) << what << " add n=" << n;
+  EXPECT_EQ(a.mul, b.mul) << what << " mul n=" << n;
+  EXPECT_EQ(a.conversion, b.conversion) << what << " conversion n=" << n;
+}
+
+class Q20KernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd_available()) GTEST_SKIP() << "no SIMD kernel set";
+    set_simd_enabled(true);
+  }
+  void TearDown() override { reset_simd_override(); }
+};
+
+TEST_F(Q20KernelTest, DotIsBitExactIncludingSaturation) {
+  util::Rng rng(10);
+  for (const std::size_t n : kSizes) {
+    for (const bool extreme : {false, true}) {
+      const auto a = extreme ? extreme_q20(n, rng) : random_q20(n, rng);
+      const auto b = extreme ? extreme_q20(n, rng) : random_q20(n, rng);
+      Q20SatCounts sat_simd;
+      Q20SatCounts sat_ref;
+      const std::int32_t got = q20_dot(a.data(), b.data(), n, 12345, sat_simd);
+      const std::int32_t want =
+          scalar::q20_dot(a.data(), b.data(), n, 12345, sat_ref);
+      EXPECT_EQ(got, want) << "n=" << n << " extreme=" << extreme;
+      expect_sat_eq(sat_simd, sat_ref, "q20_dot", n);
+    }
+  }
+}
+
+TEST_F(Q20KernelTest, HiddenMacIsBitExactIncludingSaturation) {
+  util::Rng rng(11);
+  for (const std::size_t units : kSizes) {
+    for (const std::size_t rows : {std::size_t{1}, std::size_t{5}}) {
+      for (const bool extreme : {false, true}) {
+        const auto a = extreme ? extreme_q20(rows * units, rng)
+                               : random_q20(rows * units, rng);
+        const auto x = extreme ? extreme_q20(rows, rng)
+                               : random_q20(rows, rng);
+        const auto init = random_q20(units, rng);
+        for (const bool relu : {false, true}) {
+          std::vector<std::int32_t> out_simd(units, 0);
+          std::vector<std::int32_t> out_ref(units, 0);
+          Q20SatCounts sat_simd;
+          Q20SatCounts sat_ref;
+          q20_hidden_mac(a.data(), rows, units, x.data(), init.data(),
+                         out_simd.data(), relu, sat_simd);
+          scalar::q20_hidden_mac(a.data(), rows, units, x.data(), init.data(),
+                                 out_ref.data(), relu, sat_ref);
+          EXPECT_EQ(out_simd, out_ref)
+              << "units=" << units << " rows=" << rows
+              << " extreme=" << extreme << " relu=" << relu;
+          expect_sat_eq(sat_simd, sat_ref, "q20_hidden_mac", units);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(Q20KernelTest, ActionDotIsBitExactIncludingSaturation) {
+  util::Rng rng(12);
+  for (const std::size_t n : kSizes) {
+    for (const bool extreme : {false, true}) {
+      const auto shared = extreme ? extreme_q20(n, rng) : random_q20(n, rng);
+      const auto last = extreme ? extreme_q20(n, rng) : random_q20(n, rng);
+      const auto beta = extreme ? extreme_q20(n, rng) : random_q20(n, rng);
+      const std::int32_t code = fixed::Q20::from_double(-1.0).raw();
+      Q20SatCounts sat_simd;
+      Q20SatCounts sat_ref;
+      const std::int32_t got = q20_action_dot(shared.data(), last.data(),
+                                              code, beta.data(), n, sat_simd);
+      const std::int32_t want = scalar::q20_action_dot(
+          shared.data(), last.data(), code, beta.data(), n, sat_ref);
+      EXPECT_EQ(got, want) << "n=" << n << " extreme=" << extreme;
+      expect_sat_eq(sat_simd, sat_ref, "q20_action_dot", n);
+    }
+  }
+}
+
+TEST_F(Q20KernelTest, MatvecIsBitExact) {
+  util::Rng rng(13);
+  for (const std::size_t n : kSizes) {
+    const auto m = random_q20(n * n, rng);
+    const auto x = random_q20(n, rng);
+    std::vector<std::int32_t> y_simd(n, 0);
+    std::vector<std::int32_t> y_ref(n, 0);
+    Q20SatCounts sat_simd;
+    Q20SatCounts sat_ref;
+    q20_matvec(m.data(), n, x.data(), y_simd.data(), sat_simd);
+    scalar::q20_matvec(m.data(), n, x.data(), y_ref.data(), sat_ref);
+    EXPECT_EQ(y_simd, y_ref) << "n=" << n;
+    expect_sat_eq(sat_simd, sat_ref, "q20_matvec", n);
+  }
+}
+
+TEST_F(Q20KernelTest, Rank1DowndateIsBitExactIncludingSaturation) {
+  util::Rng rng(14);
+  for (const std::size_t n : kSizes) {
+    for (const bool extreme : {false, true}) {
+      const auto p0 = extreme ? extreme_q20(n * n, rng)
+                              : random_q20(n * n, rng);
+      const auto u = extreme ? extreme_q20(n, rng) : random_q20(n, rng);
+      const std::int32_t inv = fixed::Q20::from_double(0.493).raw();
+      std::vector<std::int32_t> p_simd = p0;
+      std::vector<std::int32_t> p_ref = p0;
+      std::vector<std::int32_t> ws_simd(n, 0);
+      std::vector<std::int32_t> ws_ref(n, 0);
+      Q20SatCounts sat_simd;
+      Q20SatCounts sat_ref;
+      q20_rank1_downdate(p_simd.data(), n, u.data(), inv, ws_simd.data(),
+                         sat_simd);
+      scalar::q20_rank1_downdate(p_ref.data(), n, u.data(), inv,
+                                 ws_ref.data(), sat_ref);
+      EXPECT_EQ(p_simd, p_ref) << "n=" << n << " extreme=" << extreme;
+      expect_sat_eq(sat_simd, sat_ref, "q20_rank1_downdate", n);
+    }
+  }
+}
+
+TEST_F(Q20KernelTest, AxpyIsBitExactIncludingSaturation) {
+  util::Rng rng(15);
+  for (const std::size_t n : kSizes) {
+    for (const bool extreme : {false, true}) {
+      const auto x = extreme ? extreme_q20(n, rng) : random_q20(n, rng);
+      const auto y0 = extreme ? extreme_q20(n, rng) : random_q20(n, rng);
+      const std::int32_t a =
+          fixed::Q20::from_double(extreme ? 800.0 : 0.7).raw();
+      std::vector<std::int32_t> y_simd = y0;
+      std::vector<std::int32_t> y_ref = y0;
+      Q20SatCounts sat_simd;
+      Q20SatCounts sat_ref;
+      q20_axpy(y_simd.data(), a, x.data(), n, sat_simd);
+      scalar::q20_axpy(y_ref.data(), a, x.data(), n, sat_ref);
+      EXPECT_EQ(y_simd, y_ref) << "n=" << n << " extreme=" << extreme;
+      expect_sat_eq(sat_simd, sat_ref, "q20_axpy", n);
+    }
+  }
+}
+
+TEST_F(Q20KernelTest, QuantizeRoundTripIsBitExactIncludingSaturation) {
+  util::Rng rng(16);
+  for (const std::size_t n : kSizes) {
+    std::vector<double> src(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix healthy values with ones beyond the Q20 range (|x| < 2048).
+      src[i] = rng.bernoulli(0.25) ? rng.uniform(-9000.0, 9000.0)
+                                   : rng.uniform(-2.0, 2.0);
+    }
+    std::vector<std::int32_t> q_simd(n, 0);
+    std::vector<std::int32_t> q_ref(n, 0);
+    Q20SatCounts sat_simd;
+    Q20SatCounts sat_ref;
+    q20_quantize(src.data(), q_simd.data(), n, sat_simd);
+    scalar::q20_quantize(src.data(), q_ref.data(), n, sat_ref);
+    EXPECT_EQ(q_simd, q_ref) << "n=" << n;
+    expect_sat_eq(sat_simd, sat_ref, "q20_quantize", n);
+    // Quantize must agree with fixed::Q20::from_double itself.
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(q_ref[i], fixed::Q20::from_double(src[i]).raw()) << i;
+    }
+
+    std::vector<double> d_simd(n, 0.0);
+    std::vector<double> d_ref(n, 0.0);
+    q20_dequantize(q_simd.data(), d_simd.data(), n);
+    scalar::q20_dequantize(q_ref.data(), d_ref.data(), n);
+    EXPECT_EQ(d_simd, d_ref) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(d_ref[i], fixed::Q20::from_raw(q_ref[i]).to_double()) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oselm::linalg::kernels

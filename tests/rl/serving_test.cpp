@@ -184,6 +184,51 @@ TEST(QServer, MultiSessionRunIsDeterministic) {
   }
 }
 
+TEST(QServer, ParallelEnvSteppingMatchesSerialExactly) {
+  // The env phase shards across a ThreadPool; per-session envs, RNGs, and
+  // scratch make the result independent of thread count and scheduling.
+  // Pin the full trajectories of a 4-thread server (more lanes than this
+  // host may have cores — oversubscription is the stress) against the
+  // serial server, for both registered backends.
+  for (const std::string& backend_id : registered_backends()) {
+    const auto run_with_threads = [&](std::size_t env_threads) {
+      QServer server(make_backend(backend_id, backend_config(77)),
+                     SimplifiedOutputModel(4, 2), env_threads);
+      for (std::size_t i = 0; i < 3; ++i) {
+        ServingSessionSpec spec = cartpole_spec(500 + i, 130 + i);
+        spec.trainer.max_episodes = 10;
+        spec.trainer.reset_interval = 0;
+        server.add_session(spec);
+      }
+      return server.run();
+    };
+    const QServerResult serial = run_with_threads(1);
+    const QServerResult threaded = run_with_threads(4);
+    ASSERT_EQ(serial.sessions.size(), threaded.sessions.size()) << backend_id;
+    EXPECT_EQ(serial.ticks, threaded.ticks) << backend_id;
+    EXPECT_EQ(serial.coalesced_calls, threaded.coalesced_calls) << backend_id;
+    EXPECT_EQ(serial.coalesced_rows, threaded.coalesced_rows) << backend_id;
+    for (std::size_t i = 0; i < serial.sessions.size(); ++i) {
+      EXPECT_EQ(serial.sessions[i].episode_steps,
+                threaded.sessions[i].episode_steps)
+          << backend_id << " session " << i;
+      EXPECT_EQ(serial.sessions[i].episode_returns,
+                threaded.sessions[i].episode_returns)
+          << backend_id << " session " << i;
+      EXPECT_EQ(serial.sessions[i].total_steps,
+                threaded.sessions[i].total_steps)
+          << backend_id << " session " << i;
+    }
+    for (const util::OpCategory cat :
+         {util::OpCategory::kPredictInit, util::OpCategory::kPredictSeq,
+          util::OpCategory::kInitTrain, util::OpCategory::kSeqTrain}) {
+      EXPECT_EQ(serial.breakdown.invocations(cat),
+                threaded.breakdown.invocations(cat))
+          << backend_id;
+    }
+  }
+}
+
 TEST(QServer, SharedBackendInitTrainsOnceAcrossSessions) {
   // With N sessions buffering toward one shared network, exactly one
   // session fills the Eq. 7/8 chunk; everyone else switches straight to

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace oselm::util {
@@ -73,6 +75,83 @@ TEST(ThreadPool, ParallelForRethrowsBodyException) {
                           if (i == 3) throw std::logic_error("bad index");
                         }),
       std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
+  // Only `count` lanes are spawned; the idle workers must not deadlock
+  // the drain loop or double-visit an index.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.parallel_for(3, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, ParallelForDrainsAllLanesBeforeRethrowing) {
+  // Regression: the old implementation rethrew from the FIRST future and
+  // unwound while other lanes were still executing the body — which
+  // captures parallel_for's stack frame by reference (use-after-free
+  // under ASan). Every lane must have finished by the time the exception
+  // escapes, which the in_flight counter observes.
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_seen{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          const int now = ++in_flight;
+                          int seen = max_seen.load();
+                          while (now > seen &&
+                                 !max_seen.compare_exchange_weak(seen, now)) {
+                          }
+                          if (i == 0) {
+                            --in_flight;
+                            throw std::runtime_error("lane failure");
+                          }
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(1));
+                          --in_flight;
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(in_flight, 0) << "a lane outlived parallel_for";
+}
+
+TEST(ThreadPool, ParallelForStopsClaimingAfterAFailure) {
+  // One poisoned index early in the range: lanes stop pulling new work
+  // once the failure is observed, so a 1e6-item sweep does not run to
+  // completion just to be discarded.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.parallel_for(1000000,
+                                 [&](std::size_t i) {
+                                   ++executed;
+                                   if (i == 0) {
+                                     throw std::logic_error("poisoned");
+                                   }
+                                 }),
+               std::logic_error);
+  EXPECT_LT(executed.load(), 1000000u);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAParallelForException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(8, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 16);
+  pool.submit([&] { ++count; }).get();
+  EXPECT_EQ(count, 17);
 }
 
 TEST(ThreadPool, ManySmallTasksDrainCleanly) {
