@@ -1,0 +1,114 @@
+// Asynchronous multi-tenant serving: train a shared Q-network once, then
+// serve N episodic sessions with heterogeneous environment latency
+// through rl::AsyncQServer — each session at its own pace, greedy
+// evaluations coalesced into cross-session predict batches by the
+// continuous-batching thread.
+//
+//   ./async_serving [sessions] [fast_us] [slow_us] [episodes]
+//
+// Defaults keep the run around a second so CI smoke-runs it alongside
+// quickstart. Exits non-zero if any session fails or is cut short.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rl/async_server.hpp"
+#include "rl/backend_registry.hpp"
+#include "util/latency_histogram.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oselm;
+
+  const std::size_t sessions =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 6;
+  const std::uint64_t fast_us =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 200;
+  const std::uint64_t slow_us =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1000;
+  const std::size_t episodes =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 5;
+
+  const rl::SimplifiedOutputModel model(4, 2);  // CartPole: 4 states + code
+  rl::BackendConfig backend_config;
+  backend_config.input_dim = model.input_dim();
+  backend_config.hidden_units = 32;
+  backend_config.l2_delta = 0.5;
+  backend_config.spectral_normalize = true;
+  backend_config.seed = 2024;
+  rl::OsElmQBackendPtr backend =
+      rl::make_backend("software", backend_config);
+
+  // --- Phase 1: train the shared network with one fast session.
+  {
+    rl::AsyncQServer trainer(backend, model);
+    rl::AsyncSessionSpec train;
+    train.mode = rl::AsyncSessionMode::kTrain;
+    train.session.env_id = "ShapedCartPole-v0";
+    train.session.env_seed = 11;
+    train.session.agent_seed = 21;
+    train.session.trainer.max_episodes = 40;
+    train.session.trainer.reset_interval = 0;
+    train.session.trainer.solved_threshold = 1e9;
+    const rl::AsyncSessionResult trained =
+        trainer.wait(trainer.add_session(train));
+    std::printf("trained the shared Q-network: %zu episodes, %zu steps, "
+                "%llu sequential updates\n",
+                trained.train.episodes, trained.train.total_steps,
+                static_cast<unsigned long long>(
+                    trainer.stats().train_updates));
+  }
+
+  // --- Phase 2: serve N heterogeneous evaluation sessions.
+  rl::AsyncQServerConfig config;
+  config.worker_threads = sessions;  // sleeping environments overlap
+  config.max_live_sessions = sessions;
+  config.max_batch = sessions;
+  config.max_wait_us = 300;
+  rl::AsyncQServer server(backend, model, config);
+
+  std::printf("\nserving %zu sessions: even ones on %llu us environments, "
+              "odd ones on %llu us\n",
+              sessions, static_cast<unsigned long long>(fast_us),
+              static_cast<unsigned long long>(slow_us));
+  for (std::size_t i = 0; i < sessions; ++i) {
+    rl::AsyncSessionSpec spec;
+    spec.mode = rl::AsyncSessionMode::kEvaluate;
+    spec.session.env_id =
+        "delay:" +
+        std::to_string((i % 2 == 0) ? fast_us : slow_us) +
+        ":ShapedCartPole-v0";
+    spec.session.env_seed = 100 + 13 * i;
+    spec.session.agent_seed = 50 + i;
+    spec.session.trainer.max_episodes = episodes;
+    spec.session.trainer.solved_threshold = 1e9;
+    spec.session.trainer.episode_step_cap = 60;
+    server.add_session(spec);
+  }
+
+  const std::vector<rl::AsyncSessionResult> results = server.drain();
+  bool all_ok = true;
+  std::printf("\n%-8s %-10s %-9s %-7s %s\n", "session", "env", "episodes",
+              "steps", "p50/p95/p99 step latency [us]");
+  for (const rl::AsyncSessionResult& r : results) {
+    all_ok = all_ok && r.completed && !r.failed;
+    std::printf("  #%-5zu %-10s %-9zu %-7zu %.0f / %.0f / %.0f\n", r.id,
+                (r.id % 2 == 0) ? "fast" : "slow", r.train.episodes,
+                r.train.total_steps, r.step_latency_us.quantile(0.50),
+                r.step_latency_us.quantile(0.95),
+                r.step_latency_us.quantile(0.99));
+  }
+
+  const rl::AsyncServerStats stats = server.stats();
+  std::printf("\nserver telemetry:\n%s\n", stats.to_json().c_str());
+
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: a session failed or was cut short\n");
+    return 1;
+  }
+  if (stats.mean_batch_rows() < 1.0 || stats.steps == 0) {
+    std::fprintf(stderr, "FAIL: serving telemetry looks broken\n");
+    return 1;
+  }
+  return 0;
+}

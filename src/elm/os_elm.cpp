@@ -117,22 +117,88 @@ void OsElm::seq_train(const linalg::MatD& x, const linalg::MatD& t) {
     seq_train_one(x.row(0), t.row(0));
     return;
   }
-  const linalg::MatD h = net_.hidden(x);             // k x N
-  const linalg::MatD ph_t = linalg::matmul_a_bt(p_, h);  // N x k
-  linalg::MatD inner = linalg::matmul(h, ph_t);      // k x k
-  linalg::add_diagonal_inplace(inner, 1.0);          // I + H P H^T
-  // P -= P H^T (I + H P H^T)^-1 H P
-  const linalg::MatD inner_inv = linalg::inverse(inner);
-  const linalg::MatD gain = linalg::matmul(ph_t, inner_inv);  // N x k
-  const linalg::MatD hp = linalg::matmul(h, p_);              // k x N
-  linalg::axpy_inplace(p_, -1.0, linalg::matmul(gain, hp));
-  linalg::symmetrize_inplace(p_);
-  // beta += P H^T (t - H beta)
-  const linalg::MatD residual =
-      linalg::sub(t, linalg::matmul(h, net_.beta()));
-  const linalg::MatD update =
-      linalg::matmul(linalg::matmul_a_bt(p_, h), residual);
-  linalg::axpy_inplace(net_.mutable_beta(), 1.0, update);
+  // General-k Eq. 5 on the kernel layer (dispatched dot/axpy + the
+  // upper-triangle+mirror rank-k downdate), mirroring the k = 1 fast
+  // path's structure instead of five dense GEMMs:
+  //   U  = P H^T                       (n x k, as U^T rows for locality)
+  //   S  = I + H U                     (k x k, exactly symmetric)
+  //   K  = S^-1 (symmetrized)          (the k x k solve)
+  //   G  = U K                         (gain; P_new H^T == G, the same
+  //                                     identity the scalar path uses)
+  //   P -= G U^T                       (symmetric rank-k downdate)
+  //   beta += G (t - H beta_old)
+  const std::size_t k = x.rows();
+  const std::size_t n = config().hidden_units;
+  const std::size_t m = config().output_dim;
+  const linalg::MatD h = net_.hidden(x);  // k x n
+
+  // U^T: row c holds column c of U = P H^T; P is symmetric, so row i of P
+  // doubles as column i and every entry is one contiguous kernel dot.
+  linalg::MatD ut(k, n);
+  for (std::size_t c = 0; c < k; ++c) {
+    double* ut_row = ut.row_ptr(c);
+    const double* h_row = h.row_ptr(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      ut_row[i] = linalg::kernels::dot(p_.row_ptr(i), h_row, n);
+    }
+  }
+
+  // S = I + H U, computed on the upper triangle and mirrored so the k x k
+  // solve sees an exactly symmetric matrix.
+  linalg::MatD inner(k, k);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = r; c < k; ++c) {
+      const double v =
+          linalg::kernels::dot(h.row_ptr(r), ut.row_ptr(c), n);
+      inner(r, c) = r == c ? v + 1.0 : v;
+      inner(c, r) = inner(r, c);
+    }
+  }
+  linalg::MatD kmat = linalg::inverse(inner);
+  // The LU inverse of a symmetric matrix is only approximately symmetric;
+  // re-symmetrize so G U^T = U K U^T is symmetric by construction and the
+  // upper-triangle downdate loses nothing.
+  linalg::symmetrize_inplace(kmat);
+
+  // G^T = K U^T, accumulated row-wise with kernel axpys.
+  linalg::MatD gt(k, n, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t d = 0; d < k; ++d) {
+      linalg::kernels::axpy(gt.row_ptr(c), kmat(c, d), ut.row_ptr(d), n);
+    }
+  }
+
+  // Residuals against beta_old BEFORE any beta row is touched.
+  linalg::MatD& beta = net_.mutable_beta();
+  linalg::MatD residual(k, m);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* h_row = h.row_ptr(c);
+    if (m == 1) {
+      residual(c, 0) =
+          t(c, 0) - linalg::kernels::dot(h_row, beta.data(), n);
+    } else {
+      for (std::size_t o = 0; o < m; ++o) {
+        double pred = 0.0;
+        for (std::size_t i = 0; i < n; ++i) pred += h_row[i] * beta(i, o);
+        residual(c, o) = t(c, o) - pred;
+      }
+    }
+  }
+
+  linalg::kernels::sym_rankk_downdate(p_.data(), n, gt.data(), ut.data(), k);
+
+  // beta += G residual (the gain identity: P_new H^T == U K == G).
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* g_row = gt.row_ptr(c);
+    if (m == 1) {
+      linalg::kernels::axpy(beta.data(), residual(c, 0), g_row, n);
+    } else {
+      for (std::size_t o = 0; o < m; ++o) {
+        const double r = residual(c, o);
+        for (std::size_t i = 0; i < n; ++i) beta(i, o) += g_row[i] * r;
+      }
+    }
+  }
 }
 
 void OsElm::seq_train_one(const linalg::VecD& x, const linalg::VecD& t) {

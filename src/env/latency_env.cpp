@@ -1,0 +1,33 @@
+#include "env/latency_env.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace oselm::env {
+
+LatencyEnv::LatencyEnv(EnvironmentPtr inner, std::chrono::microseconds delay)
+    : inner_(std::move(inner)), delay_(delay) {
+  if (!inner_) throw std::invalid_argument("LatencyEnv: null inner env");
+  if (delay_.count() < 0) {
+    throw std::invalid_argument("LatencyEnv: negative delay");
+  }
+  name_ = "delay:" + std::to_string(delay_.count()) + ":" +
+          std::string(inner_->name());
+}
+
+void LatencyEnv::sleep_delay() const {
+  if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+}
+
+Observation LatencyEnv::reset() {
+  sleep_delay();
+  return inner_->reset();
+}
+
+StepResult LatencyEnv::step(std::size_t action) {
+  sleep_delay();
+  return inner_->step(action);
+}
+
+}  // namespace oselm::env

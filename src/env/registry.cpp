@@ -1,18 +1,59 @@
 #include "env/registry.hpp"
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 
 #include "env/acrobot.hpp"
 #include "env/cartpole.hpp"
 #include "env/grid_world.hpp"
+#include "env/latency_env.hpp"
 #include "env/mountain_car.hpp"
 #include "env/shaping.hpp"
 
 namespace oselm::env {
 
+namespace {
+
+/// Parses "delay:<micros>:<inner-id>" and builds the wrapped environment.
+/// `id` is known to start with "delay:".
+EnvironmentPtr make_delayed(const std::string& id, std::uint64_t seed_value) {
+  const std::size_t micros_begin = 6;  // past "delay:"
+  const std::size_t sep = id.find(':', micros_begin);
+  if (sep == std::string::npos || sep == micros_begin ||
+      sep + 1 == id.size()) {
+    throw std::invalid_argument(
+        "make_environment: malformed delay id '" + id +
+        "' (expected delay:<micros>:<inner-id>)");
+  }
+  std::uint64_t micros = 0;
+  // One hour per step is already absurd; the bound doubles as an
+  // overflow guard so an over-long field throws instead of wrapping.
+  constexpr std::uint64_t kMaxDelayMicros = 3'600'000'000;
+  for (std::size_t i = micros_begin; i < sep; ++i) {
+    const char c = id[i];
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument(
+          "make_environment: non-numeric delay in '" + id + "'");
+    }
+    micros = micros * 10 + static_cast<std::uint64_t>(c - '0');
+    if (micros > kMaxDelayMicros) {
+      throw std::invalid_argument(
+          "make_environment: delay in '" + id + "' exceeds " +
+          std::to_string(kMaxDelayMicros) + " us");
+    }
+  }
+  return std::make_unique<LatencyEnv>(
+      make_environment(id.substr(sep + 1), seed_value),
+      std::chrono::microseconds(micros));
+}
+
+}  // namespace
+
 EnvironmentPtr make_environment(const std::string& id,
                                 std::uint64_t seed_value) {
+  if (id.rfind("delay:", 0) == 0) return make_delayed(id, seed_value);
   if (id == "CartPole-v0") {
     return std::make_unique<CartPole>(CartPoleParams{}, seed_value);
   }

@@ -11,6 +11,13 @@ namespace oselm::env {
 /// Creates an environment by id. Known ids: "CartPole-v0",
 /// "ShapedCartPole-v0", "MountainCar-v0", "ShapedMountainCar-v0",
 /// "Acrobot-v1", "ShapedAcrobot-v1", "GridWorld".
+///
+/// Any id may be prefixed with the latency modifier
+/// "delay:<micros>:<inner-id>" (e.g. "delay:500:ShapedCartPole-v0"),
+/// which wraps the inner environment in env::LatencyEnv — identical
+/// dynamics, each reset()/step() sleeping the given number of
+/// microseconds first (an I/O-bound environment model for the serving
+/// benches). Modifiers nest ("delay:100:delay:100:GridWorld" is legal).
 /// Throws std::invalid_argument for unknown ids.
 EnvironmentPtr make_environment(const std::string& id,
                                 std::uint64_t seed_value = 2020);

@@ -294,9 +294,10 @@ double fused_act_dot(const double* shared, const double* last_row,
   return sum;
 }
 
-void sym_rank1_update(double* p, std::size_t n, const double* u, double inv,
-                      double p_scale) noexcept {
-  for (std::size_t i = 0; i < n; ++i) {
+void sym_rank1_update_rows(double* p, std::size_t n, std::size_t row_begin,
+                           std::size_t row_end, const double* u, double inv,
+                           double p_scale) noexcept {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     const double scaled = u[i] * inv;
     double* row = p + i * n;
     std::size_t j = i;
@@ -322,10 +323,15 @@ void sym_rank1_update(double* p, std::size_t n, const double* u, double inv,
       }
     }
   }
+}
+
+void mirror_lower_rows(double* p, std::size_t n, std::size_t row_begin,
+                       std::size_t row_end) noexcept {
   // Mirror the upper triangle down. Off-diagonal 16x16 tiles decompose
   // into 4x4 in-register transposes (unpack + 128-bit permute), turning
-  // the column walk into contiguous loads and stores; diagonal and
-  // remainder tiles fall back to the scalar walk.
+  // the column walk into contiguous loads and stores; diagonal, remainder,
+  // and band-clipped tiles fall back to the scalar walk (pure copies, so
+  // every path is bit-identical and any banding partitions the work).
   constexpr std::size_t kTile = 16;
   const auto transpose4x4 = [p, n](std::size_t src_row,
                                    std::size_t dst_row) noexcept {
@@ -348,17 +354,19 @@ void sym_rank1_update(double* p, std::size_t n, const double* u, double inv,
     _mm256_storeu_pd(p + (dst_row + 3) * n + src_row,
                      _mm256_permute2f128_pd(t1, t3, 0x31));
   };
-  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
-    const std::size_t i1 = std::min(i0 + kTile, n);
-    for (std::size_t i = i0 + 1; i < i1; ++i) {  // diagonal tile
+  for (std::size_t t0 = (row_begin / kTile) * kTile; t0 < row_end;
+       t0 += kTile) {
+    const std::size_t i0 = std::max(t0, row_begin);
+    const std::size_t i1 = std::min({t0 + kTile, row_end, n});
+    for (std::size_t i = std::max(i0, t0 + 1); i < i1; ++i) {  // diag tile
       double* row = p + i * n;
-      for (std::size_t j = i0; j < i; ++j) row[j] = p[j * n + i];
+      for (std::size_t j = t0; j < i; ++j) row[j] = p[j * n + i];
     }
-    const bool full_rows = i1 - i0 == kTile;
-    for (std::size_t j0 = 0; j0 < i0; j0 += kTile) {  // tiles left of it
+    const bool full_rows = i0 == t0 && i1 == t0 + kTile;
+    for (std::size_t j0 = 0; j0 < t0; j0 += kTile) {  // tiles left of it
       if (full_rows) {
         for (std::size_t jj = j0; jj < j0 + kTile; jj += 4) {
-          for (std::size_t ii = i0; ii < i0 + kTile; ii += 4) {
+          for (std::size_t ii = t0; ii < t0 + kTile; ii += 4) {
             transpose4x4(jj, ii);
           }
         }

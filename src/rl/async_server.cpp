@@ -1,0 +1,708 @@
+#include "rl/async_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "env/registry.hpp"
+#include "rl/policy.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace oselm::rl {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+struct AsyncQServer::Session {
+  AsyncSessionSpec spec;
+  env::EnvironmentPtr env;
+  GreedyWithProbabilityPolicy policy;
+  util::Rng rng;
+  util::MovingAverage window;
+  AsyncSessionResult result;
+  std::vector<nn::Transition> buffer;  ///< buffer D (train mode)
+  double env_seconds = 0.0;
+
+  // Episode-transient state.
+  linalg::VecD state;
+  std::size_t episode = 0;
+  std::size_t steps = 0;
+  double episode_return = 0.0;
+  std::size_t episodes_since_reset = 0;
+
+  // Step-transient state (stable while the session is suspended; the
+  // batch thread reads/writes it through the queue's synchronization).
+  std::size_t action = 0;
+  nn::Transition transition;
+  linalg::VecD sa;  ///< encoded (state, action) row for seq_train
+  double pending_value = 0.0;  ///< batch thread -> worker (best next Q)
+  Clock::time_point step_start{};
+  Clock::time_point admitted_at{};
+  Phase phase = Phase::kBeginEpisode;
+
+  Session(AsyncSessionSpec s, env::EnvironmentPtr e, std::size_t actions,
+          std::size_t input_dim)
+      : spec(std::move(s)),
+        env(std::move(e)),
+        policy(spec.session.agent.epsilon_greedy, actions),
+        rng(spec.session.agent_seed),
+        window(spec.session.trainer.solved_window),
+        sa(input_dim, 0.0) {}
+};
+
+// ---------------------------------------------------------------------------
+// Construction / lifecycle
+// ---------------------------------------------------------------------------
+
+AsyncQServer::AsyncQServer(OsElmQBackendPtr backend,
+                           SimplifiedOutputModel model,
+                           AsyncQServerConfig config)
+    : backend_(std::move(backend)),
+      model_(model),
+      config_(config),
+      action_codes_(model.action_count(), 0.0),
+      q_ws_(model.action_count(), 0.0),
+      scratch_sa_(model.input_dim(), 0.0) {
+  if (!backend_) throw std::invalid_argument("AsyncQServer: null backend");
+  if (backend_->input_dim() != model_.input_dim()) {
+    throw std::invalid_argument(
+        "AsyncQServer: backend input width != encoder width");
+  }
+  if (config_.max_live_sessions == 0) {
+    throw std::invalid_argument("AsyncQServer: max_live_sessions == 0");
+  }
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.ready_queue_capacity == 0) {
+    config_.ready_queue_capacity = config_.max_live_sessions;
+  }
+  if (config_.worker_threads == 0) {
+    config_.worker_threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  for (std::size_t a = 0; a < model_.action_count(); ++a) {
+    action_codes_[a] = model_.action_code(a);
+  }
+  backend_initialized_.store(backend_->initialized(),
+                             std::memory_order_release);
+  states_by_rows_.resize(config_.max_batch + 1);
+  q_by_rows_.resize(config_.max_batch + 1);
+  pool_ = std::make_unique<util::ThreadPool>(config_.worker_threads);
+  batch_thread_ = std::thread([this] { batch_loop(); });
+}
+
+AsyncQServer::~AsyncQServer() { stop(); }
+
+void AsyncQServer::stop() {
+  const std::scoped_lock stop_lock(stop_mutex_);
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Live sessions retire at their next step boundary; the batch thread
+    // keeps serving their in-flight requests until every one is gone.
+    std::unique_lock lk(sessions_mutex_);
+    retire_cv_.wait(lk, [this] { return live_.empty(); });
+  }
+  {
+    const std::scoped_lock lk(queue_mutex_);
+    if (batch_stop_) return;  // a previous stop() already joined
+    batch_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  if (batch_thread_.joinable()) batch_thread_.join();
+}
+
+std::size_t AsyncQServer::add_session(const AsyncSessionSpec& spec) {
+  spec.session.agent.validate();
+  if (spec.session.trainer.solved_window == 0) {
+    throw std::invalid_argument("AsyncQServer: solved_window == 0");
+  }
+  env::EnvironmentPtr environment =
+      spec.env_factory
+          ? spec.env_factory(spec.session.env_seed)
+          : env::make_environment(spec.session.env_id,
+                                  spec.session.env_seed);
+  if (!environment) {
+    throw std::invalid_argument(
+        "AsyncQServer::add_session: env_factory returned null");
+  }
+  if (environment->observation_space().dimensions() != model_.state_dim() ||
+      environment->action_space().n != model_.action_count()) {
+    throw std::invalid_argument(
+        "AsyncQServer::add_session: environment '" + spec.session.env_id +
+        "' does not match the server's (state, action) encoding");
+  }
+
+  Session* raw = nullptr;
+  std::size_t id = 0;
+  {
+    const std::scoped_lock lk(sessions_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      throw std::logic_error(
+          "AsyncQServer::add_session: server is stopping");
+    }
+    if (live_.size() >= config_.max_live_sessions) {
+      admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error(
+          "AsyncQServer::add_session: admission rejected — live-session "
+          "cap (" + std::to_string(config_.max_live_sessions) +
+          ") reached; retry after a session retires");
+    }
+    id = next_id_++;
+    auto session = std::make_unique<Session>(
+        spec, std::move(environment), model_.action_count(),
+        model_.input_dim());
+    session->result.id = id;
+    session->result.mode = spec.mode;
+    session->admitted_at = Clock::now();
+    session->buffer.reserve(backend_->hidden_units());
+    raw = session.get();
+    live_.emplace(id, std::move(session));
+    live_count_.store(live_.size(), std::memory_order_relaxed);
+  }
+  sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
+  pool_->submit([this, raw] { advance(raw); });
+  return id;
+}
+
+AsyncSessionResult AsyncQServer::wait(std::size_t session_id) {
+  std::unique_lock lk(sessions_mutex_);
+  if (session_id >= next_id_) {
+    throw std::invalid_argument("AsyncQServer::wait: unknown session id " +
+                                std::to_string(session_id));
+  }
+  if (claimed_.count(session_id) != 0) {
+    throw std::logic_error("AsyncQServer::wait: result of session " +
+                           std::to_string(session_id) +
+                           " was already claimed");
+  }
+  retire_cv_.wait(lk, [&] { return results_.count(session_id) != 0; });
+  // Deliver-once: the result moves out so a server that admits and
+  // retires sessions indefinitely does not accumulate them forever.
+  const auto it = results_.find(session_id);
+  AsyncSessionResult out = std::move(it->second);
+  results_.erase(it);
+  claimed_.insert(session_id);
+  return out;
+}
+
+std::vector<AsyncSessionResult> AsyncQServer::drain() {
+  std::unique_lock lk(sessions_mutex_);
+  retire_cv_.wait(lk, [this] { return live_.empty(); });
+  std::vector<AsyncSessionResult> out;
+  out.reserve(results_.size());
+  for (auto& [id, result] : results_) {
+    claimed_.insert(id);
+    out.push_back(std::move(result));
+  }
+  results_.clear();
+  return out;
+}
+
+std::size_t AsyncQServer::live_sessions() const {
+  const std::scoped_lock lk(sessions_mutex_);
+  return live_.size();
+}
+
+AsyncServerStats AsyncQServer::stats() const {
+  AsyncServerStats out;
+  out.steps = steps_.load(std::memory_order_relaxed);
+  out.episodes = episodes_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.batch_rows = batch_rows_.load(std::memory_order_relaxed);
+  out.train_updates = train_updates_.load(std::memory_order_relaxed);
+  out.init_trains = init_trains_.load(std::memory_order_relaxed);
+  out.sessions_admitted = sessions_admitted_.load(std::memory_order_relaxed);
+  out.sessions_retired = sessions_retired_.load(std::memory_order_relaxed);
+  out.admission_rejections =
+      admission_rejections_.load(std::memory_order_relaxed);
+  {
+    const std::scoped_lock lk(stats_mutex_);
+    out.step_latency_us = retired_latency_;
+    out.batch_rows_hist = batch_rows_hist_;
+  }
+  return out;
+}
+
+std::string AsyncServerStats::to_json() const {
+  char head[512];
+  std::snprintf(
+      head, sizeof(head),
+      "{\n"
+      "  \"steps\": %llu, \"episodes\": %llu,\n"
+      "  \"batches\": %llu, \"batch_rows\": %llu, "
+      "\"mean_batch_rows\": %.3f,\n"
+      "  \"train_updates\": %llu, \"init_trains\": %llu,\n"
+      "  \"sessions_admitted\": %llu, \"sessions_retired\": %llu, "
+      "\"admission_rejections\": %llu,\n",
+      static_cast<unsigned long long>(steps),
+      static_cast<unsigned long long>(episodes),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(batch_rows), mean_batch_rows(),
+      static_cast<unsigned long long>(train_updates),
+      static_cast<unsigned long long>(init_trains),
+      static_cast<unsigned long long>(sessions_admitted),
+      static_cast<unsigned long long>(sessions_retired),
+      static_cast<unsigned long long>(admission_rejections));
+  return std::string(head) +
+         "  \"step_latency_us\": " + step_latency_us.to_json() + ",\n" +
+         "  \"batch_rows_hist\": " + batch_rows_hist.to_json() + "\n}";
+}
+
+// ---------------------------------------------------------------------------
+// Worker side — the per-session state machine
+// ---------------------------------------------------------------------------
+
+void AsyncQServer::advance(Session* s) {
+  try {
+    run_session(*s);
+  } catch (const std::exception& e) {
+    const char* what = e.what();
+    retire(s, /*completed=*/false,
+           (what != nullptr && what[0] != '\0') ? what
+                                                : "unknown session failure");
+  } catch (...) {
+    retire(s, /*completed=*/false, "unknown session failure");
+  }
+}
+
+void AsyncQServer::begin_episode_env(Session& s) {
+  ++s.episode;
+  s.steps = 0;
+  s.episode_return = 0.0;
+  util::WallTimer env_timer;
+  s.state = s.env->reset();
+  s.env_seconds += env_timer.seconds();
+}
+
+void AsyncQServer::run_session(Session& s) {
+  const OsElmQAgentConfig& agent = s.spec.session.agent;
+  const TrainerConfig& trainer = s.spec.session.trainer;
+  const bool training = s.spec.mode == AsyncSessionMode::kTrain;
+  for (;;) {
+    switch (s.phase) {
+      case Phase::kBeginEpisode: {
+        if (stopping_.load(std::memory_order_acquire)) {
+          retire(&s, /*completed=*/false, {});
+          return;
+        }
+        if (trainer.max_episodes == 0) {
+          retire(&s, /*completed=*/true, {});  // empty budget, like QServer
+          return;
+        }
+        // §4.3 reset rule, identical to QServer::begin_episode; the
+        // re-randomization itself must run on the batch thread.
+        if (training && !s.result.train.solved &&
+            trainer.reset_interval != 0 &&
+            s.episodes_since_reset >= trainer.reset_interval) {
+          suspend(s, RequestKind::kReset, Phase::kAfterReset);
+          return;
+        }
+        begin_episode_env(s);
+        s.phase = Phase::kChooseAction;
+        break;
+      }
+      case Phase::kAfterReset: {
+        s.buffer.clear();
+        s.buffer.reserve(backend_->hidden_units());
+        s.window.reset();
+        s.episodes_since_reset = 0;
+        ++s.result.train.resets;
+        begin_episode_env(s);
+        s.phase = Phase::kChooseAction;
+        break;
+      }
+      case Phase::kChooseAction: {
+        if (stopping_.load(std::memory_order_acquire)) {
+          retire(&s, /*completed=*/false, {});
+          return;
+        }
+        s.step_start = Clock::now();
+        if (s.policy.should_act_greedily(s.rng)) {
+          suspend(s, RequestKind::kGreedyEval, Phase::kStepEnv);
+          return;
+        }
+        s.action = s.policy.random_action(s.rng);
+        s.phase = Phase::kStepEnv;
+        break;
+      }
+      case Phase::kStepEnv: {
+        env::StepResult step;
+        {
+          util::WallTimer env_timer;
+          step = s.env->step(s.action);
+          s.env_seconds += env_timer.seconds();
+        }
+        ++s.steps;
+        s.episode_return += step.reward;
+        s.transition = nn::Transition{s.state, s.action, step.reward,
+                                      step.observation, step.done()};
+        s.state = step.observation;
+        if (!training) {
+          s.phase = Phase::kFinishStep;
+          break;
+        }
+        // Observe (Algorithm 1 Store + Update), per-session control flow
+        // identical to the lockstep QServer's Phase C.
+        model_.encode_into(s.transition.state, s.action, s.sa);
+        if (!backend_initialized_.load(std::memory_order_acquire)) {
+          s.buffer.push_back(s.transition);
+          if (s.buffer.size() >= backend_->hidden_units()) {
+            suspend(s, RequestKind::kInitTrain, Phase::kFinishStep);
+            return;
+          }
+          s.phase = Phase::kFinishStep;
+          break;
+        }
+        if (!s.buffer.empty()) {
+          // Lost the init-train race to a co-tenant: the part-filled
+          // chunk is stale (recorded under pre-init weights) — drop it.
+          s.buffer.clear();
+          s.buffer.shrink_to_fit();
+        }
+        if (agent.random_update &&
+            !s.rng.bernoulli(agent.update_probability)) {
+          s.phase = Phase::kFinishStep;
+          break;
+        }
+        suspend(s,
+                s.transition.done ? RequestKind::kTrainOnly
+                                  : RequestKind::kTdEvalTrain,
+                Phase::kFinishStep);
+        return;
+      }
+      case Phase::kFinishStep: {
+        s.result.step_latency_us.record(
+            std::chrono::duration<double, std::micro>(Clock::now() -
+                                                      s.step_start)
+                .count());
+        steps_.fetch_add(1, std::memory_order_relaxed);
+        const bool capped = trainer.episode_step_cap != 0 &&
+                            s.steps >= trainer.episode_step_cap;
+        if (!s.transition.done && !capped) {
+          s.phase = Phase::kChooseAction;
+          break;
+        }
+        ++s.episodes_since_reset;
+        // UPDATE_STEP target sync (Algorithm 1 lines 23-24), keyed on the
+        // episodes-since-reset count exactly like Agent::episode_end.
+        if (training &&
+            s.episodes_since_reset % agent.target_sync_interval == 0) {
+          suspend(s, RequestKind::kSyncTarget, Phase::kEpisodeEnd);
+          return;
+        }
+        s.phase = Phase::kEpisodeEnd;
+        break;
+      }
+      case Phase::kEpisodeEnd: {
+        episodes_.fetch_add(1, std::memory_order_relaxed);
+        TrainResult& tr = s.result.train;
+        tr.episode_steps.push_back(static_cast<double>(s.steps));
+        tr.episode_returns.push_back(s.episode_return);
+        tr.total_steps += s.steps;
+        tr.episodes = s.episode;
+        s.window.add(static_cast<double>(s.steps));
+        if (!tr.solved && s.window.full() &&
+            s.window.value() >= trainer.solved_threshold) {
+          tr.solved = true;
+          tr.first_solved_episode = s.episode;
+          if (trainer.stop_on_solved) {
+            retire(&s, /*completed=*/true, {});
+            return;
+          }
+        }
+        if (s.episode >= trainer.max_episodes) {
+          retire(&s, /*completed=*/true, {});
+          return;
+        }
+        s.phase = Phase::kBeginEpisode;
+        break;
+      }
+    }
+  }
+}
+
+void AsyncQServer::suspend(Session& s, RequestKind kind, Phase resume) {
+  s.phase = resume;
+  std::unique_lock lk(queue_mutex_);
+  // Backpressure: block until the bounded ready queue has room. The batch
+  // thread is the only consumer and never blocks on this queue, so space
+  // always appears.
+  space_cv_.wait(lk, [this] {
+    return ready_.size() < config_.ready_queue_capacity;
+  });
+  ready_.push_back(Request{&s, kind});
+  lk.unlock();
+  queue_cv_.notify_one();
+  // NOTE: the session may already be running on another worker by the
+  // time push returns — no member of `s` may be touched past this point.
+}
+
+void AsyncQServer::retire(Session* s, bool completed, std::string error) {
+  AsyncSessionResult result = std::move(s->result);
+  result.completed = completed;
+  result.failed = !error.empty();
+  result.error = std::move(error);
+  result.train.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - s->admitted_at).count();
+  result.train.breakdown = util::OpBreakdown{};
+  result.train.breakdown.add(util::OpCategory::kEnvironment,
+                             s->env_seconds);
+  {
+    const std::scoped_lock lk(stats_mutex_);
+    retired_latency_.merge(result.step_latency_us);
+  }
+  sessions_retired_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t id = result.id;
+  {
+    const std::scoped_lock lk(sessions_mutex_);
+    results_.emplace(id, std::move(result));
+    live_.erase(id);  // destroys *s — it owns no further control flow
+    live_count_.store(live_.size(), std::memory_order_relaxed);
+    // Notify under the lock: a waiter (stop()/wait()/drain()) may destroy
+    // the server the moment its predicate holds, so the condition
+    // variable must not be touched after the mutex is released.
+    retire_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch thread — the only owner of the shared backend
+// ---------------------------------------------------------------------------
+
+void AsyncQServer::batch_loop() {
+  std::vector<Request> drained;
+  for (;;) {
+    {
+      std::unique_lock lk(queue_mutex_);
+      queue_cv_.wait(lk, [this] { return batch_stop_ || !ready_.empty(); });
+      if (batch_stop_ && ready_.empty()) return;
+      // A batch is "full" at max_batch rows — or as soon as no further
+      // request can arrive before a drain: every live session already
+      // has one pending (solo sessions never pay the linger), or the
+      // bounded queue is at capacity and workers are blocked on it.
+      const auto batch_full = [this] {
+        return ready_.size() >= config_.max_batch ||
+               ready_.size() >=
+                   live_count_.load(std::memory_order_relaxed) ||
+               ready_.size() >= config_.ready_queue_capacity;
+      };
+      if (config_.max_wait_us > 0 && !batch_full()) {
+        // Continuous-batching linger: give co-tenants max_wait_us to
+        // join this batch, then serve whatever is pending.
+        const auto deadline =
+            Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+        queue_cv_.wait_until(lk, deadline, [&] {
+          return batch_stop_ || batch_full();
+        });
+      }
+      const std::size_t take =
+          std::min(ready_.size(), config_.max_batch);
+      drained.assign(ready_.begin(),
+                     ready_.begin() + static_cast<std::ptrdiff_t>(take));
+      ready_.erase(ready_.begin(),
+                   ready_.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    space_cv_.notify_all();
+    process_requests(drained);
+  }
+}
+
+double AsyncQServer::clip_target(const Session& s, double target) const {
+  const OsElmQAgentConfig& agent = s.spec.session.agent;
+  if (!agent.clip_targets) return target;
+  return std::clamp(target, agent.clip_min, agent.clip_max);
+}
+
+void AsyncQServer::coalesced_predict(QNetwork which, bool use_next_state) {
+  const std::size_t rows = batch_sessions_.size();
+  // predict_actions_multi validates exact shapes, so buffers are cached
+  // per row count — steady-state serving allocates nothing.
+  linalg::MatD& states = states_by_rows_[rows];
+  linalg::MatD& q_multi = q_by_rows_[rows];
+  if (states.rows() != rows) {
+    states = linalg::MatD(rows, model_.state_dim());
+    q_multi = linalg::MatD(rows, model_.action_count());
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Session& s = *batch_sessions_[i];
+    states.set_row(i, use_next_state ? s.transition.next_state : s.state);
+  }
+  backend_->predict_actions_multi(states, action_codes_, which, q_multi);
+  q_multi_ = &q_multi;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_rows_.fetch_add(rows, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lk(stats_mutex_);
+    batch_rows_hist_.record(static_cast<double>(rows));
+  }
+}
+
+double AsyncQServer::session_td_target(Session& s,
+                                       const nn::Transition& transition,
+                                       util::OpCategory charge_to) {
+  double best_next = 0.0;
+  if (!transition.done) {
+    const util::TimeLedger::PredictScope scope(backend_->ledger(),
+                                               charge_to);
+    backend_->predict_actions(transition.next_state, action_codes_,
+                              QNetwork::kTarget, q_ws_);
+    best_next = q_ws_[0];
+    for (std::size_t a = 1; a < q_ws_.size(); ++a) {
+      if (q_ws_[a] > best_next) best_next = q_ws_[a];
+    }
+  }
+  double target = transition.reward;
+  if (!transition.done) {
+    target += s.spec.session.agent.gamma * best_next;
+  }
+  return clip_target(s, target);
+}
+
+void AsyncQServer::apply_init_train(Session& s) {
+  if (backend_->initialized()) {
+    // A co-tenant initialized the shared network first (authoritative
+    // re-check — the worker-side mirror may lag); this chunk is stale.
+    s.buffer.clear();
+    s.buffer.shrink_to_fit();
+    return;
+  }
+  const std::size_t n = s.buffer.size();
+  linalg::MatD x(n, model_.input_dim());
+  linalg::MatD t(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    model_.encode_into(s.buffer[i].state, s.buffer[i].action, scratch_sa_);
+    x.set_row(i, scratch_sa_);
+    t(i, 0) =
+        session_td_target(s, s.buffer[i], util::OpCategory::kInitTrain);
+  }
+  backend_->init_train(x, t);
+  init_trains_.fetch_add(1, std::memory_order_relaxed);
+  backend_initialized_.store(true, std::memory_order_release);
+  s.buffer.clear();
+  s.buffer.shrink_to_fit();  // the edge device frees D after init training
+}
+
+void AsyncQServer::process_requests(std::vector<Request>& requests) {
+  // Failure containment: a backend fault in one coalesced batch retires
+  // the sessions it carried and leaves the batch thread serving everyone
+  // else. (Environment faults never reach this thread — workers catch
+  // them in advance().)
+  const auto failure_text = [](const std::exception& e) {
+    const char* what = e.what();
+    return std::string((what != nullptr && what[0] != '\0')
+                           ? what
+                           : "backend failure");
+  };
+  const auto fail_batch = [&](const std::exception& e) {
+    for (Session* failed : batch_sessions_) {
+      for (Request& r : requests) {
+        if (r.session == failed) r.session = nullptr;
+      }
+      retire(failed, /*completed=*/false, failure_text(e));
+    }
+  };
+
+  // Greedy batch on theta_1: argmax with lowest-index tie-break, exactly
+  // like the single-agent path.
+  batch_sessions_.clear();
+  for (const Request& r : requests) {
+    if (r.session != nullptr && r.kind == RequestKind::kGreedyEval) {
+      batch_sessions_.push_back(r.session);
+    }
+  }
+  if (!batch_sessions_.empty()) {
+    try {
+      coalesced_predict(QNetwork::kMain, /*use_next_state=*/false);
+      for (std::size_t i = 0; i < batch_sessions_.size(); ++i) {
+        const double* q = q_multi_->row_ptr(i);
+        std::size_t best = 0;
+        for (std::size_t a = 1; a < model_.action_count(); ++a) {
+          if (q[a] > q[best]) best = a;  // ties keep the lowest index
+        }
+        batch_sessions_[i]->action = best;
+      }
+    } catch (const std::exception& e) {
+      fail_batch(e);
+    }
+  }
+
+  // TD-target batch on theta_2, charged to kSeqTrain like the agents do.
+  batch_sessions_.clear();
+  for (const Request& r : requests) {
+    if (r.session != nullptr && r.kind == RequestKind::kTdEvalTrain) {
+      batch_sessions_.push_back(r.session);
+    }
+  }
+  if (!batch_sessions_.empty()) {
+    try {
+      const util::TimeLedger::PredictScope scope(
+          backend_->ledger(), util::OpCategory::kSeqTrain);
+      coalesced_predict(QNetwork::kTarget, /*use_next_state=*/true);
+      for (std::size_t i = 0; i < batch_sessions_.size(); ++i) {
+        const double* q = q_multi_->row_ptr(i);
+        double best_next = q[0];
+        for (std::size_t a = 1; a < model_.action_count(); ++a) {
+          best_next = std::max(best_next, q[a]);
+        }
+        batch_sessions_[i]->pending_value = best_next;
+      }
+    } catch (const std::exception& e) {
+      fail_batch(e);
+    }
+  }
+
+  // Apply trains/init/sync/reset in drain order, then resume each session
+  // on the worker pool.
+  for (Request& r : requests) {
+    Session* s = r.session;
+    if (s == nullptr) continue;
+    try {
+      switch (r.kind) {
+        case RequestKind::kGreedyEval:
+          break;  // action already delivered
+        case RequestKind::kTdEvalTrain: {
+          const double target = clip_target(
+              *s, s->transition.reward +
+                      s->spec.session.agent.gamma * s->pending_value);
+          // A co-tenant §4.3 reset may have de-initialized the shared
+          // network after this session drew its update coin; skip then.
+          if (backend_->initialized()) {
+            backend_->seq_train(s->sa, target);
+            train_updates_.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        case RequestKind::kTrainOnly: {
+          const double target = clip_target(*s, s->transition.reward);
+          if (backend_->initialized()) {
+            backend_->seq_train(s->sa, target);
+            train_updates_.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        case RequestKind::kInitTrain:
+          apply_init_train(*s);
+          break;
+        case RequestKind::kSyncTarget:
+          backend_->sync_target();
+          break;
+        case RequestKind::kReset:
+          backend_->initialize();
+          backend_initialized_.store(false, std::memory_order_release);
+          break;
+      }
+    } catch (const std::exception& e) {
+      retire(s, /*completed=*/false, failure_text(e));
+      continue;
+    }
+    pool_->submit([this, s] { advance(s); });
+  }
+}
+
+}  // namespace oselm::rl

@@ -1,0 +1,304 @@
+// AsyncQServer — asynchronous continuous-batching serving engine.
+//
+// rl::QServer (serving.hpp) advances N sessions in lockstep ticks: every
+// tick waits for EVERY session's environment step, so one slow
+// environment (a remote simulator, a laggy sensor) stalls the whole
+// fleet. AsyncQServer removes the barrier:
+//
+//   * each session runs on its own logical queue: its environment
+//     stepping, rng draws, and (state, action) encoding execute as tasks
+//     on a util::ThreadPool, never waiting for co-tenants;
+//   * whenever a session needs the shared Q-network it suspends and
+//     pushes a request onto a BOUNDED ready queue (backpressure: workers
+//     block when the queue is full);
+//   * a single batching predict/train thread drains pending requests —
+//     waiting up to `max_wait_us` after the first arrival to coalesce up
+//     to `max_batch` of them — into predict_actions_multi batches against
+//     ONE shared backend from rl::BackendRegistry, applies any
+//     sequential-training updates, and resumes the sessions. Every
+//     backend call (and therefore every util::TimeLedger charge) happens
+//     on this one thread, so the backend needs no locking.
+//
+// Sessions join and leave dynamically: add_session() admits up to
+// `max_live_sessions` concurrent sessions (beyond the cap it throws a
+// clear admission error — callers retry after a retirement), sessions
+// retire on their own budget/solved criterion, on stop(), or on an
+// environment failure (the failed session is retired with its error
+// message; the batch thread and its co-tenants are unaffected).
+//
+// Determinism contract (pinned in tests/rl/async_server_test.cpp):
+//   * per-session PINNED for kEvaluate sessions: predictions are pure
+//     functions of (weights, state) and a row of a coalesced batch is
+//     bit-identical to a standalone evaluation (the predict_actions_multi
+//     contract), so a fixed-seed session produces the exact same
+//     trajectory for ANY worker-thread count and ANY co-tenants.
+//   * per-session pinned for a kTrain session running ALONE (its requests
+//     are fully ordered, reproducing the lockstep QServer N=1 — and
+//     therefore the single-agent — backend call sequence exactly).
+//   * cross-session batch composition is NOT pinned: which requests share
+//     a batch depends on scheduling. Co-tenant kTrain sessions share
+//     weight updates in a scheduling-dependent order, like any
+//     asynchronous trainer. On the fpga-q20 backend, modeled seconds
+//     under scheduling-dependent batching can be made composition-
+//     independent with BackendConfig::multi_charge_per_row
+//     (hw::MultiChargePolicy::kPerRow).
+//
+// Telemetry: per-step latency and achieved batch size land in
+// util::LatencyHistogram buckets; stats() snapshots them with the
+// counter set (steps, batches, rows, train updates, admissions,
+// rejections) and AsyncServerStats::to_json() emits the JSON the bench
+// and example print.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "rl/sa_encoding.hpp"
+#include "rl/serving_types.hpp"
+#include "rl/trainer.hpp"
+#include "util/latency_histogram.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oselm::rl {
+
+/// What a session does with the shared network.
+enum class AsyncSessionMode {
+  /// Episodic rollouts (exploration included) against frozen weights —
+  /// the deployment/serving shape. Never mutates the backend; fully
+  /// deterministic per seed regardless of threads or co-tenants.
+  kEvaluate,
+  /// Full Algorithm-1 control flow (buffer -> Eq. 7/8 init -> Eq. 6
+  /// sequential updates, §4.3 resets, target syncs) against the shared
+  /// network, like a lockstep QServer session. With co-tenants the
+  /// shared weights evolve in scheduling-dependent order.
+  kTrain,
+};
+
+struct AsyncSessionSpec {
+  ServingSessionSpec session;  ///< env/seeds/exploration/budget knobs
+  AsyncSessionMode mode = AsyncSessionMode::kEvaluate;
+  /// Optional environment override: when set it is called with
+  /// session.env_seed instead of env::make_environment(session.env_id)
+  /// — custom simulators, failure injection in tests.
+  std::function<env::EnvironmentPtr(std::uint64_t)> env_factory;
+};
+
+struct AsyncSessionResult {
+  std::size_t id = 0;
+  AsyncSessionMode mode = AsyncSessionMode::kEvaluate;
+  /// Episode trajectory in the shared TrainResult shape (evaluation
+  /// sessions fill it too); breakdown carries this session's environment
+  /// time only — backend time lives on the shared ledger.
+  TrainResult train;
+  bool completed = false;  ///< ran to its budget / solved criterion
+  bool failed = false;     ///< the environment threw; see `error`
+  std::string error;
+  /// Wall micros from step start (action choice) to step end, batching
+  /// wait included — the user-visible serving latency.
+  util::LatencyHistogram step_latency_us;
+};
+
+struct AsyncQServerConfig {
+  /// Environment/encode worker pool size (0 = hardware concurrency).
+  /// Sessions sleeping in slow environments only occupy a worker while
+  /// stepping, so oversubscribing (more sessions than workers) is normal.
+  std::size_t worker_threads = 0;
+  /// Admission cap: add_session() beyond this many live sessions throws.
+  std::size_t max_live_sessions = 64;
+  /// Coalescing policy: the batch thread drains at most `max_batch`
+  /// requests per predict_actions_multi call...
+  std::size_t max_batch = 32;
+  /// ...and after the first pending request waits at most this long for
+  /// more to arrive (0 = fire immediately with whatever is pending).
+  std::uint64_t max_wait_us = 100;
+  /// Ready-queue bound for backpressure (0 = max_live_sessions, which can
+  /// never block since each live session has at most one request in
+  /// flight; smaller values throttle workers against the batch thread).
+  std::size_t ready_queue_capacity = 0;
+};
+
+struct AsyncServerStats {
+  std::uint64_t steps = 0;            ///< environment steps completed
+  std::uint64_t episodes = 0;         ///< episodes finished
+  std::uint64_t batches = 0;          ///< predict_actions_multi calls
+  std::uint64_t batch_rows = 0;       ///< states carried by those calls
+  std::uint64_t train_updates = 0;    ///< seq_train applications
+  std::uint64_t init_trains = 0;      ///< Eq. 7/8 chunk solves
+  std::uint64_t sessions_admitted = 0;
+  std::uint64_t sessions_retired = 0;
+  std::uint64_t admission_rejections = 0;
+  /// Step latency merged across RETIRED sessions (live sessions' private
+  /// histograms are not sampled mid-flight).
+  util::LatencyHistogram step_latency_us;
+  /// Rows per coalesced predict batch actually achieved.
+  util::LatencyHistogram batch_rows_hist;
+
+  [[nodiscard]] double mean_batch_rows() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batch_rows) /
+                              static_cast<double>(batches);
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+class AsyncQServer {
+ public:
+  /// `backend` is shared by every session and only ever touched by the
+  /// internal batch thread; `model` fixes the (state, action) encoding.
+  AsyncQServer(OsElmQBackendPtr backend, SimplifiedOutputModel model,
+               AsyncQServerConfig config = {});
+  AsyncQServer(const AsyncQServer&) = delete;
+  AsyncQServer& operator=(const AsyncQServer&) = delete;
+  /// Stops (gracefully: in-flight requests complete, sessions retire at
+  /// their next step boundary) and joins all threads.
+  ~AsyncQServer();
+
+  /// Admits a session and starts it immediately. Returns its id.
+  /// Throws std::runtime_error when the live-session cap is reached,
+  /// std::invalid_argument on spec/environment mismatches, and
+  /// std::logic_error after stop().
+  std::size_t add_session(const AsyncSessionSpec& spec);
+
+  /// Blocks until the given session retires and returns its result.
+  /// Results are delivered exactly once (a long-lived server admitting
+  /// sessions indefinitely does not accumulate them): a second wait()
+  /// on the same id throws std::logic_error. Throws
+  /// std::invalid_argument for ids never admitted.
+  AsyncSessionResult wait(std::size_t session_id);
+
+  /// Blocks until every live session retires on its own criterion, then
+  /// returns all unclaimed results in admission order (claiming them —
+  /// see wait()). Sessions with unbounded budgets never retire on their
+  /// own — use stop() for deadline-style runs.
+  std::vector<AsyncSessionResult> drain();
+
+  /// Graceful shutdown: live sessions retire at their next step boundary
+  /// (completed = false), in-flight batch requests are processed, and
+  /// the batch thread joins. Idempotent; add_session() afterwards throws.
+  void stop();
+
+  [[nodiscard]] AsyncServerStats stats() const;
+  [[nodiscard]] std::size_t live_sessions() const;
+  [[nodiscard]] const SimplifiedOutputModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] const OsElmQBackend& backend() const noexcept {
+    return *backend_;
+  }
+
+ private:
+  /// Session state machine position — where the next worker task resumes.
+  enum class Phase {
+    kBeginEpisode,  ///< budget/stop checks, §4.3 reset check, env reset
+    kAfterReset,    ///< batch thread reset the backend; finish bookkeeping
+    kChooseAction,  ///< greedy coin; maybe suspend for a kMain batch
+    kStepEnv,       ///< action decided; step the environment + observe
+    kFinishStep,    ///< latency record + end-of-episode detection
+    kEpisodeEnd,    ///< stats, solved/budget checks, next episode
+  };
+
+  enum class RequestKind {
+    kGreedyEval,   ///< Q(s, .) on theta_1 -> argmax into Session::action
+    kTdEvalTrain,  ///< Q(s', .) on theta_2 -> target -> seq_train(sa)
+    kTrainOnly,    ///< terminal transition: target = clip(r) -> seq_train
+    kInitTrain,    ///< Eq. 7/8 on the session's buffer
+    kSyncTarget,   ///< theta_2 <- theta_1
+    kReset,        ///< §4.3 re-randomization of the shared weights
+  };
+
+  struct Session;
+  struct Request {
+    Session* session;  ///< null once the request was handled by a failure
+    RequestKind kind;
+  };
+
+  // Worker side (thread pool tasks).
+  void advance(Session* s);
+  void run_session(Session& s);
+  void begin_episode_env(Session& s);  ///< episode counters + env reset
+  void suspend(Session& s, RequestKind kind, Phase resume);
+  void retire(Session* s, bool completed, std::string error);
+
+  // Batch-thread side (the only code that touches backend_ after start).
+  void batch_loop();
+  void process_requests(std::vector<Request>& requests);
+  void coalesced_predict(QNetwork which, bool use_next_state);
+  void apply_init_train(Session& s);
+  double session_td_target(Session& s, const nn::Transition& transition,
+                           util::OpCategory charge_to);
+  [[nodiscard]] double clip_target(const Session& s, double target) const;
+
+  OsElmQBackendPtr backend_;
+  SimplifiedOutputModel model_;
+  AsyncQServerConfig config_;
+  linalg::VecD action_codes_;
+
+  // Ready queue (workers push, batch thread drains).
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  ///< batch thread waits for work
+  std::condition_variable space_cv_;  ///< workers wait for queue space
+  std::deque<Request> ready_;
+  bool batch_stop_ = false;
+
+  // Session registry and lifecycle.
+  mutable std::mutex sessions_mutex_;
+  std::condition_variable retire_cv_;
+  std::map<std::size_t, std::unique_ptr<Session>> live_;
+  std::map<std::size_t, AsyncSessionResult> results_;  ///< unclaimed only
+  std::set<std::size_t> claimed_;  ///< ids whose result was delivered
+  std::size_t next_id_ = 0;
+  /// Lock-free mirror of live_.size() for the batch thread's linger
+  /// short-circuit (once every live session has a request pending, no
+  /// further request can arrive — fire immediately).
+  std::atomic<std::size_t> live_count_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;  ///< serializes stop() callers (idempotent join)
+  /// Worker-visible mirror of backend_->initialized(); authoritative
+  /// re-checks happen on the batch thread (init races, §4.3 resets).
+  std::atomic<bool> backend_initialized_;
+
+  // Telemetry (counters are atomics; histograms live under stats_mutex_).
+  mutable std::mutex stats_mutex_;
+  util::LatencyHistogram retired_latency_;
+  util::LatencyHistogram batch_rows_hist_;
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<std::uint64_t> episodes_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_rows_{0};
+  std::atomic<std::uint64_t> train_updates_{0};
+  std::atomic<std::uint64_t> init_trains_{0};
+  std::atomic<std::uint64_t> sessions_admitted_{0};
+  std::atomic<std::uint64_t> sessions_retired_{0};
+  std::atomic<std::uint64_t> admission_rejections_{0};
+
+  // Batch-thread workspaces (only that thread touches them). Batch sizes
+  // fluctuate under continuous batching, so the state/Q matrices are
+  // cached per achieved row count (bounded by max_batch) — the hot path
+  // allocates only the first time each batch size occurs.
+  std::vector<linalg::MatD> states_by_rows_;
+  std::vector<linalg::MatD> q_by_rows_;
+  linalg::MatD* q_multi_ = nullptr;  ///< Q block of the latest batch
+  linalg::VecD q_ws_;
+  linalg::VecD scratch_sa_;
+  std::vector<Session*> batch_sessions_;  ///< rows of the current batch
+
+  // Threads last: destroyed FIRST, so no worker or batch task can touch a
+  // member (queues, condition variables, histograms) mid-destruction.
+  // stop() joins batch_thread_ before any member teardown regardless.
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread batch_thread_;
+};
+
+}  // namespace oselm::rl

@@ -43,19 +43,11 @@
 #include "env/environment.hpp"
 #include "rl/oselm_q_agent.hpp"
 #include "rl/sa_encoding.hpp"
+#include "rl/serving_types.hpp"
 #include "rl/trainer.hpp"
 #include "util/stats.hpp"
 
 namespace oselm::rl {
-
-/// One episodic training session served by a QServer.
-struct ServingSessionSpec {
-  std::string env_id = "ShapedCartPole-v0";
-  std::uint64_t env_seed = 7;
-  std::uint64_t agent_seed = 42;
-  OsElmQAgentConfig agent;   ///< exploration/update/sync knobs
-  TrainerConfig trainer;     ///< episode budget, solved criterion, resets
-};
 
 struct QServerResult {
   /// Per-session trajectories (TrainResult::breakdown holds only that

@@ -1,0 +1,29 @@
+// Shared serving-session types, hoisted out of serving.hpp so both
+// serving front-ends — the lockstep rl::QServer (serving.hpp) and the
+// asynchronous continuous-batching rl::AsyncQServer (async_server.hpp) —
+// describe their sessions with one vocabulary. A spec that drives a
+// lockstep session drives an async session unchanged; only the scheduling
+// around it differs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rl/oselm_q_agent.hpp"
+#include "rl/trainer.hpp"
+
+namespace oselm::rl {
+
+/// One episodic training session served against a shared backend.
+struct ServingSessionSpec {
+  /// env::make_environment id; accepts the "delay:<micros>:<inner-id>"
+  /// latency modifier, which is how the serving benches build
+  /// heterogeneous-latency session mixes.
+  std::string env_id = "ShapedCartPole-v0";
+  std::uint64_t env_seed = 7;
+  std::uint64_t agent_seed = 42;
+  OsElmQAgentConfig agent;   ///< exploration/update/sync knobs
+  TrainerConfig trainer;     ///< episode budget, solved criterion, resets
+};
+
+}  // namespace oselm::rl

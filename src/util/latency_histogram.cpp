@@ -1,0 +1,75 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace oselm::util {
+
+std::size_t LatencyHistogram::bucket_index(double value) noexcept {
+  if (!(value >= 1.0)) return 0;  // sub-unit samples and NaN
+  // Quarter-octave: bucket k holds (2^((k-1)/4), 2^(k/4)].
+  const double k = std::ceil(4.0 * std::log2(value));
+  return std::min<std::size_t>(kBuckets - 1,
+                               static_cast<std::size_t>(std::max(k, 1.0)));
+}
+
+double LatencyHistogram::bucket_lower(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0.0;
+  return std::exp2(static_cast<double>(bucket - 1) / 4.0);
+}
+
+void LatencyHistogram::record(double value) noexcept {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::reset() noexcept { *this = LatencyHistogram{}; }
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, nearest-rank method).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const double lo = bucket_lower(i);
+      const double hi = bucket_lower(i + 1);
+      return std::clamp(std::sqrt(std::max(lo, 0.25) * hi), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::to_json() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"min\": %.3f, \"mean\": %.3f, "
+                "\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, "
+                "\"max\": %.3f}",
+                static_cast<unsigned long long>(count_), min(), mean(),
+                quantile(0.50), quantile(0.95), quantile(0.99), max());
+  return buf;
+}
+
+}  // namespace oselm::util

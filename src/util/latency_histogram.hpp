@@ -1,0 +1,65 @@
+// Log-bucketed latency/size histogram for serving telemetry.
+//
+// The async serving engine (rl/async_server.hpp) needs cheap streaming
+// quantiles — p50/p95/p99 step latency and the achieved coalesced batch
+// size — without storing every sample. Samples land in quarter-octave
+// buckets (bounds 2^(k/4), ~19% relative width), so record() is a couple
+// of arithmetic ops, merge() is a bucket-wise add, and quantiles are read
+// back with bucket-bounded error. Exact count/sum/min/max ride along so
+// the mean is precise even though quantiles are approximate.
+//
+// Not thread-safe: writers keep a private histogram and merge() under the
+// owner's lock (each AsyncQServer session records into its own and the
+// server folds them together), which keeps the hot path lock-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <array>
+#include <string>
+
+namespace oselm::util {
+
+class LatencyHistogram {
+ public:
+  /// Quarter-octave buckets spanning [1, 2^30) in the caller's unit
+  /// (microseconds for latencies, rows for batch sizes); values below 1
+  /// land in bucket 0, values beyond the range in the last bucket.
+  static constexpr std::size_t kBuckets = 121;  // 4 per octave * 30 + 1
+
+  void record(double value) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Approximate quantile for q in [0, 1]: the geometric midpoint of the
+  /// bucket holding the q-th sample, clamped to the exact [min, max].
+  /// Error is bounded by the bucket width (<= ~19% relative).
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// {"count":N,"min":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..}
+  /// — field names are unit-neutral; embed under a key that names the
+  /// unit (e.g. "step_latency_us").
+  [[nodiscard]] std::string to_json() const;
+
+  /// Bucket index a value lands in (exposed for tests).
+  [[nodiscard]] static std::size_t bucket_index(double value) noexcept;
+  /// Lower bound of a bucket: 2^((k-1)/4) for k >= 1, 0 for bucket 0.
+  [[nodiscard]] static double bucket_lower(std::size_t bucket) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace oselm::util

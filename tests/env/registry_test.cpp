@@ -55,5 +55,45 @@ TEST(Registry, ShapedAcrobotConstructs) {
   EXPECT_EQ(obs.size(), 6u);
 }
 
+TEST(Registry, DelayModifierWrapsWithoutChangingDynamics) {
+  auto plain = make_environment("ShapedCartPole-v0", 99);
+  auto delayed = make_environment("delay:200:ShapedCartPole-v0", 99);
+  EXPECT_EQ(delayed->name(), "delay:200:CartPole-v0");
+  EXPECT_EQ(delayed->observation_space().dimensions(),
+            plain->observation_space().dimensions());
+  EXPECT_EQ(delayed->action_space().n, plain->action_space().n);
+  // Identical trajectory: the wrapper only adds time, never randomness.
+  EXPECT_EQ(plain->reset(), delayed->reset());
+  for (std::size_t step = 0; step < 5; ++step) {
+    const StepResult a = plain->step(step % 2);
+    const StepResult b = delayed->step(step % 2);
+    EXPECT_EQ(a.observation, b.observation) << step;
+    EXPECT_DOUBLE_EQ(a.reward, b.reward) << step;
+    EXPECT_EQ(a.done(), b.done()) << step;
+  }
+}
+
+TEST(Registry, DelayModifierNests) {
+  auto env = make_environment("delay:100:delay:50:GridWorld", 5);
+  EXPECT_EQ(env->name(), "delay:100:delay:50:GridWorld");
+  EXPECT_EQ(env->reset().size(), env->observation_space().dimensions());
+}
+
+TEST(Registry, MalformedDelayIdsThrow) {
+  EXPECT_THROW(make_environment("delay:"), std::invalid_argument);
+  EXPECT_THROW(make_environment("delay:500"), std::invalid_argument);
+  EXPECT_THROW(make_environment("delay:500:"), std::invalid_argument);
+  EXPECT_THROW(make_environment("delay::GridWorld"), std::invalid_argument);
+  EXPECT_THROW(make_environment("delay:12ms:GridWorld"),
+               std::invalid_argument);
+  EXPECT_THROW(make_environment("delay:100:NoSuchEnv"),
+               std::invalid_argument);
+  // Over-long numeric fields throw instead of wrapping modulo 2^64.
+  EXPECT_THROW(make_environment("delay:18446744073709551617:GridWorld"),
+               std::invalid_argument);
+  EXPECT_THROW(make_environment("delay:9999999999999:GridWorld"),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace oselm::env

@@ -19,6 +19,7 @@
 
 #include "fixed/fixed_point.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace oselm::linalg::kernels {
 namespace {
@@ -226,6 +227,181 @@ TEST(KernelSymRank1, MatchesScalarReferenceAndStaysSymmetric) {
       }
     }
   }
+}
+
+/// Symmetric P = B B^T + I as a flat row-major buffer.
+std::vector<double> random_spd(std::size_t n, util::Rng& rng) {
+  std::vector<double> b = random_vec(n * n, rng, -0.5, 0.5);
+  std::vector<double> p(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = i == j ? 1.0 : 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b[i * n + k] * b[j * n + k];
+      p[i * n + j] = acc;
+    }
+  }
+  return p;
+}
+
+/// The definitionally single-threaded composition the banded kernels must
+/// reproduce under any partition.
+std::vector<double> serial_rank1(std::vector<double> p, std::size_t n,
+                                 const std::vector<double>& u, double inv,
+                                 double p_scale) {
+  sym_rank1_update_rows(p.data(), n, 0, n, u.data(), inv, p_scale);
+  mirror_lower_rows(p.data(), n, 0, n);
+  return p;
+}
+
+TEST(KernelSymRank1, ArbitraryRowBandPartitionsAreBitIdentical) {
+  // The parallel P-update shards disjoint row bands; each row's arithmetic
+  // never reads another row, so ANY partition — including bands that cut
+  // through the 16-wide mirror tiles — must reproduce the full kernel
+  // bit-for-bit, in both dispatch modes.
+  util::Rng rng(11);
+  const struct RestoreDispatch {
+    ~RestoreDispatch() { reset_simd_override(); }
+  } restore;
+  for (const bool simd : {false, true}) {
+    if (simd && !simd_available()) continue;
+    set_simd_enabled(simd);
+    for (const std::size_t n : {33u, 100u, 130u}) {
+      for (const double p_scale : {1.0, 1.0 / 0.97}) {
+        const std::vector<double> p0 = random_spd(n, rng);
+        const std::vector<double> u = random_vec(n, rng);
+        const std::vector<double> reference =
+            serial_rank1(p0, n, u, 0.27, p_scale);
+        for (const std::size_t cut :
+             {std::size_t{1}, std::size_t{16}, std::size_t{17}, n / 2,
+              n - 1}) {
+          std::vector<double> banded = p0;
+          sym_rank1_update_rows(banded.data(), n, 0, cut, u.data(), 0.27,
+                                p_scale);
+          sym_rank1_update_rows(banded.data(), n, cut, n, u.data(), 0.27,
+                                p_scale);
+          mirror_lower_rows(banded.data(), n, cut, n);  // order-free copies
+          mirror_lower_rows(banded.data(), n, 0, cut);
+          for (std::size_t i = 0; i < n * n; ++i) {
+            ASSERT_EQ(banded[i], reference[i])
+                << "simd=" << simd << " n=" << n << " cut=" << cut;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSymRank1, ThreadPoolShardingIsBitIdentical) {
+  // Replays the sharded schedule the dispatcher uses at n >= 512 (disjoint
+  // update bands, a barrier, disjoint mirror bands on a real ThreadPool)
+  // and pins bit-identity against the serial composition. n = 600 makes
+  // the balanced band boundaries land off the 16-wide mirror tiles.
+  util::Rng rng(12);
+  util::ThreadPool pool(4);
+  for (const std::size_t n : {512u, 600u}) {
+    const std::vector<double> p0 = random_spd(n, rng);
+    const std::vector<double> u = random_vec(n, rng);
+    for (const double p_scale : {1.0, 1.0 / 0.97}) {
+      const std::vector<double> reference =
+          serial_rank1(p0, n, u, 0.4, p_scale);
+      std::vector<double> sharded = p0;
+      const std::size_t bands = 4;
+      std::vector<std::size_t> bounds = {0, n / 5, n / 2, (3 * n) / 4, n};
+      pool.parallel_for(bands, [&](std::size_t b) {
+        sym_rank1_update_rows(sharded.data(), n, bounds[b], bounds[b + 1],
+                              u.data(), 0.4, p_scale);
+      });
+      pool.parallel_for(bands, [&](std::size_t b) {
+        mirror_lower_rows(sharded.data(), n, bounds[b], bounds[b + 1]);
+      });
+      ASSERT_EQ(sharded, reference) << "n=" << n << " p_scale=" << p_scale;
+    }
+  }
+}
+
+TEST(KernelSymRank1, DispatcherAtParallelSizeMatchesSerialBitForBit) {
+  // The public entry point may (or may not — thread count is host- and
+  // environment-dependent) take the sharded path at n >= 512; either way
+  // it must equal the serial composition exactly.
+  util::Rng rng(13);
+  const std::size_t n = 512;
+  const std::vector<double> p0 = random_spd(n, rng);
+  const std::vector<double> u = random_vec(n, rng);
+  for (const double p_scale : {1.0, 1.0 / 0.97}) {
+    const std::vector<double> reference =
+        serial_rank1(p0, n, u, 0.19, p_scale);
+    std::vector<double> dispatched = p0;
+    sym_rank1_update(dispatched.data(), n, u.data(), 0.19, p_scale);
+    ASSERT_EQ(dispatched, reference) << "p_scale=" << p_scale;
+  }
+}
+
+TEST(KernelSymRankK, MatchesDenseDowndateAndStaysSymmetric) {
+  util::Rng rng(14);
+  const struct RestoreDispatch {
+    ~RestoreDispatch() { reset_simd_override(); }
+  } restore;
+  for (const bool simd : {false, true}) {
+    if (simd && !simd_available()) continue;
+    set_simd_enabled(simd);
+    for (const std::size_t n : {9u, 31u, 64u}) {
+      for (const std::size_t k : {2u, 3u, 5u}) {
+        const std::vector<double> p0 = random_spd(n, rng);
+        // U (as k x n transposed rows) and a symmetric K give the Eq. 5
+        // shape: G = U K, downdate = G U^T symmetric.
+        const std::vector<double> ut = random_vec(k * n, rng);
+        std::vector<double> kmat = random_vec(k * k, rng, -0.3, 0.3);
+        for (std::size_t r = 0; r < k; ++r) {
+          for (std::size_t c = r + 1; c < k; ++c) {
+            kmat[c * k + r] = kmat[r * k + c];
+          }
+        }
+        std::vector<double> gt(k * n, 0.0);
+        for (std::size_t c = 0; c < k; ++c) {
+          for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t d = 0; d < k; ++d) {
+              gt[c * n + i] += kmat[c * k + d] * ut[d * n + i];
+            }
+          }
+        }
+        std::vector<double> p = p0;
+        sym_rankk_downdate(p.data(), n, gt.data(), ut.data(), k);
+        // Dense reference on the upper triangle.
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = i; j < n; ++j) {
+            double expected = p0[i * n + j];
+            for (std::size_t c = 0; c < k; ++c) {
+              expected -= gt[c * n + i] * ut[c * n + j];
+            }
+            expect_close(p[i * n + j], expected, "sym_rankk_downdate", n);
+          }
+        }
+        // Exact symmetry via the mirror.
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            EXPECT_EQ(p[i * n + j], p[j * n + i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSymRankK, KEqualsOneMatchesTheRank1Kernel) {
+  // gt = u * inv reproduces sym_rank1_update's p_scale == 1 arithmetic
+  // exactly (axpy with a negated multiplier is the same FMA).
+  util::Rng rng(15);
+  const std::size_t n = 100;
+  const std::vector<double> p0 = random_spd(n, rng);
+  const std::vector<double> u = random_vec(n, rng);
+  const double inv = 0.37;
+  std::vector<double> gt(n);
+  for (std::size_t i = 0; i < n; ++i) gt[i] = u[i] * inv;
+  std::vector<double> via_rankk = p0;
+  sym_rankk_downdate(via_rankk.data(), n, gt.data(), u.data(), 1);
+  std::vector<double> via_rank1 = p0;
+  sym_rank1_update(via_rank1.data(), n, u.data(), inv, 1.0);
+  ASSERT_EQ(via_rankk, via_rank1);
 }
 
 // ---------------------------------------------------------------------------

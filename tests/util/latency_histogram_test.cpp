@@ -1,0 +1,130 @@
+#include "util/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oselm::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogramIsAllZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, ExactStatsAreExact) {
+  LatencyHistogram h;
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 40.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.0);
+}
+
+TEST(LatencyHistogram, QuantilesLandWithinBucketError) {
+  // 1000 samples spread uniformly over [100, 1100): the p-quantile of the
+  // data is ~100 + 1000 p; quarter-octave buckets bound relative error by
+  // 2^(1/4) - 1 (~19%).
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(100.0 + i);
+  for (const double p : {0.5, 0.95, 0.99}) {
+    const double expected = 100.0 + 1000.0 * p;
+    const double got = h.quantile(p);
+    EXPECT_NEAR(got, expected, expected * 0.20) << "p=" << p;
+  }
+  // Extremes clamp to the exact min/max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1099.0);
+}
+
+TEST(LatencyHistogram, SingleValueQuantilesAreThatValue) {
+  LatencyHistogram h;
+  h.record(250.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 250.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 250.0);
+}
+
+TEST(LatencyHistogram, SubUnitAndHugeValuesClampIntoRange) {
+  LatencyHistogram h;
+  h.record(0.0);
+  h.record(0.3);
+  h.record(1e12);  // beyond the last bucket bound
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  // Quantiles stay within [min, max] even for out-of-range buckets.
+  EXPECT_GE(h.quantile(0.99), 0.0);
+  EXPECT_LE(h.quantile(0.99), 1e12);
+}
+
+TEST(LatencyHistogram, MergeMatchesRecordingIntoOne) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int i = 1; i <= 100; ++i) {
+    ((i % 2) != 0 ? a : b).record(static_cast<double>(i));
+    combined.record(static_cast<double>(i));
+  }
+  LatencyHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), combined.min());
+  EXPECT_DOUBLE_EQ(merged.max(), combined.max());
+  for (const double p : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(p), combined.quantile(p)) << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeOfEmptyIsNoOp) {
+  LatencyHistogram h;
+  h.record(5.0);
+  const LatencyHistogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+
+  LatencyHistogram target;
+  target.merge(h);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.min(), 5.0);
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotonic) {
+  std::size_t prev = 0;
+  for (double v = 1.0; v < 1e6; v *= 1.7) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+    // The bucket's bounds actually contain the value.
+    EXPECT_LE(LatencyHistogram::bucket_lower(idx), v);
+    EXPECT_GT(LatencyHistogram::bucket_lower(idx + 1), v * (1.0 - 1e-12));
+  }
+}
+
+TEST(LatencyHistogram, JsonCarriesTheSummaryFields) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 10; ++i) h.record(static_cast<double>(i) * 100.0);
+  const std::string json = h.to_json();
+  for (const char* key :
+       {"\"count\"", "\"min\"", "\"mean\"", "\"p50\"", "\"p95\"", "\"p99\"",
+        "\"max\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+  EXPECT_NE(json.find("\"count\": 10"), std::string::npos) << json;
+}
+
+TEST(LatencyHistogram, ResetForgetsEverything) {
+  LatencyHistogram h;
+  h.record(42.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace oselm::util
