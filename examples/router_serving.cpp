@@ -1,0 +1,121 @@
+// Multi-replica serving through rl::RouterQServer: a fleet of R replica
+// servers (each an AsyncQServer with its own Q-network backend) behind
+// one router with session-affinity placement, spillover, and periodic
+// state averaging across the replicas' networks.
+//
+//   ./router_serving [replicas] [sessions] [delay_us] [episodes]
+//
+// Two phases: train the fleet under TrainSyncPolicy::kPeriodicAverage
+// (every replica ends up with the averaged Q-network), then serve a
+// burst of evaluation sessions whose affinity keys spread them across
+// replicas. Defaults keep the run around a second so CI smoke-runs it.
+// Exits non-zero if any session fails or the telemetry looks broken.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rl/router.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oselm;
+
+  const std::size_t replicas =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+  const std::size_t sessions =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+  const std::uint64_t delay_us =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 300;
+  const std::size_t episodes =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 5;
+
+  const rl::SimplifiedOutputModel model(4, 2);  // CartPole: 4 states + code
+  rl::RouterConfig config;
+  config.name = "edge-fleet";
+  config.replicas = replicas;
+  config.backend_id = "software";
+  config.backend.input_dim = model.input_dim();
+  config.backend.hidden_units = 32;
+  config.backend.l2_delta = 0.5;
+  config.backend.spectral_normalize = true;
+  config.backend.seed = 2024;
+  config.server.worker_threads = 4;
+  config.server.max_live_sessions = 16;
+  config.server.max_batch = 16;
+  config.server.max_wait_us = 200;
+  config.sync_policy = rl::TrainSyncPolicy::kPeriodicAverage;
+  config.sync_every_updates = 128;
+
+  rl::RouterQServer router(config, model);
+
+  // --- Phase 1: one training session per replica; the averaging rounds
+  // keep the fleet's Q-networks converging on shared state.
+  std::printf("training %zu replicas under kPeriodicAverage...\n", replicas);
+  std::vector<std::size_t> trainers;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    rl::AsyncSessionSpec train;
+    train.mode = rl::AsyncSessionMode::kTrain;
+    train.session.env_id = "ShapedCartPole-v0";
+    train.session.env_seed = 11 + r;
+    train.session.agent_seed = 21 + r;
+    train.session.trainer.max_episodes = 25;
+    train.session.trainer.reset_interval = 0;
+    train.session.trainer.solved_threshold = 1e9;
+    trainers.push_back(
+        router.add_session({train, "trainer-" + std::to_string(r)}));
+  }
+  for (const std::size_t id : trainers) {
+    const rl::AsyncSessionResult r = router.wait(id);
+    std::printf("  trainer #%zu on %s: %zu episodes, %zu steps\n", r.id,
+                r.served_by.c_str(), r.train.episodes, r.train.total_steps);
+  }
+
+  // --- Phase 2: a burst of evaluation sessions routed by affinity key.
+  std::printf("\nserving %zu evaluation sessions on %llu us environments "
+              "across %zu replicas\n",
+              sessions, static_cast<unsigned long long>(delay_us), replicas);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    rl::AsyncSessionSpec spec;
+    spec.mode = rl::AsyncSessionMode::kEvaluate;
+    spec.session.env_id =
+        "delay:" + std::to_string(delay_us) + ":ShapedCartPole-v0";
+    spec.session.env_seed = 100 + 13 * i;
+    spec.session.agent_seed = 50 + i;
+    spec.session.trainer.max_episodes = episodes;
+    spec.session.trainer.solved_threshold = 1e9;
+    spec.session.trainer.episode_step_cap = 60;
+    router.add_session({spec, "client-" + std::to_string(i)});
+  }
+
+  const std::vector<rl::AsyncSessionResult> results = router.drain();
+  bool all_ok = true;
+  std::printf("\n%-8s %-14s %-9s %-7s %s\n", "session", "replica",
+              "episodes", "steps", "p50/p95/p99 step latency [us]");
+  for (const rl::AsyncSessionResult& r : results) {
+    all_ok = all_ok && r.completed && !r.failed;
+    std::printf("  #%-5zu %-14s %-9zu %-7zu %.0f / %.0f / %.0f\n", r.id,
+                r.served_by.c_str(), r.train.episodes, r.train.total_steps,
+                r.step_latency_us.quantile(0.50),
+                r.step_latency_us.quantile(0.95),
+                r.step_latency_us.quantile(0.99));
+  }
+
+  router.stop();
+  const rl::RouterStats stats = router.stats();
+  std::printf("\nrouter telemetry:\n%s\n", stats.to_json().c_str());
+
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: a session failed or was cut short\n");
+    return 1;
+  }
+  if (stats.aggregate.steps == 0 ||
+      stats.sessions_admitted != replicas + sessions) {
+    std::fprintf(stderr, "FAIL: router telemetry looks broken\n");
+    return 1;
+  }
+  if (config.replicas > 1 && stats.syncs == 0) {
+    std::fprintf(stderr, "FAIL: no averaging round ever ran\n");
+    return 1;
+  }
+  return 0;
+}

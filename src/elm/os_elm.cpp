@@ -62,6 +62,23 @@ void OsElm::set_beta(const linalg::MatD& beta) {
   net_.mutable_beta() = beta;
 }
 
+void OsElm::restore_trained_state(const linalg::MatD& beta,
+                                  const linalg::MatD& p) {
+  if (beta.rows() != config().hidden_units ||
+      beta.cols() != config().output_dim) {
+    throw std::invalid_argument(
+        "OsElm::restore_trained_state: beta shape mismatch");
+  }
+  if (p.rows() != config().hidden_units ||
+      p.cols() != config().hidden_units) {
+    throw std::invalid_argument(
+        "OsElm::restore_trained_state: P shape mismatch");
+  }
+  net_.mutable_beta() = beta;
+  p_ = p;
+  initialized_ = true;
+}
+
 void OsElm::init_train(const linalg::MatD& x0, const linalg::MatD& t0) {
   if (x0.rows() != t0.rows()) {
     throw std::invalid_argument("OsElm::init_train: sample count mismatch");

@@ -92,6 +92,13 @@ class OsElm {
   linalg::MatD& mutable_beta() noexcept { return net_.mutable_beta(); }
   void set_beta(const linalg::MatD& beta);
 
+  /// Overwrites the trained state (beta, P) in place and marks the model
+  /// initialized, keeping alpha/bias untouched. Used by replica
+  /// synchronization (rl::RouterQServer averaging) where every replica
+  /// shares the same random projection and only the sequential-learning
+  /// state moves. Shapes are validated against config().
+  void restore_trained_state(const linalg::MatD& beta, const linalg::MatD& p);
+
  private:
   Elm net_;          ///< shares alpha/bias/beta representation with ELM
   linalg::MatD p_;   ///< N-tilde x N-tilde

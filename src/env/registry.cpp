@@ -44,9 +44,20 @@ EnvironmentPtr make_delayed(const std::string& id, std::uint64_t seed_value) {
           std::to_string(kMaxDelayMicros) + " us");
     }
   }
-  return std::make_unique<LatencyEnv>(
-      make_environment(id.substr(sep + 1), seed_value),
-      std::chrono::microseconds(micros));
+  EnvironmentPtr inner;
+  try {
+    inner = make_environment(id.substr(sep + 1), seed_value);
+  } catch (const std::invalid_argument& e) {
+    // Surface the FULL outer id: callers built the outer string, and a
+    // nested failure that only names the innermost fragment is
+    // undebuggable from their logs.
+    const std::string what = e.what();
+    if (what.find("'" + id + "'") != std::string::npos) throw;
+    throw std::invalid_argument(what + " (inside modifier id '" + id +
+                                "')");
+  }
+  return std::make_unique<LatencyEnv>(std::move(inner),
+                                      std::chrono::microseconds(micros));
 }
 
 }  // namespace
@@ -83,6 +94,13 @@ std::vector<std::string> registered_environments() {
           "MountainCar-v0",     "ShapedMountainCar-v0",
           "Acrobot-v1",         "ShapedAcrobot-v1",
           "GridWorld"};
+}
+
+std::vector<std::string> registered_modifiers() {
+  // Prefix families applied recursively in front of any id from
+  // registered_environments() (or another modifier). Enumerate-then-
+  // construct callers compose these with the concrete ids.
+  return {"delay:"};
 }
 
 }  // namespace oselm::env

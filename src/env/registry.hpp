@@ -22,7 +22,14 @@ namespace oselm::env {
 EnvironmentPtr make_environment(const std::string& id,
                                 std::uint64_t seed_value = 2020);
 
-/// All ids make_environment accepts.
+/// All concrete ids make_environment accepts. Modifier-wrapped ids (see
+/// registered_modifiers) are accepted too but not enumerated here.
 std::vector<std::string> registered_environments();
+
+/// Modifier-prefix families make_environment accepts in front of any id
+/// (recursively composable). Currently {"delay:"} — the full form is
+/// "delay:<micros>:<inner-id>". Callers that enumerate-then-construct
+/// combine these prefixes with registered_environments().
+std::vector<std::string> registered_modifiers();
 
 }  // namespace oselm::env

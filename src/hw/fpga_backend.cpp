@@ -298,4 +298,30 @@ void FpgaOsElmBackend::seq_train(const linalg::VecD& sa, double target) {
 
 void FpgaOsElmBackend::sync_target() { beta_target_ = beta_; }
 
+rl::QNetState FpgaOsElmBackend::export_state() const {
+  // P is only meaningful once init_train has run; before that p_ is a
+  // zeroed placeholder, and the snapshot mirrors OsElm's empty-P
+  // convention for untrained models.
+  return {dequantize(beta_), dequantize(beta_target_),
+          initialized_ ? dequantize(p_) : linalg::MatD(), initialized_};
+}
+
+void FpgaOsElmBackend::import_state(const rl::QNetState& state) {
+  const std::size_t units = config_.hidden_units;
+  if (!state.initialized) {
+    throw std::invalid_argument(
+        "FpgaOsElmBackend::import_state: snapshot is untrained");
+  }
+  if (state.beta.rows() != units || state.beta.cols() != 1 ||
+      state.beta_target.rows() != units || state.beta_target.cols() != 1 ||
+      state.p.rows() != units || state.p.cols() != units) {
+    throw std::invalid_argument(
+        "FpgaOsElmBackend::import_state: shape mismatch");
+  }
+  beta_ = quantize(state.beta);
+  beta_target_ = quantize(state.beta_target);
+  p_ = quantize(state.p);
+  initialized_ = true;
+}
+
 }  // namespace oselm::hw

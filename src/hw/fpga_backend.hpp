@@ -73,6 +73,14 @@ class FpgaOsElmBackend final : public rl::OsElmQBackend {
   void seq_train(const linalg::VecD& sa, double target) override;
   void sync_target() override;
 
+  /// State sync crosses the fixed-point boundary: export dequantizes the
+  /// on-chip Q-format matrices to double, import re-quantizes (with the
+  /// configured saturation policy), so a round trip is faithful only to
+  /// the Q-format resolution — not bit-exact like the software backend.
+  [[nodiscard]] bool supports_state_sync() const override { return true; }
+  [[nodiscard]] rl::QNetState export_state() const override;
+  void import_state(const rl::QNetState& state) override;
+
   [[nodiscard]] bool initialized() const override { return initialized_; }
   [[nodiscard]] std::size_t input_dim() const override {
     return config_.input_dim;

@@ -27,4 +27,16 @@ void OsElmQBackend::predict_actions_multi(const linalg::MatD& states,
   }
 }
 
+QNetState OsElmQBackend::export_state() const {
+  throw std::logic_error(
+      "OsElmQBackend::export_state: backend does not support state sync "
+      "(check supports_state_sync())");
+}
+
+void OsElmQBackend::import_state(const QNetState&) {
+  throw std::logic_error(
+      "OsElmQBackend::import_state: backend does not support state sync "
+      "(check supports_state_sync())");
+}
+
 }  // namespace oselm::rl

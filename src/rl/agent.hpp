@@ -54,6 +54,22 @@ using AgentPtr = std::unique_ptr<Agent>;
 /// target copy).
 enum class QNetwork { kMain, kTarget };
 
+/// Portable snapshot of a backend's learned Q-network state — exactly the
+/// pieces that change during training: beta (theta_1), the frozen target
+/// copy beta_target (theta_2), and the OS-ELM covariance inverse P. The
+/// fixed random projection (alpha, bias) is NOT included: replica
+/// synchronization assumes all parties were built from the same
+/// BackendConfig seed and therefore share it. Matrices are always
+/// double-precision; fixed-point backends dequantize on export and
+/// re-quantize on import, so a round trip through the FPGA model is lossy
+/// at its Q-format resolution but software round trips are bit-exact.
+struct QNetState {
+  linalg::MatD beta;         ///< N x 1 output weights (theta_1)
+  linalg::MatD beta_target;  ///< N x 1 target copy (theta_2)
+  linalg::MatD p;            ///< N x N covariance inverse (empty if !initialized)
+  bool initialized = false;  ///< whether init_train has run
+};
+
 /// Arithmetic backend for the OS-ELM Q-network: the same Algorithm 1 agent
 /// drives either the software (double) implementation or the fixed-point
 /// FPGA functional model.
@@ -136,6 +152,21 @@ class OsElmQBackend {
   [[nodiscard]] virtual bool initialized() const = 0;
   [[nodiscard]] virtual std::size_t input_dim() const = 0;
   [[nodiscard]] virtual std::size_t hidden_units() const = 0;
+
+  /// Whether this backend implements export_state/import_state. The base
+  /// returns false; callers (rl::RouterQServer's kPeriodicAverage sync)
+  /// must check before calling either — the defaults throw.
+  [[nodiscard]] virtual bool supports_state_sync() const { return false; }
+
+  /// Snapshot of the learned state (see QNetState). Throws
+  /// std::logic_error unless supports_state_sync().
+  [[nodiscard]] virtual QNetState export_state() const;
+
+  /// Overwrites the learned state from a snapshot (shape-validated
+  /// against this backend's dimensions). `state.initialized` must be
+  /// true — importing an untrained snapshot is a contract error. Throws
+  /// std::logic_error unless supports_state_sync().
+  virtual void import_state(const QNetState& state);
 
   /// The time account this backend charges.
   [[nodiscard]] util::TimeLedger& ledger() noexcept { return *ledger_; }

@@ -229,6 +229,20 @@ AsyncServerStats AsyncQServer::stats() const {
   return out;
 }
 
+void AsyncServerStats::merge(const AsyncServerStats& other) {
+  steps += other.steps;
+  episodes += other.episodes;
+  batches += other.batches;
+  batch_rows += other.batch_rows;
+  train_updates += other.train_updates;
+  init_trains += other.init_trains;
+  sessions_admitted += other.sessions_admitted;
+  sessions_retired += other.sessions_retired;
+  admission_rejections += other.admission_rejections;
+  step_latency_us.merge(other.step_latency_us);
+  batch_rows_hist.merge(other.batch_rows_hist);
+}
+
 std::string AsyncServerStats::to_json() const {
   char head[512];
   std::snprintf(
@@ -448,6 +462,7 @@ void AsyncQServer::retire(Session* s, bool completed, std::string error) {
   result.completed = completed;
   result.failed = !error.empty();
   result.error = std::move(error);
+  result.served_by = config_.name;
   result.train.wall_seconds =
       std::chrono::duration<double>(Clock::now() - s->admitted_at).count();
   result.train.breakdown = util::OpBreakdown{};
@@ -477,40 +492,98 @@ void AsyncQServer::retire(Session* s, bool completed, std::string error) {
 
 void AsyncQServer::batch_loop() {
   std::vector<Request> drained;
+  std::vector<ExclusiveTask> exclusive;
   for (;;) {
+    drained.clear();
+    exclusive.clear();
     {
       std::unique_lock lk(queue_mutex_);
-      queue_cv_.wait(lk, [this] { return batch_stop_ || !ready_.empty(); });
-      if (batch_stop_ && ready_.empty()) return;
-      // A batch is "full" at max_batch rows — or as soon as no further
-      // request can arrive before a drain: every live session already
-      // has one pending (solo sessions never pay the linger), or the
-      // bounded queue is at capacity and workers are blocked on it.
-      const auto batch_full = [this] {
-        return ready_.size() >= config_.max_batch ||
-               ready_.size() >=
-                   live_count_.load(std::memory_order_relaxed) ||
-               ready_.size() >= config_.ready_queue_capacity;
-      };
-      if (config_.max_wait_us > 0 && !batch_full()) {
-        // Continuous-batching linger: give co-tenants max_wait_us to
-        // join this batch, then serve whatever is pending.
-        const auto deadline =
-            Clock::now() + std::chrono::microseconds(config_.max_wait_us);
-        queue_cv_.wait_until(lk, deadline, [&] {
-          return batch_stop_ || batch_full();
-        });
+      queue_cv_.wait(lk, [this] {
+        return batch_stop_ || !ready_.empty() || !exclusive_.empty();
+      });
+      if (batch_stop_ && ready_.empty() && exclusive_.empty()) return;
+      // Exclusive tasks (run_exclusive) jump ahead of batching: they are
+      // rare (sync rounds, priming) and their callers block on them.
+      if (!exclusive_.empty()) {
+        exclusive.assign(std::make_move_iterator(exclusive_.begin()),
+                         std::make_move_iterator(exclusive_.end()));
+        exclusive_.clear();
       }
-      const std::size_t take =
-          std::min(ready_.size(), config_.max_batch);
-      drained.assign(ready_.begin(),
+      if (!ready_.empty()) {
+        // A batch is "full" at max_batch rows — or as soon as no further
+        // request can arrive before a drain: every live session already
+        // has one pending (solo sessions never pay the linger), or the
+        // bounded queue is at capacity and workers are blocked on it.
+        const auto batch_full = [this] {
+          return ready_.size() >= config_.max_batch ||
+                 ready_.size() >=
+                     live_count_.load(std::memory_order_relaxed) ||
+                 ready_.size() >= config_.ready_queue_capacity;
+        };
+        if (config_.max_wait_us > 0 && !batch_full() && exclusive.empty()) {
+          // Continuous-batching linger: give co-tenants max_wait_us to
+          // join this batch, then serve whatever is pending.
+          const auto deadline =
+              Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+          queue_cv_.wait_until(lk, deadline, [&] {
+            return batch_stop_ || batch_full();
+          });
+        }
+        const std::size_t take =
+            std::min(ready_.size(), config_.max_batch);
+        drained.assign(ready_.begin(),
+                       ready_.begin() + static_cast<std::ptrdiff_t>(take));
+        ready_.erase(ready_.begin(),
                      ready_.begin() + static_cast<std::ptrdiff_t>(take));
-      ready_.erase(ready_.begin(),
-                   ready_.begin() + static_cast<std::ptrdiff_t>(take));
+      }
     }
     space_cv_.notify_all();
-    process_requests(drained);
+    for (ExclusiveTask& task : exclusive) run_exclusive_task(task);
+    if (!drained.empty()) process_requests(drained);
   }
+}
+
+void AsyncQServer::run_exclusive_task(ExclusiveTask& task) {
+  try {
+    task.fn(*backend_);
+    task.done->set_value();
+  } catch (...) {
+    task.done->set_exception(std::current_exception());
+  }
+  // The callback may have initialized (state import) or reset the
+  // backend; buffering workers read this mirror, so refresh it or an
+  // imported-initialized network would leave them buffering forever.
+  backend_initialized_.store(backend_->initialized(),
+                             std::memory_order_release);
+}
+
+std::future<void> AsyncQServer::run_exclusive_async(
+    std::function<void(OsElmQBackend&)> fn) {
+  if (!fn) {
+    throw std::invalid_argument("AsyncQServer::run_exclusive: null fn");
+  }
+  ExclusiveTask task{std::move(fn), std::make_shared<std::promise<void>>()};
+  std::future<void> done = task.done->get_future();
+  {
+    std::unique_lock lk(queue_mutex_);
+    if (!batch_stop_) {
+      exclusive_.push_back(std::move(task));
+      lk.unlock();
+      queue_cv_.notify_one();
+      return done;
+    }
+  }
+  // The batch thread is gone (stop() ran). stop_mutex_ serializes against
+  // a stop() still joining it and against concurrent inline callers — the
+  // backend stays single-touched even after shutdown.
+  const std::scoped_lock stop_lock(stop_mutex_);
+  run_exclusive_task(task);
+  return done;
+}
+
+void AsyncQServer::run_exclusive(
+    const std::function<void(OsElmQBackend&)>& fn) {
+  run_exclusive_async(fn).get();
 }
 
 double AsyncQServer::clip_target(const Session& s, double target) const {

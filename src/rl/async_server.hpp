@@ -56,6 +56,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -105,12 +106,19 @@ struct AsyncSessionResult {
   bool completed = false;  ///< ran to its budget / solved criterion
   bool failed = false;     ///< the environment threw; see `error`
   std::string error;
+  /// AsyncQServerConfig::name of the server that ran this session — the
+  /// replica identity when serving behind rl::RouterQServer (placement
+  /// tests and spillover accounting read it).
+  std::string served_by;
   /// Wall micros from step start (action choice) to step end, batching
   /// wait included — the user-visible serving latency.
   util::LatencyHistogram step_latency_us;
 };
 
 struct AsyncQServerConfig {
+  /// Server identity, stamped into every AsyncSessionResult::served_by.
+  /// RouterQServer overwrites it with the replica name ("router/r2").
+  std::string name = "server";
   /// Environment/encode worker pool size (0 = hardware concurrency).
   /// Sessions sleeping in slow environments only occupy a worker while
   /// stepping, so oversubscribing (more sessions than workers) is normal.
@@ -150,6 +158,10 @@ struct AsyncServerStats {
                         : static_cast<double>(batch_rows) /
                               static_cast<double>(batches);
   }
+  /// Folds another server's snapshot into this one: counters sum,
+  /// histograms bucket-merge. RouterQServer aggregates its replicas'
+  /// stats this way.
+  void merge(const AsyncServerStats& other);
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -189,8 +201,32 @@ class AsyncQServer {
   /// the batch thread joins. Idempotent; add_session() afterwards throws.
   void stop();
 
+  /// Runs `fn(backend)` on the batching thread — the backend's single
+  /// legal toucher — and blocks until it completes. Requests already
+  /// pending keep their drain order; `fn` runs between batches. After
+  /// stop() the batch thread is gone and the backend quiescent, so `fn`
+  /// runs inline on the caller (serialized against stop() itself).
+  /// Exceptions from `fn` propagate to the caller; the backend's
+  /// initialized() flag is re-mirrored afterwards either way, so a
+  /// synchronization import that initializes the network immediately
+  /// unblocks buffering sessions. RouterQServer's state averaging and
+  /// the tests' weight priming run through here.
+  void run_exclusive(const std::function<void(OsElmQBackend&)>& fn);
+  /// Fire-and-collect variant: returns a future that carries fn's
+  /// completion (or exception) without blocking the caller.
+  std::future<void> run_exclusive_async(
+      std::function<void(OsElmQBackend&)> fn);
+
   [[nodiscard]] AsyncServerStats stats() const;
   [[nodiscard]] std::size_t live_sessions() const;
+  /// seq_train applications so far (lock-free; RouterQServer's periodic
+  /// averaging polls it to pace sync rounds).
+  [[nodiscard]] std::uint64_t train_update_count() const noexcept {
+    return train_updates_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return config_.name;
+  }
   [[nodiscard]] const SimplifiedOutputModel& model() const noexcept {
     return model_;
   }
@@ -224,6 +260,17 @@ class AsyncQServer {
     RequestKind kind;
   };
 
+  /// A run_exclusive callback queued for the batch thread, paired with
+  /// the promise its caller is waiting on.
+  struct ExclusiveTask {
+    std::function<void(OsElmQBackend&)> fn;
+    std::shared_ptr<std::promise<void>> done;
+  };
+  /// Executes one exclusive task (either on the batch thread or inline
+  /// after stop()), fulfilling its promise and re-mirroring
+  /// backend_->initialized().
+  void run_exclusive_task(ExclusiveTask& task);
+
   // Worker side (thread pool tasks).
   void advance(Session* s);
   void run_session(Session& s);
@@ -250,6 +297,7 @@ class AsyncQServer {
   std::condition_variable queue_cv_;  ///< batch thread waits for work
   std::condition_variable space_cv_;  ///< workers wait for queue space
   std::deque<Request> ready_;
+  std::deque<ExclusiveTask> exclusive_;  ///< run_exclusive queue
   bool batch_stop_ = false;
 
   // Session registry and lifecycle.

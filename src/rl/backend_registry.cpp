@@ -22,6 +22,7 @@ std::string missing_capabilities(const BackendCapabilities& have,
   note(required.batched_predict && !have.batched_predict, "batched-predict");
   note(required.chunked_train && !have.chunked_train, "chunked-train");
   note(required.forgetting && !have.forgetting, "forgetting");
+  note(required.state_sync && !have.state_sync, "state-sync");
   return missing;
 }
 
@@ -137,14 +138,18 @@ BackendRegistry& BackendRegistry::global() {
     r->register_backend(
         "software",
         BackendCapabilities{/*fixed_point=*/false, /*batched_predict=*/true,
-                            /*chunked_train=*/true, /*forgetting=*/true},
+                            /*chunked_train=*/true, /*forgetting=*/true,
+                            /*state_sync=*/true},
         make_software);
     // Q11.20 fixed-point functional + timing model (design 7): k = 1
-    // rank-1 updates only, exact paper semantics (no forgetting).
+    // rank-1 updates only, exact paper semantics (no forgetting). State
+    // sync crosses the quantization boundary (faithful to the Q-format
+    // resolution, not bit-exact).
     r->register_backend(
         "fpga-q20",
         BackendCapabilities{/*fixed_point=*/true, /*batched_predict=*/true,
-                            /*chunked_train=*/false, /*forgetting=*/false},
+                            /*chunked_train=*/false, /*forgetting=*/false,
+                            /*state_sync=*/true},
         make_fpga_q20);
     return r;
   }();

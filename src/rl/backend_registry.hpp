@@ -54,6 +54,9 @@ struct BackendCapabilities {
   bool chunked_train = false;
   /// Honors BackendConfig::forgetting_factor < 1 (FOS-ELM extension).
   bool forgetting = false;
+  /// Implements export_state/import_state (QNetState snapshots), required
+  /// by RouterQServer's kPeriodicAverage replica synchronization.
+  bool state_sync = false;
 
   /// True when every capability set in `required` is present here.
   [[nodiscard]] bool covers(const BackendCapabilities& required)
@@ -61,7 +64,8 @@ struct BackendCapabilities {
     return (fixed_point || !required.fixed_point) &&
            (batched_predict || !required.batched_predict) &&
            (chunked_train || !required.chunked_train) &&
-           (forgetting || !required.forgetting);
+           (forgetting || !required.forgetting) &&
+           (state_sync || !required.state_sync);
   }
 };
 

@@ -1,0 +1,352 @@
+#include "rl/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace oselm::rl {
+
+namespace {
+
+/// FNV-1a 64-bit: tiny, allocation-free, and platform-stable — the same
+/// key maps to the same replica on every build, which the placement
+/// tests (and any operator reasoning about session co-location) rely on.
+std::uint64_t fnv1a(const std::string& key) noexcept {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : key) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// result += other, element-wise; adopts other's shape on first use.
+void accumulate(linalg::MatD& result, const linalg::MatD& other) {
+  if (result.empty()) {
+    result = other;
+    return;
+  }
+  std::vector<double>& out = result.storage();
+  const std::vector<double>& in = other.storage();
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += in[i];
+}
+
+void scale(linalg::MatD& m, double factor) noexcept {
+  for (double& v : m.storage()) v *= factor;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / lifecycle
+// ---------------------------------------------------------------------------
+
+RouterQServer::RouterQServer(RouterConfig config, SimplifiedOutputModel model)
+    : config_(std::move(config)), model_(model) {
+  if (config_.replicas == 0) {
+    throw std::invalid_argument("RouterQServer: replicas == 0");
+  }
+  BackendCapabilities required;
+  required.state_sync =
+      config_.sync_policy == TrainSyncPolicy::kPeriodicAverage;
+  if (config_.sync_policy == TrainSyncPolicy::kPeriodicAverage &&
+      config_.sync_every_updates == 0) {
+    throw std::invalid_argument("RouterQServer: sync_every_updates == 0");
+  }
+  replicas_.reserve(config_.replicas);
+  sync_states_.resize(config_.replicas);
+  for (std::size_t i = 0; i < config_.replicas; ++i) {
+    // Every replica gets the SAME BackendConfig — seed included — so all
+    // R networks start with identical weights (the evaluation
+    // determinism contract; see the header comment).
+    OsElmQBackendPtr backend =
+        make_backend(config_.backend_id, config_.backend, required);
+    AsyncQServerConfig server = config_.server;
+    server.name = config_.name + "/r" + std::to_string(i);
+    replicas_.push_back(std::make_unique<AsyncQServer>(
+        std::move(backend), model_, std::move(server)));
+  }
+  if (config_.sync_policy == TrainSyncPolicy::kPeriodicAverage) {
+    sync_thread_ = std::thread([this] { sync_loop(); });
+  }
+}
+
+RouterQServer::~RouterQServer() { stop(); }
+
+void RouterQServer::stop() {
+  const std::scoped_lock stop_lock(stop_mutex_);
+  stopping_.store(true, std::memory_order_release);
+  // Order matters: the sync thread drives run_exclusive calls into the
+  // replicas' batch threads, so it must be gone BEFORE any replica shuts
+  // its batch thread down (a sync round against stopping replicas would
+  // fall back to inline execution racing replica teardown).
+  if (sync_thread_.joinable()) {
+    {
+      const std::scoped_lock lk(sync_mutex_);
+      sync_stop_ = true;
+    }
+    sync_cv_.notify_all();
+    sync_thread_.join();
+  }
+  for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
+    replica->stop();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+std::string RouterQServer::derived_affinity_key(
+    const AsyncSessionSpec& spec) {
+  return spec.session.env_id + "#" +
+         std::to_string(spec.session.env_seed) + "#" +
+         std::to_string(spec.session.agent_seed);
+}
+
+std::size_t RouterQServer::preferred_replica(
+    const std::string& affinity_key) const noexcept {
+  return static_cast<std::size_t>(fnv1a(affinity_key) % replicas_.size());
+}
+
+std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
+  const std::string key = spec.affinity_key.empty()
+                              ? derived_affinity_key(spec.session)
+                              : spec.affinity_key;
+  const std::size_t preferred = preferred_replica(key);
+
+  const std::scoped_lock lk(placement_mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw std::logic_error("RouterQServer::add_session: router is stopping");
+  }
+  // Pre-admission capacity check. Race-free despite being a separate
+  // step from the replica's own admission: this router is the replica's
+  // ONLY admitter (placement_mutex_ serializes us against ourselves),
+  // and concurrent retirements only DECREASE load — a replica observed
+  // under cap cannot be over cap by the time add_session lands.
+  const auto load = [this](std::size_t r) {
+    return replicas_[r]->live_sessions();
+  };
+  const std::size_t cap = config_.server.max_live_sessions;
+  std::size_t target = preferred;
+  if (load(preferred) >= cap) {
+    // Spillover: least-loaded replica with room, lowest index on ties.
+    std::size_t best = replicas_.size();
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      const std::size_t l = load(r);
+      if (l >= cap) continue;
+      if (best == replicas_.size() || l < load(best)) best = r;
+    }
+    if (best == replicas_.size()) {
+      placement_rejections_.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error(
+          "RouterQServer::add_session: admission rejected — every replica "
+          "is at its live-session cap (" +
+          std::to_string(replicas_.size()) + " x " + std::to_string(cap) +
+          "); retry after a session retires");
+    }
+    target = best;
+    spillovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Spec errors (bad env, encoder mismatch) propagate from the replica
+  // before any placement is recorded.
+  const std::size_t local_id = replicas_[target]->add_session(spec.session);
+  const std::size_t router_id = next_router_id_++;
+  placements_.emplace(router_id, Placement{target, local_id});
+  sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
+  return router_id;
+}
+
+AsyncSessionResult RouterQServer::wait(std::size_t router_session_id) {
+  Placement placement{};
+  {
+    const std::scoped_lock lk(placement_mutex_);
+    const auto it = placements_.find(router_session_id);
+    if (it == placements_.end()) {
+      throw std::invalid_argument(
+          "RouterQServer::wait: unknown router session id " +
+          std::to_string(router_session_id));
+    }
+    placement = it->second;
+  }
+  // The replica enforces deliver-exactly-once; its local id never leaks.
+  AsyncSessionResult result =
+      replicas_[placement.replica]->wait(placement.local_id);
+  result.id = router_session_id;
+  return result;
+}
+
+std::vector<AsyncSessionResult> RouterQServer::drain() {
+  // Drain per replica so each result's replica index is known, then map
+  // (replica, local id) back to the router id. The mapping is built
+  // AFTER the drains: every drained session was admitted first, so its
+  // placement is recorded by then.
+  std::vector<std::pair<std::size_t, AsyncSessionResult>> collected;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    for (AsyncSessionResult& result : replicas_[r]->drain()) {
+      collected.emplace_back(r, std::move(result));
+    }
+  }
+  std::vector<AsyncSessionResult> out;
+  out.reserve(collected.size());
+  {
+    const std::scoped_lock lk(placement_mutex_);
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> reverse;
+    for (const auto& [router_id, placement] : placements_) {
+      reverse.emplace(std::make_pair(placement.replica, placement.local_id),
+                      router_id);
+    }
+    for (auto& [replica, result] : collected) {
+      result.id = reverse.at({replica, result.id});
+      out.push_back(std::move(result));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AsyncSessionResult& a, const AsyncSessionResult& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::size_t RouterQServer::live_sessions() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
+    total += replica->live_sessions();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// State synchronization
+// ---------------------------------------------------------------------------
+
+void RouterQServer::run_exclusive_on_all(
+    const std::function<void(OsElmQBackend&)>& fn) {
+  for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
+    replica->run_exclusive(fn);
+  }
+}
+
+bool RouterQServer::average_replicas() {
+  // Export every replica's learned state through its batch thread.
+  // Sequential (not barrier-synchronized) exports: replicas keep
+  // training between snapshots, so the average is slightly stale — the
+  // standard parameter-averaging trade, and training order is already
+  // documented as scheduling-dependent. No replica ever blocks on
+  // another, so no rendezvous deadlock is possible.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    QNetState& slot = sync_states_[i];
+    replicas_[i]->run_exclusive(
+        [&slot](OsElmQBackend& backend) { slot = backend.export_state(); });
+  }
+  linalg::MatD beta;
+  linalg::MatD beta_target;
+  linalg::MatD p;
+  std::size_t initialized = 0;
+  for (const QNetState& state : sync_states_) {
+    if (!state.initialized) continue;
+    ++initialized;
+    accumulate(beta, state.beta);
+    accumulate(beta_target, state.beta_target);
+    accumulate(p, state.p);
+  }
+  // Nobody has trained yet — nothing to move this round.
+  if (initialized == 0) return false;
+  const double inv = 1.0 / static_cast<double>(initialized);
+  scale(beta, inv);
+  scale(beta_target, inv);
+  scale(p, inv);
+  const QNetState average{std::move(beta), std::move(beta_target),
+                          std::move(p), true};
+  // Import into EVERY replica — an uninitialized one adopts the fleet's
+  // state (its buffering sessions switch to sequential training, exactly
+  // as if a local init_train had run).
+  for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
+    replica->run_exclusive([&average](OsElmQBackend& backend) {
+      backend.import_state(average);
+    });
+  }
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void RouterQServer::sync_loop() {
+  std::unique_lock lk(sync_mutex_);
+  for (;;) {
+    sync_cv_.wait_for(lk, std::chrono::microseconds(config_.sync_poll_us),
+                      [this] { return sync_stop_; });
+    const bool stopping = sync_stop_;
+    std::uint64_t total = 0;
+    for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
+      total += replica->train_update_count();
+    }
+    const bool due = total - last_synced_updates_ >= config_.sync_every_updates;
+    // On shutdown, flush a final partial round so short-lived fleets
+    // still converge once — then leave before the replicas stop.
+    if (due || (stopping && total > last_synced_updates_)) {
+      lk.unlock();
+      try {
+        if (average_replicas()) {
+          const std::scoped_lock relock(sync_mutex_);
+          last_synced_updates_ = total;
+        }
+      } catch (...) {
+        // A faulted backend already retired its sessions (run_exclusive
+        // surfaces the exception here); skip the round and let the next
+        // poll retry against the survivors.
+      }
+      lk.lock();
+    }
+    if (stopping) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+RouterStats RouterQServer::stats() const {
+  RouterStats out;
+  out.replicas = replicas_.size();
+  out.sessions_admitted = sessions_admitted_.load(std::memory_order_relaxed);
+  out.spillovers = spillovers_.load(std::memory_order_relaxed);
+  out.placement_rejections =
+      placement_rejections_.load(std::memory_order_relaxed);
+  out.syncs = syncs_.load(std::memory_order_relaxed);
+  out.per_replica.reserve(replicas_.size());
+  for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
+    out.per_replica.push_back(replica->stats());
+    out.aggregate.merge(out.per_replica.back());
+  }
+  return out;
+}
+
+std::string RouterStats::to_json() const {
+  char head[256];
+  std::snprintf(
+      head, sizeof(head),
+      "{\n"
+      "  \"replicas\": %llu,\n"
+      "  \"sessions_admitted\": %llu, \"spillovers\": %llu, "
+      "\"placement_rejections\": %llu, \"syncs\": %llu,\n",
+      static_cast<unsigned long long>(replicas),
+      static_cast<unsigned long long>(sessions_admitted),
+      static_cast<unsigned long long>(spillovers),
+      static_cast<unsigned long long>(placement_rejections),
+      static_cast<unsigned long long>(syncs));
+  std::string json = std::string(head) + "  \"aggregate\": ";
+  json += aggregate.to_json();
+  json += ",\n  \"per_replica\": [\n";
+  for (std::size_t r = 0; r < per_replica.size(); ++r) {
+    json += per_replica[r].to_json();
+    if (r + 1 < per_replica.size()) json += ",";
+    json += "\n";
+  }
+  json += "]\n}";
+  return json;
+}
+
+}  // namespace oselm::rl

@@ -1,0 +1,214 @@
+// RouterQServer — a multi-replica front tier over AsyncQServer.
+//
+// One AsyncQServer owns ONE backend, and its single batching thread is
+// that backend's only toucher — which caps a deployment at one Q-network
+// worth of training/predict throughput no matter how many CPU workers the
+// environments get. RouterQServer horizontally scales the serving tier:
+// it owns R replicas, each a full AsyncQServer with its OWN backend built
+// from rl::BackendRegistry (same backend id, same BackendConfig — and
+// therefore, same seed, identical initial weights), and routes sessions
+// across them:
+//
+//   * session-affinity placement: every session carries an affinity key
+//     (explicit, or derived from its seeds) that hashes — FNV-1a, so the
+//     mapping is platform-stable — to a preferred replica. A session
+//     lives its whole lifetime on the replica that admitted it; affinity
+//     only decides which replica that is, so repeat sessions with the
+//     same key land on the same Q-network and see the weights their
+//     predecessors trained.
+//   * spillover: when the preferred replica is at its live-session cap,
+//     the router places the session on the least-loaded replica with
+//     room instead of rejecting it (counted in RouterStats::spillovers).
+//     Only when EVERY replica is full does admission fail
+//     (placement_rejections). The capacity pre-check is race-free
+//     because the router is the only admitter: concurrent retirements
+//     only decrease load, so a replica observed under cap stays
+//     admissible.
+//   * aggregated telemetry: stats() merges every replica's
+//     AsyncServerStats (counters sum, latency/batch histograms
+//     bucket-merge) next to the per-replica snapshots and the router's
+//     own placement counters; RouterStats::to_json() is what
+//     bench_router and the router_serving example emit.
+//
+// Training across replicas is policy-driven (TrainSyncPolicy):
+//
+//   * kIndependent — replicas never exchange state; each converges on
+//     its own traffic. Evaluation-only and embarrassingly-parallel
+//     training fleets use this.
+//   * kPeriodicAverage — a background thread watches the fleet-wide
+//     train-update count and, every sync_every_updates new updates,
+//     averages the replicas' learned state (beta, beta_target, P — see
+//     rl::QNetState) over the initialized replicas and imports the
+//     average into every replica, parameter-averaging style. Export and
+//     import run through AsyncQServer::run_exclusive, i.e. on each
+//     replica's batching thread, so the no-backend-locking invariant
+//     holds. Requires the backend's state_sync capability (checked at
+//     construction against the registry).
+//
+// Determinism contract (pinned in tests/rl/router_test.cpp): replicas
+// are built from the same BackendConfig, so their initial weights are
+// identical, and kEvaluate sessions never mutate a backend — a
+// fixed-seed evaluation session therefore produces a bit-identical
+// trajectory REGARDLESS of which replica serves it, of the replica
+// count, and of co-tenant placement. Training remains scheduling-
+// dependent exactly as documented on AsyncQServer.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rl/async_server.hpp"
+#include "rl/backend_registry.hpp"
+
+namespace oselm::rl {
+
+/// How replicas' Q-networks relate over time.
+enum class TrainSyncPolicy {
+  kIndependent,     ///< no state exchange between replicas
+  kPeriodicAverage, ///< average beta/beta_target/P every K train updates
+};
+
+struct RouterConfig {
+  /// Router identity; replica i is named "<name>/r<i>" (stamped into
+  /// AsyncSessionResult::served_by).
+  std::string name = "router";
+  std::size_t replicas = 2;
+  /// BackendRegistry id each replica's backend is built from.
+  std::string backend_id = "software";
+  /// Per-replica backend configuration. The SAME config (seed included)
+  /// goes to every replica — identical initial weights are what the
+  /// evaluation determinism contract rests on. A shared
+  /// BackendConfig::ledger is honored: all replicas charge one account.
+  BackendConfig backend;
+  /// Per-replica serving configuration; `name` is overwritten with the
+  /// replica identity. max_live_sessions is the PER-REPLICA admission
+  /// cap, so the router admits up to replicas * max_live_sessions.
+  AsyncQServerConfig server;
+  TrainSyncPolicy sync_policy = TrainSyncPolicy::kIndependent;
+  /// kPeriodicAverage: run a sync round whenever the fleet accumulated
+  /// this many train updates since the last round.
+  std::uint64_t sync_every_updates = 256;
+  /// kPeriodicAverage: how often the sync thread polls the update
+  /// counters between rounds.
+  std::uint64_t sync_poll_us = 500;
+};
+
+/// A session plus its placement key.
+struct RouterSessionSpec {
+  AsyncSessionSpec session;
+  /// Sessions with equal keys prefer the same replica. Empty = derived
+  /// from the spec's env id and seeds (so identical specs co-locate).
+  std::string affinity_key;
+};
+
+struct RouterStats {
+  std::size_t replicas = 0;
+  std::uint64_t sessions_admitted = 0;  ///< router-level admissions
+  std::uint64_t spillovers = 0;         ///< placed off the preferred replica
+  std::uint64_t placement_rejections = 0;  ///< every replica at cap
+  std::uint64_t syncs = 0;              ///< completed averaging rounds
+  AsyncServerStats aggregate;           ///< merged across replicas
+  std::vector<AsyncServerStats> per_replica;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class RouterQServer {
+ public:
+  /// Builds `config.replicas` AsyncQServer replicas, each with its own
+  /// backend from the registry. Throws std::invalid_argument for zero
+  /// replicas, unknown backend ids, and — under kPeriodicAverage — for
+  /// backends without the state_sync capability.
+  RouterQServer(RouterConfig config, SimplifiedOutputModel model);
+  RouterQServer(const RouterQServer&) = delete;
+  RouterQServer& operator=(const RouterQServer&) = delete;
+  ~RouterQServer();
+
+  /// Places and admits a session (see the header comment for the
+  /// affinity/spillover policy) and returns its ROUTER-level id. Throws
+  /// std::runtime_error when every replica is at cap, std::logic_error
+  /// after stop(); spec errors propagate from the replica.
+  std::size_t add_session(const RouterSessionSpec& spec);
+
+  /// Blocks until the session retires; the result carries the router
+  /// id and the serving replica's name in served_by. Same
+  /// deliver-exactly-once contract as AsyncQServer::wait.
+  AsyncSessionResult wait(std::size_t router_session_id);
+
+  /// Drains every replica and returns all unclaimed results in router
+  /// admission order.
+  std::vector<AsyncSessionResult> drain();
+
+  /// Stops the sync thread (final partial round included), then every
+  /// replica. Idempotent.
+  void stop();
+
+  /// Runs `fn` through run_exclusive on EVERY replica in index order —
+  /// each invocation on that replica's batching thread. This is how
+  /// tests prime all replicas with identical trained weights and how
+  /// the averaging rounds move state.
+  void run_exclusive_on_all(const std::function<void(OsElmQBackend&)>& fn);
+
+  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] std::size_t live_sessions() const;
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return replicas_.size();
+  }
+  /// The replica an affinity key hashes to (exposed so placement tests
+  /// assert against the same mapping the router uses).
+  [[nodiscard]] std::size_t preferred_replica(
+      const std::string& affinity_key) const noexcept;
+  /// Placement-key derivation for an empty affinity_key (exposed for
+  /// the same reason).
+  [[nodiscard]] static std::string derived_affinity_key(
+      const AsyncSessionSpec& spec);
+  [[nodiscard]] const AsyncQServer& replica(std::size_t index) const {
+    return *replicas_.at(index);
+  }
+  [[nodiscard]] const SimplifiedOutputModel& model() const noexcept {
+    return model_;
+  }
+
+ private:
+  void sync_loop();
+  /// One averaging round over the initialized replicas; returns true if
+  /// state actually moved (at least one replica was initialized).
+  bool average_replicas();
+
+  RouterConfig config_;
+  SimplifiedOutputModel model_;
+  std::vector<std::unique_ptr<AsyncQServer>> replicas_;
+
+  // Placement bookkeeping (the router is the only admitter).
+  mutable std::mutex placement_mutex_;
+  struct Placement {
+    std::size_t replica;
+    std::size_t local_id;
+  };
+  std::map<std::size_t, Placement> placements_;  ///< router id -> where
+  std::size_t next_router_id_ = 0;
+  std::atomic<std::uint64_t> spillovers_{0};
+  std::atomic<std::uint64_t> placement_rejections_{0};
+  std::atomic<std::uint64_t> sessions_admitted_{0};
+  std::atomic<std::uint64_t> syncs_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Sync thread (kPeriodicAverage only).
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  bool sync_stop_ = false;
+  std::uint64_t last_synced_updates_ = 0;
+  std::vector<QNetState> sync_states_;  ///< per-replica export scratch
+  std::mutex stop_mutex_;               ///< serializes stop() callers
+  std::thread sync_thread_;
+};
+
+}  // namespace oselm::rl

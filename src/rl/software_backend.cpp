@@ -151,4 +151,22 @@ void SoftwareOsElmBackend::seq_train(const linalg::VecD& sa, double target) {
 
 void SoftwareOsElmBackend::sync_target() { beta_target_ = net_.beta(); }
 
+QNetState SoftwareOsElmBackend::export_state() const {
+  return {net_.beta(), beta_target_, net_.p(), net_.initialized()};
+}
+
+void SoftwareOsElmBackend::import_state(const QNetState& state) {
+  if (!state.initialized) {
+    throw std::invalid_argument(
+        "SoftwareOsElmBackend::import_state: snapshot is untrained");
+  }
+  if (state.beta_target.rows() != config_.elm.hidden_units ||
+      state.beta_target.cols() != config_.elm.output_dim) {
+    throw std::invalid_argument(
+        "SoftwareOsElmBackend::import_state: beta_target shape mismatch");
+  }
+  net_.restore_trained_state(state.beta, state.p);  // validates beta/P
+  beta_target_ = state.beta_target;
+}
+
 }  // namespace oselm::rl

@@ -48,6 +48,11 @@ class SoftwareOsElmBackend final : public OsElmQBackend {
   void seq_train(const linalg::VecD& sa, double target) override;
   void sync_target() override;
 
+  /// Bit-exact snapshots: export/import round-trip without loss.
+  [[nodiscard]] bool supports_state_sync() const override { return true; }
+  [[nodiscard]] QNetState export_state() const override;
+  void import_state(const QNetState& state) override;
+
   [[nodiscard]] bool initialized() const override {
     return net_.initialized();
   }

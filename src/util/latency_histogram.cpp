@@ -7,11 +7,17 @@
 namespace oselm::util {
 
 std::size_t LatencyHistogram::bucket_index(double value) noexcept {
-  if (!(value >= 1.0)) return 0;  // sub-unit samples and NaN
-  // Quarter-octave: bucket k holds (2^((k-1)/4), 2^(k/4)].
-  const double k = std::ceil(4.0 * std::log2(value));
-  return std::min<std::size_t>(kBuckets - 1,
-                               static_cast<std::size_t>(std::max(k, 1.0)));
+  // Quarter-octave: bucket k (k >= 1) holds (2^((k-1)/4), 2^(k/4)];
+  // bucket 0 holds everything <= 1, so exactly 1.0 belongs there.
+  if (!(value > 1.0)) return 0;  // sub-unit samples, 1.0, and NaN
+  const double raw = std::ceil(4.0 * std::log2(value));
+  std::size_t k = std::min<std::size_t>(
+      kBuckets - 1, static_cast<std::size_t>(std::max(raw, 1.0)));
+  // log2/ceil can round across a bucket edge; bucket_lower (exp2) is the
+  // authoritative bound, so nudge until (lower, upper] holds the value.
+  while (k > 0 && value <= bucket_lower(k)) --k;
+  while (k + 1 < kBuckets && value > bucket_lower(k + 1)) ++k;
+  return k;
 }
 
 double LatencyHistogram::bucket_lower(std::size_t bucket) noexcept {
@@ -20,6 +26,13 @@ double LatencyHistogram::bucket_lower(std::size_t bucket) noexcept {
 }
 
 void LatencyHistogram::record(double value) noexcept {
+  // NaN never enters min/sum/max: a NaN FIRST sample would otherwise seed
+  // min_/max_ and stick (std::min(NaN, v) keeps returning NaN), poisoning
+  // to_json() forever. Invalid samples are counted separately instead.
+  if (std::isnan(value)) {
+    ++invalid_samples_;
+    return;
+  }
   ++buckets_[bucket_index(value)];
   if (count_ == 0) {
     min_ = value;
@@ -33,6 +46,7 @@ void LatencyHistogram::record(double value) noexcept {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  invalid_samples_ += other.invalid_samples_;
   if (other.count_ == 0) return;
   for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
@@ -62,13 +76,16 @@ double LatencyHistogram::quantile(double q) const noexcept {
 }
 
 std::string LatencyHistogram::to_json() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "{\"count\": %llu, \"min\": %.3f, \"mean\": %.3f, "
+                "{\"count\": %llu, \"invalid_samples\": %llu, "
+                "\"min\": %.3f, \"mean\": %.3f, "
                 "\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, "
                 "\"max\": %.3f}",
-                static_cast<unsigned long long>(count_), min(), mean(),
-                quantile(0.50), quantile(0.95), quantile(0.99), max());
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(invalid_samples_), min(),
+                mean(), quantile(0.50), quantile(0.95), quantile(0.99),
+                max());
   return buf;
 }
 

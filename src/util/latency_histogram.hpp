@@ -23,8 +23,10 @@ namespace oselm::util {
 class LatencyHistogram {
  public:
   /// Quarter-octave buckets spanning [1, 2^30) in the caller's unit
-  /// (microseconds for latencies, rows for batch sizes); values below 1
-  /// land in bucket 0, values beyond the range in the last bucket.
+  /// (microseconds for latencies, rows for batch sizes); bucket k >= 1
+  /// holds (2^((k-1)/4), 2^(k/4)], values <= 1 land in bucket 0, values
+  /// beyond the range in the last bucket. NaN samples are rejected and
+  /// counted via invalid_samples().
   static constexpr std::size_t kBuckets = 121;  // 4 per octave * 30 + 1
 
   void record(double value) noexcept;
@@ -32,6 +34,11 @@ class LatencyHistogram {
   void reset() noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// NaN samples rejected by record(): counted here, never entering
+  /// count/min/mean/max or any bucket.
+  [[nodiscard]] std::uint64_t invalid_samples() const noexcept {
+    return invalid_samples_;
+  }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
   [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
@@ -57,6 +64,7 @@ class LatencyHistogram {
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
+  std::uint64_t invalid_samples_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

@@ -79,6 +79,42 @@ TEST(Registry, DelayModifierNests) {
   EXPECT_EQ(env->reset().size(), env->observation_space().dimensions());
 }
 
+TEST(Registry, RegisteredModifiersExposeTheDelayFamily) {
+  // registered_environments() lists only the concrete ids, so callers
+  // that enumerate-then-construct (contract suites, scenario specs) need
+  // the modifier prefixes too — a "delay:"-wrapped id is constructible
+  // even though no enumerated id starts with "delay:".
+  const std::vector<std::string> modifiers = registered_modifiers();
+  ASSERT_EQ(modifiers.size(), 1u);
+  EXPECT_EQ(modifiers[0], "delay:");
+  // Prefix + a well-formed argument + any registered id constructs.
+  for (const std::string& id : registered_environments()) {
+    const EnvironmentPtr env = make_environment("delay:1:" + id, 1);
+    ASSERT_NE(env, nullptr) << id;
+  }
+}
+
+TEST(Registry, NestedMalformedInnerIdsReportTheFullOuterId) {
+  // A bad inner id inside nested "delay:" wrappers must surface the FULL
+  // outer id, not just the innermost fragment — callers built the outer
+  // string and grep their logs for it.
+  const auto expect_mentions = [](const std::string& id) {
+    try {
+      (void)make_environment(id);
+      FAIL() << "expected std::invalid_argument for '" << id << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + id + "'"),
+                std::string::npos)
+          << "message '" << e.what() << "' lacks the outer id '" << id
+          << "'";
+    }
+  };
+  expect_mentions("delay:100:NoSuchEnv");
+  expect_mentions("delay:100:delay:50:NoSuchEnv");
+  expect_mentions("delay:100:delay:oops:GridWorld");
+  expect_mentions("delay:100:delay:50:");
+}
+
 TEST(Registry, MalformedDelayIdsThrow) {
   EXPECT_THROW(make_environment("delay:"), std::invalid_argument);
   EXPECT_THROW(make_environment("delay:500"), std::invalid_argument);

@@ -510,5 +510,66 @@ TEST(AsyncQServer, SharedTrainingSessionsAllRetireAndTrainTheBackend) {
   EXPECT_GT(stats.train_updates, 0u);
 }
 
+TEST(AsyncQServer, RunExclusiveTouchesTheBackendAndUnblocksBuffering) {
+  AsyncQServer server(make_backend("software", backend_config(23)),
+                      SimplifiedOutputModel(4, 2));
+  EXPECT_FALSE(server.backend().initialized());
+  // Priming through run_exclusive must also refresh the worker-visible
+  // initialized mirror — sessions admitted afterwards train sequentially
+  // instead of buffering toward their own init chunk.
+  server.run_exclusive(
+      [](OsElmQBackend& backend) { prime_backend(backend, 99); });
+  EXPECT_TRUE(server.backend().initialized());
+
+  AsyncSessionSpec train;
+  train.mode = AsyncSessionMode::kTrain;
+  train.session.env_seed = 7;
+  train.session.agent_seed = 8;
+  train.session.trainer.max_episodes = 5;
+  train.session.trainer.solved_threshold = 1e9;
+  train.session.trainer.reset_interval = 0;
+  const AsyncSessionResult result = server.wait(server.add_session(train));
+  EXPECT_TRUE(result.completed);
+  const AsyncServerStats stats = server.stats();
+  EXPECT_EQ(stats.init_trains, 0u) << "session re-ran its own init chunk";
+  EXPECT_GT(stats.train_updates, 0u);
+  EXPECT_EQ(server.train_update_count(), stats.train_updates);
+}
+
+TEST(AsyncQServer, RunExclusivePropagatesExceptionsAndWorksAfterStop) {
+  AsyncQServer server(make_backend("software", backend_config(29)),
+                      SimplifiedOutputModel(4, 2));
+  EXPECT_THROW(server.run_exclusive([](OsElmQBackend&) {
+                 throw std::runtime_error("sync fault");
+               }),
+               std::runtime_error);
+  // The batch thread survives a throwing callback.
+  const AsyncSessionResult ok = server.wait(server.add_session(
+      eval_spec(60, 61, 2)));
+  EXPECT_TRUE(ok.completed);
+
+  server.stop();
+  // After stop() the callback runs inline on the caller — state sync and
+  // post-mortem inspection still work against the quiescent backend.
+  bool ran = false;
+  server.run_exclusive([&ran](OsElmQBackend& backend) {
+    prime_backend(backend, 99);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(server.backend().initialized());
+}
+
+TEST(AsyncQServer, ResultsCarryTheConfiguredServerName) {
+  AsyncQServerConfig config;
+  config.name = "edge-0";
+  AsyncQServer server(make_backend("software", backend_config(31)),
+                      SimplifiedOutputModel(4, 2), config);
+  EXPECT_EQ(server.name(), "edge-0");
+  const AsyncSessionResult result =
+      server.wait(server.add_session(eval_spec(70, 71, 2)));
+  EXPECT_EQ(result.served_by, "edge-0");
+}
+
 }  // namespace
 }  // namespace oselm::rl

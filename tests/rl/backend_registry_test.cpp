@@ -63,11 +63,13 @@ TEST(BackendRegistry, BuiltinCapabilityFlags) {
   EXPECT_TRUE(software.batched_predict);
   EXPECT_TRUE(software.chunked_train);
   EXPECT_TRUE(software.forgetting);
+  EXPECT_TRUE(software.state_sync);
   const BackendCapabilities& fpga = backend_capabilities("fpga-q20");
   EXPECT_TRUE(fpga.fixed_point);
   EXPECT_TRUE(fpga.batched_predict);
   EXPECT_FALSE(fpga.chunked_train);
   EXPECT_FALSE(fpga.forgetting);
+  EXPECT_TRUE(fpga.state_sync);
 }
 
 TEST(BackendRegistry, UnknownIdThrowsWithTheIdInTheMessage) {

@@ -1,0 +1,391 @@
+// rl::RouterQServer — the multi-replica router tier over AsyncQServer.
+//
+// Load-bearing properties:
+//   * evaluation determinism across placement: a fixed-seed kEvaluate
+//     session produces a bit-identical trajectory on a bare AsyncQServer,
+//     on a 1-replica router, and on EVERY replica of a 4-replica router
+//     (identically-primed fleets share one Q surface);
+//   * session affinity and spillover: equal keys co-locate on the hashed
+//     preferred replica, a full preferred replica spills to the least-
+//     loaded one, and only a fully-saturated fleet rejects admission;
+//   * failure isolation: a session failing on one replica never disturbs
+//     sessions on another;
+//   * training sync policies: kIndependent never exchanges state,
+//     kPeriodicAverage averages the replicas' learned state and leaves
+//     every replica with the identical imported average.
+#include "rl/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "env/registry.hpp"
+#include "rl/backend_registry.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::rl {
+namespace {
+
+constexpr std::size_t kHidden = 16;
+
+BackendConfig backend_config(std::uint64_t seed) {
+  BackendConfig config;
+  config.input_dim = 5;
+  config.hidden_units = kHidden;
+  config.l2_delta = 0.5;
+  config.spectral_normalize = true;
+  config.seed = seed;
+  return config;
+}
+
+/// Eq. 8 initial training on deterministic random data; priming every
+/// replica with the same seed gives the whole fleet one Q surface.
+void prime_backend(OsElmQBackend& backend, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t rows = backend.hidden_units();
+  linalg::MatD x(rows, backend.input_dim());
+  linalg::MatD t(rows, 1);
+  rng.fill_uniform(x.storage(), -1.0, 1.0);
+  rng.fill_uniform(t.storage(), -1.0, 1.0);
+  backend.init_train(x, t);
+}
+
+RouterConfig router_config(const std::string& backend_id,
+                           std::size_t replicas,
+                           std::uint64_t backend_seed = 2024) {
+  RouterConfig config;
+  config.replicas = replicas;
+  config.backend_id = backend_id;
+  config.backend = backend_config(backend_seed);
+  config.server.worker_threads = 2;
+  config.server.max_batch = 8;
+  config.server.max_wait_us = 50;
+  return config;
+}
+
+AsyncSessionSpec eval_spec(std::uint64_t env_seed, std::uint64_t agent_seed,
+                           std::size_t episodes = 6) {
+  AsyncSessionSpec spec;
+  spec.mode = AsyncSessionMode::kEvaluate;
+  spec.session.env_id = "ShapedCartPole-v0";
+  spec.session.env_seed = env_seed;
+  spec.session.agent_seed = agent_seed;
+  spec.session.trainer.max_episodes = episodes;
+  spec.session.trainer.solved_threshold = 1e9;  // run the full budget
+  spec.session.trainer.reset_interval = 0;
+  return spec;
+}
+
+AsyncSessionSpec train_spec(std::uint64_t env_seed, std::uint64_t agent_seed,
+                            std::size_t episodes = 25) {
+  AsyncSessionSpec spec = eval_spec(env_seed, agent_seed, episodes);
+  spec.mode = AsyncSessionMode::kTrain;
+  return spec;
+}
+
+struct Trajectory {
+  std::vector<double> steps;
+  std::vector<double> returns;
+  std::size_t episodes = 0;
+  std::size_t total_steps = 0;
+
+  explicit Trajectory(const TrainResult& r)
+      : steps(r.episode_steps),
+        returns(r.episode_returns),
+        episodes(r.episodes),
+        total_steps(r.total_steps) {}
+  bool operator==(const Trajectory&) const = default;
+};
+
+/// An affinity key whose FNV-1a hash lands on the wanted replica.
+std::string key_for_replica(const RouterQServer& router, std::size_t want) {
+  for (std::size_t i = 0; i < 10'000; ++i) {
+    std::string key = "session-key-" + std::to_string(i);
+    if (router.preferred_replica(key) == want) return key;
+  }
+  ADD_FAILURE() << "no key hashed to replica " << want;
+  return {};
+}
+
+class PerBackend : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PerBackend, EvalTrajectoryIsBitIdenticalAcrossPlacementAndFleetSize) {
+  const std::string backend_id = GetParam();
+  const auto prime_all = [](RouterQServer& router) {
+    router.run_exclusive_on_all(
+        [](OsElmQBackend& backend) { prime_backend(backend, 77); });
+  };
+
+  // Reference: a bare single-replica fleet.
+  Trajectory reference = [&] {
+    RouterQServer router(router_config(backend_id, 1),
+                         SimplifiedOutputModel(4, 2));
+    prime_all(router);
+    const std::size_t id = router.add_session({eval_spec(913, 37), "any"});
+    const AsyncSessionResult result = router.wait(id);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.failed);
+    EXPECT_EQ(result.served_by, "router/r0");
+    return Trajectory(result.train);
+  }();
+  ASSERT_EQ(reference.episodes, 6u);
+  ASSERT_GT(reference.total_steps, 0u);
+
+  // The same probe pinned (via affinity key) to EACH replica of a
+  // 4-replica fleet, with co-tenants everywhere — placement must not
+  // change a single step of the trajectory.
+  RouterQServer router(router_config(backend_id, 4),
+                       SimplifiedOutputModel(4, 2));
+  prime_all(router);
+  for (std::size_t target = 0; target < 4; ++target) {
+    const std::string key = key_for_replica(router, target);
+    RouterSessionSpec probe{eval_spec(913, 37), key};
+    const std::size_t id = router.add_session(probe);
+    for (std::size_t i = 0; i < 3; ++i) {  // co-tenants on every replica
+      router.add_session({eval_spec(400 + i, 90 + i, 4), ""});
+    }
+    const AsyncSessionResult result = router.wait(id);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.served_by,
+              "router/r" + std::to_string(target))
+        << "affinity placement broke";
+    EXPECT_EQ(Trajectory(result.train), reference)
+        << "replica " << target << " served a different trajectory";
+    router.drain();
+  }
+}
+
+TEST_P(PerBackend, EqualAffinityKeysColocateOnThePreferredReplica) {
+  const std::string backend_id = GetParam();
+  RouterQServer router(router_config(backend_id, 4),
+                       SimplifiedOutputModel(4, 2));
+  const std::string key = key_for_replica(router, 2);
+  ASSERT_EQ(router.preferred_replica(key), 2u);  // mapping is stable
+
+  const std::size_t a = router.add_session({eval_spec(1, 2, 2), key});
+  const std::size_t b = router.add_session({eval_spec(3, 4, 2), key});
+  const AsyncSessionResult ra = router.wait(a);
+  const AsyncSessionResult rb = router.wait(b);
+  EXPECT_EQ(ra.served_by, "router/r2");
+  EXPECT_EQ(rb.served_by, "router/r2");
+  EXPECT_EQ(router.stats().spillovers, 0u);
+}
+
+TEST(RouterQServer, SpilloverPlacesOnLeastLoadedWhenPreferredIsFull) {
+  RouterConfig config = router_config("software", 2);
+  config.server.max_live_sessions = 2;
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+  const std::string key = key_for_replica(router, 0);
+  const std::string preferred_name = "router/r0";
+
+  // Slow sessions with huge budgets keep replica 0 pinned at its cap
+  // while the spillover candidate arrives.
+  AsyncSessionSpec slow = eval_spec(10, 20, 100'000);
+  slow.session.env_id = "delay:3000:ShapedCartPole-v0";
+  const std::size_t s1 = router.add_session({slow, key});
+  slow.session.env_seed = 11;
+  const std::size_t s2 = router.add_session({slow, key});
+  slow.session.env_seed = 12;
+  const std::size_t s3 = router.add_session({slow, key});  // must spill
+
+  RouterStats stats = router.stats();
+  EXPECT_EQ(stats.sessions_admitted, 3u);
+  EXPECT_EQ(stats.spillovers, 1u);
+  EXPECT_EQ(stats.placement_rejections, 0u);
+
+  router.stop();  // retires the unbounded sessions at a step boundary
+  EXPECT_EQ(router.wait(s1).served_by, preferred_name);
+  EXPECT_EQ(router.wait(s2).served_by, preferred_name);
+  EXPECT_EQ(router.wait(s3).served_by, "router/r1");
+}
+
+TEST(RouterQServer, AdmissionRejectsOnlyWhenEveryReplicaIsAtCap) {
+  RouterConfig config = router_config("software", 2);
+  config.server.max_live_sessions = 1;
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+  const std::string key = key_for_replica(router, 1);
+
+  AsyncSessionSpec slow = eval_spec(10, 20, 100'000);
+  slow.session.env_id = "delay:3000:ShapedCartPole-v0";
+  const std::size_t s1 = router.add_session({slow, key});
+  slow.session.env_seed = 11;
+  const std::size_t s2 = router.add_session({slow, key});  // spills to r0
+  slow.session.env_seed = 12;
+  EXPECT_THROW(router.add_session({slow, key}), std::runtime_error);
+
+  RouterStats stats = router.stats();
+  EXPECT_EQ(stats.sessions_admitted, 2u);
+  EXPECT_EQ(stats.spillovers, 1u);
+  EXPECT_EQ(stats.placement_rejections, 1u);
+
+  router.stop();
+  EXPECT_EQ(router.wait(s1).served_by, "router/r1");
+  EXPECT_EQ(router.wait(s2).served_by, "router/r0");
+}
+
+class FlakyEnv final : public env::Environment {
+ public:
+  FlakyEnv(std::uint64_t seed, std::size_t fail_after)
+      : inner_(env::make_environment("ShapedCartPole-v0", seed)),
+        fail_after_(fail_after) {}
+
+  env::Observation reset() override { return inner_->reset(); }
+  env::StepResult step(std::size_t action) override {
+    if (++calls_ > fail_after_) {
+      throw std::runtime_error("sensor disconnected");
+    }
+    return inner_->step(action);
+  }
+  void seed(std::uint64_t seed_value) override { inner_->seed(seed_value); }
+  [[nodiscard]] const env::BoxSpace& observation_space() const override {
+    return inner_->observation_space();
+  }
+  [[nodiscard]] const env::DiscreteSpace& action_space() const override {
+    return inner_->action_space();
+  }
+  [[nodiscard]] std::string_view name() const override { return "Flaky"; }
+  [[nodiscard]] std::size_t max_episode_steps() const override {
+    return inner_->max_episode_steps();
+  }
+
+ private:
+  env::EnvironmentPtr inner_;
+  std::size_t fail_after_;
+  std::size_t calls_ = 0;
+};
+
+TEST(RouterQServer, SessionFailureOnOneReplicaLeavesTheOthersServing) {
+  RouterQServer router(router_config("software", 2),
+                       SimplifiedOutputModel(4, 2));
+  AsyncSessionSpec flaky = eval_spec(30, 40, 50);
+  flaky.env_factory = [](std::uint64_t seed) {
+    return std::make_unique<FlakyEnv>(seed, 25);
+  };
+  const std::size_t failing =
+      router.add_session({flaky, key_for_replica(router, 0)});
+  const std::size_t healthy =
+      router.add_session({eval_spec(31, 41), key_for_replica(router, 1)});
+
+  const AsyncSessionResult failed = router.wait(failing);
+  EXPECT_TRUE(failed.failed);
+  EXPECT_EQ(failed.error, "sensor disconnected");
+  EXPECT_EQ(failed.served_by, "router/r0");
+
+  const AsyncSessionResult ok = router.wait(healthy);
+  EXPECT_TRUE(ok.completed);
+  EXPECT_FALSE(ok.failed);
+  EXPECT_EQ(ok.served_by, "router/r1");
+  EXPECT_EQ(ok.train.episodes, 6u);
+}
+
+TEST_P(PerBackend, PeriodicAverageLeavesEveryReplicaWithTheSameState) {
+  const std::string backend_id = GetParam();
+  RouterConfig config = router_config(backend_id, 2);
+  config.sync_policy = TrainSyncPolicy::kPeriodicAverage;
+  config.sync_every_updates = 64;
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+
+  // One training session per replica: different traffic, so the two
+  // Q-networks would diverge without synchronization.
+  router.add_session({train_spec(913, 37), key_for_replica(router, 0)});
+  router.add_session({train_spec(555, 66), key_for_replica(router, 1)});
+  router.drain();
+  router.stop();  // flushes the final partial averaging round
+
+  const RouterStats stats = router.stats();
+  EXPECT_GT(stats.aggregate.train_updates, 0u);
+  EXPECT_GE(stats.syncs, 1u) << "no averaging round ever ran";
+
+  // The last round imported ONE average into both replicas, and no
+  // training follows it — their learned state must now be identical.
+  std::vector<QNetState> states;
+  router.run_exclusive_on_all([&states](OsElmQBackend& backend) {
+    states.push_back(backend.export_state());
+  });
+  ASSERT_EQ(states.size(), 2u);
+  ASSERT_TRUE(states[0].initialized);
+  ASSERT_TRUE(states[1].initialized);
+  EXPECT_EQ(states[0].beta, states[1].beta);
+  EXPECT_EQ(states[0].beta_target, states[1].beta_target);
+  EXPECT_EQ(states[0].p, states[1].p);
+}
+
+TEST(RouterQServer, IndependentPolicyNeverExchangesState) {
+  RouterConfig config = router_config("software", 2);
+  config.sync_policy = TrainSyncPolicy::kIndependent;
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+  router.add_session({train_spec(913, 37), key_for_replica(router, 0)});
+  router.add_session({train_spec(555, 66), key_for_replica(router, 1)});
+  router.drain();
+  router.stop();
+
+  const RouterStats stats = router.stats();
+  EXPECT_GT(stats.aggregate.train_updates, 0u);
+  EXPECT_EQ(stats.syncs, 0u);
+}
+
+TEST(RouterQServer, StatsAggregateAcrossReplicasAndEmitJson) {
+  RouterQServer router(router_config("software", 3),
+                       SimplifiedOutputModel(4, 2));
+  for (std::size_t i = 0; i < 6; ++i) {
+    router.add_session({eval_spec(100 + i, 200 + i, 3), ""});
+  }
+  router.drain();
+
+  const RouterStats stats = router.stats();
+  ASSERT_EQ(stats.per_replica.size(), 3u);
+  std::uint64_t steps = 0;
+  std::uint64_t retired = 0;
+  for (const AsyncServerStats& replica : stats.per_replica) {
+    steps += replica.steps;
+    retired += replica.sessions_retired;
+  }
+  EXPECT_EQ(stats.aggregate.steps, steps);
+  EXPECT_EQ(stats.aggregate.sessions_retired, retired);
+  EXPECT_EQ(retired, 6u);
+  EXPECT_EQ(stats.sessions_admitted, 6u);
+
+  const std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"replicas\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_replica\""), std::string::npos);
+  EXPECT_NE(json.find("\"spillovers\": 0"), std::string::npos);
+}
+
+TEST(RouterQServer, ConstructorValidatesConfiguration) {
+  EXPECT_THROW(RouterQServer(router_config("software", 0),
+                             SimplifiedOutputModel(4, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(RouterQServer(router_config("no-such-backend", 2),
+                             SimplifiedOutputModel(4, 2)),
+               std::invalid_argument);
+  RouterConfig bad_sync = router_config("software", 2);
+  bad_sync.sync_policy = TrainSyncPolicy::kPeriodicAverage;
+  bad_sync.sync_every_updates = 0;
+  EXPECT_THROW(RouterQServer(bad_sync, SimplifiedOutputModel(4, 2)),
+               std::invalid_argument);
+}
+
+TEST(RouterQServer, WaitRejectsUnknownIdsAndAddAfterStopThrows) {
+  RouterQServer router(router_config("software", 2),
+                       SimplifiedOutputModel(4, 2));
+  EXPECT_THROW(router.wait(99), std::invalid_argument);
+  router.stop();
+  EXPECT_THROW(router.add_session({eval_spec(1, 2), ""}), std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, PerBackend,
+                         ::testing::ValuesIn(registered_backends()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace oselm::rl

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace oselm::util {
 namespace {
 
@@ -104,6 +107,110 @@ TEST(LatencyHistogram, BucketIndexIsMonotonic) {
     EXPECT_LE(LatencyHistogram::bucket_lower(idx), v);
     EXPECT_GT(LatencyHistogram::bucket_lower(idx + 1), v * (1.0 - 1e-12));
   }
+}
+
+TEST(LatencyHistogram, BucketEdgesLandInTheDocumentedBucket) {
+  // Bucket k (k >= 1) holds (2^((k-1)/4), 2^(k/4)]; bucket 0 holds
+  // everything <= 1. The regression: exactly 1.0 used to land in bucket 1,
+  // whose documented range (2^0, 2^0.25] excludes it.
+  EXPECT_EQ(LatencyHistogram::bucket_index(1.0), 0u);
+  for (std::size_t k = 1; k + 1 < LatencyHistogram::kBuckets; ++k) {
+    const double lower = LatencyHistogram::bucket_lower(k);
+    const double upper = LatencyHistogram::bucket_lower(k + 1);
+    // The lower bound is EXCLUDED from bucket k: it is the upper edge of
+    // bucket k-1 and must land there.
+    EXPECT_EQ(LatencyHistogram::bucket_index(lower), k - 1)
+        << "lower edge 2^" << (static_cast<double>(k) - 1.0) / 4.0;
+    // The upper bound is INCLUDED in bucket k.
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper), k)
+        << "upper edge 2^" << static_cast<double>(k) / 4.0;
+    // Just past the lower bound belongs to bucket k again.
+    EXPECT_EQ(LatencyHistogram::bucket_index(
+                  std::nextafter(lower, std::numeric_limits<double>::max())),
+              k)
+        << "just above lower edge of bucket " << k;
+  }
+}
+
+TEST(LatencyHistogram, RecordedEdgeValuesRespectTheirBucketBounds) {
+  // Every recorded value must satisfy
+  //   bucket_lower(idx) < v <= bucket_lower(idx + 1)   (idx >= 1)
+  // so quantile() — which reports the geometric midpoint of the bucket —
+  // never reads a bucket whose range excludes the sample.
+  for (const double v : {1.0, std::exp2(0.25), std::exp2(0.5), 2.0, 4.0,
+                         1024.0, 1.5, 3.0, 100.0}) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    if (idx >= 1) {
+      EXPECT_LT(LatencyHistogram::bucket_lower(idx), v) << v;
+    }
+    if (idx + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_LE(v, LatencyHistogram::bucket_lower(idx + 1)) << v;
+    }
+  }
+}
+
+TEST(LatencyHistogram, NanSamplesDoNotPoisonMinMax) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  LatencyHistogram h;
+  // The regression: a NaN FIRST sample used to seed min_/max_ and stick
+  // (std::min(NaN, v) keeps returning NaN), so to_json emitted NaN forever.
+  h.record(nan);
+  EXPECT_EQ(h.count(), 0u) << "invalid samples are not real samples";
+  EXPECT_EQ(h.invalid_samples(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+
+  h.record(5.0);
+  h.record(nan);
+  h.record(10.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.invalid_samples(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+  EXPECT_TRUE(std::isfinite(h.quantile(0.5)));
+  EXPECT_TRUE(std::isfinite(h.quantile(0.99)));
+
+  const std::string json = h.to_json();
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("NaN"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"invalid_samples\": 2"), std::string::npos) << json;
+}
+
+TEST(LatencyHistogram, MergePropagatesInvalidSamplesWithoutPoisoning) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  LatencyHistogram poisoned;
+  poisoned.record(nan);
+  poisoned.record(nan);
+
+  // Merging a histogram that saw ONLY invalid samples transfers the
+  // invalid count and nothing else.
+  LatencyHistogram target;
+  target.record(3.0);
+  target.merge(poisoned);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.invalid_samples(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), 3.0);
+  EXPECT_DOUBLE_EQ(target.max(), 3.0);
+
+  // And a histogram that saw a NaN alongside real samples merges its real
+  // min/max intact.
+  LatencyHistogram mixed;
+  mixed.record(nan);
+  mixed.record(7.0);
+  LatencyHistogram empty_target;
+  empty_target.merge(mixed);
+  EXPECT_EQ(empty_target.count(), 1u);
+  EXPECT_EQ(empty_target.invalid_samples(), 1u);
+  EXPECT_DOUBLE_EQ(empty_target.min(), 7.0);
+  EXPECT_DOUBLE_EQ(empty_target.max(), 7.0);
+}
+
+TEST(LatencyHistogram, ResetClearsInvalidSamples) {
+  LatencyHistogram h;
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.reset();
+  EXPECT_EQ(h.invalid_samples(), 0u);
 }
 
 TEST(LatencyHistogram, JsonCarriesTheSummaryFields) {
