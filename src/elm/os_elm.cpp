@@ -6,8 +6,29 @@
 #include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/ops.hpp"
+#include "util/contract.hpp"
 
 namespace oselm::elm {
+
+void OsElm::check_invariants_now() const {
+#if OSELM_CONTRACTS_ENABLED
+  const std::size_t n = p_.rows();
+  OSELM_DCHECK_EQ(p_.cols(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = p_.row_ptr(i);
+    OSELM_DCHECK_GT(row[i], 0.0);  // SPD => strictly positive diagonal
+    for (std::size_t j = i; j < n; ++j) {
+      OSELM_DCHECK_FINITE(row[j]);
+      // Exact (bit-level) symmetry: the sym_rank1/rank-k kernels compute
+      // the upper triangle and mirror it, so any drift means a kernel or
+      // an out-of-band P write broke the contract.
+      OSELM_DCHECK_EQ(row[j], p_(j, i));
+    }
+  }
+  for (const double v : net_.beta().storage()) OSELM_DCHECK_FINITE(v);
+#endif
+}
+
 
 OsElm::OsElm(ElmConfig config, util::Rng& rng)
     : net_(config, rng),
@@ -118,9 +139,18 @@ void OsElm::init_train(const linalg::MatD& x0, const linalg::MatD& t0) {
     p_ = linalg::inverse_spd(gram);
   }
 
+  // inverse_spd builds its result column-by-column from Cholesky solves,
+  // which is only approximately symmetric in floating point; the
+  // sequential paths read "row i of P" as "column i of P" (exact symmetry
+  // is their documented precondition, and check_invariants_now pins it),
+  // so establish it here once.
+  linalg::symmetrize_inplace(p_);
+
   // beta_0 = P_0 H_0^T t_0.
   net_.mutable_beta() = linalg::matmul(p_, linalg::matmul_at_b(h0, t0));
   initialized_ = true;
+  seq_updates_since_check_ = 0;
+  check_invariants_now();  // unsampled: init establishes the invariants
 }
 
 void OsElm::seq_train(const linalg::MatD& x, const linalg::MatD& t) {
@@ -216,6 +246,7 @@ void OsElm::seq_train(const linalg::MatD& x, const linalg::MatD& t) {
       }
     }
   }
+  check_invariants_sampled();
 }
 
 void OsElm::seq_train_one(const linalg::VecD& x, const linalg::VecD& t) {
@@ -257,6 +288,7 @@ void OsElm::seq_train_one_forgetting(const linalg::VecD& x,
     const double pred = linalg::kernels::dot(h.data(), beta.data(), n);
     const double err = (t[0] - pred) * inv;
     linalg::kernels::axpy(beta.data(), err, u.data(), n);
+    check_invariants_sampled();
     return;
   }
   for (std::size_t c = 0; c < config().output_dim; ++c) {
@@ -265,6 +297,7 @@ void OsElm::seq_train_one_forgetting(const linalg::VecD& x,
     const double err = (t[c] - pred) * inv;
     for (std::size_t i = 0; i < n; ++i) beta(i, c) += u[i] * err;
   }
+  check_invariants_sampled();
 }
 
 }  // namespace oselm::elm

@@ -12,8 +12,11 @@
 // (§2.2), which is the fast path used on the FPGA and by the Q-network.
 #pragma once
 
+#include <cstdint>
+
 #include "elm/elm.hpp"
 #include "linalg/matrix.hpp"
+#include "util/contract.hpp"
 #include "util/rng.hpp"
 
 namespace oselm::elm {
@@ -100,12 +103,32 @@ class OsElm {
   void restore_trained_state(const linalg::MatD& beta, const linalg::MatD& p);
 
  private:
+  /// Debug contract (compiled out in Release): sampled structural
+  /// invariants of the sequential-learning state — P exactly symmetric
+  /// (the kernel layer mirrors the upper triangle, so equality is exact,
+  /// not approximate), every P entry and beta entry finite, and the P
+  /// diagonal positive (a necessary condition for the positive
+  /// definiteness Eq. 5 preserves). Runs on every init_train and then
+  /// every kInvariantSampleEvery-th sequential update — the O(N^2) scan
+  /// is too hot to run per update even in Debug.
+  void check_invariants_sampled() {
+#if OSELM_CONTRACTS_ENABLED
+    if (++seq_updates_since_check_ >= kInvariantSampleEvery) {
+      seq_updates_since_check_ = 0;
+      check_invariants_now();
+    }
+#endif
+  }
+  void check_invariants_now() const;
+  static constexpr std::uint64_t kInvariantSampleEvery = 64;
+
   Elm net_;          ///< shares alpha/bias/beta representation with ELM
   linalg::MatD p_;   ///< N-tilde x N-tilde
   linalg::VecD h_ws_;  ///< seq_train_one hidden-row workspace (no allocs)
   linalg::VecD u_ws_;  ///< seq_train_one P h^T workspace (no allocs)
   bool initialized_ = false;
   double initial_ridge_used_ = 0.0;
+  std::uint64_t seq_updates_since_check_ = 0;
 };
 
 }  // namespace oselm::elm

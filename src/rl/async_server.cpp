@@ -92,6 +92,10 @@ AsyncQServer::AsyncQServer(OsElmQBackendPtr backend,
                              std::memory_order_release);
   states_by_rows_.resize(config_.max_batch + 1);
   q_by_rows_.resize(config_.max_batch + 1);
+  // Ledger ownership transfers to the batch thread: whoever charged this
+  // backend's account before (an agent that pre-trained the weights, a
+  // bench's setup phase) is quiescent once it hands the backend over.
+  backend_->ledger().release_writer();
   pool_ = std::make_unique<util::ThreadPool>(config_.worker_threads);
   batch_thread_ = std::thread([this] { batch_loop(); });
 }
@@ -115,6 +119,11 @@ void AsyncQServer::stop() {
   queue_cv_.notify_all();
   space_cv_.notify_all();
   if (batch_thread_.joinable()) batch_thread_.join();
+  // The batch thread is gone; the ledger's next writer is whichever
+  // thread touches the quiescent backend next (inline run_exclusive, an
+  // agent resuming training, a bench reading then reusing it).
+  backend_->ledger().release_writer();
+  batch_affinity_.release();
 }
 
 std::size_t AsyncQServer::add_session(const AsyncSessionSpec& spec) {
@@ -442,6 +451,25 @@ void AsyncQServer::run_session(Session& s) {
 }
 
 void AsyncQServer::suspend(Session& s, RequestKind kind, Phase resume) {
+  // Session state-machine contract: each request kind resumes at exactly
+  // one phase (the worker-side switch relies on the pairing to route the
+  // batch thread's answer — an action, a TD value, an init ack).
+  switch (kind) {
+    case RequestKind::kGreedyEval:
+      OSELM_DCHECK(resume == Phase::kStepEnv);
+      break;
+    case RequestKind::kTdEvalTrain:
+    case RequestKind::kTrainOnly:
+    case RequestKind::kInitTrain:
+      OSELM_DCHECK(resume == Phase::kFinishStep);
+      break;
+    case RequestKind::kSyncTarget:
+      OSELM_DCHECK(resume == Phase::kEpisodeEnd);
+      break;
+    case RequestKind::kReset:
+      OSELM_DCHECK(resume == Phase::kAfterReset);
+      break;
+  }
   s.phase = resume;
   std::unique_lock lk(queue_mutex_);
   // Backpressure: block until the bounded ready queue has room. The batch
@@ -451,6 +479,7 @@ void AsyncQServer::suspend(Session& s, RequestKind kind, Phase resume) {
     return ready_.size() < config_.ready_queue_capacity;
   });
   ready_.push_back(Request{&s, kind});
+  OSELM_DCHECK_LE(ready_.size(), config_.ready_queue_capacity);
   lk.unlock();
   queue_cv_.notify_one();
   // NOTE: the session may already be running on another worker by the
@@ -491,6 +520,7 @@ void AsyncQServer::retire(Session* s, bool completed, std::string error) {
 // ---------------------------------------------------------------------------
 
 void AsyncQServer::batch_loop() {
+  batch_affinity_.bind();  // this thread owns backend_ until stop()
   std::vector<Request> drained;
   std::vector<ExclusiveTask> exclusive;
   for (;;) {
@@ -529,6 +559,9 @@ void AsyncQServer::batch_loop() {
             return batch_stop_ || batch_full();
           });
         }
+        // Bounded-queue invariant: workers' backpressure wait keeps the
+        // ready queue within its configured capacity at every drain.
+        OSELM_DCHECK_LE(ready_.size(), config_.ready_queue_capacity);
         const std::size_t take =
             std::min(ready_.size(), config_.max_batch);
         drained.assign(ready_.begin(),
@@ -545,7 +578,7 @@ void AsyncQServer::batch_loop() {
 
 void AsyncQServer::run_exclusive_task(ExclusiveTask& task) {
   try {
-    task.fn(*backend_);
+    task.fn(checked_backend());
     task.done->set_value();
   } catch (...) {
     task.done->set_exception(std::current_exception());
@@ -575,9 +608,14 @@ std::future<void> AsyncQServer::run_exclusive_async(
   }
   // The batch thread is gone (stop() ran). stop_mutex_ serializes against
   // a stop() still joining it and against concurrent inline callers — the
-  // backend stays single-touched even after shutdown.
+  // backend stays single-touched even after shutdown. The affinity guard
+  // moves with the serialization: bind for the inline call, release after
+  // so the next (possibly different) inline caller passes too.
   const std::scoped_lock stop_lock(stop_mutex_);
+  batch_affinity_.bind();
   run_exclusive_task(task);
+  batch_affinity_.release();
+  backend_->ledger().release_writer();
   return done;
 }
 
@@ -606,7 +644,8 @@ void AsyncQServer::coalesced_predict(QNetwork which, bool use_next_state) {
     const Session& s = *batch_sessions_[i];
     states.set_row(i, use_next_state ? s.transition.next_state : s.state);
   }
-  backend_->predict_actions_multi(states, action_codes_, which, q_multi);
+  checked_backend().predict_actions_multi(states, action_codes_, which,
+                                          q_multi);
   q_multi_ = &q_multi;
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_rows_.fetch_add(rows, std::memory_order_relaxed);
@@ -623,7 +662,7 @@ double AsyncQServer::session_td_target(Session& s,
   if (!transition.done) {
     const util::TimeLedger::PredictScope scope(backend_->ledger(),
                                                charge_to);
-    backend_->predict_actions(transition.next_state, action_codes_,
+    checked_backend().predict_actions(transition.next_state, action_codes_,
                               QNetwork::kTarget, q_ws_);
     best_next = q_ws_[0];
     for (std::size_t a = 1; a < q_ws_.size(); ++a) {
@@ -654,7 +693,7 @@ void AsyncQServer::apply_init_train(Session& s) {
     t(i, 0) =
         session_td_target(s, s.buffer[i], util::OpCategory::kInitTrain);
   }
-  backend_->init_train(x, t);
+  checked_backend().init_train(x, t);
   init_trains_.fetch_add(1, std::memory_order_relaxed);
   backend_initialized_.store(true, std::memory_order_release);
   s.buffer.clear();
@@ -746,7 +785,7 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
           // A co-tenant §4.3 reset may have de-initialized the shared
           // network after this session drew its update coin; skip then.
           if (backend_->initialized()) {
-            backend_->seq_train(s->sa, target);
+            checked_backend().seq_train(s->sa, target);
             train_updates_.fetch_add(1, std::memory_order_relaxed);
           }
           break;
@@ -754,7 +793,7 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
         case RequestKind::kTrainOnly: {
           const double target = clip_target(*s, s->transition.reward);
           if (backend_->initialized()) {
-            backend_->seq_train(s->sa, target);
+            checked_backend().seq_train(s->sa, target);
             train_updates_.fetch_add(1, std::memory_order_relaxed);
           }
           break;
@@ -763,10 +802,10 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
           apply_init_train(*s);
           break;
         case RequestKind::kSyncTarget:
-          backend_->sync_target();
+          checked_backend().sync_target();
           break;
         case RequestKind::kReset:
-          backend_->initialize();
+          checked_backend().initialize();
           backend_initialized_.store(false, std::memory_order_release);
           break;
       }

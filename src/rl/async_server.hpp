@@ -69,6 +69,7 @@
 #include "rl/sa_encoding.hpp"
 #include "rl/serving_types.hpp"
 #include "rl/trainer.hpp"
+#include "util/contract.hpp"
 #include "util/latency_histogram.hpp"
 #include "util/thread_pool.hpp"
 
@@ -279,6 +280,18 @@ class AsyncQServer {
   void retire(Session* s, bool completed, std::string error);
 
   // Batch-thread side (the only code that touches backend_ after start).
+  /// The backend seam: every predicting/training/initializing backend
+  /// call goes through here, which Debug-asserts the caller IS the batch
+  /// thread (or, after stop(), the run_exclusive inline caller the
+  /// affinity was handed to). Metadata getters (input_dim, hidden_units,
+  /// initialized, ledger) are excluded from the contract — they are
+  /// immutable or mirrored and legal from any thread.
+  [[nodiscard]] OsElmQBackend& checked_backend() noexcept {
+    batch_affinity_.assert_here(
+        "AsyncQServer: backend call outside the batch thread / "
+        "run_exclusive handoff");
+    return *backend_;
+  }
   void batch_loop();
   void process_requests(std::vector<Request>& requests);
   void coalesced_predict(QNetwork which, bool use_next_state);
@@ -291,6 +304,10 @@ class AsyncQServer {
   SimplifiedOutputModel model_;
   AsyncQServerConfig config_;
   linalg::VecD action_codes_;
+  /// Debug ownership guard for backend_: bound by the batch thread at
+  /// startup, re-bound to the inline caller by run_exclusive after
+  /// stop(). Inert in Release.
+  util::ThreadAffinity batch_affinity_;
 
   // Ready queue (workers push, batch thread drains).
   mutable std::mutex queue_mutex_;

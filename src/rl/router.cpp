@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/contract.hpp"
+
 namespace oselm::rl {
 
 namespace {
@@ -155,7 +157,12 @@ std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
   // before any placement is recorded.
   const std::size_t local_id = replicas_[target]->add_session(spec.session);
   const std::size_t router_id = next_router_id_++;
-  placements_.emplace(router_id, Placement{target, local_id});
+  OSELM_DCHECK_LT(target, replicas_.size());
+  const bool inserted =
+      placements_.emplace(router_id, Placement{target, local_id}).second;
+  OSELM_DCHECK(inserted);  // router ids are never reused
+  // Every id ever handed out has a recorded placement (ids are dense).
+  OSELM_DCHECK_EQ(placements_.size(), next_router_id_);
   sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
   return router_id;
 }
@@ -172,6 +179,7 @@ AsyncSessionResult RouterQServer::wait(std::size_t router_session_id) {
     }
     placement = it->second;
   }
+  OSELM_DCHECK_LT(placement.replica, replicas_.size());
   // The replica enforces deliver-exactly-once; its local id never leaks.
   AsyncSessionResult result =
       replicas_[placement.replica]->wait(placement.local_id);
@@ -196,8 +204,15 @@ std::vector<AsyncSessionResult> RouterQServer::drain() {
     const std::scoped_lock lk(placement_mutex_);
     std::map<std::pair<std::size_t, std::size_t>, std::size_t> reverse;
     for (const auto& [router_id, placement] : placements_) {
-      reverse.emplace(std::make_pair(placement.replica, placement.local_id),
-                      router_id);
+      OSELM_DCHECK_LT(placement.replica, replicas_.size());
+      const bool unique =
+          reverse
+              .emplace(std::make_pair(placement.replica, placement.local_id),
+                       router_id)
+              .second;
+      // Two router ids mapping to one (replica, local id) would make the
+      // reverse lookup below nondeterministic.
+      OSELM_DCHECK(unique);
     }
     for (auto& [replica, result] : collected) {
       result.id = reverse.at({replica, result.id});

@@ -1,0 +1,33 @@
+#include "util/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oselm::util {
+namespace contract_detail {
+
+void fail(const char* file, int line, const char* expr,
+          const std::string& detail) noexcept {
+  // stderr + abort (not an exception): a tripped contract means the
+  // process state already violates an invariant — unwinding through the
+  // threaded serving stack from here would only corrupt it further. The
+  // message shape is what the death tests match on.
+  std::fprintf(stderr, "%s:%d: contract failed: %s%s\n", file, line, expr,
+               detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace contract_detail
+
+void ThreadAffinity::fail_affinity(const char* what,
+                                   std::thread::id owner) noexcept {
+  std::ostringstream os;
+  os << " (owner thread " << owner << ", calling thread "
+     << std::this_thread::get_id() << ")";
+  contract_detail::fail("ThreadAffinity", 0,
+                        what != nullptr ? what : "thread-affinity violation",
+                        os.str());
+}
+
+}  // namespace oselm::util

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/contract.hpp"
+
 namespace oselm::util {
+
+namespace {
+#if OSELM_CONTRACTS_ENABLED
+/// Which pool (if any) owns the calling thread — set for the lifetime of
+/// worker_loop(). Purely a Debug contract aid; Release builds carry no
+/// per-thread state.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+#endif
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -35,8 +46,19 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+#if OSELM_CONTRACTS_ENABLED
+  return tls_worker_pool == this;
+#else
+  return false;
+#endif
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
+  // Re-entrant parallel_for deadlocks: this frame would block on futures
+  // only its own (occupied) lane could run. See the header contract.
+  OSELM_DCHECK(!on_worker_thread());
   if (count == 0) return;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
@@ -83,6 +105,9 @@ void ThreadPool::parallel_for(std::size_t count,
 }
 
 void ThreadPool::worker_loop() {
+#if OSELM_CONTRACTS_ENABLED
+  tls_worker_pool = this;
+#endif
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -34,8 +34,21 @@ class ThreadPool {
   /// iterations complete. A throwing iteration stops further iterations
   /// from being claimed; every lane is drained before the first exception
   /// is rethrown, so no worker outlives the call frame it captured.
+  ///
+  /// Contract (Debug-checked): NEVER call from one of this pool's own
+  /// worker lanes. The caller blocks on futures its own lane would have
+  /// to execute — a size-1 pool deadlocks outright and larger pools
+  /// deadlock whenever every other lane is busy. Nested parallelism must
+  /// use a different pool (the kernel layer's internal P-update pool is
+  /// exactly that).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is one of THIS pool's worker lanes
+  /// (always false in Release builds, where the tracking is compiled
+  /// out). The re-entrancy contract and AsyncQServer's seam checks read
+  /// it; not meant for scheduling decisions.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
 
  private:
   void worker_loop();

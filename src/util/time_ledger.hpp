@@ -15,10 +15,18 @@
 // evaluations inside the agent's init_train/seq_train paths charge
 // kInitTrain/kSeqTrain, exactly like the historical explicit `charge_to`
 // arguments did.
+// Thread contract: a TimeLedger is a SINGLE-WRITER structure — exactly one
+// thread charges it at a time (an agent's caller thread, an AsyncQServer's
+// batch thread). Ownership transfers only at quiescent points, marked by
+// release_writer() (e.g. AsyncQServer::run_exclusive running inline after
+// stop()). Debug builds enforce this with a util::ThreadAffinity that
+// binds on the first charge; sharing one ledger across concurrently
+// charging threads is a data race AND a tripped contract.
 #pragma once
 
 #include <memory>
 
+#include "util/contract.hpp"
 #include "util/op_accounting.hpp"
 
 namespace oselm::util {
@@ -28,6 +36,7 @@ class TimeLedger {
   /// Adds `seconds` (and `invocations` op counts) to `category`.
   void charge(OpCategory category, double seconds,
               std::uint64_t invocations = 1) noexcept {
+    writer_.assert_or_bind("TimeLedger charged off its writer thread");
     breakdown_.add(category, seconds, invocations);
   }
 
@@ -37,8 +46,15 @@ class TimeLedger {
   /// used before the redesign).
   void charge_predict(bool initialized, double seconds,
                       std::uint64_t invocations = 1) noexcept {
+    writer_.assert_or_bind("TimeLedger charged off its writer thread");
     breakdown_.add(predict_category(initialized), seconds, invocations);
   }
+
+  /// Marks a legal writer handoff: the next charge from ANY thread
+  /// re-binds the Debug ownership guard. Call only at quiescent points —
+  /// when the previous writer provably issues no further charges (batch
+  /// thread joined, agent destroyed). No-op in Release.
+  void release_writer() noexcept { writer_.release(); }
 
   /// Where a prediction would be charged right now.
   [[nodiscard]] OpCategory predict_category(bool initialized) const noexcept {
@@ -50,8 +66,14 @@ class TimeLedger {
     return breakdown_;
   }
 
-  /// Forgets all accumulated time and counts (not the PredictScope state).
-  void reset() noexcept { breakdown_ = OpBreakdown{}; }
+  /// Forgets all accumulated time and counts (not the PredictScope
+  /// state). An epoch boundary: the Debug writer guard resets with the
+  /// account, so a bench that reuses one ledger across measurement phases
+  /// may charge the next phase from a different thread.
+  void reset() noexcept {
+    breakdown_ = OpBreakdown{};
+    writer_.release();
+  }
 
   /// RAII override: predictions charged while the scope is alive land on
   /// `category` regardless of backend lifecycle. Nestable; the previous
@@ -60,6 +82,10 @@ class TimeLedger {
    public:
     PredictScope(TimeLedger& ledger, OpCategory category) noexcept
         : ledger_(ledger), previous_(ledger.predict_override_) {
+      // Scope routing state is covered by the same single-writer
+      // contract as the charges it redirects.
+      ledger_.writer_.assert_or_bind(
+          "TimeLedger::PredictScope opened off the writer thread");
       ledger_.predict_override_ = category;
     }
     PredictScope(const PredictScope&) = delete;
@@ -75,6 +101,9 @@ class TimeLedger {
   OpBreakdown breakdown_;
   /// kCount doubles as "no override active".
   OpCategory predict_override_ = OpCategory::kCount;
+  /// Debug single-writer guard (inert in Release). PredictScope state is
+  /// covered by the same contract: scopes live on the writer thread.
+  ThreadAffinity writer_;
 };
 
 /// Ledgers are shared between a backend and everything accounting against
