@@ -309,6 +309,11 @@ class AsyncQServer {
   /// stop(). Inert in Release.
   util::ThreadAffinity batch_affinity_;
 
+  // Lock order: stop_mutex_ > sessions_mutex_ > queue_mutex_ >
+  // stats_mutex_ (outermost to innermost). A thread holding a later
+  // mutex never acquires an earlier one; in practice only stop() nests
+  // at all (stop_mutex_ around each of the others, one at a time).
+
   // Ready queue (workers push, batch thread drains).
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;  ///< batch thread waits for work

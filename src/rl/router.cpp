@@ -59,12 +59,22 @@ RouterQServer::RouterQServer(RouterConfig config, SimplifiedOutputModel model)
   }
   replicas_.reserve(config_.replicas);
   sync_states_.resize(config_.replicas);
+  // A user-shared ledger must not be charged by R batch threads at once
+  // (OpBreakdown::add is a plain +=): swap in private per-replica
+  // accounts and settle them into the user's ledger at stop().
+  user_ledger_ = config_.backend.ledger;
+  if (user_ledger_) replica_ledgers_.reserve(config_.replicas);
   for (std::size_t i = 0; i < config_.replicas; ++i) {
     // Every replica gets the SAME BackendConfig — seed included — so all
     // R networks start with identical weights (the evaluation
     // determinism contract; see the header comment).
+    BackendConfig replica_config = config_.backend;
+    if (user_ledger_) {
+      replica_ledgers_.push_back(std::make_shared<util::TimeLedger>());
+      replica_config.ledger = replica_ledgers_.back();
+    }
     OsElmQBackendPtr backend =
-        make_backend(config_.backend_id, config_.backend, required);
+        make_backend(config_.backend_id, replica_config, required);
     AsyncQServerConfig server = config_.server;
     server.name = config_.name + "/r" + std::to_string(i);
     replicas_.push_back(std::make_unique<AsyncQServer>(
@@ -94,6 +104,18 @@ void RouterQServer::stop() {
   }
   for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
     replica->stop();
+  }
+  // Every batch thread is joined, so the per-replica accounts are
+  // quiescent: settle them into the user's shared ledger. Once —
+  // stop() is idempotent and the fold must not double-count.
+  if (user_ledger_ && !ledger_folded_) {
+    ledger_folded_ = true;
+    for (const util::TimeLedgerPtr& account : replica_ledgers_) {
+      user_ledger_->merge(account->breakdown());
+    }
+    // Whoever reads-then-reuses the ledger next may do so from any
+    // thread; this fold was its last write from ours.
+    user_ledger_->release_writer();
   }
 }
 

@@ -86,7 +86,10 @@ struct RouterConfig {
   /// Per-replica backend configuration. The SAME config (seed included)
   /// goes to every replica — identical initial weights are what the
   /// evaluation determinism contract rests on. A shared
-  /// BackendConfig::ledger is honored: all replicas charge one account.
+  /// BackendConfig::ledger is honored by FOLDING, not by sharing: each
+  /// replica charges a private account (R batch threads writing one
+  /// non-atomic OpBreakdown would be a data race), and the accounts are
+  /// merged into this ledger once, when the fleet stops.
   BackendConfig backend;
   /// Per-replica serving configuration; `name` is overwritten with the
   /// replica identity. max_live_sessions is the PER-REPLICA admission
@@ -186,6 +189,18 @@ class RouterQServer {
   RouterConfig config_;
   SimplifiedOutputModel model_;
   std::vector<std::unique_ptr<AsyncQServer>> replicas_;
+  /// Set when the user passed a shared BackendConfig::ledger: replicas
+  /// charge the private per-replica accounts below, folded into
+  /// user_ledger_ by stop() (once — guarded by stop_mutex_).
+  util::TimeLedgerPtr user_ledger_;
+  std::vector<util::TimeLedgerPtr> replica_ledgers_;
+  bool ledger_folded_ = false;  ///< guarded by stop_mutex_
+
+  // Lock order: stop_mutex_ > sync_mutex_ (stop() quiesces the sync
+  // thread under both). placement_mutex_ is a leaf: never held while
+  // acquiring another router mutex — replica calls made under it
+  // (add_session's admission, live_sessions) take only replica-internal
+  // locks, which rank below every router mutex.
 
   // Placement bookkeeping (the router is the only admitter).
   mutable std::mutex placement_mutex_;

@@ -56,6 +56,16 @@ class TimeLedger {
   /// thread joined, agent destroyed). No-op in Release.
   void release_writer() noexcept { writer_.release(); }
 
+  /// Folds another account's accumulated time and counts into this one.
+  /// A write like any charge, so the single-writer contract applies; the
+  /// source breakdown must itself be quiescent (its writer stopped).
+  /// This is how RouterQServer settles per-replica accounts into a
+  /// user-shared ledger once the fleet stops.
+  void merge(const OpBreakdown& other) noexcept {
+    writer_.assert_or_bind("TimeLedger merged off its writer thread");
+    breakdown_ += other;
+  }
+
   /// Where a prediction would be charged right now.
   [[nodiscard]] OpCategory predict_category(bool initialized) const noexcept {
     if (predict_override_ != OpCategory::kCount) return predict_override_;

@@ -25,6 +25,7 @@
 #include "env/registry.hpp"
 #include "rl/backend_registry.hpp"
 #include "util/rng.hpp"
+#include "util/time_ledger.hpp"
 
 namespace oselm::rl {
 namespace {
@@ -353,6 +354,47 @@ TEST(RouterQServer, StatsAggregateAcrossReplicasAndEmitJson) {
   EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
   EXPECT_NE(json.find("\"per_replica\""), std::string::npos);
   EXPECT_NE(json.find("\"spillovers\": 0"), std::string::npos);
+}
+
+TEST(RouterQServer, SharedLedgerIsFoldedNotChargedConcurrently) {
+  // Regression: RouterConfig documents that a shared BackendConfig::ledger
+  // is honored, but honoring it by handing the SAME TimeLedger to every
+  // replica made R batch threads charge one non-atomic OpBreakdown
+  // concurrently — a data race (and a tripped single-writer contract in
+  // Debug, which is how this test failed before the fix). The router now
+  // gives each replica a private ledger and folds them into the user's
+  // ledger once the fleet is quiescent.
+  const auto shared = std::make_shared<util::TimeLedger>();
+  RouterConfig config = router_config("software", 2);
+  config.backend.ledger = shared;
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+  router.add_session({train_spec(913, 37), key_for_replica(router, 0)});
+  router.add_session({train_spec(555, 66), key_for_replica(router, 1)});
+  router.drain();
+
+  // Both replicas trained, so both per-replica accounts are non-empty —
+  // a fold that dropped (or double-counted) one would show here.
+  std::uint64_t fleet_updates = 0;
+  for (std::size_t r = 0; r < router.replica_count(); ++r) {
+    EXPECT_GT(router.replica(r).train_update_count(), 0u);
+    fleet_updates += router.replica(r).train_update_count();
+  }
+  router.stop();
+
+  // Every train update charges kSeqTrain at least once (TD-target
+  // predictions are scoped there too, so >= not ==); a fold that dropped
+  // a replica's account could not reach the fleet-wide update count.
+  const util::OpBreakdown& folded = shared->breakdown();
+  const std::uint64_t folded_seq =
+      folded.invocations(util::OpCategory::kSeqTrain);
+  EXPECT_GE(folded_seq, fleet_updates);
+  EXPECT_GT(folded.get(util::OpCategory::kSeqTrain), 0.0);
+  EXPECT_GT(folded.total_excluding_env(), 0.0);
+
+  // stop() is idempotent; the fold must be too (no double counting).
+  router.stop();
+  EXPECT_EQ(shared->breakdown().invocations(util::OpCategory::kSeqTrain),
+            folded_seq);
 }
 
 TEST(RouterQServer, ConstructorValidatesConfiguration) {
