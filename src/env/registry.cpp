@@ -64,7 +64,7 @@ EnvironmentPtr make_delayed(const std::string& id, std::uint64_t seed_value) {
 
 EnvironmentPtr make_environment(const std::string& id,
                                 std::uint64_t seed_value) {
-  if (id.rfind("delay:", 0) == 0) return make_delayed(id, seed_value);
+  if (id.starts_with("delay:")) return make_delayed(id, seed_value);
   if (id == "CartPole-v0") {
     return std::make_unique<CartPole>(CartPoleParams{}, seed_value);
   }

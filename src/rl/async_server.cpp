@@ -185,12 +185,12 @@ AsyncSessionResult AsyncQServer::wait(std::size_t session_id) {
     throw std::invalid_argument("AsyncQServer::wait: unknown session id " +
                                 std::to_string(session_id));
   }
-  if (claimed_.count(session_id) != 0) {
+  if (claimed_.contains(session_id)) {
     throw std::logic_error("AsyncQServer::wait: result of session " +
                            std::to_string(session_id) +
                            " was already claimed");
   }
-  retire_cv_.wait(lk, [&] { return results_.count(session_id) != 0; });
+  retire_cv_.wait(lk, [&] { return results_.contains(session_id); });
   // Deliver-once: the result moves out so a server that admits and
   // retires sessions indefinitely does not accumulate them forever.
   const auto it = results_.find(session_id);
@@ -478,7 +478,7 @@ void AsyncQServer::suspend(Session& s, RequestKind kind, Phase resume) {
   space_cv_.wait(lk, [this] {
     return ready_.size() < config_.ready_queue_capacity;
   });
-  ready_.push_back(Request{&s, kind});
+  ready_.emplace_back(&s, kind);
   OSELM_DCHECK_LE(ready_.size(), config_.ready_queue_capacity);
   lk.unlock();
   queue_cv_.notify_one();

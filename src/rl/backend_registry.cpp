@@ -72,7 +72,7 @@ void BackendRegistry::register_backend(const std::string& id,
     throw std::invalid_argument("BackendRegistry: duplicate backend id '" +
                                 id + "'");
   }
-  entries_.push_back(Entry{id, caps, std::move(factory)});
+  entries_.emplace_back(id, caps, std::move(factory));
 }
 
 const BackendRegistry::Entry* BackendRegistry::find(

@@ -34,7 +34,9 @@ TEST(Acrobot, RewardIsMinusOneUntilGoal) {
   Acrobot env;
   env.reset();
   const auto result = env.step(1);
-  if (!result.terminated) EXPECT_DOUBLE_EQ(result.reward, -1.0);
+  if (!result.terminated) {
+    EXPECT_DOUBLE_EQ(result.reward, -1.0);
+  }
 }
 
 TEST(Acrobot, HangingStillWithNoTorqueStaysNearRest) {

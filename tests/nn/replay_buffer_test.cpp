@@ -42,7 +42,7 @@ TEST(ReplayBuffer, EvictsOldestFirst) {
 TEST(ReplayBuffer, AtOutOfRangeThrows) {
   ReplayBuffer buf(3);
   buf.push(make_transition(1.0));
-  EXPECT_THROW(buf.at(1), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(buf.at(1)), std::out_of_range);
 }
 
 TEST(ReplayBuffer, SampleFromEmptyThrows) {
@@ -69,7 +69,7 @@ TEST(ReplayBuffer, SampleOnlyReturnsStoredTransitions) {
   }
   util::Rng rng(3);
   for (const Transition& tr : buf.sample(100, rng)) {
-    EXPECT_TRUE(tags.count(tr.reward)) << tr.reward;
+    EXPECT_TRUE(tags.contains(tr.reward)) << tr.reward;
   }
 }
 

@@ -42,8 +42,8 @@ TEST(Policy, RandomActionCoversTheActionSpace) {
   std::set<std::size_t> seen;
   for (int i = 0; i < 1000; ++i) seen.insert(policy.random_action(rng));
   EXPECT_EQ(seen.size(), 4u);
-  EXPECT_TRUE(seen.count(0));
-  EXPECT_TRUE(seen.count(3));
+  EXPECT_TRUE(seen.contains(0));
+  EXPECT_TRUE(seen.contains(3));
 }
 
 TEST(Policy, RandomActionIsRoughlyUniform) {

@@ -57,7 +57,8 @@ TEST(SimplifiedOutputModel, ValidatesConstructionAndArguments) {
   EXPECT_THROW(SimplifiedOutputModel(0, 2), std::invalid_argument);
   EXPECT_THROW(SimplifiedOutputModel(4, 1), std::invalid_argument);
   const SimplifiedOutputModel model(2, 2);
-  EXPECT_THROW(model.action_code(2), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(model.action_code(2)),
+               std::invalid_argument);
   EXPECT_THROW(model.encode({1.0}, 0), std::invalid_argument);
   linalg::VecD wrong(5);
   EXPECT_THROW(model.encode_into({1.0, 2.0}, 0, wrong),

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy (config: .clang-tidy) over the core library sources.
+
+Needs a compile_commands.json — configure with
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+and a clang-tidy binary on PATH (any recent major version; the check set
+in .clang-tidy sticks to checks that have been stable for years).
+
+Exits 0 with a notice when clang-tidy is not installed, so the script is
+safe to call from environments that only have the GCC toolchain — the CI
+static-analysis job is where it gates.
+
+Usage:
+  python3 tools/lint/run_clang_tidy.py [--build-dir build] [files...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def find_clang_tidy() -> str | None:
+    for candidate in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                      "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="directory holding compile_commands.json")
+    parser.add_argument("files", nargs="*",
+                        help="restrict to these sources (default: all of "
+                             "src/ present in the compilation database)")
+    args = parser.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy: no clang-tidy binary on PATH — skipping "
+              "(the static-analysis CI job provides one)")
+        return 0
+
+    database = REPO / args.build_dir / "compile_commands.json"
+    if not database.exists():
+        print(f"run_clang_tidy: {database} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+
+    if args.files:
+        sources = [str(Path(f).resolve()) for f in args.files]
+    else:
+        entries = json.loads(database.read_text())
+        src_prefix = str(REPO / "src") + "/"
+        sources = sorted({
+            entry["file"] for entry in entries
+            if entry["file"].startswith(src_prefix)
+        })
+    if not sources:
+        print("run_clang_tidy: no sources selected", file=sys.stderr)
+        return 2
+
+    print(f"run_clang_tidy: {tidy} over {len(sources)} file(s)")
+    failed = False
+    for source in sources:
+        result = subprocess.run(
+            [tidy, "-p", str(REPO / args.build_dir), "--quiet", source],
+            cwd=REPO)
+        if result.returncode != 0:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
