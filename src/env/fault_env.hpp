@@ -1,0 +1,135 @@
+// Seeded fault-injection wrapper for the scenario & chaos harness.
+//
+// The serving stack is built for edge deployments where environments
+// misbehave: sensors drop frames, telemetry arrives out of order, remote
+// simulators throw, and I/O latency spikes. FaultEnv decorates any
+// Environment with exactly those failure modes, driven by a DEDICATED
+// util::Rng stream so the schedule is a pure function of (rate, seed):
+//
+//   * the fault generator never draws from — and never perturbs — the
+//     wrapped environment's rng, so the inner dynamics under a given
+//     env seed are bit-identical with and without the wrapper;
+//   * the same (rate, seed) pair produces the same fire/no-fire decision
+//     sequence on every run and platform (util::Rng is platform-stable);
+//     fault_schedule_preview() exposes that sequence so tests and the
+//     scenario layer can pin it without stepping an environment.
+//
+// One bernoulli(rate) decision is drawn per reset() AND per step(), in
+// call order. What a firing fault does depends on the kind:
+//
+//   kDrop     step: the inner environment advances normally but the STALE
+//             previously-delivered observation is returned (a dropped
+//             sensor frame); reward and termination flags stay real.
+//             reset: no-op beyond consuming the draw.
+//   kReorder  step: toggles a one-frame lag. Entering the lag delivers
+//             the stale observation and holds the fresh one; while
+//             lagging, each step delivers the held frame and holds the
+//             fresh one; a second firing drops the held frame and
+//             delivers the newest (frames "arrived out of order").
+//             reset: clears any lag, then no-op.
+//   kThrow    reset/step: throws env::FaultInjected (a std::runtime_error)
+//             — the serving stack's env-failure isolation path.
+//   kSpike    reset/step: sleeps spike_duration() first, then passes the
+//             call through UNCHANGED. Trajectories are bit-identical to
+//             the unwrapped environment — the latency-only fault the
+//             kEvaluate determinism tests pin.
+//
+// Registry integration: env::make_environment accepts
+// "fault:<kind>:<rate>:<seed>:<inner-id>" (e.g.
+// "fault:throw:0.01:9:CartPole-v0"), nestable with itself and with
+// "delay:" — so scenario specs compose fault plans from ids alone.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::env {
+
+/// Thrown by FaultEnv's kThrow kind. A distinct type so chaos tests can
+/// tell an injected failure from a genuine environment bug.
+class FaultInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultKind { kDrop, kReorder, kThrow, kSpike };
+
+/// "drop" / "reorder" / "throw" / "spike" — the registry-id spelling.
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// The exact fire/no-fire sequence a FaultEnv built with (rate, seed)
+/// will draw over its next `draws` reset()/step() calls. This IS the
+/// schedule contract: element k equals the decision of the k-th call
+/// after construction (or after seed(), which rewinds the stream).
+[[nodiscard]] std::vector<bool> fault_schedule_preview(double rate,
+                                                       std::uint64_t seed,
+                                                       std::size_t draws);
+
+class FaultEnv final : public Environment {
+ public:
+  /// `rate` in [0, 1] is the per-call fault probability; `seed` fixes the
+  /// fault schedule (independent of the inner environment's seed);
+  /// `spike` is the kSpike sleep duration (other kinds ignore it).
+  FaultEnv(EnvironmentPtr inner, FaultKind kind, double rate,
+           std::uint64_t seed,
+           std::chrono::microseconds spike = kDefaultSpike);
+
+  Observation reset() override;
+  StepResult step(std::size_t action) override;
+  /// Reseeds the inner environment AND rewinds the fault stream to its
+  /// constructed seed, so seed()-then-run reproduces faults and dynamics
+  /// alike. The env seed never feeds the fault stream.
+  void seed(std::uint64_t seed_value) override;
+
+  [[nodiscard]] const BoxSpace& observation_space() const override {
+    return inner_->observation_space();
+  }
+  [[nodiscard]] const DiscreteSpace& action_space() const override {
+    return inner_->action_space();
+  }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::size_t max_episode_steps() const override {
+    return inner_->max_episode_steps();
+  }
+
+  [[nodiscard]] FaultKind kind() const noexcept { return kind_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] std::uint64_t fault_seed() const noexcept { return seed_; }
+  [[nodiscard]] std::chrono::microseconds spike_duration() const noexcept {
+    return spike_;
+  }
+  /// Faults injected so far (draws that fired, across resets and steps).
+  [[nodiscard]] std::uint64_t fault_count() const noexcept {
+    return fault_count_;
+  }
+
+  static constexpr std::chrono::microseconds kDefaultSpike{5000};
+
+ private:
+  /// One schedule draw; counts and returns whether this call faults.
+  bool draw_fault();
+  void throw_fault(const char* call);
+
+  EnvironmentPtr inner_;
+  FaultKind kind_;
+  double rate_;
+  std::uint64_t seed_;
+  std::chrono::microseconds spike_;
+  util::Rng fault_rng_;
+  std::string name_;
+
+  std::uint64_t fault_count_ = 0;
+  std::uint64_t calls_ = 0;          ///< reset+step calls (error messages)
+  Observation last_delivered_;       ///< stale frame for kDrop/kReorder
+  Observation held_;                 ///< in-flight frame while lagging
+  bool lagging_ = false;             ///< kReorder one-frame lag active
+  bool has_delivered_ = false;
+};
+
+}  // namespace oselm::env

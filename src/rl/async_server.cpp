@@ -152,12 +152,16 @@ std::size_t AsyncQServer::add_session(const AsyncSessionSpec& spec) {
   {
     const std::scoped_lock lk(sessions_mutex_);
     if (stopping_.load(std::memory_order_acquire)) {
-      throw std::logic_error(
-          "AsyncQServer::add_session: server is stopping");
+      stopping_rejections_.fetch_add(1, std::memory_order_relaxed);
+      throw AdmissionError(
+          AdmissionRejectReason::kStopping,
+          "AsyncQServer::add_session: admission rejected — server is "
+          "stopping");
     }
     if (live_.size() >= config_.max_live_sessions) {
       admission_rejections_.fetch_add(1, std::memory_order_relaxed);
-      throw std::runtime_error(
+      throw AdmissionError(
+          AdmissionRejectReason::kCapacity,
           "AsyncQServer::add_session: admission rejected — live-session "
           "cap (" + std::to_string(config_.max_live_sessions) +
           ") reached; retry after a session retires");
@@ -230,6 +234,8 @@ AsyncServerStats AsyncQServer::stats() const {
   out.sessions_retired = sessions_retired_.load(std::memory_order_relaxed);
   out.admission_rejections =
       admission_rejections_.load(std::memory_order_relaxed);
+  out.stopping_rejections =
+      stopping_rejections_.load(std::memory_order_relaxed);
   {
     const std::scoped_lock lk(stats_mutex_);
     out.step_latency_us = retired_latency_;
@@ -248,6 +254,7 @@ void AsyncServerStats::merge(const AsyncServerStats& other) {
   sessions_admitted += other.sessions_admitted;
   sessions_retired += other.sessions_retired;
   admission_rejections += other.admission_rejections;
+  stopping_rejections += other.stopping_rejections;
   step_latency_us.merge(other.step_latency_us);
   batch_rows_hist.merge(other.batch_rows_hist);
 }
@@ -262,7 +269,7 @@ std::string AsyncServerStats::to_json() const {
       "\"mean_batch_rows\": %.3f,\n"
       "  \"train_updates\": %llu, \"init_trains\": %llu,\n"
       "  \"sessions_admitted\": %llu, \"sessions_retired\": %llu, "
-      "\"admission_rejections\": %llu,\n",
+      "\"admission_rejections\": %llu, \"stopping_rejections\": %llu,\n",
       static_cast<unsigned long long>(steps),
       static_cast<unsigned long long>(episodes),
       static_cast<unsigned long long>(batches),
@@ -271,7 +278,8 @@ std::string AsyncServerStats::to_json() const {
       static_cast<unsigned long long>(init_trains),
       static_cast<unsigned long long>(sessions_admitted),
       static_cast<unsigned long long>(sessions_retired),
-      static_cast<unsigned long long>(admission_rejections));
+      static_cast<unsigned long long>(admission_rejections),
+      static_cast<unsigned long long>(stopping_rejections));
   return std::string(head) +
          "  \"step_latency_us\": " + step_latency_us.to_json() + ",\n" +
          "  \"batch_rows_hist\": " + batch_rows_hist.to_json() + "\n}";

@@ -147,7 +147,8 @@ struct AsyncServerStats {
   std::uint64_t init_trains = 0;      ///< Eq. 7/8 chunk solves
   std::uint64_t sessions_admitted = 0;
   std::uint64_t sessions_retired = 0;
-  std::uint64_t admission_rejections = 0;
+  std::uint64_t admission_rejections = 0;  ///< refused at the cap
+  std::uint64_t stopping_rejections = 0;   ///< refused while stopping
   /// Step latency merged across RETIRED sessions (live sessions' private
   /// histograms are not sampled mid-flight).
   util::LatencyHistogram step_latency_us;
@@ -179,9 +180,9 @@ class AsyncQServer {
   ~AsyncQServer();
 
   /// Admits a session and starts it immediately. Returns its id.
-  /// Throws std::runtime_error when the live-session cap is reached,
-  /// std::invalid_argument on spec/environment mismatches, and
-  /// std::logic_error after stop().
+  /// Throws rl::AdmissionError (reason kCapacity) when the live-session
+  /// cap is reached, rl::AdmissionError (reason kStopping) during/after
+  /// stop(), and std::invalid_argument on spec/environment mismatches.
   std::size_t add_session(const AsyncSessionSpec& spec);
 
   /// Blocks until the given session retires and returns its result.
@@ -352,6 +353,7 @@ class AsyncQServer {
   std::atomic<std::uint64_t> sessions_admitted_{0};
   std::atomic<std::uint64_t> sessions_retired_{0};
   std::atomic<std::uint64_t> admission_rejections_{0};
+  std::atomic<std::uint64_t> stopping_rejections_{0};
 
   // Batch-thread workspaces (only that thread touches them). Batch sizes
   // fluctuate under continuous batching, so the state/Q matrices are

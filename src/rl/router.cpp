@@ -7,22 +7,11 @@
 #include <utility>
 
 #include "util/contract.hpp"
+#include "util/hash.hpp"
 
 namespace oselm::rl {
 
 namespace {
-
-/// FNV-1a 64-bit: tiny, allocation-free, and platform-stable — the same
-/// key maps to the same replica on every build, which the placement
-/// tests (and any operator reasoning about session co-location) rely on.
-std::uint64_t fnv1a(const std::string& key) noexcept {
-  std::uint64_t hash = 1469598103934665603ull;
-  for (const char c : key) {
-    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
 
 /// result += other, element-wise; adopts other's shape on first use.
 void accumulate(linalg::MatD& result, const linalg::MatD& other) {
@@ -132,7 +121,11 @@ std::string RouterQServer::derived_affinity_key(
 
 std::size_t RouterQServer::preferred_replica(
     const std::string& affinity_key) const noexcept {
-  return static_cast<std::size_t>(fnv1a(affinity_key) % replicas_.size());
+  // util::fnv1a is platform-stable — the same key maps to the same
+  // replica on every build, which the placement tests (and any operator
+  // reasoning about session co-location) rely on.
+  return static_cast<std::size_t>(util::fnv1a(affinity_key) %
+                                  replicas_.size());
 }
 
 std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
@@ -143,7 +136,11 @@ std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
 
   const std::scoped_lock lk(placement_mutex_);
   if (stopping_.load(std::memory_order_acquire)) {
-    throw std::logic_error("RouterQServer::add_session: router is stopping");
+    stopping_rejections_.fetch_add(1, std::memory_order_relaxed);
+    throw AdmissionError(
+        AdmissionRejectReason::kStopping,
+        "RouterQServer::add_session: admission rejected — router is "
+        "stopping");
   }
   // Pre-admission capacity check. Race-free despite being a separate
   // step from the replica's own admission: this router is the replica's
@@ -165,7 +162,8 @@ std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
     }
     if (best == replicas_.size()) {
       placement_rejections_.fetch_add(1, std::memory_order_relaxed);
-      throw std::runtime_error(
+      throw AdmissionError(
+          AdmissionRejectReason::kCapacity,
           "RouterQServer::add_session: admission rejected — every replica "
           "is at its live-session cap (" +
           std::to_string(replicas_.size()) + " x " + std::to_string(cap) +
@@ -267,6 +265,17 @@ void RouterQServer::run_exclusive_on_all(
   }
 }
 
+std::future<void> RouterQServer::run_exclusive_on(
+    std::size_t replica_index, std::function<void(OsElmQBackend&)> fn) {
+  if (replica_index >= replicas_.size()) {
+    throw std::invalid_argument(
+        "RouterQServer::run_exclusive_on: replica index " +
+        std::to_string(replica_index) + " out of range (fleet has " +
+        std::to_string(replicas_.size()) + ")");
+  }
+  return replicas_[replica_index]->run_exclusive_async(std::move(fn));
+}
+
 bool RouterQServer::average_replicas() {
   // Export every replica's learned state through its batch thread.
   // Sequential (not barrier-synchronized) exports: replicas keep
@@ -352,6 +361,8 @@ RouterStats RouterQServer::stats() const {
   out.spillovers = spillovers_.load(std::memory_order_relaxed);
   out.placement_rejections =
       placement_rejections_.load(std::memory_order_relaxed);
+  out.stopping_rejections =
+      stopping_rejections_.load(std::memory_order_relaxed);
   out.syncs = syncs_.load(std::memory_order_relaxed);
   out.per_replica.reserve(replicas_.size());
   for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
@@ -368,11 +379,13 @@ std::string RouterStats::to_json() const {
       "{\n"
       "  \"replicas\": %llu,\n"
       "  \"sessions_admitted\": %llu, \"spillovers\": %llu, "
-      "\"placement_rejections\": %llu, \"syncs\": %llu,\n",
+      "\"placement_rejections\": %llu, \"stopping_rejections\": %llu, "
+      "\"syncs\": %llu,\n",
       static_cast<unsigned long long>(replicas),
       static_cast<unsigned long long>(sessions_admitted),
       static_cast<unsigned long long>(spillovers),
       static_cast<unsigned long long>(placement_rejections),
+      static_cast<unsigned long long>(stopping_rejections),
       static_cast<unsigned long long>(syncs));
   std::string json = std::string(head) + "  \"aggregate\": ";
   json += aggregate.to_json();

@@ -58,6 +58,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -117,6 +119,7 @@ struct RouterStats {
   std::uint64_t sessions_admitted = 0;  ///< router-level admissions
   std::uint64_t spillovers = 0;         ///< placed off the preferred replica
   std::uint64_t placement_rejections = 0;  ///< every replica at cap
+  std::uint64_t stopping_rejections = 0;   ///< refused while stopping
   std::uint64_t syncs = 0;              ///< completed averaging rounds
   AsyncServerStats aggregate;           ///< merged across replicas
   std::vector<AsyncServerStats> per_replica;
@@ -137,8 +140,9 @@ class RouterQServer {
 
   /// Places and admits a session (see the header comment for the
   /// affinity/spillover policy) and returns its ROUTER-level id. Throws
-  /// std::runtime_error when every replica is at cap, std::logic_error
-  /// after stop(); spec errors propagate from the replica.
+  /// rl::AdmissionError (reason kCapacity) when every replica is at cap
+  /// and rl::AdmissionError (reason kStopping) during/after stop(); spec
+  /// errors propagate from the replica as std::invalid_argument.
   std::size_t add_session(const RouterSessionSpec& spec);
 
   /// Blocks until the session retires; the result carries the router
@@ -159,6 +163,14 @@ class RouterQServer {
   /// tests prime all replicas with identical trained weights and how
   /// the averaging rounds move state.
   void run_exclusive_on_all(const std::function<void(OsElmQBackend&)>& fn);
+  /// Runs `fn` on ONE replica's batching thread without blocking the
+  /// caller; the future carries fn's completion (or exception). While fn
+  /// runs, that replica's batch loop is occupied — its sessions stall,
+  /// co-replicas keep serving — which is exactly the fault the scenario
+  /// harness's replica-stall injection exercises. Throws
+  /// std::invalid_argument for an out-of-range index.
+  std::future<void> run_exclusive_on(std::size_t replica_index,
+                                     std::function<void(OsElmQBackend&)> fn);
 
   [[nodiscard]] RouterStats stats() const;
   [[nodiscard]] std::size_t live_sessions() const;
@@ -212,6 +224,7 @@ class RouterQServer {
   std::size_t next_router_id_ = 0;
   std::atomic<std::uint64_t> spillovers_{0};
   std::atomic<std::uint64_t> placement_rejections_{0};
+  std::atomic<std::uint64_t> stopping_rejections_{0};
   std::atomic<std::uint64_t> sessions_admitted_{0};
   std::atomic<std::uint64_t> syncs_{0};
   std::atomic<bool> stopping_{false};

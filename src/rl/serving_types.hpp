@@ -7,12 +7,55 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "rl/oselm_q_agent.hpp"
 #include "rl/trainer.hpp"
 
 namespace oselm::rl {
+
+/// Why an admission was refused. Machine-readable so callers (the router's
+/// rejection accounting, the scenario chaos driver) can attribute refusals
+/// without parsing error strings.
+enum class AdmissionRejectReason {
+  kCapacity,     ///< live-session cap reached; retry after a retirement
+  kStopping,     ///< the server is stopping / stopped; terminal
+  kDuplicateId,  ///< the caller's session key is already live (driver-side)
+};
+
+/// "capacity" / "stopping" / "duplicate-id" — the verdict-JSON spelling.
+[[nodiscard]] constexpr std::string_view to_string(
+    AdmissionRejectReason reason) noexcept {
+  switch (reason) {
+    case AdmissionRejectReason::kCapacity:
+      return "capacity";
+    case AdmissionRejectReason::kStopping:
+      return "stopping";
+    case AdmissionRejectReason::kDuplicateId:
+      return "duplicate-id";
+  }
+  return "unknown";
+}
+
+/// Thrown by AsyncQServer::add_session / RouterQServer::add_session when
+/// an admission is refused (as opposed to being malformed, which stays
+/// std::invalid_argument). Derives std::runtime_error so callers that
+/// only catch-and-retry keep working; callers that attribute refusals
+/// read reason().
+class AdmissionError : public std::runtime_error {
+ public:
+  AdmissionError(AdmissionRejectReason reason, std::string message)
+      : std::runtime_error(std::move(message)), reason_(reason) {}
+  [[nodiscard]] AdmissionRejectReason reason() const noexcept {
+    return reason_;
+  }
+
+ private:
+  AdmissionRejectReason reason_;
+};
 
 /// One episodic training session served against a shared backend.
 struct ServingSessionSpec {

@@ -1,0 +1,549 @@
+#include "scenario/chaos.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "env/registry.hpp"
+#include "rl/async_server.hpp"
+#include "rl/backend_registry.hpp"
+#include "rl/router.hpp"
+#include "rl/serving.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oselm::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct EnvDims {
+  std::size_t state_dim = 0;
+  std::size_t action_count = 0;
+};
+
+/// Probes every distinct env id in the schedule (construction only —
+/// nothing is reset or stepped, so no fault or env rng advances) and
+/// requires one common (state, action) shape: every serving tier
+/// validates sessions against ONE SimplifiedOutputModel.
+EnvDims probe_dims(const ScenarioSchedule& schedule) {
+  std::set<std::string> distinct;
+  for (const PlannedBurst& burst : schedule.bursts) {
+    for (const PlannedSession& s : burst.sessions) distinct.insert(s.env_id);
+  }
+  EnvDims dims;
+  std::string first;
+  for (const std::string& id : distinct) {
+    const env::EnvironmentPtr probe = env::make_environment(id, 1);
+    const std::size_t state = probe->observation_space().dimensions();
+    const std::size_t actions = probe->action_space().n;
+    if (first.empty()) {
+      dims.state_dim = state;
+      dims.action_count = actions;
+      first = id;
+    } else if (state != dims.state_dim || actions != dims.action_count) {
+      throw std::invalid_argument(
+          "run_chaos: env mix is not dimension-homogeneous: '" + first +
+          "' is (" + std::to_string(dims.state_dim) + ", " +
+          std::to_string(dims.action_count) + ") but '" + id + "' is (" +
+          std::to_string(state) + ", " + std::to_string(actions) + ")");
+    }
+  }
+  return dims;
+}
+
+rl::TrainerConfig trainer_for(const ScenarioSpec& spec) {
+  rl::TrainerConfig trainer;
+  trainer.max_episodes = spec.episodes_per_session;
+  trainer.episode_step_cap = spec.max_steps_per_episode;
+  // Budget-driven sessions: an unreachable threshold means every session
+  // runs its full episode budget, so scenario load is seed-stable.
+  trainer.solved_threshold = 1e18;
+  trainer.solved_window = 1;
+  trainer.reset_interval = 0;  // shared network: §4.3 resets off
+  return trainer;
+}
+
+rl::BackendConfig backend_for(const ScenarioSpec& spec,
+                              const rl::SimplifiedOutputModel& model) {
+  rl::BackendConfig backend;
+  backend.input_dim = model.input_dim();
+  backend.hidden_units = spec.hidden_units;
+  backend.seed = spec.seed;
+  return backend;
+}
+
+rl::AsyncSessionSpec async_spec(const ScenarioSpec& spec,
+                                const PlannedSession& planned) {
+  rl::AsyncSessionSpec session;
+  session.session.env_id = planned.env_id;
+  session.session.env_seed = planned.env_seed;
+  session.session.agent_seed = planned.agent_seed;
+  session.session.trainer = trainer_for(spec);
+  session.mode = planned.train ? rl::AsyncSessionMode::kTrain
+                               : rl::AsyncSessionMode::kEvaluate;
+  return session;
+}
+
+void push_invariant(ScenarioVerdict& verdict, std::string name, bool pass,
+                    std::string detail) {
+  verdict.invariants.push_back(
+      InvariantResult{std::move(name), pass, std::move(detail)});
+}
+
+/// The tier seam: the burst/stall/collect loop below drives any serving
+/// tier through these closures, so async and router share one driver.
+struct Tier {
+  std::function<std::size_t(const PlannedSession&)> add;
+  std::function<rl::AsyncSessionResult(std::size_t)> wait;
+  std::function<void()> stop;
+  std::function<std::future<void>(std::uint64_t)> stall;
+  /// Called once per collected result (router: placement accounting).
+  std::function<void(const rl::AsyncSessionResult&)> on_result;
+  /// Invariants only the tier can check (server counters, placement).
+  std::function<void(ScenarioVerdict&)> final_checks;
+};
+
+/// stop() under a watchdog: the call runs on a one-lane pool and the
+/// driver waits with the spec's deadline. A miss is recorded as a failed
+/// invariant, then the driver STILL blocks for completion — tearing down
+/// a tier mid-stop would trade a detectable deadlock for undefined
+/// behavior, and a TSan/ASan CI job timing out with live stacks is the
+/// debugging artifact we actually want from a hung stop().
+void watchdog_stop(const ScenarioSpec& spec, Tier& tier,
+                   ScenarioVerdict& verdict) {
+  util::ThreadPool watchdog(1);
+  std::future<void> done = watchdog.submit([&tier] { tier.stop(); });
+  const bool returned =
+      done.wait_for(std::chrono::milliseconds(spec.stop_deadline_ms)) ==
+      std::future_status::ready;
+  push_invariant(verdict, "stop-returned", returned,
+                 returned ? "stop() returned within " +
+                                std::to_string(spec.stop_deadline_ms) + " ms"
+                          : "stop() still running after " +
+                                std::to_string(spec.stop_deadline_ms) +
+                                " ms deadline");
+  done.get();
+}
+
+void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
+                ScenarioVerdict& verdict, Tier& tier) {
+  const Clock::time_point start = Clock::now();
+  std::future<void> stall_future;
+  std::set<std::string> live_keys;
+  std::vector<std::pair<std::size_t, bool>> admitted;  // (tier id, train?)
+
+  for (std::size_t b = 0; b < schedule.bursts.size(); ++b) {
+    if (schedule.stall_planned && b == schedule.stall_before_burst) {
+      stall_future = tier.stall(schedule.stall_ms);
+    }
+    const PlannedBurst& burst = schedule.bursts[b];
+    std::this_thread::sleep_until(
+        start + std::chrono::milliseconds(burst.at_ms));
+    for (const PlannedSession& planned : burst.sessions) {
+      ++verdict.attempted;
+      // Driver-side duplicate detection: one live session per affinity
+      // key. Keys stay open until results are collected, so a later
+      // burst reusing a key is refused with a structured reason just
+      // like a server-side rejection.
+      if (!live_keys.insert(planned.affinity_key).second) {
+        ++verdict.rejected_duplicate;
+        continue;
+      }
+      try {
+        admitted.emplace_back(tier.add(planned), planned.train);
+        ++verdict.admitted;
+      } catch (const rl::AdmissionError& e) {
+        live_keys.erase(planned.affinity_key);
+        if (e.reason() == rl::AdmissionRejectReason::kCapacity) {
+          ++verdict.rejected_capacity;
+        } else {
+          ++verdict.rejected_stopping;
+        }
+      }
+    }
+  }
+
+  bool stopped_midrun = false;
+  if (spec.stop_after_ms > 0) {
+    // Deadline-style run: stop() retires every live session at its next
+    // step boundary; results are collected afterwards.
+    std::this_thread::sleep_until(
+        start + std::chrono::milliseconds(spec.stop_after_ms));
+    watchdog_stop(spec, tier, verdict);
+    stopped_midrun = true;
+  }
+  if (stall_future.valid()) stall_future.get();
+
+  std::uint64_t collected = 0;
+  for (const auto& [id, train] : admitted) {
+    rl::AsyncSessionResult result = tier.wait(id);
+    ++collected;
+    if (result.completed) {
+      ++verdict.completed;
+    } else if (result.failed) {
+      ++verdict.failed_env;
+    } else {
+      ++verdict.stopped_early;
+    }
+    (train ? verdict.train_step_latency_us : verdict.eval_step_latency_us)
+        .merge(result.step_latency_us);
+    if (tier.on_result) tier.on_result(result);
+  }
+  if (!stopped_midrun) watchdog_stop(spec, tier, verdict);
+
+  // Post-stop probe: a join after stop() must be refused with the
+  // structured kStopping reason — never admitted, never a bare error,
+  // never a hang. Probe admissions stay out of the telemetry counters.
+  {
+    bool pass = false;
+    std::string detail;
+    const PlannedSession& probe = schedule.bursts.front().sessions.front();
+    try {
+      tier.add(probe);
+      detail = "admission unexpectedly succeeded after stop()";
+    } catch (const rl::AdmissionError& e) {
+      pass = e.reason() == rl::AdmissionRejectReason::kStopping;
+      detail = pass ? "AdmissionError(kStopping)"
+                    : "AdmissionError with wrong reason '" +
+                          std::string(to_string(e.reason())) + "'";
+    } catch (const std::exception& e) {
+      detail = std::string("non-structured exception: ") + e.what();
+    }
+    push_invariant(verdict, "post-stop-rejects", pass, detail);
+  }
+
+  const std::uint64_t rejected = verdict.rejected_capacity +
+                                 verdict.rejected_stopping +
+                                 verdict.rejected_duplicate;
+  push_invariant(
+      verdict, "sessions-conserved",
+      verdict.attempted == verdict.admitted + rejected &&
+          collected == verdict.admitted,
+      "attempted " + std::to_string(verdict.attempted) + " == admitted " +
+          std::to_string(verdict.admitted) + " + rejected " +
+          std::to_string(rejected) + "; results " +
+          std::to_string(collected));
+  if (tier.final_checks) tier.final_checks(verdict);
+
+  verdict.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void check_server_accounting(ScenarioVerdict& verdict,
+                             const rl::AsyncServerStats& stats) {
+  push_invariant(
+      verdict, "server-accounting",
+      stats.sessions_admitted == verdict.admitted &&
+          stats.sessions_retired == verdict.admitted,
+      "server admitted " + std::to_string(stats.sessions_admitted) +
+          ", retired " + std::to_string(stats.sessions_retired) +
+          "; driver admitted " + std::to_string(verdict.admitted));
+  push_invariant(
+      verdict, "steps-accounted",
+      stats.steps == stats.step_latency_us.count(),
+      "steps " + std::to_string(stats.steps) + " == latency samples " +
+          std::to_string(stats.step_latency_us.count()));
+}
+
+ScenarioVerdict run_lockstep(const ScenarioSpec& spec,
+                             const ScenarioSchedule& schedule,
+                             ScenarioVerdict verdict) {
+  const EnvDims dims = probe_dims(schedule);
+  const rl::SimplifiedOutputModel model(dims.state_dim, dims.action_count);
+  rl::QServer server(
+      rl::make_backend(spec.backend_id, backend_for(spec, model)), model,
+      spec.worker_threads);
+  const Clock::time_point start = Clock::now();
+  // Lockstep is the baseline tier: no churn, no stalls, no mid-run stop —
+  // every planned session joins up front and one run() drives them all,
+  // so specs double as reproducible lockstep benchmark workloads. The
+  // burst/stall/stop fields are ignored here (documented in the README).
+  for (const PlannedBurst& burst : schedule.bursts) {
+    for (const PlannedSession& planned : burst.sessions) {
+      rl::ServingSessionSpec session;
+      session.env_id = planned.env_id;
+      session.env_seed = planned.env_seed;
+      session.agent_seed = planned.agent_seed;
+      session.trainer = trainer_for(spec);
+      server.add_session(session);
+      ++verdict.attempted;
+      ++verdict.admitted;
+    }
+  }
+  bool ran = false;
+  std::string error;
+  rl::QServerResult result;
+  try {
+    result = server.run();
+    ran = true;
+  } catch (const std::exception& e) {
+    // A throw-fault env aborts the whole lockstep tick loop — which is
+    // exactly why chaos belongs on the async tiers; surface it as a
+    // verdict failure, not a crash.
+    error = e.what();
+  }
+  push_invariant(verdict, "lockstep-run-completed", ran,
+                 ran ? "run() completed" : "run() threw: " + error);
+  push_invariant(verdict, "sessions-conserved",
+                 ran && result.sessions.size() == verdict.admitted,
+                 "admitted " + std::to_string(verdict.admitted) +
+                     "; results " + std::to_string(result.sessions.size()));
+  verdict.completed = result.sessions.size();
+  verdict.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  char stats[256];
+  std::snprintf(stats, sizeof(stats),
+                "{\"ticks\": %llu, \"coalesced_calls\": %llu, "
+                "\"coalesced_rows\": %llu, \"mean_batch_rows\": %.3f}",
+                static_cast<unsigned long long>(result.ticks),
+                static_cast<unsigned long long>(result.coalesced_calls),
+                static_cast<unsigned long long>(result.coalesced_rows),
+                result.mean_batch_rows());
+  verdict.server_stats_json = stats;
+  return verdict;
+}
+
+ScenarioVerdict run_async(const ScenarioSpec& spec,
+                          const ScenarioSchedule& schedule,
+                          ScenarioVerdict verdict) {
+  const EnvDims dims = probe_dims(schedule);
+  const rl::SimplifiedOutputModel model(dims.state_dim, dims.action_count);
+  rl::AsyncQServerConfig config;
+  config.name = spec.name;
+  config.worker_threads = spec.worker_threads;
+  config.max_live_sessions = spec.max_live_sessions;
+  rl::AsyncQServer server(
+      rl::make_backend(spec.backend_id, backend_for(spec, model)), model,
+      config);
+
+  Tier tier;
+  tier.add = [&server, &spec](const PlannedSession& planned) {
+    return server.add_session(async_spec(spec, planned));
+  };
+  tier.wait = [&server](std::size_t id) { return server.wait(id); };
+  tier.stop = [&server] { server.stop(); };
+  tier.stall = [&server](std::uint64_t stall_ms) {
+    // Occupy the single batch thread: every session's predict/train
+    // request queues behind this sleep — the whole-backend stall.
+    return server.run_exclusive_async([stall_ms](rl::OsElmQBackend&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    });
+  };
+  tier.final_checks = [&server](ScenarioVerdict& v) {
+    check_server_accounting(v, server.stats());
+  };
+
+  drive_tier(spec, schedule, verdict, tier);
+  verdict.server_stats_json = server.stats().to_json();
+  return verdict;
+}
+
+ScenarioVerdict run_router(const ScenarioSpec& spec,
+                           const ScenarioSchedule& schedule,
+                           ScenarioVerdict verdict) {
+  const EnvDims dims = probe_dims(schedule);
+  const rl::SimplifiedOutputModel model(dims.state_dim, dims.action_count);
+  rl::RouterConfig config;
+  config.name = spec.name;
+  config.replicas = spec.replicas;
+  config.backend_id = spec.backend_id;
+  config.backend = backend_for(spec, model);
+  config.server.worker_threads = spec.worker_threads;
+  config.server.max_live_sessions = spec.max_live_sessions;
+  rl::RouterQServer router(config, model);
+
+  std::map<std::string, std::uint64_t> served_by;
+  Tier tier;
+  tier.add = [&router, &spec](const PlannedSession& planned) {
+    rl::RouterSessionSpec session;
+    session.session = async_spec(spec, planned);
+    session.affinity_key = planned.affinity_key;
+    return router.add_session(session);
+  };
+  tier.wait = [&router](std::size_t id) { return router.wait(id); };
+  tier.stop = [&router] { router.stop(); };
+  tier.stall = [&router, &spec](std::uint64_t stall_ms) {
+    // Occupy ONE replica's batch thread; its co-replicas keep serving.
+    return router.run_exclusive_on(
+        spec.stall_replica, [stall_ms](rl::OsElmQBackend&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+        });
+  };
+  tier.on_result = [&served_by](const rl::AsyncSessionResult& result) {
+    ++served_by[result.served_by];
+  };
+  tier.final_checks = [&router, &config,
+                       &served_by](ScenarioVerdict& v) {
+    const rl::RouterStats stats = router.stats();
+    check_server_accounting(v, stats.aggregate);
+    // Placement map consistency: every result names a real replica, and
+    // the per-replica admission counters agree with both the router's
+    // own ledger and the served_by attribution of the results.
+    bool consistent = stats.sessions_admitted == v.admitted;
+    std::string detail =
+        "router admitted " + std::to_string(stats.sessions_admitted);
+    std::uint64_t attributed = 0;
+    for (std::size_t r = 0; r < stats.per_replica.size(); ++r) {
+      const std::string replica_name =
+          config.name + "/r" + std::to_string(r);
+      const auto it = served_by.find(replica_name);
+      const std::uint64_t served =
+          it == served_by.end() ? 0 : it->second;
+      attributed += served;
+      if (stats.per_replica[r].sessions_admitted != served ||
+          stats.per_replica[r].sessions_retired != served) {
+        consistent = false;
+      }
+      detail += "; " + replica_name + " admitted " +
+                std::to_string(stats.per_replica[r].sessions_admitted) +
+                " served " + std::to_string(served);
+    }
+    // attributed counts only results naming a real replica; any result
+    // with an unknown served_by leaves it short of admitted.
+    if (attributed != v.admitted) consistent = false;
+    push_invariant(v, "placement-consistent", consistent, detail);
+  };
+
+  drive_tier(spec, schedule, verdict, tier);
+  verdict.server_stats_json = router.stats().to_json();
+  return verdict;
+}
+
+std::string verdict_json(const ScenarioVerdict& verdict,
+                         bool with_telemetry) {
+  std::ostringstream out;
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "0x%016llx",
+                static_cast<unsigned long long>(verdict.schedule_digest));
+  out << "{\n";
+  out << "  \"scenario\": \"" << json_escape(verdict.scenario) << "\",\n";
+  out << "  \"backend_tier\": \"" << json_escape(verdict.backend_tier)
+      << "\",\n";
+  out << "  \"backend_id\": \"" << json_escape(verdict.backend_id)
+      << "\",\n";
+  out << "  \"seed\": " << verdict.seed << ",\n";
+  out << "  \"schedule_digest\": \"" << digest << "\",\n";
+  out << "  \"planned_sessions\": " << verdict.planned_sessions << ",\n";
+  out << "  \"pass\": " << (verdict.pass ? "true" : "false") << ",\n";
+  out << "  \"invariants\": [\n";
+  for (std::size_t i = 0; i < verdict.invariants.size(); ++i) {
+    const InvariantResult& inv = verdict.invariants[i];
+    out << "    {\"name\": \"" << json_escape(inv.name) << "\", \"pass\": "
+        << (inv.pass ? "true" : "false");
+    // Details carry timing-dependent counts, so they belong to the full
+    // verdict only — the deterministic core stays byte-stable.
+    if (with_telemetry) {
+      out << ", \"detail\": \"" << json_escape(inv.detail) << "\"";
+    }
+    out << "}" << (i + 1 < verdict.invariants.size() ? "," : "") << "\n";
+  }
+  out << "  ]";
+  if (with_telemetry) {
+    out << ",\n  \"telemetry\": {\n";
+    out << "    \"attempted\": " << verdict.attempted << ",\n";
+    out << "    \"admitted\": " << verdict.admitted << ",\n";
+    out << "    \"rejected_capacity\": " << verdict.rejected_capacity
+        << ",\n";
+    out << "    \"rejected_stopping\": " << verdict.rejected_stopping
+        << ",\n";
+    out << "    \"rejected_duplicate\": " << verdict.rejected_duplicate
+        << ",\n";
+    out << "    \"completed\": " << verdict.completed << ",\n";
+    out << "    \"failed_env\": " << verdict.failed_env << ",\n";
+    out << "    \"stopped_early\": " << verdict.stopped_early << ",\n";
+    char wall[64];
+    std::snprintf(wall, sizeof(wall), "%.6f", verdict.wall_seconds);
+    out << "    \"wall_seconds\": " << wall << ",\n";
+    out << "    \"train_step_latency_us\": "
+        << verdict.train_step_latency_us.to_json() << ",\n";
+    out << "    \"eval_step_latency_us\": "
+        << verdict.eval_step_latency_us.to_json() << ",\n";
+    out << "    \"server\": "
+        << (verdict.server_stats_json.empty() ? "{}"
+                                              : verdict.server_stats_json)
+        << "\n";
+    out << "  }";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string ScenarioVerdict::to_json() const {
+  return verdict_json(*this, /*with_telemetry=*/true);
+}
+
+std::string ScenarioVerdict::deterministic_json() const {
+  return verdict_json(*this, /*with_telemetry=*/false);
+}
+
+ScenarioVerdict run_chaos(const ScenarioSpec& spec,
+                          const ScenarioSchedule& schedule) {
+  spec.validate();
+  ScenarioVerdict verdict;
+  verdict.scenario = spec.name;
+  verdict.backend_tier = std::string(to_string(spec.backend));
+  verdict.backend_id = spec.backend_id;
+  verdict.seed = spec.seed;
+  verdict.schedule_digest = schedule.digest;
+  verdict.planned_sessions = schedule.total_sessions;
+  switch (spec.backend) {
+    case ScenarioBackend::kLockstep:
+      verdict = run_lockstep(spec, schedule, std::move(verdict));
+      break;
+    case ScenarioBackend::kAsync:
+      verdict = run_async(spec, schedule, std::move(verdict));
+      break;
+    case ScenarioBackend::kRouter:
+      verdict = run_router(spec, schedule, std::move(verdict));
+      break;
+  }
+  verdict.pass = !verdict.invariants.empty();
+  for (const InvariantResult& inv : verdict.invariants) {
+    verdict.pass = verdict.pass && inv.pass;
+  }
+  return verdict;
+}
+
+}  // namespace oselm::scenario

@@ -1,0 +1,147 @@
+#include "scenario/pack.hpp"
+
+#include <stdexcept>
+
+namespace oselm::scenario {
+
+namespace {
+
+/// Common base every builtin starts from: CartPole-family envs (one
+/// homogeneous (4, 2) shape), short budgets so the whole pack stays
+/// CI-soak sized even under TSan/ASan.
+ScenarioSpec base_spec() {
+  ScenarioSpec spec;
+  spec.env_ids = {"ShapedCartPole-v0", "CartPole-v0"};
+  spec.episodes_per_session = 2;
+  spec.max_steps_per_episode = 25;
+  spec.hidden_units = 32;
+  spec.worker_threads = 4;
+  spec.burst_gap_ms = 2;
+  return spec;
+}
+
+ScenarioSpec churn_storm() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "churn-storm";
+  spec.backend = ScenarioBackend::kAsync;
+  spec.seed = 801;
+  spec.sessions = 32;
+  spec.bursts = 4;
+  spec.burst_gap_ms = 1;  // joins arrive far faster than retirements
+  spec.max_live_sessions = 6;
+  spec.train_fraction = 0.25;
+  return spec;
+}
+
+ScenarioSpec latency_spike() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "latency-spike";
+  spec.backend = ScenarioBackend::kAsync;
+  spec.seed = 802;
+  spec.sessions = 12;
+  spec.bursts = 2;
+  spec.max_live_sessions = 12;  // no cap pressure: isolate the spikes
+  spec.train_fraction = 0.0;    // evaluate-only (the delay-only contract)
+  spec.faults = {{"spike", 0.2}, {"none", 0.0}};
+  return spec;
+}
+
+ScenarioSpec env_fault_mix() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "env-fault-mix";
+  spec.backend = ScenarioBackend::kAsync;
+  spec.seed = 803;
+  spec.sessions = 16;
+  spec.bursts = 4;
+  spec.max_live_sessions = 8;
+  spec.train_fraction = 0.5;
+  spec.faults = {{"drop", 0.15}, {"reorder", 0.15}, {"throw", 0.05},
+                 {"none", 0.0}};
+  return spec;
+}
+
+ScenarioSpec backend_stall() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "backend-stall";
+  spec.backend = ScenarioBackend::kAsync;
+  spec.seed = 804;
+  spec.sessions = 12;
+  spec.bursts = 3;
+  spec.max_live_sessions = 12;
+  spec.train_fraction = 0.5;
+  spec.stall_ms = 30;       // occupies THE batch thread mid-run
+  spec.stall_at_burst = 1;  // with burst 0's sessions already serving
+  return spec;
+}
+
+ScenarioSpec router_replica_stall() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "router-replica-stall";
+  spec.backend = ScenarioBackend::kRouter;
+  spec.seed = 805;
+  spec.sessions = 18;
+  spec.bursts = 3;
+  spec.replicas = 3;
+  spec.max_live_sessions = 4;  // per replica: spillover pressure too
+  spec.train_fraction = 0.25;
+  spec.stall_ms = 30;
+  spec.stall_replica = 1;  // co-replicas keep serving through the stall
+  spec.stall_at_burst = 1;
+  return spec;
+}
+
+ScenarioSpec mixed_train_eval() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "mixed-train-eval";
+  spec.backend = ScenarioBackend::kRouter;
+  spec.seed = 806;
+  spec.sessions = 16;
+  spec.bursts = 4;
+  spec.burst_gap_ms = 5;
+  spec.replicas = 2;
+  spec.max_live_sessions = 6;
+  spec.train_fraction = 0.5;
+  spec.affinity_keys = 6;  // colliding keys: duplicate-id rejections
+  // Long budgets + a deadline-style stop: most sessions retire via
+  // stop(), exercising the stopped-early accounting path.
+  spec.episodes_per_session = 50;
+  spec.stop_after_ms = 150;
+  return spec;
+}
+
+ScenarioSpec lockstep_baseline() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "lockstep-baseline";
+  spec.backend = ScenarioBackend::kLockstep;
+  spec.seed = 807;
+  spec.sessions = 8;
+  spec.bursts = 1;
+  spec.max_live_sessions = 8;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_scenarios() {
+  return {"churn-storm",   "latency-spike",        "env-fault-mix",
+          "backend-stall", "router-replica-stall", "mixed-train-eval",
+          "lockstep-baseline"};
+}
+
+ScenarioSpec builtin_scenario(const std::string& name) {
+  if (name == "churn-storm") return churn_storm();
+  if (name == "latency-spike") return latency_spike();
+  if (name == "env-fault-mix") return env_fault_mix();
+  if (name == "backend-stall") return backend_stall();
+  if (name == "router-replica-stall") return router_replica_stall();
+  if (name == "mixed-train-eval") return mixed_train_eval();
+  if (name == "lockstep-baseline") return lockstep_baseline();
+  std::string known;
+  for (const std::string& id : builtin_scenarios()) {
+    known += (known.empty() ? "" : ", ") + id;
+  }
+  throw std::invalid_argument("builtin_scenario: unknown name '" + name +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace oselm::scenario

@@ -1,0 +1,101 @@
+#include "scenario/schedule.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace oselm::scenario {
+
+namespace {
+
+std::string format_rate(double rate) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", rate);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ScenarioSchedule::to_text() const {
+  std::ostringstream out;
+  out << "sessions = " << total_sessions << "\n";
+  if (stall_planned) {
+    out << "stall before burst " << stall_before_burst << ": "
+        << stall_ms << " ms on replica " << stall_replica << "\n";
+  }
+  for (const PlannedBurst& burst : bursts) {
+    out << "burst at " << burst.at_ms << " ms (" << burst.sessions.size()
+        << " sessions)\n";
+    for (const PlannedSession& s : burst.sessions) {
+      out << "  #" << s.index << " " << (s.train ? "train" : "eval") << " "
+          << s.env_id << " env_seed=" << s.env_seed
+          << " agent_seed=" << s.agent_seed << " key=" << s.affinity_key
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+ScenarioSchedule expand_schedule(const ScenarioSpec& spec) {
+  spec.validate();
+  ScenarioSchedule schedule;
+  schedule.total_sessions = spec.sessions;
+  schedule.stall_planned = spec.stall_ms > 0;
+  schedule.stall_before_burst = spec.stall_at_burst;
+  schedule.stall_ms = spec.stall_ms;
+  schedule.stall_replica =
+      spec.backend == ScenarioBackend::kRouter ? spec.stall_replica : 0;
+
+  // The dedicated schedule stream: every draw below comes from here, in
+  // this exact order, so the expansion is a pure function of the master
+  // seed. Nothing else may consume from it.
+  util::Rng rng(spec.seed);
+
+  schedule.bursts.resize(spec.bursts);
+  for (std::size_t b = 0; b < spec.bursts; ++b) {
+    schedule.bursts[b].at_ms = spec.burst_gap_ms * b;
+  }
+  for (std::size_t k = 0; k < spec.sessions; ++k) {
+    PlannedSession session;
+    session.index = k;
+    // Fixed per-session draw order (env, fault, fault seed, mode, seeds,
+    // key): inserting a draw for one feature must not silently reshuffle
+    // the others, so every branch below still consumes its draws.
+    std::string env_id =
+        spec.env_ids[rng.uniform_index(spec.env_ids.size())];
+    if (!spec.faults.empty()) {
+      const FaultPlanEntry& entry =
+          spec.faults[rng.uniform_index(spec.faults.size())];
+      const std::uint64_t fault_seed = rng();
+      if (entry.kind != "none") {
+        env_id = "fault:" + entry.kind + ":" + format_rate(entry.rate) +
+                 ":" + std::to_string(fault_seed) + ":" + env_id;
+      }
+    }
+    session.env_id = std::move(env_id);
+    session.train = rng.bernoulli(spec.train_fraction);
+    session.env_seed = rng();
+    session.agent_seed = rng();
+    // snprintf instead of `"s" + std::to_string(...)`: the operator+
+    // form trips GCC 12's -Wrestrict false positive (PR105651) at -O2.
+    char key[32];
+    if (spec.affinity_keys == 0) {
+      std::snprintf(key, sizeof(key), "s%zu", k);
+    } else {
+      std::snprintf(key, sizeof(key), "k%zu",
+                    rng.uniform_index(spec.affinity_keys));
+    }
+    session.affinity_key = key;
+    // Sessions deal round-robin into bursts, so every burst is a mass
+    // join of ~sessions/bursts and early bursts absorb the remainder.
+    schedule.bursts[k % spec.bursts].sessions.push_back(
+        std::move(session));
+  }
+
+  schedule.digest = util::fnv1a(schedule.to_text());
+  return schedule;
+}
+
+}  // namespace oselm::scenario

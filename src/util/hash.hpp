@@ -1,0 +1,46 @@
+// FNV-1a 64-bit hashing.
+//
+// Tiny, allocation-free, and platform-stable: the same bytes hash to the
+// same value on every build and architecture. Two subsystems rely on that
+// stability as a CONTRACT, not a convenience: rl::RouterQServer maps
+// session affinity keys to replicas with it (placement must not change
+// across builds), and scenario::ScenarioSchedule digests its expanded
+// fault/churn timeline with it (two runs of the same spec + seed must
+// report the same digest so reproducibility is checkable from the verdict
+// JSON alone).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace oselm::util {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+/// FNV-1a over `data`, optionally chained from a previous hash (pass the
+/// prior result as `basis` to fold multiple fields into one digest).
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::string_view data,
+    std::uint64_t basis = kFnv1aOffsetBasis) noexcept {
+  std::uint64_t hash = basis;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// Folds a 64-bit value into an FNV-1a chain byte by byte (little-endian
+/// byte order, fixed by contract — digests must not depend on the host).
+[[nodiscard]] constexpr std::uint64_t fnv1a_u64(
+    std::uint64_t value, std::uint64_t basis = kFnv1aOffsetBasis) noexcept {
+  std::uint64_t hash = basis;
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+}  // namespace oselm::util

@@ -79,19 +79,82 @@ TEST(Registry, DelayModifierNests) {
   EXPECT_EQ(env->reset().size(), env->observation_space().dimensions());
 }
 
-TEST(Registry, RegisteredModifiersExposeTheDelayFamily) {
+TEST(Registry, RegisteredModifiersExposeBothFamilies) {
   // registered_environments() lists only the concrete ids, so callers
   // that enumerate-then-construct (contract suites, scenario specs) need
-  // the modifier prefixes too — a "delay:"-wrapped id is constructible
-  // even though no enumerated id starts with "delay:".
+  // the modifier prefixes too — a "delay:"- or "fault:"-wrapped id is
+  // constructible even though no enumerated id starts with either.
   const std::vector<std::string> modifiers = registered_modifiers();
-  ASSERT_EQ(modifiers.size(), 1u);
+  ASSERT_EQ(modifiers.size(), 2u);
   EXPECT_EQ(modifiers[0], "delay:");
+  EXPECT_EQ(modifiers[1], "fault:");
   // Prefix + a well-formed argument + any registered id constructs.
   for (const std::string& id : registered_environments()) {
-    const EnvironmentPtr env = make_environment("delay:1:" + id, 1);
-    ASSERT_NE(env, nullptr) << id;
+    ASSERT_NE(make_environment("delay:1:" + id, 1), nullptr) << id;
+    ASSERT_NE(make_environment("fault:drop:0.5:9:" + id, 1), nullptr)
+        << id;
   }
+}
+
+TEST(Registry, FaultModifierWrapsAndNests) {
+  auto env = make_environment("fault:drop:0.25:7:ShapedCartPole-v0", 11);
+  EXPECT_EQ(env->name(), "fault:drop:0.25:7:CartPole-v0");
+  EXPECT_EQ(env->observation_space().dimensions(), 4u);
+  // Nesting with itself and with delay: composes like any modifier.
+  auto nested =
+      make_environment("delay:100:fault:spike:0.1:3:GridWorld", 5);
+  EXPECT_EQ(nested->reset().size(),
+            nested->observation_space().dimensions());
+  auto doubled =
+      make_environment("fault:drop:0.1:1:fault:spike:0.1:2:GridWorld", 5);
+  EXPECT_EQ(doubled->reset().size(),
+            doubled->observation_space().dimensions());
+}
+
+TEST(Registry, MalformedFaultIdsThrow) {
+  EXPECT_THROW(make_environment("fault:"), std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop"), std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop:0.5"), std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop:0.5:9"),
+               std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop:0.5:9:"),
+               std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:flood:0.5:9:GridWorld"),
+               std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop:1.5:9:GridWorld"),
+               std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop:-0.1:9:GridWorld"),
+               std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop:lots:9:GridWorld"),
+               std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop:0.5:nine:GridWorld"),
+               std::invalid_argument);
+  // Over-long seed fields throw instead of wrapping modulo 2^64.
+  EXPECT_THROW(
+      make_environment("fault:drop:0.5:18446744073709551617:GridWorld"),
+      std::invalid_argument);
+  EXPECT_THROW(make_environment("fault:drop:0.5:9:NoSuchEnv"),
+               std::invalid_argument);
+}
+
+TEST(Registry, NestedFaultErrorsReportTheFullOuterId) {
+  // Error-reporting parity with delay:: a nested failure names the FULL
+  // outer id regardless of which modifier family wraps which.
+  const auto expect_mentions = [](const std::string& id) {
+    try {
+      (void)make_environment(id);
+      FAIL() << "expected std::invalid_argument for '" << id << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + id + "'"),
+                std::string::npos)
+          << "message '" << e.what() << "' lacks the outer id '" << id
+          << "'";
+    }
+  };
+  expect_mentions("fault:drop:0.5:9:NoSuchEnv");
+  expect_mentions("fault:drop:0.5:9:fault:spike:0.1:1:NoSuchEnv");
+  expect_mentions("fault:drop:0.5:9:delay:oops:GridWorld");
+  expect_mentions("delay:100:fault:flood:0.5:9:GridWorld");
 }
 
 TEST(Registry, NestedMalformedInnerIdsReportTheFullOuterId) {

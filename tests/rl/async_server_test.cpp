@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <thread>
 
@@ -24,6 +26,7 @@
 #include "rl/backend_registry.hpp"
 #include "rl/serving.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace oselm::rl {
 namespace {
@@ -241,7 +244,10 @@ TEST(AsyncQServer, AdmissionControlRejectsBeyondTheCapWithAClearError) {
   try {
     server.add_session(eval_spec(12, 22));
     FAIL() << "expected admission rejection";
-  } catch (const std::runtime_error& e) {
+  } catch (const AdmissionError& e) {
+    // Structured reason + a clear message: callers can branch on the
+    // enum (retry later vs give up) without parsing the text.
+    EXPECT_EQ(e.reason(), AdmissionRejectReason::kCapacity);
     EXPECT_NE(std::string(e.what()).find("admission rejected"),
               std::string::npos)
         << e.what();
@@ -249,12 +255,72 @@ TEST(AsyncQServer, AdmissionControlRejectsBeyondTheCapWithAClearError) {
         << e.what();
   }
   EXPECT_EQ(server.stats().admission_rejections, 1u);
+  EXPECT_EQ(server.stats().stopping_rejections, 0u);
   server.stop();
-  // The cap frees as sessions retire: after stop() everything is retired
-  // (but admission is closed — stopping servers reject differently).
-  EXPECT_THROW(server.add_session(eval_spec(13, 23)), std::logic_error);
+  // The cap frees as sessions retire: after stop() everything is retired,
+  // but admission is closed — and the rejection says WHY.
+  try {
+    server.add_session(eval_spec(13, 23));
+    FAIL() << "expected a stopping rejection";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.reason(), AdmissionRejectReason::kStopping);
+  }
+  EXPECT_EQ(server.stats().stopping_rejections, 1u);
   (void)a;
   (void)b;
+}
+
+TEST(AsyncQServer, ConcurrentJoinsRacingStopNeverHangOrMiscount) {
+  // Regression for the join()-racing-stop() window: joins that land
+  // while stop() tears the server down must either be admitted (and then
+  // retired by the stop) or rejected with a structured AdmissionError —
+  // never a hang, a crash, or a lost session. TSan covers the race in CI.
+  AsyncQServerConfig config;
+  config.worker_threads = 4;
+  config.max_live_sessions = 8;
+  AsyncQServer server(make_backend("software", backend_config(41)),
+                      SimplifiedOutputModel(4, 2), config);
+  constexpr std::size_t kAttempts = 24;
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected_capacity{0};
+  std::atomic<std::uint64_t> rejected_stopping{0};
+  util::ThreadPool joiners(4);
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < kAttempts; ++i) {
+    futures.push_back(joiners.submit([&server, &admitted,
+                                      &rejected_capacity,
+                                      &rejected_stopping, i] {
+      AsyncSessionSpec spec = eval_spec(300 + i, 310 + i, 50);
+      spec.session.env_id = "delay:500:ShapedCartPole-v0";
+      try {
+        server.add_session(spec);
+        admitted.fetch_add(1);
+      } catch (const AdmissionError& e) {
+        if (e.reason() == AdmissionRejectReason::kCapacity) {
+          rejected_capacity.fetch_add(1);
+        } else {
+          EXPECT_EQ(e.reason(), AdmissionRejectReason::kStopping);
+          rejected_stopping.fetch_add(1);
+        }
+      }
+    }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.stop();  // races the joins above
+  for (std::future<void>& f : futures) f.get();
+  server.stop();  // idempotent after the race
+
+  // Conservation: every attempt is admitted or rejected with a reason,
+  // every admitted session has exactly one result, and the server's own
+  // ledger agrees with the driver's.
+  EXPECT_EQ(admitted + rejected_capacity + rejected_stopping, kAttempts);
+  EXPECT_EQ(server.drain().size(), admitted.load());
+  const AsyncServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_admitted, admitted.load());
+  EXPECT_EQ(stats.sessions_retired, admitted.load());
+  EXPECT_EQ(stats.admission_rejections, rejected_capacity.load());
+  EXPECT_EQ(stats.stopping_rejections, rejected_stopping.load());
+  EXPECT_EQ(server.live_sessions(), 0u);
 }
 
 /// CartPole wrapper whose step() throws after a fixed number of calls —

@@ -17,14 +17,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "env/registry.hpp"
 #include "rl/backend_registry.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/time_ledger.hpp"
 
 namespace oselm::rl {
@@ -215,12 +220,21 @@ TEST(RouterQServer, AdmissionRejectsOnlyWhenEveryReplicaIsAtCap) {
   slow.session.env_seed = 11;
   const std::size_t s2 = router.add_session({slow, key});  // spills to r0
   slow.session.env_seed = 12;
-  EXPECT_THROW(router.add_session({slow, key}), std::runtime_error);
+  try {
+    router.add_session({slow, key});
+    FAIL() << "expected a fleet-full rejection";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.reason(), AdmissionRejectReason::kCapacity);
+    EXPECT_NE(std::string(e.what()).find("admission rejected"),
+              std::string::npos)
+        << e.what();
+  }
 
   RouterStats stats = router.stats();
   EXPECT_EQ(stats.sessions_admitted, 2u);
   EXPECT_EQ(stats.spillovers, 1u);
   EXPECT_EQ(stats.placement_rejections, 1u);
+  EXPECT_EQ(stats.stopping_rejections, 0u);
 
   router.stop();
   EXPECT_EQ(router.wait(s1).served_by, "router/r1");
@@ -416,7 +430,80 @@ TEST(RouterQServer, WaitRejectsUnknownIdsAndAddAfterStopThrows) {
                        SimplifiedOutputModel(4, 2));
   EXPECT_THROW(router.wait(99), std::invalid_argument);
   router.stop();
-  EXPECT_THROW(router.add_session({eval_spec(1, 2), ""}), std::logic_error);
+  try {
+    router.add_session({eval_spec(1, 2), ""});
+    FAIL() << "expected a stopping rejection";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.reason(), AdmissionRejectReason::kStopping);
+  }
+  EXPECT_EQ(router.stats().stopping_rejections, 1u);
+}
+
+TEST(RouterQServer, RunExclusiveOnStallsOneReplicaWhileOthersServe) {
+  // run_exclusive_on occupies ONE replica's batch thread — the scenario
+  // harness's replica-stall injection. A session pinned to the other
+  // replica completes while the stalled one is busy.
+  RouterQServer router(router_config("software", 2),
+                       SimplifiedOutputModel(4, 2));
+  EXPECT_THROW((void)router.run_exclusive_on(2, [](OsElmQBackend&) {}),
+               std::invalid_argument);
+  std::atomic<bool> stalled{false};
+  std::future<void> stall =
+      router.run_exclusive_on(0, [&stalled](OsElmQBackend&) {
+        stalled.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      });
+  const std::size_t id =
+      router.add_session({eval_spec(5, 6, 2), key_for_replica(router, 1)});
+  EXPECT_TRUE(router.wait(id).completed);
+  stall.get();
+  EXPECT_TRUE(stalled.load());
+}
+
+TEST(RouterQServer, ConcurrentJoinsRacingStopNeverHangOrMiscount) {
+  // Router-level regression for the join()-racing-stop() window: every
+  // concurrent join is either admitted (then retired by the stop) or
+  // rejected with a structured reason, and the fleet ledger balances.
+  RouterConfig config = router_config("software", 2);
+  config.server.max_live_sessions = 4;
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+  constexpr std::size_t kAttempts = 20;
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected_capacity{0};
+  std::atomic<std::uint64_t> rejected_stopping{0};
+  util::ThreadPool joiners(4);
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < kAttempts; ++i) {
+    futures.push_back(joiners.submit([&router, &admitted,
+                                      &rejected_capacity,
+                                      &rejected_stopping, i] {
+      AsyncSessionSpec spec = eval_spec(500 + i, 510 + i, 50);
+      spec.session.env_id = "delay:500:ShapedCartPole-v0";
+      try {
+        router.add_session({spec, "key-" + std::to_string(i)});
+        admitted.fetch_add(1);
+      } catch (const AdmissionError& e) {
+        if (e.reason() == AdmissionRejectReason::kCapacity) {
+          rejected_capacity.fetch_add(1);
+        } else {
+          EXPECT_EQ(e.reason(), AdmissionRejectReason::kStopping);
+          rejected_stopping.fetch_add(1);
+        }
+      }
+    }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  router.stop();  // races the joins above
+  for (std::future<void>& f : futures) f.get();
+  router.stop();  // idempotent after the race
+
+  EXPECT_EQ(admitted + rejected_capacity + rejected_stopping, kAttempts);
+  EXPECT_EQ(router.drain().size(), admitted.load());
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.sessions_admitted, admitted.load());
+  EXPECT_EQ(stats.aggregate.sessions_retired, admitted.load());
+  EXPECT_EQ(stats.placement_rejections, rejected_capacity.load());
+  EXPECT_EQ(stats.stopping_rejections, rejected_stopping.load());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, PerBackend,

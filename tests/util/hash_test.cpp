@@ -1,0 +1,55 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace oselm::util {
+namespace {
+
+TEST(Fnv1a, MatchesPublishedReferenceVectors) {
+  // Reference vectors from the FNV specification (64-bit FNV-1a). These
+  // pin the platform-stability contract: router placement and scenario
+  // digests depend on these exact values never changing.
+  EXPECT_EQ(fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a("a"), 12638187200555641996ull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, IsConstexpr) {
+  static_assert(fnv1a("") == kFnv1aOffsetBasis);
+  static_assert(fnv1a("a") != fnv1a("b"));
+  static_assert(fnv1a_u64(0) != fnv1a_u64(1));
+  SUCCEED();
+}
+
+TEST(Fnv1a, ChainingEqualsConcatenation) {
+  // Folding field-by-field through `basis` must equal hashing the
+  // concatenated bytes — callers rely on this to build digests
+  // incrementally.
+  const std::string head = "scenario:";
+  const std::string tail = "churn-storm";
+  EXPECT_EQ(fnv1a(tail, fnv1a(head)), fnv1a(head + tail));
+}
+
+TEST(Fnv1a, U64FoldsLittleEndianBytes) {
+  // fnv1a_u64 hashes the value's bytes little-endian by contract, so it
+  // must agree with fnv1a over the equivalent byte string.
+  const std::uint64_t value = 0x0123456789abcdefull;
+  std::string bytes;
+  for (int byte = 0; byte < 8; ++byte) {
+    bytes.push_back(static_cast<char>((value >> (8 * byte)) & 0xffu));
+  }
+  EXPECT_EQ(fnv1a_u64(value), fnv1a(bytes));
+}
+
+TEST(Fnv1a, SmallInputsDisperse) {
+  // Sanity: distinct short keys (the affinity-key shapes the router
+  // hashes) land on distinct values.
+  EXPECT_NE(fnv1a("s0"), fnv1a("s1"));
+  EXPECT_NE(fnv1a("k1"), fnv1a("k10"));
+  EXPECT_NE(fnv1a_u64(7, fnv1a("x")), fnv1a_u64(7));
+}
+
+}  // namespace
+}  // namespace oselm::util

@@ -1,0 +1,112 @@
+// scenario_runner — execute chaos scenarios and emit verdict JSON.
+//
+// Usage:
+//   scenario_runner --list                      # builtin pack names
+//   scenario_runner --print-spec <name>         # builtin spec as text
+//   scenario_runner --builtin <name> [--out F]  # run one builtin
+//   scenario_runner --spec <file> [--out F]     # run a spec file
+//   scenario_runner --all [--out-dir D]         # run the whole pack
+//
+// The verdict JSON goes to stdout (and to --out/--out-dir when given).
+// Exit status: 0 when every invariant of every scenario passed, 2 when
+// any invariant was violated, 1 on usage/spec errors. CI runs
+// `scenario_runner --all` under TSan and ASan as the chaos soak.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "scenario/pack.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+using oselm::scenario::ScenarioRunner;
+using oselm::scenario::ScenarioSpec;
+using oselm::scenario::ScenarioVerdict;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --list\n"
+      "       %s --print-spec <name>\n"
+      "       %s --builtin <name> [--out <file>]\n"
+      "       %s --spec <file> [--out <file>]\n"
+      "       %s --all [--out-dir <dir>]\n",
+      argv0, argv0, argv0, argv0, argv0);
+  return 1;
+}
+
+/// Runs one spec; prints and optionally writes the verdict. Returns the
+/// verdict's pass flag.
+bool run_one(const ScenarioSpec& spec, const std::string& out_path) {
+  const ScenarioRunner runner(spec);
+  const ScenarioVerdict verdict = runner.run();
+  std::printf("%s", verdict.to_json().c_str());
+  if (!out_path.empty()) {
+    oselm::scenario::write_verdict(verdict, out_path);
+    std::fprintf(stderr, "scenario '%s': %s — verdict written to %s\n",
+                 spec.name.c_str(), verdict.pass ? "PASS" : "FAIL",
+                 out_path.c_str());
+  } else {
+    std::fprintf(stderr, "scenario '%s': %s\n", spec.name.c_str(),
+                 verdict.pass ? "PASS" : "FAIL");
+  }
+  return verdict.pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 1 && args[0] == "--list") {
+      for (const std::string& name : oselm::scenario::builtin_scenarios()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (args.size() == 2 && args[0] == "--print-spec") {
+      std::printf("%s",
+                  oselm::scenario::builtin_scenario(args[1]).to_text()
+                      .c_str());
+      return 0;
+    }
+    if (args.size() >= 2 &&
+        (args[0] == "--builtin" || args[0] == "--spec")) {
+      std::string out_path;
+      if (args.size() == 4 && args[2] == "--out") {
+        out_path = args[3];
+      } else if (args.size() != 2) {
+        return usage(argv[0]);
+      }
+      const ScenarioSpec spec =
+          args[0] == "--builtin"
+              ? oselm::scenario::builtin_scenario(args[1])
+              : oselm::scenario::load_scenario_file(args[1]);
+      return run_one(spec, out_path) ? 0 : 2;
+    }
+    if (!args.empty() && args[0] == "--all") {
+      std::string out_dir;
+      if (args.size() == 3 && args[1] == "--out-dir") {
+        out_dir = args[2];
+      } else if (args.size() != 1) {
+        return usage(argv[0]);
+      }
+      bool all_pass = true;
+      for (const std::string& name : oselm::scenario::builtin_scenarios()) {
+        const std::string out_path =
+            out_dir.empty() ? "" : out_dir + "/" + name + ".json";
+        all_pass =
+            run_one(oselm::scenario::builtin_scenario(name), out_path) &&
+            all_pass;
+      }
+      return all_pass ? 0 : 2;
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+}
