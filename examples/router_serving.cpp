@@ -100,16 +100,57 @@ int main(int argc, char** argv) {
                 r.step_latency_us.quantile(0.99));
   }
 
+  // --- Phase 3: self-healing. Hard-kill replica 0 with a fresh burst
+  // mid-flight: its sessions are rescued onto the survivors (rerun from
+  // their specs), and a replacement server is swapped into the slot with
+  // the fleet's learned state imported — not a fresh network.
+  std::printf("\nkilling replica 0 with %zu sessions in flight...\n",
+              sessions);
+  std::vector<std::size_t> burst;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    rl::AsyncSessionSpec spec;
+    spec.mode = rl::AsyncSessionMode::kEvaluate;
+    spec.session.env_id =
+        "delay:" + std::to_string(delay_us) + ":ShapedCartPole-v0";
+    spec.session.env_seed = 300 + 7 * i;
+    spec.session.agent_seed = 70 + i;
+    spec.session.trainer.max_episodes = episodes;
+    spec.session.trainer.solved_threshold = 1e9;
+    spec.session.trainer.episode_step_cap = 60;
+    burst.push_back(router.add_session({spec, "burst-" + std::to_string(i)}));
+  }
+  router.kill_replica(0);
+  std::size_t rescued_sessions = 0;
+  for (const std::size_t id : burst) {
+    const rl::AsyncSessionResult r = router.wait(id);
+    all_ok = all_ok && r.completed && !r.failed;
+    if (r.rescues > 0) ++rescued_sessions;
+  }
+  std::printf("  every session completed; %zu were rescued onto survivors\n",
+              rescued_sessions);
+
   router.stop();
   const rl::RouterStats stats = router.stats();
-  std::printf("\nrouter telemetry:\n%s\n", stats.to_json().c_str());
+  std::printf("\nper-replica health timelines:\n%s\n",
+              stats.health_json().c_str());
+  std::printf("router telemetry:\n%s\n", stats.to_json().c_str());
 
   if (!all_ok) {
     std::fprintf(stderr, "FAIL: a session failed or was cut short\n");
     return 1;
   }
+  if (stats.replacements == 0 || stats.abandoned != 0 ||
+      stats.replacements_seeded != stats.replacements) {
+    std::fprintf(stderr,
+                 "FAIL: the killed replica was not cleanly replaced "
+                 "(replacements %llu, seeded %llu, abandoned %llu)\n",
+                 static_cast<unsigned long long>(stats.replacements),
+                 static_cast<unsigned long long>(stats.replacements_seeded),
+                 static_cast<unsigned long long>(stats.abandoned));
+    return 1;
+  }
   if (stats.aggregate.steps == 0 ||
-      stats.sessions_admitted != replicas + sessions) {
+      stats.sessions_admitted != replicas + 2 * sessions) {
     std::fprintf(stderr, "FAIL: router telemetry looks broken\n");
     return 1;
   }

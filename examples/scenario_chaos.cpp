@@ -39,11 +39,26 @@ int main() {
   const ScenarioVerdict verdict = runner.run();
   std::printf("=== verdict ===\n%s\n", verdict.to_json().c_str());
 
+  // The robustness axes drive the router's self-healing tier: wrap one
+  // replica's backend in a seeded rl::FaultBackend, hard-kill a replica
+  // mid-run, bound admission waits, and prime the fleet with trained
+  // state so replacements have something to inherit. The builtin
+  // replica-kill-rescue scenario composes them; router verdicts also
+  // carry the per-replica health timeline the CI job archives.
+  const ScenarioRunner kill_runner(builtin_scenario("replica-kill-rescue"));
+  const ScenarioVerdict kill_verdict = kill_runner.run();
+  std::printf("=== replica-kill-rescue: rescued %llu, abandoned %llu ===\n",
+              static_cast<unsigned long long>(kill_verdict.rescued),
+              static_cast<unsigned long long>(kill_verdict.abandoned));
+  std::printf("=== health timeline ===\n%s\n",
+              kill_verdict.health_json.c_str());
+
   // The shipped pack covers churn storms, latency spikes, fault mixes,
-  // backend/replica stalls, and mixed train/eval traffic:
+  // backend/replica stalls, backend fault storms, replica kills,
+  // bounded-wait admission, and mixed train/eval traffic:
   std::printf("=== builtin pack ===\n");
   for (const std::string& name : builtin_scenarios()) {
     std::printf("  %s\n", name.c_str());
   }
-  return verdict.pass ? 0 : 1;
+  return verdict.pass && kill_verdict.pass ? 0 : 1;
 }

@@ -20,6 +20,8 @@ std::string_view to_string(FaultKind kind) noexcept {
   return "unknown";
 }
 
+std::string_view fault_kinds() noexcept { return "drop|reorder|throw|spike"; }
+
 std::vector<bool> fault_schedule_preview(double rate, std::uint64_t seed,
                                          std::size_t draws) {
   util::Rng rng(seed);

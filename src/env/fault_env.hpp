@@ -63,6 +63,10 @@ enum class FaultKind { kDrop, kReorder, kThrow, kSpike };
 /// "drop" / "reorder" / "throw" / "spike" — the registry-id spelling.
 [[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
 
+/// The valid <kind> spellings for "fault:<kind>:..." ids, in declaration
+/// order — the single source for registry error messages and docs.
+[[nodiscard]] std::string_view fault_kinds() noexcept;
+
 /// The exact fire/no-fire sequence a FaultEnv built with (rate, seed)
 /// will draw over its next `draws` reset()/step() calls. This IS the
 /// schedule contract: element k equals the decision of the k-th call

@@ -104,9 +104,12 @@ EnvironmentPtr make_faulted(const std::string& id, std::uint64_t seed_value) {
   } else if (kind_text == "spike") {
     kind = FaultKind::kSpike;
   } else {
+    // The valid-kind listing comes from fault_kinds() — the same single
+    // source the docs use — for parity with how unknown env ids report
+    // the registered alternatives below.
     throw std::invalid_argument(
         "make_environment: unknown fault kind '" + kind_text + "' in '" +
-        id + "' (expected drop|reorder|throw|spike)");
+        id + "' (expected " + std::string(fault_kinds()) + ")");
   }
 
   const std::string rate_text = id.substr(rate_begin, rate_end - rate_begin);
@@ -172,7 +175,21 @@ EnvironmentPtr make_environment(const std::string& id,
   if (id == "GridWorld") {
     return std::make_unique<GridWorld>(GridWorldParams{}, seed_value);
   }
-  throw std::invalid_argument("make_environment: unknown id '" + id + "'");
+  // List the alternatives: callers typo'd a concrete id or a modifier
+  // prefix, and the registered set is small enough to enumerate inline.
+  std::string known;
+  for (const std::string& env_id : registered_environments()) {
+    if (!known.empty()) known += ", ";
+    known += env_id;
+  }
+  std::string modifiers;
+  for (const std::string& prefix : registered_modifiers()) {
+    if (!modifiers.empty()) modifiers += ", ";
+    modifiers += prefix;
+  }
+  throw std::invalid_argument("make_environment: unknown id '" + id +
+                              "' (known: " + known +
+                              "; modifiers: " + modifiers + ")");
 }
 
 std::vector<std::string> registered_environments() {

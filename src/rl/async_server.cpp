@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -126,6 +127,18 @@ void AsyncQServer::stop() {
   batch_affinity_.release();
 }
 
+namespace {
+
+/// Human-readable identity of a not-yet-admitted session for admission
+/// errors: the same env#seed#seed derivation the router uses for its
+/// default affinity keys, so logs from both tiers name sessions alike.
+std::string session_descriptor(const AsyncSessionSpec& spec) {
+  return spec.session.env_id + "#" + std::to_string(spec.session.env_seed) +
+         "#" + std::to_string(spec.session.agent_seed);
+}
+
+}  // namespace
+
 std::size_t AsyncQServer::add_session(const AsyncSessionSpec& spec) {
   spec.session.agent.validate();
   if (spec.session.trainer.solved_window == 0) {
@@ -153,18 +166,17 @@ std::size_t AsyncQServer::add_session(const AsyncSessionSpec& spec) {
     const std::scoped_lock lk(sessions_mutex_);
     if (stopping_.load(std::memory_order_acquire)) {
       stopping_rejections_.fetch_add(1, std::memory_order_relaxed);
-      throw AdmissionError(
-          AdmissionRejectReason::kStopping,
-          "AsyncQServer::add_session: admission rejected — server is "
-          "stopping");
+      throw AdmissionError(AdmissionRejectReason::kStopping,
+                           "AsyncQServer::add_session",
+                           session_descriptor(spec), "server is stopping");
     }
     if (live_.size() >= config_.max_live_sessions) {
       admission_rejections_.fetch_add(1, std::memory_order_relaxed);
       throw AdmissionError(
-          AdmissionRejectReason::kCapacity,
-          "AsyncQServer::add_session: admission rejected — live-session "
-          "cap (" + std::to_string(config_.max_live_sessions) +
-          ") reached; retry after a session retires");
+          AdmissionRejectReason::kCapacity, "AsyncQServer::add_session",
+          session_descriptor(spec),
+          "live-session cap (" + std::to_string(config_.max_live_sessions) +
+              ") reached; retry after a session retires");
     }
     id = next_id_++;
     auto session = std::make_unique<Session>(
@@ -236,6 +248,8 @@ AsyncServerStats AsyncQServer::stats() const {
       admission_rejections_.load(std::memory_order_relaxed);
   out.stopping_rejections =
       stopping_rejections_.load(std::memory_order_relaxed);
+  out.env_failures = env_failures_.load(std::memory_order_relaxed);
+  out.backend_failures = backend_failures_.load(std::memory_order_relaxed);
   {
     const std::scoped_lock lk(stats_mutex_);
     out.step_latency_us = retired_latency_;
@@ -255,6 +269,8 @@ void AsyncServerStats::merge(const AsyncServerStats& other) {
   sessions_retired += other.sessions_retired;
   admission_rejections += other.admission_rejections;
   stopping_rejections += other.stopping_rejections;
+  env_failures += other.env_failures;
+  backend_failures += other.backend_failures;
   step_latency_us.merge(other.step_latency_us);
   batch_rows_hist.merge(other.batch_rows_hist);
 }
@@ -269,7 +285,8 @@ std::string AsyncServerStats::to_json() const {
       "\"mean_batch_rows\": %.3f,\n"
       "  \"train_updates\": %llu, \"init_trains\": %llu,\n"
       "  \"sessions_admitted\": %llu, \"sessions_retired\": %llu, "
-      "\"admission_rejections\": %llu, \"stopping_rejections\": %llu,\n",
+      "\"admission_rejections\": %llu, \"stopping_rejections\": %llu,\n"
+      "  \"env_failures\": %llu, \"backend_failures\": %llu,\n",
       static_cast<unsigned long long>(steps),
       static_cast<unsigned long long>(episodes),
       static_cast<unsigned long long>(batches),
@@ -279,7 +296,9 @@ std::string AsyncServerStats::to_json() const {
       static_cast<unsigned long long>(sessions_admitted),
       static_cast<unsigned long long>(sessions_retired),
       static_cast<unsigned long long>(admission_rejections),
-      static_cast<unsigned long long>(stopping_rejections));
+      static_cast<unsigned long long>(stopping_rejections),
+      static_cast<unsigned long long>(env_failures),
+      static_cast<unsigned long long>(backend_failures));
   return std::string(head) +
          "  \"step_latency_us\": " + step_latency_us.to_json() + ",\n" +
          "  \"batch_rows_hist\": " + batch_rows_hist.to_json() + "\n}";
@@ -294,11 +313,11 @@ void AsyncQServer::advance(Session* s) {
     run_session(*s);
   } catch (const std::exception& e) {
     const char* what = e.what();
-    retire(s, /*completed=*/false,
+    retire(s, SessionEndCause::kEnvError,
            (what != nullptr && what[0] != '\0') ? what
                                                 : "unknown session failure");
   } catch (...) {
-    retire(s, /*completed=*/false, "unknown session failure");
+    retire(s, SessionEndCause::kEnvError, "unknown session failure");
   }
 }
 
@@ -319,11 +338,12 @@ void AsyncQServer::run_session(Session& s) {
     switch (s.phase) {
       case Phase::kBeginEpisode: {
         if (stopping_.load(std::memory_order_acquire)) {
-          retire(&s, /*completed=*/false, {});
+          retire(&s, SessionEndCause::kStopped, {});
           return;
         }
         if (trainer.max_episodes == 0) {
-          retire(&s, /*completed=*/true, {});  // empty budget, like QServer
+          // Empty budget completes immediately, like QServer.
+          retire(&s, SessionEndCause::kCompleted, {});
           return;
         }
         // §4.3 reset rule, identical to QServer::begin_episode; the
@@ -350,7 +370,7 @@ void AsyncQServer::run_session(Session& s) {
       }
       case Phase::kChooseAction: {
         if (stopping_.load(std::memory_order_acquire)) {
-          retire(&s, /*completed=*/false, {});
+          retire(&s, SessionEndCause::kStopped, {});
           return;
         }
         s.step_start = Clock::now();
@@ -443,12 +463,12 @@ void AsyncQServer::run_session(Session& s) {
           tr.solved = true;
           tr.first_solved_episode = s.episode;
           if (trainer.stop_on_solved) {
-            retire(&s, /*completed=*/true, {});
+            retire(&s, SessionEndCause::kCompleted, {});
             return;
           }
         }
         if (s.episode >= trainer.max_episodes) {
-          retire(&s, /*completed=*/true, {});
+          retire(&s, SessionEndCause::kCompleted, {});
           return;
         }
         s.phase = Phase::kBeginEpisode;
@@ -494,9 +514,11 @@ void AsyncQServer::suspend(Session& s, RequestKind kind, Phase resume) {
   // time push returns — no member of `s` may be touched past this point.
 }
 
-void AsyncQServer::retire(Session* s, bool completed, std::string error) {
+void AsyncQServer::retire(Session* s, SessionEndCause cause,
+                          std::string error) {
   AsyncSessionResult result = std::move(s->result);
-  result.completed = completed;
+  result.cause = cause;
+  result.completed = cause == SessionEndCause::kCompleted;
   result.failed = !error.empty();
   result.error = std::move(error);
   result.served_by = config_.name;
@@ -509,8 +531,24 @@ void AsyncQServer::retire(Session* s, bool completed, std::string error) {
     const std::scoped_lock lk(stats_mutex_);
     retired_latency_.merge(result.step_latency_us);
   }
+  if (cause == SessionEndCause::kEnvError) {
+    env_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
   sessions_retired_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t id = result.id;
+  // Callback mode (the router's replica seam): deliver the result with
+  // NO server locks held — the callback re-places rescued sessions onto
+  // other servers, which takes their locks. The session is erased from
+  // live_ only AFTER the callback returns, so stop()'s live_.empty()
+  // wait cannot complete (and tear the owner down) mid-delivery.
+  if (config_.on_retire) {
+    config_.on_retire(std::move(result));
+    const std::scoped_lock lk(sessions_mutex_);
+    live_.erase(id);  // destroys *s — it owns no further control flow
+    live_count_.store(live_.size(), std::memory_order_relaxed);
+    retire_cv_.notify_all();
+    return;
+  }
   {
     const std::scoped_lock lk(sessions_mutex_);
     results_.emplace(id, std::move(result));
@@ -654,6 +692,21 @@ void AsyncQServer::coalesced_predict(QNetwork which, bool use_next_state) {
   }
   checked_backend().predict_actions_multi(states, action_codes_, which,
                                           q_multi);
+  // A corrupting backend (rl::FaultBackend kNan, a real numerical blow-up)
+  // must not leak silently into action selection or TD targets — surface
+  // it as a backend failure so the batch retires with kBackendError and a
+  // router can treat the replica as unhealthy.
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* q = q_multi.row_ptr(i);
+    for (std::size_t a = 0; a < model_.action_count(); ++a) {
+      if (!std::isfinite(q[a])) {
+        throw std::runtime_error(
+            "AsyncQServer: backend returned non-finite Q in coalesced "
+            "predict (row " + std::to_string(i) + ", action " +
+            std::to_string(a) + ")");
+      }
+    }
+  }
   q_multi_ = &q_multi;
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_rows_.fetch_add(rows, std::memory_order_relaxed);
@@ -672,6 +725,13 @@ double AsyncQServer::session_td_target(Session& s,
                                                charge_to);
     checked_backend().predict_actions(transition.next_state, action_codes_,
                               QNetwork::kTarget, q_ws_);
+    for (std::size_t a = 0; a < q_ws_.size(); ++a) {
+      if (!std::isfinite(q_ws_[a])) {
+        throw std::runtime_error(
+            "AsyncQServer: backend returned non-finite Q in TD-target "
+            "predict (action " + std::to_string(a) + ")");
+      }
+    }
     best_next = q_ws_[0];
     for (std::size_t a = 1; a < q_ws_.size(); ++a) {
       if (q_ws_[a] > best_next) best_next = q_ws_[a];
@@ -719,12 +779,19 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
                            ? what
                            : "backend failure");
   };
+  // Backend-failure events per pass: one per thrown batch / per-request
+  // exception (not per retired session), so a router's health tracking
+  // counts faults, not blast radius. A pass with zero events resets the
+  // consecutive counter — the backend recovered.
+  bool had_backend_error = false;
   const auto fail_batch = [&](const std::exception& e) {
+    had_backend_error = true;
+    backend_failures_.fetch_add(1, std::memory_order_relaxed);
     for (Session* failed : batch_sessions_) {
       for (Request& r : requests) {
         if (r.session == failed) r.session = nullptr;
       }
-      retire(failed, /*completed=*/false, failure_text(e));
+      retire(failed, SessionEndCause::kBackendError, failure_text(e));
     }
   };
 
@@ -818,10 +885,17 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
           break;
       }
     } catch (const std::exception& e) {
-      retire(s, /*completed=*/false, failure_text(e));
+      had_backend_error = true;
+      backend_failures_.fetch_add(1, std::memory_order_relaxed);
+      retire(s, SessionEndCause::kBackendError, failure_text(e));
       continue;
     }
     pool_->submit([this, s] { advance(s); });
+  }
+  if (had_backend_error) {
+    consecutive_backend_failures_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    consecutive_backend_failures_.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -104,9 +104,16 @@ struct AsyncSessionResult {
   /// sessions fill it too); breakdown carries this session's environment
   /// time only — backend time lives on the shared ledger.
   TrainResult train;
+  /// Why service ended. `completed`/`failed` are derived views of it:
+  /// completed == (cause == kCompleted), failed == !error.empty().
+  SessionEndCause cause = SessionEndCause::kCompleted;
   bool completed = false;  ///< ran to its budget / solved criterion
-  bool failed = false;     ///< the environment threw; see `error`
+  bool failed = false;     ///< an env or backend error; see `error`/`cause`
   std::string error;
+  /// Times this session was re-placed onto a surviving replica after its
+  /// serving replica failed. Stamped by RouterQServer's rescue path; a
+  /// standalone AsyncQServer always leaves it 0.
+  std::size_t rescues = 0;
   /// AsyncQServerConfig::name of the server that ran this session — the
   /// replica identity when serving behind rl::RouterQServer (placement
   /// tests and spillover accounting read it).
@@ -136,6 +143,16 @@ struct AsyncQServerConfig {
   /// never block since each live session has at most one request in
   /// flight; smaller values throttle workers against the batch thread).
   std::size_t ready_queue_capacity = 0;
+  /// Retirement callback mode (RouterQServer's replica seam). When set,
+  /// every retiring session's result is handed to this callback INSTEAD
+  /// of the internal results map: wait()/drain() must not be used (they
+  /// would block forever on ids the callback consumed). Invoked with no
+  /// server locks held, from a worker or the batch thread; the session
+  /// stays counted as live until the callback returns, so stop() cannot
+  /// complete mid-callback. The callback must not call back into this
+  /// server (it may — and the router's rescue path does — call into
+  /// OTHER servers).
+  std::function<void(AsyncSessionResult&&)> on_retire;
 };
 
 struct AsyncServerStats {
@@ -149,6 +166,11 @@ struct AsyncServerStats {
   std::uint64_t sessions_retired = 0;
   std::uint64_t admission_rejections = 0;  ///< refused at the cap
   std::uint64_t stopping_rejections = 0;   ///< refused while stopping
+  std::uint64_t env_failures = 0;      ///< sessions retired by env errors
+  /// Backend exception EVENTS (one coalesced batch failure = one event,
+  /// however many sessions it retired) — the replica health signal
+  /// RouterQServer's maintenance thread polls.
+  std::uint64_t backend_failures = 0;
   /// Step latency merged across RETIRED sessions (live sessions' private
   /// histograms are not sampled mid-flight).
   util::LatencyHistogram step_latency_us;
@@ -226,6 +248,17 @@ class AsyncQServer {
   [[nodiscard]] std::uint64_t train_update_count() const noexcept {
     return train_updates_.load(std::memory_order_relaxed);
   }
+  /// Backend exception events so far (lock-free; the router's health
+  /// thread polls it — any growth marks the replica kDegraded).
+  [[nodiscard]] std::uint64_t backend_failure_events() const noexcept {
+    return backend_failures_.load(std::memory_order_relaxed);
+  }
+  /// Consecutive batch-thread passes that ended in a backend exception
+  /// (reset to zero by any clean pass). Crossing the router's
+  /// fail_after_consecutive threshold marks the replica kFailed.
+  [[nodiscard]] std::uint64_t consecutive_backend_failures() const noexcept {
+    return consecutive_backend_failures_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const std::string& name() const noexcept {
     return config_.name;
   }
@@ -278,7 +311,7 @@ class AsyncQServer {
   void run_session(Session& s);
   void begin_episode_env(Session& s);  ///< episode counters + env reset
   void suspend(Session& s, RequestKind kind, Phase resume);
-  void retire(Session* s, bool completed, std::string error);
+  void retire(Session* s, SessionEndCause cause, std::string error);
 
   // Batch-thread side (the only code that touches backend_ after start).
   /// The backend seam: every predicting/training/initializing backend
@@ -354,6 +387,9 @@ class AsyncQServer {
   std::atomic<std::uint64_t> sessions_retired_{0};
   std::atomic<std::uint64_t> admission_rejections_{0};
   std::atomic<std::uint64_t> stopping_rejections_{0};
+  std::atomic<std::uint64_t> env_failures_{0};
+  std::atomic<std::uint64_t> backend_failures_{0};
+  std::atomic<std::uint64_t> consecutive_backend_failures_{0};
 
   // Batch-thread workspaces (only that thread touches them). Batch sizes
   // fluctuate under continuous batching, so the state/Q matrices are

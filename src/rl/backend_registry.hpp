@@ -8,6 +8,13 @@
 // any capability the chosen backend lacks) and so generic code — the
 // contract suite, the serving bench — can enumerate every registered
 // backend instead of hard-coding the pair.
+//
+// Modifier ids, mirroring env::make_environment's "delay:"/"fault:"
+// families: "fault:<kind>:<rate>:<seed>:<inner-id>" wraps any registered
+// backend in an rl::FaultBackend (seeded throw/stall/NaN injection, see
+// fault_backend.hpp), nests with itself, reports nested construction
+// errors with the FULL outer id, and inherits the inner backend's
+// capability flags — the decorator is failure-transparent to callers.
 #pragma once
 
 #include <functional>
@@ -78,19 +85,25 @@ class BackendRegistry {
   void register_backend(const std::string& id, BackendCapabilities caps,
                         Factory factory);
 
-  /// Constructs the backend registered under `id`; throws
-  /// std::invalid_argument for unknown ids and for any capability set in
-  /// `required` the backend does not declare (the message names both the
-  /// backend and the missing capabilities).
+  /// Constructs the backend registered under `id` — or, for a
+  /// "fault:<kind>:<rate>:<seed>:<inner-id>" modifier id, the inner
+  /// backend wrapped in an rl::FaultBackend. Throws std::invalid_argument
+  /// for unknown/malformed ids (listing the registered alternatives) and
+  /// for any capability set in `required` the backend does not declare
+  /// (the message names both the backend and the missing capabilities).
   [[nodiscard]] OsElmQBackendPtr make(
       const std::string& id, const BackendConfig& config,
       const BackendCapabilities& required = {}) const;
 
+  /// True for registered ids and for well-formed "fault:" modifier ids
+  /// whose innermost backend is registered.
   [[nodiscard]] bool contains(const std::string& id) const noexcept;
-  /// Throws std::invalid_argument for unknown ids.
+  /// Throws std::invalid_argument for unknown ids. Modifier ids resolve
+  /// to the innermost backend's capabilities (FaultBackend forwards).
   [[nodiscard]] const BackendCapabilities& capabilities(
       const std::string& id) const;
-  /// Registration order.
+  /// Registration order (concrete ids only; see
+  /// registered_backend_modifiers for the prefix families).
   [[nodiscard]] std::vector<std::string> ids() const;
 
   /// The process-wide registry, pre-loaded with the built-in backends
@@ -116,5 +129,9 @@ class BackendRegistry {
 [[nodiscard]] const BackendCapabilities& backend_capabilities(
     const std::string& id);
 [[nodiscard]] std::vector<std::string> registered_backends();
+/// Modifier prefix families ("fault:") accepted in front of any id from
+/// registered_backends() (or another modifier) — the backend-side mirror
+/// of env::registered_modifiers().
+[[nodiscard]] std::vector<std::string> registered_backend_modifiers();
 
 }  // namespace oselm::rl

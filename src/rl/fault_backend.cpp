@@ -1,0 +1,181 @@
+#include "rl/fault_backend.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace oselm::rl {
+
+std::string_view to_string(BackendFaultKind kind) noexcept {
+  switch (kind) {
+    case BackendFaultKind::kThrow:
+      return "throw";
+    case BackendFaultKind::kStall:
+      return "stall";
+    case BackendFaultKind::kNan:
+      return "nan";
+  }
+  return "unknown";
+}
+
+std::string_view backend_fault_kinds() noexcept { return "throw|stall|nan"; }
+
+std::vector<bool> backend_fault_schedule_preview(double rate,
+                                                 std::uint64_t seed,
+                                                 std::size_t draws) {
+  util::Rng rng(seed);
+  std::vector<bool> schedule(draws);
+  for (std::size_t i = 0; i < draws; ++i) schedule[i] = rng.bernoulli(rate);
+  return schedule;
+}
+
+namespace {
+
+std::string format_rate(double rate) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", rate);
+  return buffer;
+}
+
+constexpr double kQuietNan = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+FaultBackend::FaultBackend(OsElmQBackendPtr inner, BackendFaultKind kind,
+                           double rate, std::uint64_t seed,
+                           std::chrono::microseconds stall)
+    // Charge the inner backend's ledger: the decorator adds failure
+    // modes, never a second time account.
+    : OsElmQBackend(inner ? inner->ledger_ptr() : nullptr),
+      inner_(std::move(inner)),
+      kind_(kind),
+      rate_(rate),
+      seed_(seed),
+      stall_(stall),
+      fault_rng_(seed) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultBackend: null inner backend");
+  }
+  if (!(rate_ >= 0.0 && rate_ <= 1.0)) {
+    throw std::invalid_argument("FaultBackend: rate " + format_rate(rate_) +
+                                " outside [0, 1]");
+  }
+  if (stall_.count() < 0) {
+    throw std::invalid_argument("FaultBackend: negative stall duration");
+  }
+}
+
+bool FaultBackend::draw_fault() {
+  ++calls_;
+  // The schedule stream is consumed on EVERY serving-path call — even
+  // kinds whose effect on this call is a no-op (kNan on train/sync) — so
+  // the decision sequence stays aligned with
+  // backend_fault_schedule_preview() regardless of kind.
+  const bool fired = fault_rng_.bernoulli(rate_);
+  if (fired) ++fault_count_;
+  return fired;
+}
+
+void FaultBackend::throw_fault(const char* call) {
+  throw BackendFaultInjected(
+      "FaultBackend: injected failure on " + std::string(call) + " #" +
+      std::to_string(calls_) + " of 'fault:" + std::string(to_string(kind_)) +
+      ":" + format_rate(rate_) + ":" + std::to_string(seed_) + "'");
+}
+
+void FaultBackend::fire_before(bool fired, const char* call) {
+  if (!fired) return;
+  if (kind_ == BackendFaultKind::kThrow) throw_fault(call);
+  if (kind_ == BackendFaultKind::kStall) {
+    std::this_thread::sleep_for(stall_);
+  }
+}
+
+void FaultBackend::initialize() {
+  // State management never faults and consumes no draw (see header).
+  inner_->initialize();
+}
+
+double FaultBackend::predict_main(const linalg::VecD& sa) {
+  const bool fired = draw_fault();
+  fire_before(fired, "predict_main");
+  const double q = inner_->predict_main(sa);
+  return fired && kind_ == BackendFaultKind::kNan ? kQuietNan : q;
+}
+
+double FaultBackend::predict_target(const linalg::VecD& sa) {
+  const bool fired = draw_fault();
+  fire_before(fired, "predict_target");
+  const double q = inner_->predict_target(sa);
+  return fired && kind_ == BackendFaultKind::kNan ? kQuietNan : q;
+}
+
+void FaultBackend::predict_actions(const linalg::VecD& state,
+                                   const linalg::VecD& action_codes,
+                                   QNetwork which, linalg::VecD& q_out) {
+  const bool fired = draw_fault();
+  fire_before(fired, "predict_actions");
+  inner_->predict_actions(state, action_codes, which, q_out);
+  if (fired && kind_ == BackendFaultKind::kNan) {
+    for (std::size_t i = 0; i < q_out.size(); ++i) q_out[i] = kQuietNan;
+  }
+}
+
+void FaultBackend::predict_actions_multi(const linalg::MatD& states,
+                                         const linalg::VecD& action_codes,
+                                         QNetwork which,
+                                         linalg::MatD& q_out) {
+  const bool fired = draw_fault();
+  fire_before(fired, "predict_actions_multi");
+  inner_->predict_actions_multi(states, action_codes, which, q_out);
+  if (fired && kind_ == BackendFaultKind::kNan) {
+    for (std::size_t r = 0; r < q_out.rows(); ++r) {
+      for (std::size_t c = 0; c < q_out.cols(); ++c) {
+        q_out(r, c) = kQuietNan;
+      }
+    }
+  }
+}
+
+void FaultBackend::init_train(const linalg::MatD& x, const linalg::MatD& t) {
+  const bool fired = draw_fault();
+  fire_before(fired, "init_train");
+  inner_->init_train(x, t);  // kNan passes training through unchanged
+}
+
+void FaultBackend::seq_train(const linalg::VecD& sa, double target) {
+  const bool fired = draw_fault();
+  fire_before(fired, "seq_train");
+  inner_->seq_train(sa, target);
+}
+
+void FaultBackend::sync_target() {
+  const bool fired = draw_fault();
+  fire_before(fired, "sync_target");
+  inner_->sync_target();
+}
+
+bool FaultBackend::initialized() const { return inner_->initialized(); }
+
+std::size_t FaultBackend::input_dim() const { return inner_->input_dim(); }
+
+std::size_t FaultBackend::hidden_units() const {
+  return inner_->hidden_units();
+}
+
+bool FaultBackend::supports_state_sync() const {
+  return inner_->supports_state_sync();
+}
+
+QNetState FaultBackend::export_state() const {
+  // Never faulted: replacement seeding and periodic averaging must keep
+  // working on a replica whose serving path is mid-failure.
+  return inner_->export_state();
+}
+
+void FaultBackend::import_state(const QNetState& state) {
+  inner_->import_state(state);
+}
+
+}  // namespace oselm::rl

@@ -13,6 +13,8 @@ namespace oselm::rl {
 
 namespace {
 
+constexpr std::size_t kNoReplica = static_cast<std::size_t>(-1);
+
 /// result += other, element-wise; adopts other's shape on first use.
 void accumulate(linalg::MatD& result, const linalg::MatD& other) {
   if (result.empty()) {
@@ -39,39 +41,70 @@ RouterQServer::RouterQServer(RouterConfig config, SimplifiedOutputModel model)
   if (config_.replicas == 0) {
     throw std::invalid_argument("RouterQServer: replicas == 0");
   }
-  BackendCapabilities required;
-  required.state_sync =
-      config_.sync_policy == TrainSyncPolicy::kPeriodicAverage;
   if (config_.sync_policy == TrainSyncPolicy::kPeriodicAverage &&
       config_.sync_every_updates == 0) {
     throw std::invalid_argument("RouterQServer: sync_every_updates == 0");
   }
-  replicas_.reserve(config_.replicas);
-  sync_states_.resize(config_.replicas);
+  replica_slots_ = config_.replicas;
+  start_ = std::chrono::steady_clock::now();
+  replicas_.reserve(replica_slots_);
+  retired_stats_.resize(replica_slots_);
+  sync_states_.resize(replica_slots_);
+  health_.resize(replica_slots_);
   // A user-shared ledger must not be charged by R batch threads at once
   // (OpBreakdown::add is a plain +=): swap in private per-replica
   // accounts and settle them into the user's ledger at stop().
   user_ledger_ = config_.backend.ledger;
-  if (user_ledger_) replica_ledgers_.reserve(config_.replicas);
-  for (std::size_t i = 0; i < config_.replicas; ++i) {
-    // Every replica gets the SAME BackendConfig — seed included — so all
-    // R networks start with identical weights (the evaluation
-    // determinism contract; see the header comment).
-    BackendConfig replica_config = config_.backend;
-    if (user_ledger_) {
-      replica_ledgers_.push_back(std::make_shared<util::TimeLedger>());
-      replica_config.ledger = replica_ledgers_.back();
-    }
-    OsElmQBackendPtr backend =
-        make_backend(config_.backend_id, replica_config, required);
-    AsyncQServerConfig server = config_.server;
-    server.name = config_.name + "/r" + std::to_string(i);
-    replicas_.push_back(std::make_unique<AsyncQServer>(
-        std::move(backend), model_, std::move(server)));
+  if (user_ledger_) replica_ledgers_.reserve(replica_slots_);
+  for (std::size_t i = 0; i < replica_slots_; ++i) {
+    replicas_.push_back(build_replica(i, /*incarnation=*/0, nullptr));
+    health_[i].timeline.push_back(
+        ReplicaHealthEvent{0, ReplicaHealth::kHealthy, now_ms()});
   }
   if (config_.sync_policy == TrainSyncPolicy::kPeriodicAverage) {
     sync_thread_ = std::thread([this] { sync_loop(); });
   }
+  maintenance_thread_ = std::thread([this] { maintenance_loop(); });
+}
+
+std::unique_ptr<AsyncQServer> RouterQServer::build_replica(
+    std::size_t index, std::uint64_t incarnation,
+    const QNetState* seed_state) {
+  BackendCapabilities required;
+  required.state_sync =
+      config_.sync_policy == TrainSyncPolicy::kPeriodicAverage;
+  // Every replica gets the SAME BackendConfig — seed included — so all
+  // R networks start with identical weights (the evaluation determinism
+  // contract; see the header comment).
+  BackendConfig replica_config = config_.backend;
+  if (user_ledger_) {
+    replica_ledgers_.push_back(std::make_shared<util::TimeLedger>());
+    replica_config.ledger = replica_ledgers_.back();
+  }
+  // Per-replica backend-id overrides apply to the ORIGINAL incarnation
+  // only: a replacement never re-inherits a "fault:" modifier — the
+  // faulty backend instance is exactly what is being replaced.
+  std::string backend_id = config_.backend_id;
+  if (incarnation == 0 && index < config_.replica_backend_ids.size() &&
+      !config_.replica_backend_ids[index].empty()) {
+    backend_id = config_.replica_backend_ids[index];
+  }
+  OsElmQBackendPtr backend =
+      make_backend(backend_id, replica_config, required);
+  // Seed BEFORE the server exists: no batch thread has been spawned, so
+  // the import is single-threaded by construction, and the server's
+  // constructor observes an already-initialized backend (its sessions
+  // skip init_train and go straight to sequential serving).
+  if (seed_state != nullptr && seed_state->initialized) {
+    backend->import_state(*seed_state);
+  }
+  AsyncQServerConfig server = config_.server;
+  server.name = config_.name + "/r" + std::to_string(index);
+  server.on_retire = [this, index, incarnation](AsyncSessionResult&& r) {
+    on_replica_retire(index, incarnation, std::move(r));
+  };
+  return std::make_unique<AsyncQServer>(std::move(backend), model_,
+                                        std::move(server));
 }
 
 RouterQServer::~RouterQServer() { stop(); }
@@ -79,10 +112,25 @@ RouterQServer::~RouterQServer() { stop(); }
 void RouterQServer::stop() {
   const std::scoped_lock stop_lock(stop_mutex_);
   stopping_.store(true, std::memory_order_release);
-  // Order matters: the sync thread drives run_exclusive calls into the
-  // replicas' batch threads, so it must be gone BEFORE any replica shuts
-  // its batch thread down (a sync round against stopping replicas would
-  // fall back to inline execution racing replica teardown).
+  capacity_cv_.notify_all();  // release bounded-wait admissions
+  // Maintenance first: it drives replica stop()/swap and rescue
+  // re-admission, both of which must not race the fleet teardown below.
+  if (maintenance_thread_.joinable()) {
+    {
+      const std::scoped_lock lk(maintenance_mutex_);
+      maintenance_stop_ = true;
+    }
+    maintenance_cv_.notify_all();
+    maintenance_thread_.join();
+  }
+  // A retirement callback racing the stopping_ flag may have enqueued a
+  // rescue after the maintenance thread's final sweep; abandon it here
+  // so every admitted session still ends exactly once.
+  process_rescues(/*abandon_all=*/true);
+  // Sync next: it drives run_exclusive calls into the replicas' batch
+  // threads, so it must be gone BEFORE any replica shuts its batch
+  // thread down (a sync round against stopping replicas would fall back
+  // to inline execution racing replica teardown).
   if (sync_thread_.joinable()) {
     {
       const std::scoped_lock lk(sync_mutex_);
@@ -91,12 +139,17 @@ void RouterQServer::stop() {
     sync_cv_.notify_all();
     sync_thread_.join();
   }
-  for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
-    replica->stop();
+  {
+    const std::shared_lock fleet(fleet_mutex_);
+    for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
+      replica->stop();
+    }
   }
   // Every batch thread is joined, so the per-replica accounts are
   // quiescent: settle them into the user's shared ledger. Once —
-  // stop() is idempotent and the fold must not double-count.
+  // stop() is idempotent and the fold must not double-count. Retired
+  // incarnations' accounts are in the same list (appended on
+  // replacement), so their time is not lost.
   if (user_ledger_ && !ledger_folded_) {
     ledger_folded_ = true;
     for (const util::TimeLedgerPtr& account : replica_ledgers_) {
@@ -108,8 +161,14 @@ void RouterQServer::stop() {
   }
 }
 
+double RouterQServer::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
 // ---------------------------------------------------------------------------
-// Placement
+// Placement & admission
 // ---------------------------------------------------------------------------
 
 std::string RouterQServer::derived_affinity_key(
@@ -125,128 +184,239 @@ std::size_t RouterQServer::preferred_replica(
   // replica on every build, which the placement tests (and any operator
   // reasoning about session co-location) rely on.
   return static_cast<std::size_t>(util::fnv1a(affinity_key) %
-                                  replicas_.size());
+                                  replica_slots_);
+}
+
+std::size_t RouterQServer::pick_replica_locked(const std::string& key,
+                                               bool count_spillover) {
+  // kFailed replicas are mid-replacement: excluded from placement.
+  // Everything else (kDegraded included) serves.
+  const auto usable = [this](std::size_t r) {
+    const std::scoped_lock hl(health_mutex_);
+    return health_[r].state != ReplicaHealth::kFailed;
+  };
+  // Capacity pre-check. Race-free despite being a separate step from
+  // the replica's own admission: this router is the replica's ONLY
+  // admitter (placement_mutex_ serializes admission and rescue), and
+  // concurrent retirements only DECREASE load — a replica observed
+  // under cap cannot be over cap by the time add_session lands.
+  const auto load = [this](std::size_t r) {
+    return replicas_[r]->live_sessions();
+  };
+  const std::size_t cap = config_.server.max_live_sessions;
+  const std::size_t preferred = preferred_replica(key);
+  if (usable(preferred) && load(preferred) < cap) return preferred;
+  // Spillover: least-loaded usable replica with room, lowest index on
+  // ties.
+  std::size_t best = kNoReplica;
+  for (std::size_t r = 0; r < replica_slots_; ++r) {
+    if (r == preferred || !usable(r)) continue;
+    const std::size_t l = load(r);
+    if (l >= cap) continue;
+    if (best == kNoReplica || l < load(best)) best = r;
+  }
+  if (best != kNoReplica && count_spillover) {
+    spillovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return best;
 }
 
 std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
   const std::string key = spec.affinity_key.empty()
                               ? derived_affinity_key(spec.session)
                               : spec.affinity_key;
-  const std::size_t preferred = preferred_replica(key);
-
-  const std::scoped_lock lk(placement_mutex_);
-  if (stopping_.load(std::memory_order_acquire)) {
-    stopping_rejections_.fetch_add(1, std::memory_order_relaxed);
-    throw AdmissionError(
-        AdmissionRejectReason::kStopping,
-        "RouterQServer::add_session: admission rejected — router is "
-        "stopping");
-  }
-  // Pre-admission capacity check. Race-free despite being a separate
-  // step from the replica's own admission: this router is the replica's
-  // ONLY admitter (placement_mutex_ serializes us against ourselves),
-  // and concurrent retirements only DECREASE load — a replica observed
-  // under cap cannot be over cap by the time add_session lands.
-  const auto load = [this](std::size_t r) {
-    return replicas_[r]->live_sessions();
-  };
-  const std::size_t cap = config_.server.max_live_sessions;
-  std::size_t target = preferred;
-  if (load(preferred) >= cap) {
-    // Spillover: least-loaded replica with room, lowest index on ties.
-    std::size_t best = replicas_.size();
-    for (std::size_t r = 0; r < replicas_.size(); ++r) {
-      const std::size_t l = load(r);
-      if (l >= cap) continue;
-      if (best == replicas_.size() || l < load(best)) best = r;
+  const std::shared_lock fleet(fleet_mutex_);
+  std::unique_lock lk(placement_mutex_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(config_.admission_wait_us);
+  bool waited = false;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      stopping_rejections_.fetch_add(1, std::memory_order_relaxed);
+      throw AdmissionError(AdmissionRejectReason::kStopping,
+                           "RouterQServer::add_session", key,
+                           "router is stopping");
     }
-    if (best == replicas_.size()) {
+    const std::size_t target = pick_replica_locked(key, true);
+    if (target != kNoReplica) {
+      // Spec errors (bad env, encoder mismatch) propagate from the
+      // replica before any placement is recorded. An AdmissionError here
+      // means the replica was marked kFailed and stopped between our
+      // health check and the admission — re-pick (the mark happens
+      // BEFORE the stop, so the next pick excludes it).
+      std::size_t local_id = 0;
+      try {
+        local_id = replicas_[target]->add_session(spec.session);
+      } catch (const AdmissionError&) {
+        continue;
+      }
+      const std::size_t router_id = next_router_id_++;
+      std::uint64_t incarnation = 0;
+      {
+        const std::scoped_lock hl(health_mutex_);
+        incarnation = health_[target].incarnation;
+      }
+      Placement placement;
+      placement.replica = target;
+      placement.incarnation = incarnation;
+      placement.local_id = local_id;
+      placement.key = key;
+      placement.spec = spec.session;
+      const bool inserted =
+          placements_.emplace(router_id, std::move(placement)).second;
+      OSELM_DCHECK(inserted);  // router ids are never reused
+      const bool unique =
+          reverse_
+              .emplace(ReverseKey{target, incarnation, local_id}, router_id)
+              .second;
+      // Two router ids on one (replica, incarnation, local id) would
+      // make retirement attribution ambiguous.
+      OSELM_DCHECK(unique);
+      // Every id ever handed out has a recorded placement (ids are
+      // dense). The callback's reverse lookup can only run after this
+      // insert: placement_mutex_ is held across the replica admission
+      // AND the recording.
+      OSELM_DCHECK_EQ(placements_.size(), next_router_id_);
+      sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
+      return router_id;
+    }
+    // Every usable replica is at cap: bounded wait for a retirement to
+    // free a slot (capacity_cv_ fires on every finalization and on
+    // stop()), then re-pick; reject on deadline.
+    if (config_.admission_wait_us == 0 ||
+        std::chrono::steady_clock::now() >= deadline) {
       placement_rejections_.fetch_add(1, std::memory_order_relaxed);
+      if (waited) {
+        admission_wait_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
       throw AdmissionError(
-          AdmissionRejectReason::kCapacity,
-          "RouterQServer::add_session: admission rejected — every replica "
-          "is at its live-session cap (" +
-          std::to_string(replicas_.size()) + " x " + std::to_string(cap) +
-          "); retry after a session retires");
+          AdmissionRejectReason::kCapacity, "RouterQServer::add_session",
+          key,
+          "every replica is at its live-session cap (" +
+              std::to_string(replica_slots_) + " x " +
+              std::to_string(config_.server.max_live_sessions) +
+              (waited ? ") and none retired within " +
+                            std::to_string(config_.admission_wait_us) + "us"
+                      : "); retry after a session retires"));
     }
-    target = best;
-    spillovers_.fetch_add(1, std::memory_order_relaxed);
+    if (!waited) {
+      waited = true;
+      admission_waits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    capacity_cv_.wait_until(lk, deadline);
   }
+}
 
-  // Spec errors (bad env, encoder mismatch) propagate from the replica
-  // before any placement is recorded.
-  const std::size_t local_id = replicas_[target]->add_session(spec.session);
-  const std::size_t router_id = next_router_id_++;
-  OSELM_DCHECK_LT(target, replicas_.size());
-  const bool inserted =
-      placements_.emplace(router_id, Placement{target, local_id}).second;
-  OSELM_DCHECK(inserted);  // router ids are never reused
-  // Every id ever handed out has a recorded placement (ids are dense).
-  OSELM_DCHECK_EQ(placements_.size(), next_router_id_);
-  sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
-  return router_id;
+// ---------------------------------------------------------------------------
+// Result delivery (router level — replicas run in on_retire mode)
+// ---------------------------------------------------------------------------
+
+void RouterQServer::on_replica_retire(std::size_t replica_index,
+                                      std::uint64_t incarnation,
+                                      AsyncSessionResult&& result) {
+  std::size_t router_id = 0;
+  std::size_t rescues = 0;
+  bool rescue = false;
+  {
+    const std::scoped_lock lk(placement_mutex_);
+    const auto it = reverse_.find(
+        ReverseKey{replica_index, incarnation, result.id});
+    // add_session/attempt_rescue record the placement under
+    // placement_mutex_ BEFORE the replica can retire the session, so
+    // the lookup cannot miss.
+    OSELM_DCHECK(it != reverse_.end());
+    router_id = it->second;
+    rescues = placements_.at(router_id).rescues;
+    // Rescue-eligible: the session ended because its replica failed —
+    // it retired kStopped by the replacement's stop() or kBackendError
+    // off the faulted backend, on an incarnation health marked kFailed.
+    // (The mark happens-before the stop, so kStopped retirements on a
+    // failed replica always observe it.) Router shutdown finalizes
+    // instead: there is nowhere left to re-place.
+    if ((result.cause == SessionEndCause::kStopped ||
+         result.cause == SessionEndCause::kBackendError) &&
+        !stopping_.load(std::memory_order_acquire)) {
+      const std::scoped_lock hl(health_mutex_);
+      const HealthSlot& slot = health_[replica_index];
+      rescue = slot.state == ReplicaHealth::kFailed &&
+               slot.incarnation == incarnation;
+    }
+  }
+  if (rescue) {
+    {
+      const std::scoped_lock lk(maintenance_mutex_);
+      rescue_queue_.push_back(RescueJob{router_id, std::move(result)});
+    }
+    maintenance_cv_.notify_all();
+    return;
+  }
+  result.rescues = rescues;
+  finalize_result(router_id, std::move(result));
+}
+
+void RouterQServer::finalize_result(std::size_t router_id,
+                                    AsyncSessionResult&& result) {
+  {
+    const std::scoped_lock lk(results_mutex_);
+    result.id = router_id;
+    const bool inserted =
+        results_.emplace(router_id, std::move(result)).second;
+    // Exactly-once: a session finalizes through precisely one of the
+    // completion, failure, stop, or abandonment paths.
+    OSELM_DCHECK(inserted);
+    ++finalized_;
+  }
+  results_cv_.notify_all();
+  // Every finalization freed a replica slot somewhere: wake bounded-wait
+  // admissions (paired with placement_mutex_; notifying unlocked is
+  // fine).
+  capacity_cv_.notify_all();
 }
 
 AsyncSessionResult RouterQServer::wait(std::size_t router_session_id) {
-  Placement placement{};
   {
     const std::scoped_lock lk(placement_mutex_);
-    const auto it = placements_.find(router_session_id);
-    if (it == placements_.end()) {
+    if (router_session_id >= next_router_id_) {
       throw std::invalid_argument(
           "RouterQServer::wait: unknown router session id " +
           std::to_string(router_session_id));
     }
-    placement = it->second;
   }
-  OSELM_DCHECK_LT(placement.replica, replicas_.size());
-  // The replica enforces deliver-exactly-once; its local id never leaks.
-  AsyncSessionResult result =
-      replicas_[placement.replica]->wait(placement.local_id);
-  result.id = router_session_id;
-  return result;
+  std::unique_lock lk(results_mutex_);
+  if (claimed_.contains(router_session_id)) {
+    throw std::logic_error("RouterQServer::wait: result of session " +
+                           std::to_string(router_session_id) +
+                           " was already claimed");
+  }
+  results_cv_.wait(lk,
+                   [&] { return results_.contains(router_session_id); });
+  // Deliver-once: the result moves out so a server that admits and
+  // retires millions of sessions does not accumulate their trajectories.
+  auto node = results_.extract(router_session_id);
+  claimed_.insert(router_session_id);
+  return std::move(node.mapped());
 }
 
 std::vector<AsyncSessionResult> RouterQServer::drain() {
-  // Drain per replica so each result's replica index is known, then map
-  // (replica, local id) back to the router id. The mapping is built
-  // AFTER the drains: every drained session was admitted first, so its
-  // placement is recorded by then.
-  std::vector<std::pair<std::size_t, AsyncSessionResult>> collected;
-  for (std::size_t r = 0; r < replicas_.size(); ++r) {
-    for (AsyncSessionResult& result : replicas_[r]->drain()) {
-      collected.emplace_back(r, std::move(result));
-    }
-  }
+  std::unique_lock lk(results_mutex_);
+  results_cv_.wait(lk, [&] {
+    return finalized_ ==
+           sessions_admitted_.load(std::memory_order_acquire);
+  });
   std::vector<AsyncSessionResult> out;
-  out.reserve(collected.size());
-  {
-    const std::scoped_lock lk(placement_mutex_);
-    std::map<std::pair<std::size_t, std::size_t>, std::size_t> reverse;
-    for (const auto& [router_id, placement] : placements_) {
-      OSELM_DCHECK_LT(placement.replica, replicas_.size());
-      const bool unique =
-          reverse
-              .emplace(std::make_pair(placement.replica, placement.local_id),
-                       router_id)
-              .second;
-      // Two router ids mapping to one (replica, local id) would make the
-      // reverse lookup below nondeterministic.
-      OSELM_DCHECK(unique);
-    }
-    for (auto& [replica, result] : collected) {
-      result.id = reverse.at({replica, result.id});
-      out.push_back(std::move(result));
-    }
+  out.reserve(results_.size());
+  // std::map iterates in key order == router admission order.
+  for (auto& [id, result] : results_) {
+    claimed_.insert(id);
+    out.push_back(std::move(result));
   }
-  std::sort(out.begin(), out.end(),
-            [](const AsyncSessionResult& a, const AsyncSessionResult& b) {
-              return a.id < b.id;
-            });
+  results_.clear();
   return out;
 }
 
 std::size_t RouterQServer::live_sessions() const {
+  const std::shared_lock fleet(fleet_mutex_);
   std::size_t total = 0;
   for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
     total += replica->live_sessions();
@@ -255,11 +425,241 @@ std::size_t RouterQServer::live_sessions() const {
 }
 
 // ---------------------------------------------------------------------------
+// Replica lifecycle — maintenance thread
+// ---------------------------------------------------------------------------
+
+void RouterQServer::kill_replica(std::size_t replica_index) {
+  if (replica_index >= replica_slots_) {
+    throw std::invalid_argument(
+        "RouterQServer::kill_replica: replica index " +
+        std::to_string(replica_index) + " out of range (fleet has " +
+        std::to_string(replica_slots_) + ")");
+  }
+  {
+    const std::scoped_lock lk(maintenance_mutex_);
+    if (maintenance_stop_) return;  // stopping: the fleet dies anyway
+    kill_requests_.push_back(replica_index);
+  }
+  maintenance_cv_.notify_all();
+}
+
+void RouterQServer::record_health_event_locked(std::size_t index,
+                                               ReplicaHealth state) {
+  HealthSlot& slot = health_[index];
+  slot.state = state;
+  slot.timeline.push_back(
+      ReplicaHealthEvent{slot.incarnation, state, now_ms()});
+}
+
+std::vector<std::size_t> RouterQServer::observe_health(
+    const std::vector<std::size_t>& kill_requests) {
+  std::vector<std::size_t> newly_failed;
+  const std::shared_lock fleet(fleet_mutex_);
+  const std::scoped_lock hl(health_mutex_);
+  for (std::size_t i = 0; i < replica_slots_; ++i) {
+    HealthSlot& slot = health_[i];
+    if (slot.state == ReplicaHealth::kFailed) continue;  // awaiting swap
+    const std::uint64_t events = replicas_[i]->backend_failure_events();
+    if (events > slot.observed_failures) {
+      slot.observed_failures = events;
+      // kDegraded is sticky for the rest of the incarnation — the
+      // timeline stays monotone even when the backend recovers.
+      if (slot.state == ReplicaHealth::kHealthy) {
+        record_health_event_locked(i, ReplicaHealth::kDegraded);
+      }
+    }
+    const bool threshold =
+        replicas_[i]->consecutive_backend_failures() >=
+        config_.fail_after_consecutive;
+    const bool killed =
+        std::find(kill_requests.begin(), kill_requests.end(), i) !=
+        kill_requests.end();
+    if (threshold || killed) {
+      record_health_event_locked(i, ReplicaHealth::kFailed);
+      newly_failed.push_back(i);
+    }
+  }
+  return newly_failed;
+}
+
+void RouterQServer::replace_replica(std::size_t index) {
+  // 1. Choose the replacement's seed state: the last fleet average when
+  //    periodic averaging has produced one, else a live export off the
+  //    first initialized survivor, else fresh weights.
+  QNetState seed;
+  bool seeded = false;
+  {
+    const std::scoped_lock lk(seed_mutex_);
+    if (has_last_average_) {
+      seed = last_average_;
+      seeded = true;
+    }
+  }
+  if (!seeded) {
+    const std::shared_lock fleet(fleet_mutex_);
+    for (std::size_t r = 0; r < replica_slots_ && !seeded; ++r) {
+      if (r == index) continue;
+      try {
+        replicas_[r]->run_exclusive([&](OsElmQBackend& backend) {
+          if (!backend.initialized()) return;
+          seed = backend.export_state();
+          seeded = true;
+        });
+      } catch (...) {
+        // A faulted survivor cannot donate state; try the next one.
+      }
+    }
+  }
+  // 2. Stop the failed incarnation. Its live sessions retire (kStopped /
+  //    kBackendError); their callbacks see the kFailed mark — recorded
+  //    before this call — and queue themselves for rescue.
+  std::uint64_t old_incarnation = 0;
+  {
+    const std::scoped_lock hl(health_mutex_);
+    old_incarnation = health_[index].incarnation;
+  }
+  {
+    const std::shared_lock fleet(fleet_mutex_);
+    replicas_[index]->stop();
+  }
+  // 3. Build the replacement outside every lock (backend construction
+  //    and state import are the expensive part).
+  std::unique_ptr<AsyncQServer> fresh =
+      build_replica(index, old_incarnation + 1, seeded ? &seed : nullptr);
+  // 4. Swap it in. The health transition rides the same unique-lock
+  //    critical section so an admission that sees the new replica also
+  //    sees the new incarnation (its reverse keys must match the
+  //    callbacks the new server will make).
+  {
+    const std::unique_lock fleet(fleet_mutex_);
+    retired_stats_[index].merge(replicas_[index]->stats());
+    replicas_[index].swap(fresh);
+    const std::scoped_lock hl(health_mutex_);
+    record_health_event_locked(index, ReplicaHealth::kReplaced);
+    ++health_[index].incarnation;
+    health_[index].observed_failures = 0;
+    record_health_event_locked(index, ReplicaHealth::kHealthy);
+  }
+  fresh.reset();  // destroy the old incarnation outside the fleet lock
+  replacements_.fetch_add(1, std::memory_order_relaxed);
+  if (seeded) replacements_seeded_.fetch_add(1, std::memory_order_relaxed);
+  capacity_cv_.notify_all();  // a whole replica's capacity came back
+}
+
+void RouterQServer::attempt_rescue(RescueJob&& job, bool abandon_all) {
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, config_.rescue_max_attempts);
+  for (std::size_t attempt = 1; !abandon_all && attempt <= max_attempts;
+       ++attempt) {
+    if (stopping_.load(std::memory_order_acquire)) break;
+    {
+      const std::shared_lock fleet(fleet_mutex_);
+      const std::scoped_lock lk(placement_mutex_);
+      Placement& placement = placements_.at(job.router_id);
+      // Re-placement honors the same affinity-then-spillover policy as
+      // admission but never counts spillovers — the preferred replica
+      // is the one that just died.
+      const std::size_t target = pick_replica_locked(placement.key, false);
+      if (target != kNoReplica) {
+        try {
+          const std::size_t local_id =
+              replicas_[target]->add_session(placement.spec);
+          std::uint64_t incarnation = 0;
+          {
+            const std::scoped_lock hl(health_mutex_);
+            incarnation = health_[target].incarnation;
+          }
+          placement.replica = target;
+          placement.incarnation = incarnation;
+          placement.local_id = local_id;
+          ++placement.rescues;
+          const bool unique =
+              reverse_
+                  .emplace(ReverseKey{target, incarnation, local_id},
+                           job.router_id)
+                  .second;
+          OSELM_DCHECK(unique);
+          rescued_.fetch_add(1, std::memory_order_relaxed);
+          return;  // the re-placed run delivers the final result
+        } catch (const AdmissionError&) {
+          // The target failed between health check and admission;
+          // back off and re-pick like the capacity case.
+        }
+      }
+    }
+    // Deterministic linear backoff: attempt * rescue_backoff_us.
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        config_.rescue_backoff_us * static_cast<std::uint64_t>(attempt)));
+  }
+  // Abandoned: deliver the partial result as a backend failure so the
+  // session still ends exactly once, with an error naming why.
+  std::size_t rescues = 0;
+  {
+    const std::scoped_lock lk(placement_mutex_);
+    rescues = placements_.at(job.router_id).rescues;
+  }
+  abandoned_.fetch_add(1, std::memory_order_relaxed);
+  const bool shutdown =
+      abandon_all || stopping_.load(std::memory_order_acquire);
+  std::string note =
+      shutdown ? "router stopping"
+               : "no capacity after " + std::to_string(max_attempts) +
+                     " attempts";
+  AsyncSessionResult result = std::move(job.partial);
+  result.cause = SessionEndCause::kBackendError;
+  result.completed = false;
+  result.failed = true;
+  result.rescues = rescues;
+  result.error = "rescue abandoned (" + note + ")" +
+                 (result.error.empty() ? "" : ": " + result.error);
+  finalize_result(job.router_id, std::move(result));
+}
+
+void RouterQServer::process_rescues(bool abandon_all) {
+  for (;;) {
+    RescueJob job;
+    {
+      const std::scoped_lock lk(maintenance_mutex_);
+      if (rescue_queue_.empty()) return;
+      job = std::move(rescue_queue_.front());
+      rescue_queue_.erase(rescue_queue_.begin());
+    }
+    attempt_rescue(std::move(job), abandon_all);
+  }
+}
+
+void RouterQServer::maintenance_loop() {
+  std::unique_lock lk(maintenance_mutex_);
+  for (;;) {
+    maintenance_cv_.wait_for(
+        lk, std::chrono::microseconds(config_.health_poll_us), [this] {
+          return maintenance_stop_ || !kill_requests_.empty() ||
+                 !rescue_queue_.empty();
+        });
+    const bool stopping = maintenance_stop_;
+    std::vector<std::size_t> kills = std::move(kill_requests_);
+    kill_requests_.clear();
+    lk.unlock();
+    if (!stopping) {
+      const std::vector<std::size_t> failed = observe_health(kills);
+      for (const std::size_t index : failed) replace_replica(index);
+    }
+    // Rescues queue during replace_replica's stop(); re-place them now
+    // (the replacement is already serving). On shutdown they abandon —
+    // stop() repeats the sweep after the join for stragglers.
+    process_rescues(/*abandon_all=*/stopping);
+    lk.lock();
+    if (stopping) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // State synchronization
 // ---------------------------------------------------------------------------
 
 void RouterQServer::run_exclusive_on_all(
     const std::function<void(OsElmQBackend&)>& fn) {
+  const std::shared_lock fleet(fleet_mutex_);
   for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
     replica->run_exclusive(fn);
   }
@@ -267,6 +667,7 @@ void RouterQServer::run_exclusive_on_all(
 
 std::future<void> RouterQServer::run_exclusive_on(
     std::size_t replica_index, std::function<void(OsElmQBackend&)> fn) {
+  const std::shared_lock fleet(fleet_mutex_);
   if (replica_index >= replicas_.size()) {
     throw std::invalid_argument(
         "RouterQServer::run_exclusive_on: replica index " +
@@ -277,6 +678,7 @@ std::future<void> RouterQServer::run_exclusive_on(
 }
 
 bool RouterQServer::average_replicas() {
+  const std::shared_lock fleet(fleet_mutex_);
   // Export every replica's learned state through its batch thread.
   // Sequential (not barrier-synchronized) exports: replicas keep
   // training between snapshots, so the average is slightly stale — the
@@ -307,6 +709,13 @@ bool RouterQServer::average_replicas() {
   scale(p, inv);
   const QNetState average{std::move(beta), std::move(beta_target),
                           std::move(p), true};
+  // Keep a copy as the replacement seed: a replica failing later starts
+  // from the fleet's consensus instead of fresh weights.
+  {
+    const std::scoped_lock lk(seed_mutex_);
+    last_average_ = average;
+    has_last_average_ = true;
+  }
   // Import into EVERY replica — an uninitialized one adopts the fleet's
   // state (its buffering sessions switch to sequential training, exactly
   // as if a local init_train had run).
@@ -326,8 +735,11 @@ void RouterQServer::sync_loop() {
                       [this] { return sync_stop_; });
     const bool stopping = sync_stop_;
     std::uint64_t total = 0;
-    for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
-      total += replica->train_update_count();
+    {
+      const std::shared_lock fleet(fleet_mutex_);
+      for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
+        total += replica->train_update_count();
+      }
     }
     const bool due = total - last_synced_updates_ >= config_.sync_every_updates;
     // On shutdown, flush a final partial round so short-lived fleets
@@ -356,7 +768,7 @@ void RouterQServer::sync_loop() {
 
 RouterStats RouterQServer::stats() const {
   RouterStats out;
-  out.replicas = replicas_.size();
+  out.replicas = replica_slots_;
   out.sessions_admitted = sessions_admitted_.load(std::memory_order_relaxed);
   out.spillovers = spillovers_.load(std::memory_order_relaxed);
   out.placement_rejections =
@@ -364,30 +776,101 @@ RouterStats RouterQServer::stats() const {
   out.stopping_rejections =
       stopping_rejections_.load(std::memory_order_relaxed);
   out.syncs = syncs_.load(std::memory_order_relaxed);
-  out.per_replica.reserve(replicas_.size());
-  for (const std::unique_ptr<AsyncQServer>& replica : replicas_) {
-    out.per_replica.push_back(replica->stats());
-    out.aggregate.merge(out.per_replica.back());
+  out.rescued = rescued_.load(std::memory_order_relaxed);
+  out.abandoned = abandoned_.load(std::memory_order_relaxed);
+  out.replacements = replacements_.load(std::memory_order_relaxed);
+  out.replacements_seeded =
+      replacements_seeded_.load(std::memory_order_relaxed);
+  out.admission_waits = admission_waits_.load(std::memory_order_relaxed);
+  out.admission_wait_timeouts =
+      admission_wait_timeouts_.load(std::memory_order_relaxed);
+  out.per_replica.reserve(replica_slots_);
+  {
+    const std::shared_lock fleet(fleet_mutex_);
+    for (std::size_t r = 0; r < replica_slots_; ++r) {
+      // Per-SLOT view: retired incarnations' counters plus the live one.
+      AsyncServerStats slot = retired_stats_[r];
+      slot.merge(replicas_[r]->stats());
+      out.aggregate.merge(slot);
+      out.per_replica.push_back(std::move(slot));
+    }
+  }
+  {
+    const std::scoped_lock hl(health_mutex_);
+    out.health.reserve(replica_slots_);
+    for (const HealthSlot& slot : health_) {
+      ReplicaHealthInfo info;
+      info.state = slot.state;
+      info.incarnation = slot.incarnation;
+      info.failure_events = slot.observed_failures;
+      info.timeline = slot.timeline;
+      out.health.push_back(std::move(info));
+    }
   }
   return out;
 }
 
+std::string RouterStats::health_json() const {
+  std::string json = "[\n";
+  for (std::size_t r = 0; r < health.size(); ++r) {
+    const ReplicaHealthInfo& info = health[r];
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "  {\"replica\": %llu, \"state\": \"%s\", "
+                  "\"incarnation\": %llu, \"failure_events\": %llu, "
+                  "\"timeline\": [",
+                  static_cast<unsigned long long>(r),
+                  std::string(to_string(info.state)).c_str(),
+                  static_cast<unsigned long long>(info.incarnation),
+                  static_cast<unsigned long long>(info.failure_events));
+    json += head;
+    for (std::size_t e = 0; e < info.timeline.size(); ++e) {
+      const ReplicaHealthEvent& event = info.timeline[e];
+      char entry[128];
+      std::snprintf(entry, sizeof(entry),
+                    "{\"incarnation\": %llu, \"state\": \"%s\", "
+                    "\"at_ms\": %.3f}",
+                    static_cast<unsigned long long>(event.incarnation),
+                    std::string(to_string(event.state)).c_str(),
+                    event.at_ms);
+      json += entry;
+      if (e + 1 < info.timeline.size()) json += ", ";
+    }
+    json += "]}";
+    if (r + 1 < health.size()) json += ",";
+    json += "\n";
+  }
+  json += "]";
+  return json;
+}
+
 std::string RouterStats::to_json() const {
-  char head[256];
+  char head[512];
   std::snprintf(
       head, sizeof(head),
       "{\n"
       "  \"replicas\": %llu,\n"
       "  \"sessions_admitted\": %llu, \"spillovers\": %llu, "
       "\"placement_rejections\": %llu, \"stopping_rejections\": %llu, "
-      "\"syncs\": %llu,\n",
+      "\"syncs\": %llu,\n"
+      "  \"rescued\": %llu, \"abandoned\": %llu, \"replacements\": %llu, "
+      "\"replacements_seeded\": %llu,\n"
+      "  \"admission_waits\": %llu, \"admission_wait_timeouts\": %llu,\n",
       static_cast<unsigned long long>(replicas),
       static_cast<unsigned long long>(sessions_admitted),
       static_cast<unsigned long long>(spillovers),
       static_cast<unsigned long long>(placement_rejections),
       static_cast<unsigned long long>(stopping_rejections),
-      static_cast<unsigned long long>(syncs));
-  std::string json = std::string(head) + "  \"aggregate\": ";
+      static_cast<unsigned long long>(syncs),
+      static_cast<unsigned long long>(rescued),
+      static_cast<unsigned long long>(abandoned),
+      static_cast<unsigned long long>(replacements),
+      static_cast<unsigned long long>(replacements_seeded),
+      static_cast<unsigned long long>(admission_waits),
+      static_cast<unsigned long long>(admission_wait_timeouts));
+  std::string json = std::string(head) + "  \"health\": ";
+  json += health_json();
+  json += ",\n  \"aggregate\": ";
   json += aggregate.to_json();
   json += ",\n  \"per_replica\": [\n";
   for (std::size_t r = 0; r < per_replica.size(); ++r) {

@@ -12,23 +12,65 @@
 //   * session-affinity placement: every session carries an affinity key
 //     (explicit, or derived from its seeds) that hashes — FNV-1a, so the
 //     mapping is platform-stable — to a preferred replica. A session
-//     lives its whole lifetime on the replica that admitted it; affinity
-//     only decides which replica that is, so repeat sessions with the
-//     same key land on the same Q-network and see the weights their
-//     predecessors trained.
-//   * spillover: when the preferred replica is at its live-session cap,
-//     the router places the session on the least-loaded replica with
-//     room instead of rejecting it (counted in RouterStats::spillovers).
-//     Only when EVERY replica is full does admission fail
-//     (placement_rejections). The capacity pre-check is race-free
-//     because the router is the only admitter: concurrent retirements
-//     only decrease load, so a replica observed under cap stays
-//     admissible.
+//     lives on the replica that admitted it until that replica fails;
+//     affinity only decides which replica that is, so repeat sessions
+//     with the same key land on the same Q-network and see the weights
+//     their predecessors trained.
+//   * spillover: when the preferred replica is at its live-session cap
+//     (or failed), the router places the session on the least-loaded
+//     healthy replica with room instead of rejecting it (counted in
+//     RouterStats::spillovers). Only when EVERY usable replica is full
+//     does admission fail (placement_rejections) — or, with
+//     RouterConfig::admission_wait_us > 0, block bounded-wait style for
+//     a retirement to free a slot first. The capacity pre-check is
+//     race-free because the router is the only admitter: concurrent
+//     retirements only decrease load, so a replica observed under cap
+//     stays admissible.
 //   * aggregated telemetry: stats() merges every replica's
 //     AsyncServerStats (counters sum, latency/batch histograms
-//     bucket-merge) next to the per-replica snapshots and the router's
-//     own placement counters; RouterStats::to_json() is what
+//     bucket-merge; retired incarnations' stats included) next to the
+//     per-replica snapshots, the router's own placement counters, and
+//     the per-replica health timelines; RouterStats::to_json() is what
 //     bench_router and the router_serving example emit.
+//
+// Replica lifecycle (the self-healing tier). Each replica slot carries a
+// health state machine, advanced by a dedicated maintenance thread that
+// polls the replicas' failure counters every health_poll_us:
+//
+//   kHealthy --(any backend-failure event)--> kDegraded
+//   kDegraded/kHealthy --(consecutive failed batch passes >=
+//        fail_after_consecutive, or an explicit kill_replica())--> kFailed
+//   kFailed --(replacement server built and swapped in)--> kReplaced,
+//        then a NEW incarnation starts at kHealthy
+//
+// Within one incarnation the state only moves forward (kDegraded is
+// sticky) — the timeline in RouterStats::health is monotone per
+// incarnation, which the scenario invariants pin. A kFailed replica is
+// excluded from placement, stopped (its live sessions retire), and
+// replaced by a fresh AsyncQServer under the same replica name. The
+// replacement's backend is seeded from the last fleet average when
+// kPeriodicAverage has produced one, else from a state export off the
+// first initialized survivor, else starts fresh — and is always built
+// from the CLEAN RouterConfig::backend_id, never from a per-replica
+// "fault:" override (the faulty instance is what is being replaced).
+//
+// Session rescue: sessions that were live on a failed replica retire
+// there with cause kStopped or kBackendError; the router re-places each
+// one onto a surviving (or replacement) replica instead of surfacing the
+// failure. A rescued session restarts from its spec — same env seed,
+// same agent seed — so its completed work on the failed replica is
+// discarded and its final result looks like a clean run with
+// AsyncSessionResult::rescues > 0. Re-placement retries up to
+// rescue_max_attempts times with linear backoff; a session that cannot
+// be placed (or is caught by router shutdown) is ABANDONED: its partial
+// result is delivered with failed = true, cause kBackendError, and an
+// error naming the abandonment. Every admitted session therefore ends
+// exactly once — completed, rescued-then-completed, failed, stopped, or
+// abandoned — the conservation invariant the chaos harness checks.
+//
+// Results are delivered at the ROUTER level: replicas run in on_retire
+// callback mode and never hold results themselves, so wait()/drain()
+// work unchanged across rescues and replacements.
 //
 // Training across replicas is policy-driven (TrainSyncPolicy):
 //
@@ -63,8 +105,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "rl/async_server.hpp"
@@ -78,20 +124,70 @@ enum class TrainSyncPolicy {
   kPeriodicAverage, ///< average beta/beta_target/P every K train updates
 };
 
+/// Per-replica health state (see the header comment for the machine).
+enum class ReplicaHealth {
+  kHealthy,   ///< serving, no failure events this incarnation
+  kDegraded,  ///< serving, but backend-failure events were observed
+  kFailed,    ///< excluded from placement; replacement in progress
+  kReplaced,  ///< terminal state of a retired incarnation
+};
+
+/// "healthy" / "degraded" / "failed" / "replaced" — the JSON spelling.
+[[nodiscard]] constexpr std::string_view to_string(
+    ReplicaHealth health) noexcept {
+  switch (health) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kDegraded:
+      return "degraded";
+    case ReplicaHealth::kFailed:
+      return "failed";
+    case ReplicaHealth::kReplaced:
+      return "replaced";
+  }
+  return "unknown";
+}
+
+/// One health transition, stamped with the incarnation it happened in
+/// and wall milliseconds since router construction (telemetry only —
+/// at_ms is scheduling-dependent and stays out of deterministic JSON).
+struct ReplicaHealthEvent {
+  std::uint64_t incarnation = 0;
+  ReplicaHealth state = ReplicaHealth::kHealthy;
+  double at_ms = 0.0;
+};
+
+/// Snapshot of one replica slot's health, returned in RouterStats.
+struct ReplicaHealthInfo {
+  ReplicaHealth state = ReplicaHealth::kHealthy;
+  std::uint64_t incarnation = 0;  ///< 0 = the original replica
+  /// Backend-failure events the maintenance thread has attributed to the
+  /// CURRENT incarnation.
+  std::uint64_t failure_events = 0;
+  std::vector<ReplicaHealthEvent> timeline;
+};
+
 struct RouterConfig {
   /// Router identity; replica i is named "<name>/r<i>" (stamped into
-  /// AsyncSessionResult::served_by).
+  /// AsyncSessionResult::served_by — the name survives replacement).
   std::string name = "router";
   std::size_t replicas = 2;
   /// BackendRegistry id each replica's backend is built from.
   std::string backend_id = "software";
+  /// Per-replica backend-id overrides, index-matched against the replica
+  /// slots; replicas past the end (and empty strings) use backend_id.
+  /// This is how the scenario harness points ONE replica at a
+  /// "fault:<kind>:<rate>:<seed>:<inner>" backend while the rest of the
+  /// fleet stays clean. Replacement replicas ALWAYS use backend_id.
+  std::vector<std::string> replica_backend_ids;
   /// Per-replica backend configuration. The SAME config (seed included)
   /// goes to every replica — identical initial weights are what the
   /// evaluation determinism contract rests on. A shared
   /// BackendConfig::ledger is honored by FOLDING, not by sharing: each
   /// replica charges a private account (R batch threads writing one
   /// non-atomic OpBreakdown would be a data race), and the accounts are
-  /// merged into this ledger once, when the fleet stops.
+  /// merged into this ledger once, when the fleet stops. Replacement
+  /// replicas charge fresh private accounts, folded the same way.
   BackendConfig backend;
   /// Per-replica serving configuration; `name` is overwritten with the
   /// replica identity. max_live_sessions is the PER-REPLICA admission
@@ -104,6 +200,20 @@ struct RouterConfig {
   /// kPeriodicAverage: how often the sync thread polls the update
   /// counters between rounds.
   std::uint64_t sync_poll_us = 500;
+  /// Bounded-wait admission: when every usable replica is at cap,
+  /// add_session blocks up to this long for a retirement to free a slot
+  /// before throwing AdmissionError(kCapacity). 0 = reject immediately.
+  std::uint64_t admission_wait_us = 0;
+  /// Consecutive failed batch-thread passes (AsyncQServer::
+  /// consecutive_backend_failures) at which the maintenance thread marks
+  /// a replica kFailed and replaces it.
+  std::uint64_t fail_after_consecutive = 3;
+  /// Re-placement attempts per rescued session before abandoning it.
+  std::size_t rescue_max_attempts = 3;
+  /// Linear backoff between rescue attempts: attempt * rescue_backoff_us.
+  std::uint64_t rescue_backoff_us = 200;
+  /// Maintenance-thread poll cadence for the health state machine.
+  std::uint64_t health_poll_us = 200;
 };
 
 /// A session plus its placement key.
@@ -121,10 +231,24 @@ struct RouterStats {
   std::uint64_t placement_rejections = 0;  ///< every replica at cap
   std::uint64_t stopping_rejections = 0;   ///< refused while stopping
   std::uint64_t syncs = 0;              ///< completed averaging rounds
+  std::uint64_t rescued = 0;       ///< successful session re-placements
+  std::uint64_t abandoned = 0;     ///< rescues exhausted / caught by stop
+  std::uint64_t replacements = 0;  ///< replica incarnations retired
+  /// Replacements whose backend imported a non-fresh QNetState (fleet
+  /// average or survivor export) before serving.
+  std::uint64_t replacements_seeded = 0;
+  std::uint64_t admission_waits = 0;  ///< admissions that blocked at cap
+  std::uint64_t admission_wait_timeouts = 0;  ///< ... and still rejected
   AsyncServerStats aggregate;           ///< merged across replicas
+  /// Per-SLOT stats: each entry merges every incarnation that served in
+  /// that slot (retired replicas' counters are preserved across swaps).
   std::vector<AsyncServerStats> per_replica;
+  std::vector<ReplicaHealthInfo> health;  ///< per-slot health snapshot
 
   [[nodiscard]] std::string to_json() const;
+  /// Just the per-replica health array (the chaos harness writes it as a
+  /// standalone artifact next to the verdict).
+  [[nodiscard]] std::string health_json() const;
 };
 
 class RouterQServer {
@@ -140,23 +264,36 @@ class RouterQServer {
 
   /// Places and admits a session (see the header comment for the
   /// affinity/spillover policy) and returns its ROUTER-level id. Throws
-  /// rl::AdmissionError (reason kCapacity) when every replica is at cap
+  /// rl::AdmissionError (reason kCapacity) when every usable replica is
+  /// at cap — after blocking up to admission_wait_us when configured —
   /// and rl::AdmissionError (reason kStopping) during/after stop(); spec
   /// errors propagate from the replica as std::invalid_argument.
   std::size_t add_session(const RouterSessionSpec& spec);
 
-  /// Blocks until the session retires; the result carries the router
-  /// id and the serving replica's name in served_by. Same
-  /// deliver-exactly-once contract as AsyncQServer::wait.
+  /// Blocks until the session's FINAL result is delivered — across any
+  /// rescues and replica replacements — and returns it; the result
+  /// carries the router id and the serving replica's name in served_by.
+  /// Same deliver-exactly-once contract as AsyncQServer::wait.
   AsyncSessionResult wait(std::size_t router_session_id);
 
-  /// Drains every replica and returns all unclaimed results in router
+  /// Blocks until every admitted session has ended (completed, failed,
+  /// stopped, or abandoned) and returns all unclaimed results in router
   /// admission order.
   std::vector<AsyncSessionResult> drain();
 
-  /// Stops the sync thread (final partial round included), then every
+  /// Stops the maintenance thread (abandoning any still-queued rescues),
+  /// then the sync thread (final partial round included), then every
   /// replica. Idempotent.
   void stop();
+
+  /// Marks replica `replica_index` kFailed as if its backend had crossed
+  /// the failure threshold: the maintenance thread stops it, rescues its
+  /// sessions, and swaps in a replacement. Asynchronous — poll
+  /// stats().replacements to observe completion. This is the fault
+  /// injection seam the chaos harness's replica-kill axis drives. Throws
+  /// std::invalid_argument for an out-of-range index; a no-op while
+  /// stopping.
+  void kill_replica(std::size_t replica_index);
 
   /// Runs `fn` through run_exclusive on EVERY replica in index order —
   /// each invocation on that replica's batching thread. This is how
@@ -175,7 +312,7 @@ class RouterQServer {
   [[nodiscard]] RouterStats stats() const;
   [[nodiscard]] std::size_t live_sessions() const;
   [[nodiscard]] std::size_t replica_count() const noexcept {
-    return replicas_.size();
+    return replica_slots_;
   }
   /// The replica an affinity key hashes to (exposed so placement tests
   /// assert against the same mapping the router uses).
@@ -185,7 +322,11 @@ class RouterQServer {
   /// the same reason).
   [[nodiscard]] static std::string derived_affinity_key(
       const AsyncSessionSpec& spec);
+  /// Direct access to the CURRENT incarnation serving slot `index`.
+  /// Only safe while no replacement can run concurrently (quiescent
+  /// fleets, tests); the reference dangles across a replacement.
   [[nodiscard]] const AsyncQServer& replica(std::size_t index) const {
+    const std::shared_lock fleet(fleet_mutex_);
     return *replicas_.at(index);
   }
   [[nodiscard]] const SimplifiedOutputModel& model() const noexcept {
@@ -193,6 +334,54 @@ class RouterQServer {
   }
 
  private:
+  struct Placement {
+    std::size_t replica = 0;
+    std::uint64_t incarnation = 0;
+    std::size_t local_id = 0;
+    std::size_t rescues = 0;
+    std::string key;          ///< affinity key (rescue re-placement)
+    AsyncSessionSpec spec;    ///< full spec (rescue re-admission)
+  };
+  /// (replica slot, incarnation, replica-local id) — the identity a
+  /// retirement callback reports.
+  using ReverseKey = std::tuple<std::size_t, std::uint64_t, std::size_t>;
+  struct HealthSlot {
+    ReplicaHealth state = ReplicaHealth::kHealthy;
+    std::uint64_t incarnation = 0;
+    /// backend_failure_events() reading already attributed to health.
+    std::uint64_t observed_failures = 0;
+    std::vector<ReplicaHealthEvent> timeline;
+  };
+  struct RescueJob {
+    std::size_t router_id = 0;
+    AsyncSessionResult partial;  ///< the failed-replica retirement
+  };
+
+  [[nodiscard]] std::unique_ptr<AsyncQServer> build_replica(
+      std::size_t index, std::uint64_t incarnation,
+      const QNetState* seed_state);
+  void on_replica_retire(std::size_t replica_index,
+                         std::uint64_t incarnation,
+                         AsyncSessionResult&& result);
+  void finalize_result(std::size_t router_id, AsyncSessionResult&& result);
+  /// Healthy/degraded replica with room for one more session, honoring
+  /// affinity then least-loaded spillover; `npos` when none. Caller
+  /// holds fleet (shared) + placement_mutex_.
+  [[nodiscard]] std::size_t pick_replica_locked(const std::string& key,
+                                                bool count_spillover);
+  void maintenance_loop();
+  /// One health poll: attributes new failure events, advances states,
+  /// returns the slots that just crossed into kFailed.
+  [[nodiscard]] std::vector<std::size_t> observe_health(
+      const std::vector<std::size_t>& kill_requests);
+  void replace_replica(std::size_t index);
+  /// Re-places (or abandons) every queued rescue job. `abandon_all`
+  /// skips placement attempts — the shutdown path.
+  void process_rescues(bool abandon_all);
+  void attempt_rescue(RescueJob&& job, bool abandon_all);
+  void record_health_event_locked(std::size_t index, ReplicaHealth state);
+  [[nodiscard]] double now_ms() const;
+
   void sync_loop();
   /// One averaging round over the initialized replicas; returns true if
   /// state actually moved (at least one replica was initialized).
@@ -200,34 +389,70 @@ class RouterQServer {
 
   RouterConfig config_;
   SimplifiedOutputModel model_;
-  std::vector<std::unique_ptr<AsyncQServer>> replicas_;
+  std::size_t replica_slots_ = 0;  ///< == config_.replicas, immutable
+  std::chrono::steady_clock::time_point start_{};
   /// Set when the user passed a shared BackendConfig::ledger: replicas
   /// charge the private per-replica accounts below, folded into
-  /// user_ledger_ by stop() (once — guarded by stop_mutex_).
+  /// user_ledger_ by stop() (once — guarded by stop_mutex_). Appended by
+  /// the maintenance thread on replacement; read by stop() after that
+  /// thread is joined.
   util::TimeLedgerPtr user_ledger_;
   std::vector<util::TimeLedgerPtr> replica_ledgers_;
   bool ledger_folded_ = false;  ///< guarded by stop_mutex_
 
-  // Lock order: stop_mutex_ > sync_mutex_ (stop() quiesces the sync
-  // thread under both). placement_mutex_ is a leaf: never held while
-  // acquiring another router mutex — replica calls made under it
-  // (add_session's admission, live_sessions) take only replica-internal
-  // locks, which rank below every router mutex.
+  // Lock order: stop_mutex_ > maintenance_mutex_ > sync_mutex_ >
+  // fleet_mutex_ > placement_mutex_ > health_mutex_ > results_mutex_.
+  // seed_mutex_ is a leaf. Replica-internal locks rank below every
+  // router mutex. capacity_cv_ pairs with placement_mutex_.
+
+  /// Guards the replica pointer array against replacement swaps: every
+  /// reader (admission, sync, stats, run_exclusive_*) holds it shared;
+  /// the maintenance thread holds it unique only for the pointer swap.
+  mutable std::shared_mutex fleet_mutex_;
+  std::vector<std::unique_ptr<AsyncQServer>> replicas_;
+  /// Counters of incarnations retired by replacement, merged into
+  /// stats().per_replica. Written under unique fleet_mutex_.
+  std::vector<AsyncServerStats> retired_stats_;
 
   // Placement bookkeeping (the router is the only admitter).
   mutable std::mutex placement_mutex_;
-  struct Placement {
-    std::size_t replica;
-    std::size_t local_id;
-  };
+  std::condition_variable capacity_cv_;  ///< bounded-wait admission
   std::map<std::size_t, Placement> placements_;  ///< router id -> where
+  std::map<ReverseKey, std::size_t> reverse_;    ///< where -> router id
   std::size_t next_router_id_ = 0;
+
+  // Health state machine (maintenance thread writes; admission and
+  // retirement callbacks read).
+  mutable std::mutex health_mutex_;
+  std::vector<HealthSlot> health_;
+
+  // Router-level result delivery (replicas run in on_retire mode).
+  mutable std::mutex results_mutex_;
+  std::condition_variable results_cv_;
+  std::map<std::size_t, AsyncSessionResult> results_;
+  std::set<std::size_t> claimed_;
+  std::size_t finalized_ = 0;  ///< results ever deposited (claimed incl.)
+
   std::atomic<std::uint64_t> spillovers_{0};
   std::atomic<std::uint64_t> placement_rejections_{0};
   std::atomic<std::uint64_t> stopping_rejections_{0};
   std::atomic<std::uint64_t> sessions_admitted_{0};
   std::atomic<std::uint64_t> syncs_{0};
+  std::atomic<std::uint64_t> rescued_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
+  std::atomic<std::uint64_t> replacements_{0};
+  std::atomic<std::uint64_t> replacements_seeded_{0};
+  std::atomic<std::uint64_t> admission_waits_{0};
+  std::atomic<std::uint64_t> admission_wait_timeouts_{0};
   std::atomic<bool> stopping_{false};
+
+  // Maintenance thread (health polling, kills, replacement, rescue).
+  std::mutex maintenance_mutex_;
+  std::condition_variable maintenance_cv_;
+  bool maintenance_stop_ = false;
+  std::vector<std::size_t> kill_requests_;
+  std::vector<RescueJob> rescue_queue_;
+  std::thread maintenance_thread_;
 
   // Sync thread (kPeriodicAverage only).
   std::mutex sync_mutex_;
@@ -235,6 +460,10 @@ class RouterQServer {
   bool sync_stop_ = false;
   std::uint64_t last_synced_updates_ = 0;
   std::vector<QNetState> sync_states_;  ///< per-replica export scratch
+  /// Last fleet average (replacement seeding); guarded by seed_mutex_.
+  std::mutex seed_mutex_;
+  QNetState last_average_;
+  bool has_last_average_ = false;
   std::mutex stop_mutex_;               ///< serializes stop() callers
   std::thread sync_thread_;
 };

@@ -40,15 +40,59 @@ enum class AdmissionRejectReason {
   return "unknown";
 }
 
+/// Why a session's service ended. Machine-readable so callers (the
+/// router's rescue logic, the scenario verdict) can attribute endings —
+/// and in particular tell a backend failure (rescue-eligible) from an
+/// environment failure (the session's own trajectory is poisoned;
+/// terminal) — without parsing error strings.
+enum class SessionEndCause {
+  kCompleted,     ///< ran to its budget / solved criterion
+  kStopped,       ///< the server stopped; retired at a step boundary
+  kEnvError,      ///< the session's environment threw (worker side)
+  kBackendError,  ///< the shared backend threw mid-batch (batch thread)
+};
+
+/// "completed" / "stopped" / "env-error" / "backend-error" — the
+/// verdict-JSON spelling.
+[[nodiscard]] constexpr std::string_view to_string(
+    SessionEndCause cause) noexcept {
+  switch (cause) {
+    case SessionEndCause::kCompleted:
+      return "completed";
+    case SessionEndCause::kStopped:
+      return "stopped";
+    case SessionEndCause::kEnvError:
+      return "env-error";
+    case SessionEndCause::kBackendError:
+      return "backend-error";
+  }
+  return "unknown";
+}
+
 /// Thrown by AsyncQServer::add_session / RouterQServer::add_session when
 /// an admission is refused (as opposed to being malformed, which stays
 /// std::invalid_argument). Derives std::runtime_error so callers that
 /// only catch-and-retry keep working; callers that attribute refusals
 /// read reason().
+///
+/// what() embeds the human-readable reason spelling AND the offending
+/// session id in a canonical, test-pinned format:
+///
+///   <who>: admission rejected (<reason>) for session '<session>': <detail>
+///
+/// so a bare catch-and-log already tells the operator which session was
+/// refused and why, without switching on reason().
 class AdmissionError : public std::runtime_error {
  public:
-  AdmissionError(AdmissionRejectReason reason, std::string message)
-      : std::runtime_error(std::move(message)), reason_(reason) {}
+  /// `who` is the throwing entry point ("AsyncQServer::add_session"),
+  /// `session` the offending session's identity (the router's affinity
+  /// key; the async server's derived env#seed descriptor).
+  AdmissionError(AdmissionRejectReason reason, const std::string& who,
+                 const std::string& session, const std::string& detail)
+      : std::runtime_error(who + ": admission rejected (" +
+                           std::string(to_string(reason)) +
+                           ") for session '" + session + "': " + detail),
+        reason_(reason) {}
   [[nodiscard]] AdmissionRejectReason reason() const noexcept {
     return reason_;
   }

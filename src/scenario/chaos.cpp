@@ -13,10 +13,12 @@
 #include <utility>
 
 #include "env/registry.hpp"
+#include "linalg/matrix.hpp"
 #include "rl/async_server.hpp"
 #include "rl/backend_registry.hpp"
 #include "rl/router.hpp"
 #include "rl/serving.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oselm::scenario {
@@ -112,6 +114,39 @@ rl::BackendConfig backend_for(const ScenarioSpec& spec,
   return backend;
 }
 
+/// The schedule's backend-fault plan as a BackendRegistry id: the clean
+/// backend wrapped in the seeded rl::FaultBackend modifier.
+std::string faulted_backend_id(const ScenarioSpec& spec,
+                               const ScenarioSchedule& schedule) {
+  char rate[64];
+  std::snprintf(rate, sizeof(rate), "%.12g", schedule.backend_fault_rate);
+  return "fault:" + schedule.backend_fault_kind + ":" + rate + ":" +
+         std::to_string(schedule.backend_fault_seed) + ":" +
+         spec.backend_id;
+}
+
+/// Paper Eq. 8 initial training on deterministic seeded random data,
+/// run on a CLEAN scratch backend and returned as exportable state.
+/// Priming every serving backend by IMPORTING this one state gives the
+/// whole tier a single Q surface — so evaluate-only schedules run
+/// trained policies and replica replacements can be state-seeded from
+/// any survivor — and, because import_state is a state-management call,
+/// priming succeeds even on a fault-wrapped backend whose serving path
+/// (init_train included) is busy injecting failures.
+rl::QNetState primed_state(const ScenarioSpec& spec,
+                           const rl::SimplifiedOutputModel& model) {
+  const rl::OsElmQBackendPtr scratch =
+      rl::make_backend(spec.backend_id, backend_for(spec, model));
+  util::Rng rng(spec.seed);
+  const std::size_t rows = scratch->hidden_units();
+  linalg::MatD x(rows, scratch->input_dim());
+  linalg::MatD t(rows, 1);
+  rng.fill_uniform(x.storage(), -1.0, 1.0);
+  rng.fill_uniform(t.storage(), -1.0, 1.0);
+  scratch->init_train(x, t);
+  return scratch->export_state();
+}
+
 rl::AsyncSessionSpec async_spec(const ScenarioSpec& spec,
                                 const PlannedSession& planned) {
   rl::AsyncSessionSpec session;
@@ -137,6 +172,8 @@ struct Tier {
   std::function<rl::AsyncSessionResult(std::size_t)> wait;
   std::function<void()> stop;
   std::function<std::future<void>(std::uint64_t)> stall;
+  /// Hard-kills one replica (router only; fires before the planned burst).
+  std::function<void(std::size_t)> kill;
   /// Called once per collected result (router: placement accounting).
   std::function<void(const rl::AsyncSessionResult&)> on_result;
   /// Invariants only the tier can check (server counters, placement).
@@ -172,9 +209,19 @@ void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
   std::set<std::string> live_keys;
   std::vector<std::pair<std::size_t, bool>> admitted;  // (tier id, train?)
 
+  std::set<std::size_t> distinct_ids;
+  bool duplicate_id = false;
+
   for (std::size_t b = 0; b < schedule.bursts.size(); ++b) {
     if (schedule.stall_planned && b == schedule.stall_before_burst) {
       stall_future = tier.stall(schedule.stall_ms);
+    }
+    if (schedule.kill_planned && b == schedule.kill_before_burst &&
+        tier.kill) {
+      // The planned hard kill: the replica's sessions retire with
+      // backend-error and the router rescues them onto survivors while
+      // the remaining bursts keep admitting.
+      tier.kill(schedule.kill_replica);
     }
     const PlannedBurst& burst = schedule.bursts[b];
     std::this_thread::sleep_until(
@@ -190,7 +237,9 @@ void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
         continue;
       }
       try {
-        admitted.emplace_back(tier.add(planned), planned.train);
+        const std::size_t id = tier.add(planned);
+        if (!distinct_ids.insert(id).second) duplicate_id = true;
+        admitted.emplace_back(id, planned.train);
         ++verdict.admitted;
       } catch (const rl::AdmissionError& e) {
         live_keys.erase(planned.affinity_key);
@@ -218,13 +267,24 @@ void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
   for (const auto& [id, train] : admitted) {
     rl::AsyncSessionResult result = tier.wait(id);
     ++collected;
-    if (result.completed) {
-      ++verdict.completed;
-    } else if (result.failed) {
-      ++verdict.failed_env;
-    } else {
-      ++verdict.stopped_early;
+    // Cause-based classification: backend failures (injected faults, NaN
+    // detections, kills whose rescue was abandoned) are attributed apart
+    // from the session's own environment failing.
+    switch (result.cause) {
+      case rl::SessionEndCause::kCompleted:
+        ++verdict.completed;
+        break;
+      case rl::SessionEndCause::kStopped:
+        ++verdict.stopped_early;
+        break;
+      case rl::SessionEndCause::kEnvError:
+        ++verdict.failed_env;
+        break;
+      case rl::SessionEndCause::kBackendError:
+        ++verdict.failed_backend;
+        break;
     }
+    if (result.rescues > 0) ++verdict.rescued;
     (train ? verdict.train_step_latency_us : verdict.eval_step_latency_us)
         .merge(result.step_latency_us);
     if (tier.on_result) tier.on_result(result);
@@ -263,21 +323,36 @@ void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
           std::to_string(verdict.admitted) + " + rejected " +
           std::to_string(rejected) + "; results " +
           std::to_string(collected));
+  // Rescues re-place a session but must never mint a second result id:
+  // every admitted tier id is distinct and delivers exactly one result.
+  push_invariant(verdict, "no-duplicate-results",
+                 !duplicate_id && collected == verdict.admitted,
+                 std::to_string(verdict.admitted) +
+                     " admitted ids all distinct, " +
+                     std::to_string(collected) +
+                     " results claimed exactly once");
   if (tier.final_checks) tier.final_checks(verdict);
 
   verdict.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// `extra_admissions`: the router's successful rescues — every rescue
+/// re-admits an already-counted session on a survivor replica, so the
+/// tier-side admission/retirement ledgers legitimately exceed the
+/// driver's by exactly that amount.
 void check_server_accounting(ScenarioVerdict& verdict,
-                             const rl::AsyncServerStats& stats) {
+                             const rl::AsyncServerStats& stats,
+                             std::uint64_t extra_admissions = 0) {
+  const std::uint64_t expected = verdict.admitted + extra_admissions;
   push_invariant(
       verdict, "server-accounting",
-      stats.sessions_admitted == verdict.admitted &&
-          stats.sessions_retired == verdict.admitted,
+      stats.sessions_admitted == expected &&
+          stats.sessions_retired == expected,
       "server admitted " + std::to_string(stats.sessions_admitted) +
           ", retired " + std::to_string(stats.sessions_retired) +
-          "; driver admitted " + std::to_string(verdict.admitted));
+          "; driver admitted " + std::to_string(verdict.admitted) +
+          " + rescues " + std::to_string(extra_admissions));
   push_invariant(
       verdict, "steps-accounted",
       stats.steps == stats.step_latency_us.count(),
@@ -352,9 +427,21 @@ ScenarioVerdict run_async(const ScenarioSpec& spec,
   config.name = spec.name;
   config.worker_threads = spec.worker_threads;
   config.max_live_sessions = spec.max_live_sessions;
+  // The backend-fault plan wraps THE single backend: every session feels
+  // the injected throws/stalls/NaNs (there is no survivor tier here —
+  // that contrast is the router's job).
+  const std::string backend_id = schedule.backend_fault_planned
+                                     ? faulted_backend_id(spec, schedule)
+                                     : spec.backend_id;
   rl::AsyncQServer server(
-      rl::make_backend(spec.backend_id, backend_for(spec, model)), model,
+      rl::make_backend(backend_id, backend_for(spec, model)), model,
       config);
+  if (spec.prime) {
+    const rl::QNetState state = primed_state(spec, model);
+    server.run_exclusive([&state](rl::OsElmQBackend& backend) {
+      backend.import_state(state);
+    });
+  }
 
   Tier tier;
   tier.add = [&server, &spec](const PlannedSession& planned) {
@@ -390,9 +477,26 @@ ScenarioVerdict run_router(const ScenarioSpec& spec,
   config.backend = backend_for(spec, model);
   config.server.worker_threads = spec.worker_threads;
   config.server.max_live_sessions = spec.max_live_sessions;
+  config.admission_wait_us = spec.admission_wait_us;
+  if (schedule.backend_fault_planned) {
+    // Fault exactly ONE replica's backend (original incarnation only);
+    // its co-replicas — and any replacement the health machine builds —
+    // serve the clean backend, which is what rescue recovers onto.
+    config.replica_backend_ids.assign(spec.replicas, "");
+    config.replica_backend_ids[schedule.backend_fault_replica] =
+        faulted_backend_id(spec, schedule);
+  }
   rl::RouterQServer router(config, model);
+  if (spec.prime) {
+    const rl::QNetState state = primed_state(spec, model);
+    router.run_exclusive_on_all([&state](rl::OsElmQBackend& backend) {
+      backend.import_state(state);
+    });
+  }
 
   std::map<std::string, std::uint64_t> served_by;
+  std::uint64_t rescued_results = 0;
+  std::uint64_t rescued_noncompleted = 0;
   Tier tier;
   tier.add = [&router, &spec](const PlannedSession& planned) {
     rl::RouterSessionSpec session;
@@ -409,20 +513,39 @@ ScenarioVerdict run_router(const ScenarioSpec& spec,
           std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
         });
   };
-  tier.on_result = [&served_by](const rl::AsyncSessionResult& result) {
-    ++served_by[result.served_by];
+  tier.kill = [&router](std::size_t replica) {
+    router.kill_replica(replica);
   };
-  tier.final_checks = [&router, &config,
-                       &served_by](ScenarioVerdict& v) {
+  tier.on_result = [&served_by, &rescued_results, &rescued_noncompleted](
+                       const rl::AsyncSessionResult& result) {
+    ++served_by[result.served_by];
+    if (result.rescues > 0) {
+      ++rescued_results;
+      if (result.cause != rl::SessionEndCause::kCompleted) {
+        ++rescued_noncompleted;
+      }
+    }
+  };
+  tier.final_checks = [&router, &config, &spec, &schedule, &served_by,
+                       &rescued_results,
+                       &rescued_noncompleted](ScenarioVerdict& v) {
     const rl::RouterStats stats = router.stats();
-    check_server_accounting(v, stats.aggregate);
+    v.abandoned = stats.abandoned;
+    check_server_accounting(v, stats.aggregate, stats.rescued);
+    const bool chaotic =
+        schedule.kill_planned || schedule.backend_fault_planned;
     // Placement map consistency: every result names a real replica, and
     // the per-replica admission counters agree with both the router's
-    // own ledger and the served_by attribution of the results.
+    // own ledger and the served_by attribution of the results. A rescued
+    // session legitimately admits once per placement, so under a planned
+    // kill / backend fault the per-slot equality relaxes to a fleet-wide
+    // sum; the calm case keeps the strict per-replica identity.
     bool consistent = stats.sessions_admitted == v.admitted;
     std::string detail =
         "router admitted " + std::to_string(stats.sessions_admitted);
     std::uint64_t attributed = 0;
+    std::uint64_t slot_admitted = 0;
+    std::uint64_t slot_retired = 0;
     for (std::size_t r = 0; r < stats.per_replica.size(); ++r) {
       const std::string replica_name =
           config.name + "/r" + std::to_string(r);
@@ -430,22 +553,85 @@ ScenarioVerdict run_router(const ScenarioSpec& spec,
       const std::uint64_t served =
           it == served_by.end() ? 0 : it->second;
       attributed += served;
-      if (stats.per_replica[r].sessions_admitted != served ||
-          stats.per_replica[r].sessions_retired != served) {
+      slot_admitted += stats.per_replica[r].sessions_admitted;
+      slot_retired += stats.per_replica[r].sessions_retired;
+      if (!chaotic &&
+          (stats.per_replica[r].sessions_admitted != served ||
+           stats.per_replica[r].sessions_retired != served)) {
         consistent = false;
       }
       detail += "; " + replica_name + " admitted " +
                 std::to_string(stats.per_replica[r].sessions_admitted) +
                 " served " + std::to_string(served);
     }
+    if (slot_admitted != v.admitted + stats.rescued ||
+        slot_retired != v.admitted + stats.rescued) {
+      consistent = false;
+    }
     // attributed counts only results naming a real replica; any result
     // with an unknown served_by leaves it short of admitted.
     if (attributed != v.admitted) consistent = false;
     push_invariant(v, "placement-consistent", consistent, detail);
+    // Health timelines are monotone per incarnation — degraded never
+    // heals back within an incarnation (sticky), failed never un-fails —
+    // and every replacement incarnation starts healthy.
+    bool monotone = true;
+    std::size_t health_events = 0;
+    for (const rl::ReplicaHealthInfo& info : stats.health) {
+      bool first = true;
+      std::uint64_t prev_inc = 0;
+      int prev_rank = 0;
+      for (const rl::ReplicaHealthEvent& event : info.timeline) {
+        ++health_events;
+        const int rank = static_cast<int>(event.state);
+        if (!first) {
+          if (event.incarnation < prev_inc) {
+            monotone = false;
+          } else if (event.incarnation == prev_inc) {
+            if (rank < prev_rank) monotone = false;
+          } else if (event.state != rl::ReplicaHealth::kHealthy) {
+            monotone = false;
+          }
+        }
+        first = false;
+        prev_inc = event.incarnation;
+        prev_rank = rank;
+      }
+    }
+    push_invariant(v, "health-monotone", monotone,
+                   std::to_string(health_events) +
+                       " health events across " +
+                       std::to_string(stats.health.size()) +
+                       " slots, all monotone per incarnation");
+    if (schedule.kill_planned && spec.stop_after_ms == 0) {
+      // The planned hard kill with no mid-run stop: every session the
+      // kill orphaned must have been rescued to completion on a
+      // survivor — none abandoned, none left failed.
+      push_invariant(v, "rescued-complete",
+                     rescued_noncompleted == 0 && stats.abandoned == 0,
+                     std::to_string(rescued_results) +
+                         " rescued sessions all completed; abandoned " +
+                         std::to_string(stats.abandoned));
+    }
+    if (schedule.kill_planned) {
+      // The killed slot must have been replaced, and (when the fleet was
+      // primed) every replacement seeded from fleet state — a fresh,
+      // untrained replacement would silently serve garbage Q values.
+      const bool seeded_ok =
+          !spec.prime || stats.replacements_seeded == stats.replacements;
+      push_invariant(v, "replacement-seeded",
+                     stats.replacements >= 1 && seeded_ok,
+                     std::to_string(stats.replacements) +
+                         " replacements, " +
+                         std::to_string(stats.replacements_seeded) +
+                         " seeded from fleet state");
+    }
   };
 
   drive_tier(spec, schedule, verdict, tier);
-  verdict.server_stats_json = router.stats().to_json();
+  const rl::RouterStats final_stats = router.stats();
+  verdict.server_stats_json = final_stats.to_json();
+  verdict.health_json = final_stats.health_json();
   return verdict;
 }
 
@@ -490,7 +676,10 @@ std::string verdict_json(const ScenarioVerdict& verdict,
         << ",\n";
     out << "    \"completed\": " << verdict.completed << ",\n";
     out << "    \"failed_env\": " << verdict.failed_env << ",\n";
+    out << "    \"failed_backend\": " << verdict.failed_backend << ",\n";
     out << "    \"stopped_early\": " << verdict.stopped_early << ",\n";
+    out << "    \"rescued\": " << verdict.rescued << ",\n";
+    out << "    \"abandoned\": " << verdict.abandoned << ",\n";
     char wall[64];
     std::snprintf(wall, sizeof(wall), "%.6f", verdict.wall_seconds);
     out << "    \"wall_seconds\": " << wall << ",\n";

@@ -19,6 +19,20 @@
 //                        latency histogram count (no step lost a sample)
 //   placement-consistent (router) every result names a real replica and
 //                        the per-replica admission counters sum up
+//                        (rescued sessions admit once per placement)
+//   no-duplicate-results every admitted tier id is distinct and delivers
+//                        exactly one result (rescue/replacement must not
+//                        mint duplicate ids)
+//   health-monotone      (router) every replica's health timeline is
+//                        monotone within an incarnation (healthy ->
+//                        degraded -> failed -> replaced) and every new
+//                        incarnation starts healthy
+//   rescued-complete     (router, planned kill, no mid-run stop) every
+//                        rescued session completed on a survivor and no
+//                        session was abandoned
+//   replacement-seeded   (router, planned kill) at least one replacement
+//                        happened; with prime, every replacement was
+//                        seeded from fleet state, never served fresh
 //   stop-returned        stop() returned within the spec's deadline
 //   post-stop-rejects    a join after stop() raises rl::AdmissionError
 //                        with reason kStopping — never a hang or a bare
@@ -64,9 +78,12 @@ struct ScenarioVerdict {
   std::uint64_t rejected_capacity = 0;
   std::uint64_t rejected_stopping = 0;
   std::uint64_t rejected_duplicate = 0;  ///< driver-side key collisions
-  std::uint64_t completed = 0;      ///< ran to budget
-  std::uint64_t failed_env = 0;     ///< environment threw (fault or real)
-  std::uint64_t stopped_early = 0;  ///< retired by stop()
+  std::uint64_t completed = 0;        ///< ran to budget
+  std::uint64_t failed_env = 0;       ///< environment threw (fault or real)
+  std::uint64_t failed_backend = 0;   ///< backend threw/NaN'd mid-batch
+  std::uint64_t stopped_early = 0;    ///< retired by stop()
+  std::uint64_t rescued = 0;          ///< sessions re-placed >= 1 time
+  std::uint64_t abandoned = 0;        ///< router gave up rescuing (stats)
   double wall_seconds = 0.0;
   /// Per-phase serving latency, split by what the session was doing.
   util::LatencyHistogram train_step_latency_us;
@@ -74,6 +91,10 @@ struct ScenarioVerdict {
   /// The tier's own stats snapshot (AsyncServerStats / RouterStats JSON),
   /// embedded verbatim.
   std::string server_stats_json;
+  /// Router only: the per-replica health-timeline JSON
+  /// (RouterStats::health_json()), persisted as a standalone
+  /// "<name>.health.json" artifact by the runner/CLI. Empty elsewhere.
+  std::string health_json;
 
   /// Full verdict: deterministic core + "telemetry" subtree.
   [[nodiscard]] std::string to_json() const;

@@ -109,6 +109,91 @@ ScenarioSpec mixed_train_eval() {
   return spec;
 }
 
+ScenarioSpec backend_fault_storm() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "backend-fault-storm";
+  spec.backend = ScenarioBackend::kAsync;
+  spec.seed = 808;
+  spec.sessions = 16;
+  spec.bursts = 4;
+  spec.max_live_sessions = 8;
+  spec.train_fraction = 0.25;
+  spec.prime = true;
+  // The single shared backend throws on a quarter of its serving calls:
+  // whole batches fail, their sessions retire with backend-error, and the
+  // server must keep serving the survivors — failed_backend attribution
+  // and batch-failure containment under sanitizers.
+  spec.backend_fault_kind = "throw";
+  spec.backend_fault_rate = 0.25;
+  return spec;
+}
+
+ScenarioSpec replica_kill_rescue() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "replica-kill-rescue";
+  spec.backend = ScenarioBackend::kRouter;
+  spec.seed = 809;
+  spec.sessions = 16;
+  spec.bursts = 4;
+  spec.replicas = 4;
+  spec.max_live_sessions = 8;  // survivors have headroom for rescues
+  spec.train_fraction = 0.0;   // evaluate-only: rescued reruns are exact
+  spec.prime = true;           // trained fleet; replacements seed-import
+  spec.episodes_per_session = 8;  // sessions live across the kill
+  // Hard-kill replica 1 just before burst 2, with bursts 0/1 already
+  // serving: its live sessions rescue onto the three survivors and the
+  // slot is replaced with a state-seeded fresh server — rescued-complete
+  // and replacement-seeded must both hold.
+  spec.kill_planned = true;
+  spec.kill_replica = 1;
+  spec.kill_at_burst = 2;
+  return spec;
+}
+
+ScenarioSpec replica_backend_nan() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "replica-backend-nan";
+  spec.backend = ScenarioBackend::kRouter;
+  spec.seed = 810;
+  spec.sessions = 18;
+  spec.bursts = 6;
+  spec.replicas = 3;
+  spec.max_live_sessions = 8;
+  spec.train_fraction = 0.25;
+  spec.prime = true;
+  spec.episodes_per_session = 6;
+  // Replica 0's backend (original incarnation only) corrupts nearly every
+  // prediction to NaN: the server's non-finite scan converts each into a
+  // structured backend failure, consecutive failing passes trip the
+  // health machine (degraded -> failed), and the replacement serves the
+  // CLEAN backend. Six burst waves keep feeding the sick replica so the
+  // consecutive-failure threshold is reached while sessions are live.
+  spec.backend_fault_kind = "nan";
+  spec.backend_fault_rate = 0.9;
+  spec.backend_fault_replica = 0;
+  return spec;
+}
+
+ScenarioSpec bounded_wait_admission() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "bounded-wait-admission";
+  spec.backend = ScenarioBackend::kRouter;
+  spec.seed = 811;
+  spec.sessions = 16;
+  spec.bursts = 2;
+  spec.burst_gap_ms = 1;
+  spec.replicas = 2;
+  spec.max_live_sessions = 3;  // fleet cap 6 << 16 joins: waits, not drops
+  spec.train_fraction = 0.0;
+  spec.prime = true;
+  // Bounded-wait admission: a join against the saturated fleet blocks up
+  // to 2 s for a retirement instead of rejecting — with these budgets
+  // every session eventually admits (rejected_capacity stays 0 unless
+  // the host is pathologically slow, which the verdict would surface).
+  spec.admission_wait_us = 2000000;
+  return spec;
+}
+
 ScenarioSpec lockstep_baseline() {
   ScenarioSpec spec = base_spec();
   spec.name = "lockstep-baseline";
@@ -123,8 +208,11 @@ ScenarioSpec lockstep_baseline() {
 }  // namespace
 
 std::vector<std::string> builtin_scenarios() {
-  return {"churn-storm",   "latency-spike",        "env-fault-mix",
-          "backend-stall", "router-replica-stall", "mixed-train-eval",
+  return {"churn-storm",          "latency-spike",
+          "env-fault-mix",        "backend-stall",
+          "router-replica-stall", "mixed-train-eval",
+          "backend-fault-storm",  "replica-kill-rescue",
+          "replica-backend-nan",  "bounded-wait-admission",
           "lockstep-baseline"};
 }
 
@@ -135,6 +223,10 @@ ScenarioSpec builtin_scenario(const std::string& name) {
   if (name == "backend-stall") return backend_stall();
   if (name == "router-replica-stall") return router_replica_stall();
   if (name == "mixed-train-eval") return mixed_train_eval();
+  if (name == "backend-fault-storm") return backend_fault_storm();
+  if (name == "replica-kill-rescue") return replica_kill_rescue();
+  if (name == "replica-backend-nan") return replica_backend_nan();
+  if (name == "bounded-wait-admission") return bounded_wait_admission();
   if (name == "lockstep-baseline") return lockstep_baseline();
   std::string known;
   for (const std::string& id : builtin_scenarios()) {

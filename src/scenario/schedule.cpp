@@ -25,6 +25,15 @@ std::string ScenarioSchedule::to_text() const {
     out << "stall before burst " << stall_before_burst << ": "
         << stall_ms << " ms on replica " << stall_replica << "\n";
   }
+  if (backend_fault_planned) {
+    out << "backend fault on replica " << backend_fault_replica << ": "
+        << backend_fault_kind << ":" << format_rate(backend_fault_rate)
+        << " seed=" << backend_fault_seed << "\n";
+  }
+  if (kill_planned) {
+    out << "kill replica " << kill_replica << " before burst "
+        << kill_before_burst << "\n";
+  }
   for (const PlannedBurst& burst : bursts) {
     out << "burst at " << burst.at_ms << " ms (" << burst.sessions.size()
         << " sessions)\n";
@@ -92,6 +101,24 @@ ScenarioSchedule expand_schedule(const ScenarioSpec& spec) {
     // join of ~sessions/bursts and early bursts absorb the remainder.
     schedule.bursts[k % spec.bursts].sessions.push_back(
         std::move(session));
+  }
+
+  // Post-loop draws: the backend-fault seed comes AFTER every per-session
+  // draw (and only when a fault is planned), so turning the backend-fault
+  // axis on or off never reshuffles the session plan of an existing spec.
+  schedule.backend_fault_planned = spec.backend_fault_kind != "none";
+  if (schedule.backend_fault_planned) {
+    schedule.backend_fault_kind = spec.backend_fault_kind;
+    schedule.backend_fault_rate = spec.backend_fault_rate;
+    schedule.backend_fault_seed = rng();
+    schedule.backend_fault_replica =
+        spec.backend == ScenarioBackend::kRouter ? spec.backend_fault_replica
+                                                 : 0;
+  }
+  schedule.kill_planned = spec.kill_planned;
+  if (schedule.kill_planned) {
+    schedule.kill_replica = spec.kill_replica;
+    schedule.kill_before_burst = spec.kill_at_burst;
   }
 
   schedule.digest = util::fnv1a(schedule.to_text());

@@ -46,6 +46,19 @@ struct ScenarioSchedule {
   std::size_t stall_before_burst = 0;  ///< stall launches before this burst
   std::uint64_t stall_ms = 0;
   std::size_t stall_replica = 0;
+  /// Backend-fault plan: the serving backend id gets wrapped as
+  /// "fault:<kind>:<rate>:<seed>:<backend_id>" with a per-run seed drawn
+  /// from the schedule stream (AFTER the per-session draws, so adding a
+  /// backend fault to a spec never reshuffles its session plan).
+  bool backend_fault_planned = false;
+  std::string backend_fault_kind;
+  double backend_fault_rate = 0.0;
+  std::uint64_t backend_fault_seed = 0;
+  std::size_t backend_fault_replica = 0;  ///< router: faulted replica
+  /// Replica-kill event: kill_replica hard-killed before this burst.
+  bool kill_planned = false;
+  std::size_t kill_replica = 0;
+  std::size_t kill_before_burst = 0;
   /// util::fnv1a over to_text() — the reproducibility fingerprint the
   /// verdict JSON reports.
   std::uint64_t digest = 0;

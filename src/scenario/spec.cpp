@@ -131,6 +131,43 @@ void ScenarioSpec::validate() const {
             " out of range (replicas = " + std::to_string(replicas) + ")");
   }
   if (stop_deadline_ms == 0) invalid("stop_deadline_ms == 0");
+  if (backend_fault_kind != "none" && backend_fault_kind != "throw" &&
+      backend_fault_kind != "stall" && backend_fault_kind != "nan") {
+    invalid("unknown backend_fault kind '" + backend_fault_kind +
+            "' (expected none|throw|stall|nan)");
+  }
+  if (!(backend_fault_rate >= 0.0 && backend_fault_rate <= 1.0)) {
+    invalid("backend_fault rate " + format_double(backend_fault_rate) +
+            " outside [0, 1]");
+  }
+  if (backend_fault_kind != "none" &&
+      backend == ScenarioBackend::kLockstep) {
+    invalid("backend_fault requires the async or router tier");
+  }
+  if (backend_fault_kind != "none" && backend == ScenarioBackend::kRouter &&
+      backend_fault_replica >= replicas) {
+    invalid("backend_fault_replica " + std::to_string(backend_fault_replica) +
+            " out of range (replicas = " + std::to_string(replicas) + ")");
+  }
+  if (kill_planned) {
+    if (backend != ScenarioBackend::kRouter) {
+      invalid("kill requires the router tier");
+    }
+    if (kill_replica >= replicas) {
+      invalid("kill replica " + std::to_string(kill_replica) +
+              " out of range (replicas = " + std::to_string(replicas) + ")");
+    }
+    if (kill_at_burst >= bursts) {
+      invalid("kill burst " + std::to_string(kill_at_burst) +
+              " out of range (bursts = " + std::to_string(bursts) + ")");
+    }
+  }
+  if (admission_wait_us > 0 && backend != ScenarioBackend::kRouter) {
+    invalid("admission_wait_us requires the router tier");
+  }
+  if (prime && backend == ScenarioBackend::kLockstep) {
+    invalid("prime requires the async or router tier");
+  }
 }
 
 std::string ScenarioSpec::to_text() const {
@@ -164,6 +201,20 @@ std::string ScenarioSpec::to_text() const {
   out << "stall_at_burst = " << stall_at_burst << "\n";
   out << "stop_after_ms = " << stop_after_ms << "\n";
   out << "stop_deadline_ms = " << stop_deadline_ms << "\n";
+  if (backend_fault_kind == "none") {
+    out << "backend_fault = none\n";
+  } else {
+    out << "backend_fault = " << backend_fault_kind << ":"
+        << format_double(backend_fault_rate) << "\n";
+  }
+  out << "backend_fault_replica = " << backend_fault_replica << "\n";
+  if (kill_planned) {
+    out << "kill = " << kill_replica << "@" << kill_at_burst << "\n";
+  } else {
+    out << "kill = none\n";
+  }
+  out << "admission_wait_us = " << admission_wait_us << "\n";
+  out << "prime = " << (prime ? 1 : 0) << "\n";
   return out.str();
 }
 
@@ -254,6 +305,61 @@ ScenarioSpec parse_scenario(const std::string& text) {
       spec.stop_after_ms = parse_u64(value, line_number, key);
     } else if (key == "stop_deadline_ms") {
       spec.stop_deadline_ms = parse_u64(value, line_number, key);
+    } else if (key == "backend_fault") {
+      if (value == "none") {
+        spec.backend_fault_kind = "none";
+        spec.backend_fault_rate = 0.0;
+      } else {
+        const std::size_t sep = value.find(':');
+        if (sep == std::string::npos || sep == 0 ||
+            sep + 1 == value.size()) {
+          fail(line_number, "backend_fault '" + value +
+                            "' (expected none or <kind>:<rate>)");
+        }
+        spec.backend_fault_kind = value.substr(0, sep);
+        if (spec.backend_fault_kind != "throw" &&
+            spec.backend_fault_kind != "stall" &&
+            spec.backend_fault_kind != "nan") {
+          fail(line_number, "unknown backend_fault kind '" +
+                            spec.backend_fault_kind +
+                            "' (expected throw|stall|nan)");
+        }
+        spec.backend_fault_rate = parse_double(value.substr(sep + 1),
+                                               line_number,
+                                               "backend_fault rate");
+        if (!(spec.backend_fault_rate >= 0.0 &&
+              spec.backend_fault_rate <= 1.0)) {
+          fail(line_number, "backend_fault rate " +
+                            format_double(spec.backend_fault_rate) +
+                            " outside [0, 1]");
+        }
+      }
+    } else if (key == "backend_fault_replica") {
+      spec.backend_fault_replica = parse_u64(value, line_number, key);
+    } else if (key == "kill") {
+      if (value == "none") {
+        spec.kill_planned = false;
+      } else {
+        const std::size_t sep = value.find('@');
+        if (sep == std::string::npos || sep == 0 ||
+            sep + 1 == value.size()) {
+          fail(line_number, "kill '" + value +
+                            "' (expected none or <replica>@<burst>)");
+        }
+        spec.kill_planned = true;
+        spec.kill_replica =
+            parse_u64(value.substr(0, sep), line_number, "kill replica");
+        spec.kill_at_burst =
+            parse_u64(value.substr(sep + 1), line_number, "kill burst");
+      }
+    } else if (key == "admission_wait_us") {
+      spec.admission_wait_us = parse_u64(value, line_number, key);
+    } else if (key == "prime") {
+      const std::uint64_t flag = parse_u64(value, line_number, key);
+      if (flag > 1) {
+        fail(line_number, "'prime' value '" + value + "' is not 0 or 1");
+      }
+      spec.prime = flag == 1;
     } else {
       fail(line_number, "unknown key '" + key + "'");
     }

@@ -84,6 +84,33 @@ struct ScenarioSpec {
                                     ///< deadline-style stop() mid-run
   std::uint64_t stop_deadline_ms = 30000;  ///< stop() watchdog budget
 
+  // Backend-fault axis (async/router only): the serving backend itself is
+  // wrapped as "fault:<kind>:<rate>:<seed>:<backend_id>" (rl::FaultBackend)
+  // with a per-run seed drawn from the schedule stream. On the router the
+  // wrapper applies to ONE replica (backend_fault_replica) in its original
+  // incarnation only — a replacement replica always gets the clean
+  // backend, which is what makes replacement a recovery.
+  std::string backend_fault_kind = "none";  ///< none|throw|stall|nan
+  double backend_fault_rate = 0.0;          ///< per-call probability [0, 1]
+  std::size_t backend_fault_replica = 0;    ///< router: faulted replica
+
+  // Replica-kill event (router only): kill_replica is hard-killed via
+  // RouterQServer::kill_replica just before burst kill_at_burst fires —
+  // its live sessions are rescued onto survivors and the slot is
+  // replaced. Spec-file form: "kill = none" or "kill = <replica>@<burst>".
+  bool kill_planned = false;
+  std::size_t kill_replica = 0;
+  std::size_t kill_at_burst = 0;
+
+  /// Router bounded-wait admission: a join against a saturated fleet
+  /// blocks up to this long for a retirement before kCapacity rejection.
+  std::uint64_t admission_wait_us = 0;
+  /// Deterministically init_train every backend (paper Eq. 8 on seeded
+  /// random data) before the first burst, so evaluate-only scenarios run
+  /// a trained Q surface and replica replacements can be state-seeded
+  /// from any survivor. async/router only.
+  bool prime = false;
+
   /// Structural validation beyond per-line parsing: at least one env,
   /// bursts/sessions/caps nonzero, stall/replica indices in range.
   /// Throws std::invalid_argument naming the offending field.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "env/fault_env.hpp"
+
 namespace oselm::env {
 namespace {
 
@@ -135,6 +137,39 @@ TEST(Registry, MalformedFaultIdsThrow) {
       std::invalid_argument);
   EXPECT_THROW(make_environment("fault:drop:0.5:9:NoSuchEnv"),
                std::invalid_argument);
+}
+
+TEST(Registry, UnknownFaultKindListsTheValidKinds) {
+  // The message must enumerate every valid kind (the fault_kinds() single
+  // source), so a chaos-spec typo tells the operator what to write.
+  try {
+    make_environment("fault:flood:0.5:9:GridWorld");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown fault kind 'flood'"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find(fault_kinds()), std::string::npos) << message;
+    EXPECT_EQ(fault_kinds(), "drop|reorder|throw|spike");
+  }
+}
+
+TEST(Registry, UnknownIdListsEnvironmentsAndModifierFamilies) {
+  try {
+    make_environment("Pong-v5");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown id 'Pong-v5'"), std::string::npos)
+        << message;
+    for (const std::string& id : registered_environments()) {
+      EXPECT_NE(message.find(id), std::string::npos)
+          << "message lacks environment '" << id << "': " << message;
+    }
+    EXPECT_NE(message.find("modifiers: delay:, fault:"), std::string::npos)
+        << message;
+  }
 }
 
 TEST(Registry, NestedFaultErrorsReportTheFullOuterId) {

@@ -229,6 +229,30 @@ TEST(AsyncQServer, ValidatesConstructionAndSpecs) {
   EXPECT_THROW(server.wait(99), std::invalid_argument);
 }
 
+TEST(AdmissionError, WhatEmbedsReasonAndSessionInTheCanonicalFormat) {
+  // The pinned canonical format —
+  //   <who>: admission rejected (<reason>) for session '<session>': <detail>
+  // — so a bare catch-and-log already tells the operator which session
+  // was refused and why, without switching on reason().
+  const AdmissionError capacity(AdmissionRejectReason::kCapacity,
+                                "AsyncQServer::add_session",
+                                "ShapedCartPole-v0#12#22", "cap reached");
+  EXPECT_STREQ(capacity.what(),
+               "AsyncQServer::add_session: admission rejected (capacity) "
+               "for session 'ShapedCartPole-v0#12#22': cap reached");
+  const AdmissionError stopping(AdmissionRejectReason::kStopping,
+                                "RouterQServer::add_session", "k7",
+                                "router is stopping");
+  EXPECT_STREQ(stopping.what(),
+               "RouterQServer::add_session: admission rejected (stopping) "
+               "for session 'k7': router is stopping");
+  const AdmissionError duplicate(AdmissionRejectReason::kDuplicateId,
+                                 "driver", "k7", "key already live");
+  EXPECT_STREQ(duplicate.what(),
+               "driver: admission rejected (duplicate-id) for session "
+               "'k7': key already live");
+}
+
 TEST(AsyncQServer, AdmissionControlRejectsBeyondTheCapWithAClearError) {
   AsyncQServerConfig config;
   config.max_live_sessions = 2;

@@ -506,6 +506,218 @@ TEST(RouterQServer, ConcurrentJoinsRacingStopNeverHangOrMiscount) {
   EXPECT_EQ(stats.stopping_rejections, rejected_stopping.load());
 }
 
+/// Polls stats().replacements (kill_replica is asynchronous) up to ~2s.
+void wait_for_replacements(const RouterQServer& router, std::uint64_t want) {
+  for (std::size_t i = 0; i < 2'000; ++i) {
+    if (router.stats().replacements >= want) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ADD_FAILURE() << "replacements never reached " << want;
+}
+
+TEST(RouterQServer, KillReplicaRescuesItsSessionsAndSeedsTheReplacement) {
+  // The acceptance scenario in unit form: a hard replica kill mid-run
+  // ends with the victim's sessions rescued onto survivors (rerun from
+  // their specs, so evaluation results stay bit-identical to a clean
+  // run), and the replacement slot serving with IMPORTED state.
+  RouterConfig config = router_config("software", 3);
+  config.server.max_live_sessions = 8;
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+  router.run_exclusive_on_all(
+      [](OsElmQBackend& backend) { prime_backend(backend, 77); });
+
+  EXPECT_THROW(router.kill_replica(3), std::invalid_argument);
+  const RouterStats before = router.stats();
+  ASSERT_EQ(before.health.size(), 3u);
+  for (const ReplicaHealthInfo& info : before.health) {
+    EXPECT_EQ(info.state, ReplicaHealth::kHealthy);
+    EXPECT_EQ(info.incarnation, 0u);
+    ASSERT_EQ(info.timeline.size(), 1u);
+    EXPECT_EQ(info.timeline[0].state, ReplicaHealth::kHealthy);
+  }
+
+  // Reference: the victim's spec on an identically-primed bare fleet.
+  AsyncSessionSpec victim_spec = eval_spec(913, 37, 20);
+  victim_spec.session.env_id = "delay:500:ShapedCartPole-v0";
+  const Trajectory reference = [&victim_spec] {
+    RouterQServer bare(router_config("software", 1),
+                       SimplifiedOutputModel(4, 2));
+    bare.run_exclusive_on_all(
+        [](OsElmQBackend& backend) { prime_backend(backend, 77); });
+    return Trajectory(bare.wait(bare.add_session({victim_spec, "k"})).train);
+  }();
+
+  // Pin the victim to replica 1, co-tenants elsewhere, kill mid-run.
+  const std::size_t victim =
+      router.add_session({victim_spec, key_for_replica(router, 1)});
+  std::vector<std::size_t> tenants;
+  for (std::size_t i = 0; i < 4; ++i) {
+    AsyncSessionSpec spec = eval_spec(600 + i, 700 + i, 8);
+    spec.session.env_id = "delay:500:ShapedCartPole-v0";
+    tenants.push_back(router.add_session(
+        {spec, key_for_replica(router, i % 2 == 0 ? 0 : 2)}));
+  }
+  router.kill_replica(1);
+  wait_for_replacements(router, 1);
+
+  const AsyncSessionResult rescued = router.wait(victim);
+  EXPECT_TRUE(rescued.completed);
+  EXPECT_FALSE(rescued.failed);
+  EXPECT_GE(rescued.rescues, 1u) << "victim was never rescued";
+  EXPECT_EQ(Trajectory(rescued.train), reference)
+      << "a rescued evaluation rerun diverged from the clean run";
+  for (const std::size_t id : tenants) {
+    const AsyncSessionResult result = router.wait(id);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.rescues, 0u);  // co-replicas were never disturbed
+  }
+  router.stop();
+
+  const RouterStats stats = router.stats();
+  EXPECT_GE(stats.rescued, 1u);
+  EXPECT_EQ(stats.abandoned, 0u);
+  EXPECT_EQ(stats.replacements, 1u);
+  EXPECT_EQ(stats.replacements_seeded, 1u)
+      << "the replacement started fresh despite a primed fleet";
+
+  // Slot 1's timeline: the incarnation-0 march to replacement, then the
+  // replacement's own kHealthy birth event — monotone per incarnation.
+  const ReplicaHealthInfo& slot = stats.health[1];
+  EXPECT_EQ(slot.incarnation, 1u);
+  EXPECT_EQ(slot.state, ReplicaHealth::kHealthy);
+  ASSERT_GE(slot.timeline.size(), 4u);
+  std::uint64_t last_incarnation = 0;
+  int last_rank = -1;
+  for (const ReplicaHealthEvent& event : slot.timeline) {
+    EXPECT_GE(event.incarnation, last_incarnation);
+    if (event.incarnation != last_incarnation) {
+      last_incarnation = event.incarnation;
+      last_rank = -1;  // a new incarnation restarts the machine
+      EXPECT_EQ(event.state, ReplicaHealth::kHealthy);
+    }
+    EXPECT_GE(static_cast<int>(event.state), last_rank);
+    last_rank = static_cast<int>(event.state);
+  }
+  const auto state_at = [&slot](std::size_t i) {
+    return slot.timeline.at(i).state;
+  };
+  EXPECT_EQ(state_at(0), ReplicaHealth::kHealthy);
+  EXPECT_EQ(state_at(slot.timeline.size() - 2), ReplicaHealth::kReplaced);
+  EXPECT_EQ(state_at(slot.timeline.size() - 1), ReplicaHealth::kHealthy);
+  EXPECT_NE(stats.health_json().find("\"replaced\""), std::string::npos);
+}
+
+TEST(RouterQServer, BoundedWaitAdmissionBlocksUntilARetirementFreesASlot) {
+  RouterConfig config = router_config("software", 2);
+  config.server.max_live_sessions = 1;
+  config.admission_wait_us = 5'000'000;
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+
+  // Two short sessions saturate the fleet (cap 2 x 1); the third join
+  // blocks at cap instead of rejecting and admits once one retires.
+  AsyncSessionSpec busy = eval_spec(10, 20, 2);
+  busy.session.env_id = "delay:500:ShapedCartPole-v0";
+  router.add_session({busy, key_for_replica(router, 0)});
+  busy.session.env_seed = 11;
+  router.add_session({busy, key_for_replica(router, 1)});
+  busy.session.env_seed = 12;
+  const std::size_t waited = router.add_session({busy, ""});
+  EXPECT_TRUE(router.wait(waited).completed);
+
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.sessions_admitted, 3u);
+  EXPECT_EQ(stats.admission_waits, 1u);
+  EXPECT_EQ(stats.admission_wait_timeouts, 0u);
+  EXPECT_EQ(stats.placement_rejections, 0u);
+}
+
+TEST(RouterQServer, BoundedWaitAdmissionTimesOutWithTheWaitedError) {
+  RouterConfig config = router_config("software", 2);
+  config.server.max_live_sessions = 1;
+  config.admission_wait_us = 2'000;  // far shorter than the sessions
+  RouterQServer router(config, SimplifiedOutputModel(4, 2));
+
+  AsyncSessionSpec slow = eval_spec(10, 20, 100'000);
+  slow.session.env_id = "delay:3000:ShapedCartPole-v0";
+  router.add_session({slow, key_for_replica(router, 0)});
+  slow.session.env_seed = 11;
+  router.add_session({slow, key_for_replica(router, 1)});
+  slow.session.env_seed = 12;
+  try {
+    router.add_session({slow, "stuck-key"});
+    FAIL() << "expected a waited capacity rejection";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.reason(), AdmissionRejectReason::kCapacity);
+    const std::string message = e.what();
+    // The canonical format, with the bounded-wait detail variant.
+    EXPECT_NE(message.find("RouterQServer::add_session: admission rejected "
+                           "(capacity) for session 'stuck-key'"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("none retired within 2000us"), std::string::npos)
+        << message;
+  }
+
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.admission_waits, 1u);
+  EXPECT_EQ(stats.admission_wait_timeouts, 1u);
+  EXPECT_EQ(stats.placement_rejections, 1u);
+  router.stop();
+}
+
+TEST_P(PerBackend, ExclusiveStateImportUnderTrafficKeepsEvalBitIdentical) {
+  // run_exclusive jumps ahead of the batching queue, so a fleet-wide
+  // QNetState import lands BETWEEN batch passes, never inside one. With
+  // the imported state equal to the fleet's own primed state, 16
+  // co-tenant sessions mid-step must not observe any difference: probe
+  // trajectories stay bit-identical to an undisturbed run. (TSan-clean
+  // via the sanitizer CI jobs, which run this suite under TSan.)
+  const std::string backend_id = GetParam();
+  const QNetState primed = [&backend_id] {
+    const OsElmQBackendPtr scratch =
+        make_backend(backend_id, backend_config(2024));
+    prime_backend(*scratch, 77);
+    return scratch->export_state();
+  }();
+
+  const Trajectory reference = [&backend_id] {
+    RouterQServer bare(router_config(backend_id, 1),
+                       SimplifiedOutputModel(4, 2));
+    bare.run_exclusive_on_all(
+        [](OsElmQBackend& backend) { prime_backend(backend, 77); });
+    return Trajectory(
+        bare.wait(bare.add_session({eval_spec(913, 37), "k"})).train);
+  }();
+
+  RouterQServer router(router_config(backend_id, 4),
+                       SimplifiedOutputModel(4, 2));
+  router.run_exclusive_on_all(
+      [&primed](OsElmQBackend& backend) { backend.import_state(primed); });
+  std::vector<std::size_t> probes;
+  for (std::size_t target = 0; target < 4; ++target) {
+    probes.push_back(router.add_session(
+        {eval_spec(913, 37), key_for_replica(router, target)}));
+  }
+  for (std::size_t i = 0; i < 12; ++i) {  // 16 live sessions fleet-wide
+    router.add_session({eval_spec(800 + i, 900 + i, 4), ""});
+  }
+  // Storm of fleet-wide imports while every session is mid-step.
+  for (std::size_t round = 0; round < 5; ++round) {
+    router.run_exclusive_on_all([&primed](OsElmQBackend& backend) {
+      backend.import_state(primed);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::size_t target = 0; target < 4; ++target) {
+    const AsyncSessionResult result = router.wait(probes[target]);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.served_by, "router/r" + std::to_string(target));
+    EXPECT_EQ(Trajectory(result.train), reference)
+        << "import under traffic perturbed replica " << target;
+  }
+  router.drain();
+}
+
 INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, PerBackend,
                          ::testing::ValuesIn(registered_backends()),
                          [](const auto& info) {

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <string>
 
+#include "scenario/pack.hpp"
+
 namespace oselm::scenario {
 namespace {
 
@@ -61,7 +63,8 @@ TEST(ScenarioRunner, AsyncChurnStormConservesSessions) {
             verdict.admitted + verdict.rejected_capacity +
                 verdict.rejected_stopping + verdict.rejected_duplicate);
   EXPECT_EQ(verdict.admitted,
-            verdict.completed + verdict.failed_env + verdict.stopped_early);
+            verdict.completed + verdict.failed_env +
+                verdict.failed_backend + verdict.stopped_early);
   EXPECT_EQ(verdict.backend_tier, "async");
   EXPECT_EQ(verdict.schedule_digest, runner.schedule().digest);
 }
@@ -153,6 +156,28 @@ TEST(ScenarioRunner, InjectedThrowsAreIsolatedAsEnvFailures) {
   EXPECT_TRUE(verdict.pass);
   EXPECT_EQ(verdict.failed_env, verdict.admitted);
   EXPECT_EQ(verdict.completed, 0u);
+}
+
+TEST(ScenarioRunner, ReplicaKillRescuesEverySessionDeterministically) {
+  // The acceptance scenario: hard-kill one of R=4 replicas mid-run.
+  // Every session on the victim rescues onto a survivor and completes,
+  // the replacement serves with IMPORTED (non-fresh) state, and the
+  // deterministic verdict core is byte-reproducible across runs even
+  // though rescue timing (and thus telemetry) varies.
+  const ScenarioRunner runner(builtin_scenario("replica-kill-rescue"));
+  const ScenarioVerdict first = runner.run();
+  EXPECT_TRUE(first.pass) << first.to_json();
+  expect_invariant(first, "rescued-complete");
+  expect_invariant(first, "replacement-seeded");
+  expect_invariant(first, "health-monotone");
+  expect_invariant(first, "no-duplicate-results");
+  EXPECT_EQ(first.completed, first.admitted);
+  EXPECT_EQ(first.abandoned, 0u);
+  EXPECT_GE(first.rescued, 1u) << "the kill rescued nothing";
+  EXPECT_NE(first.health_json.find("\"replaced\""), std::string::npos);
+
+  const ScenarioVerdict second = runner.run();
+  EXPECT_EQ(first.deterministic_json(), second.deterministic_json());
 }
 
 TEST(ScenarioRunner, WriteVerdictPersistsTheJson) {

@@ -52,6 +52,14 @@ ScenarioSpec full_spec() {
   spec.stall_at_burst = 1;
   spec.stop_after_ms = 90;
   spec.stop_deadline_ms = 5000;
+  spec.backend_fault_kind = "nan";
+  spec.backend_fault_rate = 0.375;
+  spec.backend_fault_replica = 3;
+  spec.kill_planned = true;
+  spec.kill_replica = 1;
+  spec.kill_at_burst = 2;
+  spec.admission_wait_us = 1500;
+  spec.prime = true;
   return spec;
 }
 
@@ -73,6 +81,14 @@ TEST(ScenarioSpec, RoundTripsThroughItsTextForm) {
   EXPECT_EQ(reparsed.faults[1].kind, "none");
   EXPECT_DOUBLE_EQ(reparsed.train_fraction, 0.75);
   EXPECT_EQ(reparsed.stop_after_ms, 90u);
+  EXPECT_EQ(reparsed.backend_fault_kind, "nan");
+  EXPECT_DOUBLE_EQ(reparsed.backend_fault_rate, 0.375);
+  EXPECT_EQ(reparsed.backend_fault_replica, 3u);
+  EXPECT_TRUE(reparsed.kill_planned);
+  EXPECT_EQ(reparsed.kill_replica, 1u);
+  EXPECT_EQ(reparsed.kill_at_burst, 2u);
+  EXPECT_EQ(reparsed.admission_wait_us, 1500u);
+  EXPECT_TRUE(reparsed.prime);
 }
 
 TEST(ScenarioSpec, ParsesCommentsBlanksAndDefaults) {
@@ -124,6 +140,19 @@ TEST(ScenarioSpec, StrictParsingRejectsEveryMalformation) {
                      "unknown fault kind 'flood'");
   expect_parse_error(minimal_text("fault = drop:2\n"), "outside [0, 1]");
   expect_parse_error(minimal_text("fault = drop:fast\n"), "not a number");
+  expect_parse_error(minimal_text("backend_fault = throw\n"),
+                     "expected none or <kind>:<rate>");
+  expect_parse_error(minimal_text("backend_fault = melt:0.5\n"),
+                     "unknown backend_fault kind 'melt'");
+  expect_parse_error(minimal_text("backend_fault = throw:2\n"),
+                     "outside [0, 1]");
+  expect_parse_error(minimal_text("kill = 1\n"),
+                     "expected none or <replica>@<burst>");
+  expect_parse_error(minimal_text("kill = one@2\n"),
+                     "not an unsigned integer");
+  expect_parse_error(minimal_text("prime = yes\n"),
+                     "not an unsigned integer");
+  expect_parse_error(minimal_text("prime = 2\n"), "not 0 or 1");
 }
 
 TEST(ScenarioSpec, ValidateCatchesStructuralErrors) {
@@ -143,6 +172,24 @@ TEST(ScenarioSpec, ValidateCatchesStructuralErrors) {
       "stall_replica 2 out of range");
   // The same configs are fine when no stall is armed.
   EXPECT_NO_THROW(parse_scenario(minimal_text("stall_at_burst = 4\n")));
+  // The robustness axes are tier- and range-checked the same way.
+  expect_parse_error(minimal_text("backend = lockstep\n"
+                                  "backend_fault = throw:0.5\n"),
+                     "requires the async or router tier");
+  expect_parse_error(minimal_text("backend = router\n"
+                                  "backend_fault = nan:0.5\n"
+                                  "backend_fault_replica = 2\n"),
+                     "backend_fault_replica 2");
+  expect_parse_error(minimal_text("kill = 0@1\n"),
+                     "kill requires the router tier");
+  expect_parse_error(minimal_text("backend = router\nkill = 2@1\n"),
+                     "kill replica 2");
+  expect_parse_error(minimal_text("backend = router\nkill = 0@4\n"),
+                     "kill burst 4");
+  expect_parse_error(minimal_text("admission_wait_us = 100\n"),
+                     "admission_wait_us requires the router tier");
+  expect_parse_error(minimal_text("backend = lockstep\nprime = 1\n"),
+                     "prime requires the async or router tier");
 
   ScenarioSpec bad = full_spec();
   bad.name.clear();

@@ -38,14 +38,32 @@ int usage(const char* argv0) {
   return 1;
 }
 
-/// Runs one spec; prints and optionally writes the verdict. Returns the
-/// verdict's pass flag.
+/// "<dir>/<name>.json" -> "<dir>/<name>.health.json" (plain append when
+/// the verdict path has no .json suffix).
+std::string health_path_for(const std::string& out_path) {
+  const std::string suffix = ".json";
+  if (out_path.size() > suffix.size() &&
+      out_path.compare(out_path.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+    return out_path.substr(0, out_path.size() - suffix.size()) +
+           ".health.json";
+  }
+  return out_path + ".health.json";
+}
+
+/// Runs one spec; prints and optionally writes the verdict (plus, for
+/// router scenarios, the per-replica health-timeline artifact alongside
+/// it). Returns the verdict's pass flag.
 bool run_one(const ScenarioSpec& spec, const std::string& out_path) {
   const ScenarioRunner runner(spec);
   const ScenarioVerdict verdict = runner.run();
   std::printf("%s", verdict.to_json().c_str());
   if (!out_path.empty()) {
     oselm::scenario::write_verdict(verdict, out_path);
+    if (!verdict.health_json.empty()) {
+      oselm::scenario::write_health_timeline(verdict,
+                                             health_path_for(out_path));
+    }
     std::fprintf(stderr, "scenario '%s': %s — verdict written to %s\n",
                  spec.name.c_str(), verdict.pass ? "PASS" : "FAIL",
                  out_path.c_str());
