@@ -4,6 +4,11 @@
 // state averaging across the replicas' networks.
 //
 //   ./router_serving [replicas] [sessions] [delay_us] [episodes]
+//                    [--trace-out <file>] [--metrics-out <file>]
+//
+// --trace-out captures the whole run as a Chrome trace-event JSON (open
+// it in Perfetto / chrome://tracing); --metrics-out streams metrics
+// snapshots to a .metrics.jsonl time series while the fleet serves.
 //
 // Two phases: train the fleet under TrainSyncPolicy::kPeriodicAverage
 // (every replica ends up with the averaged Q-network), then serve a
@@ -15,19 +20,53 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rl/router.hpp"
 
 int main(int argc, char** argv) {
   using namespace oselm;
 
+  // Observability flags first (any position); positionals keep their
+  // historical order.
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string trace_out;
+  std::string metrics_out;
+  for (std::size_t i = 0; i < args.size();) {
+    if (i + 1 < args.size() && args[i] == "--trace-out") {
+      trace_out = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (i + 1 < args.size() && args[i] == "--metrics-out") {
+      metrics_out = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  if (!trace_out.empty()) obs::Tracer::set_enabled(true);
+  if (!metrics_out.empty() &&
+      !obs::MetricsRegistry::global().start_sampler(metrics_out,
+                                                    /*period_ms=*/50)) {
+    std::fprintf(stderr, "cannot open metrics sink %s\n",
+                 metrics_out.c_str());
+    return 1;
+  }
+
   const std::size_t replicas =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+      args.size() > 0 ? static_cast<std::size_t>(std::atoi(args[0].c_str()))
+                      : 2;
   const std::size_t sessions =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+      args.size() > 1 ? static_cast<std::size_t>(std::atoi(args[1].c_str()))
+                      : 8;
   const std::uint64_t delay_us =
-      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 300;
+      args.size() > 2
+          ? static_cast<std::uint64_t>(std::atoll(args[2].c_str()))
+          : 300;
   const std::size_t episodes =
-      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 5;
+      args.size() > 3 ? static_cast<std::size_t>(std::atoi(args[3].c_str()))
+                      : 5;
 
   const rl::SimplifiedOutputModel model(4, 2);  // CartPole: 4 states + code
   rl::RouterConfig config;
@@ -130,6 +169,15 @@ int main(int argc, char** argv) {
               rescued_sessions);
 
   router.stop();
+  obs::MetricsRegistry::global().stop_sampler();
+  if (!trace_out.empty()) {
+    obs::Tracer::set_enabled(false);
+    if (obs::Tracer::write_chrome_trace(trace_out)) {
+      std::printf("trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+    }
+  }
   const rl::RouterStats stats = router.stats();
   std::printf("\nper-replica health timelines:\n%s\n",
               stats.health_json().c_str());

@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace oselm::env {
 
 std::string_view to_string(FaultKind kind) noexcept {
@@ -67,7 +69,23 @@ bool FaultEnv::draw_fault() {
   // a firing reset as a no-op — so the decision sequence stays aligned
   // with fault_schedule_preview() regardless of kind.
   const bool fired = fault_rng_.bernoulli(rate_);
-  if (fired) ++fault_count_;
+  if (fired) {
+    ++fault_count_;
+    switch (kind_) {
+      case FaultKind::kDrop:
+        OSELM_TRACE_INSTANT("fault", "env_drop");
+        break;
+      case FaultKind::kReorder:
+        OSELM_TRACE_INSTANT("fault", "env_reorder");
+        break;
+      case FaultKind::kThrow:
+        OSELM_TRACE_INSTANT("fault", "env_throw");
+        break;
+      case FaultKind::kSpike:
+        OSELM_TRACE_INSTANT("fault", "env_spike");
+        break;
+    }
+  }
   return fired;
 }
 

@@ -1,0 +1,56 @@
+// Minimal JSON parser for observability round-trip checks.
+//
+// The tracer exports Chrome trace-event JSON and the metrics registry
+// writes JSONL snapshots; the tests (and the trace validator used by the
+// chaos tooling) must prove those artifacts are *parseable* JSON with the
+// keys Perfetto requires — not just string-concatenated hope. This is a
+// strict recursive-descent parser for that verification path only: it
+// builds a tiny DOM, rejects trailing garbage, and is nowhere near any
+// hot path. It is NOT a general-purpose JSON library (no \uXXXX surrogate
+// pairs beyond the BMP, numbers via strtod).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace oselm::obs {
+
+/// One parsed JSON value. Object members keep source order so tests can
+/// pin key layouts exactly.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+
+  /// First member with this key, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const noexcept;
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed,
+/// anything else after the value is an error). On failure returns false
+/// and, when `error` is non-null, stores a message naming the byte offset.
+bool parse_json(const std::string& text, JsonValue* out, std::string* error);
+
+/// Escapes `\`, `"`, and control characters for embedding in a JSON
+/// string literal (the writers' counterpart to parse_json).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace oselm::obs

@@ -1,0 +1,250 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oselm::obs {
+namespace {
+
+std::atomic<bool> g_timing_enabled{false};
+
+bool valid_metric_name(const std::string& name) noexcept {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  const auto tail = [&head](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name) {
+    if (!tail(c)) return false;
+  }
+  return true;
+}
+
+void append_double(std::string* out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void append_u64(std::string* out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+}  // namespace
+
+bool timing_enabled() noexcept {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_timing_enabled(bool enabled) noexcept {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t wall_clock_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+
+MetricsRegistry::~MetricsRegistry() { stop_sampler(); }
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: instrumentation handles live in function-local statics whose
+  // destruction order against this object is unspecified.
+  static MetricsRegistry* instance = new MetricsRegistry;
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name '" + name + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument("obs: metric '" + name +
+                                "' already registered as another kind");
+  }
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name '" + name + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument("obs: metric '" + name +
+                                "' already registered as another kind");
+  }
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name '" + name + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw std::invalid_argument("obs: metric '" + name +
+                                "' already registered as another kind");
+  }
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.captured_at_us = wall_clock_us();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->snapshot());
+  }
+  return snap;  // std::map iteration => names already sorted
+}
+
+std::string MetricsRegistry::prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "# TYPE " + name + " counter\n" + name + " ";
+    append_u64(&out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "# TYPE " + name + " gauge\n" + name + " ";
+    append_double(&out, value);
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out += "# TYPE " + name + " summary\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          {"0.95", 0.95},
+          {"0.99", 0.99}}) {
+      out += name + "{quantile=\"" + label + "\"} ";
+      append_double(&out, histogram.quantile(q));
+      out += '\n';
+    }
+    out += name + "_sum ";
+    append_double(&out, histogram.sum());
+    out += '\n' + name + "_count ";
+    append_u64(&out, histogram.count());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::jsonl_line(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"captured_at_us\":";
+  append_u64(&out, snapshot.captured_at_us);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":";
+    append_u64(&out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":";
+    append_double(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + histogram.to_json();
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsRegistry::start_sampler(const std::string& path,
+                                    std::uint64_t period_ms) {
+  const std::lock_guard<std::mutex> lock(sampler_mutex_);
+  if (sampler_pool_ != nullptr || path.empty()) return false;
+  {
+    // Truncate up front so a restart never appends to a stale series,
+    // and so an unwritable path fails here rather than silently in the
+    // background lane.
+    std::ofstream probe(path, std::ios::trunc);
+    if (!probe) return false;
+  }
+  sampler_path_ = path;
+  {
+    const std::lock_guard<std::mutex> loop_lock(loop_mutex_);
+    sampler_stop_ = false;
+  }
+  set_timing_enabled(true);
+  sampler_pool_ = std::make_unique<util::ThreadPool>(1);
+  const std::uint64_t period = period_ms > 0 ? period_ms : 1;
+  (void)sampler_pool_->submit([this, period] { sampler_loop(period); });
+  return true;
+}
+
+void MetricsRegistry::sampler_loop(std::uint64_t period_ms) {
+  std::ofstream file(sampler_path_, std::ios::app);
+  while (true) {
+    if (file) {
+      file << jsonl_line(snapshot()) << '\n';
+      file.flush();
+    }
+    std::unique_lock<std::mutex> lock(loop_mutex_);
+    if (loop_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                          [this] { return sampler_stop_; })) {
+      break;
+    }
+  }
+  // Final snapshot so short runs always leave at least two points.
+  if (file) {
+    file << jsonl_line(snapshot()) << '\n';
+    file.flush();
+  }
+}
+
+void MetricsRegistry::stop_sampler() {
+  const std::lock_guard<std::mutex> lock(sampler_mutex_);
+  if (sampler_pool_ == nullptr) return;
+  {
+    const std::lock_guard<std::mutex> loop_lock(loop_mutex_);
+    sampler_stop_ = true;
+  }
+  loop_cv_.notify_all();
+  sampler_pool_.reset();  // joins the lane; the loop wrote its final line
+  set_timing_enabled(false);
+}
+
+}  // namespace oselm::obs

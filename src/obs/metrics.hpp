@@ -1,0 +1,183 @@
+// Named metrics registry: atomic counters/gauges, histogram handles, a
+// periodic sampler, and Prometheus / JSONL exporters.
+//
+// Instrumented code registers a metric ONCE (registration takes a mutex
+// and validates the name against the Prometheus grammar) and then holds
+// the returned reference forever — updates are single relaxed atomic ops
+// on the handle, safe from any thread. Histograms wrap the existing
+// util::LatencyHistogram (quarter-octave buckets, merge-based) behind a
+// tiny spinlock-free mutex; they sit off the per-step hot path (batch
+// linger, admission wait), so a mutexed record is fine there.
+//
+// Snapshots are wall-clock stamped (`captured_at_us`, microseconds since
+// the Unix epoch) so they line up with AsyncServerStats/RouterStats
+// captured_at_us and with trace timelines. Two writers, no network
+// dependency:
+//   - prometheus_text(): the text exposition format (counters as
+//     `# TYPE x counter`, histograms as summaries with p50/p95/p99
+//     quantile lines) — serve the file with any static server or
+//     node_exporter's textfile collector;
+//   - jsonl_line(): one self-contained JSON object per snapshot,
+//     appended to a .metrics.jsonl time-series file by the sampler.
+//
+// The sampler runs on a util::ThreadPool(1) lane (never a naked
+// std::thread — the lint gate forbids those) and flips the global
+// timing_enabled() flag while active, which is what gates the few
+// instrumentation sites that need an extra clock read (e.g. batch-linger
+// measurement) so the default-off serving path stays clock-free.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/latency_histogram.hpp"
+
+namespace oselm::util {
+class ThreadPool;
+}  // namespace oselm::util
+
+namespace oselm::obs {
+
+/// Monotone event count. add() from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. set()/add() from any thread.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe wrapper over util::LatencyHistogram. Keep off per-step
+/// hot paths (record takes a mutex); fine for per-batch / per-admission
+/// seams.
+class Histogram {
+ public:
+  void record(double value) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.record(value);
+  }
+  void merge(const util::LatencyHistogram& other) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.merge(other);
+  }
+  [[nodiscard]] util::LatencyHistogram snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  util::LatencyHistogram histogram_;
+};
+
+/// One timestamped view of every registered metric, names sorted.
+struct MetricsSnapshot {
+  std::uint64_t captured_at_us = 0;  ///< wall clock, us since Unix epoch
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, util::LatencyHistogram>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry the serving stack's instrumentation uses.
+  /// Tests build private instances instead.
+  static MetricsRegistry& global();
+
+  /// Registers (or finds) a metric. Names must match the Prometheus
+  /// grammar [a-zA-Z_:][a-zA-Z0-9_:]* — anything else throws
+  /// std::invalid_argument. A name registered as one kind cannot be
+  /// re-registered as another (throws). References stay valid for the
+  /// registry's lifetime; callers cache them.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition for a snapshot: counters/gauges with
+  /// `# TYPE` headers, histograms as summaries (quantile labels 0.5 /
+  /// 0.95 / 0.99 plus _sum/_count). Pinned by tests/obs/metrics_test.
+  [[nodiscard]] static std::string prometheus_text(
+      const MetricsSnapshot& snapshot);
+  [[nodiscard]] std::string prometheus_text() const {
+    return prometheus_text(snapshot());
+  }
+
+  /// One JSONL record: {"captured_at_us":..,"counters":{..},
+  /// "gauges":{..},"histograms":{name:{count,min,mean,p50,p95,p99,max}}}
+  [[nodiscard]] static std::string jsonl_line(const MetricsSnapshot& snapshot);
+
+  /// Starts a background sampler appending jsonl_line(snapshot()) to
+  /// `path` every `period_ms` (>= 1). Idempotent stop via
+  /// stop_sampler(), which writes one final snapshot. While any sampler
+  /// runs, timing_enabled() is true.
+  bool start_sampler(const std::string& path, std::uint64_t period_ms);
+  void stop_sampler();
+
+ private:
+  void sampler_loop(std::uint64_t period_ms);
+
+  // Lock order: sampler_mutex_ > loop_mutex_; mutex_ (the name maps) and
+  // each Histogram's internal mutex are leaves, never held across
+  // another lock. The sampler lane takes loop_mutex_ only.
+  mutable std::mutex mutex_;  // name maps; handles are internally synced
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+
+  std::mutex sampler_mutex_;  // start/stop lifecycle (never held in loop)
+  std::unique_ptr<util::ThreadPool> sampler_pool_;
+  std::string sampler_path_;
+  std::mutex loop_mutex_;  // sampler_stop_ + wakeup cv
+  std::condition_variable loop_cv_;
+  bool sampler_stop_ = false;
+};
+
+/// True while timing-hungry instrumentation should take clock reads:
+/// set by MetricsRegistry sampler activity or explicitly (the tracer has
+/// its own flag). Relaxed load — safe on hot paths.
+[[nodiscard]] bool timing_enabled() noexcept;
+void set_timing_enabled(bool enabled) noexcept;
+
+/// Wall-clock microseconds since the Unix epoch (snapshot stamps and the
+/// stats-satellite captured_at_us fields share this definition).
+[[nodiscard]] std::uint64_t wall_clock_us() noexcept;
+
+}  // namespace oselm::obs

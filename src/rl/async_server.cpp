@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "env/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rl/policy.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -15,6 +17,53 @@
 namespace oselm::rl {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Process-wide serving metrics (totals across every AsyncQServer in the
+/// process — router replicas included). Handles are resolved once; every
+/// update afterwards is a single relaxed atomic op.
+struct AsyncMetrics {
+  obs::Counter& steps;
+  obs::Counter& batches;
+  obs::Counter& batch_rows;
+  obs::Counter& train_updates;
+  obs::Counter& init_trains;
+  obs::Counter& sessions_admitted;
+  obs::Counter& sessions_retired;
+  obs::Counter& admission_rejections;
+  obs::Counter& backend_failures;
+  obs::Histogram& batch_linger_us;
+
+  AsyncMetrics()
+      : steps(obs::MetricsRegistry::global().counter(
+            "oselm_async_steps_total")),
+        batches(obs::MetricsRegistry::global().counter(
+            "oselm_async_batches_total")),
+        batch_rows(obs::MetricsRegistry::global().counter(
+            "oselm_async_batch_rows_total")),
+        train_updates(obs::MetricsRegistry::global().counter(
+            "oselm_async_train_updates_total")),
+        init_trains(obs::MetricsRegistry::global().counter(
+            "oselm_async_init_trains_total")),
+        sessions_admitted(obs::MetricsRegistry::global().counter(
+            "oselm_async_sessions_admitted_total")),
+        sessions_retired(obs::MetricsRegistry::global().counter(
+            "oselm_async_sessions_retired_total")),
+        admission_rejections(obs::MetricsRegistry::global().counter(
+            "oselm_async_admission_rejections_total")),
+        backend_failures(obs::MetricsRegistry::global().counter(
+            "oselm_async_backend_failures_total")),
+        batch_linger_us(obs::MetricsRegistry::global().histogram(
+            "oselm_async_batch_linger_us")) {}
+};
+
+AsyncMetrics& async_metrics() {
+  static AsyncMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Session
@@ -97,6 +146,7 @@ AsyncQServer::AsyncQServer(OsElmQBackendPtr backend,
   // backend's account before (an agent that pre-trained the weights, a
   // bench's setup phase) is quiescent once it hands the backend over.
   backend_->ledger().release_writer();
+  started_at_us_ = obs::Tracer::now_us();
   pool_ = std::make_unique<util::ThreadPool>(config_.worker_threads);
   batch_thread_ = std::thread([this] { batch_loop(); });
 }
@@ -125,6 +175,18 @@ void AsyncQServer::stop() {
   // agent resuming training, a bench reading then reusing it).
   backend_->ledger().release_writer();
   batch_affinity_.release();
+  // Surface the quiescent ledger's charge categories as process-wide
+  // gauges (cumulative seconds across every server stopped so far).
+  const util::OpBreakdown& breakdown = backend_->ledger().breakdown();
+  for (std::size_t c = 0; c < util::kOpCategoryCount; ++c) {
+    const auto category = static_cast<util::OpCategory>(c);
+    const double seconds = breakdown.get(category);
+    if (seconds == 0.0) continue;
+    obs::MetricsRegistry::global()
+        .gauge("oselm_ledger_" +
+               std::string(util::op_category_name(category)) + "_seconds")
+        .add(seconds);
+  }
 }
 
 namespace {
@@ -172,6 +234,8 @@ std::size_t AsyncQServer::add_session(const AsyncSessionSpec& spec) {
     }
     if (live_.size() >= config_.max_live_sessions) {
       admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+      async_metrics().admission_rejections.add();
+      OSELM_TRACE_INSTANT("session", "admission_rejected");
       throw AdmissionError(
           AdmissionRejectReason::kCapacity, "AsyncQServer::add_session",
           session_descriptor(spec),
@@ -191,6 +255,8 @@ std::size_t AsyncQServer::add_session(const AsyncSessionSpec& spec) {
     live_count_.store(live_.size(), std::memory_order_relaxed);
   }
   sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
+  async_metrics().sessions_admitted.add();
+  OSELM_TRACE_INSTANT("session", "admit");
   pool_->submit([this, raw] { advance(raw); });
   return id;
 }
@@ -250,6 +316,8 @@ AsyncServerStats AsyncQServer::stats() const {
       stopping_rejections_.load(std::memory_order_relaxed);
   out.env_failures = env_failures_.load(std::memory_order_relaxed);
   out.backend_failures = backend_failures_.load(std::memory_order_relaxed);
+  out.captured_at_us = obs::wall_clock_us();
+  out.uptime_us = obs::Tracer::now_us() - started_at_us_;
   {
     const std::scoped_lock lk(stats_mutex_);
     out.step_latency_us = retired_latency_;
@@ -271,12 +339,14 @@ void AsyncServerStats::merge(const AsyncServerStats& other) {
   stopping_rejections += other.stopping_rejections;
   env_failures += other.env_failures;
   backend_failures += other.backend_failures;
+  captured_at_us = std::max(captured_at_us, other.captured_at_us);
+  uptime_us = std::max(uptime_us, other.uptime_us);
   step_latency_us.merge(other.step_latency_us);
   batch_rows_hist.merge(other.batch_rows_hist);
 }
 
 std::string AsyncServerStats::to_json() const {
-  char head[512];
+  char head[768];
   std::snprintf(
       head, sizeof(head),
       "{\n"
@@ -286,7 +356,8 @@ std::string AsyncServerStats::to_json() const {
       "  \"train_updates\": %llu, \"init_trains\": %llu,\n"
       "  \"sessions_admitted\": %llu, \"sessions_retired\": %llu, "
       "\"admission_rejections\": %llu, \"stopping_rejections\": %llu,\n"
-      "  \"env_failures\": %llu, \"backend_failures\": %llu,\n",
+      "  \"env_failures\": %llu, \"backend_failures\": %llu,\n"
+      "  \"captured_at_us\": %llu, \"uptime_us\": %llu,\n",
       static_cast<unsigned long long>(steps),
       static_cast<unsigned long long>(episodes),
       static_cast<unsigned long long>(batches),
@@ -298,7 +369,9 @@ std::string AsyncServerStats::to_json() const {
       static_cast<unsigned long long>(admission_rejections),
       static_cast<unsigned long long>(stopping_rejections),
       static_cast<unsigned long long>(env_failures),
-      static_cast<unsigned long long>(backend_failures));
+      static_cast<unsigned long long>(backend_failures),
+      static_cast<unsigned long long>(captured_at_us),
+      static_cast<unsigned long long>(uptime_us));
   return std::string(head) +
          "  \"step_latency_us\": " + step_latency_us.to_json() + ",\n" +
          "  \"batch_rows_hist\": " + batch_rows_hist.to_json() + "\n}";
@@ -309,6 +382,16 @@ std::string AsyncServerStats::to_json() const {
 // ---------------------------------------------------------------------------
 
 void AsyncQServer::advance(Session* s) {
+  if (obs::Tracer::enabled()) {
+    // Label each worker lane once, lazily — names show up as Perfetto
+    // track titles next to the batch thread's.
+    thread_local bool lane_named = false;
+    if (!lane_named) {
+      obs::Tracer::set_thread_name("worker");
+      lane_named = true;
+    }
+  }
+  OSELM_TRACE_SPAN("worker", "session_slice");
   try {
     run_session(*s);
   } catch (const std::exception& e) {
@@ -433,6 +516,7 @@ void AsyncQServer::run_session(Session& s) {
                                                       s.step_start)
                 .count());
         steps_.fetch_add(1, std::memory_order_relaxed);
+        async_metrics().steps.add();
         const bool capped = trainer.episode_step_cap != 0 &&
                             s.steps >= trainer.episode_step_cap;
         if (!s.transition.done && !capped) {
@@ -499,6 +583,7 @@ void AsyncQServer::suspend(Session& s, RequestKind kind, Phase resume) {
       break;
   }
   s.phase = resume;
+  OSELM_TRACE_INSTANT("session", "suspend");
   std::unique_lock lk(queue_mutex_);
   // Backpressure: block until the bounded ready queue has room. The batch
   // thread is the only consumer and never blocks on this queue, so space
@@ -506,6 +591,13 @@ void AsyncQServer::suspend(Session& s, RequestKind kind, Phase resume) {
   space_cv_.wait(lk, [this] {
     return ready_.size() < config_.ready_queue_capacity;
   });
+  if (ready_.empty() &&
+      (obs::Tracer::enabled() || obs::timing_enabled())) {
+    // Queue goes empty -> non-empty: the coalescing linger for the next
+    // batch starts now. Clock read gated so default-off serving stays
+    // clock-free on this seam.
+    pending_since_us_ = obs::Tracer::now_us();
+  }
   ready_.emplace_back(&s, kind);
   OSELM_DCHECK_LE(ready_.size(), config_.ready_queue_capacity);
   lk.unlock();
@@ -535,6 +627,8 @@ void AsyncQServer::retire(Session* s, SessionEndCause cause,
     env_failures_.fetch_add(1, std::memory_order_relaxed);
   }
   sessions_retired_.fetch_add(1, std::memory_order_relaxed);
+  async_metrics().sessions_retired.add();
+  OSELM_TRACE_INSTANT("session", "retire");
   const std::size_t id = result.id;
   // Callback mode (the router's replica seam): deliver the result with
   // NO server locks held — the callback re-places rescued sessions onto
@@ -567,6 +661,7 @@ void AsyncQServer::retire(Session* s, SessionEndCause cause,
 
 void AsyncQServer::batch_loop() {
   batch_affinity_.bind();  // this thread owns backend_ until stop()
+  obs::Tracer::set_thread_name((config_.name + "/batch").c_str());
   std::vector<Request> drained;
   std::vector<ExclusiveTask> exclusive;
   for (;;) {
@@ -614,6 +709,14 @@ void AsyncQServer::batch_loop() {
                        ready_.begin() + static_cast<std::ptrdiff_t>(take));
         ready_.erase(ready_.begin(),
                      ready_.begin() + static_cast<std::ptrdiff_t>(take));
+        if (pending_since_us_ != 0) {
+          // Achieved batch-assembly linger: first enqueue -> this drain.
+          const std::uint64_t now = obs::Tracer::now_us();
+          async_metrics().batch_linger_us.record(
+              static_cast<double>(now - pending_since_us_));
+          // Requests left behind re-arm; linger restarts at this drain.
+          pending_since_us_ = ready_.empty() ? 0 : now;
+        }
       }
     }
     space_cv_.notify_all();
@@ -623,6 +726,7 @@ void AsyncQServer::batch_loop() {
 }
 
 void AsyncQServer::run_exclusive_task(ExclusiveTask& task) {
+  OSELM_TRACE_SPAN("batch", "run_exclusive");
   try {
     task.fn(checked_backend());
     task.done->set_value();
@@ -677,6 +781,7 @@ double AsyncQServer::clip_target(const Session& s, double target) const {
 }
 
 void AsyncQServer::coalesced_predict(QNetwork which, bool use_next_state) {
+  OSELM_TRACE_SPAN("batch", "coalesced_predict");
   const std::size_t rows = batch_sessions_.size();
   // predict_actions_multi validates exact shapes, so buffers are cached
   // per row count — steady-state serving allocates nothing.
@@ -710,6 +815,8 @@ void AsyncQServer::coalesced_predict(QNetwork which, bool use_next_state) {
   q_multi_ = &q_multi;
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_rows_.fetch_add(rows, std::memory_order_relaxed);
+  async_metrics().batches.add();
+  async_metrics().batch_rows.add(rows);
   {
     const std::scoped_lock lk(stats_mutex_);
     batch_rows_hist_.record(static_cast<double>(rows));
@@ -745,6 +852,7 @@ double AsyncQServer::session_td_target(Session& s,
 }
 
 void AsyncQServer::apply_init_train(Session& s) {
+  OSELM_TRACE_SPAN("train", "init_train");
   if (backend_->initialized()) {
     // A co-tenant initialized the shared network first (authoritative
     // re-check — the worker-side mirror may lag); this chunk is stale.
@@ -763,12 +871,14 @@ void AsyncQServer::apply_init_train(Session& s) {
   }
   checked_backend().init_train(x, t);
   init_trains_.fetch_add(1, std::memory_order_relaxed);
+  async_metrics().init_trains.add();
   backend_initialized_.store(true, std::memory_order_release);
   s.buffer.clear();
   s.buffer.shrink_to_fit();  // the edge device frees D after init training
 }
 
 void AsyncQServer::process_requests(std::vector<Request>& requests) {
+  OSELM_TRACE_SPAN("batch", "process_requests");
   // Failure containment: a backend fault in one coalesced batch retires
   // the sessions it carried and leaves the batch thread serving everyone
   // else. (Environment faults never reach this thread — workers catch
@@ -787,6 +897,8 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
   const auto fail_batch = [&](const std::exception& e) {
     had_backend_error = true;
     backend_failures_.fetch_add(1, std::memory_order_relaxed);
+    async_metrics().backend_failures.add();
+    OSELM_TRACE_INSTANT("batch", "backend_failure");
     for (Session* failed : batch_sessions_) {
       for (Request& r : requests) {
         if (r.session == failed) r.session = nullptr;
@@ -846,6 +958,7 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
 
   // Apply trains/init/sync/reset in drain order, then resume each session
   // on the worker pool.
+  OSELM_TRACE_SPAN("train", "seq_train_drain");
   for (Request& r : requests) {
     Session* s = r.session;
     if (s == nullptr) continue;
@@ -862,6 +975,7 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
           if (backend_->initialized()) {
             checked_backend().seq_train(s->sa, target);
             train_updates_.fetch_add(1, std::memory_order_relaxed);
+            async_metrics().train_updates.add();
           }
           break;
         }
@@ -870,6 +984,7 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
           if (backend_->initialized()) {
             checked_backend().seq_train(s->sa, target);
             train_updates_.fetch_add(1, std::memory_order_relaxed);
+            async_metrics().train_updates.add();
           }
           break;
         }
@@ -887,6 +1002,8 @@ void AsyncQServer::process_requests(std::vector<Request>& requests) {
     } catch (const std::exception& e) {
       had_backend_error = true;
       backend_failures_.fetch_add(1, std::memory_order_relaxed);
+      async_metrics().backend_failures.add();
+      OSELM_TRACE_INSTANT("batch", "backend_failure");
       retire(s, SessionEndCause::kBackendError, failure_text(e));
       continue;
     }

@@ -171,6 +171,14 @@ struct AsyncServerStats {
   /// however many sessions it retired) — the replica health signal
   /// RouterQServer's maintenance thread polls.
   std::uint64_t backend_failures = 0;
+  /// Wall clock at snapshot time (microseconds since the Unix epoch) —
+  /// correlates exported snapshots with trace timelines and external
+  /// logs. merge() keeps the newest.
+  std::uint64_t captured_at_us = 0;
+  /// Steady-clock microseconds this server had been running when the
+  /// snapshot was taken. merge() keeps the largest (a fleet's aggregate
+  /// uptime is its longest-lived replica's).
+  std::uint64_t uptime_us = 0;
   /// Step latency merged across RETIRED sessions (live sessions' private
   /// histograms are not sampled mid-flight).
   util::LatencyHistogram step_latency_us;
@@ -369,6 +377,14 @@ class AsyncQServer {
   std::atomic<std::size_t> live_count_{0};
   std::atomic<bool> stopping_{false};
   std::mutex stop_mutex_;  ///< serializes stop() callers (idempotent join)
+  /// Construction instant on the obs trace clock (steady); stats()
+  /// derives uptime_us from it.
+  std::uint64_t started_at_us_ = 0;
+  /// Trace-clock instant the ready queue last went empty -> non-empty;
+  /// the batch thread reads it at drain time to measure the achieved
+  /// coalescing linger. Guarded by queue_mutex_; only written when
+  /// tracing/metrics timing is on, 0 = not armed.
+  std::uint64_t pending_since_us_ = 0;
   /// Worker-visible mirror of backend_->initialized(); authoritative
   /// re-checks happen on the batch thread (init races, §4.3 resets).
   std::atomic<bool> backend_initialized_;

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace oselm::rl {
 
 std::string_view to_string(BackendFaultKind kind) noexcept {
@@ -73,7 +75,20 @@ bool FaultBackend::draw_fault() {
   // the decision sequence stays aligned with
   // backend_fault_schedule_preview() regardless of kind.
   const bool fired = fault_rng_.bernoulli(rate_);
-  if (fired) ++fault_count_;
+  if (fired) {
+    ++fault_count_;
+    switch (kind_) {
+      case BackendFaultKind::kThrow:
+        OSELM_TRACE_INSTANT("fault", "backend_throw");
+        break;
+      case BackendFaultKind::kStall:
+        OSELM_TRACE_INSTANT("fault", "backend_stall");
+        break;
+      case BackendFaultKind::kNan:
+        OSELM_TRACE_INSTANT("fault", "backend_nan");
+        break;
+    }
+  }
   return fired;
 }
 

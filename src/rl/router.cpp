@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 #include "util/hash.hpp"
 
@@ -14,6 +16,61 @@ namespace oselm::rl {
 namespace {
 
 constexpr std::size_t kNoReplica = static_cast<std::size_t>(-1);
+
+/// Process-wide router metrics, registered once and cached as references
+/// (see async_server.cpp's AsyncMetrics for the pattern rationale).
+struct RouterMetrics {
+  obs::Counter& spillovers;
+  obs::Counter& placement_rejections;
+  obs::Counter& rescued;
+  obs::Counter& abandoned;
+  obs::Counter& replacements;
+  obs::Counter& syncs;
+  obs::Counter& health_transitions;
+  obs::Histogram& admission_wait_us;
+
+  RouterMetrics()
+      : spillovers(obs::MetricsRegistry::global().counter(
+            "oselm_router_spillovers_total")),
+        placement_rejections(obs::MetricsRegistry::global().counter(
+            "oselm_router_placement_rejections_total")),
+        rescued(obs::MetricsRegistry::global().counter(
+            "oselm_router_rescues_total")),
+        abandoned(obs::MetricsRegistry::global().counter(
+            "oselm_router_rescues_abandoned_total")),
+        replacements(obs::MetricsRegistry::global().counter(
+            "oselm_router_replacements_total")),
+        syncs(obs::MetricsRegistry::global().counter(
+            "oselm_router_averaging_rounds_total")),
+        health_transitions(obs::MetricsRegistry::global().counter(
+            "oselm_router_health_transitions_total")),
+        admission_wait_us(obs::MetricsRegistry::global().histogram(
+            "oselm_router_admission_wait_us")) {}
+};
+
+RouterMetrics& router_metrics() {
+  static RouterMetrics metrics;
+  return metrics;
+}
+
+/// Trace-instant spelling of a health transition; literals so the
+/// record path never allocates.
+void trace_health_transition(ReplicaHealth state) {
+  switch (state) {
+    case ReplicaHealth::kHealthy:
+      OSELM_TRACE_INSTANT("health", "to_healthy");
+      break;
+    case ReplicaHealth::kDegraded:
+      OSELM_TRACE_INSTANT("health", "to_degraded");
+      break;
+    case ReplicaHealth::kFailed:
+      OSELM_TRACE_INSTANT("health", "to_failed");
+      break;
+    case ReplicaHealth::kReplaced:
+      OSELM_TRACE_INSTANT("health", "to_replaced");
+      break;
+  }
+}
 
 /// result += other, element-wise; adopts other's shape on first use.
 void accumulate(linalg::MatD& result, const linalg::MatD& other) {
@@ -217,6 +274,8 @@ std::size_t RouterQServer::pick_replica_locked(const std::string& key,
   }
   if (best != kNoReplica && count_spillover) {
     spillovers_.fetch_add(1, std::memory_order_relaxed);
+    router_metrics().spillovers.add();
+    OSELM_TRACE_INSTANT("router", "spillover");
   }
   return best;
 }
@@ -231,6 +290,7 @@ std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
       std::chrono::steady_clock::now() +
       std::chrono::microseconds(config_.admission_wait_us);
   bool waited = false;
+  std::uint64_t wait_start_us = 0;  // 0 = never blocked / timing off
   for (;;) {
     if (stopping_.load(std::memory_order_acquire)) {
       stopping_rejections_.fetch_add(1, std::memory_order_relaxed);
@@ -279,6 +339,11 @@ std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
       // AND the recording.
       OSELM_DCHECK_EQ(placements_.size(), next_router_id_);
       sessions_admitted_.fetch_add(1, std::memory_order_relaxed);
+      OSELM_TRACE_INSTANT("router", "place");
+      if (wait_start_us != 0) {
+        router_metrics().admission_wait_us.record(
+            static_cast<double>(obs::Tracer::now_us() - wait_start_us));
+      }
       return router_id;
     }
     // Every usable replica is at cap: bounded wait for a retirement to
@@ -287,8 +352,14 @@ std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
     if (config_.admission_wait_us == 0 ||
         std::chrono::steady_clock::now() >= deadline) {
       placement_rejections_.fetch_add(1, std::memory_order_relaxed);
+      router_metrics().placement_rejections.add();
+      OSELM_TRACE_INSTANT("router", "placement_rejected");
       if (waited) {
         admission_wait_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        if (wait_start_us != 0) {
+          router_metrics().admission_wait_us.record(
+              static_cast<double>(obs::Tracer::now_us() - wait_start_us));
+        }
       }
       throw AdmissionError(
           AdmissionRejectReason::kCapacity, "RouterQServer::add_session",
@@ -303,6 +374,9 @@ std::size_t RouterQServer::add_session(const RouterSessionSpec& spec) {
     if (!waited) {
       waited = true;
       admission_waits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Tracer::enabled() || obs::timing_enabled()) {
+        wait_start_us = obs::Tracer::now_us();
+      }
     }
     capacity_cv_.wait_until(lk, deadline);
   }
@@ -449,6 +523,8 @@ void RouterQServer::record_health_event_locked(std::size_t index,
   slot.state = state;
   slot.timeline.push_back(
       ReplicaHealthEvent{slot.incarnation, state, now_ms()});
+  router_metrics().health_transitions.add();
+  trace_health_transition(state);
 }
 
 std::vector<std::size_t> RouterQServer::observe_health(
@@ -483,6 +559,7 @@ std::vector<std::size_t> RouterQServer::observe_health(
 }
 
 void RouterQServer::replace_replica(std::size_t index) {
+  OSELM_TRACE_SPAN("router", "replace_replica");
   // 1. Choose the replacement's seed state: the last fleet average when
   //    periodic averaging has produced one, else a live export off the
   //    first initialized survivor, else fresh weights.
@@ -542,11 +619,13 @@ void RouterQServer::replace_replica(std::size_t index) {
   }
   fresh.reset();  // destroy the old incarnation outside the fleet lock
   replacements_.fetch_add(1, std::memory_order_relaxed);
+  router_metrics().replacements.add();
   if (seeded) replacements_seeded_.fetch_add(1, std::memory_order_relaxed);
   capacity_cv_.notify_all();  // a whole replica's capacity came back
 }
 
 void RouterQServer::attempt_rescue(RescueJob&& job, bool abandon_all) {
+  OSELM_TRACE_SPAN("rescue", "attempt");
   const std::size_t max_attempts =
       std::max<std::size_t>(1, config_.rescue_max_attempts);
   for (std::size_t attempt = 1; !abandon_all && attempt <= max_attempts;
@@ -580,6 +659,8 @@ void RouterQServer::attempt_rescue(RescueJob&& job, bool abandon_all) {
                   .second;
           OSELM_DCHECK(unique);
           rescued_.fetch_add(1, std::memory_order_relaxed);
+          router_metrics().rescued.add();
+          OSELM_TRACE_INSTANT("rescue", "rescued");
           return;  // the re-placed run delivers the final result
         } catch (const AdmissionError&) {
           // The target failed between health check and admission;
@@ -599,6 +680,8 @@ void RouterQServer::attempt_rescue(RescueJob&& job, bool abandon_all) {
     rescues = placements_.at(job.router_id).rescues;
   }
   abandoned_.fetch_add(1, std::memory_order_relaxed);
+  router_metrics().abandoned.add();
+  OSELM_TRACE_INSTANT("rescue", "abandoned");
   const bool shutdown =
       abandon_all || stopping_.load(std::memory_order_acquire);
   std::string note =
@@ -629,6 +712,7 @@ void RouterQServer::process_rescues(bool abandon_all) {
 }
 
 void RouterQServer::maintenance_loop() {
+  obs::Tracer::set_thread_name((config_.name + "/maintenance").c_str());
   std::unique_lock lk(maintenance_mutex_);
   for (;;) {
     maintenance_cv_.wait_for(
@@ -678,6 +762,7 @@ std::future<void> RouterQServer::run_exclusive_on(
 }
 
 bool RouterQServer::average_replicas() {
+  OSELM_TRACE_SPAN("averaging", "round");
   const std::shared_lock fleet(fleet_mutex_);
   // Export every replica's learned state through its batch thread.
   // Sequential (not barrier-synchronized) exports: replicas keep
@@ -725,10 +810,12 @@ bool RouterQServer::average_replicas() {
     });
   }
   syncs_.fetch_add(1, std::memory_order_relaxed);
+  router_metrics().syncs.add();
   return true;
 }
 
 void RouterQServer::sync_loop() {
+  obs::Tracer::set_thread_name((config_.name + "/sync").c_str());
   std::unique_lock lk(sync_mutex_);
   for (;;) {
     sync_cv_.wait_for(lk, std::chrono::microseconds(config_.sync_poll_us),
@@ -784,6 +871,8 @@ RouterStats RouterQServer::stats() const {
   out.admission_waits = admission_waits_.load(std::memory_order_relaxed);
   out.admission_wait_timeouts =
       admission_wait_timeouts_.load(std::memory_order_relaxed);
+  out.captured_at_us = obs::wall_clock_us();
+  out.uptime_us = static_cast<std::uint64_t>(now_ms() * 1000.0);
   out.per_replica.reserve(replica_slots_);
   {
     const std::shared_lock fleet(fleet_mutex_);
@@ -845,7 +934,7 @@ std::string RouterStats::health_json() const {
 }
 
 std::string RouterStats::to_json() const {
-  char head[512];
+  char head[768];
   std::snprintf(
       head, sizeof(head),
       "{\n"
@@ -855,7 +944,8 @@ std::string RouterStats::to_json() const {
       "\"syncs\": %llu,\n"
       "  \"rescued\": %llu, \"abandoned\": %llu, \"replacements\": %llu, "
       "\"replacements_seeded\": %llu,\n"
-      "  \"admission_waits\": %llu, \"admission_wait_timeouts\": %llu,\n",
+      "  \"admission_waits\": %llu, \"admission_wait_timeouts\": %llu,\n"
+      "  \"captured_at_us\": %llu, \"uptime_us\": %llu,\n",
       static_cast<unsigned long long>(replicas),
       static_cast<unsigned long long>(sessions_admitted),
       static_cast<unsigned long long>(spillovers),
@@ -867,7 +957,9 @@ std::string RouterStats::to_json() const {
       static_cast<unsigned long long>(replacements),
       static_cast<unsigned long long>(replacements_seeded),
       static_cast<unsigned long long>(admission_waits),
-      static_cast<unsigned long long>(admission_wait_timeouts));
+      static_cast<unsigned long long>(admission_wait_timeouts),
+      static_cast<unsigned long long>(captured_at_us),
+      static_cast<unsigned long long>(uptime_us));
   std::string json = std::string(head) + "  \"health\": ";
   json += health_json();
   json += ",\n  \"aggregate\": ";

@@ -239,6 +239,11 @@ struct RouterStats {
   std::uint64_t replacements_seeded = 0;
   std::uint64_t admission_waits = 0;  ///< admissions that blocked at cap
   std::uint64_t admission_wait_timeouts = 0;  ///< ... and still rejected
+  /// Wall clock at capture (us since the Unix epoch; obs::wall_clock_us)
+  /// and router lifetime at capture (steady us since construction) — the
+  /// pair that lets snapshots from different hosts/runs be lined up.
+  std::uint64_t captured_at_us = 0;
+  std::uint64_t uptime_us = 0;
   AsyncServerStats aggregate;           ///< merged across replicas
   /// Per-SLOT stats: each entry merges every incarnation that served in
   /// that slot (retired replicas' counters are preserved across swaps).

@@ -14,6 +14,7 @@
 
 #include "env/registry.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/trace.hpp"
 #include "rl/async_server.hpp"
 #include "rl/backend_registry.hpp"
 #include "rl/router.hpp"
@@ -204,6 +205,7 @@ void watchdog_stop(const ScenarioSpec& spec, Tier& tier,
 
 void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
                 ScenarioVerdict& verdict, Tier& tier) {
+  OSELM_TRACE_SPAN("scenario", "drive_tier");
   const Clock::time_point start = Clock::now();
   std::future<void> stall_future;
   std::set<std::string> live_keys;
@@ -213,7 +215,9 @@ void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
   bool duplicate_id = false;
 
   for (std::size_t b = 0; b < schedule.bursts.size(); ++b) {
+    OSELM_TRACE_SPAN("scenario", "burst");
     if (schedule.stall_planned && b == schedule.stall_before_burst) {
+      OSELM_TRACE_INSTANT("scenario", "stall_injected");
       stall_future = tier.stall(schedule.stall_ms);
     }
     if (schedule.kill_planned && b == schedule.kill_before_burst &&
@@ -221,6 +225,7 @@ void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
       // The planned hard kill: the replica's sessions retire with
       // backend-error and the router rescues them onto survivors while
       // the remaining bursts keep admitting.
+      OSELM_TRACE_INSTANT("scenario", "kill_injected");
       tier.kill(schedule.kill_replica);
     }
     const PlannedBurst& burst = schedule.bursts[b];
@@ -258,11 +263,13 @@ void drive_tier(const ScenarioSpec& spec, const ScenarioSchedule& schedule,
     // step boundary; results are collected afterwards.
     std::this_thread::sleep_until(
         start + std::chrono::milliseconds(spec.stop_after_ms));
+    OSELM_TRACE_SPAN("scenario", "stop");
     watchdog_stop(spec, tier, verdict);
     stopped_midrun = true;
   }
   if (stall_future.valid()) stall_future.get();
 
+  OSELM_TRACE_SPAN("scenario", "collect");
   std::uint64_t collected = 0;
   for (const auto& [id, train] : admitted) {
     rl::AsyncSessionResult result = tier.wait(id);
@@ -478,6 +485,10 @@ ScenarioVerdict run_router(const ScenarioSpec& spec,
   config.server.worker_threads = spec.worker_threads;
   config.server.max_live_sessions = spec.max_live_sessions;
   config.admission_wait_us = spec.admission_wait_us;
+  if (spec.sync_every_updates > 0) {
+    config.sync_policy = rl::TrainSyncPolicy::kPeriodicAverage;
+    config.sync_every_updates = spec.sync_every_updates;
+  }
   if (schedule.backend_fault_planned) {
     // Fault exactly ONE replica's backend (original incarnation only);
     // its co-replicas — and any replacement the health machine builds —

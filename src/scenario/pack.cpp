@@ -174,6 +174,32 @@ ScenarioSpec replica_backend_nan() {
   return spec;
 }
 
+ScenarioSpec averaging_kill_rescue() {
+  ScenarioSpec spec = base_spec();
+  spec.name = "averaging-kill-rescue";
+  spec.backend = ScenarioBackend::kRouter;
+  spec.seed = 812;
+  spec.sessions = 16;
+  spec.bursts = 4;
+  spec.replicas = 3;
+  spec.max_live_sessions = 8;
+  spec.train_fraction = 0.75;  // train-heavy: averaging rounds fire
+  spec.prime = true;
+  spec.episodes_per_session = 6;
+  // Periodic parameter averaging every 16 fleet-wide train updates,
+  // with a hard kill mid-run: the sync thread's averaging rounds and
+  // the maintenance thread's rescue/replacement run concurrently —
+  // the one builtin whose trace shows every serving-stack actor
+  // (batch drains, train applies, averaging rounds, a rescue) at
+  // once, which is exactly what the observability acceptance run
+  // captures with --trace-out.
+  spec.sync_every_updates = 16;
+  spec.kill_planned = true;
+  spec.kill_replica = 1;
+  spec.kill_at_burst = 2;
+  return spec;
+}
+
 ScenarioSpec bounded_wait_admission() {
   ScenarioSpec spec = base_spec();
   spec.name = "bounded-wait-admission";
@@ -212,8 +238,8 @@ std::vector<std::string> builtin_scenarios() {
           "env-fault-mix",        "backend-stall",
           "router-replica-stall", "mixed-train-eval",
           "backend-fault-storm",  "replica-kill-rescue",
-          "replica-backend-nan",  "bounded-wait-admission",
-          "lockstep-baseline"};
+          "replica-backend-nan",  "averaging-kill-rescue",
+          "bounded-wait-admission", "lockstep-baseline"};
 }
 
 ScenarioSpec builtin_scenario(const std::string& name) {
@@ -226,6 +252,7 @@ ScenarioSpec builtin_scenario(const std::string& name) {
   if (name == "backend-fault-storm") return backend_fault_storm();
   if (name == "replica-kill-rescue") return replica_kill_rescue();
   if (name == "replica-backend-nan") return replica_backend_nan();
+  if (name == "averaging-kill-rescue") return averaging_kill_rescue();
   if (name == "bounded-wait-admission") return bounded_wait_admission();
   if (name == "lockstep-baseline") return lockstep_baseline();
   std::string known;

@@ -165,6 +165,9 @@ void ScenarioSpec::validate() const {
   if (admission_wait_us > 0 && backend != ScenarioBackend::kRouter) {
     invalid("admission_wait_us requires the router tier");
   }
+  if (sync_every_updates > 0 && backend != ScenarioBackend::kRouter) {
+    invalid("sync_every_updates requires the router tier");
+  }
   if (prime && backend == ScenarioBackend::kLockstep) {
     invalid("prime requires the async or router tier");
   }
@@ -196,6 +199,7 @@ std::string ScenarioSpec::to_text() const {
   out << "max_live_sessions = " << max_live_sessions << "\n";
   out << "worker_threads = " << worker_threads << "\n";
   out << "replicas = " << replicas << "\n";
+  out << "sync_every_updates = " << sync_every_updates << "\n";
   out << "stall_ms = " << stall_ms << "\n";
   out << "stall_replica = " << stall_replica << "\n";
   out << "stall_at_burst = " << stall_at_burst << "\n";
@@ -295,6 +299,8 @@ ScenarioSpec parse_scenario(const std::string& text) {
       spec.worker_threads = parse_u64(value, line_number, key);
     } else if (key == "replicas") {
       spec.replicas = parse_u64(value, line_number, key);
+    } else if (key == "sync_every_updates") {
+      spec.sync_every_updates = parse_u64(value, line_number, key);
     } else if (key == "stall_ms") {
       spec.stall_ms = parse_u64(value, line_number, key);
     } else if (key == "stall_replica") {

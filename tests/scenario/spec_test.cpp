@@ -47,6 +47,7 @@ ScenarioSpec full_spec() {
   spec.max_live_sessions = 6;
   spec.worker_threads = 3;
   spec.replicas = 4;
+  spec.sync_every_updates = 48;
   spec.stall_ms = 20;
   spec.stall_replica = 2;
   spec.stall_at_burst = 1;
@@ -188,6 +189,10 @@ TEST(ScenarioSpec, ValidateCatchesStructuralErrors) {
                      "kill burst 4");
   expect_parse_error(minimal_text("admission_wait_us = 100\n"),
                      "admission_wait_us requires the router tier");
+  expect_parse_error(minimal_text("sync_every_updates = 16\n"),
+                     "sync_every_updates requires the router tier");
+  EXPECT_NO_THROW(parse_scenario(
+      minimal_text("backend = router\nsync_every_updates = 16\n")));
   expect_parse_error(minimal_text("backend = lockstep\nprime = 1\n"),
                      "prime requires the async or router tier");
 

@@ -27,6 +27,14 @@ Rules:
   mutex-lock-order
       A header declaring two or more std::mutex members must document
       their lock order (a comment containing "Lock order").
+  hot-loop-clock
+      Hot-loop code (src/linalg/kernels*.cpp and the batch-thread drain
+      in src/rl/async_server.cpp) must not call std::chrono clocks
+      directly: instrumentation reads go through obs::Tracer::now_us()
+      (one steady-clock seam, gated by the enable flags) or the
+      util::TimeLedger/WallTimer seams. The pre-existing Clock::now()
+      sites in async_server.cpp (admission stamps, batch deadline) are
+      baselined; new direct clock reads on the hot path are rejected.
 
 Usage:
   python3 tools/lint/check_contracts.py            # gate (CI mode)
@@ -162,11 +170,33 @@ def check_mutex_lock_order() -> list[Finding]:
     return findings
 
 
+def check_hot_loop_clock() -> list[Finding]:
+    findings = []
+    clock_call = re.compile(
+        r"\b(?:std::chrono::)?"
+        r"(?:steady_clock|system_clock|high_resolution_clock|Clock)"
+        r"::now\s*\(")
+    paths = sorted(REPO.glob("src/linalg/kernels*.cpp"))
+    paths.append(REPO / "src" / "rl" / "async_server.cpp")
+    for path in paths:
+        if not path.exists():
+            continue
+        for number, line in stripped_code_lines(path):
+            if clock_call.search(line):
+                findings.append(Finding(
+                    "hot-loop-clock", path, number,
+                    "direct std::chrono clock read on a hot path — use "
+                    "obs::Tracer::now_us() (or a TimeLedger seam): "
+                    + line.strip()))
+    return findings
+
+
 CHECKS = (
     check_kernel_heap_alloc,
     check_backend_call_outside_batch,
     check_naked_thread,
     check_mutex_lock_order,
+    check_hot_loop_clock,
 )
 
 

@@ -11,11 +11,19 @@
 // Exit status: 0 when every invariant of every scenario passed, 2 when
 // any invariant was violated, 1 on usage/spec errors. CI runs
 // `scenario_runner --all` under TSan and ASan as the chaos soak.
+//
+// Observability: `--trace-out <file>` turns the event tracer on for the
+// whole run and writes a Chrome trace-event JSON (load it in Perfetto /
+// chrome://tracing) on exit; `--metrics-out <file>` streams metrics
+// snapshots to a .metrics.jsonl time series while scenarios run. Both
+// compose with every run mode.
 #include <cstdio>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/pack.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
@@ -33,10 +41,63 @@ int usage(const char* argv0) {
       "       %s --print-spec <name>\n"
       "       %s --builtin <name> [--out <file>]\n"
       "       %s --spec <file> [--out <file>]\n"
-      "       %s --all [--out-dir <dir>]\n",
+      "       %s --all [--out-dir <dir>]\n"
+      "options (any run mode):\n"
+      "       --trace-out <file>    Chrome trace-event JSON (Perfetto)\n"
+      "       --metrics-out <file>  metrics snapshots (.metrics.jsonl)\n",
       argv0, argv0, argv0, argv0, argv0);
   return 1;
 }
+
+/// Pulls `--flag <value>` out of args (any position); empty if absent.
+std::string take_flag(std::vector<std::string>& args,
+                      const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+  }
+  return "";
+}
+
+/// Turns the requested sinks on for the run and flushes them on
+/// destruction — one object at the top of main covers every exit path
+/// that unwinds normally.
+class ObsSinks {
+ public:
+  ObsSinks(std::string trace_out, std::string metrics_out)
+      : trace_out_(std::move(trace_out)) {
+    if (!trace_out_.empty()) oselm::obs::Tracer::set_enabled(true);
+    if (!metrics_out.empty()) {
+      if (!oselm::obs::MetricsRegistry::global().start_sampler(
+              metrics_out, /*period_ms=*/50)) {
+        std::fprintf(stderr,
+                     "scenario_runner: cannot open metrics sink %s\n",
+                     metrics_out.c_str());
+      }
+    }
+  }
+  ~ObsSinks() {
+    oselm::obs::MetricsRegistry::global().stop_sampler();
+    if (trace_out_.empty()) return;
+    oselm::obs::Tracer::set_enabled(false);
+    if (oselm::obs::Tracer::write_chrome_trace(trace_out_)) {
+      std::fprintf(stderr, "scenario_runner: trace written to %s\n",
+                   trace_out_.c_str());
+    } else {
+      std::fprintf(stderr, "scenario_runner: cannot write trace to %s\n",
+                   trace_out_.c_str());
+    }
+  }
+  ObsSinks(const ObsSinks&) = delete;
+  ObsSinks& operator=(const ObsSinks&) = delete;
+
+ private:
+  std::string trace_out_;
+};
 
 /// "<dir>/<name>.json" -> "<dir>/<name>.health.json" (plain append when
 /// the verdict path has no .json suffix).
@@ -78,6 +139,9 @@ bool run_one(const ScenarioSpec& spec, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string trace_out = take_flag(args, "--trace-out");
+  const std::string metrics_out = take_flag(args, "--metrics-out");
+  const ObsSinks sinks(trace_out, metrics_out);
   try {
     if (args.size() == 1 && args[0] == "--list") {
       for (const std::string& name : oselm::scenario::builtin_scenarios()) {
